@@ -1,0 +1,254 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation from a fresh fault-injection study, and runs a
+   Bechamel micro-benchmark suite for the simulator substrate.
+
+   Usage:
+     bench/main.exe                 # everything, scaled-down campaigns
+     bench/main.exe table1 fig4     # selected experiments
+     bench/main.exe --subsample 3   # denser sweep
+     bench/main.exe perf            # simulator micro-benchmarks only
+
+   Experiment ids: table1 fig1 table4 fig4 table5 fig6 fig7 fig8 ablation regcmp perf *)
+
+let header title =
+  Printf.printf "\n%s\n%s\n%s\n\n" (String.make 78 '=') title (String.make 78 '=')
+
+(* ---------- Bechamel micro-benchmarks of the substrate ---------- *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let open Toolkit in
+  let disk_image = lazy (Kfi.Fsimage.Mkfs.create (Kfi.Workload.Progs.fs_files ())) in
+  (* boot once, snapshot; measure restore+run-to-completion of a workload *)
+  let boot_test =
+    Test.make ~name:"boot-to-snapshot"
+      (Staged.stage (fun () ->
+           let m, _ =
+             Kfi.Kernel.Build.boot_machine ~disk_image:(Lazy.force disk_image) ()
+           in
+           match Kfi.Isa.Machine.run m ~max_cycles:10_000_000 with
+           | Kfi.Isa.Machine.Snapshot_point -> ()
+           | _ -> failwith "boot failed"))
+  in
+  let mkfs_test =
+    Test.make ~name:"mkfs"
+      (Staged.stage (fun () -> ignore (Kfi.Fsimage.Mkfs.create (Kfi.Workload.Progs.fs_files ()))))
+  in
+  let fsck_test =
+    let img = Kfi.Fsimage.Mkfs.create (Kfi.Workload.Progs.fs_files ()) in
+    Test.make ~name:"fsck"
+      (Staged.stage (fun () -> ignore (Kfi.Fsimage.Fsck.check img)))
+  in
+  let kernel_build_test =
+    Test.make ~name:"assemble-kernel"
+      (Staged.stage (fun () -> ignore (Kfi.Kernel.Build.build_fresh ())))
+  in
+  let exec_test =
+    (* raw interpreter speed: a tight arithmetic loop on the bare machine *)
+    Test.make ~name:"interpret-100k-insns"
+      (Staged.stage (fun () ->
+           let open Kfi.Isa in
+           let disk = Devices.Disk.create ~blocks:4 in
+           let m = Machine.create ~phys_size:(1024 * 1024) ~idt_base:0x2000 ~disk () in
+           let phys = Machine.phys m in
+           (* identity page table for the first 4 MB *)
+           Phys.write32 phys 0x1000 (Int32.of_int (0x3000 lor 0x3));
+           for i = 0 to 1023 do
+             Phys.write32 phys (0x3000 + (i * 4)) (Int32.of_int ((i * 4096) lor 0x3))
+           done;
+           let code =
+             Kfi.Asm.Assembler.assemble ~base:0x10000l
+               [
+                 Kfi.Asm.Assembler.Ins (Insn.Mov_ri (Insn.ecx, 25000l));
+                 Kfi.Asm.Assembler.Label "loop";
+                 Kfi.Asm.Assembler.Ins (Insn.Alu_rm_i8 (Insn.Add, Insn.Reg Insn.eax, 1l));
+                 Kfi.Asm.Assembler.Ins (Insn.Dec_r Insn.ecx);
+                 Kfi.Asm.Assembler.Ins (Insn.Test_rm_r (Insn.Reg Insn.ecx, Insn.ecx));
+                 Kfi.Asm.Assembler.Jcc_sym (Insn.NE, "loop");
+                 Kfi.Asm.Assembler.Ins Insn.Hlt;
+               ]
+           in
+           Phys.blit_in phys ~dst:0x10000 code.Kfi.Asm.Assembler.code;
+           let cpu = Machine.cpu m in
+           cpu.Cpu.cr3 <- 0x1000l;
+           cpu.Cpu.eip <- 0x10000l;
+           cpu.Cpu.regs.(Insn.esp) <- 0x80000l;
+           ignore (Machine.run m ~max_cycles:200_000)))
+  in
+  let tests =
+    Test.make_grouped ~name:"kfi"
+      [ exec_test; mkfs_test; fsck_test; kernel_build_test; boot_test ]
+  in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) () in
+    let raw = Benchmark.all cfg instances tests in
+    let results =
+      List.map (fun instance -> Analyze.all ols instance raw) instances
+    in
+    Analyze.merge ols instances results
+  in
+  let results = benchmark () in
+  Hashtbl.iter
+    (fun _clock tbl ->
+      Hashtbl.iter
+        (fun name res ->
+          match Bechamel.Analyze.OLS.estimates res with
+          | Some [ est ] -> Printf.printf "  %-28s %12.0f ns/run\n" name est
+          | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+        tbl)
+    results
+
+(* ---------- the study ---------- *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let subsample =
+    let rec find = function
+      | "--subsample" :: v :: _ -> int_of_string v
+      | _ :: tl -> find tl
+      | [] -> 12
+    in
+    find args
+  in
+  let wanted =
+    List.filter (fun a -> String.length a > 0 && a.[0] <> '-') args
+    |> function
+    | [] ->
+      [ "table1"; "fig1"; "table4"; "fig4"; "table5"; "fig6"; "fig7"; "fig8"; "ablation";
+        "regcmp"; "perf" ]
+    | l -> l
+  in
+  let want x = List.mem x wanted in
+  let need_study =
+    List.exists want
+      [ "table1"; "fig4"; "table5"; "fig6"; "fig7"; "fig8"; "ablation"; "regcmp" ]
+  in
+  if need_study then begin
+    Printf.eprintf "bench: booting kernel, golden runs, profiling...\n%!";
+    let study = Kfi.Study.prepare () in
+    let profile = study.Kfi.Study.profile in
+    let build = Kfi.Study.build study in
+    if want "table1" then begin
+      header "Table 1 — Function Distribution Among Kernel Modules";
+      print_string (Kfi.Analysis.Report.table1 profile ~core:study.Kfi.Study.core);
+      print_newline ();
+      print_string (Kfi.Analysis.Report.profile_detail profile ~core:study.Kfi.Study.core)
+    end;
+    if want "fig1" then begin
+      header "Figure 1 — Size of Kernel Subsystems";
+      print_string (Kfi.Analysis.Report.fig1 build)
+    end;
+    if want "table4" then begin
+      header "Table 4 — Fault Injection Campaigns";
+      print_string Kfi.Analysis.Report.table4
+    end;
+    let need_records =
+      List.exists want [ "fig4"; "table5"; "fig6"; "fig7"; "fig8" ]
+    in
+    if need_records then begin
+      Printf.eprintf "bench: running campaigns (subsample %d)...\n%!" subsample;
+      let on_progress ~done_ ~total =
+        if done_ mod 100 = 0 then Printf.eprintf "\r  %d/%d%!" done_ total
+      in
+      let records = Kfi.Study.run_campaigns ~subsample ~on_progress study () in
+      Printf.eprintf "\r  %d experiments done\n%!" (List.length records);
+      if want "fig4" then begin
+        header "Figure 4 — Error Activation and Failure Distribution";
+        print_string (Kfi.Analysis.Report.fig4 records)
+      end;
+      if want "fig6" then begin
+        header "Figure 6 — Distribution of Crash Causes";
+        print_string (Kfi.Analysis.Report.fig6 records)
+      end;
+      if want "fig7" then begin
+        header "Figure 7 — Crash Latency in CPU Cycles";
+        print_string (Kfi.Analysis.Report.fig7 records)
+      end;
+      if want "fig8" then begin
+        header "Figure 8 — Error Propagation";
+        print_string (Kfi.Analysis.Report.fig8 records)
+      end;
+      if want "table5" then begin
+        header "Table 5 — Summary of Most Severe Crashes";
+        print_string (Kfi.Analysis.Report.table5 records)
+      end
+    end;
+    if want "regcmp" then begin
+      header
+        "Extension — instruction-stream vs direct register corruption (paper footnote 1)";
+      let pie tag records =
+        let p = Kfi.Analysis.Stats.outcome_pie records in
+        let _, total = Kfi.Analysis.Stats.fig4_rows records in
+        let act = total.Kfi.Analysis.Stats.f4_activated in
+        let pc n = Kfi.Analysis.Stats.pct n act in
+        Printf.printf
+          "%-24s activated %4d: not manifested %4.1f%% | fsv %4.1f%% | crash %4.1f%% | hang/unknown %4.1f%%\n"
+          tag act
+          (pc p.Kfi.Analysis.Stats.p_not_manifested)
+          (pc p.Kfi.Analysis.Stats.p_fsv)
+          (pc p.Kfi.Analysis.Stats.p_dumped_crash)
+          (pc p.Kfi.Analysis.Stats.p_hang_unknown)
+      in
+      Printf.eprintf "bench: campaign A (instruction stream)...\n%!";
+      let a = Kfi.Study.run_campaign ~subsample:(subsample * 2) study Kfi.Campaign.A in
+      Printf.eprintf "bench: campaign R (register corruption)...\n%!";
+      let r = Kfi.Study.run_campaign ~subsample:(max 1 (subsample / 2)) study Kfi.Campaign.R in
+      pie "A: instruction stream" a;
+      pie "R: register bits" r;
+      let causes tag records =
+        let cs = Kfi.Analysis.Stats.crash_causes records in
+        let total = List.fold_left (fun acc (_, n) -> acc + n) 0 cs in
+        Printf.printf "%-24s crash causes:" tag;
+        List.iter
+          (fun (name, n) ->
+            Printf.printf " %s %.0f%%," name (Kfi.Analysis.Stats.pct n total))
+          cs;
+        print_newline ()
+      in
+      causes "A: instruction stream" a;
+      causes "R: register bits" r;
+      Printf.printf
+        "\n(footnote 1 of the paper argues instruction-stream errors subsume register\n corruption: manifesting register errors indeed crash through the same causes,\n but register flips are transient and mostly benign, unlike persistent text\n corruption)\n"
+    end;
+    if want "ablation" then begin
+      header
+        "Ablation — interface assertions at subsystem boundaries (paper Section 7.4)";
+      let summarize tag records =
+        let _, total = Kfi.Analysis.Stats.fig4_rows records in
+        let prop, crashes = Kfi.Analysis.Stats.propagation_rate records in
+        let ms = List.length (Kfi.Analysis.Stats.most_severe records) in
+        Printf.printf
+          "%-22s activated %4d | crash/hang %4d (%4.1f%% of activated) | propagated %3d/%d | most severe %d\n"
+          tag total.Kfi.Analysis.Stats.f4_activated total.Kfi.Analysis.Stats.f4_crash_hang
+          (Kfi.Analysis.Stats.pct total.Kfi.Analysis.Stats.f4_crash_hang
+             total.Kfi.Analysis.Stats.f4_activated)
+          prop crashes ms
+      in
+      Printf.eprintf "bench: ablation baseline (campaign A)...\n%!";
+      let base = Kfi.Study.run_campaign ~subsample:(subsample * 2) study Kfi.Campaign.A in
+      Printf.eprintf "bench: ablation hardened (campaign A)...\n%!";
+      let hard =
+        Kfi.Study.run_campaign ~subsample:(subsample * 2) ~hardening:true study Kfi.Campaign.A
+      in
+      summarize "baseline kernel" base;
+      summarize "hardened interfaces" hard;
+      Printf.printf
+        "\n(hardened: fs/mm entry points validate their data structures and kill the\n offending process instead of corrupting kernel state — the containment\n strategy the paper proposes from its propagation analysis)\n"
+    end
+  end;
+  if want "fig1" && not need_study then begin
+    header "Figure 1 — Size of Kernel Subsystems";
+    print_string (Kfi.Analysis.Report.fig1 (Kfi.Kernel.Build.build ()))
+  end;
+  if want "table4" && not need_study then begin
+    header "Table 4 — Fault Injection Campaigns";
+    print_string Kfi.Analysis.Report.table4
+  end;
+  if want "perf" then begin
+    header "Simulator micro-benchmarks (bechamel)";
+    bechamel_suite ()
+  end

@@ -1,0 +1,73 @@
+(* Run the paper's fault-injection campaigns and print every table/figure.
+
+   kfi-campaign                  # scaled-down sweep (fast)
+   kfi-campaign --full           # full-scale target enumeration
+   kfi-campaign -c A --subsample 20 --csv out.csv *)
+
+open Cmdliner
+
+let run campaigns subsample full csv_path seed quiet hardening =
+  let subsample = if full then 1 else subsample in
+  Printf.eprintf "booting kernel + golden runs + profiling...\n%!";
+  let study = Kfi.Study.prepare () in
+  let campaigns =
+    match campaigns with
+    | [] -> [ Kfi.Campaign.A; Kfi.Campaign.B; Kfi.Campaign.C ]
+    | l ->
+      List.map
+        (function
+          | "A" | "a" -> Kfi.Campaign.A
+          | "B" | "b" -> Kfi.Campaign.B
+          | "C" | "c" -> Kfi.Campaign.C
+          | "R" | "r" -> Kfi.Campaign.R
+          | s -> failwith ("unknown campaign " ^ s))
+        l
+  in
+  let on_progress ~done_ ~total =
+    if (not quiet) && done_ mod 50 = 0 then
+      Printf.eprintf "\r  %d/%d experiments%!" done_ total
+  in
+  let records =
+    List.concat_map
+      (fun c ->
+        Printf.eprintf "campaign %s...\n%!" (Kfi.Injector.Target.campaign_letter c);
+        let r = Kfi.Study.run_campaign ~subsample ~seed ~hardening ~on_progress study c in
+        Printf.eprintf "\r  %d experiments done\n%!" (List.length r);
+        r)
+      campaigns
+  in
+  print_string (Kfi.Study.report study records);
+  (match csv_path with
+   | Some path ->
+     let oc = open_out path in
+     output_string oc (Kfi.Study.to_csv records);
+     close_out oc;
+     Printf.eprintf "wrote %s\n%!" path
+   | None -> ());
+  0
+
+let campaigns_arg =
+  Arg.(value & opt_all string [] & info [ "c"; "campaign" ] ~doc:"Campaign (A, B or C); repeatable.")
+
+let subsample_arg =
+  Arg.(value & opt int 12 & info [ "subsample" ] ~doc:"Run every k-th target (1 = full scale).")
+
+let full_arg = Arg.(value & flag & info [ "full" ] ~doc:"Full-scale sweep (subsample 1).")
+let csv_arg = Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write raw records to CSV.")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed for per-byte bit choice.")
+let quiet_arg = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress output.")
+
+let hardening_arg =
+  Arg.(
+    value & flag
+    & info [ "hardening" ]
+        ~doc:"Enable the kernel's interface assertions (Section 7.4 ablation).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "kfi-campaign" ~doc:"Kernel fault-injection campaigns (DSN'03 reproduction)")
+    Term.(
+      const run $ campaigns_arg $ subsample_arg $ full_arg $ csv_arg $ seed_arg $ quiet_arg
+      $ hardening_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,23 @@
+(* Profile the kernel under the workload suite (Table 1). *)
+
+open Cmdliner
+
+let run coverage =
+  Printf.eprintf "booting kernel + profiling workloads...\n%!";
+  let study = Kfi.Study.prepare () in
+  let profile = study.Kfi.Study.profile in
+  let core = Kfi.Profiler.Sampler.top_functions profile ~coverage in
+  print_string (Kfi.Analysis.Report.table1 profile ~core);
+  print_newline ();
+  print_string (Kfi.Analysis.Report.profile_detail profile ~core);
+  0
+
+let coverage_arg =
+  Arg.(value & opt float 0.95 & info [ "coverage" ] ~doc:"Sample coverage for the core set.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "kfi-profile" ~doc:"Kernprof-style kernel profile under the workloads")
+    Term.(const run $ coverage_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,14 @@
+(* A miniature end-to-end campaign: profile, inject a sampled sweep of
+   all three campaigns, and print the Figure-4 tables.
+
+   dune exec examples/campaign_mini.exe *)
+
+let () =
+  Printf.eprintf "preparing study (boot + golden runs + profile)...\n%!";
+  let study = Kfi.Study.prepare () in
+  Printf.eprintf "running scaled-down campaigns A, B, C...\n%!";
+  let records = Kfi.Study.run_campaigns ~subsample:25 study () in
+  Printf.printf "%d experiments\n\n" (List.length records);
+  print_string (Kfi.Analysis.Report.fig4 records);
+  print_string (Kfi.Analysis.Report.fig6 records);
+  print_string (Kfi.Analysis.Report.table5 records)

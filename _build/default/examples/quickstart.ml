@@ -1,0 +1,39 @@
+(* Quickstart: boot the simulated kernel, run a workload, inject one
+   fault, and look at what happened.
+
+   dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Boot the kernel and run the UnixBench-like pipe workload. *)
+  let code, console = Kfi.boot_and_run "pipe" in
+  Printf.printf "--- clean run of /bin/pipe (exit %d) ---\n%s\n" code console;
+
+  (* 2. Prepare a study: boot to a snapshot, record golden runs, profile
+     the kernel under all eight workloads (kernprof-style). *)
+  let study = Kfi.Study.prepare () in
+  Printf.printf "--- top kernel functions under the workload suite ---\n";
+  List.iteri
+    (fun i (fn, samples) ->
+      if i < 8 then Printf.printf "%2d. %-26s %6d samples\n" (i + 1) fn samples)
+    study.Kfi.Study.core;
+
+  (* 3. Inject one error: campaign C (reverse a branch condition) into the
+     scheduler, driven by the context-switching workload. *)
+  let runner = study.Kfi.Study.runner in
+  let targets =
+    Kfi.Injector.Target.enumerate runner.Kfi.Injector.Runner.build
+      ~campaign:Kfi.Injector.Target.C ~seed:1 [ "schedule" ]
+  in
+  Printf.printf "\n--- campaign C on schedule(): %d conditional branches ---\n"
+    (List.length targets);
+  List.iteri
+    (fun i t ->
+      let outcome =
+        Kfi.Injector.Runner.run_one runner
+          ~workload:(Kfi.Workload.Progs.index_of "context1") t
+      in
+      Printf.printf "%2d. %s at %08lx: %s\n" (i + 1)
+        (Kfi.Isa.Disasm.to_string t.Kfi.Injector.Target.t_insn)
+        t.Kfi.Injector.Target.t_addr
+        (Kfi.Injector.Outcome.category outcome))
+    targets

@@ -1,0 +1,1 @@
+lib/analysis/report.ml: Array Buffer Experiment Hashtbl Kfi_injector Kfi_kernel Kfi_profiler Kfi_workload List Option Outcome Printf Stats String Target

@@ -1,0 +1,1 @@
+lib/analysis/report.mli: Experiment Kfi_injector Kfi_kernel Kfi_profiler Target

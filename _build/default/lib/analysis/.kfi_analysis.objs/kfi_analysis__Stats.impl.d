@@ -1,0 +1,1 @@
+lib/analysis/stats.ml: Array Experiment Hashtbl Kfi_injector List Option Outcome Target

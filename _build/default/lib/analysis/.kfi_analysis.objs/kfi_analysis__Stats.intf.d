@@ -1,0 +1,1 @@
+lib/analysis/stats.mli: Experiment Kfi_injector Outcome Target

@@ -1,0 +1,287 @@
+(* ASCII renderings of every table and figure in the paper's evaluation. *)
+
+open Kfi_injector
+module Profiler = Kfi_profiler.Sampler
+
+let line = String.make 78 '-'
+
+let with_buf f =
+  let b = Buffer.create 4096 in
+  f b;
+  Buffer.contents b
+
+let pct = Stats.pct
+
+let campaigns_present records =
+  List.filter
+    (fun c -> Stats.records_of ~campaign:c records <> [])
+    [ Target.A; Target.B; Target.C; Target.R ]
+
+(* ----- Table 1: function distribution among kernel modules ----- *)
+let table1 profile ~core =
+  with_buf (fun b ->
+      Buffer.add_string b "Table 1: Function Distribution Among Kernel Modules\n";
+      Buffer.add_string b (line ^ "\n");
+      Buffer.add_string b
+        (Printf.sprintf "%-10s %24s %28s\n" "Subsystem" "functions profiled"
+           (Printf.sprintf "contribution to core %d" (List.length core)));
+      let all = Profiler.by_function profile in
+      let groups = Hashtbl.create 8 in
+      List.iter
+        (fun (fn, _) ->
+          let s = Profiler.subsys profile fn in
+          let tot, c = Option.value ~default:(0, 0) (Hashtbl.find_opt groups s) in
+          let in_core = List.exists (fun (f, _) -> f = fn) core in
+          Hashtbl.replace groups s (tot + 1, if in_core then c + 1 else c))
+        all;
+      let rows =
+        Hashtbl.fold (fun s (t, c) acc -> (s, t, c) :: acc) groups []
+        |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+      in
+      let tt = ref 0 and tc = ref 0 in
+      List.iter
+        (fun (s, t, c) ->
+          tt := !tt + t;
+          tc := !tc + c;
+          Buffer.add_string b (Printf.sprintf "%-10s %24d %28d\n" s t c))
+        rows;
+      Buffer.add_string b (Printf.sprintf "%-10s %24d %28d\n" "Total" !tt !tc))
+
+(* top-function detail (supplement to Table 1) *)
+let profile_detail profile ~core =
+  with_buf (fun b ->
+      Buffer.add_string b "Core functions (>=95% of kernel samples):\n";
+      List.iteri
+        (fun i (fn, n) ->
+          Buffer.add_string b
+            (Printf.sprintf "  %2d. %-28s %-8s %6d samples (driven by %s)\n" (i + 1) fn
+               (Profiler.subsys profile fn) n
+               (List.nth Kfi_workload.Progs.names (max 0 (Profiler.best_workload profile fn)))))
+        core)
+
+(* ----- Figure 1: subsystem sizes ----- *)
+let fig1 build =
+  with_buf (fun b ->
+      Buffer.add_string b "Figure 1: Size of Kernel Subsystems (text bytes as LoC proxy)\n";
+      Buffer.add_string b (line ^ "\n");
+      let sizes = Kfi_kernel.Build.subsystem_sizes build in
+      let total = List.fold_left (fun a (_, n) -> a + n) 0 sizes in
+      List.iter
+        (fun (s, n) ->
+          let bar = String.make (max 1 (n * 50 / max 1 total)) '#' in
+          Buffer.add_string b (Printf.sprintf "%-8s %7d  %s\n" s n bar))
+        sizes)
+
+(* ----- Figure 4 ----- *)
+let fig4_campaign records campaign =
+  with_buf (fun b ->
+      Buffer.add_string b
+        (Printf.sprintf "Campaign %s\n" (Target.campaign_name campaign));
+      Buffer.add_string b (line ^ "\n");
+      Buffer.add_string b
+        (Printf.sprintf "%-12s %9s %18s %16s %10s %12s\n" "Subsystem" "Injected"
+           "Activated" "NotManifested" "FSV" "Crash/Hang");
+      let rows, total = Stats.fig4_rows records in
+      let show (r : Stats.fig4_row) =
+        Buffer.add_string b
+          (Printf.sprintf "%-12s %9d %10d (%4.1f%%) %9d (%4.1f%%) %4d (%4.1f%%) %6d (%4.1f%%)\n"
+             (Printf.sprintf "%s[%d]" r.Stats.f4_subsys r.Stats.f4_fns)
+             r.Stats.f4_injected r.Stats.f4_activated
+             (pct r.Stats.f4_activated r.Stats.f4_injected)
+             r.Stats.f4_not_manifested
+             (pct r.Stats.f4_not_manifested r.Stats.f4_activated)
+             r.Stats.f4_fsv
+             (pct r.Stats.f4_fsv r.Stats.f4_activated)
+             r.Stats.f4_crash_hang
+             (pct r.Stats.f4_crash_hang r.Stats.f4_activated))
+      in
+      List.iter show rows;
+      show total;
+      let p = Stats.outcome_pie records in
+      let act = total.Stats.f4_activated in
+      Buffer.add_string b
+        (Printf.sprintf
+           "Pie (of activated): not manifested %.1f%% | fail silence violation %.1f%% | dumped crash %.1f%% | hang/unknown crash %.1f%%\n"
+           (pct p.Stats.p_not_manifested act)
+           (pct p.Stats.p_fsv act)
+           (pct p.Stats.p_dumped_crash act)
+           (pct p.Stats.p_hang_unknown act)))
+
+let fig4 records =
+  with_buf (fun b ->
+      Buffer.add_string b "Figure 4: Statistics on Error Activation and Failure Distribution\n\n";
+      List.iter
+        (fun c ->
+          Buffer.add_string b (fig4_campaign (Stats.records_of ~campaign:c records) c);
+          Buffer.add_string b "\n")
+        (campaigns_present records))
+
+(* crash concentration per subsystem (paper Section 6.1) *)
+let crash_concentration records =
+  with_buf (fun b ->
+      Buffer.add_string b "Crash concentration (top crash-causing functions per subsystem)\n";
+      Buffer.add_string b (line ^ "\n");
+      List.iter
+        (fun (s, total, ranked) ->
+          Buffer.add_string b (Printf.sprintf "%-8s (%d crashes):" s total);
+          List.iteri
+            (fun i (fn, n) ->
+              if i < 3 then
+                Buffer.add_string b
+                  (Printf.sprintf "  %s %d (%.0f%%)" fn n (pct n total)))
+            ranked;
+          Buffer.add_string b "\n")
+        (Stats.crash_concentration records))
+
+(* ----- Figure 6: crash causes ----- *)
+let fig6 records =
+  with_buf (fun b ->
+      Buffer.add_string b "Figure 6: Distribution of Crash Causes (dumped crashes)\n";
+      Buffer.add_string b (line ^ "\n");
+      List.iter
+        (fun c ->
+          let rs = Stats.records_of ~campaign:c records in
+          let causes = Stats.crash_causes rs in
+          let total = List.fold_left (fun a (_, n) -> a + n) 0 causes in
+          Buffer.add_string b
+            (Printf.sprintf "Campaign %s (%d dumped crashes):\n" (Target.campaign_letter c) total);
+          List.iter
+            (fun (name, n) ->
+              Buffer.add_string b
+                (Printf.sprintf "  %-22s %6d  (%5.1f%%)\n" name n (pct n total)))
+            causes;
+          Buffer.add_string b "\n")
+        (campaigns_present records))
+
+(* ----- Figure 7: crash latency ----- *)
+let fig7 records =
+  with_buf (fun b ->
+      Buffer.add_string b "Figure 7: Crash Latency in CPU Cycles\n";
+      Buffer.add_string b (line ^ "\n");
+      List.iter
+        (fun c ->
+          let rs = Stats.records_of ~campaign:c records in
+          Buffer.add_string b (Printf.sprintf "Campaign %s:\n" (Target.campaign_letter c));
+          Buffer.add_string b (Printf.sprintf "  %-10s" "subsys");
+          for i = 0 to List.length Stats.latency_buckets do
+            Buffer.add_string b (Printf.sprintf " %9s" (Stats.bucket_label i))
+          done;
+          Buffer.add_string b "\n";
+          List.iter
+            (fun (s, srs) ->
+              let h = Stats.latency_histogram srs in
+              let total = Array.fold_left ( + ) 0 h in
+              if total > 0 then begin
+                Buffer.add_string b (Printf.sprintf "  %-10s" s);
+                Array.iter
+                  (fun n -> Buffer.add_string b (Printf.sprintf " %3d(%3.0f%%)" n (pct n total)))
+                  h;
+                Buffer.add_string b "\n"
+              end)
+            (Stats.by_subsystem rs);
+          let h = Stats.latency_histogram rs in
+          let total = Array.fold_left ( + ) 0 h in
+          if total > 0 then begin
+            Buffer.add_string b (Printf.sprintf "  %-10s" "all");
+            Array.iter
+              (fun n -> Buffer.add_string b (Printf.sprintf " %3d(%3.0f%%)" n (pct n total)))
+              h;
+            Buffer.add_string b "\n"
+          end;
+          Buffer.add_string b "\n")
+        (campaigns_present records))
+
+(* ----- Figure 8: error propagation ----- *)
+let fig8 records =
+  with_buf (fun b ->
+      Buffer.add_string b "Figure 8: Error Propagation\n";
+      Buffer.add_string b (line ^ "\n");
+      let prop, total = Stats.propagation_rate records in
+      Buffer.add_string b
+        (Printf.sprintf "Overall: %d of %d crashes (%.1f%%) propagated across subsystems\n\n"
+           prop total (pct prop total));
+      List.iter
+        (fun c ->
+          let rs = Stats.records_of ~campaign:c records in
+          Buffer.add_string b (Printf.sprintf "Campaign %s:\n" (Target.campaign_letter c));
+          List.iter
+            (fun src ->
+              let total, groups = Stats.propagation rs ~from_subsys:src in
+              if total > 0 then begin
+                Buffer.add_string b (Printf.sprintf "  injected in %-7s (%d crashes):\n" src total);
+                List.iter
+                  (fun (dst, n, cs) ->
+                    let causes = Hashtbl.create 4 in
+                    List.iter
+                      (fun (ci : Outcome.crash_info) ->
+                        let k = Outcome.cause_name ci.Outcome.cause in
+                        Hashtbl.replace causes k
+                          (1 + Option.value ~default:0 (Hashtbl.find_opt causes k)))
+                      cs;
+                    let cause_str =
+                      Hashtbl.fold (fun k v acc -> Printf.sprintf "%s %s:%d" acc k v) causes ""
+                    in
+                    Buffer.add_string b
+                      (Printf.sprintf "    -> crash in %-8s %5d (%5.1f%%) %s\n" dst n
+                         (pct n total) cause_str))
+                  groups
+              end)
+            Stats.subsystems;
+          Buffer.add_string b "\n")
+        (campaigns_present records))
+
+(* ----- Table 5: most severe crashes ----- *)
+let table5 records =
+  with_buf (fun b ->
+      Buffer.add_string b "Table 5: Summary of Most Severe Crashes (reformat required)\n";
+      Buffer.add_string b (line ^ "\n");
+      let ms = Stats.most_severe records in
+      let sv = Stats.severe records in
+      Buffer.add_string b
+        (Printf.sprintf "most severe: %d   severe (fsck): %d\n" (List.length ms)
+           (List.length sv));
+      List.iteri
+        (fun i r ->
+          let t = r.Experiment.r_target in
+          let detail =
+            match r.Experiment.r_outcome with
+            | Outcome.Crash c ->
+              Printf.sprintf "crash: %s at %08lx" (Outcome.cause_name c.Outcome.cause)
+                c.Outcome.crash_eip
+            | Outcome.Hang _ -> "hang"
+            | Outcome.Fail_silence_violation (why, _) -> "no crash, but " ^ why
+            | _ -> ""
+          in
+          Buffer.add_string b
+            (Printf.sprintf "%2d. campaign %s  %s: %s (+0x%x bit %d)  %s\n" (i + 1)
+               (Target.campaign_letter r.Experiment.r_campaign)
+               t.Target.t_subsys t.Target.t_fn t.Target.t_byte t.Target.t_bit detail))
+        ms)
+
+(* ----- Table 4 header ----- *)
+let table4 =
+  String.concat "\n"
+    [
+      "Table 4: Fault Injection Campaigns";
+      line;
+      "A - Any Random Error:          random bit in each byte of non-branch instructions";
+      "B - Random Branch Error:       random bit in each byte of conditional branches";
+      "C - Valid but Incorrect Branch: the bit that reverses the branch condition";
+      "";
+    ]
+
+(* full report *)
+let full ~build ~profile ~core records =
+  String.concat "\n"
+    [
+      table1 profile ~core;
+      profile_detail profile ~core;
+      fig1 build;
+      table4;
+      fig4 records;
+      crash_concentration records;
+      fig6 records;
+      fig7 records;
+      fig8 records;
+      table5 records;
+    ]

@@ -1,0 +1,44 @@
+(** ASCII renderings of every table and figure of the paper's
+    evaluation section. *)
+
+open Kfi_injector
+
+val table1 : Kfi_profiler.Sampler.profile -> core:(string * int) list -> string
+(** Table 1: function distribution among kernel modules and the core-set
+    contribution. *)
+
+val profile_detail : Kfi_profiler.Sampler.profile -> core:(string * int) list -> string
+(** The core functions with sample counts and driving workloads. *)
+
+val fig1 : Kfi_kernel.Build.t -> string
+(** Figure 1: subsystem sizes. *)
+
+val table4 : string
+(** Table 4: the campaign definitions. *)
+
+val fig4_campaign : Experiment.record list -> Target.campaign -> string
+val fig4 : Experiment.record list -> string
+(** Figure 4: activation and failure distribution per campaign. *)
+
+val crash_concentration : Experiment.record list -> string
+(** The top crash-causing functions per subsystem (Section 6.1). *)
+
+val fig6 : Experiment.record list -> string
+(** Figure 6: crash-cause distribution per campaign. *)
+
+val fig7 : Experiment.record list -> string
+(** Figure 7: crash-latency histograms per subsystem per campaign. *)
+
+val fig8 : Experiment.record list -> string
+(** Figure 8: error-propagation graphs. *)
+
+val table5 : Experiment.record list -> string
+(** Table 5: the most severe crashes. *)
+
+val full :
+  build:Kfi_kernel.Build.t ->
+  profile:Kfi_profiler.Sampler.profile ->
+  core:(string * int) list ->
+  Experiment.record list ->
+  string
+(** The whole report in paper order. *)

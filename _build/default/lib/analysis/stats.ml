@@ -1,0 +1,221 @@
+(* Aggregation of injection records into the paper's measures. *)
+
+open Kfi_injector
+
+let subsystems = Experiment.injectable_subsystems
+
+let records_of ~campaign records =
+  List.filter (fun r -> r.Experiment.r_campaign = campaign) records
+
+let by_subsystem records =
+  List.map
+    (fun s ->
+      (s, List.filter (fun r -> r.Experiment.r_target.Target.t_subsys = s) records))
+    subsystems
+
+(* Figure 4 row: injected / activated / not-manifested / fsv / crash+hang *)
+type fig4_row = {
+  f4_subsys : string;
+  f4_fns : int;
+  f4_injected : int;
+  f4_activated : int;
+  f4_not_manifested : int;
+  f4_fsv : int;
+  f4_crash_hang : int;
+}
+
+let count p l = List.length (List.filter p l)
+
+let fig4_row subsys records =
+  let fns =
+    List.sort_uniq compare
+      (List.map (fun r -> r.Experiment.r_target.Target.t_fn) records)
+  in
+  let activated = List.filter (fun r -> Outcome.is_activated r.Experiment.r_outcome) records in
+  {
+    f4_subsys = subsys;
+    f4_fns = List.length fns;
+    f4_injected = List.length records;
+    f4_activated = List.length activated;
+    f4_not_manifested =
+      count (fun r -> r.Experiment.r_outcome = Outcome.Not_manifested) activated;
+    f4_fsv =
+      count
+        (fun r ->
+          match r.Experiment.r_outcome with
+          | Outcome.Fail_silence_violation _ -> true
+          | _ -> false)
+        activated;
+    f4_crash_hang = count (fun r -> Outcome.is_crash_or_hang r.Experiment.r_outcome) activated;
+  }
+
+let fig4_rows records =
+  let rows = List.map (fun (s, rs) -> fig4_row s rs) (by_subsystem records) in
+  let total = fig4_row "Total" records in
+  (rows, total)
+
+(* overall outcome pie over activated errors *)
+type pie = {
+  p_not_manifested : int;
+  p_fsv : int;
+  p_dumped_crash : int;
+  p_hang_unknown : int; (* watchdog hangs + undumped crashes *)
+}
+
+let outcome_pie records =
+  let activated = List.filter (fun r -> Outcome.is_activated r.Experiment.r_outcome) records in
+  List.fold_left
+    (fun p r ->
+      match r.Experiment.r_outcome with
+      | Outcome.Not_manifested -> { p with p_not_manifested = p.p_not_manifested + 1 }
+      | Outcome.Fail_silence_violation _ -> { p with p_fsv = p.p_fsv + 1 }
+      | Outcome.Crash { dumped = true; _ } -> { p with p_dumped_crash = p.p_dumped_crash + 1 }
+      | Outcome.Crash { dumped = false; _ } | Outcome.Hang _ ->
+        { p with p_hang_unknown = p.p_hang_unknown + 1 }
+      | Outcome.Not_activated -> p)
+    { p_not_manifested = 0; p_fsv = 0; p_dumped_crash = 0; p_hang_unknown = 0 }
+    activated
+
+(* Figure 6: crash causes of dumped crashes *)
+let crash_causes records =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      match r.Experiment.r_outcome with
+      | Outcome.Crash ({ dumped = true; _ } as c) ->
+        let k = Outcome.cause_name c.Outcome.cause in
+        Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+      | _ -> ())
+    records;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+(* Figure 7: crash latency histogram *)
+let latency_buckets = [ 10; 100; 1_000; 10_000; 100_000 ]
+
+let bucket_label i =
+  match i with
+  | 0 -> "<10"
+  | 1 -> "10-100"
+  | 2 -> "100-1k"
+  | 3 -> "1k-10k"
+  | 4 -> "10k-100k"
+  | _ -> ">100k"
+
+let bucket_of latency =
+  let rec go i = function
+    | [] -> i
+    | b :: tl -> if latency < b then i else go (i + 1) tl
+  in
+  go 0 latency_buckets
+
+let latency_histogram records =
+  let h = Array.make (List.length latency_buckets + 1) 0 in
+  List.iter
+    (fun r ->
+      match r.Experiment.r_outcome with
+      | Outcome.Crash c -> h.(bucket_of c.Outcome.latency) <- h.(bucket_of c.Outcome.latency) + 1
+      | _ -> ())
+    records;
+  h
+
+let latencies records =
+  List.filter_map
+    (fun r ->
+      match r.Experiment.r_outcome with
+      | Outcome.Crash c -> Some c.Outcome.latency
+      | _ -> None)
+    records
+
+(* Figure 8: propagation — crashes grouped by (injected subsystem,
+   crashing subsystem) *)
+let propagation records ~from_subsys =
+  let crashes =
+    List.filter_map
+      (fun r ->
+        match r.Experiment.r_outcome with
+        | Outcome.Crash c when r.Experiment.r_target.Target.t_subsys = from_subsys ->
+          Some (Option.value ~default:"unknown" c.Outcome.crash_subsys, c)
+        | _ -> None)
+      records
+  in
+  let total = List.length crashes in
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun (dst, c) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt groups dst) in
+      Hashtbl.replace groups dst (c :: cur))
+    crashes;
+  ( total,
+    Hashtbl.fold (fun dst cs acc -> (dst, List.length cs, cs) :: acc) groups []
+    |> List.sort (fun (_, a, _) (_, b, _) -> compare b a) )
+
+let propagation_rate records =
+  let crashes =
+    List.filter_map
+      (fun r ->
+        match r.Experiment.r_outcome with
+        | Outcome.Crash c ->
+          Some (r.Experiment.r_target.Target.t_subsys, c.Outcome.crash_subsys)
+        | _ -> None)
+      records
+  in
+  let total = List.length crashes in
+  let propagated =
+    count (fun (src, dst) -> match dst with Some d -> d <> src | None -> false) crashes
+  in
+  (propagated, total)
+
+(* Table 5: the most severe crashes *)
+let most_severe records =
+  List.filter
+    (fun r ->
+      match r.Experiment.r_outcome with
+      | Outcome.Crash { severity = Outcome.Most_severe; _ }
+      | Outcome.Hang Outcome.Most_severe
+      | Outcome.Fail_silence_violation (_, Outcome.Most_severe) -> true
+      | _ -> false)
+    records
+
+let severe records =
+  List.filter
+    (fun r ->
+      match r.Experiment.r_outcome with
+      | Outcome.Crash { severity = Outcome.Severe; _ }
+      | Outcome.Hang Outcome.Severe
+      | Outcome.Fail_silence_violation (_, Outcome.Severe) -> true
+      | _ -> false)
+    records
+
+(* Which injected functions concentrate the crashes of each subsystem
+   (the paper's "do_page_fault / schedule / zap_page_range account for
+   70/50/30% of crashes in their subsystems" observation). *)
+let crash_concentration records =
+  List.filter_map
+    (fun s ->
+      let crashes =
+        List.filter
+          (fun r ->
+            r.Experiment.r_target.Target.t_subsys = s
+            && Outcome.is_crash_or_hang r.Experiment.r_outcome)
+          records
+      in
+      let total = List.length crashes in
+      if total = 0 then None
+      else begin
+        let per_fn = Hashtbl.create 16 in
+        List.iter
+          (fun r ->
+            let fn = r.Experiment.r_target.Target.t_fn in
+            Hashtbl.replace per_fn fn
+              (1 + Option.value ~default:0 (Hashtbl.find_opt per_fn fn)))
+          crashes;
+        let ranked =
+          Hashtbl.fold (fun fn n acc -> (fn, n) :: acc) per_fn []
+          |> List.sort (fun (_, a) (_, b) -> compare b a)
+        in
+        Some (s, total, ranked)
+      end)
+    subsystems
+
+let pct n total = if total = 0 then 0.0 else 100.0 *. float_of_int n /. float_of_int total

@@ -1,0 +1,77 @@
+(** Aggregation of injection records into the paper's measures. *)
+
+open Kfi_injector
+
+val subsystems : string list
+(** arch, fs, kernel, mm. *)
+
+val records_of : campaign:Target.campaign -> Experiment.record list -> Experiment.record list
+
+val by_subsystem :
+  Experiment.record list -> (string * Experiment.record list) list
+
+(** One row of the paper's Figure 4 tables. *)
+type fig4_row = {
+  f4_subsys : string;
+  f4_fns : int;           (** distinct functions injected *)
+  f4_injected : int;
+  f4_activated : int;
+  f4_not_manifested : int;
+  f4_fsv : int;
+  f4_crash_hang : int;
+}
+
+val count : ('a -> bool) -> 'a list -> int
+val fig4_row : string -> Experiment.record list -> fig4_row
+
+val fig4_rows : Experiment.record list -> fig4_row list * fig4_row
+(** Per-subsystem rows plus the Total row. *)
+
+(** The Figure 4 pie: the four outcome classes over activated errors. *)
+type pie = {
+  p_not_manifested : int;
+  p_fsv : int;
+  p_dumped_crash : int;
+  p_hang_unknown : int; (** watchdog hangs + crashes whose dump failed *)
+}
+
+val outcome_pie : Experiment.record list -> pie
+
+val crash_causes : Experiment.record list -> (string * int) list
+(** Figure 6: cause -> count over dumped crashes, descending. *)
+
+val latency_buckets : int list
+(** Figure 7 bucket upper bounds (cycles): 10, 100, 1k, 10k, 100k. *)
+
+val bucket_label : int -> string
+val bucket_of : int -> int
+
+val latency_histogram : Experiment.record list -> int array
+(** Crash counts per latency bucket. *)
+
+val latencies : Experiment.record list -> int list
+
+val propagation :
+  Experiment.record list ->
+  from_subsys:string ->
+  int * (string * int * Outcome.crash_info list) list
+(** Figure 8: crashes of errors injected in one subsystem, grouped by the
+    subsystem they crashed in (count + cause details), descending. *)
+
+val propagation_rate : Experiment.record list -> int * int
+(** (crashes that crossed subsystems, all crashes) — the paper's "<10%
+    of crashes are associated with fault propagation" measure. *)
+
+val most_severe : Experiment.record list -> Experiment.record list
+(** Table 5: outcomes requiring a reformat. *)
+
+val severe : Experiment.record list -> Experiment.record list
+(** Outcomes requiring interactive fsck. *)
+
+val crash_concentration :
+  Experiment.record list -> (string * int * (string * int) list) list
+(** Per subsystem: total crashes and the per-function ranking (the
+    paper's "three functions cause 70/50/30% of their subsystems'
+    crashes" observation). *)
+
+val pct : int -> int -> float

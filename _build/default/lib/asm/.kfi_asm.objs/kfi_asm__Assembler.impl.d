@@ -1,0 +1,1 @@
+lib/asm/assembler.ml: Array Buffer Bytes Encode Hashtbl Insn Int32 Kfi_isa List String

@@ -1,0 +1,1 @@
+lib/asm/assembler.mli: Bytes Hashtbl Insn Kfi_isa

@@ -1,0 +1,1 @@
+lib/asm/listing.ml: Assembler Buffer Disasm Insn Int32 Kfi_isa List Printf

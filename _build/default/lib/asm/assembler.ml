@@ -1,0 +1,214 @@
+(* Two-pass assembler with branch relaxation.
+
+   Conditional branches assemble to the short form (0x7c rel8) when the
+   target is near and the long form (0x0f 0x8c rel32) otherwise, like a real
+   x86 assembler.  This matters to the study: the paper's campaign C flips
+   the condition bit of both forms, and its case studies feature short-form
+   branches (Table 6).
+
+   Besides the raw code the assembler returns per-instruction metadata
+   (offset, length, decoded instruction) — the injector's target list — and
+   function extents recorded via {!Fn_start}/{!Fn_end} markers. *)
+
+open Kfi_isa
+
+type item =
+  | Label of string
+  | Ins of Insn.t
+  | Ins_sym of (int32 -> Insn.t) * string
+      (* an instruction embedding the absolute address of a symbol; the
+         constructor must yield the same length for any address >= 0x1000 *)
+  | Call_sym of string
+  | Jmp_sym of string
+  | Jcc_sym of Insn.cond * string
+  | Align of int
+  | Bytes_ of string
+  | Zeros of int
+  | Word32 of int32
+  | Word32_sym of string
+  | Fn_start of string * string (* function name, subsystem *)
+  | Fn_end of string
+
+type insn_info = {
+  i_off : int;           (* offset from [base] *)
+  i_len : int;
+  i_insn : Insn.t;
+  i_fn : string option;  (* enclosing function, if any *)
+}
+
+type fn_info = {
+  f_name : string;
+  f_subsys : string;
+  f_off : int;
+  f_size : int;
+}
+
+type result = {
+  code : Bytes.t;
+  base : int32;
+  symbols : (string, int32) Hashtbl.t;
+  insns : insn_info list;
+  fns : fn_info list;
+}
+
+exception Undefined_symbol of string
+exception Duplicate_symbol of string
+
+let dummy_addr = 0x0C0DE000l
+
+let item_size ~wide idx = function
+  | Label _ | Fn_start _ | Fn_end _ -> 0
+  | Ins i -> Encode.length i
+  | Ins_sym (f, _) -> Encode.length (f dummy_addr)
+  | Call_sym _ -> 5
+  | Jmp_sym _ -> if wide.(idx) then 5 else 2
+  | Jcc_sym _ -> if wide.(idx) then 6 else 2
+  | Align n -> n (* upper bound; refined during layout *)
+  | Bytes_ s -> String.length s
+  | Zeros n -> n
+  | Word32 _ -> 4
+  | Word32_sym _ -> 4
+
+(* Compute item offsets for the current relaxation state. *)
+let layout ~wide items =
+  let n = Array.length items in
+  let offs = Array.make (n + 1) 0 in
+  let off = ref 0 in
+  for i = 0 to n - 1 do
+    offs.(i) <- !off;
+    (match items.(i) with
+     | Align a ->
+       let rem = !off mod a in
+       if rem <> 0 then off := !off + (a - rem)
+     | it -> off := !off + item_size ~wide i it)
+  done;
+  offs.(n) <- !off;
+  offs
+
+let collect_symbols items offs =
+  let tbl = Hashtbl.create 256 in
+  let add name off =
+    if Hashtbl.mem tbl name then raise (Duplicate_symbol name);
+    Hashtbl.replace tbl name off
+  in
+  Array.iteri
+    (fun i it ->
+      match it with
+      | Label name | Fn_start (name, _) -> add name offs.(i)
+      | _ -> ())
+    items;
+  tbl
+
+let fits_i8 v = v >= -128 && v <= 127
+
+let assemble ~base items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let wide = Array.make n false in
+  (* Relax branches to a fixpoint (widening is monotone). *)
+  let rec relax () =
+    let offs = layout ~wide items in
+    let syms = collect_symbols items offs in
+    let changed = ref false in
+    Array.iteri
+      (fun i it ->
+        match it with
+        | Jmp_sym s | Jcc_sym (_, s) when not wide.(i) ->
+          (match Hashtbl.find_opt syms s with
+           | None -> raise (Undefined_symbol s)
+           | Some target ->
+             let rel = target - (offs.(i) + 2) in
+             if not (fits_i8 rel) then begin
+               wide.(i) <- true;
+               changed := true
+             end)
+        | _ -> ())
+      items;
+    if !changed then relax () else (offs, syms)
+  in
+  let offs, syms = relax () in
+  let total = offs.(n) in
+  let sym_addr name =
+    match Hashtbl.find_opt syms name with
+    | None -> raise (Undefined_symbol name)
+    | Some off -> Int32.add base (Int32.of_int off)
+  in
+  let buf = Buffer.create total in
+  let insns = ref [] in
+  let fns = ref [] in
+  let fn_starts = Hashtbl.create 64 in
+  let current_fn = ref None in
+  let record_insn off insn len =
+    insns := { i_off = off; i_len = len; i_insn = insn; i_fn = !current_fn } :: !insns
+  in
+  let emit_insn off insn =
+    let b = Encode.encode insn in
+    Buffer.add_bytes buf b;
+    record_insn off insn (Bytes.length b)
+  in
+  Array.iteri
+    (fun i it ->
+      let off = offs.(i) in
+      (* pad up to this item's position (alignment) *)
+      while Buffer.length buf < off do
+        Buffer.add_char buf '\x90'
+      done;
+      match it with
+      | Label _ -> ()
+      | Fn_start (name, subsys) ->
+        Hashtbl.replace fn_starts name (off, subsys);
+        current_fn := Some name
+      | Fn_end name ->
+        (match Hashtbl.find_opt fn_starts name with
+         | Some (start, subsys) ->
+           fns := { f_name = name; f_subsys = subsys; f_off = start; f_size = off - start } :: !fns
+         | None -> invalid_arg ("Fn_end without Fn_start: " ^ name));
+        current_fn := None
+      | Ins insn -> emit_insn off insn
+      | Ins_sym (f, s) ->
+        let insn = f (sym_addr s) in
+        let b = Encode.encode insn in
+        if Bytes.length b <> Encode.length (f dummy_addr) then
+          invalid_arg ("Ins_sym length depends on symbol value: " ^ s);
+        Buffer.add_bytes buf b;
+        record_insn off insn (Bytes.length b)
+      | Call_sym s ->
+        let target = Int32.to_int (sym_addr s) - Int32.to_int base in
+        emit_insn off (Insn.Call (Int32.of_int (target - (off + 5))))
+      | Jmp_sym s ->
+        let target = Int32.to_int (sym_addr s) - Int32.to_int base in
+        if wide.(i) then emit_insn off (Insn.Jmp (Int32.of_int (target - (off + 5))))
+        else emit_insn off (Insn.Jmp8 (Int32.of_int (target - (off + 2))))
+      | Jcc_sym (c, s) ->
+        let target = Int32.to_int (sym_addr s) - Int32.to_int base in
+        if wide.(i) then emit_insn off (Insn.Jcc (c, Int32.of_int (target - (off + 6))))
+        else emit_insn off (Insn.Jcc8 (c, Int32.of_int (target - (off + 2))))
+      | Align _ -> () (* padding handled above via offsets *)
+      | Bytes_ s -> Buffer.add_string buf s
+      | Zeros z -> Buffer.add_string buf (String.make z '\000')
+      | Word32 v ->
+        let b = Bytes.create 4 in
+        Bytes.set_int32_le b 0 v;
+        Buffer.add_bytes buf b
+      | Word32_sym s ->
+        let b = Bytes.create 4 in
+        Bytes.set_int32_le b 0 (sym_addr s);
+        Buffer.add_bytes buf b)
+    items;
+  while Buffer.length buf < total do
+    Buffer.add_char buf '\x90'
+  done;
+  let symbols = Hashtbl.create (Hashtbl.length syms) in
+  Hashtbl.iter (fun k off -> Hashtbl.replace symbols k (Int32.add base (Int32.of_int off))) syms;
+  {
+    code = Buffer.to_bytes buf;
+    base;
+    symbols;
+    insns = List.rev !insns;
+    fns = List.rev !fns;
+  }
+
+let symbol result name =
+  match Hashtbl.find_opt result.symbols name with
+  | None -> raise (Undefined_symbol name)
+  | Some a -> a

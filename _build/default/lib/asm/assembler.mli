@@ -1,0 +1,63 @@
+(** Two-pass assembler with branch relaxation.
+
+    Conditional branches assemble to the short form ([0x74 rel8]) when
+    the target is near and the long form ([0x0f 0x84 rel32]) otherwise,
+    like a real x86 assembler — campaign C flips the condition bit of
+    either form, and the paper's case studies feature both.
+
+    Besides raw code, assembly returns per-instruction metadata (the
+    injector's target list) and function extents recorded via
+    {!Fn_start}/{!Fn_end} markers. *)
+
+open Kfi_isa
+
+(** One assembly item. *)
+type item =
+  | Label of string
+  | Ins of Insn.t
+  | Ins_sym of (int32 -> Insn.t) * string
+      (** an instruction embedding the absolute address of a symbol; the
+          constructor must yield the same encoded length for any address
+          >= 0x1000 *)
+  | Call_sym of string
+  | Jmp_sym of string           (** relaxed: short or long form *)
+  | Jcc_sym of Insn.cond * string (** relaxed: short or long form *)
+  | Align of int
+  | Bytes_ of string            (** raw data *)
+  | Zeros of int
+  | Word32 of int32
+  | Word32_sym of string        (** a 32-bit cell holding a symbol address *)
+  | Fn_start of string * string (** function name and subsystem tag *)
+  | Fn_end of string
+
+type insn_info = {
+  i_off : int;          (** offset from the image base *)
+  i_len : int;
+  i_insn : Insn.t;
+  i_fn : string option; (** enclosing function, if any *)
+}
+
+type fn_info = {
+  f_name : string;
+  f_subsys : string;
+  f_off : int;
+  f_size : int;
+}
+
+type result = {
+  code : Bytes.t;
+  base : int32;
+  symbols : (string, int32) Hashtbl.t; (** absolute addresses *)
+  insns : insn_info list;              (** in layout order *)
+  fns : fn_info list;
+}
+
+exception Undefined_symbol of string
+exception Duplicate_symbol of string
+
+val assemble : base:int32 -> item list -> result
+(** Lay out and encode the items at virtual address [base].
+    @raise Undefined_symbol / Duplicate_symbol on bad symbol usage. *)
+
+val symbol : result -> string -> int32
+(** Absolute address of a symbol.  @raise Undefined_symbol. *)

@@ -1,0 +1,60 @@
+(* Annotated assembly listings: addresses, raw bytes, mnemonics, grouped
+   under function headers — the kernel "objdump -d" used by the examples
+   and handy when reading injection targets. *)
+
+open Kfi_isa
+
+let u32 v = Int32.to_int v land 0xFFFFFFFF
+
+(* List one function of an assembled image. *)
+let of_function (r : Assembler.result) name =
+  match List.find_opt (fun f -> f.Assembler.f_name = name) r.Assembler.fns with
+  | None -> None
+  | Some f ->
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf "%08x <%s>:  (%s, %d bytes)\n"
+         (u32 r.Assembler.base + f.Assembler.f_off)
+         f.Assembler.f_name f.Assembler.f_subsys f.Assembler.f_size);
+    Buffer.add_string buf
+      (Disasm.range ~base:r.Assembler.base r.Assembler.code ~off:f.Assembler.f_off
+         ~len:f.Assembler.f_size);
+    Some (Buffer.contents buf)
+
+(* The whole image, function by function, in layout order. *)
+let of_result (r : Assembler.result) =
+  let buf = Buffer.create 65536 in
+  List.iter
+    (fun f ->
+      match of_function r f.Assembler.f_name with
+      | Some s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n'
+      | None -> ())
+    (List.sort
+       (fun a b -> compare a.Assembler.f_off b.Assembler.f_off)
+       r.Assembler.fns);
+  Buffer.contents buf
+
+(* Summary line per function: address, size, subsystem, instruction and
+   conditional-branch counts (the raw material of Table 4's campaigns). *)
+let function_summary (r : Assembler.result) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-28s %-8s %10s %6s %6s %8s\n" "function" "subsys" "address"
+       "bytes" "insns" "branches");
+  List.iter
+    (fun f ->
+      let insns =
+        List.filter (fun i -> i.Assembler.i_fn = Some f.Assembler.f_name) r.Assembler.insns
+      in
+      let branches =
+        List.length (List.filter (fun i -> Insn.is_conditional_branch i.Assembler.i_insn) insns)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-28s %-8s %10x %6d %6d %8d\n" f.Assembler.f_name
+           f.Assembler.f_subsys
+           (u32 r.Assembler.base + f.Assembler.f_off)
+           f.Assembler.f_size (List.length insns) branches))
+    (List.sort (fun a b -> compare a.Assembler.f_off b.Assembler.f_off) r.Assembler.fns);
+  Buffer.contents buf

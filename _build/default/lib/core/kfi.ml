@@ -1,0 +1,88 @@
+(* kfi — characterization of (simulated) Linux kernel behavior under
+   errors.  Reproduction of Gu, Kalbarczyk, Iyer & Yang, DSN 2003.
+
+   This module is the public face of the library.  A typical study:
+
+   {[
+     let study = Kfi.Study.prepare () in
+     let records = Kfi.Study.run_campaigns study ~subsample:10 () in
+     print_string (Kfi.Study.report study records)
+   ]}
+
+   The sub-libraries remain available for finer control:
+   - {!Kfi_isa}: the IA-32-like machine simulator,
+   - {!Kfi_asm} / {!Kfi_kcc}: assembler and C-like kernel compiler,
+   - {!Kfi_kernel}: the miniature Linux-like kernel (arch/fs/kernel/mm),
+   - {!Kfi_fsimage}: mkfs / fsck for the ext2-lite disk format,
+   - {!Kfi_workload}: the UnixBench-like workload programs,
+   - {!Kfi_profiler}: kernprof-style PC-sampling profiler,
+   - {!Kfi_injector}: campaigns, targets, runner, outcome classification,
+   - {!Kfi_analysis}: aggregation and table/figure rendering. *)
+
+module Isa = Kfi_isa
+module Asm = Kfi_asm
+module Kcc = Kfi_kcc
+module Kernel = Kfi_kernel
+module Fsimage = Kfi_fsimage
+module Workload = Kfi_workload
+module Profiler = Kfi_profiler
+module Injector = Kfi_injector
+module Analysis = Kfi_analysis
+
+(* Re-exports of the most used types *)
+module Campaign = struct
+  type t = Kfi_injector.Target.campaign = A | B | C | R
+end
+
+module Study = struct
+  type t = {
+    runner : Kfi_injector.Runner.t;
+    profile : Kfi_profiler.Sampler.profile;
+    core : (string * int) list; (* top functions (>= 95% of samples) *)
+  }
+
+  (* Boot the kernel, take the baseline snapshot, record golden runs and
+     profile the workloads.  Everything an injection study needs. *)
+  let prepare ?max_cycles () =
+    let runner = Kfi_injector.Runner.create ?max_cycles () in
+    let profile =
+      Kfi_profiler.Sampler.profile_all
+        ~build:runner.Kfi_injector.Runner.build
+        ~machine:runner.Kfi_injector.Runner.machine
+        ~baseline:runner.Kfi_injector.Runner.baseline ()
+    in
+    let core = Kfi_profiler.Sampler.top_functions profile ~coverage:0.95 in
+    { runner; profile; core }
+
+  let build t = t.runner.Kfi_injector.Runner.build
+
+  let run_campaign ?subsample ?seed ?hardening ?on_progress t campaign =
+    Kfi_injector.Experiment.run_campaign ?subsample ?seed ?hardening ?on_progress t.runner
+      t.profile campaign
+
+  let run_campaigns ?subsample ?seed ?hardening ?on_progress t () =
+    Kfi_injector.Experiment.run_all ?subsample ?seed ?hardening ?on_progress t.runner
+      t.profile
+
+  let report t records =
+    Kfi_analysis.Report.full ~build:(build t) ~profile:t.profile ~core:t.core records
+
+  let to_csv = Kfi_injector.Experiment.to_csv
+end
+
+(* Convenience: boot and run one workload, returning (exit code, console). *)
+let boot_and_run ?(max_cycles = 20_000_000) workload =
+  let disk_image = Kfi_fsimage.Mkfs.create (Kfi_workload.Progs.fs_files ()) in
+  let wl = Kfi_workload.Progs.index_of workload in
+  let m, _ = Kfi_kernel.Build.boot_machine ~workload:wl ~disk_image () in
+  let result =
+    match Kfi_isa.Machine.run m ~max_cycles with
+    | Kfi_isa.Machine.Snapshot_point -> Kfi_isa.Machine.run m ~max_cycles
+    | other -> other
+  in
+  let code =
+    match result with
+    | Kfi_isa.Machine.Powered_off c -> c
+    | _ -> -1
+  in
+  (code, Kfi_isa.Machine.console_contents m)

@@ -1,0 +1,1 @@
+lib/fsimage/fsck.ml: Array Bytes Char Digest Int32 Kfi_kernel List Printf String

@@ -1,0 +1,1 @@
+lib/fsimage/fsck.mli: Digest

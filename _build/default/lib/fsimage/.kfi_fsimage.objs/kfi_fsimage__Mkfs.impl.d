@@ -1,0 +1,1 @@
+lib/fsimage/mkfs.ml: Bytes Char Filename Hashtbl Int32 Kfi_kernel List String

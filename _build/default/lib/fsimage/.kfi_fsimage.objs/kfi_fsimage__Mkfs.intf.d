@@ -1,0 +1,1 @@
+lib/fsimage/mkfs.mli:

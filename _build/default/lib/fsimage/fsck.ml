@@ -1,0 +1,241 @@
+(* Host-side fsck: classifies post-crash disk damage into the paper's
+   three crash-severity levels (Section 7.1):
+   - [Clean]          -> "normal"      (automatic reboot)
+   - [Repairable]     -> "severe"      (interactive fsck, > 5 minutes)
+   - [Unrecoverable]  -> "most severe" (reformat + reinstall, ~1 hour)
+
+   A manifest of system files (the /bin binaries) stands in for "the OS can
+   boot again": a damaged or missing system binary is unrecoverable, like
+   the paper's truncated-libc and corrupted-executable cases (Table 5
+   cases 1 and 9). *)
+
+module L = Kfi_kernel.Layout
+
+type severity =
+  | Clean
+  | Repairable of string list (* fixable inconsistencies found *)
+  | Unrecoverable of string   (* why a reformat is needed *)
+
+let bs = L.block_size
+
+exception Unrecov of string
+
+let rd32 img off =
+  if off < 0 || off + 4 > Bytes.length img then raise (Unrecov "image truncated")
+  else Int32.to_int (Bytes.get_int32_le img off) land 0xFFFFFFFF
+
+let block_off b = b * bs
+let inode_off ino = block_off L.fs_itable_start + ((ino - 1) * L.disk_inode_size)
+
+let get_bit img block bit =
+  let off = block_off block + (bit / 8) in
+  Char.code (Bytes.get img off) land (1 lsl (bit mod 8)) <> 0
+
+type state = {
+  img : Bytes.t;
+  problems : string list ref;
+  block_refs : int array; (* reference count per block *)
+  inode_seen : bool array;
+  dirent_refs : int array; (* directory references per inode *)
+}
+
+let problem st fmt = Printf.ksprintf (fun s -> st.problems := s :: !(st.problems)) fmt
+
+let data_block_ok b = b >= L.fs_data_start && b < L.fs_nblocks
+
+(* Collect the block list of an inode, validating pointers. *)
+let inode_blocks st ino =
+  let ioff = inode_off ino in
+  let size = rd32 st.img (ioff + L.d_size) in
+  let nblocks = (size + bs - 1) / bs in
+  let blocks = ref [] in
+  let take ctx b =
+    if b <> 0 then begin
+      if not (data_block_ok b) then
+        raise (Unrecov (Printf.sprintf "inode %d: %s block pointer %d out of range" ino ctx b))
+      else blocks := b :: !blocks
+    end
+  in
+  for n = 0 to min (nblocks - 1) (L.nr_direct - 1) do
+    take "direct" (rd32 st.img (ioff + L.d_blocks + (n * 4)))
+  done;
+  let indirect = rd32 st.img (ioff + L.d_indirect) in
+  if indirect <> 0 then begin
+    if not (data_block_ok indirect) then
+      raise (Unrecov (Printf.sprintf "inode %d: indirect pointer %d out of range" ino indirect));
+    blocks := indirect :: !blocks;
+    if nblocks > L.nr_direct then
+      for n = 0 to nblocks - L.nr_direct - 1 do
+        take "indirect" (rd32 st.img (block_off indirect + (n * 4)))
+      done
+  end
+  else if nblocks > L.nr_direct then
+    problem st "inode %d: size %d needs an indirect block but has none" ino size;
+  (size, List.rev !blocks)
+
+let inode_mode st ino = rd32 st.img (inode_off ino + L.d_mode)
+
+let ref_blocks st ino =
+  let _, blocks = inode_blocks st ino in
+  List.iter
+    (fun b ->
+      st.block_refs.(b) <- st.block_refs.(b) + 1;
+      if st.block_refs.(b) > 1 then problem st "block %d multiply referenced" b)
+    blocks
+
+(* Walk the directory tree from the root. *)
+let rec walk_dir st ~depth ino =
+  if depth > 16 then raise (Unrecov "directory tree too deep (cycle?)");
+  if st.inode_seen.(ino) then problem st "inode %d reached twice" ino
+  else begin
+    st.inode_seen.(ino) <- true;
+    ref_blocks st ino;
+    let size, blocks = inode_blocks st ino in
+    let nentries = size / L.dirent_size in
+    let entry_of i =
+      let block_idx = i * L.dirent_size / bs in
+      match List.nth_opt blocks block_idx with
+      | None -> None
+      | Some b -> Some (block_off b + (i * L.dirent_size mod bs))
+    in
+    for i = 0 to nentries - 1 do
+      match entry_of i with
+      | None -> problem st "directory inode %d: entry %d beyond mapped blocks" ino i
+      | Some eoff ->
+        let child = rd32 st.img eoff in
+        if child <> 0 then begin
+          if child >= L.fs_ninodes then
+            raise (Unrecov (Printf.sprintf "dirent points to bad inode %d" child))
+          else begin
+            st.dirent_refs.(child) <- st.dirent_refs.(child) + 1;
+            if not (get_bit st.img L.fs_inode_bitmap child) then
+              problem st "dirent to unallocated inode %d" child
+            else begin
+              match inode_mode st child with
+              | m when m = L.mode_dir ->
+                if st.dirent_refs.(child) > 1 then
+                  problem st "directory inode %d linked twice" child
+                else walk_dir st ~depth:(depth + 1) child
+              | m when m = L.mode_reg ->
+                if not st.inode_seen.(child) then begin
+                  st.inode_seen.(child) <- true;
+                  ref_blocks st child
+                end
+              | m -> problem st "inode %d has bad mode %d" child m
+            end
+          end
+        end
+    done
+  end
+
+(* Resolve [path] to an inode by walking the on-disk structures. *)
+let lookup st path =
+  let parts = String.split_on_char '/' path |> List.filter (fun s -> s <> "") in
+  let find_in dir name =
+    let size, blocks = inode_blocks st dir in
+    let nentries = size / L.dirent_size in
+    let rec go i =
+      if i >= nentries then None
+      else begin
+        let block_idx = i * L.dirent_size / bs in
+        match List.nth_opt blocks block_idx with
+        | None -> go (i + 1)
+        | Some b ->
+          let eoff = block_off b + (i * L.dirent_size mod bs) in
+          let child = rd32 st.img eoff in
+          let rec cstring off n =
+            if n >= L.dirent_name_len then n
+            else if Bytes.get st.img (off + n) = '\000' then n
+            else cstring off (n + 1)
+          in
+          let nlen = cstring (eoff + 4) 0 in
+          let ename = Bytes.sub_string st.img (eoff + 4) nlen in
+          if child <> 0 && ename = name then Some child else go (i + 1)
+      end
+    in
+    go 0
+  in
+  List.fold_left
+    (fun acc part ->
+      match acc with
+      | None -> None
+      | Some dir -> find_in dir part)
+    (Some L.root_ino) parts
+
+let read_file st ino =
+  let size, blocks = inode_blocks st ino in
+  let buf = Bytes.make size '\000' in
+  (* blocks list includes the indirect block itself for dirs; rebuild the
+     data-block order directly *)
+  let ioff = inode_off ino in
+  let nblocks = (size + bs - 1) / bs in
+  for n = 0 to nblocks - 1 do
+    let b =
+      if n < L.nr_direct then rd32 st.img (ioff + L.d_blocks + (n * 4))
+      else begin
+        let ind = rd32 st.img (ioff + L.d_indirect) in
+        if ind = 0 then 0 else rd32 st.img (block_off ind + ((n - L.nr_direct) * 4))
+      end
+    in
+    if b <> 0 && data_block_ok b then
+      Bytes.blit st.img (block_off b) buf (n * bs) (min bs (size - (n * bs)))
+  done;
+  ignore blocks;
+  buf
+
+(* [manifest] lists system files that must be intact for the machine to
+   boot again: (path, expected content digest). *)
+let check ?(manifest = []) img =
+  let st =
+    {
+      img;
+      problems = ref [];
+      block_refs = Array.make L.fs_nblocks 0;
+      inode_seen = Array.make L.fs_ninodes false;
+      dirent_refs = Array.make L.fs_ninodes 0;
+    }
+  in
+  try
+    if Bytes.length img < L.fs_nblocks * bs then raise (Unrecov "image truncated");
+    if rd32 img L.sb_magic <> L.fs_magic then raise (Unrecov "bad superblock magic");
+    if inode_mode st L.root_ino <> L.mode_dir then raise (Unrecov "root inode is not a directory");
+    walk_dir st ~depth:0 L.root_ino;
+    (* bitmap consistency *)
+    for b = L.fs_data_start to L.fs_nblocks - 1 do
+      let marked = get_bit img L.fs_block_bitmap b in
+      if st.block_refs.(b) > 0 && not marked then
+        problem st "block %d in use but free in bitmap" b;
+      if st.block_refs.(b) = 0 && marked then problem st "orphan block %d" b
+    done;
+    for ino = 1 to L.fs_ninodes - 1 do
+      let marked = get_bit img L.fs_inode_bitmap ino in
+      let referenced = st.inode_seen.(ino) || st.dirent_refs.(ino) > 0 in
+      if referenced && not marked then problem st "inode %d in use but free in bitmap" ino;
+      if (not referenced) && marked then problem st "orphan inode %d" ino;
+      (* hard-link accounting: on-disk link count must match dirents *)
+      if marked && st.dirent_refs.(ino) > 0 then begin
+        let links = rd32 img (inode_off ino + L.d_links) in
+        if links <> st.dirent_refs.(ino) then
+          problem st "inode %d link count %d but %d dirents" ino links st.dirent_refs.(ino)
+      end
+    done;
+    (* system files must be intact *)
+    List.iter
+      (fun (path, digest) ->
+        match lookup st path with
+        | None -> raise (Unrecov (Printf.sprintf "system file %s missing" path))
+        | Some ino ->
+          if Digest.bytes (read_file st ino) <> digest then
+            raise (Unrecov (Printf.sprintf "system file %s damaged" path)))
+      manifest;
+    match !(st.problems) with
+    | [] -> Clean
+    | ps -> Repairable (List.rev ps)
+  with
+  | Unrecov why -> Unrecoverable why
+  | Invalid_argument _ | Failure _ -> Unrecoverable "metadata unreadable"
+
+let severity_name = function
+  | Clean -> "normal"
+  | Repairable _ -> "severe"
+  | Unrecoverable _ -> "most severe"

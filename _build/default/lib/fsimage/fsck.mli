@@ -1,0 +1,22 @@
+(** Host-side fsck: classifies post-crash disk damage into the paper's
+    three crash-severity levels (Section 7.1). *)
+
+type severity =
+  | Clean
+      (** the "normal" level: the system reboots automatically *)
+  | Repairable of string list
+      (** the "severe" level: inconsistencies an interactive fsck could
+          repair (orphan blocks, bitmap mismatches, bad link counts, …) *)
+  | Unrecoverable of string
+      (** the "most severe" level: reformat + reinstall (destroyed
+          superblock/root/metadata, or a damaged system binary — the
+          paper's truncated-libc and corrupted-executable cases) *)
+
+val check : ?manifest:(string * Digest.t) list -> bytes -> severity
+(** Walk the on-disk structures and classify.  [manifest] lists system
+    files that must be intact for the machine to boot again
+    (path, content digest); damage to any of them is unrecoverable.
+    Never raises — unreadable metadata is itself unrecoverable. *)
+
+val severity_name : severity -> string
+(** "normal", "severe" or "most severe" (the paper's terms). *)

@@ -1,0 +1,145 @@
+(* Host-side mkfs for the ext2-lite on-disk format (see Layout for the
+   geometry).  Builds the root image the kernel mounts, with the workload
+   binaries under /bin. *)
+
+module L = Kfi_kernel.Layout
+
+let bs = L.block_size
+
+type image = {
+  data : Bytes.t;
+  mutable next_ino : int;
+  mutable next_block : int;
+}
+
+let rd32 img off = Int32.to_int (Bytes.get_int32_le img.data off) land 0xFFFFFFFF
+let wr32 img off v = Bytes.set_int32_le img.data off (Int32.of_int v)
+
+let block_off b = b * bs
+
+let set_bit img block bit =
+  let off = block_off block + (bit / 8) in
+  Bytes.set img.data off (Char.chr (Char.code (Bytes.get img.data off) lor (1 lsl (bit mod 8))))
+
+let inode_off ino =
+  block_off L.fs_itable_start + ((ino - 1) * L.disk_inode_size)
+
+let alloc_block img =
+  let b = img.next_block in
+  if b >= L.fs_nblocks then failwith "mkfs: disk full";
+  img.next_block <- b + 1;
+  set_bit img L.fs_block_bitmap b;
+  b
+
+let alloc_inode img =
+  let ino = img.next_ino in
+  if ino >= L.fs_ninodes then failwith "mkfs: out of inodes";
+  img.next_ino <- ino + 1;
+  set_bit img L.fs_inode_bitmap ino;
+  ino
+
+(* Write [content] into a fresh inode; returns nothing (inode must exist). *)
+let write_file_content img ino content =
+  let size = Bytes.length content in
+  let nblocks = (size + bs - 1) / bs in
+  if nblocks > L.nr_direct + 256 then failwith "mkfs: file too large";
+  let ioff = inode_off ino in
+  wr32 img (ioff + L.d_size) size;
+  let indirect =
+    if nblocks > L.nr_direct then begin
+      let ib = alloc_block img in
+      wr32 img (ioff + L.d_indirect) ib;
+      Some ib
+    end
+    else None
+  in
+  for n = 0 to nblocks - 1 do
+    let b = alloc_block img in
+    let len = min bs (size - (n * bs)) in
+    Bytes.blit content (n * bs) img.data (block_off b) len;
+    if n < L.nr_direct then wr32 img (ioff + L.d_blocks + (n * 4)) b
+    else
+      match indirect with
+      | Some ib -> wr32 img (block_off ib + ((n - L.nr_direct) * 4)) b
+      | None -> assert false
+  done
+
+let new_inode img ~mode =
+  let ino = alloc_inode img in
+  let ioff = inode_off ino in
+  wr32 img (ioff + L.d_mode) mode;
+  wr32 img (ioff + L.d_links) 1;
+  ino
+
+(* Append a directory entry, growing the directory as needed. *)
+let add_entry img ~dir ~name ~ino =
+  if String.length name > L.dirent_name_len - 1 then failwith ("mkfs: name too long: " ^ name);
+  let ioff = inode_off dir in
+  let size = rd32 img (ioff + L.d_size) in
+  let slot_in_block = size mod bs / L.dirent_size in
+  let block_index = size / bs in
+  let b =
+    if size mod bs = 0 then begin
+      (* need a fresh block *)
+      let b = alloc_block img in
+      if block_index >= L.nr_direct then failwith "mkfs: directory too large";
+      wr32 img (ioff + L.d_blocks + (block_index * 4)) b;
+      b
+    end
+    else rd32 img (ioff + L.d_blocks + (block_index * 4))
+  in
+  let eoff = block_off b + (slot_in_block * L.dirent_size) in
+  wr32 img eoff ino;
+  Bytes.blit_string name 0 img.data (eoff + 4) (String.length name);
+  wr32 img (ioff + L.d_size) (size + L.dirent_size)
+
+(* Create the image.  [files] maps absolute paths ("/bin/pipe") to
+   contents; intermediate directories are created automatically. *)
+let create files =
+  let img =
+    {
+      data = Bytes.make (L.fs_nblocks * bs) '\000';
+      next_ino = 1;
+      next_block = L.fs_data_start;
+    }
+  in
+  (* superblock *)
+  wr32 img L.sb_magic L.fs_magic;
+  wr32 img L.sb_nblocks L.fs_nblocks;
+  wr32 img L.sb_ninodes L.fs_ninodes;
+  wr32 img L.sb_itable_start L.fs_itable_start;
+  wr32 img L.sb_itable_blocks L.fs_itable_blocks;
+  wr32 img L.sb_data_start L.fs_data_start;
+  wr32 img L.sb_root_ino L.root_ino;
+  (* metadata blocks marked used *)
+  for b = 0 to L.fs_data_start - 1 do
+    set_bit img L.fs_block_bitmap b
+  done;
+  set_bit img L.fs_inode_bitmap 0; (* ino 0 reserved *)
+  (* root directory *)
+  let root = new_inode img ~mode:L.mode_dir in
+  assert (root = L.root_ino);
+  let dirs = Hashtbl.create 8 in
+  Hashtbl.replace dirs "/" root;
+  let rec ensure_dir path =
+    match Hashtbl.find_opt dirs path with
+    | Some ino -> ino
+    | None ->
+      let parent_path = Filename.dirname path in
+      let parent = ensure_dir parent_path in
+      let ino = new_inode img ~mode:L.mode_dir in
+      add_entry img ~dir:parent ~name:(Filename.basename path) ~ino;
+      Hashtbl.replace dirs path ino;
+      ino
+  in
+  List.iter
+    (fun (path, content) ->
+      let dir = ensure_dir (Filename.dirname path) in
+      let ino = new_inode img ~mode:L.mode_reg in
+      add_entry img ~dir ~name:(Filename.basename path) ~ino;
+      write_file_content img ino content)
+    files;
+  (* free counts *)
+  wr32 img L.sb_free_blocks (L.fs_nblocks - img.next_block);
+  wr32 img L.sb_free_inodes (L.fs_ninodes - img.next_ino);
+  img.data

@@ -1,0 +1,11 @@
+(** Host-side mkfs for the ext2-lite on-disk format.
+
+    Geometry is fixed (see {!Kfi_kernel.Layout}): 1 KB blocks, block 0
+    superblock, block 1 block-bitmap, block 2 inode-bitmap, blocks 3..18
+    the inode table, data from block 19; 64-byte inodes with 10 direct
+    pointers and one indirect block; fixed 32-byte directory entries. *)
+
+val create : (string * bytes) list -> bytes
+(** [create files] builds a root image containing [files]
+    (absolute path, contents); intermediate directories are created
+    automatically.  @raise Failure when the image overflows. *)

@@ -1,0 +1,1 @@
+lib/injector/experiment.ml: Buffer Hashtbl Int32 Kfi_asm Kfi_kernel Kfi_profiler Kfi_workload List Option Outcome Printf Runner Target

@@ -1,0 +1,1 @@
+lib/injector/experiment.mli: Kfi_profiler Outcome Runner Target

@@ -1,0 +1,1 @@
+lib/injector/outcome.ml: Int32 Kfi_fsimage Printf

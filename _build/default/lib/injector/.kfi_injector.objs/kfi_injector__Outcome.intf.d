@@ -1,0 +1,1 @@
+lib/injector/outcome.mli: Kfi_fsimage

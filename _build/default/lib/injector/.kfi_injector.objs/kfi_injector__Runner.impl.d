@@ -1,0 +1,1 @@
+lib/injector/runner.ml: Array Cpu Devices Digest Int32 Kfi_asm Kfi_fsimage Kfi_isa Kfi_kernel Kfi_workload List Machine Outcome Phys Printf String Target Trap

@@ -1,0 +1,1 @@
+lib/injector/runner.mli: Digest Kfi_isa Kfi_kernel Machine Outcome Target

@@ -1,0 +1,1 @@
+lib/injector/target.ml: Hashtbl Insn Int32 Kfi_asm Kfi_isa Kfi_kernel List Option

@@ -1,0 +1,1 @@
+lib/injector/target.mli: Insn Kfi_asm Kfi_isa Kfi_kernel

@@ -1,0 +1,48 @@
+(** Campaign orchestration: select target functions from the profile
+    (the paper's "top functions = 95% of samples" rule, widened per
+    campaign), enumerate targets, run them, export results. *)
+
+type record = {
+  r_campaign : Target.campaign;
+  r_target : Target.t;
+  r_workload : int; (** index into {!Kfi_workload.Progs.names} *)
+  r_outcome : Outcome.t;
+}
+
+val injectable_subsystems : string list
+(** The paper's four target subsystems: arch, fs, kernel, mm. *)
+
+val campaign_functions :
+  Runner.t -> Kfi_profiler.Sampler.profile -> Target.campaign -> string list
+(** The function set of a campaign: branch campaigns reach beyond the
+    core set to find enough conditional branches, as in the paper. *)
+
+val workload_for : Kfi_profiler.Sampler.profile -> Target.t -> int
+(** The driving workload for a target: half profile-matched, half
+    pseudo-random (approximating whole-suite activity). *)
+
+val run_campaign :
+  ?subsample:int ->
+  ?seed:int ->
+  ?hardening:bool ->
+  ?on_progress:(done_:int -> total:int -> unit) ->
+  Runner.t ->
+  Kfi_profiler.Sampler.profile ->
+  Target.campaign ->
+  record list
+(** Run one campaign.  [subsample] keeps every k-th target (1 = the full
+    enumeration); [seed] fixes the per-byte bit choice; [hardening]
+    enables the Section-7.4 interface assertions. *)
+
+val run_all :
+  ?subsample:int ->
+  ?seed:int ->
+  ?hardening:bool ->
+  ?on_progress:(done_:int -> total:int -> unit) ->
+  Runner.t ->
+  Kfi_profiler.Sampler.profile ->
+  record list
+(** Campaigns A, B and C in sequence. *)
+
+val to_csv : record list -> string
+(** One row per experiment, for offline analysis. *)

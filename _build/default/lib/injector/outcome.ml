@@ -1,0 +1,71 @@
+(* Outcome classification, following the paper's Table 3 (categories) and
+   Section 7 (crash causes and severity). *)
+
+type crash_cause =
+  | Null_pointer        (* unable to handle kernel NULL pointer dereference *)
+  | Paging_request      (* unable to handle kernel paging request *)
+  | Invalid_opcode
+  | General_protection
+  | Divide_error
+  | Kernel_panic
+  | Other_trap of int
+
+let cause_name = function
+  | Null_pointer -> "NULL pointer"
+  | Paging_request -> "paging request"
+  | Invalid_opcode -> "invalid opcode"
+  | General_protection -> "general protection"
+  | Divide_error -> "divide error"
+  | Kernel_panic -> "kernel panic"
+  | Other_trap v -> Printf.sprintf "trap %d" v
+
+type severity = Normal | Severe | Most_severe
+
+let severity_name = function
+  | Normal -> "normal"
+  | Severe -> "severe"
+  | Most_severe -> "most severe"
+
+let severity_of_fsck = function
+  | Kfi_fsimage.Fsck.Clean -> Normal
+  | Kfi_fsimage.Fsck.Repairable _ -> Severe
+  | Kfi_fsimage.Fsck.Unrecoverable _ -> Most_severe
+
+type crash_info = {
+  cause : crash_cause;
+  latency : int;                (* cycles from injection to crash handler *)
+  crash_fn : string option;     (* function containing the crash eip *)
+  crash_subsys : string option;
+  dumped : bool;                (* false: dump failed (triple fault) *)
+  severity : severity;
+  crash_eip : int32;
+  crash_cr2 : int32;
+}
+
+type t =
+  | Not_activated
+  | Not_manifested
+  | Fail_silence_violation of string * severity
+  | Crash of crash_info
+  | Hang of severity
+
+let category = function
+  | Not_activated -> "not activated"
+  | Not_manifested -> "not manifested"
+  | Fail_silence_violation _ -> "fail silence violation"
+  | Crash { dumped = true; _ } -> "crash (dumped)"
+  | Crash { dumped = false; _ } -> "crash (no dump)"
+  | Hang _ -> "hang"
+
+let is_activated = function Not_activated -> false | _ -> true
+
+let is_crash_or_hang = function Crash _ | Hang _ -> true | _ -> false
+
+let cause_of_dump ~vector ~cr2 =
+  match vector with
+  | 14 -> if Int32.unsigned_compare cr2 4096l < 0 then Null_pointer else Paging_request
+  | 6 -> Invalid_opcode
+  | 13 -> General_protection
+  | 0 -> Divide_error
+  | 255 -> Kernel_panic
+  | v -> Other_trap v

@@ -1,0 +1,50 @@
+(** Outcome classification, following the paper's Table 3 (outcome
+    categories), Section 7.2 (crash causes) and Section 7.1 (severity). *)
+
+type crash_cause =
+  | Null_pointer       (** unable to handle kernel NULL pointer dereference *)
+  | Paging_request     (** unable to handle kernel paging request *)
+  | Invalid_opcode     (** illegal instruction, including BUG()'s ud2 *)
+  | General_protection
+  | Divide_error
+  | Kernel_panic       (** the kernel detected the error itself *)
+  | Other_trap of int
+
+val cause_name : crash_cause -> string
+
+type severity = Normal | Severe | Most_severe
+(** Downtime class: automatic reboot / interactive fsck / reformat. *)
+
+val severity_name : severity -> string
+val severity_of_fsck : Kfi_fsimage.Fsck.severity -> severity
+
+type crash_info = {
+  cause : crash_cause;
+  latency : int;               (** cycles from the corrupted instruction to the crash *)
+  crash_fn : string option;    (** function containing the crash eip *)
+  crash_subsys : string option;(** its subsystem — the propagation endpoint *)
+  dumped : bool;               (** false: the dump failed (hang/unknown crash) *)
+  severity : severity;
+  crash_eip : int32;
+  crash_cr2 : int32;
+}
+
+type t =
+  | Not_activated
+      (** the corrupted instruction was never executed *)
+  | Not_manifested
+      (** executed, but output, exit status and disk all match golden *)
+  | Fail_silence_violation of string * severity
+      (** the run completed but propagated a wrong result out (different
+          output/exit code, or silent file-system damage) *)
+  | Crash of crash_info
+  | Hang of severity
+      (** the watchdog expired *)
+
+val category : t -> string
+val is_activated : t -> bool
+val is_crash_or_hang : t -> bool
+
+val cause_of_dump : vector:int -> cr2:int32 -> crash_cause
+(** Crash-cause classification from a dump record: page faults split on
+    CR2 < 4096 (NULL pointer zone) exactly as Linux words its oops. *)

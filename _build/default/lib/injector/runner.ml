@@ -1,0 +1,221 @@
+(* The experiment runner: the analogue of the paper's injection controller
+   + crash handler + hardware watchdog loop (Figures 2 and 3).
+
+   One [t] boots the kernel once to its post-boot snapshot; each injection
+   restores the snapshot ("reboots"), pokes the chosen workload id, arms a
+   debug register on the target instruction, flips the chosen bit when the
+   instruction is first reached, and classifies the outcome. *)
+
+open Kfi_isa
+module L = Kfi_kernel.Layout
+module Build = Kfi_kernel.Build
+
+type golden = { g_exit : int; g_console : string }
+
+type t = {
+  build : Build.t;
+  machine : Machine.t;
+  baseline : Machine.snapshot;
+      (* pristine post-boot state (pre-init), used by the profiler *)
+  baselines : Machine.snapshot array;
+      (* per-workload snapshots taken at the first user-mode instruction,
+         so experiments inject into a running benchmark, as in the paper
+         (the injector never sees the program-load path) *)
+  golden : golden array; (* per workload *)
+  manifest : (string * Digest.t) list;
+  max_cycles : int;
+  mutable hardening : bool;
+      (* enable the kernel's interface assertions (Section 7.4 ablation) *)
+}
+
+let default_max_cycles = 8_000_000
+
+let boot_to_snapshot machine ~max_cycles =
+  match Machine.run machine ~max_cycles with
+  | Machine.Snapshot_point -> ()
+  | other ->
+    failwith
+      (Printf.sprintf "kernel failed to reach the snapshot point: %s"
+         (match other with
+          | Machine.Powered_off n -> Printf.sprintf "powered off %d" n
+          | Machine.Halted -> "halted"
+          | Machine.Watchdog -> "watchdog"
+          | Machine.Reset t -> "reset: " ^ Trap.name t.Trap.vector
+          | Machine.Snapshot_point -> assert false))
+
+(* step until the CPU first drops to user mode (init has exec'd the
+   workload binary) *)
+let run_to_user machine ~max_cycles =
+  let cpu = Machine.cpu machine in
+  let limit = cpu.Cpu.cycles + max_cycles in
+  let rec loop () =
+    if cpu.Cpu.mode = Cpu.User then ()
+    else if cpu.Cpu.halted || cpu.Cpu.cycles >= limit then
+      failwith "workload never reached user mode"
+    else begin
+      Cpu.step cpu;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(max_cycles = default_max_cycles) () =
+  let disk_image = Kfi_fsimage.Mkfs.create (Kfi_workload.Progs.fs_files ()) in
+  let machine, build = Build.boot_machine ~disk_image () in
+  boot_to_snapshot machine ~max_cycles;
+  let baseline = Machine.snapshot machine in
+  let nworkloads = List.length Kfi_workload.Progs.names in
+  let baselines =
+    Array.init nworkloads (fun w ->
+        Machine.restore machine baseline;
+        Build.set_workload machine w;
+        run_to_user machine ~max_cycles;
+        Machine.snapshot machine)
+  in
+  let golden =
+    Array.init nworkloads (fun w ->
+        Machine.restore machine baselines.(w);
+        match Machine.run machine ~max_cycles with
+        | Machine.Powered_off code ->
+          { g_exit = code; g_console = Machine.tty_contents machine }
+        | _ -> failwith (Printf.sprintf "golden run for workload %d did not complete" w))
+  in
+  Array.iteri
+    (fun w g ->
+      if g.g_exit <> 0 then
+        failwith (Printf.sprintf "golden run for workload %d exited %d" w g.g_exit))
+    golden;
+  {
+    build;
+    machine;
+    baseline;
+    baselines;
+    golden;
+    manifest = Kfi_workload.Progs.manifest ();
+    max_cycles;
+    hardening = false;
+  }
+
+let fsck_severity t =
+  let image = Devices.Disk.image (Machine.disk t.machine) in
+  Outcome.severity_of_fsck (Kfi_fsimage.Fsck.check ~manifest:t.manifest image)
+
+let crash_location t eip =
+  match Build.find_function t.build eip with
+  | Some f -> (Some f.Kfi_asm.Assembler.f_name, Some f.Kfi_asm.Assembler.f_subsys)
+  | None -> (None, None)
+
+let set_hardening t on = t.hardening <- on
+
+let poke_hardening t =
+  let addr = Build.symbol t.build "assert_hardening" in
+  let pa = (Int32.to_int addr land 0xFFFFFFFF) - L.page_offset in
+  Phys.write32 (Machine.phys t.machine) pa (if t.hardening then 1l else 0l)
+
+(* Run one injection experiment. *)
+let run_one t ~workload (target : Target.t) =
+  Machine.restore t.machine t.baselines.(workload);
+  poke_hardening t;
+  let cpu = Machine.cpu t.machine in
+  let injected_at = ref None in
+  cpu.Cpu.dr.(0) <- target.Target.t_addr;
+  cpu.Cpu.dr7 <- 1;
+  cpu.Cpu.on_debug_hit <-
+    Some
+      (fun c _ ->
+        (match target.Target.t_kind with
+         | Target.Text ->
+           (* flip the bit in kernel text (direct-mapped) *)
+           let pa =
+             (Int32.to_int target.Target.t_addr land 0xFFFFFFFF) - L.page_offset
+             + target.Target.t_byte
+           in
+           let old = Phys.read8 c.Cpu.phys pa in
+           Cpu.poke_phys c pa (old lxor (1 lsl target.Target.t_bit))
+         | Target.Register ->
+           (* flip a bit in a general-purpose register (Xception-style) *)
+           let r = target.Target.t_byte land 7 in
+           c.Cpu.regs.(r) <-
+             Int32.logxor c.Cpu.regs.(r)
+               (Int32.shift_left 1l (target.Target.t_bit land 31)));
+        c.Cpu.dr7 <- 0;
+        injected_at := Some c.Cpu.cycles);
+  let result = Machine.run t.machine ~max_cycles:t.max_cycles in
+  cpu.Cpu.on_debug_hit <- None;
+  cpu.Cpu.dr7 <- 0;
+  let golden = t.golden.(workload) in
+  match !injected_at with
+  | None -> Outcome.Not_activated
+  | Some t0 -> (
+    let latency_from cycle = max 1 (cycle - t0) in
+    match result with
+    | Machine.Powered_off code ->
+      let console = Machine.tty_contents t.machine in
+      if code = golden.g_exit && String.equal console golden.g_console then begin
+        (* output clean; the file system must also have survived *)
+        match fsck_severity t with
+        | Outcome.Normal -> Outcome.Not_manifested
+        | sev -> Outcome.Fail_silence_violation ("file system damaged", sev)
+      end
+      else begin
+        let why =
+          if code <> golden.g_exit then Printf.sprintf "exit code %d" code
+          else "console output differs"
+        in
+        Outcome.Fail_silence_violation (why, fsck_severity t)
+      end
+    | Machine.Halted -> (
+      (* the guest crash handler wrote a dump *)
+      match Build.read_dump t.machine with
+      | Some d ->
+        let cause =
+          Outcome.cause_of_dump ~vector:d.Build.d_vector ~cr2:d.Build.d_cr2
+        in
+        let latency =
+          if d.Build.d_vector = 255 then latency_from d.Build.d_cycles
+          else latency_from cpu.Cpu.last_fault_cycle
+        in
+        let crash_fn, crash_subsys = crash_location t d.Build.d_eip in
+        Outcome.Crash
+          {
+            cause;
+            latency;
+            crash_fn;
+            crash_subsys;
+            dumped = true;
+            severity = fsck_severity t;
+            crash_eip = d.Build.d_eip;
+            crash_cr2 = d.Build.d_cr2;
+          }
+      | None ->
+        (* halted without a dump record: treat like an undumped crash *)
+        Outcome.Crash
+          {
+            cause = Outcome.Other_trap (-1);
+            latency = latency_from cpu.Cpu.cycles;
+            crash_fn = None;
+            crash_subsys = None;
+            dumped = false;
+            severity = fsck_severity t;
+            crash_eip = cpu.Cpu.eip;
+            crash_cr2 = cpu.Cpu.cr2;
+          })
+    | Machine.Reset trap ->
+      (* triple fault: the dump itself failed (hang/unknown crash) *)
+      let cause =
+        Outcome.cause_of_dump ~vector:(Trap.number trap.Trap.vector) ~cr2:cpu.Cpu.cr2
+      in
+      let crash_fn, crash_subsys = crash_location t cpu.Cpu.eip in
+      Outcome.Crash
+        {
+          cause;
+          latency = latency_from cpu.Cpu.last_fault_cycle;
+          crash_fn;
+          crash_subsys;
+          dumped = false;
+          severity = fsck_severity t;
+          crash_eip = cpu.Cpu.eip;
+          crash_cr2 = cpu.Cpu.cr2;
+        }
+    | Machine.Watchdog -> Outcome.Hang (fsck_severity t)
+    | Machine.Snapshot_point -> failwith "unexpected snapshot point during experiment")

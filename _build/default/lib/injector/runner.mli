@@ -1,0 +1,47 @@
+(** The experiment runner — the analogue of the paper's injection
+    controller + crash handler + hardware watchdog loop (Figures 2/3).
+
+    One {!t} boots the kernel once; each injection restores a snapshot
+    ("reboots"), arms a debug register on the target instruction, flips
+    the chosen bit when it is first reached, runs to a terminal state and
+    classifies the outcome. *)
+
+open Kfi_isa
+
+type golden = { g_exit : int; g_console : string }
+(** Exit code and tty output of a fault-free run. *)
+
+type t = {
+  build : Kfi_kernel.Build.t;
+  machine : Machine.t;
+  baseline : Machine.snapshot;
+      (** pristine post-boot state (pre-init), used by the profiler *)
+  baselines : Machine.snapshot array;
+      (** per-workload snapshots at the first user-mode instruction, so
+          experiments inject into a running benchmark as in the paper *)
+  golden : golden array;
+  manifest : (string * Digest.t) list;
+      (** system files that must survive for the machine to boot again *)
+  max_cycles : int; (** the watchdog budget *)
+  mutable hardening : bool;
+      (** enable the kernel's interface assertions (Section 7.4 ablation) *)
+}
+
+val default_max_cycles : int
+
+val create : ?max_cycles:int -> unit -> t
+(** Build the file system, boot the kernel to its snapshot point, take
+    the per-workload baselines and record the golden runs.
+    @raise Failure if the pristine kernel cannot complete a workload. *)
+
+val set_hardening : t -> bool -> unit
+
+val poke_hardening : t -> unit
+(** Write the hardening flag into (restored) guest memory; [run_one] does
+    this automatically. *)
+
+val fsck_severity : t -> Outcome.severity
+(** Classify the machine's current disk with the manifest. *)
+
+val run_one : t -> workload:int -> Target.t -> Outcome.t
+(** Run one injection experiment from the chosen workload's baseline. *)

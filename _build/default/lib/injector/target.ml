@@ -1,0 +1,99 @@
+(* Target enumeration for the three campaigns (paper Table 4):
+
+   A — every byte of every non-branch instruction, random bit per byte;
+   B — every byte of every conditional branch, random bit per byte;
+   C — the condition-reversing bit of every conditional branch, which in
+       the x86-style encoding is bit 0 of the condition opcode byte
+       (0x74 je <-> 0x75 jne; 0x0F 0x84 <-> 0x0F 0x85). *)
+
+open Kfi_isa
+module Asm = Kfi_asm.Assembler
+module Build = Kfi_kernel.Build
+
+type campaign = A | B | C | R
+
+let campaign_name = function
+  | A -> "A (any random error)"
+  | B -> "B (random branch error)"
+  | C -> "C (valid but incorrect branch)"
+  | R -> "R (register corruption, Xception-style extension)"
+
+let campaign_letter = function A -> "A" | B -> "B" | C -> "C" | R -> "R"
+
+(* what the bit flip lands on *)
+type kind =
+  | Text     (* t_byte = byte offset within the instruction, t_bit in 0..7 *)
+  | Register (* t_byte = GPR index 0..7, t_bit in 0..31 *)
+
+type t = {
+  t_fn : string;
+  t_subsys : string;
+  t_addr : int32; (* virtual address of the instruction *)
+  t_len : int;
+  t_insn : Insn.t;
+  t_kind : kind;
+  t_byte : int;
+  t_bit : int;
+}
+
+(* deterministic per-target "random" value, keyed like a splitmix step *)
+let pseudo_rand ~seed ~addr ~byte =
+  let z = seed + (addr * 0x9E3779B9) + (byte * 0x85EBCA6B) in
+  let z = (z lxor (z lsr 15)) * 0x2C1B3C6D land max_int in
+  let z = (z lxor (z lsr 12)) * 0x297A2D39 land max_int in
+  z lxor (z lsr 15)
+
+let pseudo_bit ~seed ~addr ~byte = pseudo_rand ~seed ~addr ~byte land 7
+
+(* instructions of [fn] with their absolute addresses *)
+let fn_insns build fn =
+  let b = (build : Build.t) in
+  List.filter (fun (i : Asm.insn_info) -> i.Asm.i_fn = Some fn) b.Build.asm.Asm.insns
+
+let targets_of_insn ~campaign ~seed ~subsys ~fn (i : Asm.insn_info) =
+  let addr = Kfi_kernel.Layout.kernel_text_base + i.Asm.i_off in
+  let mk ?(kind = Text) byte bit =
+    {
+      t_fn = fn;
+      t_subsys = subsys;
+      t_addr = Int32.of_int addr;
+      t_len = i.Asm.i_len;
+      t_insn = i.Asm.i_insn;
+      t_kind = kind;
+      t_byte = byte;
+      t_bit = bit;
+    }
+  in
+  let is_branch = Insn.is_conditional_branch i.Asm.i_insn in
+  match campaign with
+  | A when not is_branch ->
+    List.init i.Asm.i_len (fun byte -> mk byte (pseudo_bit ~seed ~addr ~byte))
+  | B when is_branch ->
+    List.init i.Asm.i_len (fun byte -> mk byte (pseudo_bit ~seed ~addr ~byte))
+  | C when is_branch ->
+    (* flip the condition: bit 0 of the opcode byte (byte 1 for the
+       two-byte 0f 8x form) *)
+    let byte = match i.Asm.i_insn with Insn.Jcc _ -> 1 | _ -> 0 in
+    [ mk byte 0 ]
+  | R ->
+    (* register corruption triggered at this instruction: one random GPR
+       bit per instruction (sampled sparsely relative to A) *)
+    let v = pseudo_rand ~seed ~addr ~byte:99 in
+    if v land 3 <> 0 then [] (* keep R campaigns comparable in size to A *)
+    else [ mk ~kind:Register ((v lsr 2) land 7) ((v lsr 5) land 31) ]
+  | A | B | C -> []
+
+(* All targets of a campaign over the given functions. *)
+let enumerate build ~campaign ~seed fns =
+  let subsys_of =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun f -> Hashtbl.replace tbl f.Asm.f_name f.Asm.f_subsys)
+      (build : Build.t).Build.funcs;
+    fun fn -> Option.value ~default:"?" (Hashtbl.find_opt tbl fn)
+  in
+  List.concat_map
+    (fun fn ->
+      let subsys = subsys_of fn in
+      List.concat_map (targets_of_insn ~campaign ~seed ~subsys ~fn) (fn_insns build fn))
+    fns

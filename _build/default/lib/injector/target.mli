@@ -1,0 +1,49 @@
+(** Target enumeration for the injection campaigns (paper Table 4).
+
+    - {b A} — a random bit in each byte of every non-branch instruction;
+    - {b B} — a random bit in each byte of every conditional branch;
+    - {b C} — the single bit that reverses a branch condition, which in
+      the x86-style encoding is bit 0 of the condition opcode
+      ([0x74 je] ↔ [0x75 jne]);
+    - {b R} — an extension: a random bit of a random general-purpose
+      register, flipped when the instruction is reached
+      (Xception-style direct register corruption, used to test the
+      paper's claim that instruction-stream errors subsume it). *)
+
+open Kfi_isa
+
+type campaign = A | B | C | R
+
+val campaign_name : campaign -> string
+val campaign_letter : campaign -> string
+
+(** What the bit flip lands on. *)
+type kind =
+  | Text     (** [t_byte] = byte offset in the instruction, [t_bit] in 0..7 *)
+  | Register (** [t_byte] = GPR index 0..7, [t_bit] in 0..31 *)
+
+type t = {
+  t_fn : string;       (** targeted kernel function *)
+  t_subsys : string;   (** its subsystem (arch / fs / kernel / mm) *)
+  t_addr : int32;      (** virtual address of the instruction *)
+  t_len : int;
+  t_insn : Insn.t;
+  t_kind : kind;
+  t_byte : int;
+  t_bit : int;
+}
+
+val pseudo_rand : seed:int -> addr:int -> byte:int -> int
+(** Deterministic per-target pseudo-random value (splitmix-style), so
+    campaigns are reproducible from a seed. *)
+
+val pseudo_bit : seed:int -> addr:int -> byte:int -> int
+(** A bit index in 0..7 derived from {!pseudo_rand}. *)
+
+val fn_insns : Kfi_kernel.Build.t -> string -> Kfi_asm.Assembler.insn_info list
+(** The instructions belonging to a kernel function. *)
+
+val enumerate :
+  Kfi_kernel.Build.t -> campaign:campaign -> seed:int -> string list -> t list
+(** All targets of a campaign over the given functions, in address
+    order. *)

@@ -1,0 +1,1 @@
+lib/isa/cpu.ml: Array Buffer Bytes Char Decode Devices Flags Hashtbl Insn Int32 Int64 Mmu Phys Trap

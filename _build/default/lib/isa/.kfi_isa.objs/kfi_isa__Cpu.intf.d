@@ -1,0 +1,1 @@
+lib/isa/cpu.mli: Buffer Bytes Devices Hashtbl Insn Mmu Phys Trap

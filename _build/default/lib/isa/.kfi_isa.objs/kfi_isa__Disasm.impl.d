@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Array Buffer Bytes Char Decode Insn Int32 List Printf String

@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Buffer Bytes Char Insn Int32 Printf

@@ -1,0 +1,1 @@
+lib/isa/flags.ml: Insn Int32

@@ -1,0 +1,1 @@
+lib/isa/machine.ml: Array Buffer Cpu Devices Mmu Phys Trap

@@ -1,0 +1,1 @@
+lib/isa/mmu.ml: Array Int32 Phys

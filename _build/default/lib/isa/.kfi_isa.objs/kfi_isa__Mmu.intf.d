@@ -1,0 +1,1 @@
+lib/isa/mmu.mli: Phys

@@ -1,0 +1,1 @@
+lib/isa/tracer.ml: Buffer Cpu Decode Disasm Int32 Machine Mmu Printf

@@ -1,0 +1,1 @@
+lib/isa/tracer.mli: Cpu Machine

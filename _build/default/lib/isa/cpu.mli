@@ -1,0 +1,74 @@
+(** The simulated CPU: fetch/decode/execute with paging, traps, debug
+    registers and a cycle counter.
+
+    Documented divergences from real IA-32 (none affect the failure
+    mechanics under study):
+    - flat address space; [lret] always raises #GP;
+    - an error code is pushed for {e every} exception, giving uniform
+      trap frames: [old_esp; old_eflags; old_mode; eip; error_code]
+      (error code on top), on the kernel stack ([esp0] when the trap
+      comes from user mode);
+    - control register 6 holds the kernel stack pointer for traps from
+      user mode (standing in for TSS.esp0);
+    - byte-register operands name the low byte of the full register;
+    - custom privileged instructions [diskrd]/[diskwr] transfer one disk
+      block (ebx = block number, edi = destination / esi = source). *)
+
+type mode = Kernel | User
+
+exception Triple_fault of Trap.t
+(** Exception delivery itself failed (no IDT handler, or the kernel stack
+    is unusable): machine reset.  Mirrors a crash that the paper's LKCD
+    dump machinery failed to capture. *)
+
+type t = {
+  regs : int32 array;              (** 8 GPRs in x86 order *)
+  mutable eip : int32;
+  mutable eflags : int;
+  mutable mode : mode;
+  mutable cr0 : int32;
+  mutable cr2 : int32;             (** page-fault address *)
+  mutable cr3 : int32;             (** page-directory base; writes flush the TLB *)
+  mutable esp0 : int32;            (** kernel stack for traps from user mode *)
+  mutable cycles : int;            (** the performance counter (rdtsc) *)
+  mutable halted : bool;
+  mutable exit_code : int option;  (** set by a write to the poweroff port *)
+  mutable snapshot_request : bool; (** set by a write to the snapshot port *)
+  dr : int32 array;                (** debug registers dr0..dr3 *)
+  mutable dr7 : int;               (** bit n enables dr(n) *)
+  mutable on_debug_hit : (t -> int -> unit) option;
+      (** injector hook: called with the matching dr index just before the
+          target instruction executes *)
+  phys : Phys.t;
+  mmu : Mmu.t;
+  console : Buffer.t;              (** combined transcript (klog + tty) *)
+  tty : Buffer.t;                  (** user-visible output only *)
+  disk : Devices.Disk.t;
+  mutable timer_period : int;      (** cycles between timer IRQs; 0 = off *)
+  mutable next_timer : int;
+  idt_base : int;                  (** physical address of the IDT array *)
+  icache : (int, Insn.t * int) Hashtbl.t;
+  code_frames : Bytes.t;
+  scratch : int32 array;
+  mutable last_fault_cycle : int;
+      (** cycle count at the most recent exception — the crash-latency
+          endpoint for faults *)
+}
+
+val create : phys:Phys.t -> disk:Devices.Disk.t -> idt_base:int -> t
+
+val flush_icache : t -> unit
+(** Invalidate the decoded-instruction cache (after external writes). *)
+
+val poke_phys : t -> int -> int -> unit
+(** Write one byte of physical memory from outside the guest (the
+    injector's bit flip), keeping the instruction cache coherent. *)
+
+val step : t -> unit
+(** Execute a single instruction, delivering any resulting exception to
+    the guest kernel.  Faulting instructions are rolled back and
+    restarted x86-style.
+    @raise Triple_fault when delivery itself fails. *)
+
+val set_timer : t -> int -> unit
+(** Program the timer IRQ period in cycles (0 disables it). *)

@@ -1,0 +1,188 @@
+(* Binary decoder, the ground truth for how corrupted bytes are interpreted.
+   Undefined opcodes decode to [Invalid] which the CPU raises as an
+   invalid-opcode trap (vector 6), exactly like a sparse real-world opcode
+   map.  Bit flips can therefore change one instruction into another, shift
+   instruction boundaries, or land in an undefined hole. *)
+
+open Insn
+
+type result =
+  | Ok of Insn.t * int  (* decoded instruction and its length in bytes *)
+  | Invalid             (* undefined opcode: invalid-opcode trap *)
+
+(* [fetch i] returns the byte at offset [i] from the instruction start.  It
+   may raise (e.g. a page fault on the fetch), which propagates. *)
+
+let sext8 b = if b land 0x80 <> 0 then Int32.of_int (b - 0x100) else Int32.of_int b
+
+let fetch_i32 fetch off =
+  let b0 = fetch off and b1 = fetch (off + 1)
+  and b2 = fetch (off + 2) and b3 = fetch (off + 3) in
+  Int32.logor
+    (Int32.of_int (b0 lor (b1 lsl 8) lor (b2 lsl 16)))
+    (Int32.shift_left (Int32.of_int b3) 24)
+
+(* Decode a ModRM (+SIB, +disp) sequence starting at [off].
+   Returns (rm, ext_field, bytes_consumed_from_off). *)
+let decode_modrm fetch off =
+  let m = fetch off in
+  let md = m lsr 6 and ext = (m lsr 3) land 7 and rmv = m land 7 in
+  if md = 3 then (Reg rmv, ext, 1)
+  else begin
+    let sib_len, base, index, sib_forced_disp32 =
+      if rmv = 4 then begin
+        let s = fetch (off + 1) in
+        let scale = 1 lsl (s lsr 6) and idx = (s lsr 3) land 7 and b = s land 7 in
+        let index = if idx = 4 then None else Some (idx, scale) in
+        if b = 5 && md = 0 then (1, None, index, true)
+        else (1, Some b, index, false)
+      end
+      else if rmv = 5 && md = 0 then (0, None, None, true)
+      else (0, Some rmv, None, false)
+    in
+    let disp_off = off + 1 + sib_len in
+    let disp, disp_len =
+      if sib_forced_disp32 then (fetch_i32 fetch disp_off, 4)
+      else
+        match md with
+        | 0 -> (0l, 0)
+        | 1 -> (sext8 (fetch disp_off), 1)
+        | _ -> (fetch_i32 fetch disp_off, 4)
+    in
+    (Mem { base; index; disp }, ext, 1 + sib_len + disp_len)
+  end
+
+let decode_0f fetch =
+  let op = fetch 1 in
+  match op with
+  | 0x0B -> Ok (Ud2, 2)
+  | 0x31 -> Ok (Rdtsc, 2)
+  | 0x78 -> Ok (Diskrd, 2)
+  | 0x79 -> Ok (Diskwr, 2)
+  | 0x20 | 0x22 ->
+    let m = fetch 2 in
+    if m lsr 6 <> 3 then Invalid
+    else begin
+      let cr = (m lsr 3) land 7 and r = m land 7 in
+      if op = 0x22 then Ok (Mov_cr_r (cr, r), 3) else Ok (Mov_r_cr (r, cr), 3)
+    end
+  | _ when op >= 0x80 && op <= 0x8F ->
+    Ok (Jcc (cond_of_code (op - 0x80), fetch_i32 fetch 2), 6)
+  | 0xAC ->
+    let rm, r, len = decode_modrm fetch 2 in
+    Ok (Shrd (rm, r, fetch (2 + len)), 2 + len + 1)
+  | 0xAF ->
+    let rm, r, len = decode_modrm fetch 2 in
+    Ok (Imul_r_rm (r, rm), 2 + len)
+  | 0xB6 ->
+    let rm, r, len = decode_modrm fetch 2 in
+    Ok (Movzbl (r, rm), 2 + len)
+  | _ -> Invalid
+
+let with_modrm fetch mk =
+  let rm, ext, len = decode_modrm fetch 1 in
+  mk rm ext (1 + len)
+
+let decode fetch =
+  let op = fetch 0 in
+  (* ALU family: 00-3F with pattern (op<<3)|{1,3,5}; indices 2,3 (adc/sbb)
+     are holes in our map. *)
+  let alu_family () =
+    match alu_of_index (op lsr 3) with
+    | None -> Invalid
+    | Some a ->
+      (match op land 7 with
+       | 1 -> with_modrm fetch (fun rm r len -> Ok (Alu_rm_r (a, rm, r), len))
+       | 3 -> with_modrm fetch (fun rm r len -> Ok (Alu_r_rm (a, r, rm), len))
+       | 5 -> Ok (Alu_eax_i (a, fetch_i32 fetch 1), 5)
+       | _ -> Invalid)
+  in
+  match op with
+  | 0x0F -> decode_0f fetch
+  | _ when op < 0x40 -> alu_family ()
+  | _ when op >= 0x40 && op <= 0x47 -> Ok (Inc_r (op - 0x40), 1)
+  | _ when op >= 0x48 && op <= 0x4F -> Ok (Dec_r (op - 0x48), 1)
+  | _ when op >= 0x50 && op <= 0x57 -> Ok (Push_r (op - 0x50), 1)
+  | _ when op >= 0x58 && op <= 0x5F -> Ok (Pop_r (op - 0x58), 1)
+  | 0x60 -> Ok (Pusha, 1)
+  | 0x61 -> Ok (Popa, 1)
+  | 0x68 -> Ok (Push_i (fetch_i32 fetch 1), 5)
+  | 0x6A -> Ok (Push_i8 (sext8 (fetch 1)), 2)
+  | _ when op >= 0x70 && op <= 0x7F ->
+    Ok (Jcc8 (cond_of_code (op - 0x70), sext8 (fetch 1)), 2)
+  | 0x81 ->
+    with_modrm fetch (fun rm ext len ->
+        match alu_of_index ext with
+        | None -> Invalid
+        | Some a -> Ok (Alu_rm_i (a, rm, fetch_i32 fetch len), len + 4))
+  | 0x83 ->
+    with_modrm fetch (fun rm ext len ->
+        match alu_of_index ext with
+        | None -> Invalid
+        | Some a -> Ok (Alu_rm_i8 (a, rm, sext8 (fetch len)), len + 1))
+  | 0x85 -> with_modrm fetch (fun rm r len -> Ok (Test_rm_r (rm, r), len))
+  | 0x88 -> with_modrm fetch (fun rm r len -> Ok (Movb_rm_r (rm, r), len))
+  | 0x89 -> with_modrm fetch (fun rm r len -> Ok (Mov_rm_r (rm, r), len))
+  | 0x8A -> with_modrm fetch (fun rm r len -> Ok (Movb_r_rm (r, rm), len))
+  | 0x8B -> with_modrm fetch (fun rm r len -> Ok (Mov_r_rm (r, rm), len))
+  | 0x8D ->
+    with_modrm fetch (fun rm r len ->
+        match rm with
+        | Mem m -> Ok (Lea (r, m), len)
+        | Reg _ -> Invalid)
+  | 0x90 -> Ok (Nop, 1)
+  | 0x99 -> Ok (Cdq, 1)
+  | _ when op >= 0xB8 && op <= 0xBF -> Ok (Mov_ri (op - 0xB8, fetch_i32 fetch 1), 5)
+  | 0xC1 ->
+    with_modrm fetch (fun rm ext len ->
+        match shift_of_index ext with
+        | None -> Invalid
+        | Some s -> Ok (Shift_i (s, rm, fetch len), len + 1))
+  | 0xC3 -> Ok (Ret, 1)
+  | 0xC7 ->
+    with_modrm fetch (fun rm ext len ->
+        if ext <> 0 then Invalid else Ok (Mov_rm_i (rm, fetch_i32 fetch len), len + 4))
+  | 0xC9 -> Ok (Leave, 1)
+  | 0xCB -> Ok (Lret, 1)
+  | 0xCC -> Ok (Int3, 1)
+  | 0xCD -> Ok (Int_ (fetch 1), 2)
+  | 0xCF -> Ok (Iret, 1)
+  | 0xD3 ->
+    with_modrm fetch (fun rm ext len ->
+        match shift_of_index ext with
+        | None -> Invalid
+        | Some s -> Ok (Shift_cl (s, rm), len))
+  | 0xE8 -> Ok (Call (fetch_i32 fetch 1), 5)
+  | 0xE9 -> Ok (Jmp (fetch_i32 fetch 1), 5)
+  | 0xEB -> Ok (Jmp8 (sext8 (fetch 1)), 2)
+  | 0xEC -> Ok (In_al, 1)
+  | 0xEE -> Ok (Out_al, 1)
+  | 0xF4 -> Ok (Hlt, 1)
+  | 0xF7 ->
+    with_modrm fetch (fun rm ext len ->
+        match ext with
+        | 2 -> Ok (Not_rm rm, len)
+        | 3 -> Ok (Neg_rm rm, len)
+        | 4 -> Ok (Mul_rm rm, len)
+        | 6 -> Ok (Div_rm rm, len)
+        | _ -> Invalid)
+  | 0xFA -> Ok (Cli, 1)
+  | 0xFB -> Ok (Sti, 1)
+  | 0xFF ->
+    with_modrm fetch (fun rm ext len ->
+        match ext with
+        | 0 -> Ok (Inc_rm rm, len)
+        | 1 -> Ok (Dec_rm rm, len)
+        | 2 -> Ok (Call_rm rm, len)
+        | 4 -> Ok (Jmp_rm rm, len)
+        | 6 -> Ok (Push_rm rm, len)
+        | _ -> Invalid)
+  | _ -> Invalid
+
+(* Decode from a plain byte string (used by tests and the disassembler). *)
+let decode_bytes bytes off =
+  let fetch i =
+    if off + i >= Bytes.length bytes then raise Exit
+    else Char.code (Bytes.get bytes (off + i))
+  in
+  try decode fetch with Exit -> Invalid

@@ -1,0 +1,19 @@
+(** Binary instruction decoder — the ground truth for how corrupted bytes
+    are interpreted.
+
+    Undefined opcodes decode to {!Invalid}, which the CPU turns into an
+    invalid-opcode trap (vector 6); the opcode map is deliberately sparse
+    like real x86 so random corruption frequently lands in a hole. *)
+
+type result =
+  | Ok of Insn.t * int  (** decoded instruction and its length in bytes *)
+  | Invalid             (** undefined encoding: invalid-opcode trap *)
+
+val decode : (int -> int) -> result
+(** [decode fetch] decodes one instruction; [fetch i] must return the byte
+    at offset [i] from the instruction start (it may raise, e.g. a page
+    fault on the fetch, which propagates). *)
+
+val decode_bytes : bytes -> int -> result
+(** [decode_bytes b off] decodes from a byte string; running off the end
+    yields [Invalid].  Used by tests and the disassembler. *)

@@ -1,0 +1,38 @@
+(* Simple devices: console (port I/O) and a block disk.
+
+   Port map: writing a byte to port 0xE9 appends it to the console; writing
+   to port 0xF4 powers the machine off with that byte as the exit code. *)
+
+let console_port = 0xE9 (* user-visible tty *)
+let klog_port = 0xE8    (* kernel log (printk); both land in the console
+                           transcript, but only tty output is compared
+                           against golden runs *)
+let poweroff_port = 0xF4
+
+(* Writing any byte to this port pauses the run loop so the host can take a
+   machine snapshot (the injector's per-experiment "reboot" baseline). *)
+let snapshot_port = 0xF5
+
+let block_size = 1024
+
+module Disk = struct
+  type t = { mutable data : Bytes.t }
+
+  let create ~blocks = { data = Bytes.make (blocks * block_size) '\000' }
+  let of_image image = { data = Bytes.copy image }
+  let blocks t = Bytes.length t.data / block_size
+  let image t = t.data
+
+  let in_range t block = block >= 0 && block < blocks t
+
+  let read_block t block =
+    let b = Bytes.create block_size in
+    Bytes.blit t.data (block * block_size) b 0 block_size;
+    b
+
+  let write_block t block bytes =
+    Bytes.blit bytes 0 t.data (block * block_size) block_size
+
+  let copy t = { data = Bytes.copy t.data }
+  let restore t ~from = Bytes.blit from.data 0 t.data 0 (Bytes.length t.data)
+end

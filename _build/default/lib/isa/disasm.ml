@@ -1,0 +1,113 @@
+(* Textual disassembly, AT&T-flavoured like the paper's listings. *)
+
+open Insn
+
+let pp_mem (m : mem) =
+  let disp =
+    if m.disp = 0l && (m.base <> None || m.index <> None) then ""
+    else Printf.sprintf "0x%lx" m.disp
+  in
+  let base = match m.base with Some r -> "%" ^ reg_name.(r) | None -> "" in
+  let index =
+    match m.index with
+    | Some (r, s) -> Printf.sprintf ",%%%s,%d" reg_name.(r) s
+    | None -> ""
+  in
+  if base = "" && index = "" then disp
+  else Printf.sprintf "%s(%s%s)" disp base index
+
+let pp_rm = function
+  | Reg r -> "%" ^ reg_name.(r)
+  | Mem m -> pp_mem m
+
+let imm v = Printf.sprintf "$0x%lx" v
+
+let two a b = a ^ ", " ^ b
+
+(* [pc] is the address of the instruction; branch targets are resolved
+   relative to [pc + length]. *)
+let to_string ?(pc = 0l) ?(len = 0) insn =
+  let target rel = Printf.sprintf "0x%lx" Int32.(add (add pc (of_int len)) rel) in
+  match insn with
+  | Nop -> "nop"
+  | Hlt -> "hlt"
+  | Mov_ri (r, v) -> "mov " ^ two (imm v) ("%" ^ reg_name.(r))
+  | Mov_rm_r (rm, r) -> "mov " ^ two ("%" ^ reg_name.(r)) (pp_rm rm)
+  | Mov_r_rm (r, rm) -> "mov " ^ two (pp_rm rm) ("%" ^ reg_name.(r))
+  | Mov_rm_i (rm, v) -> "movl " ^ two (imm v) (pp_rm rm)
+  | Movb_rm_r (rm, r) -> "movb " ^ two ("%" ^ reg_name.(r)) (pp_rm rm)
+  | Movb_r_rm (r, rm) -> "movb " ^ two (pp_rm rm) ("%" ^ reg_name.(r))
+  | Movzbl (r, rm) -> "movzbl " ^ two (pp_rm rm) ("%" ^ reg_name.(r))
+  | Push_r r -> "push %" ^ reg_name.(r)
+  | Pop_r r -> "pop %" ^ reg_name.(r)
+  | Push_i v | Push_i8 v -> "push " ^ imm v
+  | Inc_r r -> "inc %" ^ reg_name.(r)
+  | Dec_r r -> "dec %" ^ reg_name.(r)
+  | Alu_rm_r (op, rm, r) -> alu_name op ^ " " ^ two ("%" ^ reg_name.(r)) (pp_rm rm)
+  | Alu_r_rm (op, r, rm) -> alu_name op ^ " " ^ two (pp_rm rm) ("%" ^ reg_name.(r))
+  | Alu_eax_i (op, v) -> alu_name op ^ " " ^ two (imm v) "%eax"
+  | Alu_rm_i (op, rm, v) | Alu_rm_i8 (op, rm, v) ->
+    alu_name op ^ " " ^ two (imm v) (pp_rm rm)
+  | Test_rm_r (rm, r) -> "test " ^ two ("%" ^ reg_name.(r)) (pp_rm rm)
+  | Not_rm rm -> "not " ^ pp_rm rm
+  | Neg_rm rm -> "neg " ^ pp_rm rm
+  | Mul_rm rm -> "mul " ^ pp_rm rm
+  | Div_rm rm -> "div " ^ pp_rm rm
+  | Imul_r_rm (r, rm) -> "imul " ^ two (pp_rm rm) ("%" ^ reg_name.(r))
+  | Shift_i (op, rm, n) -> shift_name op ^ Printf.sprintf " $%d, %s" n (pp_rm rm)
+  | Shift_cl (op, rm) -> shift_name op ^ " %cl, " ^ pp_rm rm
+  | Shrd (rm, r, n) -> Printf.sprintf "shrd $%d, %%%s, %s" n reg_name.(r) (pp_rm rm)
+  | Lea (r, m) -> "lea " ^ two (pp_mem m) ("%" ^ reg_name.(r))
+  | Cdq -> "cdq"
+  | Jmp rel | Jmp8 rel -> "jmp " ^ target rel
+  | Jcc (c, rel) | Jcc8 (c, rel) -> cond_name c ^ " " ^ target rel
+  | Call rel -> "call " ^ target rel
+  | Call_rm rm -> "call *" ^ pp_rm rm
+  | Jmp_rm rm -> "jmp *" ^ pp_rm rm
+  | Push_rm rm -> "push " ^ pp_rm rm
+  | Inc_rm rm -> "incl " ^ pp_rm rm
+  | Dec_rm rm -> "decl " ^ pp_rm rm
+  | Ret -> "ret"
+  | Lret -> "lret"
+  | Leave -> "leave"
+  | Int_ n -> Printf.sprintf "int $0x%x" n
+  | Int3 -> "int3"
+  | Ud2 -> "ud2a"
+  | Pusha -> "pusha"
+  | Popa -> "popa"
+  | Iret -> "iret"
+  | Cli -> "cli"
+  | Sti -> "sti"
+  | In_al -> "in (%dx), %al"
+  | Out_al -> "out %al, (%dx)"
+  | Mov_cr_r (cr, r) -> Printf.sprintf "mov %%%s, %%cr%d" reg_name.(r) cr
+  | Mov_r_cr (r, cr) -> Printf.sprintf "mov %%cr%d, %%%s" cr reg_name.(r)
+  | Rdtsc -> "rdtsc"
+  | Diskrd -> "diskrd"
+  | Diskwr -> "diskwr"
+
+let hex_bytes bytes off len =
+  String.concat " "
+    (List.init len (fun i -> Printf.sprintf "%02x" (Char.code (Bytes.get bytes (off + i)))))
+
+(* Disassemble a byte range into "addr: bytes  mnemonic" lines.  Undefined
+   opcodes print as "(bad)" and advance one byte, like objdump. *)
+let range ?(base = 0l) bytes ~off ~len =
+  let buf = Buffer.create 256 in
+  let rec go o =
+    if o < off + len && o < Bytes.length bytes then begin
+      let addr = Int32.add base (Int32.of_int o) in
+      match Decode.decode_bytes bytes o with
+      | Decode.Ok (insn, ilen) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%08lx:  %-21s  %s\n" addr (hex_bytes bytes o ilen)
+             (to_string ~pc:addr ~len:ilen insn));
+        go (o + ilen)
+      | Decode.Invalid ->
+        Buffer.add_string buf
+          (Printf.sprintf "%08lx:  %-21s  (bad)\n" addr (hex_bytes bytes o 1));
+        go (o + 1)
+    end
+  in
+  go off;
+  Buffer.contents buf

@@ -1,0 +1,11 @@
+(** Textual disassembly, AT&T-flavoured like the paper's listings. *)
+
+val to_string : ?pc:int32 -> ?len:int -> Insn.t -> string
+(** Render one instruction.  When [pc] (the instruction's address) and
+    [len] are given, relative branch targets print as absolute
+    addresses. *)
+
+val range : ?base:int32 -> bytes -> off:int -> len:int -> string
+(** Disassemble a byte range into "addr: bytes mnemonic" lines.
+    Undefined encodings print as "(bad)" and advance one byte, like
+    objdump. *)

@@ -1,0 +1,128 @@
+(* Binary encoder for {!Insn.t}.  Mirrors {!Decode}; the pair is round-trip
+   tested.  The assembler uses this to lay out kernel text; the injector then
+   flips bits in the resulting bytes. *)
+
+open Insn
+
+let fits_i8 v = v >= -128l && v <= 127l
+
+let emit_i32 buf v =
+  let v = Int32.to_int v in
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+
+let emit_i8 buf v = Buffer.add_char buf (Char.chr (Int32.to_int v land 0xff))
+let byte buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let scale_bits = function
+  | 1 -> 0 | 2 -> 1 | 4 -> 2 | 8 -> 3
+  | s -> invalid_arg (Printf.sprintf "scale %d" s)
+
+(* Emit ModRM (+SIB, +disp) for operand [rm] with the given 3-bit [ext]
+   (either a register number or an opcode extension). *)
+let emit_modrm buf ext rm =
+  let modrm md rmv = byte buf ((md lsl 6) lor (ext lsl 3) lor rmv) in
+  match rm with
+  | Reg r -> modrm 3 r
+  | Mem { base; index; disp } ->
+    let need_sib =
+      match base, index with
+      | _, Some _ -> true
+      | Some b, None -> b = esp
+      | None, None -> false
+    in
+    if not need_sib then begin
+      match base with
+      | None -> modrm 0 5; emit_i32 buf disp
+      | Some b ->
+        if disp = 0l && b <> ebp then modrm 0 b
+        else if fits_i8 disp then begin modrm 1 b; emit_i8 buf disp end
+        else begin modrm 2 b; emit_i32 buf disp end
+    end else begin
+      let sib_index, sib_scale =
+        match index with
+        | None -> 4, 0
+        | Some (i, s) ->
+          if i = esp then invalid_arg "esp cannot be an index register";
+          i, scale_bits s
+      in
+      let sib base_bits = byte buf ((sib_scale lsl 6) lor (sib_index lsl 3) lor base_bits) in
+      match base with
+      | None -> modrm 0 4; sib 5; emit_i32 buf disp
+      | Some b ->
+        if disp = 0l && b <> ebp then begin modrm 0 4; sib b end
+        else if fits_i8 disp then begin modrm 1 4; sib b; emit_i8 buf disp end
+        else begin modrm 2 4; sib b; emit_i32 buf disp end
+    end
+
+(* Append the encoding of [insn] to [buf]. *)
+let emit buf insn =
+  match insn with
+  | Nop -> byte buf 0x90
+  | Hlt -> byte buf 0xF4
+  | Mov_ri (r, v) -> byte buf (0xB8 + r); emit_i32 buf v
+  | Mov_rm_r (rm, r) -> byte buf 0x89; emit_modrm buf r rm
+  | Mov_r_rm (r, rm) -> byte buf 0x8B; emit_modrm buf r rm
+  | Mov_rm_i (rm, v) -> byte buf 0xC7; emit_modrm buf 0 rm; emit_i32 buf v
+  | Movb_rm_r (rm, r) -> byte buf 0x88; emit_modrm buf r rm
+  | Movb_r_rm (r, rm) -> byte buf 0x8A; emit_modrm buf r rm
+  | Movzbl (r, rm) -> byte buf 0x0F; byte buf 0xB6; emit_modrm buf r rm
+  | Push_r r -> byte buf (0x50 + r)
+  | Pop_r r -> byte buf (0x58 + r)
+  | Push_i v -> byte buf 0x68; emit_i32 buf v
+  | Push_i8 v -> byte buf 0x6A; emit_i8 buf v
+  | Inc_r r -> byte buf (0x40 + r)
+  | Dec_r r -> byte buf (0x48 + r)
+  | Alu_rm_r (op, rm, r) -> byte buf ((alu_index op lsl 3) lor 0x01); emit_modrm buf r rm
+  | Alu_r_rm (op, r, rm) -> byte buf ((alu_index op lsl 3) lor 0x03); emit_modrm buf r rm
+  | Alu_eax_i (op, v) -> byte buf ((alu_index op lsl 3) lor 0x05); emit_i32 buf v
+  | Alu_rm_i (op, rm, v) -> byte buf 0x81; emit_modrm buf (alu_index op) rm; emit_i32 buf v
+  | Alu_rm_i8 (op, rm, v) -> byte buf 0x83; emit_modrm buf (alu_index op) rm; emit_i8 buf v
+  | Test_rm_r (rm, r) -> byte buf 0x85; emit_modrm buf r rm
+  | Not_rm rm -> byte buf 0xF7; emit_modrm buf 2 rm
+  | Neg_rm rm -> byte buf 0xF7; emit_modrm buf 3 rm
+  | Mul_rm rm -> byte buf 0xF7; emit_modrm buf 4 rm
+  | Div_rm rm -> byte buf 0xF7; emit_modrm buf 6 rm
+  | Imul_r_rm (r, rm) -> byte buf 0x0F; byte buf 0xAF; emit_modrm buf r rm
+  | Shift_i (op, rm, n) -> byte buf 0xC1; emit_modrm buf (shift_index op) rm; byte buf n
+  | Shift_cl (op, rm) -> byte buf 0xD3; emit_modrm buf (shift_index op) rm
+  | Shrd (rm, r, n) -> byte buf 0x0F; byte buf 0xAC; emit_modrm buf r rm; byte buf n
+  | Lea (r, m) -> byte buf 0x8D; emit_modrm buf r (Mem m)
+  | Cdq -> byte buf 0x99
+  | Jmp rel -> byte buf 0xE9; emit_i32 buf rel
+  | Jmp8 rel -> byte buf 0xEB; emit_i8 buf rel
+  | Jcc (c, rel) -> byte buf 0x0F; byte buf (0x80 + cond_code c); emit_i32 buf rel
+  | Jcc8 (c, rel) -> byte buf (0x70 + cond_code c); emit_i8 buf rel
+  | Call rel -> byte buf 0xE8; emit_i32 buf rel
+  | Call_rm rm -> byte buf 0xFF; emit_modrm buf 2 rm
+  | Jmp_rm rm -> byte buf 0xFF; emit_modrm buf 4 rm
+  | Push_rm rm -> byte buf 0xFF; emit_modrm buf 6 rm
+  | Inc_rm rm -> byte buf 0xFF; emit_modrm buf 0 rm
+  | Dec_rm rm -> byte buf 0xFF; emit_modrm buf 1 rm
+  | Ret -> byte buf 0xC3
+  | Lret -> byte buf 0xCB
+  | Leave -> byte buf 0xC9
+  | Int_ n -> byte buf 0xCD; byte buf n
+  | Int3 -> byte buf 0xCC
+  | Ud2 -> byte buf 0x0F; byte buf 0x0B
+  | Pusha -> byte buf 0x60
+  | Popa -> byte buf 0x61
+  | Iret -> byte buf 0xCF
+  | Cli -> byte buf 0xFA
+  | Sti -> byte buf 0xFB
+  | In_al -> byte buf 0xEC
+  | Out_al -> byte buf 0xEE
+  | Mov_cr_r (cr, r) -> byte buf 0x0F; byte buf 0x22; byte buf ((3 lsl 6) lor (cr lsl 3) lor r)
+  | Mov_r_cr (r, cr) -> byte buf 0x0F; byte buf 0x20; byte buf ((3 lsl 6) lor (cr lsl 3) lor r)
+  | Rdtsc -> byte buf 0x0F; byte buf 0x31
+  | Diskrd -> byte buf 0x0F; byte buf 0x78
+  | Diskwr -> byte buf 0x0F; byte buf 0x79
+
+let encode insn =
+  let buf = Buffer.create 8 in
+  emit buf insn;
+  Buffer.to_bytes buf
+
+let length insn = Bytes.length (encode insn)

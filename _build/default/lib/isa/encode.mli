@@ -1,0 +1,16 @@
+(** Binary instruction encoder, the inverse of {!Decode} (round-trip
+    tested).  The assembler uses it to lay out kernel text; the injector
+    then flips bits in the resulting bytes. *)
+
+val emit : Buffer.t -> Insn.t -> unit
+(** Append the encoding of an instruction to a buffer. *)
+
+val encode : Insn.t -> bytes
+(** The encoding of one instruction. *)
+
+val length : Insn.t -> int
+(** Encoded length in bytes. *)
+
+val emit_modrm : Buffer.t -> int -> Insn.rm -> unit
+(** Emit a ModRM (+SIB, +displacement) sequence for an operand with the
+    given 3-bit register/extension field.  Exposed for tests. *)

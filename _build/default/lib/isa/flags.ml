@@ -1,0 +1,64 @@
+(* EFLAGS register: bit positions follow x86. *)
+
+let cf = 0x001
+let pf = 0x004
+let zf = 0x040
+let sf = 0x080
+let if_ = 0x200
+let of_ = 0x800
+
+let set fl bit b = if b then fl lor bit else fl land lnot bit
+let get fl bit = fl land bit <> 0
+
+let parity_even v =
+  let b = Int32.to_int v land 0xff in
+  let rec pop b acc = if b = 0 then acc else pop (b lsr 1) (acc + (b land 1)) in
+  pop b 0 land 1 = 0
+
+(* Set ZF/SF/PF from a 32-bit result; caller handles CF/OF. *)
+let of_result fl v =
+  let fl = set fl zf (v = 0l) in
+  let fl = set fl sf (Int32.compare v 0l < 0) in
+  set fl pf (parity_even v)
+
+(* Flags for [a + b = r]. *)
+let of_add fl a b r =
+  let fl = of_result fl r in
+  (* r = a + b mod 2^32, so carry out iff r wrapped below a. *)
+  let fl = set fl cf (Int32.unsigned_compare r a < 0) in
+  let sa = Int32.compare a 0l < 0 and sb = Int32.compare b 0l < 0
+  and sr = Int32.compare r 0l < 0 in
+  set fl of_ (sa = sb && sr <> sa)
+
+(* Flags for [a - b = r]. *)
+let of_sub fl a b r =
+  let fl = of_result fl r in
+  let fl = set fl cf (Int32.unsigned_compare a b < 0) in
+  let sa = Int32.compare a 0l < 0 and sb = Int32.compare b 0l < 0
+  and sr = Int32.compare r 0l < 0 in
+  set fl of_ (sa <> sb && sr <> sa)
+
+(* Flags for logic ops: CF = OF = 0. *)
+let of_logic fl r =
+  let fl = of_result fl r in
+  set (set fl cf false) of_ false
+
+let eval_cond fl (c : Insn.cond) =
+  let b bit = get fl bit in
+  match c with
+  | O -> b of_
+  | NO -> not (b of_)
+  | B -> b cf
+  | AE -> not (b cf)
+  | E -> b zf
+  | NE -> not (b zf)
+  | BE -> b cf || b zf
+  | A -> not (b cf || b zf)
+  | S -> b sf
+  | NS -> not (b sf)
+  | P -> b pf
+  | NP -> not (b pf)
+  | L -> b sf <> b of_
+  | GE -> b sf = b of_
+  | LE -> b zf || b sf <> b of_
+  | G -> (not (b zf)) && b sf = b of_

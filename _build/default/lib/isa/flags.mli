@@ -1,0 +1,38 @@
+(** The EFLAGS register: bit positions follow x86. *)
+
+(** Flag bits: carry, parity, zero, sign, interrupt-enable, overflow. *)
+
+val cf : int
+
+val pf : int
+
+val zf : int
+
+val sf : int
+
+val if_ : int
+
+val of_ : int
+
+val set : int -> int -> bool -> int
+(** [set flags bit b] sets or clears [bit] in [flags]. *)
+
+val get : int -> int -> bool
+
+val parity_even : int32 -> bool
+(** x86 parity: even number of set bits in the low byte. *)
+
+val of_result : int -> int32 -> int
+(** Update ZF/SF/PF from a 32-bit result (caller handles CF/OF). *)
+
+val of_add : int -> int32 -> int32 -> int32 -> int
+(** [of_add flags a b r] — full flag update for [a + b = r]. *)
+
+val of_sub : int -> int32 -> int32 -> int32 -> int
+(** [of_sub flags a b r] — full flag update for [a - b = r] (also cmp). *)
+
+val of_logic : int -> int32 -> int
+(** Flag update for logic ops: CF = OF = 0. *)
+
+val eval_cond : int -> Insn.cond -> bool
+(** Whether a condition holds under the given flags. *)

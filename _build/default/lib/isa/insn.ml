@@ -1,0 +1,153 @@
+(* Instruction set of the simulated IA-32-like CPU.
+
+   The encoding (see {!Encode} / {!Decode}) is deliberately x86-flavoured:
+   variable-length byte instructions, ModRM/SIB addressing, condition-code
+   opcodes whose low bit reverses the condition.  The fault-injection study
+   depends on these properties: a single-bit flip can change an opcode, shift
+   instruction boundaries, or reverse a branch condition, exactly as in the
+   paper's case studies (Tables 6 and 7). *)
+
+type reg = int
+(** General-purpose register index, 0..7 in x86 order:
+    eax ecx edx ebx esp ebp esi edi. *)
+
+let eax = 0
+let ecx = 1
+let edx = 2
+let ebx = 3
+let esp = 4
+let ebp = 5
+let esi = 6
+let edi = 7
+
+let reg_name = [| "eax"; "ecx"; "edx"; "ebx"; "esp"; "ebp"; "esi"; "edi" |]
+
+(** Memory operand: [disp + base + index*scale]. *)
+type mem = {
+  base : reg option;
+  index : (reg * int) option; (* register, scale in {1,2,4,8} *)
+  disp : int32;
+}
+
+let mem ?base ?index disp = { base; index; disp }
+let mb base disp = { base = Some base; index = None; disp = Int32.of_int disp }
+let mabs disp = { base = None; index = None; disp }
+
+(** Register-or-memory operand (ModRM r/m field). *)
+type rm = Reg of reg | Mem of mem
+
+(** Condition codes, in x86 encoding order 0x0..0xF.  Negating a condition is
+    flipping the low bit of its encoding: [E] (0x4) <-> [NE] (0x5). *)
+type cond = O | NO | B | AE | E | NE | BE | A | S | NS | P | NP | L | GE | LE | G
+
+let cond_code = function
+  | O -> 0 | NO -> 1 | B -> 2 | AE -> 3 | E -> 4 | NE -> 5 | BE -> 6 | A -> 7
+  | S -> 8 | NS -> 9 | P -> 10 | NP -> 11 | L -> 12 | GE -> 13 | LE -> 14 | G -> 15
+
+let cond_of_code = function
+  | 0 -> O | 1 -> NO | 2 -> B | 3 -> AE | 4 -> E | 5 -> NE | 6 -> BE | 7 -> A
+  | 8 -> S | 9 -> NS | 10 -> P | 11 -> NP | 12 -> L | 13 -> GE | 14 -> LE | 15 -> G
+  | n -> invalid_arg (Printf.sprintf "cond_of_code %d" n)
+
+let cond_name = function
+  | O -> "jo" | NO -> "jno" | B -> "jb" | AE -> "jae" | E -> "je" | NE -> "jne"
+  | BE -> "jbe" | A -> "ja" | S -> "js" | NS -> "jns" | P -> "jp" | NP -> "jnp"
+  | L -> "jl" | GE -> "jge" | LE -> "jle" | G -> "jg"
+
+(** ALU binary operations sharing the x86 opcode pattern. *)
+type alu = Add | Or | And | Sub | Xor | Cmp
+
+let alu_index = function
+  | Add -> 0 | Or -> 1 | And -> 4 | Sub -> 5 | Xor -> 6 | Cmp -> 7
+
+let alu_of_index = function
+  | 0 -> Some Add | 1 -> Some Or | 4 -> Some And | 5 -> Some Sub
+  | 6 -> Some Xor | 7 -> Some Cmp
+  | _ -> None
+
+let alu_name = function
+  | Add -> "add" | Or -> "or" | And -> "and" | Sub -> "sub"
+  | Xor -> "xor" | Cmp -> "cmp"
+
+type shift = Shl | Shr | Sar
+
+let shift_index = function Shl -> 4 | Shr -> 5 | Sar -> 7
+
+let shift_of_index = function
+  | 4 -> Some Shl | 5 -> Some Shr | 7 -> Some Sar | _ -> None
+
+let shift_name = function Shl -> "shl" | Shr -> "shr" | Sar -> "sar"
+
+(** Decoded instruction.  Relative branch displacements are stored as signed
+    offsets from the address of the {e next} instruction, as on x86. *)
+type t =
+  | Nop
+  | Hlt
+  | Mov_ri of reg * int32          (* mov r, imm32           B8+r *)
+  | Mov_rm_r of rm * reg           (* mov r/m, r              89  *)
+  | Mov_r_rm of reg * rm           (* mov r, r/m              8B  *)
+  | Mov_rm_i of rm * int32         (* mov r/m, imm32          C7/0 *)
+  | Movb_rm_r of rm * reg          (* mov r/m8, r8            88  *)
+  | Movb_r_rm of reg * rm          (* mov r8, r/m8            8A  *)
+  | Movzbl of reg * rm             (* movzbl r, r/m8        0F B6 *)
+  | Push_r of reg                  (* push r                 50+r *)
+  | Pop_r of reg                   (* pop r                  58+r *)
+  | Push_i of int32                (* push imm32              68  *)
+  | Push_i8 of int32               (* push imm8 (sext)        6A  *)
+  | Inc_r of reg                   (* inc r                  40+r *)
+  | Dec_r of reg                   (* dec r                  48+r *)
+  | Alu_rm_r of alu * rm * reg     (* op r/m, r      01/09/21/... *)
+  | Alu_r_rm of alu * reg * rm     (* op r, r/m      03/0B/23/... *)
+  | Alu_eax_i of alu * int32       (* op eax, imm32  05/0D/25/... *)
+  | Alu_rm_i of alu * rm * int32   (* op r/m, imm32          81/n *)
+  | Alu_rm_i8 of alu * rm * int32  (* op r/m, imm8 (sext)    83/n *)
+  | Test_rm_r of rm * reg          (* test r/m, r             85  *)
+  | Not_rm of rm                   (* not r/m                F7/2 *)
+  | Neg_rm of rm                   (* neg r/m                F7/3 *)
+  | Mul_rm of rm                   (* mul r/m (edx:eax)      F7/4 *)
+  | Div_rm of rm                   (* div r/m (edx:eax)      F7/6 *)
+  | Imul_r_rm of reg * rm          (* imul r, r/m           0F AF *)
+  | Shift_i of shift * rm * int    (* shl/shr/sar r/m, imm8  C1/n *)
+  | Shift_cl of shift * rm         (* shl/shr/sar r/m, cl    D3/n *)
+  | Shrd of rm * reg * int         (* shrd r/m, r, imm8     0F AC *)
+  | Lea of reg * mem               (* lea r, m                8D  *)
+  | Cdq                            (* cdq                     99  *)
+  | Jmp of int32                   (* jmp rel32               E9  *)
+  | Jmp8 of int32                  (* jmp rel8                EB  *)
+  | Jcc of cond * int32            (* jcc rel32            0F 80+c *)
+  | Jcc8 of cond * int32           (* jcc rel8               70+c *)
+  | Call of int32                  (* call rel32              E8  *)
+  | Call_rm of rm                  (* call r/m               FF/2 *)
+  | Jmp_rm of rm                   (* jmp r/m                FF/4 *)
+  | Push_rm of rm                  (* push r/m               FF/6 *)
+  | Inc_rm of rm                   (* inc r/m                FF/0 *)
+  | Dec_rm of rm                   (* dec r/m                FF/1 *)
+  | Ret                            (* ret                     C3  *)
+  | Lret                           (* far ret (GP in flat)    CB  *)
+  | Leave                          (* leave                   C9  *)
+  | Int_ of int                    (* int imm8                CD  *)
+  | Int3                           (* int3                    CC  *)
+  | Ud2                            (* ud2 (BUG())           0F 0B *)
+  | Pusha                          (* pusha                   60  *)
+  | Popa                           (* popa                    61  *)
+  | Iret                           (* iret                    CF  *)
+  | Cli                            (* cli (privileged)        FA  *)
+  | Sti                            (* sti (privileged)        FB  *)
+  | In_al                          (* in al, dx (privileged)  EC  *)
+  | Out_al                         (* out dx, al (privileged) EE  *)
+  | Mov_cr_r of int * reg          (* mov crN, r (priv)     0F 22 *)
+  | Mov_r_cr of reg * int          (* mov r, crN (priv)     0F 20 *)
+  | Rdtsc                          (* rdtsc (cycle counter) 0F 31 *)
+  | Diskrd                         (* disk block read (priv) 0F 78 *)
+  | Diskwr                         (* disk block write (priv)0F 79 *)
+
+(** Classification used by the injection campaigns: campaign A targets
+    non-branch instructions, campaigns B and C conditional branches. *)
+let is_conditional_branch = function
+  | Jcc _ | Jcc8 _ -> true
+  | _ -> false
+
+let is_control_flow = function
+  | Jmp _ | Jmp8 _ | Jcc _ | Jcc8 _ | Call _ | Call_rm _ | Jmp_rm _
+  | Ret | Lret | Iret | Int_ _ | Int3 -> true
+  | _ -> false

@@ -1,0 +1,139 @@
+(** Instruction set of the simulated IA-32-like CPU.
+
+    The binary encoding (see {!Encode} and {!Decode}) is deliberately
+    x86-flavoured: variable-length byte instructions, ModRM/SIB operand
+    bytes, and condition-code opcodes whose low bit reverses the
+    condition.  The fault-injection study depends on those properties — a
+    single bit flip can change an opcode, shift instruction boundaries or
+    reverse a branch, exactly as in the paper's case studies. *)
+
+type reg = int
+(** General-purpose register index, 0..7 in x86 order:
+    eax, ecx, edx, ebx, esp, ebp, esi, edi. *)
+
+val eax : reg
+val ecx : reg
+val edx : reg
+val ebx : reg
+val esp : reg
+val ebp : reg
+val esi : reg
+val edi : reg
+
+val reg_name : string array
+(** [reg_name.(r)] is the conventional name of register [r]. *)
+
+type mem = {
+  base : reg option;           (** base register, if any *)
+  index : (reg * int) option;  (** index register and scale (1, 2, 4 or 8) *)
+  disp : int32;                (** signed displacement *)
+}
+(** A memory operand [disp + base + index*scale]. *)
+
+val mem : ?base:reg -> ?index:reg * int -> int32 -> mem
+(** [mem ?base ?index disp] builds a memory operand. *)
+
+val mb : reg -> int -> mem
+(** [mb r d] is the common [d(%r)] form. *)
+
+val mabs : int32 -> mem
+(** [mabs a] is an absolute-address operand. *)
+
+type rm = Reg of reg | Mem of mem
+(** Register-or-memory operand (the ModRM r/m field). *)
+
+type cond = O | NO | B | AE | E | NE | BE | A | S | NS | P | NP | L | GE | LE | G
+(** Condition codes in x86 encoding order (0x0..0xF).  Negating a
+    condition flips the low bit of its encoding: [E] (0x4) <-> [NE]
+    (0x5) — which is what the paper's campaign C exploits. *)
+
+val cond_code : cond -> int
+(** Encoding of a condition (0..15). *)
+
+val cond_of_code : int -> cond
+(** Inverse of {!cond_code}.  @raise Invalid_argument outside 0..15. *)
+
+val cond_name : cond -> string
+(** Mnemonic of the conditional jump using this condition ("je", "jl", …). *)
+
+type alu = Add | Or | And | Sub | Xor | Cmp
+(** ALU operations sharing the x86 00-3F opcode pattern. *)
+
+val alu_index : alu -> int
+val alu_of_index : int -> alu option
+val alu_name : alu -> string
+
+type shift = Shl | Shr | Sar
+
+val shift_index : shift -> int
+val shift_of_index : int -> shift option
+val shift_name : shift -> string
+
+(** A decoded instruction.  Relative branch displacements are signed
+    offsets from the address of the following instruction, as on x86. *)
+type t =
+  | Nop
+  | Hlt
+  | Mov_ri of reg * int32
+  | Mov_rm_r of rm * reg
+  | Mov_r_rm of reg * rm
+  | Mov_rm_i of rm * int32
+  | Movb_rm_r of rm * reg
+  | Movb_r_rm of reg * rm
+  | Movzbl of reg * rm
+  | Push_r of reg
+  | Pop_r of reg
+  | Push_i of int32
+  | Push_i8 of int32
+  | Inc_r of reg
+  | Dec_r of reg
+  | Alu_rm_r of alu * rm * reg
+  | Alu_r_rm of alu * reg * rm
+  | Alu_eax_i of alu * int32
+  | Alu_rm_i of alu * rm * int32
+  | Alu_rm_i8 of alu * rm * int32
+  | Test_rm_r of rm * reg
+  | Not_rm of rm
+  | Neg_rm of rm
+  | Mul_rm of rm
+  | Div_rm of rm
+  | Imul_r_rm of reg * rm
+  | Shift_i of shift * rm * int
+  | Shift_cl of shift * rm
+  | Shrd of rm * reg * int
+  | Lea of reg * mem
+  | Cdq
+  | Jmp of int32
+  | Jmp8 of int32
+  | Jcc of cond * int32
+  | Jcc8 of cond * int32
+  | Call of int32
+  | Call_rm of rm
+  | Jmp_rm of rm
+  | Push_rm of rm
+  | Inc_rm of rm
+  | Dec_rm of rm
+  | Ret
+  | Lret
+  | Leave
+  | Int_ of int
+  | Int3
+  | Ud2
+  | Pusha
+  | Popa
+  | Iret
+  | Cli
+  | Sti
+  | In_al
+  | Out_al
+  | Mov_cr_r of int * reg
+  | Mov_r_cr of reg * int
+  | Rdtsc
+  | Diskrd
+  | Diskwr
+
+val is_conditional_branch : t -> bool
+(** Campaigns B and C target exactly these instructions. *)
+
+val is_control_flow : t -> bool
+(** Any instruction that redirects execution. *)

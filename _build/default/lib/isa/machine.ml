@@ -1,0 +1,119 @@
+(* A whole machine: CPU + memory + disk, with snapshot/restore (used by the
+   injector to "reboot" between experiments) and a watchdog-bounded run
+   loop (the paper's hardware watchdog monitor). *)
+
+type t = { cpu : Cpu.t }
+
+let default_phys_size = 16 * 1024 * 1024
+let default_idt_base = 0x2000
+
+let create ?(phys_size = default_phys_size) ?(idt_base = default_idt_base) ~disk () =
+  let phys = Phys.create phys_size in
+  { cpu = Cpu.create ~phys ~disk ~idt_base }
+
+let cpu t = t.cpu
+let phys t = t.cpu.Cpu.phys
+let disk t = t.cpu.Cpu.disk
+let console_contents t = Buffer.contents t.cpu.Cpu.console
+let tty_contents t = Buffer.contents t.cpu.Cpu.tty
+
+type run_result =
+  | Powered_off of int       (* guest wrote an exit code to the poweroff port *)
+  | Halted                   (* hlt: the crash-handler convention *)
+  | Watchdog                 (* cycle budget exhausted: hang *)
+  | Reset of Trap.t          (* triple fault: crash without a dump *)
+  | Snapshot_point           (* guest requested a snapshot pause *)
+
+let run t ~max_cycles =
+  let cpu = t.cpu in
+  let limit = cpu.Cpu.cycles + max_cycles in
+  let rec loop () =
+    if cpu.Cpu.snapshot_request then begin
+      cpu.Cpu.snapshot_request <- false;
+      Snapshot_point
+    end
+    else if cpu.Cpu.halted then begin
+      match cpu.Cpu.exit_code with
+      | Some code -> Powered_off code
+      | None -> Halted
+    end
+    else if cpu.Cpu.cycles >= limit then Watchdog
+    else begin
+      Cpu.step cpu;
+      loop ()
+    end
+  in
+  try loop () with Cpu.Triple_fault trap -> Reset trap
+
+(* Full machine state, for experiment isolation. *)
+type snapshot = {
+  s_phys : Phys.t;
+  s_disk : Devices.Disk.t;
+  s_regs : int32 array;
+  s_eip : int32;
+  s_eflags : int;
+  s_mode : Cpu.mode;
+  s_cr0 : int32;
+  s_cr2 : int32;
+  s_cr3 : int32;
+  s_esp0 : int32;
+  s_cycles : int;
+  s_halted : bool;
+  s_exit_code : int option;
+  s_dr : int32 array;
+  s_dr7 : int;
+  s_timer_period : int;
+  s_next_timer : int;
+  s_console : string;
+  s_tty : string;
+}
+
+let snapshot t =
+  let c = t.cpu in
+  {
+    s_phys = Phys.copy c.Cpu.phys;
+    s_disk = Devices.Disk.copy c.Cpu.disk;
+    s_regs = Array.copy c.Cpu.regs;
+    s_eip = c.Cpu.eip;
+    s_eflags = c.Cpu.eflags;
+    s_mode = c.Cpu.mode;
+    s_cr0 = c.Cpu.cr0;
+    s_cr2 = c.Cpu.cr2;
+    s_cr3 = c.Cpu.cr3;
+    s_esp0 = c.Cpu.esp0;
+    s_cycles = c.Cpu.cycles;
+    s_halted = c.Cpu.halted;
+    s_exit_code = c.Cpu.exit_code;
+    s_dr = Array.copy c.Cpu.dr;
+    s_dr7 = c.Cpu.dr7;
+    s_timer_period = c.Cpu.timer_period;
+    s_next_timer = c.Cpu.next_timer;
+    s_console = Buffer.contents c.Cpu.console;
+    s_tty = Buffer.contents c.Cpu.tty;
+  }
+
+let restore t s =
+  let c = t.cpu in
+  Phys.restore c.Cpu.phys ~from:s.s_phys;
+  Devices.Disk.restore c.Cpu.disk ~from:s.s_disk;
+  Array.blit s.s_regs 0 c.Cpu.regs 0 8;
+  c.Cpu.eip <- s.s_eip;
+  c.Cpu.eflags <- s.s_eflags;
+  c.Cpu.mode <- s.s_mode;
+  c.Cpu.cr0 <- s.s_cr0;
+  c.Cpu.cr2 <- s.s_cr2;
+  c.Cpu.cr3 <- s.s_cr3;
+  c.Cpu.esp0 <- s.s_esp0;
+  c.Cpu.cycles <- s.s_cycles;
+  c.Cpu.halted <- s.s_halted;
+  c.Cpu.exit_code <- s.s_exit_code;
+  Array.blit s.s_dr 0 c.Cpu.dr 0 4;
+  c.Cpu.dr7 <- s.s_dr7;
+  c.Cpu.timer_period <- s.s_timer_period;
+  c.Cpu.next_timer <- s.s_next_timer;
+  Buffer.clear c.Cpu.console;
+  Buffer.add_string c.Cpu.console s.s_console;
+  Buffer.clear c.Cpu.tty;
+  Buffer.add_string c.Cpu.tty s.s_tty;
+  Mmu.flush c.Cpu.mmu;
+  Cpu.flush_icache c

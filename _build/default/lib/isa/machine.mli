@@ -1,0 +1,37 @@
+(** A whole machine: CPU + physical memory + disk, with snapshot/restore
+    (the injector's "reboot") and a watchdog-bounded run loop (the
+    paper's hardware watchdog monitor). *)
+
+type t
+
+val default_phys_size : int
+val default_idt_base : int
+
+val create : ?phys_size:int -> ?idt_base:int -> disk:Devices.Disk.t -> unit -> t
+
+val cpu : t -> Cpu.t
+val phys : t -> Phys.t
+val disk : t -> Devices.Disk.t
+
+val console_contents : t -> string
+(** The combined transcript: kernel log + tty, in write order. *)
+
+val tty_contents : t -> string
+(** User-program output only (the fail-silence comparison stream). *)
+
+(** Why a bounded run stopped. *)
+type run_result =
+  | Powered_off of int  (** the guest wrote an exit code to the poweroff port *)
+  | Halted              (** [hlt] with no exit code: the crash-handler convention *)
+  | Watchdog            (** cycle budget exhausted: a hang *)
+  | Reset of Trap.t     (** triple fault: a crash the dump machinery missed *)
+  | Snapshot_point      (** the guest requested a snapshot pause *)
+
+val run : t -> max_cycles:int -> run_result
+(** Execute until one of the {!run_result} conditions occurs. *)
+
+type snapshot
+(** Full machine state: memory, disk, registers, devices, console. *)
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

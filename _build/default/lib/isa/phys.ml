@@ -1,0 +1,37 @@
+(* Physical memory: a flat little-endian byte array. *)
+
+type t = { data : Bytes.t }
+
+exception Bad_physical_address of int
+
+let create size = { data = Bytes.make size '\000' }
+let size t = Bytes.length t.data
+
+let check t addr n =
+  if addr < 0 || addr + n > Bytes.length t.data then raise (Bad_physical_address addr)
+
+let read8 t addr =
+  check t addr 1;
+  Char.code (Bytes.unsafe_get t.data addr)
+
+let write8 t addr v =
+  check t addr 1;
+  Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xff))
+
+let read32 t addr =
+  check t addr 4;
+  Bytes.get_int32_le t.data addr
+
+let write32 t addr v =
+  check t addr 4;
+  Bytes.set_int32_le t.data addr v
+
+let blit_in t ~dst bytes = Bytes.blit bytes 0 t.data dst (Bytes.length bytes)
+
+let blit_out t ~src ~len =
+  let b = Bytes.create len in
+  Bytes.blit t.data src b 0 len;
+  b
+
+let copy t = { data = Bytes.copy t.data }
+let restore t ~from = Bytes.blit from.data 0 t.data 0 (Bytes.length t.data)

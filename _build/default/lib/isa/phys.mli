@@ -1,0 +1,29 @@
+(** Physical memory: a flat little-endian byte array. *)
+
+type t
+
+exception Bad_physical_address of int
+(** Raised on access outside the installed memory (a machine-check-like
+    condition that escalates to a reset). *)
+
+val create : int -> t
+(** [create size] allocates zeroed physical memory. *)
+
+val size : t -> int
+
+val read8 : t -> int -> int
+val write8 : t -> int -> int -> unit
+val read32 : t -> int -> int32
+val write32 : t -> int -> int32 -> unit
+
+val blit_in : t -> dst:int -> bytes -> unit
+(** Copy a byte string into memory (the boot loader's DMA). *)
+
+val blit_out : t -> src:int -> len:int -> bytes
+(** Copy a region out of memory. *)
+
+val copy : t -> t
+(** Snapshot of the full contents. *)
+
+val restore : t -> from:t -> unit
+(** Restore contents from a snapshot taken with {!copy}. *)

@@ -1,0 +1,62 @@
+(* Single-step execution tracing: the kdb "ss"/instruction-trace
+   facility.  Runs the machine one instruction at a time, formatting each
+   executed instruction (and optionally register deltas), until a
+   predicate or budget stops it. *)
+
+let u32 v = Int32.to_int v land 0xFFFFFFFF
+
+type event = {
+  e_cycle : int;
+  e_eip : int32;
+  e_mode : Cpu.mode;
+  e_text : string; (* disassembly of the instruction about to execute *)
+}
+
+(* Disassemble the instruction at the current eip by reading guest memory
+   through the MMU (so corrupted bytes show as they will execute). *)
+let current_insn_text cpu =
+  let fetch i =
+    Mmu.read8 cpu.Cpu.mmu ~cr3:cpu.Cpu.cr3 ~user:(cpu.Cpu.mode = Cpu.User)
+      (Int32.add cpu.Cpu.eip (Int32.of_int i))
+  in
+  match Decode.decode fetch with
+  | Decode.Ok (insn, len) -> Disasm.to_string ~pc:cpu.Cpu.eip ~len insn
+  | Decode.Invalid -> "(bad)"
+  | exception _ -> "(unreadable)"
+
+(* Step up to [max_steps] instructions, reporting each via [on_event];
+   stops early on halt/snapshot/triple fault or when [until] is true. *)
+let trace ?(until = fun _ -> false) machine ~max_steps ~on_event =
+  let cpu = Machine.cpu machine in
+  let steps = ref 0 in
+  (try
+     while
+       !steps < max_steps
+       && (not cpu.Cpu.halted)
+       && (not cpu.Cpu.snapshot_request)
+       && not (until cpu)
+     do
+       on_event
+         {
+           e_cycle = cpu.Cpu.cycles;
+           e_eip = cpu.Cpu.eip;
+           e_mode = cpu.Cpu.mode;
+           e_text = current_insn_text cpu;
+         };
+       Cpu.step cpu;
+       incr steps
+     done
+   with Cpu.Triple_fault _ -> ());
+  !steps
+
+(* Convenience: a formatted trace of the next [n] instructions. *)
+let trace_string ?until machine ~n =
+  let buf = Buffer.create 4096 in
+  let on_event e =
+    Buffer.add_string buf
+      (Printf.sprintf "%10d  %s %08x  %s\n" e.e_cycle
+         (match e.e_mode with Cpu.Kernel -> "K" | Cpu.User -> "U")
+         (u32 e.e_eip) e.e_text)
+  in
+  ignore (trace ?until machine ~max_steps:n ~on_event);
+  Buffer.contents buf

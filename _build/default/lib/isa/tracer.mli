@@ -1,0 +1,28 @@
+(** Single-step execution tracing (the kdb instruction-trace facility).
+
+    Each step reports the instruction about to execute, read through the
+    MMU so injected corruption shows exactly as it will run. *)
+
+type event = {
+  e_cycle : int;
+  e_eip : int32;
+  e_mode : Cpu.mode;
+  e_text : string;
+}
+
+val current_insn_text : Cpu.t -> string
+(** Disassembly of the instruction at the current eip; "(bad)" for an
+    undefined encoding, "(unreadable)" when the fetch would fault. *)
+
+val trace :
+  ?until:(Cpu.t -> bool) ->
+  Machine.t ->
+  max_steps:int ->
+  on_event:(event -> unit) ->
+  int
+(** Step up to [max_steps] instructions, reporting each; stops early on
+    halt, snapshot request, triple fault, or when [until] holds.
+    Returns the number of steps executed. *)
+
+val trace_string : ?until:(Cpu.t -> bool) -> Machine.t -> n:int -> string
+(** A formatted trace of the next [n] instructions. *)

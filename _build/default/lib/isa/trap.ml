@@ -1,0 +1,68 @@
+(* CPU exceptions and interrupt vectors (x86 numbering). *)
+
+type vector =
+  | Divide_error          (* 0 *)
+  | Int3                  (* 3 *)
+  | Overflow              (* 4 *)
+  | Bounds                (* 5 *)
+  | Invalid_opcode        (* 6 *)
+  | Invalid_tss           (* 10 *)
+  | Segment_not_present   (* 11 *)
+  | Stack_exception       (* 12 *)
+  | General_protection    (* 13 *)
+  | Page_fault            (* 14 *)
+  | Timer_irq             (* 32 *)
+  | Syscall               (* 0x80 *)
+  | Soft_int of int       (* other `int n` *)
+
+let number = function
+  | Divide_error -> 0
+  | Int3 -> 3
+  | Overflow -> 4
+  | Bounds -> 5
+  | Invalid_opcode -> 6
+  | Invalid_tss -> 10
+  | Segment_not_present -> 11
+  | Stack_exception -> 12
+  | General_protection -> 13
+  | Page_fault -> 14
+  | Timer_irq -> 32
+  | Syscall -> 0x80
+  | Soft_int n -> n land 0xff
+
+let of_number = function
+  | 0 -> Divide_error
+  | 3 -> Int3
+  | 4 -> Overflow
+  | 5 -> Bounds
+  | 6 -> Invalid_opcode
+  | 10 -> Invalid_tss
+  | 11 -> Segment_not_present
+  | 12 -> Stack_exception
+  | 13 -> General_protection
+  | 14 -> Page_fault
+  | 32 -> Timer_irq
+  | 0x80 -> Syscall
+  | n -> Soft_int n
+
+let name = function
+  | Divide_error -> "divide error"
+  | Int3 -> "int3"
+  | Overflow -> "overflow"
+  | Bounds -> "bounds"
+  | Invalid_opcode -> "invalid opcode"
+  | Invalid_tss -> "invalid TSS"
+  | Segment_not_present -> "segment not present"
+  | Stack_exception -> "stack exception"
+  | General_protection -> "general protection fault"
+  | Page_fault -> "page fault"
+  | Timer_irq -> "timer interrupt"
+  | Syscall -> "system call"
+  | Soft_int n -> Printf.sprintf "int 0x%02x" n
+
+(* In-flight exception, delivered by the CPU to the guest kernel's IDT
+   handler.  [error] is the error code pushed on the kernel stack (page
+   faults: bit0 = protection violation, bit1 = write, bit2 = user mode). *)
+type t = { vector : vector; error : int32 }
+
+exception Fault of t

@@ -1,0 +1,28 @@
+(** CPU exceptions and interrupt vectors (x86 numbering). *)
+
+type vector =
+  | Divide_error          (** 0 *)
+  | Int3                  (** 3 *)
+  | Overflow              (** 4 *)
+  | Bounds                (** 5 *)
+  | Invalid_opcode        (** 6 — includes [ud2], the BUG() instruction *)
+  | Invalid_tss           (** 10 *)
+  | Segment_not_present   (** 11 *)
+  | Stack_exception       (** 12 *)
+  | General_protection    (** 13 *)
+  | Page_fault            (** 14 — faulting address in CR2 *)
+  | Timer_irq             (** 32 *)
+  | Syscall               (** 0x80 *)
+  | Soft_int of int       (** any other [int n] *)
+
+val number : vector -> int
+val of_number : int -> vector
+val name : vector -> string
+
+type t = { vector : vector; error : int32 }
+(** An in-flight exception.  [error] is the error code pushed on the
+    kernel stack; for page faults bit 0 = protection violation,
+    bit 1 = write access, bit 2 = fault taken in user mode. *)
+
+exception Fault of t
+(** Raised by the execution engine to request delivery to the guest. *)

@@ -1,0 +1,1 @@
+lib/kcc/ast.ml: Kfi_asm

@@ -1,0 +1,1 @@
+lib/kcc/c.ml: Ast Int32

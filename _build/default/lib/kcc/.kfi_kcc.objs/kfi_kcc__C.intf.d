@@ -1,0 +1,1 @@
+lib/kcc/c.mli: Ast Kfi_asm

@@ -1,0 +1,1 @@
+lib/kcc/codegen.ml: Assembler Ast Hashtbl Insn Int32 Kfi_asm Kfi_isa List Printf

@@ -1,0 +1,1 @@
+lib/kcc/codegen.mli: Ast Kfi_asm

@@ -1,0 +1,55 @@
+(* Abstract syntax of the C-like kernel language.
+
+   The mini-kernel and the workloads are written in this language and
+   compiled to machine code by {!Codegen}, so that the fault injector has a
+   real instruction stream to corrupt.  All values are 32-bit words; memory
+   is accessed through explicit loads/stores (there is no type system beyond
+   word/byte widths, just like the machine). *)
+
+type width = W8 | W32
+
+type unop =
+  | Neg        (* two's complement *)
+  | Bnot       (* bitwise not *)
+  | Lnot       (* logical not: 0 -> 1, nonzero -> 0 *)
+
+type binop =
+  (* arithmetic / bitwise *)
+  | Add | Sub | Mul | Divu | Modu | Band | Bor | Bxor | Shl | Shru | Sar
+  (* comparisons, signed and unsigned; result is 0 or 1 *)
+  | Eq | Ne | Lt | Le | Gt | Ge | Ltu | Leu | Gtu | Geu
+  (* short-circuit logical connectives *)
+  | Land | Lor
+
+type expr =
+  | Num of int32
+  | Local of string              (* local variable or parameter *)
+  | Global of string             (* 32-bit load from a global symbol *)
+  | Addr_of_global of string     (* address of a global symbol *)
+  | Addr_of_local of string      (* address of a stack slot *)
+  | Load of width * expr         (* memory load *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+  | Call_ptr of expr * expr list (* indirect call through a function pointer *)
+
+type stmt =
+  | Decl of string * expr        (* declare-and-initialise a local *)
+  | Set of string * expr         (* assign a local *)
+  | Set_global of string * expr  (* 32-bit store to a global symbol *)
+  | Store of width * expr * expr (* *(addr) = value *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Do_expr of expr              (* evaluate for side effects *)
+  | Return of expr option
+  | Break
+  | Continue
+  | Bug                          (* BUG(): compiled to ud2 *)
+  | Asm of Kfi_asm.Assembler.item list (* inline assembly *)
+
+type func = {
+  fn_name : string;
+  fn_subsys : string;            (* arch | fs | kernel | mm | user | lib *)
+  fn_params : string list;
+  fn_body : stmt list;
+}

@@ -1,0 +1,85 @@
+(* Ergonomic combinators for writing kernel code in the {!Ast} language.
+
+   Kernel sources read roughly like the C they model:
+   {[
+     func "pipe_read" ~subsys:"fs" ~params:[ "file"; "buf"; "count" ]
+       [ decl "ret" (num (-29));  (* -ESPIPE *)
+         if_ (lod32 (l "file" + num 4) <>. num 0)
+           [ ret (l "ret") ] [];
+         ... ]
+   ]} *)
+
+open Ast
+
+let num n = Num (Int32.of_int n)
+let num32 n = Num n
+let l x = Local x
+let g x = Global x
+let addr x = Addr_of_global x
+let addr_local x = Addr_of_local x
+let lod32 a = Load (W32, a)
+let lod8 a = Load (W8, a)
+
+let ( + ) a b = Binop (Add, a, b)
+let ( - ) a b = Binop (Sub, a, b)
+let ( * ) a b = Binop (Mul, a, b)
+let ( / ) a b = Binop (Divu, a, b)
+let ( mod ) a b = Binop (Modu, a, b)
+let ( land ) a b = Binop (Band, a, b)
+let ( lor ) a b = Binop (Bor, a, b)
+let ( lxor ) a b = Binop (Bxor, a, b)
+let ( lsl ) a b = Binop (Shl, a, b)
+let ( lsr ) a b = Binop (Shru, a, b)
+let ( asr ) a b = Binop (Sar, a, b)
+
+let ( ==. ) a b = Binop (Eq, a, b)
+let ( <>. ) a b = Binop (Ne, a, b)
+let ( <. ) a b = Binop (Lt, a, b)      (* signed *)
+let ( <=. ) a b = Binop (Le, a, b)
+let ( >. ) a b = Binop (Gt, a, b)
+let ( >=. ) a b = Binop (Ge, a, b)
+let ( <% ) a b = Binop (Ltu, a, b)     (* unsigned *)
+let ( <=% ) a b = Binop (Leu, a, b)
+let ( >% ) a b = Binop (Gtu, a, b)
+let ( >=% ) a b = Binop (Geu, a, b)
+let ( &&. ) a b = Binop (Land, a, b)
+let ( ||. ) a b = Binop (Lor, a, b)
+let not_ a = Unop (Lnot, a)
+let neg a = Unop (Neg, a)
+let bnot a = Unop (Bnot, a)
+
+let call f args = Call (f, args)
+let call_ptr p args = Call_ptr (p, args)
+
+(* Statements *)
+let decl x e = Decl (x, e)
+let set x e = Set (x, e)
+let setg x e = Set_global (x, e)
+let sto32 a v = Store (W32, a, v)
+let sto8 a v = Store (W8, a, v)
+let if_ c t e = If (c, t, e)
+let when_ c t = If (c, t, [])
+let while_ c b = While (c, b)
+let do_ e = Do_expr e
+let ret e = Return (Some e)
+let ret0 = Return None
+let break_ = Break
+let continue_ = Continue
+let bug = Bug
+let asm items = Asm items
+
+(* Structure-field helpers: [fld p off] reads the 32-bit field at byte
+   offset [off] of the record pointed to by [p]. *)
+let fld p off = lod32 (p + num off)
+let set_fld p off v = sto32 (p + num off) v
+let fld8 p off = lod8 (p + num off)
+
+(* Array helpers on 32-bit element tables. *)
+let idx32 base i = lod32 (base + Binop (Shl, i, num 2))
+let set_idx32 base i v = sto32 (base + Binop (Shl, i, num 2)) v
+
+let func name ~subsys ~params body =
+  { fn_name = name; fn_subsys = subsys; fn_params = params; fn_body = body }
+
+(* A C-style for loop: for (init; cond; step) body *)
+let for_ init cond step body = [ init; While (cond, body @ [ step ]) ]

@@ -1,0 +1,126 @@
+(** Combinators for writing kernel code in the {!Ast} language.
+
+    Kernel sources read roughly like the C they model:
+    {[
+      func "pipe_read" ~subsys:"fs" ~params:[ "file"; "buf"; "count" ]
+        [ decl "p" (fld (l "file") f_pipe);
+          when_ (l "p" ==. num 0) [ ret (neg (num espipe)) ];
+          ... ]
+    ]}
+
+    Note that this module intentionally shadows the integer operators
+    ([+], [land], [lsl], …) with expression builders; use
+    [Stdlib.( + )] (or [Stdlib.(...)] blocks) for host-side integer
+    arithmetic inside kernel sources. *)
+
+open Ast
+
+(** {1 Expressions} *)
+
+val num : int -> expr
+val num32 : int32 -> expr
+
+val l : string -> expr
+(** A local variable or parameter. *)
+
+val g : string -> expr
+(** A 32-bit load from a global symbol. *)
+
+val addr : string -> expr
+(** The address of a global symbol. *)
+
+val addr_local : string -> expr
+(** The address of a local's stack slot (for out-parameters). *)
+
+val lod32 : expr -> expr
+val lod8 : expr -> expr
+
+(** Arithmetic and bitwise operators (32-bit wraparound). *)
+
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : expr -> expr -> expr
+val ( / ) : expr -> expr -> expr
+(** Unsigned division. *)
+
+val ( mod ) : expr -> expr -> expr
+(** Unsigned remainder. *)
+
+val ( land ) : expr -> expr -> expr
+val ( lor ) : expr -> expr -> expr
+val ( lxor ) : expr -> expr -> expr
+val ( lsl ) : expr -> expr -> expr
+val ( lsr ) : expr -> expr -> expr
+val ( asr ) : expr -> expr -> expr
+
+(** Comparisons (result 0/1): [.]-suffixed are signed, [%]-suffixed
+    unsigned. *)
+
+val ( ==. ) : expr -> expr -> expr
+val ( <>. ) : expr -> expr -> expr
+val ( <. ) : expr -> expr -> expr
+val ( <=. ) : expr -> expr -> expr
+val ( >. ) : expr -> expr -> expr
+val ( >=. ) : expr -> expr -> expr
+val ( <% ) : expr -> expr -> expr
+val ( <=% ) : expr -> expr -> expr
+val ( >% ) : expr -> expr -> expr
+val ( >=% ) : expr -> expr -> expr
+
+(** Short-circuit logical connectives. *)
+
+val ( &&. ) : expr -> expr -> expr
+val ( ||. ) : expr -> expr -> expr
+val not_ : expr -> expr
+val neg : expr -> expr
+val bnot : expr -> expr
+
+val call : string -> expr list -> expr
+val call_ptr : expr -> expr list -> expr
+(** Indirect call through a function pointer (VFS-style dispatch). *)
+
+(** {1 Statements} *)
+
+val decl : string -> expr -> stmt
+(** Declare-and-initialise a local (re-declaring a name reuses its
+    slot, approximating C block scoping). *)
+
+val set : string -> expr -> stmt
+val setg : string -> expr -> stmt
+val sto32 : expr -> expr -> stmt
+val sto8 : expr -> expr -> stmt
+val if_ : expr -> stmt list -> stmt list -> stmt
+val when_ : expr -> stmt list -> stmt
+val while_ : expr -> stmt list -> stmt
+val do_ : expr -> stmt
+val ret : expr -> stmt
+val ret0 : stmt
+val break_ : stmt
+val continue_ : stmt
+
+val bug : stmt
+(** BUG(): compiles to [ud2], crashing with invalid opcode if reached —
+    the 2.4 assertion idiom that dominates the paper's campaign-C crash
+    causes. *)
+
+val asm : Kfi_asm.Assembler.item list -> stmt
+(** Inline assembly. *)
+
+(** {1 Structure and array sugar} *)
+
+val fld : expr -> int -> expr
+(** [fld p off] reads the 32-bit field at byte offset [off] of [*p]. *)
+
+val set_fld : expr -> int -> expr -> stmt
+val fld8 : expr -> int -> expr
+val idx32 : expr -> expr -> expr
+(** [idx32 base i] reads the [i]-th 32-bit element of a table. *)
+
+val set_idx32 : expr -> expr -> expr -> stmt
+
+val func : string -> subsys:string -> params:string list -> stmt list -> func
+(** Define a function, tagged with the subsystem used for Table 1 /
+    Figure 4 attribution. *)
+
+val for_ : stmt -> expr -> stmt -> stmt list -> stmt list
+(** C-style [for (init; cond; step) body]. *)

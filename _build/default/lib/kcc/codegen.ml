@@ -1,0 +1,336 @@
+(* Code generator: {!Ast} -> assembler items.
+
+   A deliberately simple, classic one-pass compiler (in the spirit of the
+   compilers that produced the paper's 2.4-era kernel code):
+   - cdecl frames: args at [ebp+8+4i], locals at [ebp-4(i+1)],
+   - expressions evaluate into eax using ecx/edx as scratch and the stack
+     for intermediates,
+   - conditions compile to cmp + jcc, so the binary is full of the short
+     conditional branches that campaigns B and C target,
+   - [BUG()] compiles to ud2, giving the paper's assertion pattern
+     (reversed-branch errors land on ud2 -> invalid opcode crashes). *)
+
+open Kfi_isa
+open Kfi_asm
+open Ast
+
+exception Compile_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt
+
+let cond_of_cmp = function
+  | Eq -> Insn.E | Ne -> Insn.NE
+  | Lt -> Insn.L | Le -> Insn.LE | Gt -> Insn.G | Ge -> Insn.GE
+  | Ltu -> Insn.B | Leu -> Insn.BE | Gtu -> Insn.A | Geu -> Insn.AE
+  | _ -> err "not a comparison"
+
+let negate c = Insn.cond_of_code (Insn.cond_code c lxor 1)
+
+let is_cmp = function
+  | Eq | Ne | Lt | Le | Gt | Ge | Ltu | Leu | Gtu | Geu -> true
+  | _ -> false
+
+type state = {
+  fn : func;
+  items : Assembler.item list ref;
+  mutable next_label : int;
+  mutable loops : (string * string) list; (* break label, continue label *)
+  slots : (string, int) Hashtbl.t;        (* name -> offset from ebp *)
+  mutable nlocals : int;
+}
+
+let emit st it = st.items := it :: !(st.items)
+let ins st i = emit st (Assembler.Ins i)
+
+let fresh_label st =
+  let n = st.next_label in
+  st.next_label <- n + 1;
+  Printf.sprintf "%s.L%d" st.fn.fn_name n
+
+let slot st name =
+  match Hashtbl.find_opt st.slots name with
+  | Some off -> off
+  | None -> err "%s: unknown variable %s" st.fn.fn_name name
+
+(* Re-declaring a name reuses its slot (approximates C block scoping). *)
+let declare st name =
+  match Hashtbl.find_opt st.slots name with
+  | Some off -> off
+  | None ->
+    st.nlocals <- st.nlocals + 1;
+    let off = -4 * st.nlocals in
+    Hashtbl.replace st.slots name off;
+    off
+
+open Insn
+
+let local_rm st name = Mem (mb ebp (slot st name))
+
+(* esp adjustment choosing the imm8 form when it fits. *)
+let alu_esp st op k =
+  let k32 = Int32.of_int k in
+  if k <= 127 then ins st (Alu_rm_i8 (op, Reg esp, k32))
+  else ins st (Alu_rm_i (op, Reg esp, k32))
+
+(* Evaluate [e] into eax. *)
+let rec expr st e =
+  match e with
+  | Num v -> ins st (Mov_ri (eax, v))
+  | Local x -> ins st (Mov_r_rm (eax, local_rm st x))
+  | Global s -> emit st (Assembler.Ins_sym ((fun a -> Mov_r_rm (eax, Mem (mabs a))), s))
+  | Addr_of_global s -> emit st (Assembler.Ins_sym ((fun a -> Mov_ri (eax, a)), s))
+  | Addr_of_local x -> ins st (Lea (eax, mb ebp (slot st x)))
+  | Load (W32, a) ->
+    expr st a;
+    ins st (Mov_r_rm (eax, Mem (mb eax 0)))
+  | Load (W8, a) ->
+    expr st a;
+    ins st (Movzbl (eax, Mem (mb eax 0)))
+  | Unop (Neg, a) ->
+    expr st a;
+    ins st (Neg_rm (Reg eax))
+  | Unop (Bnot, a) ->
+    expr st a;
+    ins st (Not_rm (Reg eax))
+  | Unop (Lnot, a) ->
+    expr st a;
+    let l = fresh_label st in
+    ins st (Test_rm_r (Reg eax, eax));
+    ins st (Mov_ri (eax, 1l));
+    emit st (Assembler.Jcc_sym (E, l));
+    ins st (Mov_ri (eax, 0l));
+    emit st (Assembler.Label l)
+  | Binop ((Land | Lor), _, _) | Binop ((Eq | Ne | Lt | Le | Gt | Ge | Ltu | Leu | Gtu | Geu), _, _) ->
+    (* Materialise a boolean via the branching compiler. *)
+    let l_false = fresh_label st and l_end = fresh_label st in
+    branch_if_false st e l_false;
+    ins st (Mov_ri (eax, 1l));
+    emit st (Assembler.Jmp_sym l_end);
+    emit st (Assembler.Label l_false);
+    ins st (Mov_ri (eax, 0l));
+    emit st (Assembler.Label l_end)
+  | Binop (op, a, b) -> arith st op a b
+  | Call (f, args) ->
+    let n = push_args st args in
+    emit st (Assembler.Call_sym f);
+    if n > 0 then alu_esp st Insn.Add (4 * n)
+  | Call_ptr (p, args) ->
+    let n = push_args st args in
+    expr st p;
+    ins st (Call_rm (Reg eax));
+    if n > 0 then alu_esp st Insn.Add (4 * n)
+
+and push_args st args =
+  List.iter
+    (fun a ->
+      expr st a;
+      ins st (Push_r eax))
+    (List.rev args);
+  List.length args
+
+and arith st op a b =
+  let imm_alu =
+    match op, b with
+    | Add, Num k -> Some (Alu_rm_i (Insn.Add, Reg eax, k))
+    | Sub, Num k -> Some (Alu_rm_i (Insn.Sub, Reg eax, k))
+    | Band, Num k -> Some (Alu_rm_i (Insn.And, Reg eax, k))
+    | Bor, Num k -> Some (Alu_rm_i (Insn.Or, Reg eax, k))
+    | Bxor, Num k -> Some (Alu_rm_i (Insn.Xor, Reg eax, k))
+    | Shl, Num k -> Some (Shift_i (Insn.Shl, Reg eax, Int32.to_int k land 31))
+    | Shru, Num k -> Some (Shift_i (Insn.Shr, Reg eax, Int32.to_int k land 31))
+    | Sar, Num k -> Some (Shift_i (Insn.Sar, Reg eax, Int32.to_int k land 31))
+    | _ -> None
+  in
+  match imm_alu with
+  | Some i ->
+    expr st a;
+    ins st i
+  | None ->
+    expr st a;
+    ins st (Push_r eax);
+    expr st b;
+    ins st (Mov_rm_r (Reg edx, eax)); (* right -> edx *)
+    ins st (Pop_r eax);               (* left -> eax *)
+    (match op with
+     | Add -> ins st (Alu_rm_r (Insn.Add, Reg eax, edx))
+     | Sub -> ins st (Alu_rm_r (Insn.Sub, Reg eax, edx))
+     | Band -> ins st (Alu_rm_r (Insn.And, Reg eax, edx))
+     | Bor -> ins st (Alu_rm_r (Insn.Or, Reg eax, edx))
+     | Bxor -> ins st (Alu_rm_r (Insn.Xor, Reg eax, edx))
+     | Mul -> ins st (Imul_r_rm (eax, Reg edx))
+     | Divu ->
+       ins st (Mov_rm_r (Reg ecx, edx));
+       ins st (Alu_rm_r (Insn.Xor, Reg edx, edx));
+       ins st (Div_rm (Reg ecx))
+     | Modu ->
+       ins st (Mov_rm_r (Reg ecx, edx));
+       ins st (Alu_rm_r (Insn.Xor, Reg edx, edx));
+       ins st (Div_rm (Reg ecx));
+       ins st (Mov_rm_r (Reg eax, edx))
+     | Shl ->
+       ins st (Mov_rm_r (Reg ecx, edx));
+       ins st (Shift_cl (Insn.Shl, Reg eax))
+     | Shru ->
+       ins st (Mov_rm_r (Reg ecx, edx));
+       ins st (Shift_cl (Insn.Shr, Reg eax))
+     | Sar ->
+       ins st (Mov_rm_r (Reg ecx, edx));
+       ins st (Shift_cl (Insn.Sar, Reg eax))
+     | Eq | Ne | Lt | Le | Gt | Ge | Ltu | Leu | Gtu | Geu | Land | Lor ->
+       err "arith: handled elsewhere")
+
+(* Compile a comparison's cmp instruction (left in eax vs right operand). *)
+and compile_cmp st a b =
+  match b with
+  | Num k ->
+    expr st a;
+    ins st (Alu_rm_i (Insn.Cmp, Reg eax, k))
+  | Local x ->
+    expr st a;
+    ins st (Alu_r_rm (Insn.Cmp, eax, local_rm st x))
+  | _ ->
+    expr st a;
+    ins st (Push_r eax);
+    expr st b;
+    ins st (Mov_rm_r (Reg edx, eax));
+    ins st (Pop_r eax);
+    ins st (Alu_rm_r (Insn.Cmp, Reg eax, edx))
+
+(* Branch to [label] when [e] is false/true, generating cmp + jcc for
+   comparison shapes (the realistic kernel-branch pattern). *)
+and branch_if_false st e label =
+  match e with
+  | Binop (op, a, b) when is_cmp op ->
+    compile_cmp st a b;
+    emit st (Assembler.Jcc_sym (negate (cond_of_cmp op), label))
+  | Binop (Land, a, b) ->
+    branch_if_false st a label;
+    branch_if_false st b label
+  | Binop (Lor, a, b) ->
+    let l_true = fresh_label st in
+    branch_if_true st a l_true;
+    branch_if_false st b label;
+    emit st (Assembler.Label l_true)
+  | Unop (Lnot, a) -> branch_if_true st a label
+  | Num v -> if v = 0l then emit st (Assembler.Jmp_sym label)
+  | _ ->
+    expr st e;
+    ins st (Test_rm_r (Reg eax, eax));
+    emit st (Assembler.Jcc_sym (E, label))
+
+and branch_if_true st e label =
+  match e with
+  | Binop (op, a, b) when is_cmp op ->
+    compile_cmp st a b;
+    emit st (Assembler.Jcc_sym (cond_of_cmp op, label))
+  | Binop (Lor, a, b) ->
+    branch_if_true st a label;
+    branch_if_true st b label
+  | Binop (Land, a, b) ->
+    let l_false = fresh_label st in
+    branch_if_false st a l_false;
+    branch_if_true st b label;
+    emit st (Assembler.Label l_false)
+  | Unop (Lnot, a) -> branch_if_false st a label
+  | Num v -> if v <> 0l then emit st (Assembler.Jmp_sym label)
+  | _ ->
+    expr st e;
+    ins st (Test_rm_r (Reg eax, eax));
+    emit st (Assembler.Jcc_sym (NE, label))
+
+let ret_label fn = fn.fn_name ^ ".ret"
+
+let rec stmt st s =
+  match s with
+  | Decl (x, e) ->
+    let off = declare st x in
+    expr st e;
+    ins st (Mov_rm_r (Mem (mb ebp off), eax))
+  | Set (x, e) ->
+    expr st e;
+    ins st (Mov_rm_r (local_rm st x, eax))
+  | Set_global (gname, e) ->
+    expr st e;
+    emit st (Assembler.Ins_sym ((fun a -> Mov_rm_r (Mem (mabs a), eax)), gname))
+  | Store (w, addr, value) ->
+    expr st addr;
+    ins st (Push_r eax);
+    expr st value;
+    ins st (Pop_r ecx);
+    (match w with
+     | W32 -> ins st (Mov_rm_r (Mem (mb ecx 0), eax))
+     | W8 -> ins st (Movb_rm_r (Mem (mb ecx 0), eax)))
+  | If (c, then_, []) ->
+    let l_end = fresh_label st in
+    branch_if_false st c l_end;
+    List.iter (stmt st) then_;
+    emit st (Assembler.Label l_end)
+  | If (c, then_, else_) ->
+    let l_else = fresh_label st and l_end = fresh_label st in
+    branch_if_false st c l_else;
+    List.iter (stmt st) then_;
+    emit st (Assembler.Jmp_sym l_end);
+    emit st (Assembler.Label l_else);
+    List.iter (stmt st) else_;
+    emit st (Assembler.Label l_end)
+  | While (c, body) ->
+    let l_top = fresh_label st and l_end = fresh_label st in
+    emit st (Assembler.Label l_top);
+    branch_if_false st c l_end;
+    st.loops <- (l_end, l_top) :: st.loops;
+    List.iter (stmt st) body;
+    st.loops <- List.tl st.loops;
+    emit st (Assembler.Jmp_sym l_top);
+    emit st (Assembler.Label l_end)
+  | Do_expr e -> expr st e
+  | Return (Some e) ->
+    expr st e;
+    emit st (Assembler.Jmp_sym (ret_label st.fn))
+  | Return None ->
+    ins st (Alu_rm_r (Insn.Xor, Reg eax, eax));
+    emit st (Assembler.Jmp_sym (ret_label st.fn))
+  | Break ->
+    (match st.loops with
+     | (b, _) :: _ -> emit st (Assembler.Jmp_sym b)
+     | [] -> err "%s: break outside loop" st.fn.fn_name)
+  | Continue ->
+    (match st.loops with
+     | (_, c) :: _ -> emit st (Assembler.Jmp_sym c)
+     | [] -> err "%s: continue outside loop" st.fn.fn_name)
+  | Bug -> ins st Ud2
+  | Asm its -> List.iter (emit st) its
+
+(* Count locals ahead of time so the prologue can reserve the frame. *)
+let rec count_decls acc = function
+  | Decl _ -> acc + 1
+  | If (_, a, b) -> List.fold_left count_decls (List.fold_left count_decls acc a) b
+  | While (_, a) -> List.fold_left count_decls acc a
+  | _ -> acc
+
+let compile_func (fn : func) =
+  let st =
+    {
+      fn;
+      items = ref [];
+      next_label = 0;
+      loops = [];
+      slots = Hashtbl.create 16;
+      nlocals = 0;
+    }
+  in
+  List.iteri (fun i p -> Hashtbl.replace st.slots p (8 + (4 * i))) fn.fn_params;
+  let nlocals = List.fold_left count_decls 0 fn.fn_body in
+  emit st (Assembler.Fn_start (fn.fn_name, fn.fn_subsys));
+  ins st (Push_r ebp);
+  ins st (Mov_rm_r (Reg ebp, esp));
+  if nlocals > 0 then alu_esp st Insn.Sub (4 * nlocals);
+  List.iter (stmt st) fn.fn_body;
+  (* fall-through return: result 0 *)
+  ins st (Alu_rm_r (Insn.Xor, Reg eax, eax));
+  emit st (Assembler.Label (ret_label fn));
+  ins st Leave;
+  ins st Ret;
+  emit st (Assembler.Fn_end fn.fn_name);
+  List.rev !(st.items)
+
+let compile_funcs fns = List.concat_map compile_func fns

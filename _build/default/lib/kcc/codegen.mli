@@ -1,0 +1,20 @@
+(** Code generator: {!Ast} functions to assembler items.
+
+    A deliberately simple one-pass compiler, in the spirit of the
+    compilers that produced the paper's 2.4-era kernel binaries:
+    - cdecl frames: arguments at [ebp+8+4i], locals at [ebp-4(i+1)];
+    - expressions evaluate into eax with ecx/edx as scratch and the stack
+      for intermediates;
+    - conditions compile to [cmp]/[test] + [jcc], so the binary is full
+      of the short conditional branches campaigns B and C target;
+    - [Bug] compiles to [ud2], giving the assertion pattern whose
+      reversal produces invalid-opcode crashes. *)
+
+exception Compile_error of string
+
+val compile_func : Ast.func -> Kfi_asm.Assembler.item list
+(** Compile one function, wrapped in [Fn_start]/[Fn_end] markers carrying
+    its subsystem tag.  @raise Compile_error on unknown variables,
+    break/continue outside a loop, and similar misuse. *)
+
+val compile_funcs : Ast.func list -> Kfi_asm.Assembler.item list

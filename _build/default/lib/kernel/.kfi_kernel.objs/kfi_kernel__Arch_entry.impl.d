@@ -1,0 +1,1 @@
+lib/kernel/arch_entry.ml: Int32 Kfi_asm Kfi_isa Layout List

@@ -1,0 +1,1 @@
+lib/kernel/arch_traps.ml: Int32 Kfi_kcc Layout Stdlib

@@ -1,0 +1,1 @@
+lib/kernel/build.mli: Kfi_asm Kfi_isa Kfi_kcc Machine

@@ -1,0 +1,1 @@
+lib/kernel/fs_buffer.ml: Kfi_kcc Layout

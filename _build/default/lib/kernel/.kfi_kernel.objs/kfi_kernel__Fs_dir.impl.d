@@ -1,0 +1,1 @@
+lib/kernel/fs_dir.ml: Kfi_kcc Layout Stdlib

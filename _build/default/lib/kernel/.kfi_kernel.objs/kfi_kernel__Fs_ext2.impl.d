@@ -1,0 +1,1 @@
+lib/kernel/fs_ext2.ml: Kfi_asm Kfi_kcc Layout Stdlib

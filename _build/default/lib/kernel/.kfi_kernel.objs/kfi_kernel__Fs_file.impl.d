@@ -1,0 +1,1 @@
+lib/kernel/fs_file.ml: Fs_namei Kfi_kcc Layout Stdlib

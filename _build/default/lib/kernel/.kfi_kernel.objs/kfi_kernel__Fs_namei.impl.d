@@ -1,0 +1,1 @@
+lib/kernel/fs_namei.ml: Char Kfi_kcc Layout Stdlib

@@ -1,0 +1,1 @@
+lib/kernel/fs_pipe.ml: Kfi_kcc Layout Stdlib

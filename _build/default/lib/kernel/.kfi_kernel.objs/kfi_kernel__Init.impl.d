@@ -1,0 +1,1 @@
+lib/kernel/init.ml: Fs_namei Int32 Kfi_kcc Layout Stdlib

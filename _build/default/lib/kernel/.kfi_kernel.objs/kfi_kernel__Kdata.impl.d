@@ -1,0 +1,1 @@
+lib/kernel/kdata.ml: Array Kfi_asm Layout List Printf

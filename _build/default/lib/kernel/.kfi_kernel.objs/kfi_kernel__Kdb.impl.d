@@ -1,0 +1,1 @@
+lib/kernel/kdb.ml: Array Buffer Build Cpu Disasm Insn Int32 Kfi_asm Kfi_isa Layout List Machine Option Phys Printf String Trap

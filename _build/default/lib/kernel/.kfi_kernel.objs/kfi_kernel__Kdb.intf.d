@@ -1,0 +1,1 @@
+lib/kernel/kdb.mli: Build Kfi_isa Machine

@@ -1,0 +1,1 @@
+lib/kernel/klib.ml: Kfi_asm Kfi_isa Kfi_kcc Layout List

@@ -1,0 +1,1 @@
+lib/kernel/mm_filemap.ml: Kfi_kcc Layout Stdlib

@@ -1,0 +1,1 @@
+lib/kernel/mm_kmalloc.ml: Kfi_kcc Layout

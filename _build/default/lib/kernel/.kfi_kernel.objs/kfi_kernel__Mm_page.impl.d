@@ -1,0 +1,1 @@
+lib/kernel/mm_page.ml: Int32 Kfi_asm Kfi_kcc Layout Stdlib

@@ -1,0 +1,1 @@
+lib/kernel/mm_vm.ml: Int32 Kfi_kcc Layout Stdlib

@@ -1,0 +1,1 @@
+lib/kernel/sched.ml: Int32 Kfi_kcc Layout Stdlib

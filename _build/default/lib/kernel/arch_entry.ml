@@ -1,0 +1,186 @@
+(* arch/: entry stubs (the analogue of arch/i386/kernel/entry.S).
+
+   The CPU delivers every trap with the frame
+     [esp] = error code, +4 eip, +8 old mode, +12 eflags, +16 old esp
+   on the kernel stack (esp0 when coming from user mode). *)
+
+open Kfi_isa.Insn
+open Kfi_asm.Assembler
+
+let fn name ~subsys body = [ Fn_start (name, subsys) ] @ body @ [ Fn_end name ]
+
+let mem_sym f sym = Ins_sym (f, sym)
+let load_global r sym = mem_sym (fun a -> Mov_r_rm (r, Mem (mabs a))) sym
+
+(* System-call entry: eax = number, args in ebx ecx edx esi edi (Linux ABI).
+   The return value is stashed in the error-code slot so the resched check
+   (which may clobber eax) cannot lose it. *)
+let system_call =
+  fn "system_call" ~subsys:"arch"
+    [
+      Ins (Push_r ebp);
+      Ins (Push_r edi);
+      Ins (Push_r esi);
+      Ins (Push_r edx);
+      Ins (Push_r ecx);
+      Ins (Push_r ebx);
+      (* bounds-check the syscall number *)
+      Ins (Alu_rm_i (Cmp, Reg eax, Int32.of_int Layout.nr_syscalls));
+      Jcc_sym (AE, "badsys");
+      mem_sym
+        (fun a -> Mov_r_rm (eax, Mem (mem ~index:(eax, 4) a)))
+        "sys_call_table";
+      Ins (Test_rm_r (Reg eax, eax));
+      Jcc_sym (E, "badsys");
+      Ins (Call_rm (Reg eax));
+      Label "ret_from_sys_call";
+      Ins (Mov_rm_r (Mem (mb esp 24), eax)); (* result -> error-code slot *)
+      load_global eax "need_resched";
+      Ins (Test_rm_r (Reg eax, eax));
+      Jcc_sym (E, "sysret_noresched");
+      Call_sym "schedule";
+      Label "sysret_noresched";
+      Ins (Pop_r ebx);
+      Ins (Pop_r ecx);
+      Ins (Pop_r edx);
+      Ins (Pop_r esi);
+      Ins (Pop_r edi);
+      Ins (Pop_r ebp);
+      Ins (Pop_r eax); (* the stashed result *)
+      Ins Iret;
+      Label "badsys";
+      Ins (Mov_ri (eax, Int32.of_int (-Layout.enosys)));
+      Jmp_sym "ret_from_sys_call";
+    ]
+
+(* Exception stubs: push (vector, error, eip, mode) and call the C handler.
+   do_page_fault gets its own stub; everything else goes through do_trap. *)
+let exception_stub ~name ~vector ~handler =
+  fn name ~subsys:"arch"
+    ([
+       Ins Pusha;
+       Ins (Mov_r_rm (eax, Mem (mb esp 32))); (* error *)
+       Ins (Mov_r_rm (ecx, Mem (mb esp 36))); (* eip *)
+       Ins (Mov_r_rm (edx, Mem (mb esp 40))); (* mode *)
+       Ins (Push_r edx);
+       Ins (Push_r ecx);
+       Ins (Push_r eax);
+     ]
+    @ (if vector >= 0 then [ Ins (Push_i (Int32.of_int vector)) ] else [])
+    @ [
+        Call_sym handler;
+        Ins (Alu_rm_i8 (Add, Reg esp, Int32.of_int (if vector >= 0 then 16 else 12)));
+        Ins Popa;
+        Ins (Alu_rm_i8 (Add, Reg esp, 4l)); (* drop error code *)
+        Ins Iret;
+      ])
+
+let divide_error = exception_stub ~name:"divide_error" ~vector:0 ~handler:"do_trap"
+let int3_entry = exception_stub ~name:"int3_entry" ~vector:3 ~handler:"do_trap"
+let overflow_entry = exception_stub ~name:"overflow_entry" ~vector:4 ~handler:"do_trap"
+let bounds_entry = exception_stub ~name:"bounds_entry" ~vector:5 ~handler:"do_trap"
+let invalid_op = exception_stub ~name:"invalid_op" ~vector:6 ~handler:"do_trap"
+let invalid_tss = exception_stub ~name:"invalid_tss" ~vector:10 ~handler:"do_trap"
+let segment_not_present = exception_stub ~name:"segment_not_present" ~vector:11 ~handler:"do_trap"
+let stack_segment = exception_stub ~name:"stack_segment" ~vector:12 ~handler:"do_trap"
+let general_protection = exception_stub ~name:"general_protection" ~vector:13 ~handler:"do_trap"
+let page_fault = exception_stub ~name:"page_fault" ~vector:(-1) ~handler:"do_page_fault"
+
+(* Timer interrupt: tick, then reschedule if we interrupted user mode. *)
+let timer_interrupt =
+  fn "timer_interrupt" ~subsys:"arch"
+    [
+      Ins Pusha;
+      Call_sym "do_timer";
+      Ins (Mov_r_rm (eax, Mem (mb esp 40))); (* interrupted mode *)
+      Ins (Test_rm_r (Reg eax, eax));
+      Jcc_sym (E, "timer_out");
+      load_global eax "need_resched";
+      Ins (Test_rm_r (Reg eax, eax));
+      Jcc_sym (E, "timer_out");
+      Call_sym "schedule";
+      Label "timer_out";
+      Ins Popa;
+      Ins (Alu_rm_i8 (Add, Reg esp, 4l));
+      Ins Iret;
+    ]
+
+(* __switch_to(prev, next): stack switch + address space + esp0. *)
+let switch_to =
+  fn "__switch_to" ~subsys:"arch"
+    [
+      Ins (Mov_r_rm (eax, Mem (mb esp 4))); (* prev *)
+      Ins (Mov_r_rm (edx, Mem (mb esp 8))); (* next *)
+      Ins (Push_r ebp);
+      Ins (Push_r edi);
+      Ins (Push_r esi);
+      Ins (Push_r ebx);
+      Ins (Mov_rm_r (Mem (mb eax Layout.t_kesp), esp));
+      Ins (Mov_r_rm (esp, Mem (mb edx Layout.t_kesp)));
+      Ins (Mov_r_rm (ecx, Mem (mb edx Layout.t_cr3)));
+      Ins (Mov_cr_r (3, ecx));
+      Ins (Mov_r_rm (ecx, Mem (mb edx Layout.t_kstack_top)));
+      Ins (Mov_cr_r (6, ecx));
+      Ins (Pop_r ebx);
+      Ins (Pop_r esi);
+      Ins (Pop_r edi);
+      Ins (Pop_r ebp);
+      Ins Ret;
+    ]
+
+(* First return of a forked child: its kernel stack was built by
+   copy_process so that __switch_to returns here with esp pointing at the
+   six saved user registers followed by the trap frame.  fork returns 0 in
+   the child. *)
+let ret_from_fork =
+  fn "ret_from_fork" ~subsys:"arch"
+    [
+      Ins (Mov_ri (eax, 0l));
+      Ins (Mov_rm_r (Mem (mb esp 24), eax));
+      Ins (Pop_r ebx);
+      Ins (Pop_r ecx);
+      Ins (Pop_r edx);
+      Ins (Pop_r esi);
+      Ins (Pop_r edi);
+      Ins (Pop_r ebp);
+      Ins (Pop_r eax);
+      Ins Iret;
+    ]
+
+(* enter_user(entry, user_esp): first drop to user mode. *)
+let enter_user =
+  fn "enter_user" ~subsys:"arch"
+    [
+      Ins (Mov_r_rm (eax, Mem (mb esp 4))); (* entry *)
+      Ins (Mov_r_rm (edx, Mem (mb esp 8))); (* user esp *)
+      Ins (Push_r edx);                     (* old esp *)
+      Ins (Push_i 0x200l);                  (* eflags: IF *)
+      Ins (Push_i 1l);                      (* mode: user *)
+      Ins (Push_r eax);                     (* eip *)
+      Ins Iret;
+    ]
+
+(* Boot entry: call start_kernel; it never returns. *)
+let kernel_entry =
+  [ Label "kernel_entry"; Call_sym "start_kernel"; Ins Hlt ]
+
+let items =
+  List.concat
+    [
+      kernel_entry;
+      system_call;
+      divide_error;
+      int3_entry;
+      overflow_entry;
+      bounds_entry;
+      invalid_op;
+      invalid_tss;
+      segment_not_present;
+      stack_segment;
+      general_protection;
+      page_fault;
+      timer_interrupt;
+      switch_to;
+      ret_from_fork;
+      enter_user;
+    ]

@@ -1,0 +1,152 @@
+(* arch/: C-level trap handling — do_trap, do_page_fault, die (the oops +
+   crash-dump path, mirroring the paper's LKCD crash handler), panic, and
+   trap_init which fills the IDT. *)
+
+open Kfi_kcc.C
+module L = Layout
+
+let bootinfo = L.kva_bootinfo
+
+(* die(vector, error, eip): print an oops, record a crash dump in the
+   bootinfo page and halt.  The host reads the record like the paper's
+   analysis machinery reads an LKCD dump. *)
+let die_fn =
+  func "die" ~subsys:"arch" ~params:[ "vec"; "err"; "eip" ]
+    [
+      (* capture the cycle counter first so printk cost does not inflate
+         the measured crash latency *)
+      decl "now" (call "rdtsc_lo" []);
+      do_ (call "arch_cli" []);
+      decl "addr" (call "read_cr2" []);
+      if_ (l "vec" ==. num 14)
+        [
+          if_ (l "addr" <% num 4096)
+            [ do_ (call "printk" [ addr "str_oops_null" ]) ]
+            [ do_ (call "printk" [ addr "str_oops_paging" ]) ];
+          do_ (call "printk_hex" [ l "addr" ]);
+        ]
+        [
+          if_ (l "vec" ==. num 6)
+            [ do_ (call "printk" [ addr "str_oops_invalid_op" ]); do_ (call "printk_hex" [ l "eip" ]) ]
+            [
+              if_ (l "vec" ==. num 13)
+                [ do_ (call "printk" [ addr "str_oops_gp" ]); do_ (call "printk_hex" [ l "eip" ]) ]
+                [
+                  if_ (l "vec" ==. num 0)
+                    [ do_ (call "printk" [ addr "str_oops_divide" ]); do_ (call "printk_hex" [ l "eip" ]) ]
+                    [ do_ (call "printk" [ addr "str_oops_trap" ]); do_ (call "printk_udec" [ l "vec" ]) ];
+                ];
+            ];
+        ];
+      do_ (call "printk" [ addr "str_nl" ]);
+      (* crash-dump record *)
+      sto32 (num Stdlib.(bootinfo + L.bi_dump_vector)) (l "vec");
+      sto32 (num Stdlib.(bootinfo + L.bi_dump_error)) (l "err");
+      sto32 (num Stdlib.(bootinfo + L.bi_dump_eip)) (l "eip");
+      sto32 (num Stdlib.(bootinfo + L.bi_dump_cr2)) (l "addr");
+      sto32 (num Stdlib.(bootinfo + L.bi_dump_cycles)) (l "now");
+      sto32 (num Stdlib.(bootinfo + L.bi_dump_esp)) (call "read_esp" []);
+      sto32 (num Stdlib.(bootinfo + L.bi_dump_task)) (g "current");
+      sto32 (num Stdlib.(bootinfo + L.bi_dump_magic)) (num32 (Int32.of_int L.dump_magic_value));
+      do_ (call "arch_halt" []);
+      (* not reached *)
+      while_ (num 1) [];
+    ]
+
+(* panic(msg): an error the kernel itself detected (vector 255). *)
+let panic_fn =
+  func "panic" ~subsys:"kernel" ~params:[ "msg" ]
+    [
+      do_ (call "printk" [ addr "str_panic" ]);
+      do_ (call "printk" [ l "msg" ]);
+      do_ (call "printk" [ addr "str_nl" ]);
+      do_ (call "die" [ num 255; num 0; num 0 ]);
+    ]
+
+(* Generic exception handler: user faults kill the offending process
+   (SIGSEGV-style), kernel faults oops. *)
+let do_trap_fn =
+  func "do_trap" ~subsys:"arch" ~params:[ "vec"; "err"; "eip"; "mode" ]
+    [
+      if_ (l "mode" <>. num 0)
+        [
+          do_ (call "printk" [ addr "str_killing" ]);
+          do_ (call "printk_udec" [ fld (g "current") L.t_pid ]);
+          do_ (call "printk" [ addr "str_trap_at" ]);
+          do_ (call "printk_udec" [ l "vec" ]);
+          do_ (call "printk" [ addr "str_space" ]);
+          do_ (call "printk_hex" [ l "eip" ]);
+          do_ (call "printk" [ addr "str_nl" ]);
+          do_ (call "do_exit" [ num 139 ]);
+        ]
+        [ do_ (call "die" [ l "vec"; l "err"; l "eip" ]) ];
+      ret0;
+    ]
+
+(* The page-fault handler (arch/i386/mm/fault.c).  Faults on user addresses
+   are forwarded to the mm subsystem (demand paging / copy-on-write); what
+   cannot be fixed kills the process or oopses the kernel. *)
+let do_page_fault_fn =
+  func "do_page_fault" ~subsys:"arch" ~params:[ "err"; "eip"; "mode" ]
+    [
+      decl "addr" (call "read_cr2" []);
+      when_ (g "console_loglevel" >. num 8)
+        [
+          do_ (call "printk" [ addr "str_debug_pf" ]);
+          do_ (call "printk_hex" [ l "addr" ]);
+          do_ (call "printk" [ addr "str_nl" ]);
+        ];
+      if_ (l "addr" <% num32 (Int32.of_int L.page_offset))
+        [
+          decl "fixed" (call "handle_mm_fault" [ l "addr"; l "err" ]);
+          when_ (l "fixed" ==. num 0) [ ret0 ];
+        ]
+        [];
+      if_ (l "mode" <>. num 0)
+        [
+          do_ (call "printk" [ addr "str_killing" ]);
+          do_ (call "printk_udec" [ fld (g "current") L.t_pid ]);
+          do_ (call "printk" [ addr "str_pf_at" ]);
+          do_ (call "printk_hex" [ l "addr" ]);
+          do_ (call "printk" [ addr "str_space" ]);
+          do_ (call "printk_hex" [ l "eip" ]);
+          do_ (call "printk" [ addr "str_nl" ]);
+          do_ (call "do_exit" [ num 139 ]);
+        ]
+        [ do_ (call "die" [ num 14; l "err"; l "eip" ]) ];
+      ret0;
+    ]
+
+(* Interface-assertion failure (Section 7.4 mitigation): contain the
+   error by terminating the offending process instead of oopsing. *)
+let assert_failed_fn =
+  func "assert_failed" ~subsys:"kernel" ~params:[]
+    [
+      do_ (call "printk" [ addr "str_assert" ]);
+      do_ (call "printk_udec" [ fld (g "current") L.t_pid ]);
+      do_ (call "printk" [ addr "str_nl" ]);
+      do_ (call "do_exit" [ num 139 ]);
+      ret0;
+    ]
+
+(* Fill the IDT. *)
+let trap_init_fn =
+  let set_gate vec handler = sto32 (num Stdlib.(L.kva_idt + (vec * 4))) (addr handler) in
+  func "trap_init" ~subsys:"arch" ~params:[]
+    [
+      set_gate 0 "divide_error";
+      set_gate 3 "int3_entry";
+      set_gate 4 "overflow_entry";
+      set_gate 5 "bounds_entry";
+      set_gate 6 "invalid_op";
+      set_gate 10 "invalid_tss";
+      set_gate 11 "segment_not_present";
+      set_gate 12 "stack_segment";
+      set_gate 13 "general_protection";
+      set_gate 14 "page_fault";
+      set_gate 32 "timer_interrupt";
+      set_gate 0x80 "system_call";
+      ret0;
+    ]
+
+let funcs = [ die_fn; panic_fn; do_trap_fn; do_page_fault_fn; assert_failed_fn; trap_init_fn ]

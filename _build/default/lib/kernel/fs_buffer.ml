@@ -1,0 +1,147 @@
+(* fs/: the buffer cache (fs/buffer.c) — get_hash_table (a paper target,
+   Table 5 case 6), getblk, bread, brelse, write-back via sync_buffers. *)
+
+open Kfi_kcc.C
+module L = Layout
+
+let bh i = addr "buffer_heads" + (l i * num L.bh_size)
+
+(* one page backs four 1 KB buffers *)
+let buffer_init_fn =
+  func "buffer_init" ~subsys:"fs" ~params:[]
+    [
+      decl "i" (num 0);
+      decl "page" (num 0);
+      while_ (l "i" <% num L.nr_buffers)
+        [
+          when_ ((l "i" land num 3) ==. num 0)
+            [
+              set "page" (call "__get_free_page" []);
+              when_ (l "page" ==. num 0) [ do_ (call "panic" [ addr "str_panic_oom" ]) ];
+            ];
+          decl "b" (bh "i");
+          set_fld (l "b") L.b_blocknr (neg (num 1));
+          set_fld (l "b") L.b_state (num 0);
+          set_fld (l "b") L.b_count (num 0);
+          set_fld (l "b") L.b_data (l "page" + ((l "i" land num 3) lsl num 10));
+          set "i" (l "i" + num 1);
+        ];
+      ret0;
+    ]
+
+(* Find the buffer holding [block], if cached (the paper's
+   get_hash_table). *)
+let get_hash_table_fn =
+  func "get_hash_table" ~subsys:"fs" ~params:[ "block" ]
+    [
+      decl "i" (num 0);
+      while_ (l "i" <% num L.nr_buffers)
+        [
+          decl "b" (bh "i");
+          when_ (fld (l "b") L.b_blocknr ==. l "block")
+            [
+              set_fld (l "b") L.b_count (fld (l "b") L.b_count + num 1);
+              ret (l "b");
+            ];
+          set "i" (l "i" + num 1);
+        ];
+      ret (num 0);
+    ]
+
+(* Get a buffer for [block], evicting an unused one if needed (dirty
+   victims are written back first). *)
+let getblk_fn =
+  func "getblk" ~subsys:"fs" ~params:[ "block" ]
+    [
+      decl "b" (call "get_hash_table" [ l "block" ]);
+      when_ (l "b" <>. num 0) [ ret (l "b") ];
+      (* find a free victim *)
+      decl "i" (num 0);
+      decl "victim" (num 0);
+      while_ (l "i" <% num L.nr_buffers)
+        [
+          decl "c" (bh "i");
+          when_ (fld (l "c") L.b_count ==. num 0)
+            [
+              set "victim" (l "c");
+              (* prefer a clean victim *)
+              when_ ((fld (l "c") L.b_state land num 2) ==. num 0) [ break_ ];
+            ];
+          set "i" (l "i" + num 1);
+        ];
+      when_ (l "victim" ==. num 0) [ ret (num 0) ]; (* all buffers busy *)
+      when_ ((fld (l "victim") L.b_state land num 2) <>. num 0)
+        [
+          do_ (call "disk_write" [ fld (l "victim") L.b_blocknr; fld (l "victim") L.b_data ]);
+        ];
+      set_fld (l "victim") L.b_blocknr (l "block");
+      set_fld (l "victim") L.b_state (num 0); (* not uptodate, clean *)
+      set_fld (l "victim") L.b_count (num 1);
+      ret (l "victim");
+    ]
+
+(* Read a block through the cache. *)
+let bread_fn =
+  func "bread" ~subsys:"fs" ~params:[ "block" ]
+    [
+      (* interface assertion: a corrupted block number would be written
+         to disk later and destroy the file system *)
+      when_
+        ((g "assert_hardening" <>. num 0) &&. (l "block" >=% num L.fs_nblocks))
+        [ do_ (call "assert_failed" []) ];
+      decl "b" (call "getblk" [ l "block" ]);
+      when_ (l "b" ==. num 0) [ ret (num 0) ];
+      when_ ((fld (l "b") L.b_state land num 1) ==. num 0)
+        [
+          do_ (call "disk_read" [ l "block"; fld (l "b") L.b_data ]);
+          set_fld (l "b") L.b_state (fld (l "b") L.b_state lor num 1);
+        ];
+      when_ ((fld (l "b") L.b_state land num 1) ==. num 0) [ bug ]; (* must be uptodate *)
+      ret (l "b");
+    ]
+
+let brelse_fn =
+  func "brelse" ~subsys:"fs" ~params:[ "b" ]
+    [
+      when_ (l "b" ==. num 0) [ ret0 ];
+      when_ (fld (l "b") L.b_count ==. num 0) [ bug ];
+      set_fld (l "b") L.b_count (fld (l "b") L.b_count - num 1);
+      ret0;
+    ]
+
+let mark_buffer_dirty_fn =
+  func "mark_buffer_dirty" ~subsys:"fs" ~params:[ "b" ]
+    [
+      when_ (l "b" ==. num 0) [ bug ];
+      set_fld (l "b") L.b_state (fld (l "b") L.b_state lor num 3);
+      ret0;
+    ]
+
+(* Write every dirty buffer back to disk. *)
+let sync_buffers_fn =
+  func "sync_buffers" ~subsys:"fs" ~params:[]
+    [
+      decl "i" (num 0);
+      while_ (l "i" <% num L.nr_buffers)
+        [
+          decl "b" (bh "i");
+          when_ ((fld (l "b") L.b_state land num 2) <>. num 0)
+            [
+              do_ (call "disk_write" [ fld (l "b") L.b_blocknr; fld (l "b") L.b_data ]);
+              set_fld (l "b") L.b_state (fld (l "b") L.b_state land bnot (num 2));
+            ];
+          set "i" (l "i" + num 1);
+        ];
+      ret0;
+    ]
+
+let funcs =
+  [
+    buffer_init_fn;
+    get_hash_table_fn;
+    getblk_fn;
+    bread_fn;
+    brelse_fn;
+    mark_buffer_dirty_fn;
+    sync_buffers_fn;
+  ]

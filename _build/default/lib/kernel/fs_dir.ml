@@ -1,0 +1,255 @@
+(* fs/: directory-tree syscalls — link/unlink with real link counts,
+   mkdir/rmdir, stat/fstat, dup/dup2.  (fs/namei.c + fs/ext2/namei.c) *)
+
+open Kfi_kcc.C
+module L = Layout
+
+let eisdir = 21
+let enotdir = 20
+let enotempty = 39
+let eperm = 1
+
+(* adjust the on-disk link count; returns the new value *)
+let ext2_adjust_link_fn =
+  func "ext2_adjust_link" ~subsys:"fs" ~params:[ "ino"; "delta" ]
+    [
+      decl "off" (num 0);
+      decl "bh" (call "itable_bread" [ l "ino"; addr_local "off" ]);
+      when_ (l "bh" ==. num 0) [ ret (neg (num 1)) ];
+      decl "d" (fld (l "bh") L.b_data + l "off");
+      decl "links" (fld (l "d") L.d_links + l "delta");
+      set_fld (l "d") L.d_links (l "links");
+      do_ (call "mark_buffer_dirty" [ l "bh" ]);
+      do_ (call "brelse" [ l "bh" ]);
+      ret (l "links");
+    ]
+
+(* is the directory free of entries? *)
+let ext2_dir_empty_fn =
+  func "ext2_dir_empty" ~subsys:"fs" ~params:[ "dir" ]
+    [
+      decl "size" (fld (l "dir") L.i_size);
+      decl "nb" ((l "size" + num Stdlib.(L.block_size - 1)) lsr num 10);
+      decl "b" (num 0);
+      while_ (l "b" <% l "nb")
+        [
+          decl "blk" (call "ext2_bmap" [ l "dir"; l "b" ]);
+          when_ (l "blk" <>. num 0)
+            [
+              decl "bh" (call "bread" [ l "blk" ]);
+              when_ (l "bh" ==. num 0) [ ret (num 0) ];
+              decl "p" (fld (l "bh") L.b_data);
+              decl "end" (l "p" + num L.block_size);
+              while_ (l "p" <% l "end")
+                [
+                  when_ (lod32 (l "p") <>. num 0)
+                    [ do_ (call "brelse" [ l "bh" ]); ret (num 0) ];
+                  set "p" (l "p" + num L.dirent_size);
+                ];
+              do_ (call "brelse" [ l "bh" ]);
+            ];
+          set "b" (l "b" + num 1);
+        ];
+      ret (num 1);
+    ]
+
+(* drop the in-core inode without writing it back (the disk copy is gone) *)
+let forget_inode_fn =
+  func "forget_inode" ~subsys:"fs" ~params:[ "inode" ]
+    [
+      set_fld (l "inode") L.i_count (fld (l "inode") L.i_count - num 1);
+      set_fld (l "inode") L.i_ino (num 0);
+      set_fld (l "inode") L.i_dirty (num 0);
+      ret0;
+    ]
+
+let sys_unlink_fn =
+  func "sys_unlink" ~subsys:"fs" ~params:[ "path" ]
+    [
+      decl "parent" (call "link_path_walk" [ l "path"; num 1 ]);
+      when_ (l "parent" <. num 0) [ ret (l "parent") ];
+      decl "dir" (call "iget" [ l "parent" ]);
+      when_ (l "dir" ==. num 0) [ ret (neg (num L.enoent)) ];
+      decl "ino" (call "ext2_find_entry" [ l "dir"; addr "name_buf" ]);
+      when_ (l "ino" ==. num 0) [ do_ (call "iput" [ l "dir" ]); ret (neg (num L.enoent)) ];
+      decl "inode" (call "iget" [ l "ino" ]);
+      when_ (l "inode" ==. num 0) [ do_ (call "iput" [ l "dir" ]); ret (neg (num L.enoent)) ];
+      (* unlink(2) refuses directories *)
+      when_ (fld (l "inode") L.i_mode ==. num L.mode_dir)
+        [
+          do_ (call "iput" [ l "inode" ]);
+          do_ (call "iput" [ l "dir" ]);
+          ret (neg (num eisdir));
+        ];
+      do_ (call "ext2_delete_entry" [ l "dir"; addr "name_buf" ]);
+      do_ (call "iput" [ l "dir" ]);
+      decl "links" (call "ext2_adjust_link" [ l "ino"; neg (num 1) ]);
+      if_ (l "links" <=. num 0)
+        [
+          (* last link: reclaim the file body and the inode *)
+          do_ (call "ext2_truncate" [ l "inode" ]);
+          do_ (call "forget_inode" [ l "inode" ]);
+          do_ (call "ext2_free_inode" [ l "ino" ]);
+        ]
+        [ do_ (call "iput" [ l "inode" ]) ];
+      ret (num 0);
+    ]
+
+let sys_link_fn =
+  func "sys_link" ~subsys:"fs" ~params:[ "old"; "newpath" ]
+    [
+      decl "ino" (call "link_path_walk" [ l "old"; num 0 ]);
+      when_ (l "ino" <. num 0) [ ret (l "ino") ];
+      decl "inode" (call "iget" [ l "ino" ]);
+      when_ (l "inode" ==. num 0) [ ret (neg (num L.enoent)) ];
+      when_ (fld (l "inode") L.i_mode <>. num L.mode_reg)
+        [ do_ (call "iput" [ l "inode" ]); ret (neg (num eperm)) ];
+      do_ (call "iput" [ l "inode" ]);
+      decl "parent" (call "link_path_walk" [ l "newpath"; num 1 ]);
+      when_ (l "parent" <. num 0) [ ret (l "parent") ];
+      decl "dir" (call "iget" [ l "parent" ]);
+      when_ (l "dir" ==. num 0) [ ret (neg (num L.enoent)) ];
+      when_ (call "ext2_find_entry" [ l "dir"; addr "name_buf" ] <>. num 0)
+        [ do_ (call "iput" [ l "dir" ]); ret (neg (num L.eexist)) ];
+      decl "r" (call "ext2_add_entry" [ l "dir"; addr "name_buf"; l "ino" ]);
+      do_ (call "iput" [ l "dir" ]);
+      when_ (l "r" <. num 0) [ ret (l "r") ];
+      do_ (call "ext2_adjust_link" [ l "ino"; num 1 ]);
+      ret (num 0);
+    ]
+
+let sys_mkdir_fn =
+  func "sys_mkdir" ~subsys:"fs" ~params:[ "path"; "mode" ]
+    [
+      decl "parent" (call "link_path_walk" [ l "path"; num 1 ]);
+      when_ (l "parent" <. num 0) [ ret (l "parent") ];
+      decl "dir" (call "iget" [ l "parent" ]);
+      when_ (l "dir" ==. num 0) [ ret (neg (num L.enoent)) ];
+      when_ (fld (l "dir") L.i_mode <>. num L.mode_dir)
+        [ do_ (call "iput" [ l "dir" ]); ret (neg (num enotdir)) ];
+      when_ (call "ext2_find_entry" [ l "dir"; addr "name_buf" ] <>. num 0)
+        [ do_ (call "iput" [ l "dir" ]); ret (neg (num L.eexist)) ];
+      decl "ino" (call "ext2_new_inode" [ num L.mode_dir ]);
+      when_ (l "ino" ==. num 0) [ do_ (call "iput" [ l "dir" ]); ret (neg (num L.enospc)) ];
+      decl "r" (call "ext2_add_entry" [ l "dir"; addr "name_buf"; l "ino" ]);
+      when_ (l "r" <. num 0)
+        [
+          do_ (call "ext2_free_inode" [ l "ino" ]);
+          do_ (call "iput" [ l "dir" ]);
+          ret (l "r");
+        ];
+      do_ (call "iput" [ l "dir" ]);
+      ret (num 0);
+    ]
+
+let sys_rmdir_fn =
+  func "sys_rmdir" ~subsys:"fs" ~params:[ "path" ]
+    [
+      decl "parent" (call "link_path_walk" [ l "path"; num 1 ]);
+      when_ (l "parent" <. num 0) [ ret (l "parent") ];
+      decl "dir" (call "iget" [ l "parent" ]);
+      when_ (l "dir" ==. num 0) [ ret (neg (num L.enoent)) ];
+      decl "ino" (call "ext2_find_entry" [ l "dir"; addr "name_buf" ]);
+      when_ (l "ino" ==. num 0) [ do_ (call "iput" [ l "dir" ]); ret (neg (num L.enoent)) ];
+      decl "inode" (call "iget" [ l "ino" ]);
+      when_ (l "inode" ==. num 0) [ do_ (call "iput" [ l "dir" ]); ret (neg (num L.enoent)) ];
+      when_ (fld (l "inode") L.i_mode <>. num L.mode_dir)
+        [
+          do_ (call "iput" [ l "inode" ]);
+          do_ (call "iput" [ l "dir" ]);
+          ret (neg (num enotdir));
+        ];
+      when_ (call "ext2_dir_empty" [ l "inode" ] ==. num 0)
+        [
+          do_ (call "iput" [ l "inode" ]);
+          do_ (call "iput" [ l "dir" ]);
+          ret (neg (num enotempty));
+        ];
+      do_ (call "ext2_delete_entry" [ l "dir"; addr "name_buf" ]);
+      do_ (call "iput" [ l "dir" ]);
+      do_ (call "ext2_truncate" [ l "inode" ]);
+      do_ (call "forget_inode" [ l "inode" ]);
+      do_ (call "ext2_free_inode" [ l "ino" ]);
+      ret (num 0);
+    ]
+
+(* stat/fstat write a 12-byte record: mode, size, ino *)
+let write_stat inode buf =
+  [
+    sto32 buf (fld inode L.i_mode);
+    sto32 (buf + num 4) (fld inode L.i_size);
+    sto32 (buf + num 8) (fld inode L.i_ino);
+  ]
+
+let sys_stat_fn =
+  func "sys_stat" ~subsys:"fs" ~params:[ "path"; "buf" ]
+    ([
+       decl "ino" (call "link_path_walk" [ l "path"; num 0 ]);
+       when_ (l "ino" <. num 0) [ ret (l "ino") ];
+       decl "inode" (call "iget" [ l "ino" ]);
+       when_ (l "inode" ==. num 0) [ ret (neg (num L.enoent)) ];
+     ]
+    @ write_stat (l "inode") (l "buf")
+    @ [ do_ (call "iput" [ l "inode" ]); ret (num 0) ])
+
+let sys_fstat_fn =
+  func "sys_fstat" ~subsys:"fs" ~params:[ "fd"; "buf" ]
+    [
+      decl "file" (call "fget" [ l "fd" ]);
+      when_ (l "file" ==. num 0) [ ret (neg (num L.ebadf)) ];
+      decl "inode" (fld (l "file") L.f_inode);
+      if_ (l "inode" ==. num 0)
+        [
+          (* console or pipe: report a character-device-ish record *)
+          sto32 (l "buf") (num 3);
+          sto32 (l "buf" + num 4) (num 0);
+          sto32 (l "buf" + num 8) (num 0);
+        ]
+        (write_stat (l "inode") (l "buf"));
+      ret (num 0);
+    ]
+
+let sys_dup_fn =
+  func "sys_dup" ~subsys:"fs" ~params:[ "fd" ]
+    [
+      decl "file" (call "fget" [ l "fd" ]);
+      when_ (l "file" ==. num 0) [ ret (neg (num L.ebadf)) ];
+      decl "nfd" (call "get_unused_fd" []);
+      when_ (l "nfd" <. num 0) [ ret (l "nfd") ];
+      sto32 (g "current" + num L.t_files + (l "nfd" lsl num 2)) (l "file");
+      set_fld (l "file") L.f_count (fld (l "file") L.f_count + num 1);
+      ret (l "nfd");
+    ]
+
+let sys_dup2_fn =
+  func "sys_dup2" ~subsys:"fs" ~params:[ "fd"; "nfd" ]
+    [
+      decl "file" (call "fget" [ l "fd" ]);
+      when_ (l "file" ==. num 0) [ ret (neg (num L.ebadf)) ];
+      when_ (l "nfd" >=% num L.nr_open_files) [ ret (neg (num L.ebadf)) ];
+      when_ (l "nfd" ==. l "fd") [ ret (l "nfd") ];
+      decl "old" (call "fget" [ l "nfd" ]);
+      when_ (l "old" <>. num 0)
+        [
+          sto32 (g "current" + num L.t_files + (l "nfd" lsl num 2)) (num 0);
+          do_ (call "filp_close" [ l "old" ]);
+        ];
+      sto32 (g "current" + num L.t_files + (l "nfd" lsl num 2)) (l "file");
+      set_fld (l "file") L.f_count (fld (l "file") L.f_count + num 1);
+      ret (l "nfd");
+    ]
+
+let funcs =
+  [
+    ext2_adjust_link_fn;
+    ext2_dir_empty_fn;
+    forget_inode_fn;
+    sys_unlink_fn;
+    sys_link_fn;
+    sys_mkdir_fn;
+    sys_rmdir_fn;
+    sys_stat_fn;
+    sys_fstat_fn;
+    sys_dup_fn;
+    sys_dup2_fn;
+  ]

@@ -1,0 +1,496 @@
+(* fs/: the ext2-lite on-disk file system — inode cache (iget/iput), block
+   mapping with one indirect level, block/inode bitmaps, directories.
+   Geometry is fixed (see Layout / Mkfs): block 0 superblock, 1 block
+   bitmap, 2 inode bitmap, 3..18 inode table, data from 19. *)
+
+open Kfi_kcc.C
+module L = Layout
+
+let data_items =
+  [ Kfi_asm.Assembler.Align 4; Kfi_asm.Assembler.Label "sb_bh"; Kfi_asm.Assembler.Word32 0l ]
+
+(* --- bitmap helpers (on a buffer's data) --- *)
+
+let test_bit_fn =
+  func "test_bit" ~subsys:"fs" ~params:[ "base"; "n" ]
+    [ ret ((lod8 (l "base" + (l "n" lsr num 3)) lsr (l "n" land num 7)) land num 1) ]
+
+let set_bit_fn =
+  func "set_bit" ~subsys:"fs" ~params:[ "base"; "n" ]
+    [
+      decl "p" (l "base" + (l "n" lsr num 3));
+      sto8 (l "p") (lod8 (l "p") lor (num 1 lsl (l "n" land num 7)));
+      ret0;
+    ]
+
+let clear_bit_fn =
+  func "clear_bit" ~subsys:"fs" ~params:[ "base"; "n" ]
+    [
+      decl "p" (l "base" + (l "n" lsr num 3));
+      sto8 (l "p") (lod8 (l "p") land bnot (num 1 lsl (l "n" land num 7)));
+      ret0;
+    ]
+
+let find_first_zero_bit_fn =
+  func "find_first_zero_bit" ~subsys:"fs" ~params:[ "base"; "nbits"; "from" ]
+    [
+      decl "n" (l "from");
+      while_ (l "n" <% l "nbits")
+        [
+          when_ (call "test_bit" [ l "base"; l "n" ] ==. num 0) [ ret (l "n") ];
+          set "n" (l "n" + num 1);
+        ];
+      ret (neg (num 1));
+    ]
+
+(* --- disk inodes --- *)
+
+(* bread the inode-table block holding [ino]; the byte offset of the
+   on-disk inode within it goes to *offp. *)
+let itable_bread_fn =
+  func "itable_bread" ~subsys:"fs" ~params:[ "ino"; "offp" ]
+    [
+      when_ ((l "ino" ==. num 0) ||. (l "ino" >=% num L.fs_ninodes)) [ bug ];
+      decl "idx" (l "ino" - num 1);
+      decl "blk" (num L.fs_itable_start + (l "idx" / num L.inodes_per_block));
+      sto32 (l "offp") ((l "idx" mod num L.inodes_per_block) * num L.disk_inode_size);
+      ret (call "bread" [ l "blk" ]);
+    ]
+
+let ext2_read_inode_fn =
+  func "ext2_read_inode" ~subsys:"fs" ~params:[ "inode" ]
+    [
+      decl "off" (num 0);
+      decl "bh" (call "itable_bread" [ fld (l "inode") L.i_ino; addr_local "off" ]);
+      when_ (l "bh" ==. num 0) [ ret (neg (num 1)) ];
+      decl "d" (fld (l "bh") L.b_data + l "off");
+      set_fld (l "inode") L.i_mode (fld (l "d") L.d_mode);
+      set_fld (l "inode") L.i_size (fld (l "d") L.d_size);
+      set_fld (l "inode") L.i_dirty (num 0);
+      do_ (call "brelse" [ l "bh" ]);
+      ret (num 0);
+    ]
+
+let ext2_write_inode_fn =
+  func "ext2_write_inode" ~subsys:"fs" ~params:[ "inode" ]
+    [
+      decl "off" (num 0);
+      decl "bh" (call "itable_bread" [ fld (l "inode") L.i_ino; addr_local "off" ]);
+      when_ (l "bh" ==. num 0) [ ret (neg (num 1)) ];
+      decl "d" (fld (l "bh") L.b_data + l "off");
+      set_fld (l "d") L.d_mode (fld (l "inode") L.i_mode);
+      set_fld (l "d") L.d_size (fld (l "inode") L.i_size);
+      do_ (call "mark_buffer_dirty" [ l "bh" ]);
+      do_ (call "brelse" [ l "bh" ]);
+      set_fld (l "inode") L.i_dirty (num 0);
+      ret (num 0);
+    ]
+
+(* --- inode cache --- *)
+
+let ic_entry i = addr "inode_cache" + (l i * num L.icache_entry_size)
+
+let iget_fn =
+  func "iget" ~subsys:"fs" ~params:[ "ino" ]
+    [
+      when_ (l "ino" ==. num 0) [ bug ];
+      when_
+        ((g "assert_hardening" <>. num 0) &&. (l "ino" >=% num L.fs_ninodes))
+        [ do_ (call "assert_failed" []) ];
+      decl "i" (num 0);
+      decl "free" (num 0);
+      while_ (l "i" <% num L.nr_icache)
+        [
+          decl "e" (ic_entry "i");
+          when_ (fld (l "e") L.i_ino ==. l "ino")
+            [
+              set_fld (l "e") L.i_count (fld (l "e") L.i_count + num 1);
+              ret (l "e");
+            ];
+          when_ ((l "free" ==. num 0) &&. (fld (l "e") L.i_ino ==. num 0))
+            [ set "free" (l "e") ];
+          set "i" (l "i" + num 1);
+        ];
+      (* miss: reuse an unreferenced cached inode if no free slot *)
+      when_ (l "free" ==. num 0)
+        [
+          set "i" (num 0);
+          while_ (l "i" <% num L.nr_icache)
+            [
+              decl "e2" (ic_entry "i");
+              when_ (fld (l "e2") L.i_count ==. num 0)
+                [
+                  when_ (fld (l "e2") L.i_dirty <>. num 0)
+                    [ do_ (call "ext2_write_inode" [ l "e2" ]) ];
+                  set "free" (l "e2");
+                  break_;
+                ];
+              set "i" (l "i" + num 1);
+            ];
+        ];
+      when_ (l "free" ==. num 0) [ ret (num 0) ]; (* cache exhausted *)
+      set_fld (l "free") L.i_ino (l "ino");
+      set_fld (l "free") L.i_count (num 1);
+      when_ (call "ext2_read_inode" [ l "free" ] <>. num 0)
+        [ set_fld (l "free") L.i_ino (num 0); ret (num 0) ];
+      ret (l "free");
+    ]
+
+let iput_fn =
+  func "iput" ~subsys:"fs" ~params:[ "inode" ]
+    [
+      when_ (l "inode" ==. num 0) [ ret0 ];
+      when_ (fld (l "inode") L.i_count ==. num 0) [ bug ];
+      set_fld (l "inode") L.i_count (fld (l "inode") L.i_count - num 1);
+      when_
+        ((fld (l "inode") L.i_count ==. num 0) &&. (fld (l "inode") L.i_dirty <>. num 0))
+        [ do_ (call "ext2_write_inode" [ l "inode" ]) ];
+      ret0;
+    ]
+
+(* --- block allocation --- *)
+
+let ext2_alloc_block_fn =
+  func "ext2_alloc_block" ~subsys:"fs" ~params:[]
+    [
+      decl "bh" (call "bread" [ num L.fs_block_bitmap ]);
+      when_ (l "bh" ==. num 0) [ ret (num 0) ];
+      decl "n"
+        (call "find_first_zero_bit"
+           [ fld (l "bh") L.b_data; num L.fs_nblocks; num L.fs_data_start ]);
+      when_ (l "n" <. num 0) [ do_ (call "brelse" [ l "bh" ]); ret (num 0) ];
+      do_ (call "set_bit" [ fld (l "bh") L.b_data; l "n" ]);
+      do_ (call "mark_buffer_dirty" [ l "bh" ]);
+      do_ (call "brelse" [ l "bh" ]);
+      ret (l "n");
+    ]
+
+let ext2_free_block_fn =
+  func "ext2_free_block" ~subsys:"fs" ~params:[ "blk" ]
+    [
+      when_ ((l "blk" <% num L.fs_data_start) ||. (l "blk" >=% num L.fs_nblocks)) [ ret0 ];
+      decl "bh" (call "bread" [ num L.fs_block_bitmap ]);
+      when_ (l "bh" ==. num 0) [ ret0 ];
+      do_ (call "clear_bit" [ fld (l "bh") L.b_data; l "blk" ]);
+      do_ (call "mark_buffer_dirty" [ l "bh" ]);
+      do_ (call "brelse" [ l "bh" ]);
+      ret0;
+    ]
+
+(* Map file block [n] of [inode] to a disk block; 0 = hole.  One indirect
+   level covers files up to 10 + 256 blocks. *)
+let ext2_bmap_fn =
+  func "ext2_bmap" ~subsys:"fs" ~params:[ "inode"; "n" ]
+    [
+      when_ (l "n" >=% num 266) [ bug ]; (* beyond 10 direct + 256 indirect *)
+      decl "off" (num 0);
+      decl "bh" (call "itable_bread" [ fld (l "inode") L.i_ino; addr_local "off" ]);
+      when_ (l "bh" ==. num 0) [ ret (num 0) ];
+      decl "d" (fld (l "bh") L.b_data + l "off");
+      decl "blk" (num 0);
+      if_ (l "n" <% num L.nr_direct)
+        [ set "blk" (lod32 (l "d" + num L.d_blocks + (l "n" lsl num 2))) ]
+        [
+          decl "ind" (fld (l "d") L.d_indirect);
+          when_ (l "ind" <>. num 0)
+            [
+              decl "ibh" (call "bread" [ l "ind" ]);
+              when_ (l "ibh" <>. num 0)
+                [
+                  set "blk"
+                    (idx32 (fld (l "ibh") L.b_data) (l "n" - num L.nr_direct));
+                  do_ (call "brelse" [ l "ibh" ]);
+                ];
+            ];
+        ];
+      do_ (call "brelse" [ l "bh" ]);
+      ret (l "blk");
+    ]
+
+(* Like bmap but allocates missing blocks (fs/ext2/inode.c get_block). *)
+let ext2_get_block_fn =
+  func "ext2_get_block" ~subsys:"fs" ~params:[ "inode"; "n" ]
+    [
+      decl "blk" (call "ext2_bmap" [ l "inode"; l "n" ]);
+      when_ (l "blk" <>. num 0) [ ret (l "blk") ];
+      set "blk" (call "ext2_alloc_block" []);
+      when_ (l "blk" ==. num 0) [ ret (num 0) ];
+      (* zero the fresh block *)
+      decl "zb" (call "getblk" [ l "blk" ]);
+      when_ (l "zb" <>. num 0)
+        [
+          do_ (call "memset" [ fld (l "zb") L.b_data; num 0; num L.block_size ]);
+          do_ (call "mark_buffer_dirty" [ l "zb" ]);
+          do_ (call "brelse" [ l "zb" ]);
+        ];
+      (* link it into the inode *)
+      decl "off" (num 0);
+      decl "bh" (call "itable_bread" [ fld (l "inode") L.i_ino; addr_local "off" ]);
+      when_ (l "bh" ==. num 0) [ ret (num 0) ];
+      decl "d" (fld (l "bh") L.b_data + l "off");
+      if_ (l "n" <% num L.nr_direct)
+        [ sto32 (l "d" + num L.d_blocks + (l "n" lsl num 2)) (l "blk") ]
+        [
+          decl "ind" (fld (l "d") L.d_indirect);
+          when_ (l "ind" ==. num 0)
+            [
+              set "ind" (call "ext2_alloc_block" []);
+              when_ (l "ind" ==. num 0)
+                [ do_ (call "brelse" [ l "bh" ]); ret (num 0) ];
+              decl "nzb" (call "getblk" [ l "ind" ]);
+              when_ (l "nzb" <>. num 0)
+                [
+                  do_ (call "memset" [ fld (l "nzb") L.b_data; num 0; num L.block_size ]);
+                  do_ (call "mark_buffer_dirty" [ l "nzb" ]);
+                  do_ (call "brelse" [ l "nzb" ]);
+                ];
+              set_fld (l "d") L.d_indirect (l "ind");
+            ];
+          decl "ibh" (call "bread" [ l "ind" ]);
+          when_ (l "ibh" ==. num 0) [ do_ (call "brelse" [ l "bh" ]); ret (num 0) ];
+          set_idx32 (fld (l "ibh") L.b_data) (l "n" - num L.nr_direct) (l "blk");
+          do_ (call "mark_buffer_dirty" [ l "ibh" ]);
+          do_ (call "brelse" [ l "ibh" ]);
+        ];
+      do_ (call "mark_buffer_dirty" [ l "bh" ]);
+      do_ (call "brelse" [ l "bh" ]);
+      ret (l "blk");
+    ]
+
+(* --- inode allocation --- *)
+
+let ext2_new_inode_fn =
+  func "ext2_new_inode" ~subsys:"fs" ~params:[ "mode" ]
+    [
+      decl "bh" (call "bread" [ num L.fs_inode_bitmap ]);
+      when_ (l "bh" ==. num 0) [ ret (num 0) ];
+      decl "n"
+        (call "find_first_zero_bit" [ fld (l "bh") L.b_data; num L.fs_ninodes; num 1 ]);
+      when_ (l "n" <. num 0) [ do_ (call "brelse" [ l "bh" ]); ret (num 0) ];
+      do_ (call "set_bit" [ fld (l "bh") L.b_data; l "n" ]);
+      do_ (call "mark_buffer_dirty" [ l "bh" ]);
+      do_ (call "brelse" [ l "bh" ]);
+      (* ino = bit index (bit 0 reserved) *)
+      decl "off" (num 0);
+      decl "tbh" (call "itable_bread" [ l "n"; addr_local "off" ]);
+      when_ (l "tbh" ==. num 0) [ ret (num 0) ];
+      decl "d" (fld (l "tbh") L.b_data + l "off");
+      do_ (call "memset" [ l "d"; num 0; num L.disk_inode_size ]);
+      set_fld (l "d") L.d_mode (l "mode");
+      set_fld (l "d") L.d_links (num 1);
+      do_ (call "mark_buffer_dirty" [ l "tbh" ]);
+      do_ (call "brelse" [ l "tbh" ]);
+      ret (l "n");
+    ]
+
+let ext2_free_inode_fn =
+  func "ext2_free_inode" ~subsys:"fs" ~params:[ "ino" ]
+    [
+      decl "bh" (call "bread" [ num L.fs_inode_bitmap ]);
+      when_ (l "bh" ==. num 0) [ ret0 ];
+      do_ (call "clear_bit" [ fld (l "bh") L.b_data; l "ino" ]);
+      do_ (call "mark_buffer_dirty" [ l "bh" ]);
+      do_ (call "brelse" [ l "bh" ]);
+      decl "off" (num 0);
+      decl "tbh" (call "itable_bread" [ l "ino"; addr_local "off" ]);
+      when_ (l "tbh" ==. num 0) [ ret0 ];
+      do_ (call "memset" [ fld (l "tbh") L.b_data + l "off"; num 0; num L.disk_inode_size ]);
+      do_ (call "mark_buffer_dirty" [ l "tbh" ]);
+      do_ (call "brelse" [ l "tbh" ]);
+      ret0;
+    ]
+
+(* Free every data block of [inode] and reset its size (fs/ext2/truncate.c). *)
+let ext2_truncate_fn =
+  func "ext2_truncate" ~subsys:"fs" ~params:[ "inode" ]
+    [
+      decl "off" (num 0);
+      decl "bh" (call "itable_bread" [ fld (l "inode") L.i_ino; addr_local "off" ]);
+      when_ (l "bh" ==. num 0) [ ret0 ];
+      decl "d" (fld (l "bh") L.b_data + l "off");
+      decl "i" (num 0);
+      while_ (l "i" <% num L.nr_direct)
+        [
+          decl "blk" (lod32 (l "d" + num L.d_blocks + (l "i" lsl num 2)));
+          when_ (l "blk" <>. num 0)
+            [
+              do_ (call "ext2_free_block" [ l "blk" ]);
+              sto32 (l "d" + num L.d_blocks + (l "i" lsl num 2)) (num 0);
+            ];
+          set "i" (l "i" + num 1);
+        ];
+      decl "ind" (fld (l "d") L.d_indirect);
+      when_ (l "ind" <>. num 0)
+        [
+          decl "ibh" (call "bread" [ l "ind" ]);
+          when_ (l "ibh" <>. num 0)
+            [
+              decl "j" (num 0);
+              while_ (l "j" <% num 256)
+                [
+                  decl "iblk" (idx32 (fld (l "ibh") L.b_data) (l "j"));
+                  when_ (l "iblk" <>. num 0) [ do_ (call "ext2_free_block" [ l "iblk" ]) ];
+                  set "j" (l "j" + num 1);
+                ];
+              do_ (call "brelse" [ l "ibh" ]);
+            ];
+          do_ (call "ext2_free_block" [ l "ind" ]);
+          set_fld (l "d") L.d_indirect (num 0);
+        ];
+      set_fld (l "d") L.d_size (num 0);
+      do_ (call "mark_buffer_dirty" [ l "bh" ]);
+      do_ (call "brelse" [ l "bh" ]);
+      set_fld (l "inode") L.i_size (num 0);
+      set_fld (l "inode") L.i_dirty (num 1);
+      do_ (call "invalidate_inode_pages" [ fld (l "inode") L.i_ino ]);
+      ret0;
+    ]
+
+(* --- directories --- *)
+
+(* Look [name] up in directory [dir]; returns the ino or 0. *)
+let ext2_find_entry_fn =
+  func "ext2_find_entry" ~subsys:"fs" ~params:[ "dir"; "name" ]
+    [
+      decl "size" (fld (l "dir") L.i_size);
+      decl "nb" ((l "size" + num Stdlib.(L.block_size - 1)) lsr num 10);
+      decl "b" (num 0);
+      while_ (l "b" <% l "nb")
+        [
+          decl "blk" (call "ext2_bmap" [ l "dir"; l "b" ]);
+          when_ (l "blk" <>. num 0)
+            [
+              decl "bh" (call "bread" [ l "blk" ]);
+              when_ (l "bh" ==. num 0) [ ret (num 0) ];
+              decl "p" (fld (l "bh") L.b_data);
+              decl "end" (l "p" + num L.block_size);
+              while_ (l "p" <% l "end")
+                [
+                  when_
+                    ((lod32 (l "p") <>. num 0)
+                    &&. (call "strncmp" [ l "p" + num 4; l "name"; num L.dirent_name_len ]
+                        ==. num 0))
+                    [
+                      decl "found" (lod32 (l "p"));
+                      do_ (call "brelse" [ l "bh" ]);
+                      ret (l "found");
+                    ];
+                  set "p" (l "p" + num L.dirent_size);
+                ];
+              do_ (call "brelse" [ l "bh" ]);
+            ];
+          set "b" (l "b" + num 1);
+        ];
+      ret (num 0);
+    ]
+
+(* Add (name, ino) to directory [dir], reusing a free slot or growing the
+   directory by one block. *)
+let ext2_add_entry_fn =
+  func "ext2_add_entry" ~subsys:"fs" ~params:[ "dir"; "name"; "ino" ]
+    [
+      decl "size" (fld (l "dir") L.i_size);
+      decl "nb" ((l "size" + num Stdlib.(L.block_size - 1)) lsr num 10);
+      decl "b" (num 0);
+      while_ (l "b" <% l "nb")
+        [
+          decl "blk" (call "ext2_bmap" [ l "dir"; l "b" ]);
+          when_ (l "blk" <>. num 0)
+            [
+              decl "bh" (call "bread" [ l "blk" ]);
+              when_ (l "bh" ==. num 0) [ ret (neg (num L.enospc)) ];
+              decl "p" (fld (l "bh") L.b_data);
+              decl "end" (l "p" + num L.block_size);
+              while_ (l "p" <% l "end")
+                [
+                  when_ (lod32 (l "p") ==. num 0)
+                    [
+                      sto32 (l "p") (l "ino");
+                      do_ (call "strncpy" [ l "p" + num 4; l "name"; num L.dirent_name_len ]);
+                      do_ (call "mark_buffer_dirty" [ l "bh" ]);
+                      do_ (call "brelse" [ l "bh" ]);
+                      ret (num 0);
+                    ];
+                  set "p" (l "p" + num L.dirent_size);
+                ];
+              do_ (call "brelse" [ l "bh" ]);
+            ];
+          set "b" (l "b" + num 1);
+        ];
+      (* grow the directory *)
+      decl "nblk" (call "ext2_get_block" [ l "dir"; l "nb" ]);
+      when_ (l "nblk" ==. num 0) [ ret (neg (num L.enospc)) ];
+      decl "gbh" (call "bread" [ l "nblk" ]);
+      when_ (l "gbh" ==. num 0) [ ret (neg (num L.enospc)) ];
+      decl "q" (fld (l "gbh") L.b_data);
+      sto32 (l "q") (l "ino");
+      do_ (call "strncpy" [ l "q" + num 4; l "name"; num L.dirent_name_len ]);
+      do_ (call "mark_buffer_dirty" [ l "gbh" ]);
+      do_ (call "brelse" [ l "gbh" ]);
+      set_fld (l "dir") L.i_size ((l "nb" + num 1) lsl num 10);
+      set_fld (l "dir") L.i_dirty (num 1);
+      do_ (call "ext2_write_inode" [ l "dir" ]);
+      ret (num 0);
+    ]
+
+(* Remove [name] from [dir]; returns the removed ino or 0. *)
+let ext2_delete_entry_fn =
+  func "ext2_delete_entry" ~subsys:"fs" ~params:[ "dir"; "name" ]
+    [
+      decl "size" (fld (l "dir") L.i_size);
+      decl "nb" ((l "size" + num Stdlib.(L.block_size - 1)) lsr num 10);
+      decl "b" (num 0);
+      while_ (l "b" <% l "nb")
+        [
+          decl "blk" (call "ext2_bmap" [ l "dir"; l "b" ]);
+          when_ (l "blk" <>. num 0)
+            [
+              decl "bh" (call "bread" [ l "blk" ]);
+              when_ (l "bh" ==. num 0) [ ret (num 0) ];
+              decl "p" (fld (l "bh") L.b_data);
+              decl "end" (l "p" + num L.block_size);
+              while_ (l "p" <% l "end")
+                [
+                  when_
+                    ((lod32 (l "p") <>. num 0)
+                    &&. (call "strncmp" [ l "p" + num 4; l "name"; num L.dirent_name_len ]
+                        ==. num 0))
+                    [
+                      decl "gone" (lod32 (l "p"));
+                      sto32 (l "p") (num 0);
+                      do_ (call "mark_buffer_dirty" [ l "bh" ]);
+                      do_ (call "brelse" [ l "bh" ]);
+                      ret (l "gone");
+                    ];
+                  set "p" (l "p" + num L.dirent_size);
+                ];
+              do_ (call "brelse" [ l "bh" ]);
+            ];
+          set "b" (l "b" + num 1);
+        ];
+      ret (num 0);
+    ]
+
+let funcs =
+  [
+    test_bit_fn;
+    set_bit_fn;
+    clear_bit_fn;
+    find_first_zero_bit_fn;
+    itable_bread_fn;
+    ext2_read_inode_fn;
+    ext2_write_inode_fn;
+    iget_fn;
+    iput_fn;
+    ext2_alloc_block_fn;
+    ext2_free_block_fn;
+    ext2_bmap_fn;
+    ext2_get_block_fn;
+    ext2_new_inode_fn;
+    ext2_free_inode_fn;
+    ext2_truncate_fn;
+    ext2_find_entry_fn;
+    ext2_add_entry_fn;
+    ext2_delete_entry_fn;
+  ]
+

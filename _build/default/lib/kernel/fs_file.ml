@@ -1,0 +1,313 @@
+(* fs/: file table and the read/write/open/close/lseek/unlink syscalls,
+   plus generic_file_write / generic_commit_write (a paper target, Table 5
+   case 8) and console file operations.  read/write dispatch through
+   file_operations function pointers, as in the real VFS. *)
+
+open Kfi_kcc.C
+module L = Layout
+
+let is_err = Fs_namei.is_err
+
+let file_entry i = addr "file_table" + (l i * num L.file_struct_size)
+
+let get_empty_filp_fn =
+  func "get_empty_filp" ~subsys:"fs" ~params:[]
+    [
+      decl "i" (num 0);
+      while_ (l "i" <% num 64)
+        [
+          decl "f" (file_entry "i");
+          when_ (fld (l "f") L.f_count ==. num 0)
+            [
+              set_fld (l "f") L.f_count (num 1);
+              set_fld (l "f") L.f_inode (num 0);
+              set_fld (l "f") L.f_pos (num 0);
+              set_fld (l "f") L.f_flags (num 0);
+              set_fld (l "f") L.f_op (num 0);
+              set_fld (l "f") L.f_pipe (num 0);
+              ret (l "f");
+            ];
+          set "i" (l "i" + num 1);
+        ];
+      ret (num 0);
+    ]
+
+let get_unused_fd_fn =
+  func "get_unused_fd" ~subsys:"fs" ~params:[]
+    [
+      decl "t" (g "current");
+      decl "fd" (num 0);
+      while_ (l "fd" <% num L.nr_open_files)
+        [
+          when_ (lod32 (l "t" + num L.t_files + (l "fd" lsl num 2)) ==. num 0) [ ret (l "fd") ];
+          set "fd" (l "fd" + num 1);
+        ];
+      ret (neg (num L.emfile));
+    ]
+
+(* fd -> file pointer, 0 when invalid *)
+let fget_fn =
+  func "fget" ~subsys:"fs" ~params:[ "fd" ]
+    [
+      when_ (l "fd" >=% num L.nr_open_files) [ ret (num 0) ];
+      ret (lod32 (g "current" + num L.t_files + (l "fd" lsl num 2)));
+    ]
+
+let filp_close_fn =
+  func "filp_close" ~subsys:"fs" ~params:[ "file" ]
+    [
+      when_ (fld (l "file") L.f_count ==. num 0) [ bug ];
+      set_fld (l "file") L.f_count (fld (l "file") L.f_count - num 1);
+      when_ (fld (l "file") L.f_count <>. num 0) [ ret (num 0) ];
+      when_ (fld (l "file") L.f_pipe <>. num 0) [ do_ (call "pipe_release" [ l "file" ]) ];
+      when_ (fld (l "file") L.f_inode <>. num 0)
+        [ do_ (call "iput" [ fld (l "file") L.f_inode ]) ];
+      ret (num 0);
+    ]
+
+let sys_open_fn =
+  func "sys_open" ~subsys:"fs" ~params:[ "path"; "flags" ]
+    [
+      decl "inode" (call "open_namei" [ l "path"; l "flags" ]);
+      when_ (is_err (l "inode")) [ ret (l "inode") ];
+      decl "file" (call "get_empty_filp" []);
+      when_ (l "file" ==. num 0)
+        [ do_ (call "iput" [ l "inode" ]); ret (neg (num L.enfile)) ];
+      decl "fd" (call "get_unused_fd" []);
+      when_ (l "fd" <. num 0)
+        [
+          set_fld (l "file") L.f_count (num 0);
+          do_ (call "iput" [ l "inode" ]);
+          ret (l "fd");
+        ];
+      set_fld (l "file") L.f_inode (l "inode");
+      set_fld (l "file") L.f_flags (l "flags");
+      set_fld (l "file") L.f_op (addr "ext2_file_fops");
+      sto32 (g "current" + num L.t_files + (l "fd" lsl num 2)) (l "file");
+      ret (l "fd");
+    ]
+
+let sys_creat_fn =
+  func "sys_creat" ~subsys:"fs" ~params:[ "path" ]
+    [ ret (call "sys_open" [ l "path"; num Stdlib.(L.o_creat lor L.o_trunc lor L.o_wronly) ]) ]
+
+let sys_close_fn =
+  func "sys_close" ~subsys:"fs" ~params:[ "fd" ]
+    [
+      decl "file" (call "fget" [ l "fd" ]);
+      when_ (l "file" ==. num 0) [ ret (neg (num L.ebadf)) ];
+      sto32 (g "current" + num L.t_files + (l "fd" lsl num 2)) (num 0);
+      ret (call "filp_close" [ l "file" ]);
+    ]
+
+let sys_read_fn =
+  func "sys_read" ~subsys:"fs" ~params:[ "fd"; "buf"; "count" ]
+    [
+      decl "file" (call "fget" [ l "fd" ]);
+      when_ (l "file" ==. num 0) [ ret (neg (num L.ebadf)) ];
+      when_ (g "assert_hardening" <>. num 0)
+        [
+          (* interface assertion: the file struct must be sane *)
+          when_
+            ((fld (l "file") L.f_count ==. num 0)
+            ||. (fld (l "file") L.f_count >% num 1000)
+            ||. (fld (l "file") L.f_op <% num32 0xC0000000l))
+            [ do_ (call "assert_failed" []) ];
+        ];
+      decl "op" (fld (l "file") L.f_op);
+      when_ (l "op" ==. num 0) [ ret (neg (num L.einval)) ];
+      decl "fn" (fld (l "op") L.fop_read);
+      when_ (l "fn" ==. num 0) [ ret (neg (num L.einval)) ];
+      ret (call_ptr (l "fn") [ l "file"; l "buf"; l "count" ]);
+    ]
+
+let sys_write_fn =
+  func "sys_write" ~subsys:"fs" ~params:[ "fd"; "buf"; "count" ]
+    [
+      decl "file" (call "fget" [ l "fd" ]);
+      when_ (l "file" ==. num 0) [ ret (neg (num L.ebadf)) ];
+      when_ (g "assert_hardening" <>. num 0)
+        [
+          when_
+            ((fld (l "file") L.f_count ==. num 0)
+            ||. (fld (l "file") L.f_count >% num 1000)
+            ||. (fld (l "file") L.f_op <% num32 0xC0000000l))
+            [ do_ (call "assert_failed" []) ];
+        ];
+      decl "op" (fld (l "file") L.f_op);
+      when_ (l "op" ==. num 0) [ ret (neg (num L.einval)) ];
+      decl "fn" (fld (l "op") L.fop_write);
+      when_ (l "fn" ==. num 0) [ ret (neg (num L.einval)) ];
+      ret (call_ptr (l "fn") [ l "file"; l "buf"; l "count" ]);
+    ]
+
+let sys_lseek_fn =
+  func "sys_lseek" ~subsys:"fs" ~params:[ "fd"; "off"; "whence" ]
+    [
+      decl "file" (call "fget" [ l "fd" ]);
+      when_ (l "file" ==. num 0) [ ret (neg (num L.ebadf)) ];
+      when_ (fld (l "file") L.f_pipe <>. num 0) [ ret (neg (num L.espipe)) ];
+      decl "base" (num 0);
+      when_ (l "whence" ==. num 1) [ set "base" (fld (l "file") L.f_pos) ];
+      when_ (l "whence" ==. num 2)
+        [
+          decl "inode" (fld (l "file") L.f_inode);
+          when_ (l "inode" <>. num 0) [ set "base" (fld (l "inode") L.i_size) ];
+        ];
+      decl "npos" (l "base" + l "off");
+      when_ (l "npos" <. num 0) [ ret (neg (num L.einval)) ];
+      set_fld (l "file") L.f_pos (l "npos");
+      ret (l "npos");
+    ]
+
+(* write dirty in-core inodes, then dirty buffers *)
+let sys_sync_fn =
+  func "sys_sync" ~subsys:"fs" ~params:[]
+    [
+      decl "i" (num 0);
+      while_ (l "i" <% num L.nr_icache)
+        [
+          decl "e" (addr "inode_cache" + (l "i" * num L.icache_entry_size));
+          when_ ((fld (l "e") L.i_ino <>. num 0) &&. (fld (l "e") L.i_dirty <>. num 0))
+            [ do_ (call "ext2_write_inode" [ l "e" ]) ];
+          set "i" (l "i" + num 1);
+        ];
+      do_ (call "sync_buffers" []);
+      ret (num 0);
+    ]
+
+(* --- generic file read/write over the page cache --- *)
+
+let generic_file_read_fn =
+  func "generic_file_read" ~subsys:"fs" ~params:[ "file"; "buf"; "count" ]
+    [
+      decl "inode" (fld (l "file") L.f_inode);
+      when_ (l "inode" ==. num 0) [ ret (neg (num L.einval)) ];
+      ret
+        (call "do_generic_file_read"
+           [ l "inode"; l "file" + num L.f_pos; l "buf"; l "count" ]);
+    ]
+
+(* Push the blocks covered by [pos, pos+nr) from [page] into the buffer
+   cache (allocating on-disk blocks) and grow the inode size — the paper's
+   generic_commit_write. *)
+let generic_commit_write_fn =
+  func "generic_commit_write" ~subsys:"fs" ~params:[ "inode"; "page"; "pos"; "nr" ]
+    [
+      when_ (l "nr" ==. num 0) [ bug ];
+      decl "b" (l "pos" lsr num 10);
+      decl "bend" ((l "pos" + l "nr" - num 1) lsr num 10);
+      while_ (l "b" <=% l "bend")
+        [
+          decl "blk" (call "ext2_get_block" [ l "inode"; l "b" ]);
+          when_ (l "blk" ==. num 0) [ ret (neg (num L.enospc)) ];
+          decl "bh" (call "getblk" [ l "blk" ]);
+          when_ (l "bh" ==. num 0) [ ret (neg (num L.enomem)) ];
+          do_
+            (call "memcpy"
+               [
+                 fld (l "bh") L.b_data;
+                 l "page" + ((l "b" lsl num 10) land num 4095);
+                 num L.block_size;
+               ]);
+          set_fld (l "bh") L.b_state (fld (l "bh") L.b_state lor num 1);
+          do_ (call "mark_buffer_dirty" [ l "bh" ]);
+          do_ (call "brelse" [ l "bh" ]);
+          set "b" (l "b" + num 1);
+        ];
+      when_ ((l "pos" + l "nr") >% fld (l "inode") L.i_size)
+        [
+          set_fld (l "inode") L.i_size (l "pos" + l "nr");
+          set_fld (l "inode") L.i_dirty (num 1);
+          do_ (call "ext2_write_inode" [ l "inode" ]);
+        ];
+      ret (num 0);
+    ]
+
+let generic_file_write_fn =
+  func "generic_file_write" ~subsys:"fs" ~params:[ "file"; "buf"; "count" ]
+    [
+      decl "inode" (fld (l "file") L.f_inode);
+      when_ (l "inode" ==. num 0) [ ret (neg (num L.einval)) ];
+      decl "pos" (fld (l "file") L.f_pos);
+      (* O_APPEND: every write goes to the end of the file *)
+      when_ ((fld (l "file") L.f_flags land num L.o_append) <>. num 0)
+        [ set "pos" (fld (l "inode") L.i_size) ];
+      decl "written" (num 0);
+      decl "ino" (fld (l "inode") L.i_ino);
+      while_ (l "written" <% l "count")
+        [
+          decl "index" (l "pos" lsr num 12);
+          decl "offset" (l "pos" land num 4095);
+          decl "nr" (num L.page_size - l "offset");
+          when_ (l "nr" >% (l "count" - l "written")) [ set "nr" (l "count" - l "written") ];
+          decl "page" (call "find_page" [ l "ino"; l "index" ]);
+          when_ (l "page" ==. num 0)
+            [
+              set "page" (call "__get_free_page" []);
+              when_ (l "page" ==. num 0) [ ret (neg (num L.enomem)) ];
+              decl "rr" (call "readpage" [ l "inode"; l "index"; l "page" ]);
+              when_ (l "rr" <>. num 0)
+                [ do_ (call "free_page" [ l "page" ]); ret (l "rr") ];
+              do_ (call "add_to_page_cache" [ l "ino"; l "index"; l "page" ]);
+            ];
+          do_ (call "memcpy" [ l "page" + l "offset"; l "buf" + l "written"; l "nr" ]);
+          decl "r" (call "generic_commit_write" [ l "inode"; l "page"; l "pos"; l "nr" ]);
+          when_ (l "r" <. num 0) [ ret (l "r") ];
+          set "pos" (l "pos" + l "nr");
+          set "written" (l "written" + l "nr");
+        ];
+      set_fld (l "file") L.f_pos (l "pos");
+      ret (l "written");
+    ]
+
+(* Read file content from kernel context (program loading). *)
+let kernel_read_fn =
+  func "kernel_read" ~subsys:"fs" ~params:[ "inode"; "pos"; "buf"; "count" ]
+    [
+      decl "p" (l "pos");
+      ret (call "do_generic_file_read" [ l "inode"; addr_local "p"; l "buf"; l "count" ]);
+    ]
+
+(* --- console files --- *)
+
+let console_file_read_fn =
+  func "console_file_read" ~subsys:"fs" ~params:[ "file"; "buf"; "count" ] [ ret (num 0) ]
+
+let console_file_write_fn =
+  func "console_file_write" ~subsys:"fs" ~params:[ "file"; "buf"; "count" ]
+    [
+      decl "i" (num 0);
+      while_ (l "i" <% l "count")
+        [
+          do_ (call "tty_putc" [ lod8 (l "buf" + l "i") ]);
+          set "i" (l "i" + num 1);
+        ];
+      ret (l "count");
+    ]
+
+let bad_file_rw_fn =
+  func "bad_file_rw" ~subsys:"fs" ~params:[ "file"; "buf"; "count" ]
+    [ ret (neg (num L.ebadf)) ]
+
+let funcs =
+  [
+    get_empty_filp_fn;
+    get_unused_fd_fn;
+    fget_fn;
+    filp_close_fn;
+    sys_open_fn;
+    sys_creat_fn;
+    sys_close_fn;
+    sys_read_fn;
+    sys_write_fn;
+    sys_lseek_fn;
+    sys_sync_fn;
+    generic_file_read_fn;
+    generic_commit_write_fn;
+    generic_file_write_fn;
+    kernel_read_fn;
+    console_file_read_fn;
+    console_file_write_fn;
+    bad_file_rw_fn;
+  ]

@@ -1,0 +1,97 @@
+(* fs/: path resolution — link_path_walk and open_namei (both paper
+   targets; Table 5 cases 1, 3, 4).
+
+   Paths are absolute ("/bin/pipe").  link_path_walk leaves the last
+   component in the global name_buf when asked for the parent, which
+   open_namei/unlink then use for the final lookup/creation. *)
+
+open Kfi_kcc.C
+module L = Layout
+
+(* error-pointer convention, like Linux ERR_PTR: values in the top 4 KB of
+   the address space are negated errnos *)
+let is_err e = e >=% num32 0xFFFFF000l
+
+(* Walk [path]; returns the ino of the last component, or of its parent
+   when [want_parent] is nonzero (last component left in name_buf).
+   Negative errno on failure. *)
+let link_path_walk_fn =
+  func "link_path_walk" ~subsys:"fs" ~params:[ "path"; "want_parent" ]
+    [
+      when_ (lod8 (l "path") <>. num (Char.code '/')) [ ret (neg (num L.enoent)) ];
+      decl "p" (l "path" + num 1);
+      decl "ino" (num L.root_ino);
+      sto8 (addr "name_buf") (num 0);
+      while_ (lod8 (l "p") <>. num 0)
+        [
+          (* copy one component into name_buf *)
+          decl "n" (num 0);
+          while_
+            ((lod8 (l "p") <>. num 0) &&. (lod8 (l "p") <>. num (Char.code '/')))
+            [
+              when_ (l "n" <% num Stdlib.(L.dirent_name_len - 1))
+                [
+                  sto8 (addr "name_buf" + l "n") (lod8 (l "p"));
+                  set "n" (l "n" + num 1);
+                ];
+              set "p" (l "p" + num 1);
+            ];
+          sto8 (addr "name_buf" + l "n") (num 0);
+          while_ (lod8 (l "p") ==. num (Char.code '/')) [ set "p" (l "p" + num 1) ];
+          (* parent lookup stops before resolving the last component *)
+          when_ ((l "want_parent" <>. num 0) &&. (lod8 (l "p") ==. num 0)) [ ret (l "ino") ];
+          decl "dir" (call "iget" [ l "ino" ]);
+          when_ (l "dir" ==. num 0) [ ret (neg (num L.enoent)) ];
+          when_ (fld (l "dir") L.i_mode <>. num L.mode_dir)
+            [ do_ (call "iput" [ l "dir" ]); ret (neg (num L.enoent)) ];
+          decl "next" (call "ext2_find_entry" [ l "dir"; addr "name_buf" ]);
+          do_ (call "iput" [ l "dir" ]);
+          when_ (l "next" ==. num 0) [ ret (neg (num L.enoent)) ];
+          set "ino" (l "next");
+        ];
+      ret (l "ino");
+    ]
+
+(* Resolve [path] to a referenced in-core inode for open(2), honouring
+   O_CREAT and O_TRUNC.  Returns an inode pointer or an error pointer. *)
+let open_namei_fn =
+  func "open_namei" ~subsys:"fs" ~params:[ "path"; "flags" ]
+    [
+      decl "parent" (call "link_path_walk" [ l "path"; num 1 ]);
+      when_ (l "parent" <. num 0) [ ret (l "parent") ];
+      decl "ino" (num 0);
+      if_ (lod8 (addr "name_buf") ==. num 0)
+        [ set "ino" (l "parent") ] (* path was "/" *)
+        [
+          decl "dir" (call "iget" [ l "parent" ]);
+          when_ (l "dir" ==. num 0) [ ret (neg (num L.enoent)) ];
+          when_ (fld (l "dir") L.i_mode <>. num L.mode_dir)
+            [ do_ (call "iput" [ l "dir" ]); ret (neg (num L.enoent)) ];
+          set "ino" (call "ext2_find_entry" [ l "dir"; addr "name_buf" ]);
+          when_ (l "ino" ==. num 0)
+            [
+              when_ ((l "flags" land num L.o_creat) ==. num 0)
+                [ do_ (call "iput" [ l "dir" ]); ret (neg (num L.enoent)) ];
+              set "ino" (call "ext2_new_inode" [ num L.mode_reg ]);
+              when_ (l "ino" ==. num 0)
+                [ do_ (call "iput" [ l "dir" ]); ret (neg (num L.enospc)) ];
+              decl "r" (call "ext2_add_entry" [ l "dir"; addr "name_buf"; l "ino" ]);
+              when_ (l "r" <. num 0)
+                [
+                  do_ (call "ext2_free_inode" [ l "ino" ]);
+                  do_ (call "iput" [ l "dir" ]);
+                  ret (l "r");
+                ];
+            ];
+          do_ (call "iput" [ l "dir" ]);
+        ];
+      decl "inode" (call "iget" [ l "ino" ]);
+      when_ (l "inode" ==. num 0) [ ret (neg (num L.enfile)) ];
+      when_
+        (((l "flags" land num L.o_trunc) <>. num 0)
+        &&. (fld (l "inode") L.i_mode ==. num L.mode_reg))
+        [ do_ (call "ext2_truncate" [ l "inode" ]) ];
+      ret (l "inode");
+    ]
+
+let funcs = [ link_path_walk_fn; open_namei_fn ]

@@ -1,0 +1,155 @@
+(* fs/: pipes (fs/pipe.c) — pipe_read is a paper case study (the ESPIPE
+   fail-silence-violation example in Section 8). *)
+
+open Kfi_kcc.C
+module L = Layout
+
+let pipe_read_fn =
+  func "pipe_read" ~subsys:"fs" ~params:[ "file"; "buf"; "count" ]
+    [
+      decl "p" (fld (l "file") L.f_pipe);
+      (* Seeks are not allowed on pipes (the paper's pipe_read example) *)
+      when_ (l "p" ==. num 0) [ ret (neg (num L.espipe)) ];
+      when_ (fld (l "p") L.p_len >% num L.pipe_buf_size) [ bug ];
+      when_ (l "count" ==. num 0) [ ret (num 0) ];
+      (* wait for data *)
+      while_ (fld (l "p") L.p_len ==. num 0)
+        [
+          when_ (fld (l "p") L.p_writers ==. num 0) [ ret (num 0) ]; (* EOF *)
+          do_ (call "sleep_on" [ l "p" ]);
+        ];
+      decl "avail" (fld (l "p") L.p_len);
+      decl "n" (l "count");
+      when_ (l "n" >% l "avail") [ set "n" (l "avail") ];
+      decl "done" (num 0);
+      while_ (l "done" <% l "n")
+        [
+          decl "start" (fld (l "p") L.p_start);
+          decl "chunk" (num L.pipe_buf_size - l "start");
+          when_ (l "chunk" >% (l "n" - l "done")) [ set "chunk" (l "n" - l "done") ];
+          do_
+            (call "memcpy"
+               [ l "buf" + l "done"; fld (l "p") L.p_base + l "start"; l "chunk" ]);
+          set_fld (l "p") L.p_start
+            ((l "start" + l "chunk") land num Stdlib.(L.pipe_buf_size - 1));
+          set_fld (l "p") L.p_len (fld (l "p") L.p_len - l "chunk");
+          set "done" (l "done" + l "chunk");
+        ];
+      do_ (call "wake_up" [ l "p" ]); (* writers waiting for space *)
+      ret (l "n");
+    ]
+
+let pipe_write_fn =
+  func "pipe_write" ~subsys:"fs" ~params:[ "file"; "buf"; "count" ]
+    [
+      decl "p" (fld (l "file") L.f_pipe);
+      when_ (l "p" ==. num 0) [ ret (neg (num L.espipe)) ];
+      when_ (fld (l "p") L.p_len >% num L.pipe_buf_size) [ bug ];
+      decl "written" (num 0);
+      while_ (l "written" <% l "count")
+        [
+          (* broken pipe: no readers left *)
+          when_ (fld (l "p") L.p_readers ==. num 0) [ ret (neg (num 32)) ];
+          (* wait for space *)
+          while_ (fld (l "p") L.p_len ==. num L.pipe_buf_size)
+            [
+              when_ (fld (l "p") L.p_readers ==. num 0) [ ret (neg (num 32)) ];
+              do_ (call "sleep_on" [ l "p" ]);
+            ];
+          decl "space" (num L.pipe_buf_size - fld (l "p") L.p_len);
+          decl "n" (l "count" - l "written");
+          when_ (l "n" >% l "space") [ set "n" (l "space") ];
+          decl "done" (num 0);
+          while_ (l "done" <% l "n")
+            [
+              decl "wpos"
+                ((fld (l "p") L.p_start + fld (l "p") L.p_len)
+                land num Stdlib.(L.pipe_buf_size - 1));
+              decl "chunk" (num L.pipe_buf_size - l "wpos");
+              when_ (l "chunk" >% (l "n" - l "done")) [ set "chunk" (l "n" - l "done") ];
+              do_
+                (call "memcpy"
+                   [ fld (l "p") L.p_base + l "wpos"; l "buf" + l "written" + l "done"; l "chunk" ]);
+              set_fld (l "p") L.p_len (fld (l "p") L.p_len + l "chunk");
+              set "done" (l "done" + l "chunk");
+            ];
+          set "written" (l "written" + l "n");
+          do_ (call "wake_up" [ l "p" ]);
+        ];
+      ret (l "written");
+    ]
+
+(* Close one end; tear the pipe down when both are gone. *)
+let pipe_release_fn =
+  func "pipe_release" ~subsys:"fs" ~params:[ "file" ]
+    [
+      decl "p" (fld (l "file") L.f_pipe);
+      when_ (l "p" ==. num 0) [ ret0 ];
+      if_ (fld (l "file") L.f_op ==. addr "pipe_read_fops")
+        [ set_fld (l "p") L.p_readers (fld (l "p") L.p_readers - num 1) ]
+        [ set_fld (l "p") L.p_writers (fld (l "p") L.p_writers - num 1) ];
+      do_ (call "wake_up" [ l "p" ]);
+      when_
+        ((fld (l "p") L.p_readers ==. num 0) &&. (fld (l "p") L.p_writers ==. num 0))
+        [
+          do_ (call "free_page" [ fld (l "p") L.p_base ]);
+          do_ (call "kfree" [ l "p" ]);
+        ];
+      ret0;
+    ]
+
+let sys_pipe_fn =
+  func "sys_pipe" ~subsys:"fs" ~params:[ "fds" ]
+    [
+      decl "p" (call "kmalloc" [ num L.pipe_struct_size ]);
+      when_ (l "p" ==. num 0) [ ret (neg (num L.enomem)) ];
+      decl "page" (call "__get_free_page" []);
+      when_ (l "page" ==. num 0) [ do_ (call "kfree" [ l "p" ]); ret (neg (num L.enomem)) ];
+      set_fld (l "p") L.p_base (l "page");
+      set_fld (l "p") L.p_start (num 0);
+      set_fld (l "p") L.p_len (num 0);
+      set_fld (l "p") L.p_readers (num 1);
+      set_fld (l "p") L.p_writers (num 1);
+      decl "fr" (call "get_empty_filp" []);
+      when_ (l "fr" ==. num 0)
+        [ do_ (call "free_page" [ l "page" ]); do_ (call "kfree" [ l "p" ]); ret (neg (num L.enfile)) ];
+      decl "fw" (call "get_empty_filp" []);
+      when_ (l "fw" ==. num 0)
+        [
+          set_fld (l "fr") L.f_count (num 0);
+          do_ (call "free_page" [ l "page" ]);
+          do_ (call "kfree" [ l "p" ]);
+          ret (neg (num L.enfile));
+        ];
+      set_fld (l "fr") L.f_op (addr "pipe_read_fops");
+      set_fld (l "fr") L.f_pipe (l "p");
+      set_fld (l "fw") L.f_op (addr "pipe_write_fops");
+      set_fld (l "fw") L.f_pipe (l "p");
+      decl "fd1" (call "get_unused_fd" []);
+      when_ (l "fd1" <. num 0)
+        [
+          set_fld (l "fr") L.f_count (num 0);
+          set_fld (l "fw") L.f_count (num 0);
+          do_ (call "free_page" [ l "page" ]);
+          do_ (call "kfree" [ l "p" ]);
+          ret (l "fd1");
+        ];
+      sto32 (g "current" + num L.t_files + (l "fd1" lsl num 2)) (l "fr");
+      decl "fd2" (call "get_unused_fd" []);
+      when_ (l "fd2" <. num 0)
+        [
+          sto32 (g "current" + num L.t_files + (l "fd1" lsl num 2)) (num 0);
+          set_fld (l "fr") L.f_count (num 0);
+          set_fld (l "fw") L.f_count (num 0);
+          do_ (call "free_page" [ l "page" ]);
+          do_ (call "kfree" [ l "p" ]);
+          ret (l "fd2");
+        ];
+      sto32 (g "current" + num L.t_files + (l "fd2" lsl num 2)) (l "fw");
+      (* return the two fds through the user pointer *)
+      sto32 (l "fds") (l "fd1");
+      sto32 (l "fds" + num 4) (l "fd2");
+      ret (num 0);
+    ]
+
+let funcs = [ pipe_read_fn; pipe_write_fn; pipe_release_fn; sys_pipe_fn ]

@@ -1,0 +1,227 @@
+(* init/: start_kernel, sched_init, mount_root, the init thread and
+   program loading (fs/exec.c analogue). *)
+
+open Kfi_kcc.C
+module L = Layout
+
+let page_offset = num32 (Int32.of_int L.page_offset)
+let prot_user = Stdlib.(L.pte_present lor L.pte_write lor L.pte_user)
+
+let sched_init_fn =
+  func "sched_init" ~subsys:"kernel" ~params:[]
+    [
+      decl "idle" (num L.kva_idle_task);
+      set_fld (l "idle") L.t_state (num L.state_running);
+      set_fld (l "idle") L.t_pid (num 0);
+      set_fld (l "idle") L.t_counter (num 0);
+      set_fld (l "idle") L.t_cr3 (num L.pa_swapper_pgdir);
+      set_fld (l "idle") L.t_parent (num 0);
+      set_fld (l "idle") L.t_wait_chan (num 0);
+      set_fld (l "idle") L.t_brk_start (num 0);
+      set_fld (l "idle") L.t_brk (num 0);
+      set_fld (l "idle") L.t_kstack_top (l "idle" + num L.task_size);
+      decl "fd" (num 0);
+      while_ (l "fd" <% num L.nr_open_files)
+        [
+          sto32 (l "idle" + num L.t_files + (l "fd" lsl num 2)) (num 0);
+          set "fd" (l "fd" + num 1);
+        ];
+      set_idx32 (addr "task_table") (num 0) (l "idle");
+      setg "current" (l "idle");
+      do_ (call "set_esp0" [ l "idle" + num L.task_size ]);
+      ret0;
+    ]
+
+let mount_root_fn =
+  func "mount_root" ~subsys:"fs" ~params:[]
+    [
+      decl "bh" (call "bread" [ num 0 ]);
+      when_ (l "bh" ==. num 0) [ do_ (call "panic" [ addr "str_panic_root" ]) ];
+      (* pin the superblock buffer for the lifetime of the system *)
+      setg "sb_bh" (l "bh");
+      when_ (fld (fld (l "bh") L.b_data) L.sb_magic <>. num L.fs_magic)
+        [ do_ (call "panic" [ addr "str_panic_root" ]) ];
+      do_ (call "printk" [ addr "str_mounted" ]);
+      ret0;
+    ]
+
+(* Map and read [inode] into the current task's user address space
+   (fs/exec.c load_binary); sets up brk.  0 on success. *)
+let load_binary_fn =
+  func "load_binary" ~subsys:"fs" ~params:[ "inode" ]
+    [
+      decl "size" (fld (l "inode") L.i_size);
+      when_ (l "size" ==. num 0) [ ret (neg (num 1)) ];
+      decl "t" (g "current");
+      decl "pgdir" (fld (l "t") L.t_cr3 + page_offset);
+      decl "npages" ((l "size" + num 4095) lsr num 12);
+      decl "i" (num 0);
+      while_ (l "i" <% l "npages")
+        [
+          decl "page" (call "__get_free_page" []);
+          when_ (l "page" ==. num 0) [ ret (neg (num L.enomem)) ];
+          do_
+            (call "map_page"
+               [
+                 l "pgdir";
+                 num32 (Int32.of_int L.user_text) + (l "i" lsl num 12);
+                 l "page" - page_offset;
+                 num prot_user;
+               ]);
+          do_ (call "kernel_read" [ l "inode"; l "i" lsl num 12; l "page"; num L.page_size ]);
+          set "i" (l "i" + num 1);
+        ];
+      set_fld (l "t") L.t_brk_start
+        ((num32 (Int32.of_int L.user_text) + l "size" + num 4095) land bnot (num 4095));
+      set_fld (l "t") L.t_brk (fld (l "t") L.t_brk_start);
+      do_ (call "tlb_flush" []);
+      ret (num 0);
+    ]
+
+(* Load the workload binary into a fresh user address space and drop to
+   user mode.  Returns only on failure. *)
+let run_init_program_fn =
+  func "run_init_program" ~subsys:"fs" ~params:[ "path" ]
+    [
+      decl "inode" (call "open_namei" [ l "path"; num 0 ]);
+      when_ (Fs_namei.is_err (l "inode")) [ ret (neg (num 1)) ];
+      decl "r" (call "load_binary" [ l "inode" ]);
+      do_ (call "iput" [ l "inode" ]);
+      when_ (l "r" <. num 0) [ ret (l "r") ];
+      do_
+        (call "enter_user"
+           [ num32 (Int32.of_int L.user_text); num32 (Int32.of_int Stdlib.(L.user_stack_top - 16)) ]);
+      ret (neg (num 1));
+    ]
+
+(* execve(2): replace the current image.  On a load failure after the old
+   image is gone the process is killed, as in Linux. *)
+let sys_execve_fn =
+  func "sys_execve" ~subsys:"fs" ~params:[ "path" ]
+    [
+      decl "inode" (call "open_namei" [ l "path"; num 0 ]);
+      when_ (Fs_namei.is_err (l "inode")) [ ret (l "inode") ];
+      when_ (fld (l "inode") L.i_mode <>. num L.mode_reg)
+        [ do_ (call "iput" [ l "inode" ]); ret (neg (num 13)) ];
+      decl "t" (g "current");
+      decl "pgdir" (fld (l "t") L.t_cr3 + page_offset);
+      (* point of no return: tear down the old user image *)
+      when_ (fld (l "t") L.t_brk >% num32 (Int32.of_int L.user_text))
+        [
+          do_
+            (call "zap_page_range"
+               [
+                 l "pgdir";
+                 num32 (Int32.of_int L.user_text);
+                 fld (l "t") L.t_brk - num32 (Int32.of_int L.user_text);
+               ]);
+        ];
+      do_
+        (call "zap_page_range"
+           [
+             l "pgdir";
+             num32 (Int32.of_int L.user_stack_low);
+             num Stdlib.(L.user_stack_pages * L.page_size);
+           ]);
+      decl "r" (call "load_binary" [ l "inode" ]);
+      do_ (call "iput" [ l "inode" ]);
+      when_ (l "r" <. num 0) [ do_ (call "do_exit" [ num 139 ]) ];
+      do_
+        (call "enter_user"
+           [ num32 (Int32.of_int L.user_text); num32 (Int32.of_int Stdlib.(L.user_stack_top - 16)) ]);
+      ret (neg (num 1));
+    ]
+
+(* The init kernel thread: resolve the boot-selected workload and exec it. *)
+let init_thread_fn =
+  func "init_thread" ~subsys:"kernel" ~params:[]
+    [
+      decl "wl" (lod32 (num Stdlib.(L.kva_bootinfo + L.bi_workload)));
+      when_ (l "wl" >=% num 8) [ set "wl" (num 0) ];
+      decl "path" (idx32 (addr "workload_path_table") (l "wl"));
+      do_ (call "printk" [ addr "str_init_run" ]);
+      do_ (call "printk" [ l "path" + num 5 ]);
+      do_ (call "printk" [ addr "str_nl" ]);
+      do_ (call "run_init_program" [ l "path" ]);
+      do_ (call "panic" [ addr "str_panic_init" ]);
+      ret0;
+    ]
+
+let create_init_task_fn =
+  func "create_init_task" ~subsys:"kernel" ~params:[]
+    [
+      decl "t" (call "alloc_task_struct" []);
+      when_ (l "t" ==. num 0) [ do_ (call "panic" [ addr "str_panic_oom" ]) ];
+      set_fld (l "t") L.t_state (num L.state_running);
+      set_fld (l "t") L.t_pid (num 1);
+      set_fld (l "t") L.t_counter (num L.default_counter);
+      set_fld (l "t") L.t_parent (num L.kva_idle_task);
+      set_fld (l "t") L.t_exit_code (num 0);
+      set_fld (l "t") L.t_wait_chan (num 0);
+      set_fld (l "t") L.t_brk_start (num 0);
+      set_fld (l "t") L.t_brk (num 0);
+      set_fld (l "t") L.t_kstack_top (l "t" + num L.task_size);
+      decl "pgdir" (call "pgd_alloc" []);
+      when_ (l "pgdir" ==. num 0) [ do_ (call "panic" [ addr "str_panic_oom" ]) ];
+      set_fld (l "t") L.t_cr3 (l "pgdir" - page_offset);
+      (* stdin/stdout on the console *)
+      decl "fd" (num 0);
+      while_ (l "fd" <% num L.nr_open_files)
+        [
+          sto32 (l "t" + num L.t_files + (l "fd" lsl num 2)) (num 0);
+          set "fd" (l "fd" + num 1);
+        ];
+      decl "f0" (call "get_empty_filp" []);
+      when_ (l "f0" ==. num 0) [ do_ (call "panic" [ addr "str_panic_oom" ]) ];
+      set_fld (l "f0") L.f_op (addr "console_fops");
+      sto32 (l "t" + num L.t_files) (l "f0");
+      decl "f1" (call "get_empty_filp" []);
+      when_ (l "f1" ==. num 0) [ do_ (call "panic" [ addr "str_panic_oom" ]) ];
+      set_fld (l "f1") L.f_op (addr "console_fops");
+      sto32 (l "t" + num L.t_files + num 4) (l "f1");
+      (* a switch frame that starts the task in init_thread *)
+      decl "sp" (fld (l "t") L.t_kstack_top - num 20);
+      sto32 (l "sp") (num 0);
+      sto32 (l "sp" + num 4) (num 0);
+      sto32 (l "sp" + num 8) (num 0);
+      sto32 (l "sp" + num 12) (num 0);
+      sto32 (l "sp" + num 16) (addr "init_thread");
+      set_fld (l "t") L.t_kesp (l "sp");
+      set_idx32 (addr "task_table") (num 1) (l "t");
+      ret0;
+    ]
+
+let cpu_idle_fn =
+  func "cpu_idle" ~subsys:"kernel" ~params:[]
+    [ while_ (num 1) [ do_ (call "schedule" []) ]; ret0 ]
+
+let start_kernel_fn =
+  func "start_kernel" ~subsys:"init" ~params:[]
+    [
+      do_ (call "printk" [ addr "str_boot" ]);
+      do_ (call "mem_init" []);
+      do_ (call "trap_init" []);
+      do_ (call "buffer_init" []);
+      do_ (call "sched_init" []);
+      do_ (call "mount_root" []);
+      do_ (call "create_init_task" []);
+      (* post-boot baseline: the host snapshots here, then each experiment
+         resumes with a workload id poked into the bootinfo page *)
+      do_ (call "outb" [ num L.snapshot_port; num 1 ]);
+      do_ (call "arch_sti" []);
+      do_ (call "cpu_idle" []);
+      ret0;
+    ]
+
+let funcs =
+  [
+    sched_init_fn;
+    mount_root_fn;
+    load_binary_fn;
+    run_init_program_fn;
+    sys_execve_fn;
+    init_thread_fn;
+    create_init_task_fn;
+    cpu_idle_fn;
+    start_kernel_fn;
+  ]

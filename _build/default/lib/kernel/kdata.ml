@@ -1,0 +1,137 @@
+(* Kernel data section: globals, static tables, strings, the syscall
+   table and the file_operations tables. *)
+
+open Kfi_asm.Assembler
+module L = Layout
+
+let cstr label s = [ Label label; Bytes_ (s ^ "\000") ]
+
+let zeros label n = [ Label label; Zeros n ]
+
+let word label v = [ Label label; Word32 v ]
+
+(* file_operations tables: {read, write} function pointers *)
+let fops label ~read ~write = [ Align 4; Label label; Word32_sym read; Word32_sym write ]
+
+let syscall_table =
+  let slots = Array.make L.nr_syscalls None in
+  let set nr name = slots.(nr) <- Some name in
+  set L.sys_exit_nr "sys_exit";
+  set L.sys_fork_nr "sys_fork";
+  set L.sys_read_nr "sys_read";
+  set L.sys_write_nr "sys_write";
+  set L.sys_open_nr "sys_open";
+  set L.sys_close_nr "sys_close";
+  set L.sys_waitpid_nr "sys_waitpid";
+  set L.sys_creat_nr "sys_creat";
+  set L.sys_unlink_nr "sys_unlink";
+  set L.sys_lseek_nr "sys_lseek";
+  set L.sys_getpid_nr "sys_getpid";
+  set L.sys_sync_nr "sys_sync";
+  set L.sys_pipe_nr "sys_pipe";
+  set L.sys_brk_nr "sys_brk";
+  set L.sys_getuid_nr "sys_getuid";
+  set L.sys_umask_nr "sys_umask";
+  set L.sys_times_nr "sys_times";
+  set L.sys_link_nr "sys_link";
+  set L.sys_execve_nr "sys_execve";
+  set L.sys_stat_nr "sys_stat";
+  set L.sys_fstat_nr "sys_fstat";
+  set L.sys_mkdir_nr "sys_mkdir";
+  set L.sys_rmdir_nr "sys_rmdir";
+  set L.sys_dup_nr "sys_dup";
+  set L.sys_dup2_nr "sys_dup2";
+  set L.sys_getppid_nr "sys_getppid";
+  set L.sys_yield_nr "sys_yield";
+  [ Align 4; Label "sys_call_table" ]
+  @ (Array.to_list slots
+    |> List.map (function None -> Word32 0l | Some n -> Word32_sym n))
+
+(* Paths of the workload binaries, indexed by the boot parameter. *)
+let workload_names =
+  [ "syscall"; "pipe"; "context1"; "spawn"; "fstime"; "hanoi"; "dhry"; "looper" ]
+
+let workload_paths =
+  List.concat
+    (List.mapi (fun i n -> cstr (Printf.sprintf "path_%d" i) ("/bin/" ^ n)) workload_names)
+  @ [ Align 4; Label "workload_path_table" ]
+  @ List.mapi (fun i _ -> Word32_sym (Printf.sprintf "path_%d" i)) workload_names
+
+let strings =
+  List.concat
+    [
+      cstr "str_oops_null" "Unable to handle kernel NULL pointer dereference at virtual address ";
+      cstr "str_oops_paging" "Unable to handle kernel paging request at virtual address ";
+      cstr "str_oops_invalid_op" "kernel BUG: invalid opcode at ";
+      cstr "str_oops_gp" "general protection fault at ";
+      cstr "str_oops_divide" "divide error at ";
+      cstr "str_oops_trap" "unhandled kernel trap ";
+      cstr "str_panic" "Kernel panic: ";
+      cstr "str_panic_oom" "out of memory";
+      cstr "str_panic_root" "VFS: unable to mount root fs";
+      cstr "str_panic_init" "No init found";
+      cstr "str_panic_sched" "Aiee, scheduling in interrupt";
+      cstr "str_boot" "Linux-sim version 2.4.19-kfi booting...\n";
+      cstr "str_mounted" "VFS: mounted root (ext2 filesystem).\n";
+      cstr "str_freeing" "Memory: pages free ";
+      cstr "str_init_run" "init: running /bin/";
+      cstr "str_nl" "\n";
+      cstr "str_killing" "segfault: killing pid ";
+      cstr "str_pf_at" " pf at ";
+      cstr "str_trap_at" " trap ";
+      cstr "str_space" " eip ";
+      cstr "str_tick" ".";
+      cstr "str_debug_pf" "mm: fault at ";
+      cstr "str_assert" "kernel: interface assertion failed, killing pid ";
+    ]
+
+let globals =
+  List.concat
+    [
+      [ Align 4 ];
+      word "jiffies" 0l;
+      word "need_resched" 0l;
+      word "current" 0l;
+      word "uid_value" 0l;
+      word "umask_value" 18l (* 022 *);
+      word "next_pid" 2l;
+      word "nr_cpus" 1l;
+      word "console_loglevel" 7l;
+      (* Section 7.4's proposed mitigation: when nonzero, subsystem
+         interfaces validate their data structures and terminate the
+         offending process instead of letting corruption crash the
+         kernel.  Toggled by the host for ablation experiments. *)
+      word "assert_hardening" 0l;
+      zeros "task_table" (L.nr_tasks * 4);
+      (* page allocator *)
+      word "free_page_head" 0l;
+      word "nr_free_pages" 0l;
+      zeros "mem_map" (L.nr_frames * 4);
+      (* kmalloc buckets: 32 64 128 256 512 1024 *)
+      zeros "kmalloc_heads" (6 * 4);
+      (* buffer cache *)
+      zeros "buffer_heads" (L.nr_buffers * L.bh_size);
+      word "buffer_data_base" 0l;
+      (* inode cache *)
+      zeros "inode_cache" (L.nr_icache * L.icache_entry_size);
+      (* page cache *)
+      zeros "page_cache" (L.nr_page_cache * L.pc_entry_size);
+      word "pc_clock" 0l;
+      (* file table *)
+      zeros "file_table" (64 * L.file_struct_size);
+      (* in-core superblock *)
+      zeros "super_block" 64;
+      (* scratch name buffer for path walking *)
+      zeros "name_buf" 32;
+    ]
+
+let fops_tables =
+  List.concat
+    [
+      fops "ext2_file_fops" ~read:"generic_file_read" ~write:"generic_file_write";
+      fops "console_fops" ~read:"console_file_read" ~write:"console_file_write";
+      fops "pipe_read_fops" ~read:"pipe_read" ~write:"bad_file_rw";
+      fops "pipe_write_fops" ~read:"bad_file_rw" ~write:"pipe_write";
+    ]
+
+let items = List.concat [ globals; strings; workload_paths; syscall_table; fops_tables ]

@@ -1,0 +1,155 @@
+(* A KDB-style post-mortem debugger: the paper used SGI's KDB to trace
+   crashes and restore function calling sequences (Figure 5).  Given a
+   crashed machine this module reconstructs the same artifacts:
+   registers, disassembly around the crash, the kernel-stack backtrace
+   (ebp chain + return-address scan) and the task list, all symbolized
+   through the kernel symbol table. *)
+
+open Kfi_isa
+module L = Layout
+module Asm = Kfi_asm.Assembler
+
+let u32 v = Int32.to_int v land 0xFFFFFFFF
+
+let in_kernel_text b addr =
+  addr >= L.kernel_text_base && addr < L.kernel_text_base + (b : Build.t).Build.text_size
+
+let symbolize b addr =
+  match Build.find_function b (Int32.of_int addr) with
+  | Some f ->
+    Printf.sprintf "%s+0x%x" f.Asm.f_name (addr - L.kernel_text_base - f.Asm.f_off)
+  | None -> "??"
+
+(* read a kernel word through the direct map, returning None outside RAM *)
+let peek m vaddr =
+  let pa = vaddr - L.page_offset in
+  if pa < 0 || pa + 4 > L.phys_size then None
+  else Some (u32 (Phys.read32 (Machine.phys m) pa))
+
+let registers m =
+  let cpu = Machine.cpu m in
+  let r i = u32 cpu.Cpu.regs.(i) in
+  String.concat "\n"
+    [
+      Printf.sprintf "eax %08x  ebx %08x  ecx %08x  edx %08x" (r Insn.eax) (r Insn.ebx)
+        (r Insn.ecx) (r Insn.edx);
+      Printf.sprintf "esi %08x  edi %08x  ebp %08x  esp %08x" (r Insn.esi) (r Insn.edi)
+        (r Insn.ebp) (r Insn.esp);
+      Printf.sprintf "eip %08x  eflags %04x  cr2 %08x  cr3 %08x"
+        (u32 cpu.Cpu.eip) cpu.Cpu.eflags (u32 cpu.Cpu.cr2) (u32 cpu.Cpu.cr3);
+    ]
+
+(* disassembly around an address (uses the pristine kernel image plus any
+   injected corruption visible in guest memory) *)
+let disasm_around m b ~addr ~before ~after =
+  if not (in_kernel_text b addr) then
+    Printf.sprintf "%08x: outside kernel text\n" addr
+  else begin
+    let start = max L.kernel_text_base (addr - before) in
+    let len = before + after in
+    let bytes = Phys.blit_out (Machine.phys m) ~src:(start - L.page_offset) ~len in
+    Disasm.range ~base:(Int32.of_int start) bytes ~off:0 ~len
+  end
+
+(* Backtrace: follow the ebp chain while it stays inside the current
+   task's kernel stack; when the chain breaks, fall back to scanning the
+   stack for plausible return addresses (what kdb's 'bt' does on damaged
+   frames). *)
+let backtrace ?(max_frames = 16) m b =
+  let cpu = Machine.cpu m in
+  let frames = ref [] in
+  let add addr tag = frames := (addr, tag) :: !frames in
+  add (u32 cpu.Cpu.eip) "eip";
+  let esp = u32 cpu.Cpu.regs.(Insn.esp) in
+  let stack_base = esp land lnot (L.task_size - 1) in
+  let stack_top = stack_base + L.task_size in
+  let in_stack a = a >= stack_base && a < stack_top in
+  (* ebp chain *)
+  let rec chain ebp n =
+    if n < max_frames && in_stack ebp then begin
+      match (peek m ebp, peek m (ebp + 4)) with
+      | Some next_ebp, Some ret when in_kernel_text b ret ->
+        add ret "call";
+        if next_ebp > ebp then chain next_ebp (n + 1)
+      | _ -> ()
+    end
+  in
+  chain (u32 cpu.Cpu.regs.(Insn.ebp)) 0;
+  (* return-address scan as a fallback supplement *)
+  let found_by_chain = List.length !frames in
+  if found_by_chain < 3 then begin
+    let a = ref esp in
+    let n = ref 0 in
+    while !a < stack_top - 4 && !n < max_frames do
+      (match peek m !a with
+       | Some w when in_kernel_text b w -> begin
+         add w "scan";
+         incr n
+       end
+       | _ -> ());
+      a := !a + 4
+    done
+  end;
+  List.rev !frames
+
+let backtrace_to_string m b =
+  let frames = backtrace m b in
+  String.concat "\n"
+    (List.map
+       (fun (addr, tag) -> Printf.sprintf "  [%4s] %08x  %s" tag addr (symbolize b addr))
+       frames)
+
+(* the task list, read from guest memory like kdb's 'ps' *)
+let task_list m b =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "  pid  state         cr3       counter\n";
+  (match Build.symbol b "task_table" with
+   | exception _ -> Buffer.add_string buf "  (no task_table symbol)\n"
+   | table ->
+     for i = 0 to L.nr_tasks - 1 do
+       match peek m (u32 table + (i * 4)) with
+       | Some t when t <> 0 ->
+         let fld off = Option.value ~default:0 (peek m (t + off)) in
+         let state =
+           match fld L.t_state with
+           | 0 -> "running"
+           | 1 -> "sleeping"
+           | 2 -> "zombie"
+           | 3 -> "free"
+           | n -> Printf.sprintf "?%d" n
+         in
+         Buffer.add_string buf
+           (Printf.sprintf "  %3d  %-12s %08x  %d\n" (fld L.t_pid) state (fld L.t_cr3)
+              (fld L.t_counter))
+       | _ -> ()
+     done);
+  Buffer.contents buf
+
+(* full post-mortem report *)
+let report m b =
+  let cpu = Machine.cpu m in
+  let eip = u32 cpu.Cpu.eip in
+  let dump_info =
+    match Build.read_dump m with
+    | Some d ->
+      Printf.sprintf "crash dump: vector %d (%s)  eip %08x (%s)  cr2 %08x  cycles %d\n"
+        d.Build.d_vector
+        (Trap.name (Trap.of_number d.Build.d_vector))
+        (u32 d.Build.d_eip)
+        (symbolize b (u32 d.Build.d_eip))
+        (u32 d.Build.d_cr2) d.Build.d_cycles
+    | None -> "no crash dump record (dump failed or machine hung)\n"
+  in
+  String.concat "\n"
+    [
+      dump_info;
+      registers m;
+      "";
+      "disassembly around eip:";
+      disasm_around m b ~addr:eip ~before:8 ~after:24;
+      "backtrace:";
+      backtrace_to_string m b;
+      "";
+      "tasks:";
+      task_list m b;
+    ]

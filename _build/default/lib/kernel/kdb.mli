@@ -1,0 +1,31 @@
+(** A KDB-style post-mortem debugger.
+
+    The paper used SGI's KDB to trace crashes and restore function
+    calling sequences (its Figure 5); given a crashed machine this module
+    reconstructs the same artifacts from guest memory. *)
+
+open Kfi_isa
+
+val symbolize : Build.t -> int -> string
+(** ["fn+0xoff"] for a kernel-text address, ["??"] otherwise. *)
+
+val registers : Machine.t -> string
+(** Formatted register file, eip/eflags and control registers. *)
+
+val disasm_around : Machine.t -> Build.t -> addr:int -> before:int -> after:int -> string
+(** Disassembly of live guest text around an address (injected
+    corruption included). *)
+
+val backtrace : ?max_frames:int -> Machine.t -> Build.t -> (int * string) list
+(** Return addresses up the kernel stack: the ebp chain while it holds,
+    then a raw return-address scan when frames are damaged (like kdb's
+    [bt]).  Each entry is (address, provenance tag). *)
+
+val backtrace_to_string : Machine.t -> Build.t -> string
+
+val task_list : Machine.t -> Build.t -> string
+(** The guest task table, like kdb's [ps]. *)
+
+val report : Machine.t -> Build.t -> string
+(** The full post-mortem: dump record, registers, disassembly at eip,
+    backtrace and task list. *)

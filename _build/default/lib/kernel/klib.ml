@@ -1,0 +1,194 @@
+(* Low-level library routines (the kernel's lib/ + arch asm helpers).
+
+   The tiny assembly functions wrap privileged instructions so the C-level
+   kernel can stay in the DSL; they are real functions in kernel text and
+   thus injection targets like everything else. *)
+
+open Kfi_isa.Insn
+open Kfi_asm.Assembler
+open Kfi_kcc.C
+
+let fn_asm name ~subsys body = [ Fn_start (name, subsys) ] @ body @ [ Fn_end name ]
+
+(* --- arch asm helpers --- *)
+
+let asm_helpers =
+  List.concat
+    [
+      fn_asm "read_cr2" ~subsys:"arch" [ Ins (Mov_r_cr (eax, 2)); Ins Ret ];
+      fn_asm "read_cr3" ~subsys:"arch" [ Ins (Mov_r_cr (eax, 3)); Ins Ret ];
+      fn_asm "load_cr3" ~subsys:"arch"
+        [ Ins (Mov_r_rm (eax, Mem (mb esp 4))); Ins (Mov_cr_r (3, eax)); Ins Ret ];
+      (* flush the TLB by reloading cr3 *)
+      fn_asm "tlb_flush" ~subsys:"arch"
+        [ Ins (Mov_r_cr (eax, 3)); Ins (Mov_cr_r (3, eax)); Ins Ret ];
+      fn_asm "set_esp0" ~subsys:"arch"
+        [ Ins (Mov_r_rm (eax, Mem (mb esp 4))); Ins (Mov_cr_r (6, eax)); Ins Ret ];
+      fn_asm "read_esp" ~subsys:"arch" [ Ins (Mov_rm_r (Reg eax, esp)); Ins Ret ];
+      fn_asm "rdtsc_lo" ~subsys:"arch" [ Ins Rdtsc; Ins Ret ];
+      fn_asm "arch_cli" ~subsys:"arch" [ Ins Cli; Ins Ret ];
+      fn_asm "arch_sti" ~subsys:"arch" [ Ins Sti; Ins Ret ];
+      fn_asm "arch_halt" ~subsys:"arch" [ Ins Hlt; Ins Ret ];
+      (* outb(port, byte) *)
+      fn_asm "outb" ~subsys:"arch"
+        [
+          Ins (Mov_r_rm (edx, Mem (mb esp 4)));
+          Ins (Mov_r_rm (eax, Mem (mb esp 8)));
+          Ins Out_al;
+          Ins Ret;
+        ];
+      (* disk_read(block, kvaddr) / disk_write(block, kvaddr): one 1 KB block *)
+      fn_asm "disk_read" ~subsys:"arch"
+        [
+          Ins (Mov_r_rm (ebx, Mem (mb esp 4)));
+          Ins (Mov_r_rm (edi, Mem (mb esp 8)));
+          Ins Diskrd;
+          Ins Ret;
+        ];
+      fn_asm "disk_write" ~subsys:"arch"
+        [
+          Ins (Mov_r_rm (ebx, Mem (mb esp 4)));
+          Ins (Mov_r_rm (esi, Mem (mb esp 8)));
+          Ins Diskwr;
+          Ins Ret;
+        ];
+    ]
+
+(* --- C-level library functions --- *)
+
+(* memcpy: word-wise with a byte tail (arch/i386/lib style) *)
+let memcpy_fn =
+  func "memcpy" ~subsys:"arch" ~params:[ "dst"; "src"; "n" ]
+    [
+      decl "d" (l "dst");
+      decl "s" (l "src");
+      decl "n4" (l "n" lsr num 2);
+      while_ (l "n4" >% num 0)
+        [
+          sto32 (l "d") (lod32 (l "s"));
+          set "d" (l "d" + num 4);
+          set "s" (l "s" + num 4);
+          set "n4" (l "n4" - num 1);
+        ];
+      decl "rest" (l "n" land num 3);
+      while_ (l "rest" >% num 0)
+        [
+          sto8 (l "d") (lod8 (l "s"));
+          set "d" (l "d" + num 1);
+          set "s" (l "s" + num 1);
+          set "rest" (l "rest" - num 1);
+        ];
+      ret (l "dst");
+    ]
+
+let memset_fn =
+  func "memset" ~subsys:"arch" ~params:[ "dst"; "c"; "n" ]
+    [
+      decl "d" (l "dst");
+      decl "end" (l "dst" + l "n");
+      while_ (l "d" <% l "end")
+        [ sto8 (l "d") (l "c"); set "d" (l "d" + num 1) ];
+      ret (l "dst");
+    ]
+
+let strlen_fn =
+  func "strlen" ~subsys:"lib" ~params:[ "s" ]
+    [
+      decl "p" (l "s");
+      while_ (lod8 (l "p") <>. num 0) [ set "p" (l "p" + num 1) ];
+      ret (l "p" - l "s");
+    ]
+
+(* strncmp: 0 when equal up to n or NUL *)
+let strncmp_fn =
+  func "strncmp" ~subsys:"lib" ~params:[ "a"; "b"; "n" ]
+    [
+      decl "i" (num 0);
+      while_ (l "i" <% l "n")
+        [
+          decl "ca" (lod8 (l "a" + l "i"));
+          decl "cb" (lod8 (l "b" + l "i"));
+          when_ (l "ca" <>. l "cb") [ ret (num 1) ];
+          when_ (l "ca" ==. num 0) [ ret (num 0) ];
+          set "i" (l "i" + num 1);
+        ];
+      ret (num 0);
+    ]
+
+let strncpy_fn =
+  func "strncpy" ~subsys:"lib" ~params:[ "dst"; "src"; "n" ]
+    [
+      decl "i" (num 0);
+      decl "stop" (num 0);
+      while_ (l "i" <% l "n")
+        [
+          if_ (l "stop" ==. num 0)
+            [
+              decl "c" (lod8 (l "src" + l "i"));
+              sto8 (l "dst" + l "i") (l "c");
+              when_ (l "c" ==. num 0) [ set "stop" (num 1) ];
+            ]
+            [ sto8 (l "dst" + l "i") (num 0) ];
+          set "i" (l "i" + num 1);
+        ];
+      ret (l "dst");
+    ]
+
+(* console output *)
+(* printk output goes to the kernel log channel *)
+let console_putc_fn =
+  func "console_putc" ~subsys:"kernel" ~params:[ "c" ]
+    [ do_ (call "outb" [ num Layout.klog_port; l "c" ]); ret0 ]
+
+(* tty output: what user programs see on fd 1 *)
+let tty_putc_fn =
+  func "tty_putc" ~subsys:"kernel" ~params:[ "c" ]
+    [ do_ (call "outb" [ num Layout.console_port; l "c" ]); ret0 ]
+
+let printk_fn =
+  func "printk" ~subsys:"kernel" ~params:[ "s" ]
+    [
+      decl "p" (l "s");
+      while_ (lod8 (l "p") <>. num 0)
+        [ do_ (call "console_putc" [ lod8 (l "p") ]); set "p" (l "p" + num 1) ];
+      ret0;
+    ]
+
+let printk_udec_fn =
+  func "printk_udec" ~subsys:"kernel" ~params:[ "v" ]
+    [
+      when_ (l "v" >=% num 10) [ do_ (call "printk_udec" [ l "v" / num 10 ]) ];
+      do_ (call "console_putc" [ num 48 + (l "v" mod num 10) ]);
+      ret0;
+    ]
+
+let printk_hex_fn =
+  func "printk_hex" ~subsys:"kernel" ~params:[ "v" ]
+    [
+      decl "shift" (num 28);
+      while_ (l "shift" >=. num 0)
+        [
+          decl "d" ((l "v" lsr l "shift") land num 15);
+          if_ (l "d" <% num 10)
+            [ do_ (call "console_putc" [ num 48 + l "d" ]) ]
+            [ do_ (call "console_putc" [ num 87 + l "d" ]) ];
+          set "shift" (l "shift" - num 4);
+        ];
+      ret0;
+    ]
+
+let funcs =
+  [
+    memcpy_fn;
+    memset_fn;
+    strlen_fn;
+    strncmp_fn;
+    strncpy_fn;
+    console_putc_fn;
+    tty_putc_fn;
+    printk_fn;
+    printk_udec_fn;
+    printk_hex_fn;
+  ]
+
+let items = asm_helpers

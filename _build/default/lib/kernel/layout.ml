@@ -1,0 +1,228 @@
+(* Memory map and structure offsets of the mini-kernel.
+
+   Virtual layout mirrors Linux/i386: kernel at PAGE_OFFSET = 0xC0000000
+   direct-mapping physical memory (so kernel text lives at 0xC01xxxxx, the
+   address range seen throughout the paper), user text at 0x08048000, user
+   stack just below PAGE_OFFSET. *)
+
+let page_size = 4096
+let page_offset = 0xC0000000
+let phys_size = 16 * 1024 * 1024
+let nr_frames = phys_size / page_size
+
+(* physical addresses *)
+let pa_swapper_pgdir = 0x1000
+let pa_idt = 0x2000
+let pa_kernel_pts = 0x3000 (* 4 page tables: 0x3000..0x6FFF *)
+let pa_bootinfo = 0x7000
+let pa_idle_task = 0x8000 (* task 0 block: 0x8000..0x9FFF *)
+let pa_kernel_image = 0x100000
+
+(* kernel virtual addresses *)
+let kv pa = pa + page_offset
+let kva_idt = kv pa_idt
+let kva_bootinfo = kv pa_bootinfo
+let kva_idle_task = kv pa_idle_task
+let kernel_text_base = kv pa_kernel_image (* 0xC0100000 *)
+
+(* bootinfo page fields (also the crash-dump record, mirroring LKCD) *)
+let bi_workload = 0 (* which /bin program init should run *)
+let bi_dump_magic = 4
+let bi_dump_vector = 8
+let bi_dump_error = 12
+let bi_dump_eip = 16
+let bi_dump_cr2 = 20
+let bi_dump_cycles = 24
+let bi_dump_esp = 28
+let bi_free_start = 32 (* first free physical page after the kernel image *)
+let bi_dump_task = 36
+let dump_magic_value = 0xDEADDEAD
+
+(* user virtual layout *)
+let user_text = 0x08048000
+let user_stack_top = 0xBFFFC000
+let user_stack_pages = 16 (* demand-grown region below the top *)
+let user_stack_low = user_stack_top - (user_stack_pages * page_size)
+
+(* page table entry bits *)
+let pte_present = 0x1
+let pte_write = 0x2
+let pte_user = 0x4
+let pte_cow = 0x200 (* software bit: copy-on-write page *)
+
+(* task struct: at the bottom of an 8 KB block whose top is the kernel
+   stack, like Linux 2.4 *)
+let task_size = 8192
+let t_state = 0 (* 0 running, 1 interruptible, 2 zombie, 3 free *)
+let t_pid = 4
+let t_counter = 8
+let t_cr3 = 12
+let t_kesp = 16
+let t_parent = 20
+let t_exit_code = 24
+let t_wait_chan = 28
+let t_brk_start = 32
+let t_brk = 36
+let t_files = 40 (* 16 file pointers: offsets 40..103 *)
+let nr_open_files = 16
+let t_kstack_top = 104
+
+let state_running = 0
+let state_interruptible = 1
+let state_zombie = 2
+let state_free = 3
+
+let nr_tasks = 8
+let default_counter = 6 (* time slice in ticks *)
+
+(* file struct (32 bytes, from kmalloc) *)
+let f_inode = 0
+let f_pos = 4
+let f_flags = 8
+let f_count = 12
+let f_op = 16
+let f_pipe = 20
+let file_struct_size = 32
+
+(* file_operations: two function pointers *)
+let fop_read = 0
+let fop_write = 4
+
+(* in-core inode (32 bytes, static table) *)
+let i_ino = 0
+let i_count = 4
+let i_mode = 8
+let i_size = 12
+let i_dirty = 16
+let icache_entry_size = 32
+let nr_icache = 32
+
+(* inode modes *)
+let mode_free = 0
+let mode_dir = 1
+let mode_reg = 2
+
+(* pipe struct (32 bytes, from kmalloc) *)
+let p_base = 0
+let p_start = 4
+let p_len = 8
+let p_readers = 12
+let p_writers = 16
+let pipe_struct_size = 32
+let pipe_buf_size = page_size
+
+(* buffer head (32 bytes, static table) *)
+let b_blocknr = 0 (* -1 = free *)
+let b_state = 4 (* bit0 uptodate, bit1 dirty *)
+let b_count = 8
+let b_data = 12
+let bh_size = 32
+let nr_buffers = 48
+let block_size = 1024
+
+(* page cache entry (16 bytes, static table) *)
+let pc_ino = 0
+let pc_index = 4
+let pc_page = 8
+let pc_state = 12 (* 0 free, 1 used *)
+let pc_entry_size = 16
+let nr_page_cache = 64
+
+(* on-disk superblock (block 0) *)
+let sb_magic = 0
+let sb_nblocks = 4
+let sb_ninodes = 8
+let sb_itable_start = 12
+let sb_itable_blocks = 16
+let sb_data_start = 20
+let sb_free_blocks = 24
+let sb_free_inodes = 28
+let sb_root_ino = 32
+let fs_magic = 0xEF53
+let root_ino = 1
+
+(* on-disk inode: 64 bytes, 16 per block *)
+let d_mode = 0
+let d_size = 4
+let d_links = 8
+let d_blocks = 12 (* 10 direct block pointers *)
+let nr_direct = 10
+let d_indirect = 52
+let disk_inode_size = 64
+let inodes_per_block = block_size / disk_inode_size
+
+(* fixed fs geometry (see Mkfs) *)
+let fs_nblocks = 4096
+let fs_ninodes = 256
+let fs_block_bitmap = 1
+let fs_inode_bitmap = 2
+let fs_itable_start = 3
+let fs_itable_blocks = fs_ninodes / inodes_per_block (* 16 *)
+let fs_data_start = fs_itable_start + fs_itable_blocks (* 19 *)
+
+(* directory entries: fixed 32 bytes *)
+let dirent_size = 32
+let dirent_name_len = 28
+
+(* errno values (as returned negated, Linux numbering) *)
+let enoent = 2
+let ebadf = 9
+let echild = 10
+let eagain = 11
+let enomem = 12
+let efault = 14
+let ebusy = 16
+let eexist = 17
+let einval = 22
+let enfile = 23
+let emfile = 24
+let enospc = 28
+let espipe = 29
+let enosys = 38
+
+(* open flags *)
+let o_rdonly = 0
+let o_wronly = 1
+let o_rdwr = 2
+let o_creat = 0x40
+let o_trunc = 0x200
+
+(* syscall numbers (Linux i386 numbering where applicable) *)
+let sys_exit_nr = 1
+let sys_fork_nr = 2
+let sys_read_nr = 3
+let sys_write_nr = 4
+let sys_open_nr = 5
+let sys_close_nr = 6
+let sys_waitpid_nr = 7
+let sys_creat_nr = 8
+let sys_unlink_nr = 10
+let sys_lseek_nr = 19
+let sys_getpid_nr = 20
+let sys_sync_nr = 36
+let sys_pipe_nr = 42
+let sys_brk_nr = 45
+let sys_getuid_nr = 47 (* geteuid slot reused; fine for the benchmark *)
+let sys_umask_nr = 60
+let sys_times_nr = 43
+let sys_link_nr = 9
+let sys_execve_nr = 11
+let sys_stat_nr = 18
+let sys_fstat_nr = 28
+let sys_mkdir_nr = 39
+let sys_rmdir_nr = 40
+let sys_dup_nr = 41
+let sys_dup2_nr = 63
+let sys_getppid_nr = 64
+let sys_yield_nr = 67
+let nr_syscalls = 128
+
+let o_append = 0x400
+
+(* hardware ports (re-exported for kernel code) *)
+let console_port = Kfi_isa.Devices.console_port
+let klog_port = Kfi_isa.Devices.klog_port
+let poweroff_port = Kfi_isa.Devices.poweroff_port
+let snapshot_port = Kfi_isa.Devices.snapshot_port
+
+let timer_period = 3000 (* cycles per tick *)

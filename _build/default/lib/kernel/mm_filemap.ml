@@ -1,0 +1,163 @@
+(* mm/: the page cache and do_generic_file_read (mm/filemap.c — the
+   function whose corruption caused the paper's catastrophic crash 9,
+   analysed in Figure 5; the [end_index] logic below is the code path that
+   case study walks through). *)
+
+open Kfi_kcc.C
+module L = Layout
+
+let pc_entry i = addr "page_cache" + (l i * num L.pc_entry_size)
+
+(* Look up (ino, index) in the page cache; 0 on miss. *)
+let find_page_fn =
+  func "find_page" ~subsys:"mm" ~params:[ "ino"; "index" ]
+    [
+      decl "i" (num 0);
+      while_ (l "i" <% num L.nr_page_cache)
+        [
+          decl "e" (pc_entry "i");
+          when_
+            ((fld (l "e") L.pc_state <>. num 0)
+            &&. (fld (l "e") L.pc_ino ==. l "ino")
+            &&. (fld (l "e") L.pc_index ==. l "index"))
+            [ ret (fld (l "e") L.pc_page) ];
+          set "i" (l "i" + num 1);
+        ];
+      ret (num 0);
+    ]
+
+(* Insert a page, evicting round-robin when full (pages are clean: writes
+   go through the buffer cache). *)
+let add_to_page_cache_fn =
+  func "add_to_page_cache" ~subsys:"mm" ~params:[ "ino"; "index"; "page" ]
+    [
+      when_ (l "page" ==. num 0) [ bug ];
+      decl "i" (num 0);
+      decl "slot" (neg (num 1));
+      while_ (l "i" <% num L.nr_page_cache)
+        [
+          when_ (fld (pc_entry "i") L.pc_state ==. num 0) [ set "slot" (l "i"); break_ ];
+          set "i" (l "i" + num 1);
+        ];
+      when_ (l "slot" <. num 0)
+        [
+          set "slot" (g "pc_clock" mod num L.nr_page_cache);
+          setg "pc_clock" (g "pc_clock" + num 1);
+          decl "old" (addr "page_cache" + (l "slot" * num L.pc_entry_size));
+          do_ (call "free_page" [ fld (l "old") L.pc_page ]);
+        ];
+      decl "e" (addr "page_cache" + (l "slot" * num L.pc_entry_size));
+      set_fld (l "e") L.pc_ino (l "ino");
+      set_fld (l "e") L.pc_index (l "index");
+      set_fld (l "e") L.pc_page (l "page");
+      set_fld (l "e") L.pc_state (num 1);
+      ret0;
+    ]
+
+(* Drop all cached pages of an inode (truncate/unlink). *)
+let invalidate_inode_pages_fn =
+  func "invalidate_inode_pages" ~subsys:"mm" ~params:[ "ino" ]
+    [
+      decl "i" (num 0);
+      while_ (l "i" <% num L.nr_page_cache)
+        [
+          decl "e" (pc_entry "i");
+          when_
+            ((fld (l "e") L.pc_state <>. num 0) &&. (fld (l "e") L.pc_ino ==. l "ino"))
+            [
+              do_ (call "free_page" [ fld (l "e") L.pc_page ]);
+              set_fld (l "e") L.pc_state (num 0);
+            ];
+          set "i" (l "i" + num 1);
+        ];
+      ret0;
+    ]
+
+(* Fill [page] with the four file blocks of page [index] (a readpage
+   implementation over the buffer cache). *)
+let readpage_fn =
+  func "readpage" ~subsys:"mm" ~params:[ "inode"; "index"; "page" ]
+    [
+      decl "b" (num 0);
+      while_ (l "b" <% num 4)
+        [
+          decl "blk" (call "ext2_bmap" [ l "inode"; (l "index" lsl num 2) + l "b" ]);
+          decl "dst" (l "page" + (l "b" lsl num 10));
+          if_ (l "blk" <>. num 0)
+            [
+              decl "bh" (call "bread" [ l "blk" ]);
+              when_ (l "bh" ==. num 0) [ ret (neg (num L.enomem)) ];
+              do_ (call "memcpy" [ l "dst"; fld (l "bh") L.b_data; num L.block_size ]);
+              do_ (call "brelse" [ l "bh" ]);
+            ]
+            [ do_ (call "memset" [ l "dst"; num 0; num L.block_size ]) ];
+          set "b" (l "b" + num 1);
+        ];
+      ret (num 0);
+    ]
+
+(* The paper's do_generic_file_read: read [count] bytes at *ppos through
+   the page cache into [buf]. *)
+let do_generic_file_read_fn =
+  func "do_generic_file_read" ~subsys:"mm" ~params:[ "inode"; "ppos"; "buf"; "count" ]
+    [
+      when_ (l "inode" ==. num 0) [ bug ];
+      (* interface assertion between fs and mm: inode must live in the
+         inode cache and carry a plausible size *)
+      when_ (g "assert_hardening" <>. num 0)
+        [
+          when_
+            ((l "inode" <% addr "inode_cache")
+            ||. (l "inode" >=% (addr "inode_cache" + num Stdlib.(L.nr_icache * L.icache_entry_size)))
+            ||. (fld (l "inode") L.i_size >% num 0x1000000))
+            [ do_ (call "assert_failed" []) ];
+        ];
+      decl "pos" (lod32 (l "ppos"));
+      decl "isize" (fld (l "inode") L.i_size);
+      when_ (l "pos" >=% l "isize") [ ret (num 0) ];
+      when_ (l "count" >% (l "isize" - l "pos")) [ set "count" (l "isize" - l "pos") ];
+      decl "done" (num 0);
+      decl "end_index" (l "isize" lsr num 12);
+      while_ (l "done" <% l "count")
+        [
+          decl "index" (l "pos" lsr num 12);
+          decl "offset" (l "pos" land num 4095);
+          (* past the last page: stop (the Figure-5 case study breaks here
+             when end_index is corrupted) *)
+          when_ (l "index" >% l "end_index") [ break_ ];
+          decl "nr" (num L.page_size - l "offset");
+          when_ (l "index" ==. l "end_index")
+            [
+              set "nr" ((l "isize" land num 4095) - l "offset");
+              when_ (l "nr" <=. num 0) [ break_ ];
+            ];
+          when_ (l "nr" >% (l "count" - l "done")) [ set "nr" (l "count" - l "done") ];
+          decl "ino" (fld (l "inode") L.i_ino);
+          decl "page" (call "find_page" [ l "ino"; l "index" ]);
+          when_ (l "page" ==. num 0)
+            [
+              set "page" (call "__get_free_page" []);
+              when_ (l "page" ==. num 0) [ ret (neg (num L.enomem)) ];
+              decl "r" (call "readpage" [ l "inode"; l "index"; l "page" ]);
+              when_ (l "r" <>. num 0)
+                [ do_ (call "free_page" [ l "page" ]); ret (l "r") ];
+              do_ (call "add_to_page_cache" [ l "ino"; l "index"; l "page" ]);
+            ];
+          (* the 2.4 idiom: if (!PageLocked(page)) BUG(); *)
+          when_ ((l "page" land num 4095) <>. num 0) [ bug ];
+          do_ (call "memcpy" [ l "buf" + l "done"; l "page" + l "offset"; l "nr" ]);
+          set "done" (l "done" + l "nr");
+          set "pos" (l "pos" + l "nr");
+        ];
+      sto32 (l "ppos") (l "pos");
+      ret (l "done");
+    ]
+
+let funcs =
+  [
+    find_page_fn;
+    add_to_page_cache_fn;
+    invalidate_inode_pages_fn;
+    readpage_fn;
+    do_generic_file_read_fn;
+  ]

@@ -1,0 +1,65 @@
+(* mm/: kmalloc — a slab-lite bucket allocator.
+
+   Six power-of-two buckets (32..1024 bytes).  Each allocation is preceded
+   by a 4-byte header recording its bucket, so kfree can return it to the
+   right free list.  Buckets grow by splitting fresh pages. *)
+
+open Kfi_kcc.C
+module L = Layout
+
+(* bucket index for a size: 32->0, 64->1, ..., 1024->5 *)
+let kmalloc_index_fn =
+  func "kmalloc_index" ~subsys:"mm" ~params:[ "size" ]
+    [
+      decl "idx" (num 0);
+      decl "cap" (num 32);
+      while_ (l "cap" <% (l "size" + num 4))
+        [ set "cap" (l "cap" lsl num 1); set "idx" (l "idx" + num 1) ];
+      when_ (l "idx" >=% num 6) [ ret (neg (num 1)) ];
+      ret (l "idx");
+    ]
+
+let bucket_head i = addr "kmalloc_heads" + (i lsl num 2)
+
+let kmalloc_fn =
+  func "kmalloc" ~subsys:"mm" ~params:[ "size" ]
+    [
+      decl "idx" (call "kmalloc_index" [ l "size" ]);
+      when_ (l "idx" <. num 0) [ ret (num 0) ];
+      decl "head" (bucket_head (l "idx"));
+      decl "obj" (lod32 (l "head"));
+      when_ (l "obj" ==. num 0)
+        [
+          (* grow the bucket from a fresh page *)
+          decl "page" (call "__get_free_page" []);
+          when_ (l "page" ==. num 0) [ ret (num 0) ];
+          decl "chunk" (num 32 lsl l "idx");
+          decl "p" (l "page");
+          while_ ((l "p" + l "chunk") <=% (l "page" + num L.page_size))
+            [
+              sto32 (l "p") (lod32 (l "head"));
+              sto32 (l "head") (l "p");
+              set "p" (l "p" + l "chunk");
+            ];
+          set "obj" (lod32 (l "head"));
+        ];
+      sto32 (l "head") (lod32 (l "obj"));
+      (* header: bucket index; user data after it *)
+      sto32 (l "obj") (l "idx");
+      ret (l "obj" + num 4);
+    ]
+
+let kfree_fn =
+  func "kfree" ~subsys:"mm" ~params:[ "ptr" ]
+    [
+      when_ (l "ptr" ==. num 0) [ ret0 ];
+      decl "obj" (l "ptr" - num 4);
+      decl "idx" (lod32 (l "obj"));
+      when_ (l "idx" >=% num 6) [ bug ]; (* corrupted header *)
+      decl "head" (bucket_head (l "idx"));
+      sto32 (l "obj") (lod32 (l "head"));
+      sto32 (l "head") (l "obj");
+      ret0;
+    ]
+
+let funcs = [ kmalloc_index_fn; kmalloc_fn; kfree_fn ]

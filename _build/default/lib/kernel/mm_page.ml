@@ -1,0 +1,151 @@
+(* mm/: the physical page allocator and the task-block allocator.
+
+   Free frames form an intrusive list through their first word (kernel
+   virtual addresses); [mem_map] keeps per-frame reference counts for
+   copy-on-write sharing. *)
+
+open Kfi_kcc.C
+module L = Layout
+
+let page_offset = num32 (Int32.of_int L.page_offset)
+
+(* mem_map refcount cell for the frame backing kernel vaddr [v] *)
+let mem_map_slot v = addr "mem_map" + (((v - page_offset) lsr num 12) lsl num 2)
+
+let get_free_page_fn =
+  func "__get_free_page" ~subsys:"mm" ~params:[]
+    [
+      decl "page" (g "free_page_head");
+      when_ (l "page" ==. num 0) [ ret (num 0) ];
+      when_ ((l "page" land num 4095) <>. num 0) [ bug ]; (* free list corrupted *)
+      setg "free_page_head" (lod32 (l "page"));
+      setg "nr_free_pages" (g "nr_free_pages" - num 1);
+      sto32 (mem_map_slot (l "page")) (num 1);
+      ret (l "page");
+    ]
+
+let clear_page_fn =
+  func "clear_page" ~subsys:"mm" ~params:[ "page" ]
+    [
+      decl "p" (l "page");
+      decl "end" (l "page" + num L.page_size);
+      while_ (l "p" <% l "end") [ sto32 (l "p") (num 0); set "p" (l "p" + num 4) ];
+      ret0;
+    ]
+
+let copy_page_fn =
+  func "copy_page" ~subsys:"mm" ~params:[ "dst"; "src" ]
+    [
+      decl "i" (num 0);
+      while_ (l "i" <% num L.page_size)
+        [
+          sto32 (l "dst" + l "i") (lod32 (l "src" + l "i"));
+          set "i" (l "i" + num 4);
+        ];
+      ret0;
+    ]
+
+let get_zeroed_page_fn =
+  func "get_zeroed_page" ~subsys:"mm" ~params:[]
+    [
+      decl "page" (call "__get_free_page" []);
+      when_ (l "page" <>. num 0) [ do_ (call "clear_page" [ l "page" ]) ];
+      ret (l "page");
+    ]
+
+(* Take an extra reference on a shared frame. *)
+let get_page_fn =
+  func "get_page" ~subsys:"mm" ~params:[ "page" ]
+    [
+      decl "slot" (mem_map_slot (l "page"));
+      when_ (lod32 (l "slot") ==. num 0) [ bug ]; (* get_page on a free page *)
+      sto32 (l "slot") (lod32 (l "slot") + num 1);
+      ret0;
+    ]
+
+(* Drop a reference; the frame returns to the free list at zero. *)
+let free_page_fn =
+  func "free_page" ~subsys:"mm" ~params:[ "page" ]
+    [
+      decl "slot" (mem_map_slot (l "page"));
+      decl "count" (lod32 (l "slot"));
+      when_ (l "count" ==. num 0) [ bug ]; (* freeing a free page *)
+      sto32 (l "slot") (l "count" - num 1);
+      when_ (l "count" ==. num 1)
+        [
+          sto32 (l "page") (g "free_page_head");
+          setg "free_page_head" (l "page");
+          setg "nr_free_pages" (g "nr_free_pages" + num 1);
+        ];
+      ret0;
+    ]
+
+let page_count_fn =
+  func "page_count" ~subsys:"mm" ~params:[ "page" ] [ ret (lod32 (mem_map_slot (l "page"))) ]
+
+(* Build the free list from the first free page after the kernel image
+   (recorded by the boot loader) up to the end of physical memory, minus a
+   reserved pool of 8 KB task blocks. *)
+let mem_init_fn =
+  func "mem_init" ~subsys:"mm" ~params:[]
+    [
+      decl "free_pa" (lod32 (num Stdlib.(L.kva_bootinfo + L.bi_free_start)));
+      (* round up to an 8 KB boundary so task blocks are aligned *)
+      set "free_pa" ((l "free_pa" + num 8191) land bnot (num 8191));
+      (* reserve NR_TASKS 8 KB task blocks *)
+      decl "i" (num 0);
+      while_ (l "i" <% num L.nr_tasks)
+        [
+          decl "blk" (l "free_pa" + page_offset);
+          sto32 (l "blk") (g "task_block_head");
+          setg "task_block_head" (l "blk");
+          set "free_pa" (l "free_pa" + num L.task_size);
+          set "i" (l "i" + num 1);
+        ];
+      (* everything else feeds the page allocator *)
+      while_ (l "free_pa" <% num L.phys_size)
+        [
+          decl "page" (l "free_pa" + page_offset);
+          (* free_page expects count 1 *)
+          sto32 (mem_map_slot (l "page")) (num 1);
+          do_ (call "free_page" [ l "page" ]);
+          set "free_pa" (l "free_pa" + num L.page_size);
+        ];
+      do_ (call "printk" [ addr "str_freeing" ]);
+      do_ (call "printk_udec" [ g "nr_free_pages" ]);
+      do_ (call "printk" [ addr "str_nl" ]);
+      ret0;
+    ]
+
+let alloc_task_struct_fn =
+  func "alloc_task_struct" ~subsys:"mm" ~params:[]
+    [
+      decl "blk" (g "task_block_head");
+      when_ (l "blk" ==. num 0) [ ret (num 0) ];
+      setg "task_block_head" (lod32 (l "blk"));
+      ret (l "blk");
+    ]
+
+let free_task_struct_fn =
+  func "free_task_struct" ~subsys:"mm" ~params:[ "blk" ]
+    [
+      sto32 (l "blk") (g "task_block_head");
+      setg "task_block_head" (l "blk");
+      ret0;
+    ]
+
+let funcs =
+  [
+    get_free_page_fn;
+    clear_page_fn;
+    copy_page_fn;
+    get_zeroed_page_fn;
+    get_page_fn;
+    free_page_fn;
+    page_count_fn;
+    mem_init_fn;
+    alloc_task_struct_fn;
+    free_task_struct_fn;
+  ]
+
+let data = [ Kfi_asm.Assembler.Align 4; Kfi_asm.Assembler.Label "task_block_head"; Kfi_asm.Assembler.Word32 0l ]

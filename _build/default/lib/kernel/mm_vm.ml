@@ -1,0 +1,266 @@
+(* mm/: virtual memory — page-table manipulation, demand paging,
+   copy-on-write (do_wp_page), fork-time table copying, zap_page_range,
+   and brk.  All page tables live in guest memory and are walked by the
+   simulated MMU, so corrupting this code corrupts real translations. *)
+
+open Kfi_kcc.C
+module L = Layout
+
+let page_offset = num32 (Int32.of_int L.page_offset)
+let prot_user = Stdlib.(L.pte_present lor L.pte_write lor L.pte_user)
+
+(* A fresh address space: user part empty, kernel part shared with the
+   boot page directory (swapper_pg_dir). *)
+let pgd_alloc_fn =
+  func "pgd_alloc" ~subsys:"mm" ~params:[]
+    [
+      decl "pgdir" (call "get_zeroed_page" []);
+      when_ (l "pgdir" ==. num 0) [ ret (num 0) ];
+      (* copy kernel PDEs (entries 768..1023) from swapper_pg_dir *)
+      decl "i" (num 768);
+      while_ (l "i" <% num 1024)
+        [
+          set_idx32 (l "pgdir") (l "i")
+            (idx32 (num (L.kv L.pa_swapper_pgdir)) (l "i"));
+          set "i" (l "i" + num 1);
+        ];
+      ret (l "pgdir");
+    ]
+
+(* Address of the PTE for [addr], or 0 when the page table is absent. *)
+let pte_offset_fn =
+  func "pte_offset" ~subsys:"mm" ~params:[ "pgdir"; "vaddr" ]
+    [
+      decl "pde" (idx32 (l "pgdir") (l "vaddr" lsr num 22));
+      when_ ((l "pde" land num L.pte_present) ==. num 0) [ ret (num 0) ];
+      decl "pt" ((l "pde" land bnot (num 4095)) + page_offset);
+      ret (l "pt" + (((l "vaddr" lsr num 12) land num 1023) lsl num 2));
+    ]
+
+(* Like pte_offset but allocates the page table when missing. *)
+let pte_alloc_fn =
+  func "pte_alloc" ~subsys:"mm" ~params:[ "pgdir"; "vaddr" ]
+    [
+      decl "slot" (l "pgdir" + ((l "vaddr" lsr num 22) lsl num 2));
+      decl "pde" (lod32 (l "slot"));
+      when_ ((l "pde" land num L.pte_present) ==. num 0)
+        [
+          decl "pt" (call "get_zeroed_page" []);
+          when_ (l "pt" ==. num 0) [ ret (num 0) ];
+          sto32 (l "slot") ((l "pt" - page_offset) lor num prot_user);
+          set "pde" (lod32 (l "slot"));
+        ];
+      decl "ptbl" ((l "pde" land bnot (num 4095)) + page_offset);
+      ret (l "ptbl" + (((l "vaddr" lsr num 12) land num 1023) lsl num 2));
+    ]
+
+let map_page_fn =
+  func "map_page" ~subsys:"mm" ~params:[ "pgdir"; "vaddr"; "pa"; "flags" ]
+    [
+      when_ ((l "pa" land num 4095) <>. num 0) [ bug ]; (* unaligned frame *)
+      decl "pte" (call "pte_alloc" [ l "pgdir"; l "vaddr" ]);
+      when_ (l "pte" ==. num 0) [ ret (neg (num L.enomem)) ];
+      sto32 (l "pte") (l "pa" lor l "flags");
+      ret (num 0);
+    ]
+
+(* Demand-zero page for the stack/heap. *)
+let do_anonymous_page_fn =
+  func "do_anonymous_page" ~subsys:"mm" ~params:[ "pgdir"; "vaddr" ]
+    [
+      decl "page" (call "get_zeroed_page" []);
+      when_ (l "page" ==. num 0) [ ret (neg (num L.enomem)) ];
+      decl "r"
+        (call "map_page"
+           [ l "pgdir"; l "vaddr" land bnot (num 4095); l "page" - page_offset; num prot_user ]);
+      when_ (l "r" <>. num 0) [ do_ (call "free_page" [ l "page" ]); ret (l "r") ];
+      do_ (call "tlb_flush" []);
+      ret (num 0);
+    ]
+
+(* Copy-on-write break (the paper's do_wp_page, Table 5 cases 2 and 7). *)
+let do_wp_page_fn =
+  func "do_wp_page" ~subsys:"mm" ~params:[ "pte_p" ]
+    [
+      decl "pte" (lod32 (l "pte_p"));
+      when_ ((l "pte" land num L.pte_present) ==. num 0) [ bug ]; (* wp on absent page *)
+      decl "old_page" ((l "pte" land bnot (num 4095)) + page_offset);
+      if_ (call "page_count" [ l "old_page" ] ==. num 1)
+        [
+          (* sole owner: make it writable again *)
+          sto32 (l "pte_p")
+            ((l "pte" lor num L.pte_write) land bnot (num L.pte_cow));
+        ]
+        [
+          decl "new_page" (call "__get_free_page" []);
+          when_ (l "new_page" ==. num 0) [ ret (neg (num L.enomem)) ];
+          do_ (call "copy_page" [ l "new_page"; l "old_page" ]);
+          sto32 (l "pte_p") ((l "new_page" - page_offset) lor num prot_user);
+          do_ (call "free_page" [ l "old_page" ]);
+        ];
+      do_ (call "tlb_flush" []);
+      ret (num 0);
+    ]
+
+(* Is [vaddr] inside a region the current task may fault in? *)
+let valid_user_region_fn =
+  func "valid_user_region" ~subsys:"mm" ~params:[ "vaddr" ]
+    [
+      decl "t" (g "current");
+      when_
+        ((l "vaddr" >=% num32 (Int32.of_int L.user_stack_low))
+        &&. (l "vaddr" <% num32 (Int32.of_int L.user_stack_top)))
+        [ ret (num 1) ];
+      when_
+        ((l "vaddr" >=% fld (l "t") L.t_brk_start) &&. (l "vaddr" <% fld (l "t") L.t_brk))
+        [ ret (num 1) ];
+      ret (num 0);
+    ]
+
+(* The mm half of the page-fault path (mm/memory.c handle_mm_fault). *)
+let handle_mm_fault_fn =
+  func "handle_mm_fault" ~subsys:"mm" ~params:[ "vaddr"; "err" ]
+    [
+      decl "t" (g "current");
+      when_ (l "t" ==. num 0) [ ret (num 1) ];
+      decl "pgdir" (fld (l "t") L.t_cr3 + page_offset);
+      when_ (fld (l "t") L.t_cr3 ==. num L.pa_swapper_pgdir) [ ret (num 1) ];
+      decl "pte_p" (call "pte_offset" [ l "pgdir"; l "vaddr" ]);
+      decl "pte" (num 0);
+      when_ (l "pte_p" <>. num 0) [ set "pte" (lod32 (l "pte_p")) ];
+      if_ ((l "pte" land num L.pte_present) ==. num 0)
+        [
+          (* not present: demand-zero if the region is valid *)
+          when_ (call "valid_user_region" [ l "vaddr" ] ==. num 0) [ ret (num 1) ];
+          ret (call "do_anonymous_page" [ l "pgdir"; l "vaddr" ]);
+        ]
+        [
+          (* present: a write to a read-only page *)
+          when_ ((l "err" land num 2) ==. num 0) [ ret (num 1) ];
+          when_ ((l "pte" land num L.pte_cow) ==. num 0) [ ret (num 1) ];
+          ret (call "do_wp_page" [ l "pte_p" ]);
+        ];
+      ret (num 1);
+    ]
+
+(* Share the user address space copy-on-write at fork (mm/memory.c). *)
+let copy_page_tables_fn =
+  func "copy_page_tables" ~subsys:"mm" ~params:[ "src"; "dst" ]
+    [
+      decl "di" (num 0);
+      while_ (l "di" <% num 768)
+        [
+          decl "pde" (idx32 (l "src") (l "di"));
+          when_ ((l "pde" land num L.pte_present) <>. num 0)
+            [
+              decl "spt" ((l "pde" land bnot (num 4095)) + page_offset);
+              decl "dpt" (call "get_zeroed_page" []);
+              when_ (l "dpt" ==. num 0) [ ret (neg (num L.enomem)) ];
+              set_idx32 (l "dst") (l "di") ((l "dpt" - page_offset) lor num prot_user);
+              decl "i" (num 0);
+              while_ (l "i" <% num 1024)
+                [
+                  decl "pte" (idx32 (l "spt") (l "i"));
+                  when_ ((l "pte" land num L.pte_present) <>. num 0)
+                    [
+                      (* drop write, mark COW in both parent and child *)
+                      decl "shared"
+                        ((l "pte" land bnot (num L.pte_write)) lor num L.pte_cow);
+                      set_idx32 (l "spt") (l "i") (l "shared");
+                      set_idx32 (l "dpt") (l "i") (l "shared");
+                      do_ (call "get_page" [ (l "pte" land bnot (num 4095)) + page_offset ]);
+                    ];
+                  set "i" (l "i" + num 1);
+                ];
+            ];
+          set "di" (l "di" + num 1);
+        ];
+      do_ (call "tlb_flush" []);
+      ret (num 0);
+    ]
+
+(* Remove the user pages mapped in [start, start+size) (mm/memory.c, the
+   paper's zap_page_range). *)
+let zap_page_range_fn =
+  func "zap_page_range" ~subsys:"mm" ~params:[ "pgdir"; "start"; "size" ]
+    [
+      (* zapping kernel mappings would be catastrophic *)
+      when_ (l "start" >=% num32 0xC0000000l) [ bug ];
+      decl "vaddr" (l "start" land bnot (num 4095));
+      decl "end" (l "start" + l "size");
+      while_ (l "vaddr" <% l "end")
+        [
+          decl "pte_p" (call "pte_offset" [ l "pgdir"; l "vaddr" ]);
+          when_ (l "pte_p" <>. num 0)
+            [
+              decl "pte" (lod32 (l "pte_p"));
+              when_ ((l "pte" land num L.pte_present) <>. num 0)
+                [
+                  do_ (call "free_page" [ (l "pte" land bnot (num 4095)) + page_offset ]);
+                  sto32 (l "pte_p") (num 0);
+                ];
+            ];
+          set "vaddr" (l "vaddr" + num L.page_size);
+        ];
+      do_ (call "tlb_flush" []);
+      ret0;
+    ]
+
+(* Free the user page tables themselves (after zapping). *)
+let free_page_tables_fn =
+  func "free_page_tables" ~subsys:"mm" ~params:[ "pgdir" ]
+    [
+      decl "di" (num 0);
+      while_ (l "di" <% num 768)
+        [
+          decl "pde" (idx32 (l "pgdir") (l "di"));
+          when_ ((l "pde" land num L.pte_present) <>. num 0)
+            [
+              do_ (call "free_page" [ (l "pde" land bnot (num 4095)) + page_offset ]);
+              set_idx32 (l "pgdir") (l "di") (num 0);
+            ];
+          set "di" (l "di" + num 1);
+        ];
+      ret0;
+    ]
+
+(* sys_brk: grow or shrink the heap. *)
+let sys_brk_fn =
+  func "sys_brk" ~subsys:"mm" ~params:[ "newbrk" ]
+    [
+      decl "t" (g "current");
+      decl "old" (fld (l "t") L.t_brk);
+      when_ (l "newbrk" ==. num 0) [ ret (l "old") ];
+      when_
+        ((l "newbrk" <% fld (l "t") L.t_brk_start)
+        ||. (l "newbrk" >=% num32 (Int32.of_int L.user_stack_low)))
+        [ ret (neg (num L.enomem)) ];
+      when_ (l "newbrk" <% l "old")
+        [
+          do_
+            (call "zap_page_range"
+               [
+                 fld (l "t") L.t_cr3 + page_offset;
+                 (l "newbrk" + num 4095) land bnot (num 4095);
+                 l "old" - l "newbrk";
+               ]);
+        ];
+      set_fld (l "t") L.t_brk (l "newbrk");
+      ret (l "newbrk");
+    ]
+
+let funcs =
+  [
+    pgd_alloc_fn;
+    pte_offset_fn;
+    pte_alloc_fn;
+    map_page_fn;
+    do_anonymous_page_fn;
+    do_wp_page_fn;
+    valid_user_region_fn;
+    handle_mm_fault_fn;
+    copy_page_tables_fn;
+    zap_page_range_fn;
+    free_page_tables_fn;
+    sys_brk_fn;
+  ]

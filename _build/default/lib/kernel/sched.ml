@@ -1,0 +1,363 @@
+(* kernel/: the scheduler (schedule, wake_up, reschedule_idle — a paper
+   case study), the timer tick, fork/exit/waitpid and small syscalls. *)
+
+open Kfi_kcc.C
+module L = Layout
+
+let page_offset = num32 (Int32.of_int L.page_offset)
+let task_slot i = idx32 (addr "task_table") (l i)
+
+(* The UP shortcut the paper's Section 8 example hinges on: on a single
+   processor the woken task's CPU is always schedulable. *)
+let can_schedule_fn =
+  func "can_schedule" ~subsys:"kernel" ~params:[ "t" ] [ ret (num 1) ]
+
+let reschedule_idle_fn =
+  func "reschedule_idle" ~subsys:"kernel" ~params:[ "t" ]
+    [
+      if_ (call "can_schedule" [ l "t" ] <>. num 0)
+        [
+          (* preempt if the woken task has more quantum left *)
+          when_ (fld (l "t") L.t_counter >. fld (g "current") L.t_counter)
+            [ setg "need_resched" (num 1) ];
+        ]
+        [];
+      ret0;
+    ]
+
+let wake_up_process_fn =
+  func "wake_up_process" ~subsys:"kernel" ~params:[ "t" ]
+    [
+      set_fld (l "t") L.t_state (num L.state_running);
+      set_fld (l "t") L.t_wait_chan (num 0);
+      do_ (call "reschedule_idle" [ l "t" ]);
+      ret0;
+    ]
+
+(* wake every task sleeping on [chan] *)
+let wake_up_fn =
+  func "wake_up" ~subsys:"kernel" ~params:[ "chan" ]
+    [
+      decl "i" (num 0);
+      while_ (l "i" <% num L.nr_tasks)
+        [
+          decl "t" (task_slot "i");
+          when_
+            ((l "t" <>. num 0)
+            &&. (fld (l "t") L.t_state ==. num L.state_interruptible)
+            &&. (fld (l "t") L.t_wait_chan ==. l "chan"))
+            [ do_ (call "wake_up_process" [ l "t" ]) ];
+          set "i" (l "i" + num 1);
+        ];
+      ret0;
+    ]
+
+let sleep_on_fn =
+  func "sleep_on" ~subsys:"kernel" ~params:[ "chan" ]
+    [
+      decl "t" (g "current");
+      when_ (l "chan" ==. num 0) [ bug ]; (* sleeping on a null channel *)
+      set_fld (l "t") L.t_wait_chan (l "chan");
+      set_fld (l "t") L.t_state (num L.state_interruptible);
+      do_ (call "schedule" []);
+      ret0;
+    ]
+
+(* Pick the runnable task with the largest remaining quantum; recharge all
+   quanta when every runnable task has exhausted its slice (2.4-style
+   epochs).  Falls back to the idle task. *)
+let schedule_fn =
+  func "schedule" ~subsys:"kernel" ~params:[]
+    [
+      decl "prev" (g "current");
+      when_ (l "prev" ==. num 0) [ bug ]; (* scheduling with no current task *)
+      (* SMP bookkeeping; on UP this branch is never taken *)
+      when_ (g "nr_cpus" >. num 1) [ setg "need_resched" (num 1) ];
+      decl "next" (num 0);
+      decl "again" (num 1);
+      while_ (l "again" <>. num 0)
+        [
+          set "again" (num 0);
+          set "next" (num 0);
+          decl "c" (neg (num 1));
+          decl "i" (num 1);
+          while_ (l "i" <% num L.nr_tasks)
+            [
+              decl "t" (task_slot "i");
+              when_
+                ((l "t" <>. num 0) &&. (fld (l "t") L.t_state ==. num L.state_running))
+                [
+                  when_ (fld (l "t") L.t_counter >. l "c")
+                    [ set "c" (fld (l "t") L.t_counter); set "next" (l "t") ];
+                ];
+              set "i" (l "i" + num 1);
+            ];
+          (* all runnable slices used up: recharge and rescan *)
+          when_ ((l "next" <>. num 0) &&. (l "c" ==. num 0))
+            [
+              decl "j" (num 1);
+              while_ (l "j" <% num L.nr_tasks)
+                [
+                  decl "u" (task_slot "j");
+                  when_ (l "u" <>. num 0)
+                    [
+                      set_fld (l "u") L.t_counter
+                        ((fld (l "u") L.t_counter asr num 1) + num L.default_counter);
+                    ];
+                  set "j" (l "j" + num 1);
+                ];
+              set "again" (num 1);
+            ];
+        ];
+      when_ (l "next" ==. num 0) [ set "next" (idx32 (addr "task_table") (num 0)) ];
+      setg "need_resched" (num 0);
+      when_ (l "next" ==. l "prev") [ ret0 ];
+      when_ (fld (l "next") L.t_state <>. num L.state_running) [ bug ];
+      setg "current" (l "next");
+      do_ (call "__switch_to" [ l "prev"; l "next" ]);
+      ret0;
+    ]
+
+(* the timer tick (kernel/timer.c do_timer) *)
+let do_timer_fn =
+  func "do_timer" ~subsys:"kernel" ~params:[]
+    [
+      setg "jiffies" (g "jiffies" + num 1);
+      (* timer debug trace, silent at the default log level *)
+      when_ (g "console_loglevel" >. num 8) [ do_ (call "printk" [ addr "str_tick" ]) ];
+      decl "t" (g "current");
+      when_ ((l "t" <>. num 0) &&. (fld (l "t") L.t_pid <>. num 0))
+        [
+          decl "c" (fld (l "t") L.t_counter - num 1);
+          when_ (l "c" <=. num 0) [ set "c" (num 0); setg "need_resched" (num 1) ];
+          set_fld (l "t") L.t_counter (l "c");
+        ];
+      ret0;
+    ]
+
+(* --- fork --- *)
+
+let sys_fork_fn =
+  func "sys_fork" ~subsys:"kernel" ~params:[]
+    [
+      decl "slot" (neg (num 1));
+      decl "i" (num 0);
+      while_ (l "i" <% num L.nr_tasks)
+        [
+          when_ (task_slot "i" ==. num 0) [ set "slot" (l "i"); break_ ];
+          set "i" (l "i" + num 1);
+        ];
+      when_ (l "slot" <. num 0) [ ret (neg (num L.eagain)) ];
+      when_ (g "next_pid" <=. num 1) [ bug ]; (* pid counter corrupted *)
+      decl "child" (call "alloc_task_struct" []);
+      when_ (l "child" ==. num 0) [ ret (neg (num L.eagain)) ];
+      decl "parent" (g "current");
+      set_fld (l "child") L.t_state (num L.state_running);
+      set_fld (l "child") L.t_pid (g "next_pid");
+      setg "next_pid" (g "next_pid" + num 1);
+      set_fld (l "child") L.t_counter (num L.default_counter);
+      set_fld (l "child") L.t_parent (l "parent");
+      set_fld (l "child") L.t_exit_code (num 0);
+      set_fld (l "child") L.t_wait_chan (num 0);
+      set_fld (l "child") L.t_brk_start (fld (l "parent") L.t_brk_start);
+      set_fld (l "child") L.t_brk (fld (l "parent") L.t_brk);
+      set_fld (l "child") L.t_kstack_top (l "child" + num L.task_size);
+      (* share open files *)
+      decl "fd" (num 0);
+      while_ (l "fd" <% num L.nr_open_files)
+        [
+          decl "f" (lod32 (l "parent" + num L.t_files + (l "fd" lsl num 2)));
+          sto32 (l "child" + num L.t_files + (l "fd" lsl num 2)) (l "f");
+          when_ (l "f" <>. num 0)
+            [ set_fld (l "f") L.f_count (fld (l "f") L.f_count + num 1) ];
+          set "fd" (l "fd" + num 1);
+        ];
+      (* copy the address space copy-on-write *)
+      decl "pgdir" (call "pgd_alloc" []);
+      when_ (l "pgdir" ==. num 0)
+        [ do_ (call "free_task_struct" [ l "child" ]); ret (neg (num L.enomem)) ];
+      set_fld (l "child") L.t_cr3 (l "pgdir" - page_offset);
+      decl "r"
+        (call "copy_page_tables"
+           [ fld (l "parent") L.t_cr3 + page_offset; l "pgdir" ]);
+      when_ (l "r" <. num 0)
+        [ do_ (call "free_task_struct" [ l "child" ]); ret (l "r") ];
+      (* child kernel stack: the parent's syscall frame + a switch frame
+         that resumes in ret_from_fork *)
+      do_
+        (call "memcpy"
+           [
+             fld (l "child") L.t_kstack_top - num 44;
+             fld (l "parent") L.t_kstack_top - num 44;
+             num 44;
+           ]);
+      decl "sp" (fld (l "child") L.t_kstack_top - num 64);
+      sto32 (l "sp") (num 0);            (* ebx *)
+      sto32 (l "sp" + num 4) (num 0);    (* esi *)
+      sto32 (l "sp" + num 8) (num 0);    (* edi *)
+      sto32 (l "sp" + num 12) (num 0);   (* ebp *)
+      sto32 (l "sp" + num 16) (addr "ret_from_fork");
+      set_fld (l "child") L.t_kesp (l "sp");
+      set_idx32 (addr "task_table") (l "slot") (l "child");
+      do_ (call "reschedule_idle" [ l "child" ]);
+      ret (fld (l "child") L.t_pid);
+    ]
+
+(* --- exit / wait --- *)
+
+let do_exit_fn =
+  func "do_exit" ~subsys:"kernel" ~params:[ "code" ]
+    [
+      decl "t" (g "current");
+      when_ (l "t" ==. num 0) [ bug ];
+      (* close files *)
+      decl "fd" (num 0);
+      while_ (l "fd" <% num L.nr_open_files)
+        [
+          decl "f" (lod32 (l "t" + num L.t_files + (l "fd" lsl num 2)));
+          when_ (l "f" <>. num 0)
+            [
+              sto32 (l "t" + num L.t_files + (l "fd" lsl num 2)) (num 0);
+              do_ (call "filp_close" [ l "f" ]);
+            ];
+          set "fd" (l "fd" + num 1);
+        ];
+      (* init exiting shuts the machine down (the workload finished) *)
+      when_ (fld (l "t") L.t_pid ==. num 1)
+        [
+          do_ (call "sys_sync" []);
+          do_ (call "outb" [ num L.poweroff_port; l "code" ]);
+          do_ (call "arch_halt" []);
+          while_ (num 1) [];
+        ];
+      set_fld (l "t") L.t_exit_code (l "code");
+      set_fld (l "t") L.t_state (num L.state_zombie);
+      do_ (call "wake_up" [ fld (l "t") L.t_parent ]);
+      do_ (call "schedule" []);
+      do_ (call "panic" [ addr "str_panic_sched" ]);
+      ret0;
+    ]
+
+let sys_exit_fn =
+  func "sys_exit" ~subsys:"kernel" ~params:[ "code" ]
+    [ do_ (call "do_exit" [ l "code" land num 0xff ]); ret0 ]
+
+(* reclaim a zombie: user pages, page tables, page directory, task block *)
+let release_task_fn =
+  func "release_task" ~subsys:"kernel" ~params:[ "t" ]
+    [
+      decl "pgdir" (fld (l "t") L.t_cr3 + page_offset);
+      do_
+        (call "zap_page_range"
+           [
+             l "pgdir";
+             num32 (Int32.of_int L.user_text);
+             fld (l "t") L.t_brk - num32 (Int32.of_int L.user_text);
+           ]);
+      do_
+        (call "zap_page_range"
+           [
+             l "pgdir";
+             num32 (Int32.of_int L.user_stack_low);
+             num Stdlib.(L.user_stack_pages * L.page_size);
+           ]);
+      do_ (call "free_page_tables" [ l "pgdir" ]);
+      do_ (call "free_page" [ l "pgdir" ]);
+      decl "i" (num 0);
+      while_ (l "i" <% num L.nr_tasks)
+        [
+          when_ (task_slot "i" ==. l "t")
+            [ set_idx32 (addr "task_table") (l "i") (num 0) ];
+          set "i" (l "i" + num 1);
+        ];
+      do_ (call "free_task_struct" [ l "t" ]);
+      ret0;
+    ]
+
+let sys_waitpid_fn =
+  func "sys_waitpid" ~subsys:"kernel" ~params:[ "pid"; "status" ]
+    [
+      while_ (num 1)
+        [
+          decl "have_child" (num 0);
+          decl "i" (num 0);
+          while_ (l "i" <% num L.nr_tasks)
+            [
+              decl "t" (task_slot "i");
+              when_ ((l "t" <>. num 0) &&. (fld (l "t") L.t_parent ==. g "current"))
+                [
+                  set "have_child" (num 1);
+                  when_
+                    ((fld (l "t") L.t_state ==. num L.state_zombie)
+                    &&. ((l "pid" ==. neg (num 1)) ||. (fld (l "t") L.t_pid ==. l "pid")))
+                    [
+                      when_ (l "status" <>. num 0)
+                        [ sto32 (l "status") (fld (l "t") L.t_exit_code) ];
+                      decl "cpid" (fld (l "t") L.t_pid);
+                      do_ (call "release_task" [ l "t" ]);
+                      ret (l "cpid");
+                    ];
+                ];
+              set "i" (l "i" + num 1);
+            ];
+          when_ (l "have_child" ==. num 0) [ ret (neg (num L.echild)) ];
+          do_ (call "sleep_on" [ g "current" ]);
+        ];
+      ret (neg (num L.echild));
+    ]
+
+(* --- small syscalls --- *)
+
+let sys_getpid_fn =
+  func "sys_getpid" ~subsys:"kernel" ~params:[] [ ret (fld (g "current") L.t_pid) ]
+
+let sys_getuid_fn = func "sys_getuid" ~subsys:"kernel" ~params:[] [ ret (g "uid_value") ]
+
+let sys_umask_fn =
+  func "sys_umask" ~subsys:"kernel" ~params:[ "mask" ]
+    [
+      decl "old" (g "umask_value");
+      setg "umask_value" (l "mask" land num 0o777);
+      ret (l "old");
+    ]
+
+let sys_times_fn = func "sys_times" ~subsys:"kernel" ~params:[] [ ret (g "jiffies") ]
+
+let sys_getppid_fn =
+  func "sys_getppid" ~subsys:"kernel" ~params:[]
+    [
+      decl "p" (fld (g "current") L.t_parent);
+      when_ (l "p" ==. num 0) [ ret (num 0) ];
+      ret (fld (l "p") L.t_pid);
+    ]
+
+(* give up the remaining time slice *)
+let sys_yield_fn =
+  func "sys_yield" ~subsys:"kernel" ~params:[]
+    [
+      set_fld (g "current") L.t_counter (num 0);
+      setg "need_resched" (num 1);
+      ret (num 0);
+    ]
+
+let funcs =
+  [
+    can_schedule_fn;
+    reschedule_idle_fn;
+    wake_up_process_fn;
+    wake_up_fn;
+    sleep_on_fn;
+    schedule_fn;
+    do_timer_fn;
+    sys_fork_fn;
+    do_exit_fn;
+    sys_exit_fn;
+    release_task_fn;
+    sys_waitpid_fn;
+    sys_getpid_fn;
+    sys_getuid_fn;
+    sys_umask_fn;
+    sys_times_fn;
+    sys_getppid_fn;
+    sys_yield_fn;
+  ]

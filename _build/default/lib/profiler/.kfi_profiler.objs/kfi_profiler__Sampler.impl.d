@@ -1,0 +1,1 @@
+lib/profiler/sampler.ml: Array Cpu Hashtbl Insn Int32 Kfi_asm Kfi_isa Kfi_kernel Kfi_workload List Machine Option

@@ -1,0 +1,1 @@
+lib/profiler/sampler.mli: Hashtbl Kfi_isa Kfi_kernel

@@ -1,0 +1,1 @@
+lib/workload/progs.ml: Bytes Digest Kfi_asm Kfi_kcc Kfi_kernel List Stdlib Ulib

@@ -1,0 +1,1 @@
+lib/workload/progs.mli: Digest Kfi_asm Kfi_kcc

@@ -1,0 +1,1 @@
+lib/workload/ulib.ml: Int32 Kfi_asm Kfi_isa Kfi_kcc Kfi_kernel

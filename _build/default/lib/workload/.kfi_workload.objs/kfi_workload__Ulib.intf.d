@@ -1,0 +1,1 @@
+lib/workload/ulib.mli: Kfi_asm Kfi_kcc

@@ -1,0 +1,332 @@
+(* The eight UnixBench-like workload programs (Section 4 of the paper):
+   syscall, pipe, context1, spawn, fstime, hanoi, dhry, looper.
+
+   Each prints a deterministic summary line and exits 0; a run whose
+   console output or exit status deviates from the golden (fault-free) run
+   is a fail-silence violation. *)
+
+open Kfi_kcc.C
+open Ulib
+module L = Kfi_kernel.Layout
+
+let ok_line tag =
+  [
+    do_ (call "print" [ addr "s_tag" ]);
+    do_ (call "print_udec" [ l "sum" ]);
+    do_ (call "print" [ addr "s_nl" ]);
+    ret (num 0);
+  ]
+  |> fun stmts -> ignore tag; stmts
+
+let err_exit =
+  [ do_ (call "print" [ addr "s_err" ]); ret (num 1) ]
+
+let common_data tag =
+  List.concat [ ustr "s_tag" (tag ^ ": ok sum="); ustr "s_err" (tag ^ ": ERROR\n"); ustr "s_nl" "\n" ]
+
+(* 1. syscall.c: hammer cheap syscalls *)
+let syscall_prog =
+  let main =
+    func "main" ~subsys:"user" ~params:[]
+      ([
+         decl "sum" (num 0);
+         decl "i" (num 0);
+         while_ (l "i" <. num 300)
+           [
+             set "sum" (l "sum" + u_getpid);
+             set "sum" (l "sum" + u_getuid);
+             set "sum" (l "sum" + u_umask (num 18));
+             set "i" (l "i" + num 1);
+           ];
+       ]
+      @ ok_line "syscall")
+  in
+  ([ main ], common_data "syscall")
+
+(* 2. pipe.c: 512-byte round trips through a pipe *)
+let pipe_prog =
+  let main =
+    func "main" ~subsys:"user" ~params:[]
+      ([
+         when_ (u_pipe (addr "fds") <>. num 0) err_exit;
+         (* pattern *)
+         decl "j" (num 0);
+         while_ (l "j" <. num 512)
+           [ sto8 (addr "wbuf" + l "j") (l "j" land num 255); set "j" (l "j" + num 1) ];
+         decl "sum" (num 0);
+         decl "i" (num 0);
+         while_ (l "i" <. num 50)
+           [
+             when_ (u_write (lod32 (addr "fds" + num 4)) (addr "wbuf") (num 512) <>. num 512)
+               err_exit;
+             when_ (u_read (lod32 (addr "fds")) (addr "rbuf") (num 512) <>. num 512) err_exit;
+             (* spot-check the data *)
+             decl "k" (num 0);
+             while_ (l "k" <. num 512)
+               [
+                 when_ (lod8 (addr "rbuf" + l "k") <>. (l "k" land num 255)) err_exit;
+                 set "k" (l "k" + num 32);
+               ];
+             set "sum" (l "sum" + lod8 (addr "rbuf" + (l "i" land num 255)));
+             set "i" (l "i" + num 1);
+           ];
+       ]
+      @ ok_line "pipe")
+  in
+  let data =
+    List.concat
+      [ common_data "pipe"; [ Kfi_asm.Assembler.Align 4; Kfi_asm.Assembler.Label "fds"; Kfi_asm.Assembler.Zeros 8 ];
+        [ Kfi_asm.Assembler.Label "wbuf"; Kfi_asm.Assembler.Zeros 512 ];
+        [ Kfi_asm.Assembler.Label "rbuf"; Kfi_asm.Assembler.Zeros 512 ] ]
+  in
+  ([ main ], data)
+
+(* 3. context1.c: token ping-pong between two processes over two pipes *)
+let context1_prog =
+  let rounds = 40 in
+  let main =
+    func "main" ~subsys:"user" ~params:[]
+      ([
+         when_ (u_pipe (addr "p1") <>. num 0) err_exit;
+         when_ (u_pipe (addr "p2") <>. num 0) err_exit;
+         decl "pid" u_fork;
+         when_ (l "pid" <. num 0) err_exit;
+         when_ (l "pid" ==. num 0)
+           [
+             (* child: bounce the token back incremented *)
+             decl "i" (num 0);
+             while_ (l "i" <. num rounds)
+               [
+                 when_ (u_read (lod32 (addr "p1")) (addr "tok") (num 4) <>. num 4)
+                   [ do_ (u_exit (num 9)) ];
+                 sto32 (addr "tok") (lod32 (addr "tok") + num 1);
+                 when_ (u_write (lod32 (addr "p2" + num 4)) (addr "tok") (num 4) <>. num 4)
+                   [ do_ (u_exit (num 9)) ];
+                 set "i" (l "i" + num 1);
+               ];
+             do_ (u_exit (num 0));
+           ];
+         decl "sum" (num 0);
+         decl "i" (num 0);
+         while_ (l "i" <. num rounds)
+           [
+             sto32 (addr "tok") (l "i");
+             when_ (u_write (lod32 (addr "p1" + num 4)) (addr "tok") (num 4) <>. num 4) err_exit;
+             when_ (u_read (lod32 (addr "p2")) (addr "tok") (num 4) <>. num 4) err_exit;
+             when_ (lod32 (addr "tok") <>. (l "i" + num 1)) err_exit;
+             set "sum" (l "sum" + lod32 (addr "tok"));
+             set "i" (l "i" + num 1);
+           ];
+         decl "st" (num 0);
+         when_ (u_waitpid (l "pid") (addr_local "st") <>. l "pid") err_exit;
+         when_ (l "st" <>. num 0) err_exit;
+       ]
+      @ ok_line "context1")
+  in
+  let data =
+    List.concat
+      [ common_data "context1";
+        [ Kfi_asm.Assembler.Align 4; Kfi_asm.Assembler.Label "p1"; Kfi_asm.Assembler.Zeros 8;
+          Kfi_asm.Assembler.Label "p2"; Kfi_asm.Assembler.Zeros 8;
+          Kfi_asm.Assembler.Label "tok"; Kfi_asm.Assembler.Zeros 4 ] ]
+  in
+  ([ main ], data)
+
+(* 4. spawn.c: fork/exit/wait *)
+let spawn_prog =
+  let main =
+    func "main" ~subsys:"user" ~params:[]
+      ([
+         decl "sum" (num 0);
+         decl "i" (num 0);
+         while_ (l "i" <. num 12)
+           [
+             decl "pid" u_fork;
+             when_ (l "pid" <. num 0) err_exit;
+             when_ (l "pid" ==. num 0) [ do_ (u_exit (num 7)) ];
+             decl "st" (num 0);
+             when_ (u_waitpid (l "pid") (addr_local "st") <>. l "pid") err_exit;
+             when_ (l "st" <>. num 7) err_exit;
+             set "sum" (l "sum" + num 1);
+             set "i" (l "i" + num 1);
+           ];
+       ]
+      @ ok_line "spawn")
+  in
+  ([ main ], common_data "spawn")
+
+(* 5. fstime.c: file write / read-back / copy / unlink on ext2 *)
+let fstime_prog =
+  let nblk = 8 in
+  let main =
+    func "main" ~subsys:"user" ~params:[]
+      ([
+         decl "fd" (u_creat (addr "s_f"));
+         when_ (l "fd" <. num 0) err_exit;
+         decl "j" (num 0);
+         while_ (l "j" <. num 1024)
+           [ sto8 (addr "wbuf" + l "j") ((l "j" * num 3) land num 255); set "j" (l "j" + num 1) ];
+         decl "i" (num 0);
+         while_ (l "i" <. num nblk)
+           [
+             sto8 (addr "wbuf") (l "i" + num 65);
+             when_ (u_write (l "fd") (addr "wbuf") (num 1024) <>. num 1024) err_exit;
+             set "i" (l "i" + num 1);
+           ];
+         when_ (u_close (l "fd") <>. num 0) err_exit;
+         (* read back and checksum *)
+         set "fd" (u_open (addr "s_f") (num 0));
+         when_ (l "fd" <. num 0) err_exit;
+         decl "sum" (num 0);
+         set "i" (num 0);
+         while_ (l "i" <. num nblk)
+           [
+             when_ (u_read (l "fd") (addr "rbuf") (num 1024) <>. num 1024) err_exit;
+             set "sum" (l "sum" + lod8 (addr "rbuf") + lod8 (addr "rbuf" + num 512));
+             set "i" (l "i" + num 1);
+           ];
+         when_ (u_close (l "fd") <>. num 0) err_exit;
+         (* copy /tmp/f -> /tmp/g *)
+         set "fd" (u_open (addr "s_f") (num 0));
+         decl "fd2" (u_creat (addr "s_g"));
+         when_ ((l "fd" <. num 0) ||. (l "fd2" <. num 0)) err_exit;
+         decl "n" (num 1);
+         while_ (l "n" >. num 0)
+           [
+             set "n" (u_read (l "fd") (addr "rbuf") (num 1024));
+             when_ (l "n" <. num 0) err_exit;
+             when_ (l "n" >. num 0)
+               [ when_ (u_write (l "fd2") (addr "rbuf") (l "n") <>. l "n") err_exit ];
+           ];
+         when_ (u_close (l "fd") <>. num 0) err_exit;
+         when_ (u_close (l "fd2") <>. num 0) err_exit;
+         when_ (u_unlink (addr "s_f") <>. num 0) err_exit;
+         when_ (u_unlink (addr "s_g") <>. num 0) err_exit;
+         when_ (u_sync <>. num 0) err_exit;
+       ]
+      @ ok_line "fstime")
+  in
+  let data =
+    List.concat
+      [ common_data "fstime"; ustr "s_f" "/tmp/f"; ustr "s_g" "/tmp/g";
+        [ Kfi_asm.Assembler.Align 4; Kfi_asm.Assembler.Label "wbuf"; Kfi_asm.Assembler.Zeros 1024;
+          Kfi_asm.Assembler.Label "rbuf"; Kfi_asm.Assembler.Zeros 1024 ] ]
+  in
+  ([ main ], data)
+
+(* 6. hanoi.c: recursion, pure CPU *)
+let hanoi_prog =
+  let hanoi =
+    func "hanoi" ~subsys:"user" ~params:[ "n"; "from"; "to"; "via" ]
+      [
+        when_ (l "n" ==. num 0) [ ret (num 0) ];
+        decl "a" (call "hanoi" [ l "n" - num 1; l "from"; l "via"; l "to" ]);
+        decl "b" (call "hanoi" [ l "n" - num 1; l "via"; l "to"; l "from" ]);
+        ret (l "a" + l "b" + num 1);
+      ]
+  in
+  let main =
+    func "main" ~subsys:"user" ~params:[]
+      ([ decl "sum" (call "hanoi" [ num 11; num 1; num 3; num 2 ]) ] @ ok_line "hanoi")
+  in
+  ([ main; hanoi ], common_data "hanoi")
+
+(* 7. dhry: integer/array/branch mix, pure CPU *)
+let dhry_prog =
+  let main =
+    func "main" ~subsys:"user" ~params:[]
+      ([
+         decl "sum" (num 0);
+         decl "i" (num 0);
+         while_ (l "i" <. num 1200)
+           [
+             set_idx32 (addr "arr") (l "i" mod num 40) ((l "i" * num 3) + (l "sum" lsr num 2));
+             set "sum" (l "sum" lxor (idx32 (addr "arr") ((l "i" * num 7) mod num 40) + l "i"));
+             when_ ((l "sum" land num 1) ==. num 1) [ set "sum" (l "sum" + num 13) ];
+             set "i" (l "i" + num 1);
+           ];
+         set "sum" (l "sum" land num 0xFFFF);
+       ]
+      @ ok_line "dhry")
+  in
+  let data =
+    common_data "dhry"
+    @ [ Kfi_asm.Assembler.Align 4; Kfi_asm.Assembler.Label "arr"; Kfi_asm.Assembler.Zeros 160 ]
+  in
+  ([ main ], data)
+
+(* 8. looper.c: fork + heap growth in the child (brk, demand-zero, COW) *)
+let looper_prog =
+  let main =
+    func "main" ~subsys:"user" ~params:[]
+      ([
+         decl "sum" (num 0);
+         decl "i" (num 0);
+         while_ (l "i" <. num 8)
+           [
+             decl "pid" u_fork;
+             when_ (l "pid" <. num 0) err_exit;
+             when_ (l "pid" ==. num 0)
+               [
+                 decl "base" (u_brk (num 0));
+                 when_ (u_brk (l "base" + num 16384) <. l "base") [ do_ (u_exit (num 9)) ];
+                 decl "k" (num 0);
+                 while_ (l "k" <. num 4)
+                   [
+                     sto32 (l "base" + (l "k" lsl num 12)) (l "k" + num 100);
+                     set "k" (l "k" + num 1);
+                   ];
+                 decl "acc" (num 0);
+                 set "k" (num 0);
+                 while_ (l "k" <. num 4)
+                   [
+                     set "acc" (l "acc" + lod32 (l "base" + (l "k" lsl num 12)));
+                     set "k" (l "k" + num 1);
+                   ];
+                 when_ (l "acc" <>. num 406) [ do_ (u_exit (num 9)) ];
+                 do_ (u_exit (num 5));
+               ];
+             decl "st" (num 0);
+             when_ (u_waitpid (l "pid") (addr_local "st") <>. l "pid") err_exit;
+             when_ (l "st" <>. num 5) err_exit;
+             set "sum" (l "sum" + num 5);
+             set "i" (l "i" + num 1);
+           ];
+       ]
+      @ ok_line "looper")
+  in
+  ([ main ], common_data "looper")
+
+let all =
+  [
+    ("syscall", syscall_prog);
+    ("pipe", pipe_prog);
+    ("context1", context1_prog);
+    ("spawn", spawn_prog);
+    ("fstime", fstime_prog);
+    ("hanoi", hanoi_prog);
+    ("dhry", dhry_prog);
+    ("looper", looper_prog);
+  ]
+
+let names = List.map fst all
+let index_of name =
+  let rec go i = function
+    | [] -> invalid_arg ("unknown workload " ^ name)
+    | (n, _) :: tl -> if n = name then i else go Stdlib.(i + 1) tl
+  in
+  go 0 all
+
+let binary name =
+  let funcs, data = List.assoc name all in
+  Ulib.build_binary ~funcs ~data
+
+(* path -> contents pairs for Mkfs, plus a /tmp seed so the directory
+   exists *)
+let fs_files () =
+  List.map (fun (n, _) -> ("/bin/" ^ n, binary n)) all
+  @ [ ("/tmp/seed", Bytes.of_string "tmp\n"); ("/etc/motd", Bytes.of_string "welcome to linux-sim\n") ]
+
+(* System files whose damage means the machine cannot come back up. *)
+let manifest () =
+  List.map (fun (n, _) -> ("/bin/" ^ n, Digest.bytes (binary n))) all

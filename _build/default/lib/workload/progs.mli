@@ -1,0 +1,27 @@
+(** The eight UnixBench-like workload programs (paper Section 4):
+    syscall, pipe, context1, spawn, fstime, hanoi, dhry, looper.
+
+    Each is written in the kernel DSL, compiled to a user-mode binary,
+    shipped in /bin of the root image and exec'd by init.  Each prints a
+    deterministic summary line and exits 0; any deviation under injection
+    is a fail-silence violation. *)
+
+val all : (string * (Kfi_kcc.Ast.func list * Kfi_asm.Assembler.item list)) list
+(** Program name -> (functions, data items). *)
+
+val names : string list
+(** Workload names in boot-parameter order. *)
+
+val index_of : string -> int
+(** Boot-parameter index of a workload name.  @raise Invalid_argument. *)
+
+val binary : string -> bytes
+(** The compiled user-mode binary of a workload. *)
+
+val fs_files : unit -> (string * bytes) list
+(** Path/content pairs for {!Kfi_fsimage.Mkfs.create}: the workload
+    binaries under /bin plus seed files (/tmp, /etc/motd). *)
+
+val manifest : unit -> (string * Digest.t) list
+(** Digests of the system binaries whose damage means the machine cannot
+    come back up (the fsck "most severe" trigger). *)

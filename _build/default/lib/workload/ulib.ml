@@ -1,0 +1,118 @@
+(* User-level runtime library linked into every workload binary: syscall
+   wrappers (int 0x80, Linux i386 ABI) and minimal stdio. *)
+
+open Kfi_isa.Insn
+open Kfi_asm.Assembler
+open Kfi_kcc.C
+module L = Kfi_kernel.Layout
+
+(* syscall3(nr, a, b, c): eax = nr, ebx/ecx/edx = args *)
+let syscall3_items =
+  [
+    Fn_start ("syscall3", "user");
+    Ins (Mov_r_rm (eax, Mem (mb esp 4)));
+    Ins (Mov_r_rm (ebx, Mem (mb esp 8)));
+    Ins (Mov_r_rm (ecx, Mem (mb esp 12)));
+    Ins (Mov_r_rm (edx, Mem (mb esp 16)));
+    Ins (Int_ 0x80);
+    Ins Ret;
+    Fn_end "syscall3";
+  ]
+
+let sc nr args =
+  let pad = function
+    | [] -> [ num 0; num 0; num 0 ]
+    | [ a ] -> [ a; num 0; num 0 ]
+    | [ a; b ] -> [ a; b; num 0 ]
+    | [ a; b; c ] -> [ a; b; c ]
+    | _ -> invalid_arg "sc: too many args"
+  in
+  call "syscall3" (num nr :: pad args)
+
+let u_exit e = sc L.sys_exit_nr [ e ]
+let u_fork = sc L.sys_fork_nr []
+let u_read fd buf n = sc L.sys_read_nr [ fd; buf; n ]
+let u_write fd buf n = sc L.sys_write_nr [ fd; buf; n ]
+let u_open path flags = sc L.sys_open_nr [ path; flags ]
+let u_close fd = sc L.sys_close_nr [ fd ]
+let u_waitpid pid status = sc L.sys_waitpid_nr [ pid; status ]
+let u_creat path = sc L.sys_creat_nr [ path ]
+let u_unlink path = sc L.sys_unlink_nr [ path ]
+let u_lseek fd off whence = sc L.sys_lseek_nr [ fd; off; whence ]
+let u_getpid = sc L.sys_getpid_nr []
+let u_getuid = sc L.sys_getuid_nr []
+let u_umask v = sc L.sys_umask_nr [ v ]
+let u_times = sc L.sys_times_nr []
+let u_sync = sc L.sys_sync_nr []
+let u_pipe fds = sc L.sys_pipe_nr [ fds ]
+let u_brk v = sc L.sys_brk_nr [ v ]
+let u_execve path = sc L.sys_execve_nr [ path ]
+let u_link old new_ = sc L.sys_link_nr [ old; new_ ]
+let u_mkdir path = sc L.sys_mkdir_nr [ path; num 0o755 ]
+let u_rmdir path = sc L.sys_rmdir_nr [ path ]
+let u_stat path buf = sc L.sys_stat_nr [ path; buf ]
+let u_fstat fd buf = sc L.sys_fstat_nr [ fd; buf ]
+let u_dup fd = sc L.sys_dup_nr [ fd ]
+let u_dup2 fd nfd = sc L.sys_dup2_nr [ fd; nfd ]
+let u_getppid = sc L.sys_getppid_nr []
+let u_yield = sc L.sys_yield_nr []
+
+let ustrlen_fn =
+  func "ustrlen" ~subsys:"user" ~params:[ "s" ]
+    [
+      decl "p" (l "s");
+      while_ (lod8 (l "p") <>. num 0) [ set "p" (l "p" + num 1) ];
+      ret (l "p" - l "s");
+    ]
+
+let print_fn =
+  func "print" ~subsys:"user" ~params:[ "s" ]
+    [ ret (u_write (num 1) (l "s") (call "ustrlen" [ l "s" ])) ]
+
+(* unsigned decimal via a small static buffer *)
+let print_udec_fn =
+  func "print_udec" ~subsys:"user" ~params:[ "v" ]
+    [
+      decl "buf" (addr "numbuf" + num 15);
+      sto8 (l "buf") (num 0);
+      decl "x" (l "v");
+      if_ (l "x" ==. num 0)
+        [ set "buf" (l "buf" - num 1); sto8 (l "buf") (num 48) ]
+        [
+          while_ (l "x" >% num 0)
+            [
+              set "buf" (l "buf" - num 1);
+              sto8 (l "buf") (num 48 + (l "x" mod num 10));
+              set "x" (l "x" / num 10);
+            ];
+        ];
+      ret (u_write (num 1) (l "buf") (addr "numbuf" + num 15 - l "buf"));
+    ]
+
+let lib_funcs = [ ustrlen_fn; print_fn; print_udec_fn ]
+
+let lib_data =
+  [ Align 4; Label "numbuf"; Zeros 16 ]
+
+let ustr label s = [ Label label; Bytes_ (s ^ "\000") ]
+
+(* _start: call main, then exit(main()) *)
+let start_items =
+  [
+    Label "_start";
+    Call_sym "main";
+    Ins (Mov_rm_r (Reg ebx, eax));
+    Ins (Mov_ri (eax, Int32.of_int L.sys_exit_nr));
+    Ins (Int_ 0x80);
+    Ins Hlt; (* unreachable; faults if exit fails *)
+  ]
+
+(* Assemble a full workload binary (entry at the image start). *)
+let build_binary ~funcs ~data =
+  let items =
+    start_items @ syscall3_items
+    @ Kfi_kcc.Codegen.compile_funcs (funcs @ lib_funcs)
+    @ [ Align 4 ] @ data @ lib_data
+  in
+  let r = assemble ~base:(Int32.of_int L.user_text) items in
+  r.code

@@ -1,0 +1,56 @@
+(** User-level runtime library linked into every workload binary:
+    syscall wrappers (int 0x80, Linux i386 ABI — eax = number, args in
+    ebx/ecx/edx) and minimal stdio. *)
+
+open Kfi_kcc.Ast
+
+val sc : int -> expr list -> expr
+(** [sc nr args] — a raw system call (up to three arguments). *)
+
+(** Wrappers over {!sc}, named after their libc counterparts. *)
+
+val u_exit : expr -> expr
+val u_fork : expr
+val u_read : expr -> expr -> expr -> expr
+val u_write : expr -> expr -> expr -> expr
+val u_open : expr -> expr -> expr
+val u_close : expr -> expr
+val u_waitpid : expr -> expr -> expr
+val u_creat : expr -> expr
+val u_unlink : expr -> expr
+val u_lseek : expr -> expr -> expr -> expr
+val u_getpid : expr
+val u_getuid : expr
+val u_umask : expr -> expr
+val u_times : expr
+val u_sync : expr
+val u_pipe : expr -> expr
+val u_brk : expr -> expr
+val u_execve : expr -> expr
+val u_link : expr -> expr -> expr
+val u_mkdir : expr -> expr
+val u_rmdir : expr -> expr
+val u_stat : expr -> expr -> expr
+val u_fstat : expr -> expr -> expr
+val u_dup : expr -> expr
+val u_dup2 : expr -> expr -> expr
+val u_getppid : expr
+val u_yield : expr
+
+val lib_funcs : func list
+(** ustrlen, print (fd 1), print_udec. *)
+
+val lib_data : Kfi_asm.Assembler.item list
+
+val ustr : string -> string -> Kfi_asm.Assembler.item list
+(** [ustr label s] — a NUL-terminated string constant. *)
+
+val start_items : Kfi_asm.Assembler.item list
+(** The _start stub: call main, then exit(main()). *)
+
+val syscall3_items : Kfi_asm.Assembler.item list
+
+val build_binary :
+  funcs:func list -> data:Kfi_asm.Assembler.item list -> bytes
+(** Assemble a complete workload binary (entry at the image start),
+    linking in the runtime library. *)

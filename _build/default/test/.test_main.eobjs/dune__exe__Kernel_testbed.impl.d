@@ -1,0 +1,1 @@
+test/kernel_testbed.ml: Alcotest Kfi_fsimage Kfi_isa Kfi_kernel Kfi_workload List Machine String Trap

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Experiment Kfi_analysis Kfi_injector Kfi_isa List Outcome String Target

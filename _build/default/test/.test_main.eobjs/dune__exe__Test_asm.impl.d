@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Bytes Char Disasm Insn Kfi_asm Kfi_isa List String

@@ -1,0 +1,1 @@
+test/test_casestudies.ml: Alcotest Bytes Char Cpu Decode Devices Disasm Insn Int32 Kfi_asm Kfi_isa Machine Testbed Trap

@@ -1,0 +1,1 @@
+test/test_fsimage.ml: Alcotest Bytes Char Digest Int32 Kfi_fsimage Kfi_kernel Kfi_workload List QCheck QCheck_alcotest Random String

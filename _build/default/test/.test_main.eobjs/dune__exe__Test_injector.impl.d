@@ -1,0 +1,1 @@
+test/test_injector.ml: Alcotest Array Bytes Char Hashtbl Int32 Kfi_asm Kfi_injector Kfi_isa Kfi_kernel Kfi_workload Lazy List Option Outcome Runner Target

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Bytes Char Cpu Decode Devices Disasm Encode Format Insn Int32 Kfi_asm Kfi_isa List Machine Mmu Phys Printf QCheck QCheck_alcotest String Testbed Trap

@@ -1,0 +1,1 @@
+test/test_kcc.ml: Alcotest Array Ast C Codegen Gen Int32 Kfi_asm Kfi_isa Kfi_kcc List Printf QCheck QCheck_alcotest Stdlib Testbed

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Int32 Kernel_testbed Kfi_asm Kfi_fsimage Kfi_isa Kfi_kcc Kfi_kernel Kfi_workload List Printf Stdlib String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_analysis Test_asm Test_casestudies Test_fsimage Test_injector Test_isa Test_kcc Test_kernel

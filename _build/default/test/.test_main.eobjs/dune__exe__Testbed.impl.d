@@ -1,0 +1,1 @@
+test/testbed.ml: Array Cpu Devices Insn Int32 Kfi_asm Kfi_isa Kfi_kcc Machine Mmu Phys Trap

@@ -1,0 +1,49 @@
+(* Shared helpers for kernel-level tests: boot the real kernel with either
+   the standard workloads or a custom user program in /bin. *)
+
+open Kfi_isa
+
+let default_files () = Kfi_workload.Progs.fs_files ()
+
+(* Boot and run workload [name]; returns (exit code option, console, machine). *)
+let run_workload ?(max_cycles = 30_000_000) ?(files = default_files ()) name =
+  let disk_image = Kfi_fsimage.Mkfs.create files in
+  let wl = Kfi_workload.Progs.index_of name in
+  let m, b = Kfi_kernel.Build.boot_machine ~workload:wl ~disk_image () in
+  let result =
+    match Machine.run m ~max_cycles with
+    | Machine.Snapshot_point -> Machine.run m ~max_cycles
+    | other -> other
+  in
+  (result, Machine.console_contents m, m, b)
+
+(* Run a custom user program: compiled with the workload ulib and placed
+   at /bin/syscall (workload slot 0). *)
+let run_custom ?(max_cycles = 30_000_000) ?(extra_files = []) ~funcs ~data () =
+  let bin = Kfi_workload.Ulib.build_binary ~funcs ~data in
+  let files =
+    ("/bin/syscall", bin)
+    :: List.filter (fun (p, _) -> p <> "/bin/syscall") (default_files ())
+    @ extra_files
+  in
+  let disk_image = Kfi_fsimage.Mkfs.create files in
+  let m, b = Kfi_kernel.Build.boot_machine ~workload:0 ~disk_image () in
+  let result =
+    match Machine.run m ~max_cycles with
+    | Machine.Snapshot_point -> Machine.run m ~max_cycles
+    | other -> other
+  in
+  (result, Machine.console_contents m, m, b)
+
+let expect_exit name result =
+  match result with
+  | Machine.Powered_off code -> code
+  | Machine.Halted -> Alcotest.failf "%s: halted (crash)" name
+  | Machine.Watchdog -> Alcotest.failf "%s: watchdog hang" name
+  | Machine.Reset t -> Alcotest.failf "%s: reset (%s)" name (Trap.name t.Trap.vector)
+  | Machine.Snapshot_point -> Alcotest.failf "%s: unexpected snapshot point" name
+
+let console_has console needle =
+  let nh = String.length console and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub console i nn = needle || go (i + 1)) in
+  go 0

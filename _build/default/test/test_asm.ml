@@ -1,0 +1,139 @@
+(* Assembler tests: label resolution, branch relaxation, metadata. *)
+
+open Kfi_isa
+open Kfi_asm.Assembler
+open Insn
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let test_forward_backward_labels () =
+  let items =
+    [
+      Label "a";
+      Ins Nop;
+      Jmp_sym "b";
+      Ins Nop;
+      Label "b";
+      Jmp_sym "a";
+    ]
+  in
+  let r = assemble ~base:0x1000l items in
+  check Alcotest.int32 "a" 0x1000l (symbol r "a");
+  (* nop(1) + jmp8(2) + nop(1) = b at +4 *)
+  check Alcotest.int32 "b" 0x1004l (symbol r "b")
+
+let test_branch_relaxation () =
+  (* A branch over >127 bytes must widen to the rel32 form. *)
+  let big = List.init 100 (fun _ -> Ins (Mov_ri (eax, 0l))) in
+  let items = [ Jcc_sym (E, "far") ] @ big @ [ Label "far"; Ins Ret ] in
+  let r = assemble ~base:0l items in
+  (* 100 movs of 5 bytes = 500 > 127: expect 6-byte jcc *)
+  check int "first insn is wide jcc" 0x0F (Char.code (Bytes.get r.code 0));
+  let items_near = [ Jcc_sym (E, "near"); Ins Nop; Label "near"; Ins Ret ] in
+  let r2 = assemble ~base:0l items_near in
+  check int "short jcc opcode" 0x74 (Char.code (Bytes.get r2.code 0))
+
+let test_insn_metadata () =
+  let items =
+    [
+      Fn_start ("f", "fs");
+      Ins Nop;
+      Jcc_sym (E, "x");
+      Label "x";
+      Ins Ret;
+      Fn_end "f";
+    ]
+  in
+  let r = assemble ~base:0l items in
+  check int "three instructions" 3 (List.length r.insns);
+  let branches = List.filter (fun i -> Insn.is_conditional_branch i.i_insn) r.insns in
+  check int "one conditional branch" 1 (List.length branches);
+  (match r.fns with
+   | [ f ] ->
+     check Alcotest.string "fn name" "f" f.f_name;
+     check Alcotest.string "fn subsys" "fs" f.f_subsys;
+     check int "fn off" 0 f.f_off;
+     check int "fn size" 4 f.f_size (* nop 1 + jcc8 2 + ret 1 *)
+   | _ -> Alcotest.fail "expected one function");
+  List.iter
+    (fun i -> check (Alcotest.option Alcotest.string) "fn attribution" (Some "f") i.i_fn)
+    r.insns
+
+let test_undefined_symbol () =
+  Alcotest.check_raises "undefined" (Undefined_symbol "nope") (fun () ->
+      ignore (assemble ~base:0l [ Jmp_sym "nope" ]))
+
+let test_duplicate_symbol () =
+  Alcotest.check_raises "duplicate" (Duplicate_symbol "a") (fun () ->
+      ignore (assemble ~base:0l [ Label "a"; Label "a" ]))
+
+let test_data_directives () =
+  let items =
+    [
+      Label "tbl";
+      Word32 0x11223344l;
+      Word32_sym "fn";
+      Align 16;
+      Label "fn";
+      Ins Ret;
+      Bytes_ "hi";
+      Zeros 3;
+    ]
+  in
+  let r = assemble ~base:0x100l items in
+  check Alcotest.int32 "word" 0x11223344l (Bytes.get_int32_le r.code 0);
+  check Alcotest.int32 "sym word = fn addr" (symbol r "fn") (Bytes.get_int32_le r.code 4);
+  check Alcotest.int32 "aligned" 0x110l (symbol r "fn");
+  check int "total size" (16 + 1 + 2 + 3) (Bytes.length r.code)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_disasm_listing () =
+  let items = [ Ins (Mov_ri (eax, 5l)); Jcc_sym (E, "l"); Label "l"; Ins Ret ] in
+  let r = assemble ~base:0xC0100000l items in
+  let text = Disasm.range ~base:0xC0100000l r.code ~off:0 ~len:(Bytes.length r.code) in
+  check Alcotest.bool "mentions je" true (contains text "je");
+  check Alcotest.bool "shows kernel addresses" true (contains text "c0100000:")
+
+let suite =
+  [
+    Alcotest.test_case "labels" `Quick test_forward_backward_labels;
+    Alcotest.test_case "branch relaxation" `Quick test_branch_relaxation;
+    Alcotest.test_case "instruction metadata" `Quick test_insn_metadata;
+    Alcotest.test_case "undefined symbol" `Quick test_undefined_symbol;
+    Alcotest.test_case "duplicate symbol" `Quick test_duplicate_symbol;
+    Alcotest.test_case "data directives" `Quick test_data_directives;
+    Alcotest.test_case "disasm listing" `Quick test_disasm_listing;
+  ]
+
+let test_listing () =
+  let items =
+    [
+      Fn_start ("f", "fs");
+      Ins Nop;
+      Jcc_sym (E, "x");
+      Label "x";
+      Ins Ret;
+      Fn_end "f";
+      Fn_start ("g", "mm");
+      Ins Ret;
+      Fn_end "g";
+    ]
+  in
+  let r = assemble ~base:0xC0100000l items in
+  (match Kfi_asm.Listing.of_function r "f" with
+   | Some s ->
+     check Alcotest.bool "header" true (contains s "<f>");
+     check Alcotest.bool "je line" true (contains s "je")
+   | None -> Alcotest.fail "function not found");
+  let all = Kfi_asm.Listing.of_result r in
+  check Alcotest.bool "both functions" true (contains all "<f>" && contains all "<g>");
+  let summary = Kfi_asm.Listing.function_summary r in
+  check Alcotest.bool "summary columns" true (contains summary "branches");
+  check Alcotest.bool "g row" true (contains summary "g")
+
+let suite = suite @ [ Alcotest.test_case "listings" `Quick test_listing ]

@@ -1,0 +1,147 @@
+(* mkfs/fsck tests: a fresh image is clean; targeted corruptions are
+   classified at the right severity; fsck is total on random damage. *)
+
+module L = Kfi_kernel.Layout
+module Mkfs = Kfi_fsimage.Mkfs
+module Fsck = Kfi_fsimage.Fsck
+
+let check = Alcotest.check
+
+let files () =
+  [
+    ("/bin/prog", Bytes.of_string (String.init 3000 (fun i -> Char.chr (i mod 256))));
+    ("/etc/motd", Bytes.of_string "hello\n");
+    ("/tmp/seed", Bytes.of_string "x");
+  ]
+
+let manifest fs = List.map (fun (p, c) -> (p, Digest.bytes c)) fs
+
+let severity = function
+  | Fsck.Clean -> "normal"
+  | Fsck.Repairable _ -> "severe"
+  | Fsck.Unrecoverable _ -> "most severe"
+
+let test_fresh_image_clean () =
+  let fs = files () in
+  let img = Mkfs.create fs in
+  check Alcotest.string "clean" "normal" (severity (Fsck.check ~manifest:(manifest fs) img))
+
+let test_workload_image_clean () =
+  let fs = Kfi_workload.Progs.fs_files () in
+  let img = Mkfs.create fs in
+  check Alcotest.string "clean" "normal"
+    (severity (Fsck.check ~manifest:(Kfi_workload.Progs.manifest ()) img))
+
+let test_bad_magic () =
+  let img = Mkfs.create (files ()) in
+  Bytes.set_int32_le img 0 0l;
+  check Alcotest.string "bad magic" "most severe" (severity (Fsck.check img))
+
+let test_root_corrupted () =
+  let img = Mkfs.create (files ()) in
+  (* root inode mode -> regular file *)
+  let root_off = (L.fs_itable_start * L.block_size) + ((L.root_ino - 1) * L.disk_inode_size) in
+  Bytes.set_int32_le img root_off (Int32.of_int L.mode_reg);
+  check Alcotest.string "root not dir" "most severe" (severity (Fsck.check img))
+
+let test_block_bitmap_cleared () =
+  let fs = files () in
+  let img = Mkfs.create fs in
+  (* clear the bitmap bit of the first data block (used by a directory) *)
+  let off = (L.fs_block_bitmap * L.block_size) + (L.fs_data_start / 8) in
+  let bit = L.fs_data_start mod 8 in
+  Bytes.set img off (Char.chr (Char.code (Bytes.get img off) land lnot (1 lsl bit)));
+  match Fsck.check img with
+  | Fsck.Repairable _ -> ()
+  | other -> Alcotest.failf "expected repairable, got %s" (severity other)
+
+let test_orphan_block () =
+  let img = Mkfs.create (files ()) in
+  (* mark a far-away unused block as allocated *)
+  let blk = 3000 in
+  let off = (L.fs_block_bitmap * L.block_size) + (blk / 8) in
+  Bytes.set img off (Char.chr (Char.code (Bytes.get img off) lor (1 lsl (blk mod 8))));
+  match Fsck.check img with
+  | Fsck.Repairable ps ->
+    check Alcotest.bool "mentions orphan" true
+      (List.exists (fun p -> String.length p >= 6 && String.sub p 0 6 = "orphan") ps)
+  | other -> Alcotest.failf "expected repairable, got %s" (severity other)
+
+let test_damaged_system_file () =
+  let fs = files () in
+  let img = Mkfs.create fs in
+  (* flip one byte in /bin/prog's data: find its content block by scanning *)
+  let target = Bytes.get (List.assoc "/bin/prog" fs) 100 in
+  let found = ref false in
+  (try
+     for b = L.fs_data_start to L.fs_nblocks - 1 do
+       let off = (b * L.block_size) + 100 in
+       if (not !found) && Bytes.get img off = target
+          && Bytes.get img (b * L.block_size) = Bytes.get (List.assoc "/bin/prog" fs) 0
+       then begin
+         Bytes.set img off (Char.chr (Char.code target lxor 0xff));
+         found := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  check Alcotest.bool "found content block" true !found;
+  check Alcotest.string "damaged binary" "most severe"
+    (severity (Fsck.check ~manifest:(manifest fs) img))
+
+let test_out_of_range_pointer () =
+  let fs = files () in
+  let img = Mkfs.create fs in
+  (* first direct block pointer of inode 2 -> garbage *)
+  let ioff = (L.fs_itable_start * L.block_size) + (1 * L.disk_inode_size) in
+  Bytes.set_int32_le img (ioff + L.d_blocks) 99999l;
+  check Alcotest.string "bad pointer" "most severe" (severity (Fsck.check img))
+
+let test_dirent_to_free_inode () =
+  let fs = files () in
+  let img = Mkfs.create fs in
+  (* clear /etc/motd's inode bitmap bit but keep the dirent *)
+  (* motd is the 4th inode allocated: root=1, /bin=2, prog=3, /etc=4, motd=5 *)
+  let ino = 5 in
+  let off = (L.fs_inode_bitmap * L.block_size) + (ino / 8) in
+  Bytes.set img off (Char.chr (Char.code (Bytes.get img off) land lnot (1 lsl (ino mod 8))));
+  match Fsck.check img with
+  | Fsck.Repairable _ -> ()
+  | other -> Alcotest.failf "expected repairable, got %s" (severity other)
+
+(* fsck must classify without raising, whatever the damage *)
+let prop_fsck_total =
+  QCheck.Test.make ~name:"fsck is total on random corruption" ~count:60
+    QCheck.(pair (int_bound (L.fs_nblocks * L.block_size - 1)) (int_bound 255))
+    (fun (off, v) ->
+      let img = Mkfs.create (files ()) in
+      Bytes.set img off (Char.chr v);
+      match Fsck.check img with
+      | Fsck.Clean | Fsck.Repairable _ | Fsck.Unrecoverable _ -> true)
+
+let prop_fsck_total_burst =
+  QCheck.Test.make ~name:"fsck is total on burst corruption" ~count:30
+    QCheck.(pair (int_bound (L.fs_nblocks - 1)) small_nat)
+    (fun (blk, seed) ->
+      let img = Mkfs.create (files ()) in
+      let st = Random.State.make [| seed |] in
+      for i = 0 to L.block_size - 1 do
+        Bytes.set img ((blk * L.block_size) + i) (Char.chr (Random.State.int st 256))
+      done;
+      match Fsck.check img with
+      | Fsck.Clean | Fsck.Repairable _ | Fsck.Unrecoverable _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "fresh image clean" `Quick test_fresh_image_clean;
+    Alcotest.test_case "workload image clean" `Quick test_workload_image_clean;
+    Alcotest.test_case "bad magic -> most severe" `Quick test_bad_magic;
+    Alcotest.test_case "root corrupted -> most severe" `Quick test_root_corrupted;
+    Alcotest.test_case "cleared bitmap -> severe" `Quick test_block_bitmap_cleared;
+    Alcotest.test_case "orphan block -> severe" `Quick test_orphan_block;
+    Alcotest.test_case "damaged system file -> most severe" `Quick test_damaged_system_file;
+    Alcotest.test_case "bad block pointer -> most severe" `Quick test_out_of_range_pointer;
+    Alcotest.test_case "dirent to free inode -> severe" `Quick test_dirent_to_free_inode;
+    QCheck_alcotest.to_alcotest prop_fsck_total;
+    QCheck_alcotest.to_alcotest prop_fsck_total_burst;
+  ]

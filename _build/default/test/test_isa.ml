@@ -1,0 +1,607 @@
+(* ISA tests: encode/decode round trips, instruction semantics, flags,
+   MMU translation, trap delivery, debug registers. *)
+
+open Kfi_isa
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let i32 = Alcotest.testable (fun fmt v -> Format.fprintf fmt "0x%lx" v) Int32.equal
+
+(* ---------- encode/decode ---------- *)
+
+let decode_one bytes =
+  match Decode.decode_bytes bytes 0 with
+  | Decode.Ok (i, len) -> (i, len)
+  | Decode.Invalid -> failwith "unexpected invalid decode"
+
+let test_roundtrip_simple () =
+  let open Insn in
+  let cases =
+    [
+      Nop; Hlt; Ret; Leave; Lret; Int3; Ud2; Pusha; Popa; Iret; Cli; Sti;
+      Cdq; Rdtsc; Diskrd; Diskwr; In_al; Out_al;
+      Mov_ri (eax, 0xdeadbeefl);
+      Mov_ri (edi, 42l);
+      Push_r ebp; Pop_r edx; Push_i 0x1234l; Push_i8 (-5l);
+      Inc_r esi; Dec_r ecx;
+      Mov_rm_r (Reg ebx, eax);
+      Mov_r_rm (ecx, Mem (mb ebp (-8)));
+      Mov_rm_i (Mem (mabs 0xC0200000l), 7l);
+      Movb_rm_r (Mem (mb edi 3), eax);
+      Movb_r_rm (edx, Mem (mb esi 0));
+      Movzbl (eax, Mem (mb ebx 27));
+      Alu_rm_r (Add, Reg eax, edx);
+      Alu_r_rm (Sub, ecx, Mem (mb esp 4));
+      Alu_eax_i (And, 0xff00l);
+      Alu_rm_i (Cmp, Reg edx, 1000l);
+      Alu_rm_i8 (Xor, Reg eax, -1l);
+      Test_rm_r (Reg edx, edx);
+      Not_rm (Reg eax); Neg_rm (Mem (mb ebp (-4)));
+      Mul_rm (Reg ecx); Div_rm (Reg esi);
+      Imul_r_rm (eax, Reg edx);
+      Shift_i (Shl, Reg eax, 12); Shift_i (Sar, Reg edx, 1);
+      Shift_cl (Shr, Reg eax);
+      Shrd (Reg eax, edx, 12);
+      Lea (eax, mem ~base:edx ~index:(eax, 4) 0l);
+      Lea (ecx, mem ~index:(ebx, 8) 0x100l);
+      Jmp 0x1000l; Jmp8 (-2l);
+      Jcc (E, 0x200l); Jcc8 (NE, 40l); Jcc8 (L, -86l);
+      Call 0x500l; Call_rm (Reg eax); Call_rm (Mem (mb ebx 12));
+      Jmp_rm (Reg edx); Push_rm (Mem (mb ebp 8));
+      Inc_rm (Mem (mabs 0xC0100000l)); Dec_rm (Reg edi);
+      Int_ 0x80;
+      Mov_cr_r (3, eax); Mov_r_cr (edx, 2);
+    ]
+  in
+  List.iter
+    (fun insn ->
+      let b = Encode.encode insn in
+      let insn', len = decode_one b in
+      check bool (Disasm.to_string insn) true (insn = insn' && len = Bytes.length b))
+    cases
+
+(* Paper Table 6: bit flips on branch opcodes. *)
+let test_paper_byte_patterns () =
+  let dec2 b0 b1 = Decode.decode_bytes (Bytes.of_string (Printf.sprintf "%c%c" (Char.chr b0) (Char.chr b1))) 0 in
+  (match dec2 0x74 0x56 with
+   | Decode.Ok (Insn.Jcc8 (Insn.E, 0x56l), 2) -> ()
+   | _ -> Alcotest.fail "74 56 should be je +0x56");
+  (match dec2 0x7C 0x56 with
+   | Decode.Ok (Insn.Jcc8 (Insn.L, 0x56l), 2) -> ()
+   | _ -> Alcotest.fail "7c 56 should be jl +0x56");
+  (* 0x75: flipping bit0 of je reverses the condition (campaign C) *)
+  (match dec2 0x75 0x10 with
+   | Decode.Ok (Insn.Jcc8 (Insn.NE, 0x10l), 2) -> ()
+   | _ -> Alcotest.fail "75 should be jne");
+  (* 0x34 is a hole in our opcode map (xor-al-imm8 on x86): invalid *)
+  (match dec2 0x34 0x56 with
+   | Decode.Invalid -> ()
+   | _ -> Alcotest.fail "34 should be invalid");
+  (* ud2 *)
+  (match dec2 0x0F 0x0B with
+   | Decode.Ok (Insn.Ud2, 2) -> ()
+   | _ -> Alcotest.fail "0f 0b should be ud2")
+
+(* qcheck: random instructions round-trip through encode/decode. *)
+let gen_insn =
+  let open QCheck.Gen in
+  let reg = int_range 0 7 in
+  let reg_no_esp = oneofl [ 0; 1; 2; 3; 5; 6; 7 ] in
+  let disp = oneofl [ 0l; 4l; -4l; 124l; -128l; 0x1000l; 0xC0100000l ] in
+  let mem =
+    oneof
+      [
+        map2 (fun b d -> Insn.mem ~base:b d) reg disp;
+        map (fun d -> Insn.mem d) disp;
+        map3
+          (fun b i d -> Insn.mem ~base:b ~index:(i, 4) d)
+          reg reg_no_esp disp;
+      ]
+  in
+  let rm = oneof [ map (fun r -> Insn.Reg r) reg; map (fun m -> Insn.Mem m) mem ] in
+  let imm = oneofl [ 0l; 1l; -1l; 0x7fl; 0x80l; 0xdeadbeefl ] in
+  let cond = map Insn.cond_of_code (int_range 0 15) in
+  let alu = oneofl Insn.[ Add; Or; And; Sub; Xor; Cmp ] in
+  oneof
+    [
+      return Insn.Nop;
+      map2 (fun r v -> Insn.Mov_ri (r, v)) reg imm;
+      map2 (fun rm r -> Insn.Mov_rm_r (rm, r)) rm reg;
+      map2 (fun r rm -> Insn.Mov_r_rm (r, rm)) reg rm;
+      map2 (fun rm v -> Insn.Mov_rm_i (rm, v)) rm imm;
+      map3 (fun a rm r -> Insn.Alu_rm_r (a, rm, r)) alu rm reg;
+      map3 (fun a r rm -> Insn.Alu_r_rm (a, r, rm)) alu reg rm;
+      map2 (fun r rm -> Insn.Movzbl (r, rm)) reg rm;
+      map2 (fun c rel -> Insn.Jcc8 (c, rel)) cond (map Int32.of_int (int_range (-128) 127));
+      map2 (fun c rel -> Insn.Jcc (c, rel)) cond imm;
+      map (fun rm -> Insn.Call_rm rm) rm;
+      map (fun rm -> Insn.Div_rm rm) rm;
+    ]
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"encode/decode roundtrip" ~count:2000
+    (QCheck.make gen_insn ~print:(fun i -> Disasm.to_string i))
+    (fun insn ->
+      let b = Encode.encode insn in
+      match Decode.decode_bytes b 0 with
+      | Decode.Ok (insn', len) -> insn = insn' && len = Bytes.length b
+      | Decode.Invalid -> false)
+
+(* Any byte string either decodes to something re-encodable to the same
+   bytes, or is invalid — the decoder must never crash or loop. *)
+let prop_decode_total =
+  QCheck.Test.make ~name:"decoder is total on random bytes" ~count:2000
+    QCheck.(string_of_size (QCheck.Gen.int_range 1 16))
+    (fun s ->
+      let b = Bytes.of_string (s ^ String.make 16 '\x90') in
+      match Decode.decode_bytes b 0 with
+      | Decode.Ok (_, len) -> len >= 1 && len <= 16
+      | Decode.Invalid -> true)
+
+(* ---------- execution semantics ---------- *)
+
+open Kfi_asm.Assembler
+open Insn
+
+let run_and_exit items = Testbed.exit_code (snd (Testbed.run_items items))
+
+let exit_with_al =
+  [ Ins (Mov_ri (edx, Int32.of_int Devices.poweroff_port)); Ins Out_al; Ins Hlt ]
+
+let test_arith_exec () =
+  let code =
+    [ Ins (Mov_ri (eax, 40l)); Ins (Alu_rm_i8 (Add, Reg eax, 2l)) ] @ exit_with_al
+  in
+  check int "40+2" 42 (run_and_exit code)
+
+let test_stack_exec () =
+  let code =
+    [
+      Ins (Mov_ri (eax, 7l));
+      Ins (Push_r eax);
+      Ins (Mov_ri (eax, 0l));
+      Ins (Pop_r ecx);
+      Ins (Mov_rm_r (Reg eax, ecx));
+    ]
+    @ exit_with_al
+  in
+  check int "push/pop" 7 (run_and_exit code)
+
+let test_loop_exec () =
+  (* sum 1..10 = 55 *)
+  let code =
+    [
+      Ins (Mov_ri (eax, 0l));
+      Ins (Mov_ri (ecx, 10l));
+      Label "loop";
+      Ins (Alu_rm_r (Add, Reg eax, ecx));
+      Ins (Dec_r ecx);
+      Ins (Test_rm_r (Reg ecx, ecx));
+      Jcc_sym (NE, "loop");
+    ]
+    @ exit_with_al
+  in
+  check int "sum 1..10" 55 (run_and_exit code)
+
+let test_mul_div () =
+  let code =
+    [
+      Ins (Mov_ri (eax, 13l));
+      Ins (Mov_ri (ecx, 5l));
+      Ins (Mul_rm (Reg ecx));     (* eax = 65 *)
+      Ins (Mov_ri (ecx, 7l));
+      Ins (Alu_rm_r (Xor, Reg edx, edx));
+      Ins (Div_rm (Reg ecx));     (* 65 / 7 = 9 rem 2 *)
+      Ins (Alu_rm_r (Add, Reg eax, edx)) (* 9 + 2 = 11 *);
+    ]
+    @ exit_with_al
+  in
+  check int "mul/div" 11 (run_and_exit code)
+
+let test_cond_flags () =
+  (* 5 - 7 sets SF<>OF: jl taken *)
+  let code =
+    [
+      Ins (Mov_ri (eax, 5l));
+      Ins (Alu_rm_i8 (Cmp, Reg eax, 7l));
+      Jcc_sym (L, "less");
+      Ins (Mov_ri (eax, 0l));
+      Jmp_sym "out";
+      Label "less";
+      Ins (Mov_ri (eax, 1l));
+      Label "out";
+    ]
+    @ exit_with_al
+  in
+  check int "jl after 5 cmp 7" 1 (run_and_exit code)
+
+let test_unsigned_branch () =
+  (* 0xFFFFFFFF > 1 unsigned (ja), but < 1 signed (jl) *)
+  let code =
+    [
+      Ins (Mov_ri (eax, -1l));
+      Ins (Alu_rm_i8 (Cmp, Reg eax, 1l));
+      Jcc_sym (A, "above");
+      Ins (Mov_ri (eax, 0l));
+      Jmp_sym "out";
+      Label "above";
+      Jcc_sym (L, "both");
+      Ins (Mov_ri (eax, 1l));
+      Jmp_sym "out";
+      Label "both";
+      Ins (Mov_ri (eax, 2l));
+      Label "out";
+    ]
+    @ exit_with_al
+  in
+  check int "ja and jl" 2 (run_and_exit code)
+
+let test_call_ret () =
+  let code =
+    [
+      Call_sym "fn";
+      Ins (Alu_rm_i8 (Add, Reg eax, 1l));
+      Jmp_sym "out";
+      Label "fn";
+      Ins (Mov_ri (eax, 10l));
+      Ins Ret;
+      Label "out";
+    ]
+    @ exit_with_al
+  in
+  check int "call/ret" 11 (run_and_exit code)
+
+let test_memory_exec () =
+  let code =
+    [
+      Ins (Mov_ri (ebx, 0x20000l));
+      Ins (Mov_rm_i (Mem (mb ebx 0), 0x11223344l));
+      Ins (Movzbl (eax, Mem (mb ebx 1)));
+    ]
+    @ exit_with_al
+  in
+  check int "byte of stored word" 0x33 (run_and_exit code)
+
+let test_console_output () =
+  let code =
+    [
+      Ins (Mov_ri (edx, Int32.of_int Devices.console_port));
+      Ins (Mov_ri (eax, Int32.of_int (Char.code 'h')));
+      Ins Out_al;
+      Ins (Mov_ri (eax, Int32.of_int (Char.code 'i')));
+      Ins Out_al;
+      Ins (Mov_ri (eax, 0l));
+    ]
+    @ exit_with_al
+  in
+  let r = Testbed.assemble_items code in
+  let m, result = Testbed.run_bytes r.code in
+  check int "exit" 0 (Testbed.exit_code result);
+  check Alcotest.string "console" "hi" (Machine.console_contents m)
+
+(* ---------- traps and MMU ---------- *)
+
+let test_trap_divide_error () =
+  (* No IDT installed: a divide error triple-faults (reset). *)
+  let items =
+    [ Ins (Mov_ri (eax, 1l)); Ins (Alu_rm_r (Xor, Reg ecx, ecx)); Ins (Div_rm (Reg ecx)) ]
+  in
+  let _, result = Testbed.run_items items in
+  match result with
+  | Machine.Reset t -> check Alcotest.string "vector" "divide error" (Trap.name t.Trap.vector)
+  | _ -> Alcotest.fail "expected reset"
+
+let test_trap_handler_runs () =
+  (* Install an invalid-opcode handler that exits with 0x66. *)
+  let items =
+    [
+      Ins_sym ((fun a -> Mov_ri (eax, a)), "handler");
+      Ins (Mov_rm_r (Mem (mabs (Int32.of_int (Testbed.idt_base + (6 * 4)))), eax));
+      Ins Ud2;
+      Label "handler";
+      Ins (Mov_ri (eax, 0x66l));
+      Ins (Mov_ri (edx, Int32.of_int Devices.poweroff_port));
+      Ins Out_al;
+      Ins Hlt;
+    ]
+  in
+  check int "handler exit" 0x66 (run_and_exit items)
+
+let test_trap_frame_and_iret () =
+  (* A handler that skips the offending ud2 (2 bytes) and returns. *)
+  let items =
+    [
+      Ins_sym ((fun a -> Mov_ri (eax, a)), "handler");
+      Ins (Mov_rm_r (Mem (mabs (Int32.of_int (Testbed.idt_base + (6 * 4)))), eax));
+      Ins Ud2;
+      (* after return: exit 9 *)
+      Ins (Mov_ri (eax, 9l));
+      Ins (Mov_ri (edx, Int32.of_int Devices.poweroff_port));
+      Ins Out_al;
+      Ins Hlt;
+      Label "handler";
+      (* frame: [esp]=err, [esp+4]=eip, ... advance eip past ud2 *)
+      Ins (Alu_rm_i8 (Add, Mem (mb esp 4), 2l));
+      Ins (Alu_rm_i8 (Add, Reg esp, 4l)); (* drop error code *)
+      Ins Iret;
+    ]
+  in
+  check int "iret resume" 9 (run_and_exit items)
+
+let test_page_fault_error_code () =
+  (* Accessing unmapped 8MB faults; no handler -> reset with PF. *)
+  let items = [ Ins (Mov_ri (ebx, 0x800000l)); Ins (Mov_r_rm (eax, Mem (mb ebx 0))) ] in
+  let m, result = Testbed.run_items items in
+  (match result with
+   | Machine.Reset t ->
+     check Alcotest.string "vector" "page fault" (Trap.name t.Trap.vector);
+     check i32 "error code: not-present read kernel" 0l t.Trap.error
+   | _ -> Alcotest.fail "expected reset");
+  check i32 "cr2" 0x800000l (Machine.cpu m).Cpu.cr2
+
+let test_mmu_write_protect () =
+  let m = Testbed.make_machine () in
+  let phys = Machine.phys m in
+  (* Make page 0x5000 read-only by clearing its writable bit in pt0. *)
+  let pte_addr = 0x3000 + (5 * 4) in
+  Phys.write32 phys pte_addr (Int32.of_int (0x5000 lor 0x1));
+  let cpu = Machine.cpu m in
+  let mmu = cpu.Cpu.mmu in
+  (* read ok *)
+  let pa = Mmu.translate mmu ~cr3:cpu.Cpu.cr3 ~user:false ~write:false 0x5010l in
+  check int "ro read" 0x5010 pa;
+  (* write faults with protection|write bits *)
+  (try
+     ignore (Mmu.translate mmu ~cr3:cpu.Cpu.cr3 ~user:false ~write:true 0x5010l);
+     Alcotest.fail "expected fault"
+   with Mmu.Page_fault (va, code) ->
+     check i32 "va" 0x5010l va;
+     check i32 "code" 3l code)
+
+let test_mmu_user_protection () =
+  let m = Testbed.make_machine () in
+  let cpu = Machine.cpu m in
+  let mmu = cpu.Cpu.mmu in
+  (* kernel page not accessible from user mode *)
+  (try
+     ignore (Mmu.translate mmu ~cr3:cpu.Cpu.cr3 ~user:true ~write:false 0x5000l);
+     Alcotest.fail "expected fault"
+   with Mmu.Page_fault (_, code) -> check i32 "code user" 5l code);
+  (* user page accessible from both *)
+  let pa = Mmu.translate mmu ~cr3:cpu.Cpu.cr3 ~user:true ~write:true 0x400123l in
+  check int "user mapped" (Testbed.user_base + 0x123) pa
+
+let test_tlb_flush_on_cr3_write () =
+  let m = Testbed.make_machine () in
+  let cpu = Machine.cpu m in
+  let mmu = cpu.Cpu.mmu in
+  let phys = Machine.phys m in
+  let pa = Mmu.translate mmu ~cr3:cpu.Cpu.cr3 ~user:false ~write:false 0x6000l in
+  check int "initial map" 0x6000 pa;
+  (* Remap vpn 6 -> frame 7 behind the TLB's back, then reload cr3. *)
+  Phys.write32 phys (0x3000 + (6 * 4)) (Int32.of_int (0x7000 lor 0x3));
+  let stale = Mmu.translate mmu ~cr3:cpu.Cpu.cr3 ~user:false ~write:false 0x6000l in
+  check int "tlb caches stale mapping" 0x6000 stale;
+  Mmu.flush mmu;
+  let fresh = Mmu.translate mmu ~cr3:cpu.Cpu.cr3 ~user:false ~write:false 0x6000l in
+  check int "after flush" 0x7000 fresh
+
+let test_debug_register_hook () =
+  let items =
+    [
+      Ins (Mov_ri (eax, 1l));
+      Label "target";
+      Ins (Mov_ri (eax, 2l));
+      Ins (Mov_ri (eax, 3l));
+    ]
+    @ exit_with_al
+  in
+  let r = Testbed.assemble_items items in
+  let m = Testbed.make_machine () in
+  Phys.blit_in (Machine.phys m) ~dst:Testbed.code_base r.code;
+  let cpu = Machine.cpu m in
+  let hits = ref [] in
+  cpu.Cpu.dr.(0) <- symbol r "target";
+  cpu.Cpu.dr7 <- 1;
+  cpu.Cpu.on_debug_hit <-
+    Some
+      (fun c idx ->
+        hits := (c.Cpu.eip, idx) :: !hits;
+        c.Cpu.dr7 <- 0 (* disarm *));
+  let result = Machine.run m ~max_cycles:1000 in
+  check int "exit code" 3 (Testbed.exit_code result);
+  match !hits with
+  | [ (addr, 0) ] -> check i32 "hit addr" (symbol r "target") addr
+  | _ -> Alcotest.fail "expected exactly one debug hit"
+
+let test_rdtsc_monotonic () =
+  let items =
+    [
+      Ins Rdtsc;
+      Ins (Mov_rm_r (Reg ecx, eax));
+      Ins Nop;
+      Ins Nop;
+      Ins Rdtsc;
+      Ins (Alu_rm_r (Sub, Reg eax, ecx)) (* delta cycles *);
+    ]
+    @ exit_with_al
+  in
+  check int "rdtsc delta" 4 (run_and_exit items)
+
+let test_user_mode_privilege () =
+  (* Enter user mode via iret; user hlt must GP-fault -> reset (no IDT). *)
+  let items =
+    [
+      (* Build an iret frame to user code at "ucode" with user stack. *)
+      Ins (Mov_ri (eax, 0x500000l));
+      Ins (Push_r eax);                       (* old_esp: user stack in user region *)
+      Ins (Mov_ri (eax, 0x200l));
+      Ins (Push_r eax);                       (* eflags: IF *)
+      Ins (Mov_ri (eax, 1l));
+      Ins (Push_r eax);                       (* mode: user *)
+      Ins_sym ((fun a -> Mov_ri (eax, a)), "ucode");
+      Ins (Push_r eax);                       (* eip *)
+      Ins Iret;
+      Label "ucode";
+      Ins Hlt;
+    ]
+  in
+  (* user code must live in a user-accessible page: copy it there *)
+  let r = Testbed.assemble_items items in
+  let m = Testbed.make_machine () in
+  (* place whole blob in kernel area but relocate "ucode" into user page *)
+  Phys.blit_in (Machine.phys m) ~dst:Testbed.code_base r.code;
+  (* also copy the hlt to user virtual 0x400000 (phys user_base) *)
+  Phys.write8 (Machine.phys m) Testbed.user_base 0xF4;
+  (* patch the pushed eip to 0x400000 by overriding label: simpler to run
+     with ucode at 0x400000 *)
+  let cpu = Machine.cpu m in
+  cpu.Cpu.eip <- Int32.of_int Testbed.code_base;
+  (* overwrite the Ins_sym'd mov eax, ucode: run as-is; ucode in kernel page
+     would PF from user mode (user bit), also acceptable: both are resets *)
+  let result = Machine.run m ~max_cycles:1000 in
+  match result with
+  | Machine.Reset t ->
+    let n = Trap.name t.Trap.vector in
+    check bool "GP or PF" true (n = "general protection fault" || n = "page fault")
+  | _ -> Alcotest.fail "expected reset"
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip simple" `Quick test_roundtrip_simple;
+    Alcotest.test_case "paper byte patterns" `Quick test_paper_byte_patterns;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_decode_total;
+    Alcotest.test_case "arith exec" `Quick test_arith_exec;
+    Alcotest.test_case "stack exec" `Quick test_stack_exec;
+    Alcotest.test_case "loop exec" `Quick test_loop_exec;
+    Alcotest.test_case "mul/div" `Quick test_mul_div;
+    Alcotest.test_case "signed branch" `Quick test_cond_flags;
+    Alcotest.test_case "unsigned branch" `Quick test_unsigned_branch;
+    Alcotest.test_case "call/ret" `Quick test_call_ret;
+    Alcotest.test_case "memory" `Quick test_memory_exec;
+    Alcotest.test_case "console output" `Quick test_console_output;
+    Alcotest.test_case "divide error resets without IDT" `Quick test_trap_divide_error;
+    Alcotest.test_case "trap handler runs" `Quick test_trap_handler_runs;
+    Alcotest.test_case "trap frame and iret" `Quick test_trap_frame_and_iret;
+    Alcotest.test_case "page fault error code" `Quick test_page_fault_error_code;
+    Alcotest.test_case "mmu write protect" `Quick test_mmu_write_protect;
+    Alcotest.test_case "mmu user protection" `Quick test_mmu_user_protection;
+    Alcotest.test_case "tlb flush on cr3 write" `Quick test_tlb_flush_on_cr3_write;
+    Alcotest.test_case "debug register hook" `Quick test_debug_register_hook;
+    Alcotest.test_case "rdtsc" `Quick test_rdtsc_monotonic;
+    Alcotest.test_case "user-mode privilege" `Quick test_user_mode_privilege;
+  ]
+
+(* --- additional ISA edge cases --- *)
+
+let test_sib_addressing () =
+  (* eax = table[ecx*4] with base+index*scale+disp *)
+  let items =
+    [
+      Ins (Mov_ri (ebx, 0x20000l));
+      Ins (Mov_rm_i (Mem (mb ebx 8), 77l));   (* table[2] = 77 *)
+      Ins (Mov_ri (ecx, 2l));
+      Ins (Mov_r_rm (eax, Mem (mem ~base:ebx ~index:(ecx, 4) 0l)));
+    ]
+    @ exit_with_al
+  in
+  check int "sib load" 77 (run_and_exit items)
+
+let test_page_crossing_instruction () =
+  (* place a 5-byte mov so it straddles a page boundary; it must still
+     decode and execute (such instructions are simply not icached) *)
+  let m = Testbed.make_machine () in
+  let code = Encode.encode (Mov_ri (eax, 42l)) in
+  let start = 0x14000 - 2 in
+  Phys.blit_in (Machine.phys m) ~dst:start code;
+  (* follow with the exit sequence *)
+  let r = Testbed.assemble_items exit_with_al in
+  Phys.blit_in (Machine.phys m) ~dst:(start + Bytes.length code) r.code;
+  let cpu = Machine.cpu m in
+  cpu.Cpu.eip <- Int32.of_int start;
+  check int "page-crossing mov" 42 (Testbed.exit_code (Machine.run m ~max_cycles:100))
+
+let test_pusha_popa_roundtrip () =
+  let items =
+    [
+      Ins (Mov_ri (eax, 1l)); Ins (Mov_ri (ecx, 2l)); Ins (Mov_ri (ebx, 4l));
+      Ins (Mov_ri (esi, 5l)); Ins (Mov_ri (edi, 6l));
+      Ins Pusha;
+      Ins (Mov_ri (eax, 0l)); Ins (Mov_ri (ecx, 0l)); Ins (Mov_ri (ebx, 0l));
+      Ins (Mov_ri (esi, 0l)); Ins (Mov_ri (edi, 0l));
+      Ins Popa;
+      (* sum must be restored: 1+2+4+5+6 = 18 *)
+      Ins (Alu_rm_r (Add, Reg eax, ecx));
+      Ins (Alu_rm_r (Add, Reg eax, ebx));
+      Ins (Alu_rm_r (Add, Reg eax, esi));
+      Ins (Alu_rm_r (Add, Reg eax, edi));
+    ]
+    @ exit_with_al
+  in
+  check int "pusha/popa" 18 (run_and_exit items)
+
+let test_shift_carry_flag () =
+  (* shr 1 of an odd value sets CF; jb (carry) observes it *)
+  let items =
+    [
+      Ins (Mov_ri (eax, 5l));
+      Ins (Shift_i (Shr, Reg eax, 1));
+      Jcc_sym (B, "carry");
+      Ins (Mov_ri (eax, 0l));
+      Jmp_sym "out";
+      Label "carry";
+      Ins (Mov_ri (eax, 1l));
+      Label "out";
+    ]
+    @ exit_with_al
+  in
+  check int "shr sets CF" 1 (run_and_exit items)
+
+let test_div_overflow_faults () =
+  (* quotient > 32 bits: divide error, like x86 *)
+  let items =
+    [
+      Ins (Mov_ri (edx, 2l)); (* dividend = 2 * 2^32 *)
+      Ins (Mov_ri (eax, 0l));
+      Ins (Mov_ri (ecx, 1l));
+      Ins (Div_rm (Reg ecx));
+    ]
+  in
+  match snd (Testbed.run_items items) with
+  | Machine.Reset t -> check Alcotest.string "divide error" "divide error" (Trap.name t.Trap.vector)
+  | _ -> Alcotest.fail "expected divide-error reset"
+
+let test_icache_invalidation_on_self_modify () =
+  (* run a mov twice, patching its immediate in between: the icache must
+     not serve the stale decode *)
+  let items2 =
+    [
+      Ins (Mov_ri (esi, 0l));
+      Label "top";
+      Label "patchme";
+      Ins (Mov_ri (eax, 1l));
+      Ins (Inc_r esi);
+      Ins (Alu_rm_i8 (Cmp, Reg esi, 2l));
+      Jcc_sym (AE, "done");
+      (* first pass: patch the mov's immediate to 99 *)
+      Ins_sym ((fun a -> Mov_ri (ebx, a)), "patchme");
+      Ins (Mov_rm_i (Mem (mb ebx 1), 99l));
+      Jmp_sym "top";
+      Label "done";
+    ]
+    @ exit_with_al
+  in
+  check int "self-modifying code sees new bytes" 99 (run_and_exit items2)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "SIB addressing" `Quick test_sib_addressing;
+      Alcotest.test_case "page-crossing instruction" `Quick test_page_crossing_instruction;
+      Alcotest.test_case "pusha/popa roundtrip" `Quick test_pusha_popa_roundtrip;
+      Alcotest.test_case "shift carry flag" `Quick test_shift_carry_flag;
+      Alcotest.test_case "div overflow faults" `Quick test_div_overflow_faults;
+      Alcotest.test_case "icache invalidation" `Quick test_icache_invalidation_on_self_modify;
+    ]

@@ -1,0 +1,328 @@
+(* Compiler tests: run compiled C-like programs on the bare machine and
+   check their return values. *)
+
+open Kfi_kcc
+open C
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let run ?max_cycles ~entry funcs =
+  Testbed.exit_code (snd (Testbed.run_funcs ?max_cycles ~entry funcs))
+
+let test_return_constant () =
+  check int "ret 42" 42 (run ~entry:"main" [ func "main" ~subsys:"user" ~params:[] [ ret (num 42) ] ])
+
+let test_arith () =
+  let f =
+    func "main" ~subsys:"user" ~params:[]
+      [
+        decl "a" (num 6);
+        decl "b" (num 7);
+        ret ((l "a" * l "b") + (num 100 / num 25) - num 4);
+      ]
+  in
+  check int "6*7+4-4" 42 (run ~entry:"main" [ f ])
+
+let test_params_and_call () =
+  let add = func "add" ~subsys:"lib" ~params:[ "x"; "y" ] [ ret (l "x" + l "y") ] in
+  let main =
+    func "main" ~subsys:"user" ~params:[]
+      [ ret (call "add" [ num 40; call "add" [ num 1; num 1 ] ]) ]
+  in
+  check int "nested calls" 42 (run ~entry:"main" [ main; add ])
+
+let test_factorial_recursion () =
+  let fact =
+    func "fact" ~subsys:"lib" ~params:[ "n" ]
+      [
+        if_ (l "n" <=. num 1) [ ret (num 1) ] [];
+        ret (l "n" * call "fact" [ l "n" - num 1 ]);
+      ]
+  in
+  let main = func "main" ~subsys:"user" ~params:[] [ ret (call "fact" [ num 5 ]) ] in
+  check int "5!" 120 (run ~entry:"main" [ main; fact ])
+
+let test_while_break_continue () =
+  (* sum odd numbers < 10, stopping at 100 iterations for safety *)
+  let main =
+    func "main" ~subsys:"user" ~params:[]
+      [
+        decl "i" (num 0);
+        decl "sum" (num 0);
+        while_ (num 1)
+          [
+            set "i" (l "i" + num 1);
+            when_ (l "i" >=. num 10) [ break_ ];
+            when_ ((l "i" mod num 2) ==. num 0) [ continue_ ];
+            set "sum" (l "sum" + l "i");
+          ];
+        ret (l "sum");
+      ]
+  in
+  check int "1+3+5+7+9" 25 (run ~entry:"main" [ main ])
+
+let test_memory_ops () =
+  (* Use a scratch page at 0x20000 (identity-mapped kernel page). *)
+  let main =
+    func "main" ~subsys:"user" ~params:[]
+      [
+        decl "p" (num 0x20000);
+        sto32 (l "p") (num 0x01020304);
+        sto8 (l "p" + num 4) (num 0xAB);
+        ret (lod8 (l "p" + num 1) + lod8 (l "p" + num 4));
+      ]
+  in
+  check int "0x03 + 0xAB" 0xAE (run ~entry:"main" [ main ])
+
+let test_globals () =
+  let open Kfi_asm.Assembler in
+  let data = [ Label "counter"; Word32 5l ] in
+  let bump =
+    func "bump" ~subsys:"lib" ~params:[] [ setg "counter" (g "counter" + num 1); ret (g "counter") ]
+  in
+  let main =
+    func "main" ~subsys:"user" ~params:[]
+      [ do_ (call "bump" []); do_ (call "bump" []); ret (call "bump" []) ]
+  in
+  let items = Codegen.compile_funcs [ main; bump ] @ data in
+  let open Kfi_isa.Insn in
+  let stub =
+    [
+      Label "start";
+      Call_sym "main";
+      Ins (Mov_ri (edx, Int32.of_int Kfi_isa.Devices.poweroff_port));
+      Ins Out_al;
+      Ins Hlt;
+    ]
+  in
+  let _, result = Testbed.run_items (stub @ items) in
+  check int "global counter" 8 (Testbed.exit_code result)
+
+let test_logical_ops () =
+  let main =
+    func "main" ~subsys:"user" ~params:[]
+      [
+        decl "x" (num 5);
+        decl "r" (num 0);
+        when_ ((l "x" >. num 0) &&. (l "x" <. num 10)) [ set "r" (l "r" + num 1) ];
+        when_ ((l "x" <. num 0) ||. (l "x" ==. num 5)) [ set "r" (l "r" + num 2) ];
+        when_ (not_ (l "x" ==. num 6)) [ set "r" (l "r" + num 4) ];
+        when_ ((l "x" >. num 100) &&. (call "never" [] ==. num 1)) [ set "r" (num 99) ];
+        ret (l "r");
+      ]
+  in
+  (* short-circuit: "never" must not run *)
+  let never = func "never" ~subsys:"lib" ~params:[] [ bug ] in
+  check int "logic" 7 (run ~entry:"main" [ main; never ])
+
+let test_unsigned_compare () =
+  let main =
+    func "main" ~subsys:"user" ~params:[]
+      [
+        decl "big" (num32 0xFFFFFFF0l);
+        decl "r" (num 0);
+        when_ (l "big" >% num 16) [ set "r" (l "r" + num 1) ];   (* unsigned: true *)
+        when_ (l "big" <. num 16) [ set "r" (l "r" + num 2) ];   (* signed: true *)
+        ret (l "r");
+      ]
+  in
+  check int "unsigned vs signed" 3 (run ~entry:"main" [ main ])
+
+let test_indirect_call () =
+  let open Kfi_asm.Assembler in
+  let addone = func "addone" ~subsys:"lib" ~params:[ "x" ] [ ret (l "x" + num 1) ] in
+  let main =
+    func "main" ~subsys:"user" ~params:[]
+      [ decl "fp" (addr "addone"); ret (call_ptr (l "fp") [ num 41 ]) ]
+  in
+  let open Kfi_isa.Insn in
+  let stub =
+    [
+      Label "start";
+      Call_sym "main";
+      Ins (Mov_ri (edx, Int32.of_int Kfi_isa.Devices.poweroff_port));
+      Ins Out_al;
+      Ins Hlt;
+    ]
+  in
+  let items = stub @ Codegen.compile_funcs [ main; addone ] in
+  let _, result = Testbed.run_items items in
+  check int "indirect call" 42 (Testbed.exit_code result)
+
+let test_bug_compiles_to_ud2 () =
+  (* BUG() on a taken path resets the machine with invalid opcode. *)
+  let main = func "main" ~subsys:"user" ~params:[] [ when_ (num 1 ==. num 1) [ bug ]; ret (num 0) ] in
+  let _, result = Testbed.run_funcs ~entry:"main" [ main ] in
+  match result with
+  | Kfi_isa.Machine.Reset t ->
+    check Alcotest.string "invalid opcode" "invalid opcode" (Kfi_isa.Trap.name t.Kfi_isa.Trap.vector)
+  | _ -> Alcotest.fail "expected reset via ud2"
+
+let test_for_loop () =
+  let main =
+    func "main" ~subsys:"user" ~params:[]
+      (List.concat
+         [
+           [ decl "acc" (num 0); decl "i" (num 0) ];
+           for_ (set "i" (num 0)) (l "i" <. num 5) (set "i" (l "i" + num 1))
+             [ set "acc" (l "acc" + l "i") ];
+           [ ret (l "acc") ];
+         ])
+  in
+  check int "0+1+2+3+4" 10 (run ~entry:"main" [ main ])
+
+(* qcheck: compiled arithmetic agrees with OCaml's Int32 semantics. *)
+let prop_arith_agrees =
+  let open QCheck in
+  let arb =
+    make
+      Gen.(
+        pair (oneofl [ `Add; `Sub; `Mul; `And; `Or; `Xor; `Shl; `Shr ])
+          (pair (map Int32.of_int (int_range (-1000) 1000)) (map Int32.of_int (int_range 1 31))))
+      ~print:(fun (op, (a, b)) ->
+        let s = match op with `Add -> "+" | `Sub -> "-" | `Mul -> "*" | `And -> "&" | `Or -> "|" | `Xor -> "^" | `Shl -> "<<" | `Shr -> ">>" in
+        Printf.sprintf "%ld %s %ld" a s b)
+  in
+  QCheck.Test.make ~name:"compiled arithmetic agrees with Int32" ~count:60 arb
+    (fun (op, (a, b)) ->
+      let build ea eb =
+        match op with
+        | `Add -> ea + eb
+        | `Sub -> ea - eb
+        | `Mul -> ea * eb
+        | `And -> ea land eb
+        | `Or -> ea lor eb
+        | `Xor -> ea lxor eb
+        | `Shl -> ea lsl eb
+        | `Shr -> ea lsr eb
+      in
+      let expected =
+        let sh = Stdlib.( land ) (Int32.to_int b) 31 in
+        match op with
+        | `Add -> Int32.add a b
+        | `Sub -> Int32.sub a b
+        | `Mul -> Int32.mul a b
+        | `And -> Int32.logand a b
+        | `Or -> Int32.logor a b
+        | `Xor -> Int32.logxor a b
+        | `Shl -> Int32.shift_left a sh
+        | `Shr -> Int32.shift_right_logical a sh
+      in
+      let main =
+        func "main" ~subsys:"user" ~params:[]
+          [ ret (Ast.Binop (Ast.Eq, build (num32 a) (num32 b), num32 expected)) ]
+      in
+      run ~entry:"main" [ main ] = 1)
+
+let suite =
+  [
+    Alcotest.test_case "return constant" `Quick test_return_constant;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "params and calls" `Quick test_params_and_call;
+    Alcotest.test_case "recursion" `Quick test_factorial_recursion;
+    Alcotest.test_case "while/break/continue" `Quick test_while_break_continue;
+    Alcotest.test_case "memory ops" `Quick test_memory_ops;
+    Alcotest.test_case "globals" `Quick test_globals;
+    Alcotest.test_case "logical ops short-circuit" `Quick test_logical_ops;
+    Alcotest.test_case "unsigned compare" `Quick test_unsigned_compare;
+    Alcotest.test_case "indirect call" `Quick test_indirect_call;
+    Alcotest.test_case "BUG() is ud2" `Quick test_bug_compiles_to_ud2;
+    Alcotest.test_case "for loop" `Quick test_for_loop;
+    QCheck_alcotest.to_alcotest prop_arith_agrees;
+  ]
+
+(* Differential fuzzing: random expression trees must evaluate identically
+   in compiled machine code and in a reference OCaml evaluator. *)
+module Fuzz = struct
+  type fe =
+    | FNum of int32
+    | FVar of int (* 0..2 *)
+    | FBin of Ast.binop * fe * fe
+    | FUn of Ast.unop * fe
+
+  let ops =
+    Ast.
+      [ Add; Sub; Mul; Band; Bor; Bxor; Shl; Shru; Sar; Eq; Ne; Lt; Le; Gt; Ge;
+        Ltu; Leu; Gtu; Geu ]
+
+  let gen_expr =
+    let open QCheck.Gen in
+    sized_size (int_range 1 12) @@ fix (fun self n ->
+        if Stdlib.( <= ) n 1 then
+          oneof
+            [ map (fun v -> FNum (Int32.of_int v)) (int_range (-1000) 1000);
+              map (fun i -> FVar i) (int_range 0 2) ]
+        else
+          frequency
+            [ (4, map3 (fun o a b -> FBin (o, a, b))
+                 (oneofl ops) (self (Stdlib.( / ) n 2)) (self (Stdlib.( / ) n 2)));
+              (1, map2 (fun o a -> FUn (o, a)) (oneofl Ast.[ Neg; Bnot; Lnot ])
+                 (self (Stdlib.( - ) n 1))) ])
+
+  let rec to_ast = function
+    | FNum v -> Ast.Num v
+    | FVar i -> Ast.Local (Printf.sprintf "v%d" i)
+    | FBin (o, a, b) -> Ast.Binop (o, to_ast a, to_ast b)
+    | FUn (o, a) -> Ast.Unop (o, to_ast a)
+
+  let b2i b = if b then 1l else 0l
+  let sh v = Stdlib.( land ) (Int32.to_int v) 31
+
+  let rec eval env = function
+    | FNum v -> v
+    | FVar i -> env.(i)
+    | FUn (Ast.Neg, a) -> Int32.neg (eval env a)
+    | FUn (Ast.Bnot, a) -> Int32.lognot (eval env a)
+    | FUn (Ast.Lnot, a) -> b2i (eval env a = 0l)
+    | FBin (o, a, b) ->
+      let x = eval env a and y = eval env b in
+      (match o with
+       | Ast.Add -> Int32.add x y
+       | Ast.Sub -> Int32.sub x y
+       | Ast.Mul -> Int32.mul x y
+       | Ast.Band -> Int32.logand x y
+       | Ast.Bor -> Int32.logor x y
+       | Ast.Bxor -> Int32.logxor x y
+       | Ast.Shl -> Int32.shift_left x (sh y)
+       | Ast.Shru -> Int32.shift_right_logical x (sh y)
+       | Ast.Sar -> Int32.shift_right x (sh y)
+       | Ast.Eq -> b2i (x = y)
+       | Ast.Ne -> b2i (x <> y)
+       | Ast.Lt -> b2i (Int32.compare x y < 0)
+       | Ast.Le -> b2i (Int32.compare x y <= 0)
+       | Ast.Gt -> b2i (Int32.compare x y > 0)
+       | Ast.Ge -> b2i (Int32.compare x y >= 0)
+       | Ast.Ltu -> b2i (Int32.unsigned_compare x y < 0)
+       | Ast.Leu -> b2i (Int32.unsigned_compare x y <= 0)
+       | Ast.Gtu -> b2i (Int32.unsigned_compare x y > 0)
+       | Ast.Geu -> b2i (Int32.unsigned_compare x y >= 0)
+       | Ast.Divu | Ast.Modu | Ast.Land | Ast.Lor -> assert false)
+
+  let rec print = function
+    | FNum v -> Int32.to_string v
+    | FVar i -> Printf.sprintf "v%d" i
+    | FBin (_, a, b) -> Printf.sprintf "op(%s,%s)" (print a) (print b)
+    | FUn (_, a) -> Printf.sprintf "un(%s)" (print a)
+end
+
+let prop_compiler_fuzz =
+  QCheck.Test.make ~name:"compiled expressions match reference evaluator" ~count:120
+    (QCheck.make Fuzz.gen_expr ~print:Fuzz.print)
+    (fun fe ->
+      let env = [| 17l; -3l; 1000003l |] in
+      let expected = Fuzz.eval env fe in
+      let main =
+        func "main" ~subsys:"user" ~params:[]
+          [
+            decl "v0" (num32 env.(0));
+            decl "v1" (num32 env.(1));
+            decl "v2" (num32 env.(2));
+            decl "r" (Fuzz.to_ast fe);
+            (* exit code is 8 bits: compare in-guest *)
+            if_ (l "r" ==. num32 expected) [ ret (num 1) ] [ ret (num 0) ];
+          ]
+      in
+      run ~entry:"main" [ main ] = 1)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_compiler_fuzz ]

@@ -1,0 +1,12 @@
+let () =
+  Alcotest.run "kfi"
+    [
+      ("isa", Test_isa.suite);
+      ("asm", Test_asm.suite);
+      ("kcc", Test_kcc.suite);
+      ("kernel", Test_kernel.suite);
+      ("fsimage", Test_fsimage.suite);
+      ("injector", Test_injector.suite);
+      ("analysis", Test_analysis.suite);
+      ("casestudies", Test_casestudies.suite);
+    ]

@@ -1,0 +1,72 @@
+(* Bare-metal test harness: a machine with hand-built page tables, used by
+   the ISA/assembler/compiler tests (the real kernel has its own boot). *)
+
+open Kfi_isa
+
+let page = Mmu.page_size
+
+(* Physical layout for bare tests: page dir at 0x1000, one page table at
+   0x3000 identity-mapping the first 4 MB (kernel perms only), a second page
+   table at 0x4000 mapping 4MB..8MB as user pages.  IDT at 0x2000. *)
+let pgdir = 0x1000
+let idt_base = 0x2000
+let code_base = 0x10000
+let stack_top = 0x80000
+let user_base = 0x400000
+
+let make_machine () =
+  let disk = Devices.Disk.create ~blocks:64 in
+  let m = Machine.create ~phys_size:(8 * 1024 * 1024) ~idt_base ~disk () in
+  let phys = Machine.phys m in
+  let pt0 = 0x3000 and pt1 = 0x4000 in
+  Phys.write32 phys (pgdir + 0) (Int32.of_int (pt0 lor 0x3)); (* present|w *)
+  Phys.write32 phys (pgdir + 4) (Int32.of_int (pt1 lor 0x7)); (* present|w|user *)
+  for i = 0 to 1023 do
+    (* page 0 stays unmapped so NULL dereferences trap, as in the kernel *)
+    Phys.write32 phys (pt0 + (i * 4))
+      (if i = 0 then 0l else Int32.of_int ((i * page) lor 0x3));
+    Phys.write32 phys (pt1 + (i * 4)) (Int32.of_int ((user_base + (i * page)) lor 0x7))
+  done;
+  let cpu = Machine.cpu m in
+  cpu.Cpu.cr3 <- Int32.of_int pgdir;
+  cpu.Cpu.regs.(Insn.esp) <- Int32.of_int stack_top;
+  cpu.Cpu.eip <- Int32.of_int code_base;
+  m
+
+(* Load raw code at [code_base] and run it for at most [max_cycles]. *)
+let run_bytes ?(max_cycles = 100_000) code =
+  let m = make_machine () in
+  Phys.blit_in (Machine.phys m) ~dst:code_base code;
+  let result = Machine.run m ~max_cycles in
+  (m, result)
+
+let assemble_items items =
+  Kfi_asm.Assembler.assemble ~base:(Int32.of_int code_base) items
+
+let run_items ?max_cycles items =
+  let r = assemble_items items in
+  run_bytes ?max_cycles r.Kfi_asm.Assembler.code
+
+(* Compile C-like functions, append a "start" stub that calls [entry] and
+   then powers off with al = return value. *)
+let run_funcs ?max_cycles ~entry funcs =
+  let open Kfi_asm.Assembler in
+  let open Kfi_isa.Insn in
+  let stub =
+    [
+      Label "start";
+      Call_sym entry;
+      Ins (Mov_ri (edx, Int32.of_int Devices.poweroff_port));
+      Ins Out_al;
+      Ins Hlt;
+    ]
+  in
+  let items = stub @ Kfi_kcc.Codegen.compile_funcs funcs in
+  run_items ?max_cycles items
+
+let exit_code = function
+  | Machine.Powered_off n -> n
+  | Machine.Halted -> failwith "halted without exit code"
+  | Machine.Watchdog -> failwith "watchdog"
+  | Machine.Reset t -> failwith ("reset: " ^ Trap.name t.Trap.vector)
+  | Machine.Snapshot_point -> failwith "unexpected snapshot point"
