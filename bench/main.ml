@@ -8,7 +8,8 @@
      bench/main.exe --subsample 3   # denser sweep
      bench/main.exe perf            # simulator micro-benchmarks only
 
-   Experiment ids: table1 fig1 table4 fig4 table5 fig6 fig7 fig8 ablation regcmp perf *)
+   Experiment ids: table1 fig1 table4 fig4 table5 fig6 fig7 fig8 ablation regcmp
+   oracle perf *)
 
 let header title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 78 '=') title (String.make 78 '=')
@@ -119,13 +120,13 @@ let () =
     |> function
     | [] ->
       [ "table1"; "fig1"; "table4"; "fig4"; "table5"; "fig6"; "fig7"; "fig8"; "ablation";
-        "regcmp"; "perf" ]
+        "regcmp"; "oracle"; "perf" ]
     | l -> l
   in
   let want x = List.mem x wanted in
   let need_study =
     List.exists want
-      [ "table1"; "fig4"; "table5"; "fig6"; "fig7"; "fig8"; "ablation"; "regcmp" ]
+      [ "table1"; "fig4"; "table5"; "fig6"; "fig7"; "fig8"; "ablation"; "regcmp"; "oracle" ]
   in
   if need_study then begin
     Printf.eprintf "bench: booting kernel, golden runs, profiling...\n%!";
@@ -238,6 +239,42 @@ let () =
       summarize "hardened interfaces" hard;
       Printf.printf
         "\n(hardened: fs/mm entry points validate their data structures and kill the\n offending process instead of corrupting kernel state — the containment\n strategy the paper proposes from its propagation analysis)\n"
+    end;
+    if want "oracle" then begin
+      header "Extension — static mutation oracle: campaign pruning and validation";
+      let oracle = Kfi.Study.make_oracle study in
+      let timed f =
+        let t0 = Sys.time () in
+        let r = f () in
+        (r, Sys.time () -. t0)
+      in
+      Printf.eprintf "bench: campaign A without oracle...\n%!";
+      let plain, t_plain =
+        timed (fun () -> Kfi.Study.run_campaign ~subsample study Kfi.Campaign.A)
+      in
+      Printf.eprintf "bench: campaign A with oracle pruning...\n%!";
+      let pruned, t_pruned =
+        timed (fun () -> Kfi.Study.run_campaign ~subsample ~oracle study Kfi.Campaign.A)
+      in
+      let n_pruned = List.length (List.filter (fun r -> r.Kfi.Injector.Experiment.r_predicted) pruned) in
+      Printf.printf "%-28s %6d experiments in %6.2f s\n" "without oracle"
+        (List.length plain) t_plain;
+      Printf.printf "%-28s %6d experiments in %6.2f s  (%d pruned statically, %.1f%% faster)\n"
+        "with oracle" (List.length pruned) t_pruned n_pruned
+        (100. *. (t_plain -. t_pruned) /. t_plain);
+      (* pruning must not disturb the failure statistics *)
+      let pie tag records =
+        let p = Kfi.Analysis.Stats.outcome_pie records in
+        Printf.printf
+          "%-28s not manifested %4d | fsv %3d | crash %4d | hang/unknown %3d\n" tag
+          p.Kfi.Analysis.Stats.p_not_manifested p.Kfi.Analysis.Stats.p_fsv
+          p.Kfi.Analysis.Stats.p_dumped_crash p.Kfi.Analysis.Stats.p_hang_unknown
+      in
+      pie "without oracle" plain;
+      pie "with oracle" pruned;
+      print_newline ();
+      (* predicted-vs-observed confusion matrix over the unpruned run *)
+      print_string (Kfi.Analysis.Report.oracle_matrix oracle plain)
     end
   end;
   if want "fig1" && not need_study then begin

@@ -1,0 +1,188 @@
+(* The static mutation oracle, from the command line.
+
+   kfi-oracle                      # CFG stats + static prediction histogram (no boot)
+   kfi-oracle --fn schedule        # one function: CFG + per-target classification
+   kfi-oracle -c A -c C            # restrict campaigns
+   kfi-oracle --validate           # boot + subsampled real campaign, confusion matrix
+   kfi-oracle --validate --subsample 40 --seed 7 *)
+
+open Cmdliner
+module Oracle = Kfi.Staticoracle.Oracle
+module Cfg = Kfi.Staticoracle.Cfg
+module Target = Kfi.Injector.Target
+
+let line = String.make 78 '-'
+
+let injectable build =
+  List.filter_map
+    (fun (f : Kfi.Asm.Assembler.fn_info) ->
+      if List.mem f.Kfi.Asm.Assembler.f_subsys Kfi.Injector.Experiment.injectable_subsystems
+      then Some f.Kfi.Asm.Assembler.f_name
+      else None)
+    build.Kfi.Kernel.Build.funcs
+
+exception Usage of string
+
+let parse_campaign = function
+  | "A" | "a" -> Kfi.Campaign.A
+  | "B" | "b" -> Kfi.Campaign.B
+  | "C" | "c" -> Kfi.Campaign.C
+  | "R" | "r" -> Kfi.Campaign.R
+  | s -> raise (Usage (Printf.sprintf "unknown campaign %S (expected A, B, C or R)" s))
+
+let cfg_stats oracle fns =
+  Printf.printf "Per-function CFG statistics\n%s\n" line;
+  Printf.printf "%-28s %6s %7s %7s %6s %9s %9s\n" "function" "insns" "blocks" "edges"
+    "loops" "indirect" "external";
+  let rows =
+    List.map
+      (fun fn ->
+        let c = Oracle.fn_cfg oracle fn in
+        (fn, Cfg.n_insns c, Cfg.n_blocks c, Cfg.n_edges c, Cfg.n_back_edges c,
+         Cfg.has_indirect c, Cfg.n_external c))
+      fns
+    |> List.sort (fun (_, _, a, _, _, _, _) (_, _, b, _, _, _, _) -> compare b a)
+  in
+  let ti = ref 0 and tb = ref 0 and te = ref 0 and tl = ref 0 and tind = ref 0 in
+  List.iteri
+    (fun i (fn, insns, blocks, edges, loops, ind, ext) ->
+      ti := !ti + insns;
+      tb := !tb + blocks;
+      te := !te + edges;
+      tl := !tl + loops;
+      if ind then incr tind;
+      if i < 20 then
+        Printf.printf "%-28s %6d %7d %7d %6d %9s %9d\n" fn insns blocks edges loops
+          (if ind then "yes" else "") ext)
+    rows;
+  if List.length rows > 20 then Printf.printf "  ... and %d more functions\n" (List.length rows - 20);
+  Printf.printf "%-28s %6d %7d %7d %6d %9d\n\n" (Printf.sprintf "total (%d fns)" (List.length rows))
+    !ti !tb !te !tl !tind
+
+let fn_detail oracle fn campaigns seed =
+  let build = Kfi.Kernel.Build.build () in
+  if not (List.exists (fun (f : Kfi.Asm.Assembler.fn_info) -> f.Kfi.Asm.Assembler.f_name = fn)
+            build.Kfi.Kernel.Build.funcs)
+  then raise (Usage (Printf.sprintf "unknown kernel function %S (try --fn schedule)" fn));
+  let c = Oracle.fn_cfg oracle fn in
+  Printf.printf "%s: %d instructions, %d blocks, %d edges, %d back edges%s\n%s\n" fn
+    (Cfg.n_insns c) (Cfg.n_blocks c) (Cfg.n_edges c) (Cfg.n_back_edges c)
+    (if Cfg.has_indirect c then ", indirect control flow" else "")
+    line;
+  List.iter
+    (fun campaign ->
+      let targets = Target.enumerate build ~campaign ~seed [ fn ] in
+      Printf.printf "campaign %s (%d targets):\n" (Target.campaign_letter campaign)
+        (List.length targets);
+      List.iter
+        (fun (t : Target.t) ->
+          let cls = Oracle.classify oracle t in
+          Printf.printf "  %08lx+0x%x bit %d  %-24s  %-32s -> %s\n" t.Target.t_addr
+            t.Target.t_byte t.Target.t_bit
+            (Kfi.Isa.Disasm.to_string ~pc:t.Target.t_addr ~len:t.Target.t_len
+               t.Target.t_insn)
+            (Oracle.class_detail cls)
+            (Oracle.prediction_name (Oracle.predict cls)))
+        targets)
+    campaigns
+
+let histograms oracle build fns campaigns seed =
+  List.iter
+    (fun campaign ->
+      let targets = Target.enumerate build ~campaign ~seed fns in
+      let total = List.length targets in
+      Printf.printf "Campaign %s: %d targets over %d functions\n%s\n"
+        (Target.campaign_name campaign) total (List.length fns) line;
+      List.iter
+        (fun (k, n) ->
+          Printf.printf "  %-24s %7d  (%5.1f%%)\n" k n
+            (Kfi.Analysis.Stats.pct n total))
+        (Oracle.histogram oracle targets);
+      (* prediction histogram *)
+      let preds = Hashtbl.create 8 in
+      List.iter
+        (fun t ->
+          let p = Oracle.prediction_name (Oracle.predict (Oracle.classify oracle t)) in
+          Hashtbl.replace preds p (1 + Option.value ~default:0 (Hashtbl.find_opt preds p)))
+        targets;
+      Printf.printf "  predictions:";
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) preds []
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+      |> List.iter (fun (k, n) -> Printf.printf "  %s %d (%.1f%%)" k n (Kfi.Analysis.Stats.pct n total));
+      Printf.printf "\n\n")
+    campaigns
+
+let validate campaigns subsample seed quiet =
+  Printf.eprintf "booting kernel + golden runs + profiling...\n%!";
+  let study = Kfi.Study.prepare () in
+  let oracle = Kfi.Study.make_oracle study in
+  let on_progress ~done_ ~total =
+    if (not quiet) && done_ mod 50 = 0 then
+      Printf.eprintf "\r  %d/%d experiments%!" done_ total
+  in
+  let records =
+    List.concat_map
+      (fun c ->
+        Printf.eprintf "campaign %s...\n%!" (Target.campaign_letter c);
+        let r = Kfi.Study.run_campaign ~subsample ~seed ~on_progress study c in
+        Printf.eprintf "\r  %d experiments done\n%!" (List.length r);
+        r)
+      campaigns
+  in
+  print_string (Kfi.Analysis.Report.oracle_matrix oracle records)
+
+let rec run campaigns fn_filter subsample seed validate_flag quiet =
+  try run_checked campaigns fn_filter subsample seed validate_flag quiet
+  with Usage msg ->
+    Printf.eprintf "kfi-oracle: %s\n" msg;
+    2
+
+and run_checked campaigns fn_filter subsample seed validate_flag quiet =
+  let campaigns =
+    match campaigns with
+    | [] -> [ Kfi.Campaign.A; Kfi.Campaign.B; Kfi.Campaign.C ]
+    | l -> List.map parse_campaign l
+  in
+  if validate_flag then validate campaigns subsample seed quiet
+  else begin
+    let build = Kfi.Kernel.Build.build () in
+    let oracle = Oracle.create build in
+    match fn_filter with
+    | Some fn -> fn_detail oracle fn campaigns seed
+    | None ->
+      let fns = injectable build in
+      cfg_stats oracle fns;
+      histograms oracle build fns campaigns seed
+  end;
+  0
+
+let campaigns_arg =
+  Arg.(value & opt_all string [] & info [ "c"; "campaign" ] ~doc:"Campaign (A, B or C); repeatable.")
+
+let fn_arg =
+  Arg.(value & opt (some string) None & info [ "fn" ] ~doc:"Dump one function in detail.")
+
+let subsample_arg =
+  Arg.(value & opt int 25 & info [ "subsample" ] ~doc:"Every k-th target in --validate mode.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed for per-byte bit choice.")
+
+let validate_arg =
+  Arg.(
+    value & flag
+    & info [ "validate" ]
+        ~doc:"Boot and run a subsampled real campaign; print the predicted-vs-observed \
+              confusion matrix and disagreements.")
+
+let quiet_arg = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress output.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "kfi-oracle"
+       ~doc:"Static mutation oracle: CFG statistics, bit-flip pre-classification and \
+             prediction validation (FastFlip-style)")
+    Term.(
+      const run $ campaigns_arg $ fn_arg $ subsample_arg $ seed_arg $ validate_arg
+      $ quiet_arg)
+
+let () = exit (Cmd.eval' cmd)

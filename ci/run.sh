@@ -1,0 +1,31 @@
+#!/bin/sh
+# The CI entry point: everything a change must pass before merging.
+#   ./ci/run.sh          # full build + lint + tests + oracle self-check
+#   ./ci/run.sh quick    # skip the slow (booting) alcotest cases
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+dune build @all
+
+echo "== lint (type-check + warnings-as-errors for lib/staticoracle) =="
+dune build @lint
+
+echo "== tests =="
+if [ "${1:-}" = "quick" ]; then
+  dune exec test/test_main.exe -- -q
+else
+  dune runtest
+fi
+
+echo "== static oracle self-check =="
+# Classification must be total and campaign C must be 100% reversed
+# conditions; both are printed by the histogram dump.
+out=$(dune exec bin/kfi_oracle.exe -- -c C)
+echo "$out"
+echo "$out" | grep -q 'cond reversed.*(100\.0%)' || {
+  echo "oracle self-check failed: campaign C not fully classified as cond reversed" >&2
+  exit 1
+}
+
+echo "CI OK"

@@ -258,6 +258,107 @@ let table5 records =
                t.Target.t_subsys t.Target.t_fn t.Target.t_byte t.Target.t_bit detail))
         ms)
 
+(* ----- oracle validation: predicted vs observed confusion matrix ----- *)
+
+module Oracle = Kfi_staticoracle.Oracle
+
+(* Observed category with dumped/undumped crashes merged (the oracle
+   cannot predict dump success). *)
+let observed_bucket = function
+  | Outcome.Not_activated -> "not activated"
+  | Outcome.Not_manifested -> "not manifested"
+  | Outcome.Fail_silence_violation _ -> "fsv"
+  | Outcome.Crash _ -> "crash"
+  | Outcome.Hang _ -> "hang"
+
+let observed_buckets = [ "not activated"; "not manifested"; "fsv"; "crash"; "hang" ]
+
+let oracle_matrix oracle records =
+  with_buf (fun b ->
+      Buffer.add_string b "Oracle validation: static prediction vs observed outcome\n";
+      Buffer.add_string b (line ^ "\n");
+      let cells = Hashtbl.create 64 in
+      let bump k = Hashtbl.replace cells k (1 + Option.value ~default:0 (Hashtbl.find_opt cells k)) in
+      let classified =
+        List.map (fun r -> (r, Oracle.classify oracle r.Experiment.r_target)) records
+      in
+      List.iter
+        (fun ((r : Experiment.record), cls) ->
+          bump (Oracle.class_name cls, observed_bucket r.Experiment.r_outcome))
+        classified;
+      Buffer.add_string b (Printf.sprintf "%-22s %7s" "predicted class" "total");
+      List.iter (fun c -> Buffer.add_string b (Printf.sprintf " %8s" c)) observed_buckets;
+      Buffer.add_string b (Printf.sprintf " %9s\n" "disagree");
+      let disagreements = ref [] in
+      List.iter
+        (fun cname ->
+          let row =
+            List.map
+              (fun obs -> Option.value ~default:0 (Hashtbl.find_opt cells (cname, obs)))
+              observed_buckets
+          in
+          let total = List.fold_left ( + ) 0 row in
+          if total > 0 then begin
+            let dis =
+              Stats.count
+                (fun ((r : Experiment.record), cls) ->
+                  Oracle.class_name cls = cname
+                  && (not r.Experiment.r_predicted)
+                  && not (Oracle.agrees (Oracle.predict cls) r.Experiment.r_outcome))
+                classified
+            in
+            Buffer.add_string b (Printf.sprintf "%-22s %7d" cname total);
+            List.iter (fun n -> Buffer.add_string b (Printf.sprintf " %8d" n)) row;
+            Buffer.add_string b (Printf.sprintf " %9d\n" dis)
+          end)
+        Oracle.all_class_names;
+      let pruned = Stats.count (fun r -> r.Experiment.r_predicted) records in
+      let claims =
+        List.filter
+          (fun ((r : Experiment.record), cls) ->
+            (not r.Experiment.r_predicted) && Oracle.predict cls <> Oracle.P_divergent)
+          classified
+      in
+      let ok =
+        Stats.count
+          (fun ((r : Experiment.record), cls) ->
+            Oracle.agrees (Oracle.predict cls) r.Experiment.r_outcome)
+          claims
+      in
+      List.iter
+        (fun ((r : Experiment.record), cls) ->
+          if not (Oracle.agrees (Oracle.predict cls) r.Experiment.r_outcome) then
+            disagreements := (r, cls) :: !disagreements)
+        claims;
+      Buffer.add_string b
+        (Printf.sprintf "pruned (oracle-predicted, never run): %d of %d targets\n" pruned
+           (List.length records));
+      Buffer.add_string b
+        (if claims = [] then
+           "agreement on checkable claims: none made (all predictions divergent)\n"
+         else
+           Printf.sprintf "agreement on checkable claims: %d/%d (%.1f%%)\n" ok
+             (List.length claims)
+             (pct ok (List.length claims)));
+      let dis = List.rev !disagreements in
+      if dis <> [] then begin
+        Buffer.add_string b "disagreements:\n";
+        List.iteri
+          (fun i ((r : Experiment.record), cls) ->
+            if i < 15 then
+              let t = r.Experiment.r_target in
+              Buffer.add_string b
+                (Printf.sprintf "  %s %s+0x%x bit %d: %s -> predicted %s, observed %s\n"
+                   (Target.campaign_letter r.Experiment.r_campaign)
+                   t.Target.t_fn t.Target.t_byte t.Target.t_bit
+                   (Oracle.class_detail cls)
+                   (Oracle.prediction_name (Oracle.predict cls))
+                   (Outcome.category r.Experiment.r_outcome)))
+          dis;
+        if List.length dis > 15 then
+          Buffer.add_string b (Printf.sprintf "  ... and %d more\n" (List.length dis - 15))
+      end)
+
 (* ----- Table 4 header ----- *)
 let table4 =
   String.concat "\n"
@@ -271,17 +372,18 @@ let table4 =
     ]
 
 (* full report *)
-let full ~build ~profile ~core records =
+let full ?oracle ~build ~profile ~core records =
   String.concat "\n"
-    [
-      table1 profile ~core;
-      profile_detail profile ~core;
-      fig1 build;
-      table4;
-      fig4 records;
-      crash_concentration records;
-      fig6 records;
-      fig7 records;
-      fig8 records;
-      table5 records;
-    ]
+    ([
+       table1 profile ~core;
+       profile_detail profile ~core;
+       fig1 build;
+       table4;
+       fig4 records;
+       crash_concentration records;
+       fig6 records;
+       fig7 records;
+       fig8 records;
+       table5 records;
+     ]
+    @ match oracle with Some o -> [ oracle_matrix o records ] | None -> [])

@@ -35,10 +35,19 @@ val fig8 : Experiment.record list -> string
 val table5 : Experiment.record list -> string
 (** Table 5: the most severe crashes. *)
 
+val oracle_matrix :
+  Kfi_staticoracle.Oracle.t -> Experiment.record list -> string
+(** The static-oracle validation section: a predicted-class vs
+    observed-outcome confusion matrix, the pruning count, agreement on
+    checkable claims (equivalence / invalid-opcode / dead-write
+    predictions) and a listing of disagreements. *)
+
 val full :
+  ?oracle:Kfi_staticoracle.Oracle.t ->
   build:Kfi_kernel.Build.t ->
   profile:Kfi_profiler.Sampler.profile ->
   core:(string * int) list ->
   Experiment.record list ->
   string
-(** The whole report in paper order. *)
+(** The whole report in paper order; with [oracle] it ends with the
+    {!oracle_matrix} validation section. *)

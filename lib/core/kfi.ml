@@ -27,6 +27,7 @@ module Fsimage = Kfi_fsimage
 module Workload = Kfi_workload
 module Profiler = Kfi_profiler
 module Injector = Kfi_injector
+module Staticoracle = Kfi_staticoracle
 module Analysis = Kfi_analysis
 
 (* Re-exports of the most used types *)
@@ -56,16 +57,24 @@ module Study = struct
 
   let build t = t.runner.Kfi_injector.Runner.build
 
-  let run_campaign ?subsample ?seed ?hardening ?on_progress t campaign =
-    Kfi_injector.Experiment.run_campaign ?subsample ?seed ?hardening ?on_progress t.runner
-      t.profile campaign
+  (* The static mutation oracle over this study's kernel; pass
+     [~oracle:(Kfi.Study.oracle study)] to prune provably-equivalent
+     targets without running them. *)
+  let make_oracle t = Kfi_staticoracle.Oracle.create (build t)
 
-  let run_campaigns ?subsample ?seed ?hardening ?on_progress t () =
-    Kfi_injector.Experiment.run_all ?subsample ?seed ?hardening ?on_progress t.runner
-      t.profile
+  let run_campaign ?subsample ?seed ?hardening ?oracle ?on_progress t campaign =
+    let oracle = Option.map Kfi_staticoracle.Oracle.pruner oracle in
+    Kfi_injector.Experiment.run_campaign ?subsample ?seed ?hardening ?oracle ?on_progress
+      t.runner t.profile campaign
 
-  let report t records =
-    Kfi_analysis.Report.full ~build:(build t) ~profile:t.profile ~core:t.core records
+  let run_campaigns ?subsample ?seed ?hardening ?oracle ?on_progress t () =
+    let oracle = Option.map Kfi_staticoracle.Oracle.pruner oracle in
+    Kfi_injector.Experiment.run_all ?subsample ?seed ?hardening ?oracle ?on_progress
+      t.runner t.profile
+
+  let report ?oracle t records =
+    Kfi_analysis.Report.full ?oracle ~build:(build t) ~profile:t.profile ~core:t.core
+      records
 
   let to_csv = Kfi_injector.Experiment.to_csv
 end

@@ -14,6 +14,8 @@ type record = {
   r_target : Target.t;
   r_workload : int;
   r_outcome : Outcome.t;
+  r_predicted : bool;
+      (* the outcome came from the static oracle, not a real run *)
 }
 
 let injectable_subsystems = [ "arch"; "fs"; "kernel"; "mm" ]
@@ -68,8 +70,13 @@ let workload_for profile (t : Target.t) =
   end
   else (addr * 2654435761) lsr 7 mod nworkloads
 
-let run_campaign ?(subsample = 1) ?(seed = 42) ?(hardening = false) ?on_progress runner
-    profile campaign =
+(* [oracle] is the static-oracle pruning hook
+   ([Kfi_staticoracle.Oracle.pruner]): when it returns an outcome for a
+   target, that outcome is recorded with [r_predicted = true] and the
+   machine never runs.  The oracle only prunes provably-equivalent
+   mutations, so the observable outcome distribution is preserved. *)
+let run_campaign ?(subsample = 1) ?(seed = 42) ?(hardening = false) ?oracle ?on_progress
+    runner profile campaign =
   Runner.set_hardening runner hardening;
   let fns = campaign_functions runner profile campaign in
   let targets =
@@ -81,21 +88,27 @@ let run_campaign ?(subsample = 1) ?(seed = 42) ?(hardening = false) ?on_progress
     (fun i (t : Target.t) ->
       (match on_progress with Some f -> f ~done_:i ~total | None -> ());
       let workload = workload_for profile t in
-      let outcome = Runner.run_one runner ~workload t in
-      { r_campaign = campaign; r_target = t; r_workload = workload; r_outcome = outcome })
+      let predicted = match oracle with Some o -> o t | None -> None in
+      let outcome, r_predicted =
+        match predicted with
+        | Some o -> (o, true)
+        | None -> (Runner.run_one runner ~workload t, false)
+      in
+      { r_campaign = campaign; r_target = t; r_workload = workload;
+        r_outcome = outcome; r_predicted })
     targets
 
 (* Full study: all three campaigns. *)
-let run_all ?(subsample = 1) ?seed ?hardening ?on_progress runner profile =
+let run_all ?(subsample = 1) ?seed ?hardening ?oracle ?on_progress runner profile =
   List.concat_map
-    (fun c -> run_campaign ~subsample ?seed ?hardening ?on_progress runner profile c)
+    (fun c -> run_campaign ~subsample ?seed ?hardening ?oracle ?on_progress runner profile c)
     [ Target.A; Target.B; Target.C ]
 
 (* CSV export for offline analysis. *)
 let to_csv records =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
-    "campaign,function,subsystem,addr,byte,bit,workload,outcome,cause,latency,crash_fn,crash_subsys,severity,dumped\n";
+    "campaign,function,subsystem,addr,byte,bit,workload,outcome,cause,latency,crash_fn,crash_subsys,severity,dumped,predicted\n";
   List.iter
     (fun r ->
       let t = r.r_target in
@@ -116,10 +129,11 @@ let to_csv records =
         | Outcome.Hang sev -> ("hang", "", "", "", "", Outcome.severity_name sev, "")
       in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%s,0x%lx,%d,%d,%s,%s,%s,%s,%s,%s,%s,%s\n"
+        (Printf.sprintf "%s,%s,%s,0x%lx,%d,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s\n"
            (Target.campaign_letter r.r_campaign)
            t.Target.t_fn t.Target.t_subsys t.Target.t_addr t.Target.t_byte t.Target.t_bit
            (List.nth Kfi_workload.Progs.names r.r_workload)
-           outcome cause latency cfn csub sev dumped))
+           outcome cause latency cfn csub sev dumped
+           (if r.r_predicted then "yes" else "no")))
     records;
   Buffer.contents buf

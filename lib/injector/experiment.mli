@@ -7,6 +7,9 @@ type record = {
   r_target : Target.t;
   r_workload : int; (** index into {!Kfi_workload.Progs.names} *)
   r_outcome : Outcome.t;
+  r_predicted : bool;
+      (** the outcome came from the static oracle (the target was pruned
+          as provably equivalent), not from a real run *)
 }
 
 val injectable_subsystems : string list
@@ -25,6 +28,7 @@ val run_campaign :
   ?subsample:int ->
   ?seed:int ->
   ?hardening:bool ->
+  ?oracle:(Target.t -> Outcome.t option) ->
   ?on_progress:(done_:int -> total:int -> unit) ->
   Runner.t ->
   Kfi_profiler.Sampler.profile ->
@@ -32,12 +36,16 @@ val run_campaign :
   record list
 (** Run one campaign.  [subsample] keeps every k-th target (1 = the full
     enumeration); [seed] fixes the per-byte bit choice; [hardening]
-    enables the Section-7.4 interface assertions. *)
+    enables the Section-7.4 interface assertions; [oracle] is the static
+    mutation oracle's pruning hook ([Kfi_staticoracle.Oracle.pruner]):
+    targets it resolves are recorded with [r_predicted = true] and never
+    run on the machine. *)
 
 val run_all :
   ?subsample:int ->
   ?seed:int ->
   ?hardening:bool ->
+  ?oracle:(Target.t -> Outcome.t option) ->
   ?on_progress:(done_:int -> total:int -> unit) ->
   Runner.t ->
   Kfi_profiler.Sampler.profile ->

@@ -1,0 +1,304 @@
+(* Per-function control-flow graphs over decoded kernel text, plus a
+   backward register/flags liveness analysis on top of them.
+
+   The graph is intraprocedural: [Call] falls through to its return
+   point (the callee is not expanded), [Ret]/[Iret]/[Lret]/[Hlt]/[Ud2]
+   terminate a path, and indirect control flow ([Call_rm]/[Jmp_rm]) gets
+   an [Unknown] edge.  Branches whose target lies outside the function
+   (tail jumps into another function) get an [External] edge.  Unknown
+   and External edges are treated as "everything live" boundaries by the
+   liveness pass, which keeps deadness sound. *)
+
+open Kfi_isa
+
+type insn = { a : int32; len : int; i : Insn.t }
+
+type edge =
+  | Fallthrough
+  | Branch        (* taken side of a direct jump/branch *)
+  | External      (* direct branch leaving the function *)
+  | Unknown       (* indirect call/jump: target unknowable statically *)
+
+type block = {
+  b_index : int;
+  b_insns : insn list;             (* non-empty, in address order *)
+  mutable b_succ : (int option * edge) list;
+      (* successor block index; [None] for External/Unknown exits *)
+  mutable b_pred : int list;
+}
+
+type t = {
+  c_fn : string;
+  c_blocks : block array;          (* entry is index 0 *)
+  c_lo : int32;                    (* [lo, hi) address extent *)
+  c_hi : int32;
+  c_by_addr : (int32, int * insn) Hashtbl.t;
+      (* instruction address -> (block index, insn) *)
+}
+
+let ( +% ) = Int32.add
+
+let insn_end (x : insn) = x.a +% Int32.of_int x.len
+
+(* Direct target of a relative control transfer, if any. *)
+let direct_target (x : insn) =
+  match x.i with
+  | Insn.Jmp rel | Insn.Jmp8 rel | Insn.Jcc (_, rel) | Insn.Jcc8 (_, rel) ->
+    Some (insn_end x +% rel)
+  | _ -> None
+
+let falls_through (i : Insn.t) =
+  match i with
+  | Insn.Jmp _ | Insn.Jmp8 _ | Insn.Jmp_rm _ | Insn.Ret | Insn.Lret
+  | Insn.Iret | Insn.Hlt | Insn.Ud2 -> false
+  | _ -> true
+
+let build ~fn insns =
+  let insns = List.sort (fun a b -> Int32.unsigned_compare a.a b.a) insns in
+  (match insns with [] -> invalid_arg ("Cfg.build: empty function " ^ fn) | _ -> ());
+  let lo = (List.hd insns).a in
+  let hi = insn_end (List.nth insns (List.length insns - 1)) in
+  let in_fn a = Int32.unsigned_compare a lo >= 0 && Int32.unsigned_compare a hi < 0 in
+  (* leaders: function entry, direct in-function branch targets, and the
+     instruction following any control transfer *)
+  let leaders = Hashtbl.create 16 in
+  Hashtbl.replace leaders lo ();
+  List.iter
+    (fun x ->
+      (match direct_target x with
+       | Some tgt when in_fn tgt -> Hashtbl.replace leaders tgt ()
+       | _ -> ());
+      if Insn.is_control_flow x.i then Hashtbl.replace leaders (insn_end x) ())
+    insns;
+  (* split into blocks at leaders *)
+  let blocks = ref [] and cur = ref [] in
+  let flush () =
+    match !cur with
+    | [] -> ()
+    | l -> blocks := List.rev l :: !blocks; cur := []
+  in
+  List.iter
+    (fun x ->
+      if Hashtbl.mem leaders x.a then flush ();
+      cur := x :: !cur)
+    insns;
+  flush ();
+  let blocks =
+    List.rev !blocks
+    |> List.mapi (fun i l -> { b_index = i; b_insns = l; b_succ = []; b_pred = [] })
+    |> Array.of_list
+  in
+  let index_of_addr = Hashtbl.create 16 in
+  Array.iter
+    (fun b -> Hashtbl.replace index_of_addr (List.hd b.b_insns).a b.b_index)
+    blocks;
+  let by_addr = Hashtbl.create 64 in
+  Array.iter
+    (fun b -> List.iter (fun x -> Hashtbl.replace by_addr x.a (b.b_index, x)) b.b_insns)
+    blocks;
+  (* successor edges from each block's last instruction *)
+  Array.iter
+    (fun b ->
+      let last = List.nth b.b_insns (List.length b.b_insns - 1) in
+      let add e = b.b_succ <- b.b_succ @ [ e ] in
+      let link tgt edge =
+        match Hashtbl.find_opt index_of_addr tgt with
+        | Some j -> add (Some j, edge)
+        | None -> add (None, External)
+      in
+      (match last.i with
+       | Insn.Jmp _ | Insn.Jmp8 _ ->
+         (match direct_target last with
+          | Some tgt when in_fn tgt -> link tgt Branch
+          | _ -> add (None, External))
+       | Insn.Jcc _ | Insn.Jcc8 _ ->
+         (match direct_target last with
+          | Some tgt when in_fn tgt -> link tgt Branch
+          | _ -> add (None, External))
+       | Insn.Jmp_rm _ -> add (None, Unknown)
+       | Insn.Call_rm _ -> add (None, Unknown)
+       | _ -> ());
+      if falls_through last.i && in_fn (insn_end last) then
+        link (insn_end last) Fallthrough)
+    blocks;
+  Array.iter
+    (fun b ->
+      List.iter
+        (function Some j, _ -> blocks.(j).b_pred <- b.b_index :: blocks.(j).b_pred | None, _ -> ())
+        b.b_succ)
+    blocks;
+  { c_fn = fn; c_blocks = blocks; c_lo = lo; c_hi = hi; c_by_addr = by_addr }
+
+(* ----- graph statistics (the kfi-oracle CFG dump) ----- *)
+
+let n_blocks t = Array.length t.c_blocks
+let n_insns t = Hashtbl.length t.c_by_addr
+
+let n_edges t =
+  Array.fold_left (fun acc b -> acc + List.length b.b_succ) 0 t.c_blocks
+
+let has_indirect t =
+  Array.exists
+    (fun b -> List.exists (fun (_, e) -> e = Unknown) b.b_succ)
+    t.c_blocks
+
+let n_external t =
+  Array.fold_left
+    (fun acc b -> acc + List.length (List.filter (fun (_, e) -> e = External) b.b_succ))
+    0 t.c_blocks
+
+(* back edges (a successor with index <= self in layout order is a loop
+   edge for the reducible graphs our assembler produces) *)
+let n_back_edges t =
+  Array.fold_left
+    (fun acc b ->
+      acc
+      + List.length
+          (List.filter (function Some j, _ -> j <= b.b_index | None, _ -> false) b.b_succ))
+    0 t.c_blocks
+
+let find_insn t addr = Hashtbl.find_opt t.c_by_addr addr
+
+(* ----- def/use and liveness ----- *)
+
+(* Pseudo-register 8 is the flags word; 0..7 are the GPRs. *)
+let flags_reg = 8
+let all_live = 0x1FF
+
+let bit r = 1 lsl r
+let mask_of = List.fold_left (fun m r -> m lor bit r) 0
+
+let mem_uses (m : Insn.mem) =
+  (match m.Insn.base with Some r -> [ r ] | None -> [])
+  @ (match m.Insn.index with Some (r, _) -> [ r ] | None -> [])
+
+let rm_uses = function Insn.Reg r -> [ r ] | Insn.Mem m -> mem_uses m
+
+(* (defs, uses) of one instruction, over registers 0..7 and the flags
+   pseudo-register.  Defs UNDER-approximate (only full overwrites count;
+   byte-wide register writes are modelled def+use) and uses
+   OVER-approximate (calls, returns and software interrupts use
+   everything), which is the sound direction for deadness queries. *)
+let defs_uses (i : Insn.t) =
+  let open Insn in
+  let everything = [ 0; 1; 2; 3; 4; 5; 6; 7; flags_reg ] in
+  match i with
+  | Nop | Hlt -> ([], [])
+  | Mov_ri (r, _) -> ([ r ], [])
+  | Mov_rm_r (Reg d, r) -> ([ d ], [ r ])
+  | Mov_rm_r (Mem m, r) -> ([], r :: mem_uses m)
+  | Mov_r_rm (r, rm) -> ([ r ], rm_uses rm)
+  | Mov_rm_i (Reg d, _) -> ([ d ], [])
+  | Mov_rm_i (Mem m, _) -> ([], mem_uses m)
+  | Movb_rm_r (Reg d, r) -> ([ d ], [ d; r ]) (* partial write *)
+  | Movb_rm_r (Mem m, r) -> ([], r :: mem_uses m)
+  | Movb_r_rm (r, rm) -> ([ r ], r :: rm_uses rm) (* partial write *)
+  | Movzbl (r, rm) -> ([ r ], rm_uses rm)
+  | Push_r r -> ([ esp ], [ r; esp ])
+  | Pop_r r -> ([ r; esp ], [ esp ])
+  | Push_i _ | Push_i8 _ -> ([ esp ], [ esp ])
+  | Push_rm rm -> ([ esp ], esp :: rm_uses rm)
+  | Inc_r r | Dec_r r -> ([ r; flags_reg ], [ r ])
+  | Inc_rm (Reg d) | Dec_rm (Reg d) -> ([ d; flags_reg ], [ d ])
+  | Inc_rm (Mem m) | Dec_rm (Mem m) -> ([ flags_reg ], mem_uses m)
+  | Alu_rm_r (Cmp, rm, r) -> ([ flags_reg ], r :: rm_uses rm)
+  | Alu_rm_r (_, Reg d, r) -> ([ d; flags_reg ], [ d; r ])
+  | Alu_rm_r (_, Mem m, r) -> ([ flags_reg ], r :: mem_uses m)
+  | Alu_r_rm (Cmp, r, rm) -> ([ flags_reg ], r :: rm_uses rm)
+  | Alu_r_rm (_, r, rm) -> ([ r; flags_reg ], r :: rm_uses rm)
+  | Alu_eax_i (Cmp, _) -> ([ flags_reg ], [ eax ])
+  | Alu_eax_i (_, _) -> ([ eax; flags_reg ], [ eax ])
+  | Alu_rm_i (Cmp, rm, _) | Alu_rm_i8 (Cmp, rm, _) -> ([ flags_reg ], rm_uses rm)
+  | Alu_rm_i (_, Reg d, _) | Alu_rm_i8 (_, Reg d, _) -> ([ d; flags_reg ], [ d ])
+  | Alu_rm_i (_, Mem m, _) | Alu_rm_i8 (_, Mem m, _) -> ([ flags_reg ], mem_uses m)
+  | Test_rm_r (rm, r) -> ([ flags_reg ], r :: rm_uses rm)
+  | Not_rm (Reg d) -> ([ d ], [ d ])
+  | Not_rm (Mem m) -> ([], mem_uses m)
+  | Neg_rm (Reg d) -> ([ d; flags_reg ], [ d ])
+  | Neg_rm (Mem m) -> ([ flags_reg ], mem_uses m)
+  | Mul_rm rm -> ([ eax; edx; flags_reg ], eax :: rm_uses rm)
+  | Div_rm rm -> ([ eax; edx; flags_reg ], eax :: edx :: rm_uses rm)
+  | Imul_r_rm (r, rm) -> ([ r; flags_reg ], r :: rm_uses rm)
+  | Shift_i (_, Reg d, _) -> ([ d; flags_reg ], [ d ])
+  | Shift_i (_, Mem m, _) -> ([ flags_reg ], mem_uses m)
+  | Shift_cl (_, Reg d) -> ([ d; flags_reg ], [ d; ecx ])
+  | Shift_cl (_, Mem m) -> ([ flags_reg ], ecx :: mem_uses m)
+  | Shrd (Reg d, r, _) -> ([ d; flags_reg ], [ d; r ])
+  | Shrd (Mem m, r, _) -> ([ flags_reg ], r :: mem_uses m)
+  | Lea (r, m) -> ([ r ], mem_uses m)
+  | Cdq -> ([ edx ], [ eax ])
+  | Jmp _ | Jmp8 _ -> ([], [])
+  | Jcc _ | Jcc8 _ -> ([], [ flags_reg ])
+  | Jmp_rm rm -> ([], rm_uses rm)
+  (* calls and software interrupts: the callee may read anything
+     (arguments live on the stack behind esp) and clobbers the
+     caller-save set *)
+  | Call _ -> ([ eax; ecx; edx; flags_reg ], everything)
+  | Call_rm _ | Int_ _ | Int3 -> ([ eax; ecx; edx; flags_reg ], everything)
+  | Ret | Lret | Iret -> ([], everything)
+  | Leave -> ([ esp; ebp ], [ ebp ])
+  | Pusha -> ([ esp ], everything)
+  | Popa -> ([ 0; 1; 2; 3; 5; 6; 7; esp ], [ esp ])
+  | Ud2 -> ([], [])
+  | Cli | Sti -> ([], [])
+  | In_al -> ([ eax ], [ edx ])
+  | Out_al -> ([], [ eax; edx ])
+  | Mov_cr_r (_, r) -> ([], [ r ])
+  | Mov_r_cr (r, _) -> ([ r ], [])
+  | Rdtsc -> ([ eax; edx ], [])
+  | Diskrd | Diskwr -> ([], everything)
+
+(* Backward liveness to a fixpoint.  Returns live-OUT masks per
+   instruction address; anything flowing out of the function (returns,
+   external or unknown edges) is conservatively all-live. *)
+let liveness t =
+  let nb = Array.length t.c_blocks in
+  let live_in = Array.make nb 0 in
+  let block_out b =
+    if b.b_succ = [] then all_live
+    else
+      List.fold_left
+        (fun acc -> function
+          | Some j, _ -> acc lor live_in.(j)
+          | None, _ -> all_live)
+        0 b.b_succ
+  in
+  let transfer b out =
+    List.fold_right
+      (fun x acc ->
+        let defs, uses = defs_uses x.i in
+        acc land lnot (mask_of defs) lor mask_of uses)
+      b.b_insns out
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = nb - 1 downto 0 do
+      let b = t.c_blocks.(i) in
+      let ni = transfer b (block_out b) land all_live in
+      if ni <> live_in.(i) then begin
+        live_in.(i) <- ni;
+        changed := true
+      end
+    done
+  done;
+  (* per-instruction live-out, by walking each block backward once more *)
+  let out_of = Hashtbl.create 64 in
+  Array.iter
+    (fun b ->
+      let rec walk = function
+        | [] -> block_out b land all_live
+        | x :: rest ->
+          let out = walk rest in
+          let defs, uses = defs_uses x.i in
+          Hashtbl.replace out_of x.a out;
+          out land lnot (mask_of defs) lor mask_of uses
+      in
+      ignore (walk b.b_insns))
+    t.c_blocks;
+  out_of
+
+let live_out liveness addr =
+  Option.value ~default:all_live (Hashtbl.find_opt liveness addr)
+
+let is_dead liveness addr r = live_out liveness addr land bit r = 0

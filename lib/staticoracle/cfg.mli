@@ -1,0 +1,76 @@
+(** Per-function control-flow graphs over decoded kernel text, with a
+    backward register/flags liveness analysis.
+
+    The graph is intraprocedural: [Call] falls through to its return
+    point, [Ret]/[Iret]/[Lret]/[Hlt]/[Ud2] terminate a path, indirect
+    control flow gets an {!Unknown} edge and direct branches leaving the
+    function get an {!External} edge.  Both are treated as "everything
+    live" boundaries by {!liveness}, which keeps deadness sound. *)
+
+open Kfi_isa
+
+type insn = { a : int32; (** address *) len : int; i : Insn.t }
+
+type edge =
+  | Fallthrough
+  | Branch    (** taken side of a direct jump/branch *)
+  | External  (** direct branch leaving the function *)
+  | Unknown   (** indirect call/jump: target unknowable statically *)
+
+type block = {
+  b_index : int;
+  b_insns : insn list;  (** non-empty, in address order *)
+  mutable b_succ : (int option * edge) list;
+      (** successor block index; [None] for External/Unknown exits *)
+  mutable b_pred : int list;
+}
+
+type t = {
+  c_fn : string;
+  c_blocks : block array;  (** entry is index 0 *)
+  c_lo : int32;
+  c_hi : int32;            (** address extent [lo, hi) *)
+  c_by_addr : (int32, int * insn) Hashtbl.t;
+}
+
+val build : fn:string -> insn list -> t
+(** Build the CFG of one function from its decoded instructions.
+    @raise Invalid_argument on an empty instruction list. *)
+
+val direct_target : insn -> int32 option
+(** Absolute target of a direct relative jump/branch, if any. *)
+
+val find_insn : t -> int32 -> (int * insn) option
+(** Block index and instruction at an address. *)
+
+val n_blocks : t -> int
+val n_insns : t -> int
+val n_edges : t -> int
+val n_back_edges : t -> int
+(** Loop edges (successor at or before self in layout order). *)
+
+val n_external : t -> int
+val has_indirect : t -> bool
+
+(** {2 Liveness} *)
+
+val flags_reg : int
+(** Pseudo-register index of the flags word (GPRs are 0..7). *)
+
+val all_live : int
+
+val defs_uses : Insn.t -> int list * int list
+(** (defs, uses) over registers 0..7 plus {!flags_reg}.  Defs
+    under-approximate and uses over-approximate, the sound direction for
+    deadness queries. *)
+
+val liveness : t -> (int32, int) Hashtbl.t
+(** Live-out bitmask per instruction address, computed backward to a
+    fixpoint; function exits and Unknown/External edges are all-live. *)
+
+val live_out : (int32, int) Hashtbl.t -> int32 -> int
+(** Live-out mask at an address (all-live if unknown). *)
+
+val is_dead : (int32, int) Hashtbl.t -> int32 -> int -> bool
+(** [is_dead live addr r]: register [r] is provably dead immediately
+    after the instruction at [addr]. *)

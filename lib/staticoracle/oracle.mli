@@ -1,0 +1,83 @@
+(** The static mutation oracle: FastFlip-style pre-classification of
+    every injection target by decoding the mutated byte stream in place,
+    without booting the machine.
+
+    The oracle predicts an outcome class per target; the [Equivalent]
+    class is {e sound} (the flip provably cannot change behavior, value
+    or timing) and is used by [Experiment.run_campaign ?oracle] to prune
+    campaigns.  All other classes are predictions validated against real
+    runs by the confusion matrix in [Kfi_analysis.Report]. *)
+
+open Kfi_isa
+open Kfi_injector
+
+(** Result of the resynchronization walk after a length-changing
+    mutation (the paper's Table 6/7 boundary-shift case studies). *)
+type resync = {
+  rs_mut_len : int;        (** length of the mutated first instruction *)
+  rs_resync : int option;  (** bytes past the target where the shifted
+                               stream realigns with an original
+                               instruction boundary, if it ever does *)
+  rs_invalid : bool;       (** hits an undecodable hole first *)
+  rs_control : bool;       (** crosses a control transfer first *)
+}
+
+type clazz =
+  | Equivalent of string   (** provably benign; the payload says why *)
+  | Invalid_opcode         (** mutant is undecodable or ud2 *)
+  | Cond_reversed          (** campaign C's bit: same branch, reversed *)
+  | Priv_change            (** mutant is privileged / io / system *)
+  | Control_change         (** control flow added, removed or retargeted *)
+  | Boundary_shift of resync (** mutant length differs: stream shifts *)
+  | Operand_change of { dead_write : bool }
+      (** same shape, different data flow; [dead_write] flags mutants
+          that only write dead registers (likely benign, not provable) *)
+  | Register_target        (** campaign R targets are not text mutations *)
+
+type prediction =
+  | P_not_manifested       (** sound: cannot manifest *)
+  | P_crash of Outcome.crash_cause
+      (** expected crash cause, {e if} the error activates and crashes *)
+  | P_likely_benign
+  | P_divergent            (** no claim *)
+
+type t
+
+val create : Kfi_kernel.Build.t -> t
+(** An oracle over the assembled kernel.  CFGs and liveness are computed
+    per function on demand and cached. *)
+
+val fn_cfg : t -> string -> Cfg.t
+val fn_liveness : t -> string -> (int32, int) Hashtbl.t
+
+val classify : t -> Target.t -> clazz
+(** Classify one target by decoding its mutated bytes.  Total: every
+    campaign A/B/C/R target gets a class. *)
+
+val predict : clazz -> prediction
+
+val pruner : t -> Target.t -> Outcome.t option
+(** The [Experiment.run_campaign ?oracle] hook: [Some Not_manifested]
+    for provably-[Equivalent] targets, [None] (run for real) otherwise. *)
+
+val agrees : prediction -> Outcome.t -> bool
+(** Whether an observed outcome is consistent with a prediction
+    ([P_divergent] claims nothing; [P_crash] is conditional on the
+    error activating). *)
+
+val is_pure : Insn.t -> bool
+(** No memory access, no control transfer, no privileged effect, cannot
+    fault, single-cycle.  Exposed for tests. *)
+
+val writes_mem : Insn.t -> bool
+
+val class_name : clazz -> string
+
+val class_detail : clazz -> string
+(** Like {!class_name} but with resync / equivalence detail. *)
+
+val prediction_name : prediction -> string
+val all_class_names : string list
+
+val histogram : t -> Target.t list -> (string * int) list
+(** Class-name counts over a target list, in {!all_class_names} order. *)

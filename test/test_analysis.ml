@@ -25,6 +25,7 @@ let mk ?(campaign = Target.A) ?fn ?subsys outcome =
     r_target = mk_target ?fn ?subsys ();
     r_workload = 0;
     r_outcome = outcome;
+    r_predicted = false;
   }
 
 let crash ?(cause = Outcome.Null_pointer) ?(latency = 5) ?(crash_subsys = Some "fs")

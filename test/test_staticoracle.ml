@@ -1,0 +1,313 @@
+(* Static-oracle tests: CFG construction and liveness on hand-assembled
+   snippets, decoder totality under every possible single-bit text
+   corruption, classification totality over the real campaigns, and the
+   soundness of the Equivalent class against real injection runs. *)
+
+open Kfi_isa
+open Kfi_injector
+module Asm = Kfi_asm.Assembler
+module Cfg = Kfi_staticoracle.Cfg
+module Oracle = Kfi_staticoracle.Oracle
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let build = lazy (Kfi_kernel.Build.build ())
+let oracle = lazy (Oracle.create (Lazy.force build))
+
+(* One shared runner for the slow soundness test. *)
+let runner = lazy (Runner.create ())
+
+let injectable_fns () =
+  let b = Lazy.force build in
+  List.filter_map
+    (fun (f : Asm.fn_info) ->
+      if List.mem f.Asm.f_subsys Experiment.injectable_subsystems then Some f.Asm.f_name
+      else None)
+    b.Kfi_kernel.Build.funcs
+
+(* Assemble a snippet and build the CFG of one of its functions. *)
+let snippet_cfg fn items =
+  let r = Asm.assemble ~base:0x1000l items in
+  let insns =
+    List.filter_map
+      (fun (i : Asm.insn_info) ->
+        if i.Asm.i_fn = Some fn then
+          Some
+            {
+              Cfg.a = Int32.add r.Asm.base (Int32.of_int i.Asm.i_off);
+              len = i.Asm.i_len;
+              i = i.Asm.i_insn;
+            }
+        else None)
+      r.Asm.insns
+  in
+  Cfg.build ~fn insns
+
+(* {2 CFG units} *)
+
+let test_cfg_diamond () =
+  let open Insn in
+  let c =
+    snippet_cfg "diamond"
+      [
+        Asm.Fn_start ("diamond", "test");
+        Asm.Ins (Alu_rm_r (Cmp, Reg eax, ebx));
+        Asm.Jcc_sym (E, "else_");
+        Asm.Ins (Mov_ri (ecx, 1l));
+        Asm.Jmp_sym "join";
+        Asm.Label "else_";
+        Asm.Ins (Mov_ri (ecx, 2l));
+        Asm.Label "join";
+        Asm.Ins Ret;
+        Asm.Fn_end "diamond";
+      ]
+  in
+  check int "blocks" 4 (Cfg.n_blocks c);
+  check int "edges" 4 (Cfg.n_edges c);
+  check int "back edges" 0 (Cfg.n_back_edges c);
+  check bool "no indirect" false (Cfg.has_indirect c);
+  check int "no external" 0 (Cfg.n_external c);
+  (* the entry block ends in the conditional and has both successors *)
+  let entry = c.Cfg.c_blocks.(0) in
+  check int "entry succ count" 2 (List.length entry.Cfg.b_succ)
+
+let test_cfg_loop () =
+  let open Insn in
+  let c =
+    snippet_cfg "loop"
+      [
+        Asm.Fn_start ("loop", "test");
+        Asm.Ins (Mov_ri (eax, 10l));
+        Asm.Label "top";
+        Asm.Ins (Dec_r eax);
+        Asm.Jcc_sym (NE, "top");
+        Asm.Ins Ret;
+        Asm.Fn_end "loop";
+      ]
+  in
+  check int "blocks" 3 (Cfg.n_blocks c);
+  check int "back edges" 1 (Cfg.n_back_edges c)
+
+let test_cfg_indirect_and_external () =
+  let open Insn in
+  let ind =
+    snippet_cfg "ind"
+      [
+        Asm.Fn_start ("ind", "test");
+        Asm.Ins (Call_rm (Reg eax));
+        Asm.Ins Ret;
+        Asm.Fn_end "ind";
+      ]
+  in
+  check bool "indirect call detected" true (Cfg.has_indirect ind);
+  let ext =
+    snippet_cfg "f"
+      [
+        Asm.Fn_start ("f", "test");
+        Asm.Jmp_sym "g";
+        Asm.Fn_end "f";
+        Asm.Fn_start ("g", "test");
+        Asm.Ins Ret;
+        Asm.Fn_end "g";
+      ]
+  in
+  check int "tail jump is external" 1 (Cfg.n_external ext)
+
+let test_liveness_dead_overwrite () =
+  let open Insn in
+  let c =
+    snippet_cfg "dead"
+      [
+        Asm.Fn_start ("dead", "test");
+        Asm.Ins (Mov_ri (eax, 1l));
+        Asm.Ins (Mov_ri (eax, 2l));
+        Asm.Ins Ret;
+        Asm.Fn_end "dead";
+      ]
+  in
+  let live = Cfg.liveness c in
+  let addr_of_nth n =
+    let b = c.Cfg.c_blocks.(0) in
+    (List.nth b.Cfg.b_insns n).Cfg.a
+  in
+  (* eax is overwritten before any use: dead after the first mov *)
+  check bool "eax dead after first mov" true (Cfg.is_dead live (addr_of_nth 0) Insn.eax);
+  (* after the second mov, Ret is an all-live exit: eax is live *)
+  check bool "eax live before ret" false (Cfg.is_dead live (addr_of_nth 1) Insn.eax)
+
+let test_cfg_covers_all_kernel_functions () =
+  (* CFG construction is total over the real kernel and accounts for
+     every decoded instruction. *)
+  let o = Lazy.force oracle in
+  List.iter
+    (fun fn ->
+      let c = Oracle.fn_cfg o fn in
+      let by_blocks =
+        Array.fold_left (fun acc b -> acc + List.length b.Cfg.b_insns) 0 c.Cfg.c_blocks
+      in
+      check int (fn ^ " instruction partition") (Cfg.n_insns c) by_blocks;
+      check bool (fn ^ " nonempty") true (Cfg.n_blocks c > 0))
+    (injectable_fns ())
+
+(* {2 Decoder totality under corruption} *)
+
+let test_decode_total_under_bit_flips () =
+  (* Property: for every byte of kernel text and each of its 8 bit
+     flips, the decoder terminates without raising, and a successful
+     decode consumes at least one byte.  This is the ground the whole
+     oracle (and the injector) stands on. *)
+  let b = Lazy.force build in
+  let code = Bytes.copy b.Kfi_kernel.Build.asm.Asm.code in
+  let n = b.Kfi_kernel.Build.text_size in
+  let checked = ref 0 in
+  for off = 0 to n - 1 do
+    let orig = Char.code (Bytes.get code off) in
+    for bit = 0 to 7 do
+      Bytes.set code off (Char.chr (orig lxor (1 lsl bit)));
+      (match Decode.decode_bytes code off with
+      | Decode.Ok (_, len) ->
+          if len < 1 then Alcotest.failf "zero-length decode at 0x%x bit %d" off bit
+      | Decode.Invalid -> ());
+      incr checked
+    done;
+    Bytes.set code off (Char.chr orig)
+  done;
+  check bool "flips checked" true (!checked = 8 * n)
+
+let test_disasm_total_under_bit_flips () =
+  (* The disassembler must render any corrupted window without raising
+     (it is used on mutants in reports and case studies). *)
+  let b = Lazy.force build in
+  let code = Bytes.copy b.Kfi_kernel.Build.asm.Asm.code in
+  let base = b.Kfi_kernel.Build.asm.Asm.base in
+  let n = b.Kfi_kernel.Build.text_size in
+  let off = ref 0 in
+  while !off < n - 16 do
+    let orig = Char.code (Bytes.get code !off) in
+    let bit = !off mod 8 in
+    Bytes.set code !off (Char.chr (orig lxor (1 lsl bit)));
+    let s = Disasm.range ~base code ~off:!off ~len:16 in
+    check bool "disasm nonempty" true (String.length s > 0);
+    Bytes.set code !off (Char.chr orig);
+    off := !off + 37
+  done
+
+(* {2 Classification} *)
+
+let test_classify_total_and_campaign_c () =
+  let b = Lazy.force build in
+  let o = Lazy.force oracle in
+  let fns = injectable_fns () in
+  List.iter
+    (fun campaign ->
+      let targets = Target.enumerate b ~campaign ~seed:7 fns in
+      check bool "targets nonempty" true (targets <> []);
+      (* histogram is total: every target lands in exactly one class *)
+      let h = Oracle.histogram o targets in
+      let total = List.fold_left (fun acc (_, n) -> acc + n) 0 h in
+      check int "all targets classified" (List.length targets) total;
+      if campaign = Target.C then
+        List.iter
+          (fun t ->
+            match Oracle.classify o t with
+            | Oracle.Cond_reversed -> ()
+            | c -> Alcotest.failf "C target classified %s" (Oracle.class_name c))
+          targets)
+    [ Target.A; Target.B; Target.C ]
+
+let test_classify_expected_classes () =
+  let b = Lazy.force build in
+  let o = Lazy.force oracle in
+  let targets = Target.enumerate b ~campaign:Target.A ~seed:42 (injectable_fns ()) in
+  let classes = List.map (fun t -> (t, Oracle.classify o t)) targets in
+  let count p = List.length (List.filter (fun (_, c) -> p c) classes) in
+  (* the opcode map is sparse: a healthy share of flips hit holes *)
+  check bool "invalid opcodes found" true
+    (count (function Oracle.Invalid_opcode -> true | _ -> false) > 0);
+  check bool "boundary shifts found" true
+    (count (function Oracle.Boundary_shift _ -> true | _ -> false) > 0);
+  check bool "equivalents found" true
+    (count (function Oracle.Equivalent _ -> true | _ -> false) > 0);
+  check bool "dead writes found" true
+    (count (function Oracle.Operand_change { dead_write = true } -> true | _ -> false) > 0);
+  (* invalid-opcode mutants predict the invalid-opcode crash cause *)
+  List.iter
+    (fun (_, c) ->
+      match c with
+      | Oracle.Invalid_opcode ->
+          check bool "invalid predicts trap 6" true
+            (Oracle.predict c = Oracle.P_crash Outcome.Invalid_opcode)
+      | _ -> ())
+    classes
+
+let test_pruner_only_prunes_equivalent () =
+  let b = Lazy.force build in
+  let o = Lazy.force oracle in
+  let targets = Target.enumerate b ~campaign:Target.A ~seed:42 (injectable_fns ()) in
+  List.iter
+    (fun t ->
+      let pruned = Oracle.pruner o t in
+      match (Oracle.classify o t, pruned) with
+      | Oracle.Equivalent _, Some Outcome.Not_manifested -> ()
+      | Oracle.Equivalent _, _ -> Alcotest.fail "equivalent target not pruned"
+      | _, Some _ -> Alcotest.fail "non-equivalent target pruned"
+      | _, None -> ())
+    targets
+
+let test_register_targets () =
+  let b = Lazy.force build in
+  let o = Lazy.force oracle in
+  let targets = Target.enumerate b ~campaign:Target.R ~seed:42 [ "schedule" ] in
+  check bool "R targets nonempty" true (targets <> []);
+  List.iter
+    (fun t ->
+      match Oracle.classify o t with
+      | Oracle.Register_target -> ()
+      | c -> Alcotest.failf "R target classified %s" (Oracle.class_name c))
+    targets
+
+(* {2 Soundness (slow): pruned targets really are benign} *)
+
+let test_equivalent_soundness () =
+  (* Every target the oracle would prune must, when actually run, be
+     Not_activated or Not_manifested — never a crash, hang or fail
+     silence violation.  A single counterexample is an oracle bug. *)
+  let b = Lazy.force build in
+  let o = Lazy.force oracle in
+  let targets = Target.enumerate b ~campaign:Target.A ~seed:42 (injectable_fns ()) in
+  let equivalents =
+    List.filter (fun t -> match Oracle.classify o t with Oracle.Equivalent _ -> true | _ -> false) targets
+  in
+  check bool "have equivalents to audit" true (equivalents <> []);
+  (* cap the audit: real runs are expensive *)
+  let audit = List.filteri (fun i _ -> i mod 7 = 0) equivalents in
+  let r = Lazy.force runner in
+  let wl = Kfi_workload.Progs.index_of "fstime" in
+  List.iter
+    (fun (t : Target.t) ->
+      match Runner.run_one r ~workload:wl t with
+      | Outcome.Not_activated | Outcome.Not_manifested -> ()
+      | out ->
+          Alcotest.failf "pruned target %s+0x%x bit %d manifested as %s"
+            t.Target.t_fn t.Target.t_byte t.Target.t_bit (Outcome.category out))
+    audit
+
+let suite =
+  [
+    Alcotest.test_case "cfg diamond" `Quick test_cfg_diamond;
+    Alcotest.test_case "cfg loop back edge" `Quick test_cfg_loop;
+    Alcotest.test_case "cfg indirect + external" `Quick test_cfg_indirect_and_external;
+    Alcotest.test_case "liveness dead overwrite" `Quick test_liveness_dead_overwrite;
+    Alcotest.test_case "cfg total over kernel" `Quick test_cfg_covers_all_kernel_functions;
+    Alcotest.test_case "decode total under bit flips" `Quick test_decode_total_under_bit_flips;
+    Alcotest.test_case "disasm total under bit flips" `Quick test_disasm_total_under_bit_flips;
+    Alcotest.test_case "classification total; C = cond reversed" `Quick
+      test_classify_total_and_campaign_c;
+    Alcotest.test_case "expected classes present" `Quick test_classify_expected_classes;
+    Alcotest.test_case "pruner prunes exactly equivalents" `Quick
+      test_pruner_only_prunes_equivalent;
+    Alcotest.test_case "campaign R classified" `Quick test_register_targets;
+    Alcotest.test_case "equivalent class is sound" `Slow test_equivalent_soundness;
+  ]
