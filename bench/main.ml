@@ -9,7 +9,7 @@
      bench/main.exe perf            # simulator micro-benchmarks only
 
    Experiment ids: table1 fig1 table4 fig4 table5 fig6 fig7 fig8 ablation regcmp
-   oracle perf *)
+   oracle trace perf *)
 
 let header title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 78 '=') title (String.make 78 '=')
@@ -120,13 +120,14 @@ let () =
     |> function
     | [] ->
       [ "table1"; "fig1"; "table4"; "fig4"; "table5"; "fig6"; "fig7"; "fig8"; "ablation";
-        "regcmp"; "oracle"; "perf" ]
+        "regcmp"; "oracle"; "trace"; "perf" ]
     | l -> l
   in
   let want x = List.mem x wanted in
   let need_study =
     List.exists want
-      [ "table1"; "fig4"; "table5"; "fig6"; "fig7"; "fig8"; "ablation"; "regcmp"; "oracle" ]
+      [ "table1"; "fig4"; "table5"; "fig6"; "fig7"; "fig8"; "ablation"; "regcmp"; "oracle";
+        "trace" ]
   in
   if need_study then begin
     Printf.eprintf "bench: booting kernel, golden runs, profiling...\n%!";
@@ -275,6 +276,34 @@ let () =
       print_newline ();
       (* predicted-vs-observed confusion matrix over the unpruned run *)
       print_string (Kfi.Analysis.Report.oracle_matrix oracle plain)
+    end;
+    if want "trace" then begin
+      header "Extension — flight recorder overhead (campaign A per trace level)";
+      let runner = study.Kfi.Study.runner in
+      let sweep level name =
+        Kfi.Injector.Runner.set_trace_level runner level;
+        Printf.eprintf "bench: campaign A with tracing %s...\n%!" name;
+        let t0 = Sys.time () in
+        let records = Kfi.Study.run_campaign ~subsample study Kfi.Campaign.A in
+        (name, Sys.time () -. t0, List.length records)
+      in
+      let off = sweep Kfi.Isa.Trace.Off "off" in
+      let ring = sweep Kfi.Isa.Trace.Ring "ring" in
+      let full = sweep Kfi.Isa.Trace.Full "full" in
+      Kfi.Injector.Runner.set_trace_level runner Kfi.Isa.Trace.Ring;
+      let _, t_off, _ = off in
+      List.iter
+        (fun (name, dt, n) ->
+          Printf.printf
+            "tracing %-6s %6d experiments in %6.2f s  (%6.1f inj/s, %+5.1f%% vs off)\n"
+            name n dt
+            (float_of_int n /. dt)
+            (100. *. (dt -. t_off) /. t_off))
+        [ off; ring; full ];
+      Printf.printf
+        "\n(with the recorder off the per-instruction cost is one level compare;\n\
+        \ the ring level buys every crash a propagation path, full adds machine\n\
+        \ events — the price of always-on forensics)\n"
     end
   end;
   if want "fig1" && not need_study then begin

@@ -2,14 +2,25 @@
 
    kfi-campaign                  # scaled-down sweep (fast)
    kfi-campaign --full           # full-scale target enumeration
-   kfi-campaign -c A --subsample 20 --csv out.csv *)
+   kfi-campaign -c A --subsample 20 --csv out.csv --jsonl out.jsonl *)
 
 open Cmdliner
 
-let run campaigns subsample full csv_path seed quiet hardening =
+let run campaigns subsample full csv_path jsonl_path seed quiet hardening =
   let subsample = if full then 1 else subsample in
   Printf.eprintf "booting kernel + golden runs + profiling...\n%!";
   let study = Kfi.Study.prepare () in
+  let jsonl_oc = Option.map open_out jsonl_path in
+  let telemetry =
+    Option.map
+      (fun oc ->
+        Kfi.Trace.Telemetry.create
+          ~sink:(fun line ->
+            output_string oc line;
+            output_char oc '\n')
+          ())
+      jsonl_oc
+  in
   let campaigns =
     match campaigns with
     | [] -> [ Kfi.Campaign.A; Kfi.Campaign.B; Kfi.Campaign.C ]
@@ -31,12 +42,15 @@ let run campaigns subsample full csv_path seed quiet hardening =
     List.concat_map
       (fun c ->
         Printf.eprintf "campaign %s...\n%!" (Kfi.Injector.Target.campaign_letter c);
-        let r = Kfi.Study.run_campaign ~subsample ~seed ~hardening ~on_progress study c in
+        let r =
+          Kfi.Study.run_campaign ~subsample ~seed ~hardening ?telemetry ~on_progress
+            study c
+        in
         Printf.eprintf "\r  %d experiments done\n%!" (List.length r);
         r)
       campaigns
   in
-  print_string (Kfi.Study.report study records);
+  print_string (Kfi.Study.report ?telemetry study records);
   (match csv_path with
    | Some path ->
      let oc = open_out path in
@@ -44,6 +58,11 @@ let run campaigns subsample full csv_path seed quiet hardening =
      close_out oc;
      Printf.eprintf "wrote %s\n%!" path
    | None -> ());
+  (match (jsonl_oc, jsonl_path) with
+   | Some oc, Some path ->
+     close_out oc;
+     Printf.eprintf "wrote %s\n%!" path
+   | _ -> ());
   0
 
 let campaigns_arg =
@@ -54,6 +73,13 @@ let subsample_arg =
 
 let full_arg = Arg.(value & flag & info [ "full" ] ~doc:"Full-scale sweep (subsample 1).")
 let csv_arg = Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write raw records to CSV.")
+
+let jsonl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "jsonl" ]
+        ~doc:"Write the telemetry event log (JSONL, one event per target).")
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed for per-byte bit choice.")
 let quiet_arg = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress output.")
 
@@ -67,7 +93,7 @@ let cmd =
   Cmd.v
     (Cmd.info "kfi-campaign" ~doc:"Kernel fault-injection campaigns (DSN'03 reproduction)")
     Term.(
-      const run $ campaigns_arg $ subsample_arg $ full_arg $ csv_arg $ seed_arg $ quiet_arg
-      $ hardening_arg)
+      const run $ campaigns_arg $ subsample_arg $ full_arg $ csv_arg $ jsonl_arg
+      $ seed_arg $ quiet_arg $ hardening_arg)
 
 let () = exit (Cmd.eval' cmd)

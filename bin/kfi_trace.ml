@@ -1,0 +1,223 @@
+(* Replay a single injection with the flight recorder on and print the
+   forensics: outcome, symbolized instruction trace, backtrace, the
+   simulated LKCD oops dump and the reconstructed propagation path.
+
+     kfi-trace --fn clear_page --byte 2 --bit 4
+     kfi-trace --fn do_page_fault --addr 0xc0100f30 --byte 1 --bit 7
+     kfi-trace --lint campaign.jsonl     # schema-lint a telemetry log
+
+   Targets are addressed as in campaign CSVs: either a byte offset from
+   the function start (--byte alone), or an instruction address plus the
+   byte within that instruction (--addr + --byte). *)
+
+open Cmdliner
+module Target = Kfi.Injector.Target
+module Runner = Kfi.Injector.Runner
+module Outcome = Kfi.Injector.Outcome
+module Forensics = Kfi.Trace.Forensics
+module Telemetry = Kfi.Trace.Telemetry
+module Asm = Kfi.Asm.Assembler
+module Build = Kfi.Kernel.Build
+module L = Kfi.Kernel.Layout
+
+let lint_file path =
+  match
+    let ic = open_in_bin path in
+    let doc = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Telemetry.lint doc
+  with
+  | exception Sys_error msg ->
+    Printf.eprintf "kfi-trace: %s\n" msg;
+    1
+  | Ok n ->
+    Printf.printf "%s: %d events, schema OK\n" path n;
+    0
+  | Error (line, msg) ->
+    Printf.eprintf "%s: line %d: %s\n" path line msg;
+    1
+
+(* Resolve (--fn, --byte [, --addr]) to a concrete text target. *)
+let resolve_target build fn ~byte ~bit ~addr =
+  let fninfo =
+    List.find_opt
+      (fun f -> f.Asm.f_name = fn)
+      (build : Build.t).Build.funcs
+  in
+  match fninfo with
+  | None -> Error (Printf.sprintf "unknown kernel function %S" fn)
+  | Some f ->
+    let insns = Target.fn_insns build fn in
+    let found =
+      match addr with
+      | Some a ->
+        let off = a - L.kernel_text_base in
+        List.find_opt (fun (i : Asm.insn_info) -> i.Asm.i_off = off) insns
+        |> Option.map (fun i -> (i, byte))
+      | None ->
+        let image_off = f.Asm.f_off + byte in
+        List.find_opt
+          (fun (i : Asm.insn_info) ->
+            image_off >= i.Asm.i_off && image_off < i.Asm.i_off + i.Asm.i_len)
+          insns
+        |> Option.map (fun i -> (i, image_off - i.Asm.i_off))
+    in
+    (match found with
+     | None ->
+       Error
+         (Printf.sprintf "no instruction at %s in %s (function is 0x%x bytes)"
+            (match addr with
+             | Some a -> Printf.sprintf "0x%x" a
+             | None -> Printf.sprintf "+0x%x" byte)
+            fn f.Asm.f_size)
+     | Some (i, t_byte) when t_byte < 0 || t_byte >= i.Asm.i_len ->
+       Error
+         (Printf.sprintf "byte %d outside the %d-byte instruction at 0x%x"
+            t_byte i.Asm.i_len (L.kernel_text_base + i.Asm.i_off))
+     | Some (i, t_byte) ->
+       Ok
+         {
+           Target.t_fn = fn;
+           t_subsys = f.Asm.f_subsys;
+           t_addr = Int32.of_int (L.kernel_text_base + i.Asm.i_off);
+           t_len = i.Asm.i_len;
+           t_insn = i.Asm.i_insn;
+           t_kind = Target.Text;
+           t_byte;
+           t_bit = bit land 7;
+         })
+
+let outcome_lines outcome =
+  match outcome with
+  | Outcome.Not_activated -> "outcome: not activated (instruction never reached)\n"
+  | Outcome.Not_manifested -> "outcome: activated, not manifested\n"
+  | Outcome.Fail_silence_violation (why, sev) ->
+    Printf.sprintf "outcome: fail silence violation (%s), severity %s\n" why
+      (Outcome.severity_name sev)
+  | Outcome.Hang sev ->
+    Printf.sprintf "outcome: hang (watchdog), severity %s\n"
+      (Outcome.severity_name sev)
+  | Outcome.Crash c ->
+    Printf.sprintf
+      "outcome: %s\n\
+      \  cause:       %s\n\
+      \  crash site:  %s (%s)\n\
+      \  latency:     %d cycles\n\
+      \  severity:    %s\n\
+      \  propagation: %s\n"
+      (Outcome.category outcome)
+      (Outcome.cause_name c.Outcome.cause)
+      (Option.value ~default:"?" c.Outcome.crash_fn)
+      (Option.value ~default:"?" c.Outcome.crash_subsys)
+      c.Outcome.latency
+      (Outcome.severity_name c.Outcome.severity)
+      (Forensics.path_to_string c.Outcome.propagation)
+
+let run lint fn byte bit addr workload level trace_n =
+  match lint with
+  | Some path -> lint_file path
+  | None -> (
+    match fn with
+    | None ->
+      Printf.eprintf "kfi-trace: either --lint or --fn is required (see --help)\n";
+      2
+    | Some fn -> (
+      Printf.eprintf "booting kernel + golden runs + profiling...\n%!";
+      let study = Kfi.Study.prepare () in
+      let runner = study.Kfi.Study.runner in
+      let build = Kfi.Study.build study in
+      match resolve_target build fn ~byte ~bit ~addr with
+      | Error msg ->
+        Printf.eprintf "kfi-trace: %s\n" msg;
+        1
+      | Ok target ->
+        let workload =
+          match workload with
+          | Some w -> Kfi.Workload.Progs.index_of w
+          | None -> Kfi.Injector.Experiment.workload_for study.Kfi.Study.profile target
+        in
+        Runner.set_trace_level runner
+          (match level with
+           | "ring" -> Kfi.Isa.Trace.Ring
+           | "off" -> Kfi.Isa.Trace.Off
+           | _ -> Kfi.Isa.Trace.Full);
+        let outcome = Runner.run_one runner ~workload target in
+        let inject_desc =
+          Printf.sprintf "bit %d of byte %d in %s at 0x%08lx (%s, workload %s)"
+            target.Target.t_bit target.Target.t_byte target.Target.t_fn
+            target.Target.t_addr
+            target.Target.t_subsys
+            (List.nth Kfi.Workload.Progs.names workload)
+        in
+        Printf.printf "injection: %s\n" inject_desc;
+        print_string (outcome_lines outcome);
+        print_newline ();
+        (match outcome with
+         | Outcome.Crash _ | Outcome.Hang _ ->
+           let machine = runner.Runner.machine in
+           let dump = Build.read_dump machine in
+           print_string
+             (Forensics.oops ?dump
+                ?injected_at:runner.Runner.last_injected_at ~inject_desc
+                ~trace_n build machine)
+         | _ ->
+           (* no crash: the trace listing alone is still useful *)
+           print_string
+             (Forensics.trace_listing ~n:trace_n build runner.Runner.machine));
+        0))
+
+let lint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "lint" ] ~docv:"FILE"
+        ~doc:"Schema-lint a telemetry JSONL file and exit (no kernel boot).")
+
+let fn_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fn" ] ~docv:"NAME" ~doc:"Kernel function to inject into.")
+
+let byte_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "byte" ]
+        ~doc:
+          "Byte offset from the function start; with $(b,--addr), the byte \
+           within that instruction (as in campaign CSVs).")
+
+let bit_arg = Arg.(value & opt int 0 & info [ "bit" ] ~doc:"Bit to flip (0-7).")
+
+let addr_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "addr" ] ~docv:"ADDR"
+        ~doc:"Virtual address of the target instruction (e.g. 0xc0100f30).")
+
+let workload_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "workload" ] ~doc:"Driving workload (default: profile-matched).")
+
+let level_arg =
+  Arg.(
+    value & opt string "full"
+    & info [ "level" ] ~doc:"Flight-recorder level: full, ring or off.")
+
+let trace_n_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "n" ] ~doc:"Instructions to show in the trace listing.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "kfi-trace"
+       ~doc:"Replay one injection with full tracing and print the oops dump")
+    Term.(
+      const run $ lint_arg $ fn_arg $ byte_arg $ bit_arg $ addr_arg $ workload_arg
+      $ level_arg $ trace_n_arg)
+
+let () = exit (Cmd.eval' cmd)

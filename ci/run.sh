@@ -18,6 +18,18 @@ else
   dune runtest
 fi
 
+echo "== traced campaign: CSV + JSONL telemetry artifacts =="
+mkdir -p _artifacts
+dune exec bin/kfi_campaign.exe -- -c A --subsample 60 -q \
+  --csv _artifacts/campaign.csv --jsonl _artifacts/campaign.jsonl \
+  > _artifacts/report.txt
+# the telemetry log must pass the schema lint
+dune exec bin/kfi_trace.exe -- --lint _artifacts/campaign.jsonl
+grep -q 'Campaign telemetry' _artifacts/report.txt || {
+  echo "telemetry summary missing from the report" >&2
+  exit 1
+}
+
 echo "== static oracle self-check =="
 # Classification must be total and campaign C must be 100% reversed
 # conditions; both are printed by the histogram dump.

@@ -230,6 +230,73 @@ let fig8 records =
           Buffer.add_string b "\n")
         (campaigns_present records))
 
+(* ----- propagation paths from the flight recorder ----- *)
+
+(* Subsystem-level view of a (function, subsystem) path: consecutive
+   same-subsystem hops merge. *)
+let subsys_chain p =
+  List.fold_left
+    (fun acc (_, s) -> match acc with s' :: _ when s' = s -> acc | _ -> s :: acc)
+    [] p
+  |> List.rev
+
+let propagation_paths records =
+  with_buf (fun b ->
+      Buffer.add_string b
+        "Propagation paths (flight-recorder reconstruction, crashes only)\n";
+      Buffer.add_string b (line ^ "\n");
+      let paths =
+        List.filter_map
+          (fun (r : Experiment.record) ->
+            match r.Experiment.r_outcome with
+            | Outcome.Crash { propagation = _ :: _ as p; _ } -> Some p
+            | _ -> None)
+          records
+      in
+      if paths = [] then Buffer.add_string b "no crashes with a recorded path\n"
+      else begin
+        let tally = Hashtbl.create 16 in
+        List.iter
+          (fun p ->
+            let k = String.concat " -> " (subsys_chain p) in
+            Hashtbl.replace tally k
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tally k)))
+          paths;
+        let rows =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
+          |> List.sort (fun (_, a) (_, b) -> compare b a)
+        in
+        let total = List.length paths in
+        let crossing =
+          Stats.count (fun p -> List.length (subsys_chain p) > 1) paths
+        in
+        let hops = List.fold_left (fun a p -> a + List.length p) 0 paths in
+        Buffer.add_string b
+          (Printf.sprintf
+             "%d crash paths, %.1f hops on average, %d (%.1f%%) crossing subsystems\n\n"
+             total
+             (float_of_int hops /. float_of_int total)
+             crossing (pct crossing total));
+        Buffer.add_string b (Printf.sprintf "%6s  %s\n" "count" "subsystem path");
+        List.iter
+          (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%6d  %s\n" v k))
+          rows;
+        let longest =
+          List.sort (fun a b -> compare (List.length b) (List.length a)) paths
+        in
+        Buffer.add_string b "\nlongest function-level paths:\n";
+        List.iteri
+          (fun i p ->
+            if i < 5 then
+              Buffer.add_string b
+                (Printf.sprintf "  %s\n" (Kfi_trace.Forensics.path_to_string p)))
+          longest
+      end)
+
+(* ----- campaign telemetry ----- *)
+let telemetry_summary tm =
+  Kfi_trace.Telemetry.summary_to_string (Kfi_trace.Telemetry.summary tm)
+
 (* ----- Table 5: most severe crashes ----- *)
 let table5 records =
   with_buf (fun b ->
@@ -372,7 +439,7 @@ let table4 =
     ]
 
 (* full report *)
-let full ?oracle ~build ~profile ~core records =
+let full ?oracle ?telemetry ~build ~profile ~core records =
   String.concat "\n"
     ([
        table1 profile ~core;
@@ -384,6 +451,8 @@ let full ?oracle ~build ~profile ~core records =
        fig6 records;
        fig7 records;
        fig8 records;
+       propagation_paths records;
        table5 records;
      ]
-    @ match oracle with Some o -> [ oracle_matrix o records ] | None -> [])
+    @ (match oracle with Some o -> [ oracle_matrix o records ] | None -> [])
+    @ match telemetry with Some tm -> [ telemetry_summary tm ] | None -> [])

@@ -32,6 +32,15 @@ val fig7 : Experiment.record list -> string
 val fig8 : Experiment.record list -> string
 (** Figure 8: error-propagation graphs. *)
 
+val propagation_paths : Experiment.record list -> string
+(** The flight-recorder view of error propagation: subsystem-level path
+    tallies, cross-subsystem rate, average hop count and the longest
+    function-level corruption-site -> crash-site chains. *)
+
+val telemetry_summary : Kfi_trace.Telemetry.t -> string
+(** The campaign-telemetry aggregate block (throughput, activation rate,
+    restore cost, simulated cycles). *)
+
 val table5 : Experiment.record list -> string
 (** Table 5: the most severe crashes. *)
 
@@ -44,10 +53,12 @@ val oracle_matrix :
 
 val full :
   ?oracle:Kfi_staticoracle.Oracle.t ->
+  ?telemetry:Kfi_trace.Telemetry.t ->
   build:Kfi_kernel.Build.t ->
   profile:Kfi_profiler.Sampler.profile ->
   core:(string * int) list ->
   Experiment.record list ->
   string
-(** The whole report in paper order; with [oracle] it ends with the
-    {!oracle_matrix} validation section. *)
+(** The whole report in paper order, with the {!propagation_paths}
+    section after Figure 8; [oracle] appends the {!oracle_matrix}
+    validation and [telemetry] the {!telemetry_summary} block. *)

@@ -17,6 +17,7 @@
    - {!Kfi_workload}: the UnixBench-like workload programs,
    - {!Kfi_profiler}: kernprof-style PC-sampling profiler,
    - {!Kfi_injector}: campaigns, targets, runner, outcome classification,
+   - {!Kfi_trace}: flight-recorder forensics and campaign telemetry,
    - {!Kfi_analysis}: aggregation and table/figure rendering. *)
 
 module Isa = Kfi_isa
@@ -28,6 +29,7 @@ module Workload = Kfi_workload
 module Profiler = Kfi_profiler
 module Injector = Kfi_injector
 module Staticoracle = Kfi_staticoracle
+module Trace = Kfi_trace
 module Analysis = Kfi_analysis
 
 (* Re-exports of the most used types *)
@@ -62,19 +64,21 @@ module Study = struct
      targets without running them. *)
   let make_oracle t = Kfi_staticoracle.Oracle.create (build t)
 
-  let run_campaign ?subsample ?seed ?hardening ?oracle ?on_progress t campaign =
+  let run_campaign ?subsample ?seed ?hardening ?oracle ?telemetry ?on_progress t
+      campaign =
     let oracle = Option.map Kfi_staticoracle.Oracle.pruner oracle in
-    Kfi_injector.Experiment.run_campaign ?subsample ?seed ?hardening ?oracle ?on_progress
-      t.runner t.profile campaign
+    Kfi_injector.Experiment.run_campaign ?subsample ?seed ?hardening ?oracle
+      ?telemetry ?on_progress t.runner t.profile campaign
 
-  let run_campaigns ?subsample ?seed ?hardening ?oracle ?on_progress t () =
+  let run_campaigns ?subsample ?seed ?hardening ?oracle ?telemetry ?on_progress t
+      () =
     let oracle = Option.map Kfi_staticoracle.Oracle.pruner oracle in
-    Kfi_injector.Experiment.run_all ?subsample ?seed ?hardening ?oracle ?on_progress
-      t.runner t.profile
+    Kfi_injector.Experiment.run_all ?subsample ?seed ?hardening ?oracle ?telemetry
+      ?on_progress t.runner t.profile
 
-  let report ?oracle t records =
-    Kfi_analysis.Report.full ?oracle ~build:(build t) ~profile:t.profile ~core:t.core
-      records
+  let report ?oracle ?telemetry t records =
+    Kfi_analysis.Report.full ?oracle ?telemetry ~build:(build t) ~profile:t.profile
+      ~core:t.core records
 
   let to_csv = Kfi_injector.Experiment.to_csv
 end

@@ -8,6 +8,8 @@
    the full-scale counts. *)
 
 module Profiler = Kfi_profiler.Sampler
+module Telemetry = Kfi_trace.Telemetry
+module Forensics = Kfi_trace.Forensics
 
 type record = {
   r_campaign : Target.campaign;
@@ -75,8 +77,51 @@ let workload_for profile (t : Target.t) =
    target, that outcome is recorded with [r_predicted = true] and the
    machine never runs.  The oracle only prunes provably-equivalent
    mutations, so the observable outcome distribution is preserved. *)
-let run_campaign ?(subsample = 1) ?(seed = 42) ?(hardening = false) ?oracle ?on_progress
-    runner profile campaign =
+(* One "target" telemetry event, plus the aggregate counters the report
+   surfaces.  Pruned targets cost no machine time, so their wall/cycle
+   fields are zero and they stay out of the activation-rate denominator. *)
+let telemetry_target tm letter (runner : Runner.t) (t : Target.t) ~workload
+    ~outcome ~predicted =
+  let open Telemetry in
+  tm.n_targets <- tm.n_targets + 1;
+  let wall_ms, cycles =
+    if predicted then begin
+      tm.n_pruned <- tm.n_pruned + 1;
+      (0., 0)
+    end
+    else begin
+      tm.n_run <- tm.n_run + 1;
+      tm.wall_run <- tm.wall_run +. runner.Runner.last_wall;
+      tm.wall_restore <- tm.wall_restore +. runner.Runner.last_restore;
+      tm.sim_cycles <- tm.sim_cycles + runner.Runner.last_cycles;
+      if Outcome.is_activated outcome then tm.n_activated <- tm.n_activated + 1;
+      if Outcome.is_crash_or_hang outcome then tm.n_crash_hang <- tm.n_crash_hang + 1;
+      (runner.Runner.last_wall *. 1000., runner.Runner.last_cycles)
+    end
+  in
+  let path =
+    match outcome with
+    | Outcome.Crash { propagation = _ :: _ :: _ as p; _ } ->
+      [ ("path", List (List.map (fun (fn, s) -> Str (fn ^ "(" ^ s ^ ")")) p)) ]
+    | _ -> []
+  in
+  event tm "target"
+    ([ ("campaign", Str letter);
+       ("fn", Str t.Target.t_fn);
+       ("subsys", Str t.Target.t_subsys);
+       ("addr", Str (Printf.sprintf "0x%lx" t.Target.t_addr));
+       ("byte", Int t.Target.t_byte);
+       ("bit", Int t.Target.t_bit);
+       ("workload", Str (List.nth Kfi_workload.Progs.names workload));
+       ("outcome", Str (Outcome.category outcome));
+       ("predicted", Bool predicted);
+       ("wall_ms", Float wall_ms);
+       ("cycles", Int cycles);
+     ]
+    @ path)
+
+let run_campaign ?(subsample = 1) ?(seed = 42) ?(hardening = false) ?oracle
+    ?telemetry ?on_progress runner profile campaign =
   Runner.set_hardening runner hardening;
   let fns = campaign_functions runner profile campaign in
   let targets =
@@ -84,40 +129,96 @@ let run_campaign ?(subsample = 1) ?(seed = 42) ?(hardening = false) ?oracle ?on_
     |> subsample_targets ~subsample
   in
   let total = List.length targets in
-  List.mapi
-    (fun i (t : Target.t) ->
-      (match on_progress with Some f -> f ~done_:i ~total | None -> ());
-      let workload = workload_for profile t in
-      let predicted = match oracle with Some o -> o t | None -> None in
-      let outcome, r_predicted =
-        match predicted with
-        | Some o -> (o, true)
-        | None -> (Runner.run_one runner ~workload t, false)
-      in
-      { r_campaign = campaign; r_target = t; r_workload = workload;
-        r_outcome = outcome; r_predicted })
-    targets
+  let letter = Target.campaign_letter campaign in
+  let wall_start = Unix.gettimeofday () in
+  (match telemetry with
+   | Some tm ->
+     Telemetry.event tm "campaign_start"
+       [ ("campaign", Telemetry.Str letter);
+         ("targets", Telemetry.Int total);
+         ("subsample", Telemetry.Int subsample);
+         ("seed", Telemetry.Int seed);
+       ]
+   | None -> ());
+  let records =
+    List.mapi
+      (fun i (t : Target.t) ->
+        (match on_progress with Some f -> f ~done_:i ~total | None -> ());
+        let workload = workload_for profile t in
+        let predicted = match oracle with Some o -> o t | None -> None in
+        let outcome, r_predicted =
+          match predicted with
+          | Some o -> (o, true)
+          | None -> (Runner.run_one runner ~workload t, false)
+        in
+        (match telemetry with
+         | Some tm ->
+           telemetry_target tm letter runner t ~workload ~outcome
+             ~predicted:r_predicted
+         | None -> ());
+        { r_campaign = campaign; r_target = t; r_workload = workload;
+          r_outcome = outcome; r_predicted })
+      targets
+  in
+  (* completion tick: loop iterations report the count *before* each
+     target, so consumers would otherwise never see done_ = total *)
+  (match on_progress with Some f -> f ~done_:total ~total | None -> ());
+  (match telemetry with
+   | Some tm ->
+     let wall = Unix.gettimeofday () -. wall_start in
+     tm.Telemetry.wall_total <- tm.Telemetry.wall_total +. wall;
+     let run =
+       List.length (List.filter (fun r -> not r.r_predicted) records)
+     in
+     let activated =
+       List.length
+         (List.filter
+            (fun r -> (not r.r_predicted) && Outcome.is_activated r.r_outcome)
+            records)
+     in
+     Telemetry.event tm "campaign_end"
+       [ ("campaign", Telemetry.Str letter);
+         ("targets", Telemetry.Int total);
+         ("run", Telemetry.Int run);
+         ("pruned", Telemetry.Int (total - run));
+         ("activated", Telemetry.Int activated);
+         ("wall_s", Telemetry.Float wall);
+         ("inj_per_s",
+          Telemetry.Float (if wall > 0. then float_of_int run /. wall else 0.));
+       ]
+   | None -> ());
+  records
 
 (* Full study: all three campaigns. *)
-let run_all ?(subsample = 1) ?seed ?hardening ?oracle ?on_progress runner profile =
+let run_all ?(subsample = 1) ?seed ?hardening ?oracle ?telemetry ?on_progress
+    runner profile =
   List.concat_map
-    (fun c -> run_campaign ~subsample ?seed ?hardening ?oracle ?on_progress runner profile c)
+    (fun c ->
+      run_campaign ~subsample ?seed ?hardening ?oracle ?telemetry ?on_progress
+        runner profile c)
     [ Target.A; Target.B; Target.C ]
+
+(* RFC 4180 field quoting: fields holding a comma, quote or line break
+   are double-quoted, with embedded quotes doubled. *)
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
 
 (* CSV export for offline analysis. *)
 let to_csv records =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
-    "campaign,function,subsystem,addr,byte,bit,workload,outcome,cause,latency,crash_fn,crash_subsys,severity,dumped,predicted\n";
+    "campaign,function,subsystem,addr,byte,bit,workload,outcome,cause,latency,crash_fn,crash_subsys,severity,dumped,predicted,propagation\n";
   List.iter
     (fun r ->
       let t = r.r_target in
-      let outcome, cause, latency, cfn, csub, sev, dumped =
+      let outcome, cause, latency, cfn, csub, sev, dumped, path =
         match r.r_outcome with
-        | Outcome.Not_activated -> ("not_activated", "", "", "", "", "", "")
-        | Outcome.Not_manifested -> ("not_manifested", "", "", "", "", "", "")
+        | Outcome.Not_activated -> ("not_activated", "", "", "", "", "", "", "")
+        | Outcome.Not_manifested -> ("not_manifested", "", "", "", "", "", "", "")
         | Outcome.Fail_silence_violation (why, sev) ->
-          ("fsv", why, "", "", "", Outcome.severity_name sev, "")
+          ("fsv", why, "", "", "", Outcome.severity_name sev, "", "")
         | Outcome.Crash c ->
           ( "crash",
             Outcome.cause_name c.Outcome.cause,
@@ -125,15 +226,20 @@ let to_csv records =
             Option.value ~default:"" c.Outcome.crash_fn,
             Option.value ~default:"" c.Outcome.crash_subsys,
             Outcome.severity_name c.Outcome.severity,
-            string_of_bool c.Outcome.dumped )
-        | Outcome.Hang sev -> ("hang", "", "", "", "", Outcome.severity_name sev, "")
+            string_of_bool c.Outcome.dumped,
+            Forensics.path_to_string c.Outcome.propagation )
+        | Outcome.Hang sev ->
+          ("hang", "", "", "", "", Outcome.severity_name sev, "", "")
       in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%s,0x%lx,%d,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s\n"
+        (Printf.sprintf "%s,%s,%s,0x%lx,%d,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n"
            (Target.campaign_letter r.r_campaign)
-           t.Target.t_fn t.Target.t_subsys t.Target.t_addr t.Target.t_byte t.Target.t_bit
+           (csv_field t.Target.t_fn) (csv_field t.Target.t_subsys)
+           t.Target.t_addr t.Target.t_byte t.Target.t_bit
            (List.nth Kfi_workload.Progs.names r.r_workload)
-           outcome cause latency cfn csub sev dumped
-           (if r.r_predicted then "yes" else "no")))
+           outcome (csv_field cause) latency (csv_field cfn) (csv_field csub)
+           sev dumped
+           (if r.r_predicted then "yes" else "no")
+           (csv_field path)))
     records;
   Buffer.contents buf

@@ -29,6 +29,7 @@ val run_campaign :
   ?seed:int ->
   ?hardening:bool ->
   ?oracle:(Target.t -> Outcome.t option) ->
+  ?telemetry:Kfi_trace.Telemetry.t ->
   ?on_progress:(done_:int -> total:int -> unit) ->
   Runner.t ->
   Kfi_profiler.Sampler.profile ->
@@ -39,18 +40,27 @@ val run_campaign :
     enables the Section-7.4 interface assertions; [oracle] is the static
     mutation oracle's pruning hook ([Kfi_staticoracle.Oracle.pruner]):
     targets it resolves are recorded with [r_predicted = true] and never
-    run on the machine. *)
+    run on the machine; [telemetry] receives one JSONL event per target
+    plus campaign start/end markers and accumulates the aggregate
+    counters.  [on_progress] fires before every target and once more on
+    completion with [done_ = total]. *)
 
 val run_all :
   ?subsample:int ->
   ?seed:int ->
   ?hardening:bool ->
   ?oracle:(Target.t -> Outcome.t option) ->
+  ?telemetry:Kfi_trace.Telemetry.t ->
   ?on_progress:(done_:int -> total:int -> unit) ->
   Runner.t ->
   Kfi_profiler.Sampler.profile ->
   record list
 (** Campaigns A, B and C in sequence. *)
 
+val csv_field : string -> string
+(** RFC 4180 quoting: fields holding a comma, quote or line break are
+    double-quoted with embedded quotes doubled; others pass through. *)
+
 val to_csv : record list -> string
-(** One row per experiment, for offline analysis. *)
+(** One row per experiment, for offline analysis.  Crash rows carry the
+    reconstructed propagation path in the last column. *)

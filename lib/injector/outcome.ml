@@ -40,6 +40,9 @@ type crash_info = {
   severity : severity;
   crash_eip : int32;
   crash_cr2 : int32;
+  propagation : (string * string) list;
+      (* (function, subsystem) hops, corruption site first, crash site
+         last; reconstructed from the flight recorder *)
 }
 
 type t =

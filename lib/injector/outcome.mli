@@ -27,6 +27,11 @@ type crash_info = {
   severity : severity;
   crash_eip : int32;
   crash_cr2 : int32;
+  propagation : (string * string) list;
+      (** the full [(function, subsystem)] error-propagation path,
+          corruption site first and crash site last, reconstructed from
+          the flight recorder (empty ring still yields the two
+          endpoints); [crash_fn]/[crash_subsys] remain the endpoint *)
 }
 
 type t =

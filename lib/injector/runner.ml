@@ -26,6 +26,14 @@ type t = {
   max_cycles : int;
   mutable hardening : bool;
       (* enable the kernel's interface assertions (Section 7.4 ablation) *)
+  mutable trace_level : Trace.level;
+      (* flight-recorder level during injections; Ring by default so
+         crash records carry a propagation path *)
+  mutable last_wall : float;      (* seconds spent in the last run_one *)
+  mutable last_restore : float;   (* of which restoring the snapshot *)
+  mutable last_cycles : int;      (* simulated cycles of the last run *)
+  mutable last_injected_at : int option;
+      (* cycle at which the last run's fault was injected *)
 }
 
 let default_max_cycles = 8_000_000
@@ -94,6 +102,11 @@ let create ?(max_cycles = default_max_cycles) () =
     manifest = Kfi_workload.Progs.manifest ();
     max_cycles;
     hardening = false;
+    trace_level = Trace.Ring;
+    last_wall = 0.;
+    last_restore = 0.;
+    last_cycles = 0;
+    last_injected_at = None;
   }
 
 let fsck_severity t =
@@ -107,6 +120,38 @@ let crash_location t eip =
 
 let set_hardening t on = t.hardening <- on
 
+let set_trace_level t lvl = t.trace_level <- lvl
+
+(* The full corruption-site -> crash-site path from the flight recorder.
+   A bounded ring can lose the earliest hops and the crash handler's own
+   frames can follow the faulting function, so the known endpoints are
+   pinned: the injection site is prepended and the crash site appended
+   when the recording does not already start/end there.  With tracing
+   off this degenerates to the two endpoints. *)
+let propagation t ~injected_at (target : Target.t) ~crash_fn ~crash_subsys =
+  let cpu = Machine.cpu t.machine in
+  let recorded =
+    Kfi_trace.Forensics.propagation_path t.build cpu.Cpu.trace
+      ~from_cycle:injected_at
+    |> Kfi_trace.Forensics.hop_pairs
+  in
+  let path =
+    match recorded with
+    | (fn, _) :: _ when fn = target.Target.t_fn -> recorded
+    | _ -> (target.Target.t_fn, target.Target.t_subsys) :: recorded
+  in
+  match (crash_fn, crash_subsys) with
+  | Some cfn, Some csub ->
+    (* cut at the first hop in the crashing function: everything after is
+       the crash handler running, not error propagation *)
+    let rec cut acc = function
+      | [] -> None
+      | (fn, sub) :: _ when fn = cfn -> Some (List.rev ((fn, sub) :: acc))
+      | h :: tl -> cut (h :: acc) tl
+    in
+    (match cut [] path with Some p -> p | None -> path @ [ (cfn, csub) ])
+  | _ -> path
+
 let poke_hardening t =
   let addr = Build.symbol t.build "assert_hardening" in
   let pa = (Int32.to_int addr land 0xFFFFFFFF) - L.page_offset in
@@ -114,9 +159,16 @@ let poke_hardening t =
 
 (* Run one injection experiment. *)
 let run_one t ~workload (target : Target.t) =
+  let wall0 = Unix.gettimeofday () in
   Machine.restore t.machine t.baselines.(workload);
+  t.last_restore <- Unix.gettimeofday () -. wall0;
   poke_hardening t;
   let cpu = Machine.cpu t.machine in
+  (* the snapshot carries the (empty, Off) boot-time trace state: arm the
+     recorder afresh so each injection's trace is isolated *)
+  Trace.set_level cpu.Cpu.trace t.trace_level;
+  Trace.clear cpu.Cpu.trace;
+  let start_cycles = cpu.Cpu.cycles in
   let injected_at = ref None in
   cpu.Cpu.dr.(0) <- target.Target.t_addr;
   cpu.Cpu.dr7 <- 1;
@@ -143,6 +195,9 @@ let run_one t ~workload (target : Target.t) =
   let result = Machine.run t.machine ~max_cycles:t.max_cycles in
   cpu.Cpu.on_debug_hit <- None;
   cpu.Cpu.dr7 <- 0;
+  t.last_wall <- Unix.gettimeofday () -. wall0;
+  t.last_cycles <- cpu.Cpu.cycles - start_cycles;
+  t.last_injected_at <- !injected_at;
   let golden = t.golden.(workload) in
   match !injected_at with
   | None -> Outcome.Not_activated
@@ -186,6 +241,7 @@ let run_one t ~workload (target : Target.t) =
             severity = fsck_severity t;
             crash_eip = d.Build.d_eip;
             crash_cr2 = d.Build.d_cr2;
+            propagation = propagation t ~injected_at:t0 target ~crash_fn ~crash_subsys;
           }
       | None ->
         (* halted without a dump record: treat like an undumped crash *)
@@ -199,6 +255,8 @@ let run_one t ~workload (target : Target.t) =
             severity = fsck_severity t;
             crash_eip = cpu.Cpu.eip;
             crash_cr2 = cpu.Cpu.cr2;
+            propagation =
+              propagation t ~injected_at:t0 target ~crash_fn:None ~crash_subsys:None;
           })
     | Machine.Reset trap ->
       (* triple fault: the dump itself failed (hang/unknown crash) *)
@@ -216,6 +274,7 @@ let run_one t ~workload (target : Target.t) =
           severity = fsck_severity t;
           crash_eip = cpu.Cpu.eip;
           crash_cr2 = cpu.Cpu.cr2;
+          propagation = propagation t ~injected_at:t0 target ~crash_fn ~crash_subsys;
         }
     | Machine.Watchdog -> Outcome.Hang (fsck_severity t)
     | Machine.Snapshot_point -> failwith "unexpected snapshot point during experiment")

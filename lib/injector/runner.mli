@@ -25,6 +25,14 @@ type t = {
   max_cycles : int; (** the watchdog budget *)
   mutable hardening : bool;
       (** enable the kernel's interface assertions (Section 7.4 ablation) *)
+  mutable trace_level : Trace.level;
+      (** flight-recorder level during injections ({!Trace.Ring} by
+          default, so crash records carry a propagation path) *)
+  mutable last_wall : float;  (** seconds spent in the last [run_one] *)
+  mutable last_restore : float;  (** of which restoring the snapshot *)
+  mutable last_cycles : int;  (** simulated cycles of the last run *)
+  mutable last_injected_at : int option;
+      (** cycle at which the last run's fault was injected *)
 }
 
 val default_max_cycles : int
@@ -35,6 +43,10 @@ val create : ?max_cycles:int -> unit -> t
     @raise Failure if the pristine kernel cannot complete a workload. *)
 
 val set_hardening : t -> bool -> unit
+
+val set_trace_level : t -> Trace.level -> unit
+(** Flight-recorder level for subsequent runs ([Off] for raw speed,
+    [Full] for event capture; see the bench's trace experiment). *)
 
 val poke_hardening : t -> unit
 (** Write the hardening flag into (restored) guest memory; [run_one] does

@@ -53,6 +53,7 @@ type t = {
   code_frames : Bytes.t;          (* frame -> 1 if icache holds entries there *)
   scratch : int32 array;          (* register snapshot for faulting restarts *)
   mutable last_fault_cycle : int; (* cycle count at the most recent exception *)
+  trace : Trace.t;                (* flight recorder, fed from [step] *)
 }
 
 let create ~phys ~disk ~idt_base =
@@ -85,6 +86,7 @@ let create ~phys ~disk ~idt_base =
     code_frames = Bytes.make frames '\000';
     scratch = Array.make 8 0l;
     last_fault_cycle = 0;
+    trace = Trace.create ();
   }
 
 let u32 v = Int32.to_int v land 0xFFFFFFFF
@@ -195,7 +197,15 @@ let deliver cpu (trap : Trap.t) =
     try Phys.read32 cpu.phys (cpu.idt_base + (vec * 4))
     with Phys.Bad_physical_address _ -> 0l
   in
-  if handler = 0l then raise (Triple_fault trap);
+  if handler = 0l then begin
+    Trace.record_event cpu.trace ~cycle:cpu.cycles ~kind:Trace.ev_triple_fault ~a:vec ~b:0;
+    raise (Triple_fault trap)
+  end;
+  Trace.record_event cpu.trace ~cycle:cpu.cycles ~kind:Trace.ev_trap ~a:vec
+    ~b:(u32 cpu.eip);
+  if cpu.mode = User then
+    Trace.record_event cpu.trace ~cycle:cpu.cycles ~kind:Trace.ev_mode_kernel ~a:0
+      ~b:(u32 cpu.eip);
   let old_esp = cpu.regs.(Insn.esp)
   and old_eflags = cpu.eflags
   and old_mode = cpu.mode
@@ -212,6 +222,8 @@ let deliver cpu (trap : Trap.t) =
      cpu.eip <- handler
    with Mmu.Page_fault _ | Phys.Bad_physical_address _ ->
      (* Kernel stack unusable: double fault, escalate. *)
+     Trace.record_event cpu.trace ~cycle:cpu.cycles ~kind:Trace.ev_triple_fault ~a:vec
+       ~b:0;
      raise (Triple_fault trap))
 
 let do_iret cpu =
@@ -222,6 +234,9 @@ let do_iret cpu =
   let new_esp = pop cpu in
   cpu.eip <- new_eip;
   cpu.mode <- (if Int32.logand new_mode 1l = 1l then User else Kernel);
+  if cpu.mode = User then
+    Trace.record_event cpu.trace ~cycle:cpu.cycles ~kind:Trace.ev_mode_user ~a:0
+      ~b:(u32 new_eip);
   cpu.eflags <- u32 new_eflags land 0xFFFF;
   cpu.regs.(Insn.esp) <- new_esp
 
@@ -325,6 +340,7 @@ let write_cr cpu n v =
   | 2 -> cpu.cr2 <- v
   | 3 ->
     cpu.cr3 <- v;
+    Trace.record_event cpu.trace ~cycle:cpu.cycles ~kind:Trace.ev_cr3 ~a:(u32 v) ~b:0;
     Mmu.flush cpu.mmu
   | 6 -> cpu.esp0 <- v
   | _ -> gp ()
@@ -524,6 +540,31 @@ let execute cpu insn =
   | Diskrd -> disk_transfer cpu ~write:false
   | Diskwr -> disk_transfer cpu ~write:true
 
+(* The effective address of an instruction's explicit memory operand, for
+   the flight recorder (-1 when it has none).  Stack traffic implied by
+   push/pop/call/ret is deliberately not reported. *)
+let insn_mem cpu insn =
+  let open Insn in
+  let of_rm = function Mem m -> u32 (ea cpu m) | Reg _ -> -1 in
+  match insn with
+  | Mov_rm_r (rm, _) | Mov_r_rm (_, rm) | Mov_rm_i (rm, _)
+  | Movb_rm_r (rm, _) | Movb_r_rm (_, rm) | Movzbl (_, rm)
+  | Alu_rm_r (_, rm, _) | Alu_r_rm (_, _, rm)
+  | Alu_rm_i (_, rm, _) | Alu_rm_i8 (_, rm, _)
+  | Test_rm_r (rm, _) | Not_rm rm | Neg_rm rm | Mul_rm rm | Div_rm rm
+  | Imul_r_rm (_, rm) | Shift_i (_, rm, _) | Shift_cl (_, rm)
+  | Shrd (rm, _, _) | Call_rm rm | Jmp_rm rm | Push_rm rm
+  | Inc_rm rm | Dec_rm rm -> of_rm rm
+  | _ -> -1
+
+(* Record the instruction about to execute (trace level Ring or Full). *)
+let trace_insn cpu insn =
+  let op =
+    try Phys.read8 cpu.phys (translate cpu ~write:false cpu.eip) with _ -> -1
+  in
+  Trace.record cpu.trace ~cycle:cpu.cycles ~eip:cpu.eip ~op
+    ~user:(cpu.mode = User) ~mem:(insn_mem cpu insn)
+
 let debug_match cpu =
   if cpu.dr7 = 0 then -1
   else begin
@@ -550,12 +591,17 @@ let step cpu =
     (match cpu.on_debug_hit with
      | Some hook ->
        let m = debug_match cpu in
-       if m >= 0 then hook cpu m
+       if m >= 0 then begin
+         Trace.record_event cpu.trace ~cycle:cpu.cycles ~kind:Trace.ev_debug_hit ~a:m
+           ~b:(u32 cpu.eip);
+         hook cpu m
+       end
      | None -> ());
     let saved_eip = cpu.eip and saved_eflags = cpu.eflags in
     Array.blit cpu.regs 0 cpu.scratch 0 8;
     (try
        let insn, len = fetch_decode cpu in
+       if Trace.enabled cpu.trace then trace_insn cpu insn;
        cpu.eip <- cpu.eip +% i32 len;
        execute cpu insn
      with
@@ -574,6 +620,8 @@ let step cpu =
        deliver cpu t
      | Phys.Bad_physical_address _ ->
        (* A mapping points outside physical memory: machine-check-like. *)
+       Trace.record_event cpu.trace ~cycle:cpu.cycles ~kind:Trace.ev_triple_fault
+         ~a:(Trap.number Trap.General_protection) ~b:0;
        raise (Triple_fault { vector = Trap.General_protection; error = 0l }));
     cpu.cycles <- cpu.cycles + 1
   end

@@ -53,6 +53,9 @@ type t = {
   mutable last_fault_cycle : int;
       (** cycle count at the most recent exception — the crash-latency
           endpoint for faults *)
+  trace : Trace.t;
+      (** the flight recorder, fed from {!step}; level {!Trace.Off}
+          (the default) costs one compare per instruction *)
 }
 
 val create : phys:Phys.t -> disk:Devices.Disk.t -> idt_base:int -> t

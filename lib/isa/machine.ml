@@ -66,6 +66,7 @@ type snapshot = {
   s_next_timer : int;
   s_console : string;
   s_tty : string;
+  s_trace : Trace.snapshot;
 }
 
 let snapshot t =
@@ -90,6 +91,7 @@ let snapshot t =
     s_next_timer = c.Cpu.next_timer;
     s_console = Buffer.contents c.Cpu.console;
     s_tty = Buffer.contents c.Cpu.tty;
+    s_trace = Trace.snapshot c.Cpu.trace;
   }
 
 let restore t s =
@@ -115,5 +117,6 @@ let restore t s =
   Buffer.add_string c.Cpu.console s.s_console;
   Buffer.clear c.Cpu.tty;
   Buffer.add_string c.Cpu.tty s.s_tty;
+  Trace.restore c.Cpu.trace s.s_trace;
   Mmu.flush c.Cpu.mmu;
   Cpu.flush_icache c

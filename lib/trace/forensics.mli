@@ -1,0 +1,69 @@
+(** Crash forensics over the flight recorder: symbolized trace listings,
+    kernel stack backtraces, propagation-path reconstruction and the
+    simulated LKCD "oops dump" — the stand-in for the paper's lcrash
+    analysis of real dump images. *)
+
+open Kfi_isa
+
+val location : Kfi_kernel.Build.t -> int32 -> (string * string) option
+(** [(function, subsystem)] containing an address, if any. *)
+
+val symbolize : Kfi_kernel.Build.t -> int32 -> string
+(** ["fn+0xoff/0xsize"] for text addresses, ["0x…"] otherwise. *)
+
+val insn_text : Machine.t -> int32 -> string
+(** Disassembly of the instruction at an address, read through the MMU so
+    injected corruption shows as it executed; "(bad)" / "(unreadable)"
+    when it does not decode or cannot be fetched. *)
+
+(** One hop of a propagation path: a maximal run of consecutively traced
+    instructions inside one function. *)
+type hop = {
+  h_fn : string;
+  h_subsys : string;
+  h_eip : int32;   (** first traced eip inside the function *)
+  h_cycle : int;   (** cycle of that first instruction *)
+}
+
+val propagation_path :
+  Kfi_kernel.Build.t -> Trace.t -> from_cycle:int -> hop list
+(** The kernel-mode execution path recorded at or after [from_cycle],
+    collapsed to function-level hops.  With a bounded ring the earliest
+    hops of a long-latency crash are lost; callers that know the
+    injection site should prepend it. *)
+
+val subsys_path : hop list -> string list
+(** Subsystem-level view (consecutive same-subsystem hops merged). *)
+
+val hop_pairs : hop list -> (string * string) list
+(** [(function, subsystem)] pairs of a path. *)
+
+val path_to_string : (string * string) list -> string
+(** ["fn(subsys) -> fn(subsys) -> …"]. *)
+
+val trace_listing : ?n:int -> Kfi_kernel.Build.t -> Machine.t -> string
+(** The last [n] (default 32) recorded instructions, one line each:
+    cycle, mode, eip, symbol, disassembly, memory operand. *)
+
+val backtrace : ?max_depth:int -> Machine.t -> int32 list
+(** The crash eip followed by the return addresses of the cdecl frame
+    chain, stopping at an unreadable slot, a non-text return address or
+    a non-monotonic frame pointer. *)
+
+val backtrace_listing : Kfi_kernel.Build.t -> Machine.t -> string
+(** {!backtrace} rendered in kernel "Call Trace:" style. *)
+
+val cause_banner : vector:int -> cr2:int32 -> string
+(** The 2.4-era oops banner for a trap vector ([-1] = no dump record). *)
+
+val oops :
+  ?dump:Kfi_kernel.Build.dump ->
+  ?injected_at:int ->
+  ?inject_desc:string ->
+  ?trace_n:int ->
+  Kfi_kernel.Build.t ->
+  Machine.t ->
+  string
+(** The full simulated-LKCD dump: cause banner, register file, dump
+    record, backtrace, symbolized instruction trace, machine events and
+    the propagation path from [injected_at]. *)

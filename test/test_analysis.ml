@@ -29,7 +29,7 @@ let mk ?(campaign = Target.A) ?fn ?subsys outcome =
   }
 
 let crash ?(cause = Outcome.Null_pointer) ?(latency = 5) ?(crash_subsys = Some "fs")
-    ?(severity = Outcome.Normal) ?(dumped = true) () =
+    ?(severity = Outcome.Normal) ?(dumped = true) ?(propagation = []) () =
   Outcome.Crash
     {
       cause;
@@ -40,6 +40,7 @@ let crash ?(cause = Outcome.Null_pointer) ?(latency = 5) ?(crash_subsys = Some "
       severity;
       crash_eip = 0l;
       crash_cr2 = 0l;
+      propagation;
     }
 
 let sample_records =

@@ -7,6 +7,7 @@ let () =
       ("kernel", Test_kernel.suite);
       ("fsimage", Test_fsimage.suite);
       ("injector", Test_injector.suite);
+      ("trace", Test_trace.suite);
       ("staticoracle", Test_staticoracle.suite);
       ("analysis", Test_analysis.suite);
       ("casestudies", Test_casestudies.suite);
