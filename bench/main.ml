@@ -9,7 +9,7 @@
      bench/main.exe perf            # simulator micro-benchmarks only
 
    Experiment ids: table1 fig1 table4 fig4 table5 fig6 fig7 fig8 ablation regcmp
-   oracle trace perf *)
+   oracle trace parallel perf *)
 
 let header title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 78 '=') title (String.make 78 '=')
@@ -120,14 +120,14 @@ let () =
     |> function
     | [] ->
       [ "table1"; "fig1"; "table4"; "fig4"; "table5"; "fig6"; "fig7"; "fig8"; "ablation";
-        "regcmp"; "oracle"; "trace"; "perf" ]
+        "regcmp"; "oracle"; "trace"; "parallel"; "perf" ]
     | l -> l
   in
   let want x = List.mem x wanted in
   let need_study =
     List.exists want
       [ "table1"; "fig4"; "table5"; "fig6"; "fig7"; "fig8"; "ablation"; "regcmp"; "oracle";
-        "trace" ]
+        "trace"; "parallel" ]
   in
   if need_study then begin
     Printf.eprintf "bench: booting kernel, golden runs, profiling...\n%!";
@@ -156,7 +156,11 @@ let () =
       let on_progress ~done_ ~total =
         if done_ mod 100 = 0 then Printf.eprintf "\r  %d/%d%!" done_ total
       in
-      let records = Kfi.Study.run_campaigns ~subsample ~on_progress study () in
+      let records =
+        Kfi.Study.run_campaigns
+          ~config:(Kfi.Config.make ~subsample ~on_progress ())
+          study ()
+      in
       Printf.eprintf "\r  %d experiments done\n%!" (List.length records);
       if want "fig4" then begin
         header "Figure 4 — Error Activation and Failure Distribution";
@@ -196,9 +200,17 @@ let () =
           (pc p.Kfi.Analysis.Stats.p_hang_unknown)
       in
       Printf.eprintf "bench: campaign A (instruction stream)...\n%!";
-      let a = Kfi.Study.run_campaign ~subsample:(subsample * 2) study Kfi.Campaign.A in
+      let a =
+        Kfi.Study.run_campaign
+          ~config:(Kfi.Config.make ~subsample:(subsample * 2) ())
+          study Kfi.Campaign.A
+      in
       Printf.eprintf "bench: campaign R (register corruption)...\n%!";
-      let r = Kfi.Study.run_campaign ~subsample:(max 1 (subsample / 2)) study Kfi.Campaign.R in
+      let r =
+        Kfi.Study.run_campaign
+          ~config:(Kfi.Config.make ~subsample:(max 1 (subsample / 2)) ())
+          study Kfi.Campaign.R
+      in
       pie "A: instruction stream" a;
       pie "R: register bits" r;
       let causes tag records =
@@ -231,10 +243,16 @@ let () =
           prop crashes ms
       in
       Printf.eprintf "bench: ablation baseline (campaign A)...\n%!";
-      let base = Kfi.Study.run_campaign ~subsample:(subsample * 2) study Kfi.Campaign.A in
+      let base =
+        Kfi.Study.run_campaign
+          ~config:(Kfi.Config.make ~subsample:(subsample * 2) ())
+          study Kfi.Campaign.A
+      in
       Printf.eprintf "bench: ablation hardened (campaign A)...\n%!";
       let hard =
-        Kfi.Study.run_campaign ~subsample:(subsample * 2) ~hardening:true study Kfi.Campaign.A
+        Kfi.Study.run_campaign
+          ~config:(Kfi.Config.make ~subsample:(subsample * 2) ~hardening:true ())
+          study Kfi.Campaign.A
       in
       summarize "baseline kernel" base;
       summarize "hardened interfaces" hard;
@@ -251,11 +269,16 @@ let () =
       in
       Printf.eprintf "bench: campaign A without oracle...\n%!";
       let plain, t_plain =
-        timed (fun () -> Kfi.Study.run_campaign ~subsample study Kfi.Campaign.A)
+        timed (fun () ->
+            Kfi.Study.run_campaign ~config:(Kfi.Config.make ~subsample ()) study
+              Kfi.Campaign.A)
       in
       Printf.eprintf "bench: campaign A with oracle pruning...\n%!";
       let pruned, t_pruned =
-        timed (fun () -> Kfi.Study.run_campaign ~subsample ~oracle study Kfi.Campaign.A)
+        timed (fun () ->
+            Kfi.Study.run_campaign
+              ~config:(Kfi.Config.make ~subsample ~oracle ())
+              study Kfi.Campaign.A)
       in
       let n_pruned = List.length (List.filter (fun r -> r.Kfi.Injector.Experiment.r_predicted) pruned) in
       Printf.printf "%-28s %6d experiments in %6.2f s\n" "without oracle"
@@ -284,7 +307,10 @@ let () =
         Kfi.Injector.Runner.set_trace_level runner level;
         Printf.eprintf "bench: campaign A with tracing %s...\n%!" name;
         let t0 = Sys.time () in
-        let records = Kfi.Study.run_campaign ~subsample study Kfi.Campaign.A in
+        let records =
+          Kfi.Study.run_campaign ~config:(Kfi.Config.make ~subsample ()) study
+            Kfi.Campaign.A
+        in
         (name, Sys.time () -. t0, List.length records)
       in
       let off = sweep Kfi.Isa.Trace.Off "off" in
@@ -304,6 +330,49 @@ let () =
         "\n(with the recorder off the per-instruction cost is one level compare;\n\
         \ the ring level buys every crash a propagation path, full adds machine\n\
         \ events — the price of always-on forensics)\n"
+    end;
+    if want "parallel" then begin
+      header "Extension — parallel campaign fleet (campaign A, j worker domains)";
+      (* wall-clock, not Sys.time: domains burn CPU seconds in parallel *)
+      let now () = Unix.gettimeofday () in
+      let sub = subsample * 5 in
+      let js = [ 1; 2; 4; 8 ] in
+      Printf.eprintf "bench: booting a fleet of %d runners...\n%!"
+        (List.fold_left max 1 js);
+      let t0 = now () in
+      ignore (Kfi.Study.fleet study ~jobs:(List.fold_left max 1 js));
+      Printf.printf "fleet boot (%d extra runners)        %6.2f s\n"
+        (List.fold_left max 1 js - 1)
+        (now () -. t0);
+      let baseline = ref None in
+      List.iter
+        (fun jobs ->
+          Printf.eprintf "bench: campaign A at -j %d...\n%!" jobs;
+          let t0 = now () in
+          let records =
+            Kfi.Study.run_campaign
+              ~config:(Kfi.Config.make ~subsample:sub ~jobs ())
+              study Kfi.Campaign.A
+          in
+          let dt = now () -. t0 in
+          let csv = Kfi.Study.to_csv records in
+          let t1, identical =
+            match !baseline with
+            | None ->
+              baseline := Some (dt, csv);
+              (dt, true)
+            | Some (t1, c1) -> (t1, String.equal csv c1)
+          in
+          Printf.printf
+            "-j %d  %6d experiments in %6.2f s  (%4.2fx vs -j 1, CSV %s)\n" jobs
+            (List.length records) dt (t1 /. dt)
+            (if identical then "byte-identical" else "DIFFERS"))
+        js;
+      Printf.printf
+        "(host has %d cores; speedup saturates at the hardware — the records and\n\
+        \ CSV are byte-identical at every j by construction: planning is serial,\n\
+        \ runners boot deterministically, results merge in serial order)\n"
+        (Domain.recommended_domain_count ())
     end
   end;
   if want "fig1" && not need_study then begin

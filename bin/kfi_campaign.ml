@@ -2,11 +2,12 @@
 
    kfi-campaign                  # scaled-down sweep (fast)
    kfi-campaign --full           # full-scale target enumeration
+   kfi-campaign -j 4             # four worker domains, same records
    kfi-campaign -c A --subsample 20 --csv out.csv --jsonl out.jsonl *)
 
 open Cmdliner
 
-let run campaigns subsample full csv_path jsonl_path seed quiet hardening =
+let run campaigns subsample full csv_path jsonl_path seed quiet hardening jobs =
   let subsample = if full then 1 else subsample in
   Printf.eprintf "booting kernel + golden runs + profiling...\n%!";
   let study = Kfi.Study.prepare () in
@@ -38,14 +39,18 @@ let run campaigns subsample full csv_path jsonl_path seed quiet hardening =
     if (not quiet) && done_ mod 50 = 0 then
       Printf.eprintf "\r  %d/%d experiments%!" done_ total
   in
+  let config =
+    Kfi.Config.make ~subsample ~seed ~hardening ?telemetry ~on_progress ~jobs ()
+  in
+  if jobs > 1 then begin
+    Printf.eprintf "booting %d worker runners...\n%!" (jobs - 1);
+    ignore (Kfi.Study.fleet study ~jobs)
+  end;
   let records =
     List.concat_map
       (fun c ->
         Printf.eprintf "campaign %s...\n%!" (Kfi.Injector.Target.campaign_letter c);
-        let r =
-          Kfi.Study.run_campaign ~subsample ~seed ~hardening ?telemetry ~on_progress
-            study c
-        in
+        let r = Kfi.Study.run_campaign ~config study c in
         Printf.eprintf "\r  %d experiments done\n%!" (List.length r);
         r)
       campaigns
@@ -89,11 +94,19 @@ let hardening_arg =
     & info [ "hardening" ]
         ~doc:"Enable the kernel's interface assertions (Section 7.4 ablation).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Worker domains running injections in parallel (each owns its own \
+           simulated machine); records and telemetry are identical to -j 1.")
+
 let cmd =
   Cmd.v
     (Cmd.info "kfi-campaign" ~doc:"Kernel fault-injection campaigns (DSN'03 reproduction)")
     Term.(
       const run $ campaigns_arg $ subsample_arg $ full_arg $ csv_arg $ jsonl_arg
-      $ seed_arg $ quiet_arg $ hardening_arg)
+      $ seed_arg $ quiet_arg $ hardening_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

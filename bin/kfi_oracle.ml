@@ -112,7 +112,7 @@ let histograms oracle build fns campaigns seed =
       Printf.printf "\n\n")
     campaigns
 
-let validate campaigns subsample seed quiet =
+let validate campaigns subsample seed quiet jobs =
   Printf.eprintf "booting kernel + golden runs + profiling...\n%!";
   let study = Kfi.Study.prepare () in
   let oracle = Kfi.Study.make_oracle study in
@@ -120,30 +120,31 @@ let validate campaigns subsample seed quiet =
     if (not quiet) && done_ mod 50 = 0 then
       Printf.eprintf "\r  %d/%d experiments%!" done_ total
   in
+  let config = Kfi.Config.make ~subsample ~seed ~on_progress ~jobs () in
   let records =
     List.concat_map
       (fun c ->
         Printf.eprintf "campaign %s...\n%!" (Target.campaign_letter c);
-        let r = Kfi.Study.run_campaign ~subsample ~seed ~on_progress study c in
+        let r = Kfi.Study.run_campaign ~config study c in
         Printf.eprintf "\r  %d experiments done\n%!" (List.length r);
         r)
       campaigns
   in
   print_string (Kfi.Analysis.Report.oracle_matrix oracle records)
 
-let rec run campaigns fn_filter subsample seed validate_flag quiet =
-  try run_checked campaigns fn_filter subsample seed validate_flag quiet
+let rec run campaigns fn_filter subsample seed validate_flag quiet jobs =
+  try run_checked campaigns fn_filter subsample seed validate_flag quiet jobs
   with Usage msg ->
     Printf.eprintf "kfi-oracle: %s\n" msg;
     2
 
-and run_checked campaigns fn_filter subsample seed validate_flag quiet =
+and run_checked campaigns fn_filter subsample seed validate_flag quiet jobs =
   let campaigns =
     match campaigns with
     | [] -> [ Kfi.Campaign.A; Kfi.Campaign.B; Kfi.Campaign.C ]
     | l -> List.map parse_campaign l
   in
-  if validate_flag then validate campaigns subsample seed quiet
+  if validate_flag then validate campaigns subsample seed quiet jobs
   else begin
     let build = Kfi.Kernel.Build.build () in
     let oracle = Oracle.create build in
@@ -176,6 +177,12 @@ let validate_arg =
 
 let quiet_arg = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress output.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ]
+        ~doc:"Worker domains for the --validate campaign runs.")
+
 let cmd =
   Cmd.v
     (Cmd.info "kfi-oracle"
@@ -183,6 +190,6 @@ let cmd =
              prediction validation (FastFlip-style)")
     Term.(
       const run $ campaigns_arg $ fn_arg $ subsample_arg $ seed_arg $ validate_arg
-      $ quiet_arg)
+      $ quiet_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

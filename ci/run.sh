@@ -18,15 +18,23 @@ else
   dune runtest
 fi
 
-echo "== traced campaign: CSV + JSONL telemetry artifacts =="
+echo "== traced campaign (-j 2): CSV + JSONL telemetry artifacts =="
 mkdir -p _artifacts
-dune exec bin/kfi_campaign.exe -- -c A --subsample 60 -q \
+dune exec bin/kfi_campaign.exe -- -c A --subsample 60 -q -j 2 \
   --csv _artifacts/campaign.csv --jsonl _artifacts/campaign.jsonl \
   > _artifacts/report.txt
 # the telemetry log must pass the schema lint
 dune exec bin/kfi_trace.exe -- --lint _artifacts/campaign.jsonl
 grep -q 'Campaign telemetry' _artifacts/report.txt || {
   echo "telemetry summary missing from the report" >&2
+  exit 1
+}
+
+echo "== determinism gate: -j 2 CSV must match -j 1 byte for byte =="
+dune exec bin/kfi_campaign.exe -- -c A --subsample 60 -q -j 1 \
+  --csv _artifacts/campaign_serial.csv > /dev/null
+cmp _artifacts/campaign_serial.csv _artifacts/campaign.csv || {
+  echo "determinism gate failed: parallel campaign diverged from serial" >&2
   exit 1
 }
 

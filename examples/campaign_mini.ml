@@ -7,7 +7,8 @@ let () =
   Printf.eprintf "preparing study (boot + golden runs + profile)...\n%!";
   let study = Kfi.Study.prepare () in
   Printf.eprintf "running scaled-down campaigns A, B, C...\n%!";
-  let records = Kfi.Study.run_campaigns ~subsample:25 study () in
+  let config = Kfi.Config.make ~subsample:25 () in
+  let records = Kfi.Study.run_campaigns ~config study () in
   Printf.printf "%d experiments\n\n" (List.length records);
   print_string (Kfi.Analysis.Report.fig4 records);
   print_string (Kfi.Analysis.Report.fig6 records);

@@ -1,24 +1,8 @@
 (* kfi — characterization of (simulated) Linux kernel behavior under
    errors.  Reproduction of Gu, Kalbarczyk, Iyer & Yang, DSN 2003.
 
-   This module is the public face of the library.  A typical study:
-
-   {[
-     let study = Kfi.Study.prepare () in
-     let records = Kfi.Study.run_campaigns study ~subsample:10 () in
-     print_string (Kfi.Study.report study records)
-   ]}
-
-   The sub-libraries remain available for finer control:
-   - {!Kfi_isa}: the IA-32-like machine simulator,
-   - {!Kfi_asm} / {!Kfi_kcc}: assembler and C-like kernel compiler,
-   - {!Kfi_kernel}: the miniature Linux-like kernel (arch/fs/kernel/mm),
-   - {!Kfi_fsimage}: mkfs / fsck for the ext2-lite disk format,
-   - {!Kfi_workload}: the UnixBench-like workload programs,
-   - {!Kfi_profiler}: kernprof-style PC-sampling profiler,
-   - {!Kfi_injector}: campaigns, targets, runner, outcome classification,
-   - {!Kfi_trace}: flight-recorder forensics and campaign telemetry,
-   - {!Kfi_analysis}: aggregation and table/figure rendering. *)
+   This module is the public face of the library; see kfi.mli for the
+   documented surface and the typical study. *)
 
 module Isa = Kfi_isa
 module Asm = Kfi_asm
@@ -37,11 +21,25 @@ module Campaign = struct
   type t = Kfi_injector.Target.campaign = A | B | C | R
 end
 
+module Config = struct
+  include Kfi_injector.Config
+
+  (* Shadow [make] to take the oracle value itself: the pruning hook is
+     resolved here, once, instead of at every run entry point. *)
+  let make ?subsample ?seed ?hardening ?oracle ?telemetry ?on_progress ?jobs ()
+      =
+    Kfi_injector.Config.make ?subsample ?seed ?hardening
+      ?oracle:(Option.map Kfi_staticoracle.Oracle.pruner oracle)
+      ?telemetry ?on_progress ?jobs ()
+end
+
 module Study = struct
   type t = {
     runner : Kfi_injector.Runner.t;
     profile : Kfi_profiler.Sampler.profile;
     core : (string * int) list; (* top functions (>= 95% of samples) *)
+    mutable fleet : Kfi_injector.Fleet.t option;
+        (* lazily booted worker-runner pool, reused across campaigns *)
   }
 
   (* Boot the kernel, take the baseline snapshot, record golden runs and
@@ -55,32 +53,63 @@ module Study = struct
         ~baseline:runner.Kfi_injector.Runner.baseline ()
     in
     let core = Kfi_profiler.Sampler.top_functions profile ~coverage:0.95 in
-    { runner; profile; core }
+    { runner; profile; core; fleet = None }
 
   let build t = t.runner.Kfi_injector.Runner.build
 
   (* The static mutation oracle over this study's kernel; pass
-     [~oracle:(Kfi.Study.oracle study)] to prune provably-equivalent
-     targets without running them. *)
+     [~oracle:(Kfi.Study.make_oracle study)] to [Config.make] to prune
+     provably-equivalent targets without running them. *)
   let make_oracle t = Kfi_staticoracle.Oracle.create (build t)
 
-  let run_campaign ?subsample ?seed ?hardening ?oracle ?telemetry ?on_progress t
-      campaign =
-    let oracle = Option.map Kfi_staticoracle.Oracle.pruner oracle in
-    Kfi_injector.Experiment.run_campaign ?subsample ?seed ?hardening ?oracle
-      ?telemetry ?on_progress t.runner t.profile campaign
+  let fleet t ~jobs =
+    match t.fleet with
+    | Some f ->
+      Kfi_injector.Fleet.ensure f ~jobs;
+      f
+    | None ->
+      let f = Kfi_injector.Fleet.create ~jobs t.runner in
+      t.fleet <- Some f;
+      f
 
-  let run_campaigns ?subsample ?seed ?hardening ?oracle ?telemetry ?on_progress t
-      () =
-    let oracle = Option.map Kfi_staticoracle.Oracle.pruner oracle in
-    Kfi_injector.Experiment.run_all ?subsample ?seed ?hardening ?oracle ?telemetry
-      ?on_progress t.runner t.profile
+  let run_campaign ?(config = Config.default) t campaign =
+    let fleet =
+      if config.Config.jobs > 1 then Some (fleet t ~jobs:config.Config.jobs)
+      else None
+    in
+    Kfi_injector.Experiment.run_campaign ~config ?fleet t.runner t.profile
+      campaign
+
+  let run_campaigns ?(config = Config.default) t () =
+    let fleet =
+      if config.Config.jobs > 1 then Some (fleet t ~jobs:config.Config.jobs)
+      else None
+    in
+    Kfi_injector.Experiment.run_all ~config ?fleet t.runner t.profile
 
   let report ?oracle ?telemetry t records =
     Kfi_analysis.Report.full ?oracle ?telemetry ~build:(build t) ~profile:t.profile
       ~core:t.core records
 
   let to_csv = Kfi_injector.Experiment.to_csv
+
+  (* deprecated optional-argument spellings (one PR of grace) *)
+
+  let run_campaign_args ?subsample ?seed ?hardening ?oracle ?telemetry
+      ?on_progress t campaign =
+    run_campaign
+      ~config:
+        (Config.make ?subsample ?seed ?hardening ?oracle ?telemetry ?on_progress
+           ())
+      t campaign
+
+  let run_campaigns_args ?subsample ?seed ?hardening ?oracle ?telemetry
+      ?on_progress t () =
+    run_campaigns
+      ~config:
+        (Config.make ?subsample ?seed ?hardening ?oracle ?telemetry ?on_progress
+           ())
+      t ()
 end
 
 (* Convenience: boot and run one workload, returning (exit code, console). *)

@@ -1,0 +1,36 @@
+(* One record for every knob a campaign run accepts.  The run entry
+   points (Experiment.run_campaign/run_all and the Kfi.Study facade) used
+   to copy-paste six optional arguments each; they now take a single
+   [?config] and the optional-arg spellings survive only as deprecated
+   wrappers.
+
+   The [oracle] field holds the *resolved* pruning hook (a plain
+   function), not the oracle value itself: the facade resolves
+   [Kfi_staticoracle.Oracle.pruner] exactly once when the config is
+   built, instead of at every entry point. *)
+
+type t = {
+  subsample : int;
+  seed : int;
+  hardening : bool;
+  oracle : (Target.t -> Outcome.t option) option;
+  telemetry : Kfi_trace.Telemetry.t option;
+  on_progress : (done_:int -> total:int -> unit) option;
+  jobs : int;
+}
+
+let default =
+  {
+    subsample = 1;
+    seed = 42;
+    hardening = false;
+    oracle = None;
+    telemetry = None;
+    on_progress = None;
+    jobs = 1;
+  }
+
+let make ?(subsample = default.subsample) ?(seed = default.seed)
+    ?(hardening = default.hardening) ?oracle ?telemetry ?on_progress
+    ?(jobs = default.jobs) () =
+  { subsample; seed; hardening; oracle; telemetry; on_progress; jobs }

@@ -1,0 +1,41 @@
+(** Campaign run configuration: one record for every knob accepted by
+    {!Experiment.run_campaign}, {!Experiment.run_all} and the [Kfi.Study]
+    facade, replacing the optional-argument lists that used to be
+    copy-pasted across all four entry points. *)
+
+type t = {
+  subsample : int;  (** keep every k-th target (1 = the full enumeration) *)
+  seed : int;  (** fixes the per-byte bit choice *)
+  hardening : bool;  (** the Section-7.4 interface assertions *)
+  oracle : (Target.t -> Outcome.t option) option;
+      (** the {e resolved} static-oracle pruning hook
+          ([Kfi_staticoracle.Oracle.pruner oracle]); targets it resolves
+          are recorded as predicted and never run on a machine.  The
+          [Kfi.Config] facade resolves an oracle value into this hook
+          once, at config-build time. *)
+  telemetry : Kfi_trace.Telemetry.t option;
+      (** receives one JSONL event per target plus campaign markers *)
+  on_progress : (done_:int -> total:int -> unit) option;
+      (** fires before every target and once more on completion *)
+  jobs : int;
+      (** worker domains; above 1 the campaign runs on a {!Fleet} and the
+          records (and telemetry event stream) are byte-identical to a
+          [jobs = 1] run with the same seed *)
+}
+
+val default : t
+(** [{ subsample = 1; seed = 42; hardening = false; oracle = None;
+      telemetry = None; on_progress = None; jobs = 1 }] — the same
+    behavior as the legacy entry points with no optional argument. *)
+
+val make :
+  ?subsample:int ->
+  ?seed:int ->
+  ?hardening:bool ->
+  ?oracle:(Target.t -> Outcome.t option) ->
+  ?telemetry:Kfi_trace.Telemetry.t ->
+  ?on_progress:(done_:int -> total:int -> unit) ->
+  ?jobs:int ->
+  unit ->
+  t
+(** {!default} with the given fields replaced. *)

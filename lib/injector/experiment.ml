@@ -72,32 +72,34 @@ let workload_for profile (t : Target.t) =
   end
   else (addr * 2654435761) lsr 7 mod nworkloads
 
-(* [oracle] is the static-oracle pruning hook
-   ([Kfi_staticoracle.Oracle.pruner]): when it returns an outcome for a
-   target, that outcome is recorded with [r_predicted = true] and the
-   machine never runs.  The oracle only prunes provably-equivalent
-   mutations, so the observable outcome distribution is preserved. *)
+(* The static-oracle pruning hook ([Kfi_staticoracle.Oracle.pruner]):
+   when it returns an outcome for a target, that outcome is recorded with
+   [r_predicted = true] and the machine never runs.  The oracle only
+   prunes provably-equivalent mutations, so the observable outcome
+   distribution is preserved. *)
 (* One "target" telemetry event, plus the aggregate counters the report
    surfaces.  Pruned targets cost no machine time, so their wall/cycle
-   fields are zero and they stay out of the activation-rate denominator. *)
-let telemetry_target tm letter (runner : Runner.t) (t : Target.t) ~workload
-    ~outcome ~predicted =
+   fields are zero and they stay out of the activation-rate denominator.
+   Timing comes in explicitly (not from the runner's [last_*] fields):
+   under a fleet the run happened on another domain's runner. *)
+let telemetry_target tm letter (t : Target.t) ~workload ~outcome ~predicted
+    ~(timing : Fleet.timing) =
   let open Telemetry in
-  tm.n_targets <- tm.n_targets + 1;
+  locked tm (fun () ->
+      tm.n_targets <- tm.n_targets + 1;
+      if predicted then tm.n_pruned <- tm.n_pruned + 1
+      else begin
+        tm.n_run <- tm.n_run + 1;
+        tm.wall_run <- tm.wall_run +. timing.Fleet.wall;
+        tm.wall_restore <- tm.wall_restore +. timing.Fleet.restore;
+        tm.sim_cycles <- tm.sim_cycles + timing.Fleet.cycles;
+        if Outcome.is_activated outcome then tm.n_activated <- tm.n_activated + 1;
+        if Outcome.is_crash_or_hang outcome then
+          tm.n_crash_hang <- tm.n_crash_hang + 1
+      end);
   let wall_ms, cycles =
-    if predicted then begin
-      tm.n_pruned <- tm.n_pruned + 1;
-      (0., 0)
-    end
-    else begin
-      tm.n_run <- tm.n_run + 1;
-      tm.wall_run <- tm.wall_run +. runner.Runner.last_wall;
-      tm.wall_restore <- tm.wall_restore +. runner.Runner.last_restore;
-      tm.sim_cycles <- tm.sim_cycles + runner.Runner.last_cycles;
-      if Outcome.is_activated outcome then tm.n_activated <- tm.n_activated + 1;
-      if Outcome.is_crash_or_hang outcome then tm.n_crash_hang <- tm.n_crash_hang + 1;
-      (runner.Runner.last_wall *. 1000., runner.Runner.last_cycles)
-    end
+    if predicted then (0., 0)
+    else (timing.Fleet.wall *. 1000., timing.Fleet.cycles)
   in
   let path =
     match outcome with
@@ -120,8 +122,15 @@ let telemetry_target tm letter (runner : Runner.t) (t : Target.t) ~workload
      ]
     @ path)
 
-let run_campaign ?(subsample = 1) ?(seed = 42) ?(hardening = false) ?oracle
-    ?telemetry ?on_progress runner profile campaign =
+let run_campaign ?(config = Config.default) ?fleet runner profile campaign =
+  let { Config.subsample; seed; hardening; oracle; telemetry; on_progress; jobs }
+      =
+    config
+  in
+  (match fleet with
+   | Some f when Fleet.primary f != runner ->
+     invalid_arg "Experiment.run_campaign: the fleet's primary runner differs"
+   | _ -> ());
   Runner.set_hardening runner hardening;
   let fns = campaign_functions runner profile campaign in
   let targets =
@@ -140,41 +149,61 @@ let run_campaign ?(subsample = 1) ?(seed = 42) ?(hardening = false) ?oracle
          ("seed", Telemetry.Int seed);
        ]
    | None -> ());
-  let records =
-    List.mapi
-      (fun i (t : Target.t) ->
-        (match on_progress with Some f -> f ~done_:i ~total | None -> ());
-        let workload = workload_for profile t in
-        let predicted = match oracle with Some o -> o t | None -> None in
-        let outcome, r_predicted =
-          match predicted with
-          | Some o -> (o, true)
-          | None -> (Runner.run_one runner ~workload t, false)
-        in
-        (match telemetry with
-         | Some tm ->
-           telemetry_target tm letter runner t ~workload ~outcome
-             ~predicted:r_predicted
-         | None -> ());
-        { r_campaign = campaign; r_target = t; r_workload = workload;
-          r_outcome = outcome; r_predicted })
-      targets
+  (* the planning pass: workload choice and oracle resolution are
+     machine-independent, so they happen here, serially, whatever [jobs]
+     is — workers then only ever touch their own runner *)
+  let items =
+    Array.of_list targets
+    |> Array.map (fun (t : Target.t) ->
+           {
+             Fleet.it_target = t;
+             it_workload = workload_for profile t;
+             it_predicted = (match oracle with Some o -> o t | None -> None);
+           })
   in
-  (* completion tick: loop iterations report the count *before* each
+  (* progress ticks and telemetry always fire in serial target order:
+     the serial loop emits as it runs, the fleet's collector re-orders *)
+  let emit i (it : Fleet.item) (res : Fleet.result) =
+    (match on_progress with Some f -> f ~done_:i ~total | None -> ());
+    match telemetry with
+    | Some tm ->
+      telemetry_target tm letter it.Fleet.it_target ~workload:it.Fleet.it_workload
+        ~outcome:res.Fleet.res_outcome ~predicted:res.Fleet.res_predicted
+        ~timing:res.Fleet.res_timing
+    | None -> ()
+  in
+  let results =
+    if jobs <= 1 then
+      Array.mapi
+        (fun i it ->
+          let res = Fleet.run_item runner it in
+          emit i it res;
+          res)
+        items
+    else begin
+      let pool =
+        match fleet with
+        | Some f ->
+          Fleet.ensure f ~jobs;
+          f
+        | None -> Fleet.create ~jobs runner
+      in
+      Fleet.run ~jobs ~on_result:emit pool items
+    end
+  in
+  (* completion tick: per-target ticks report the count *before* each
      target, so consumers would otherwise never see done_ = total *)
   (match on_progress with Some f -> f ~done_:total ~total | None -> ());
   (match telemetry with
    | Some tm ->
      let wall = Unix.gettimeofday () -. wall_start in
-     tm.Telemetry.wall_total <- tm.Telemetry.wall_total +. wall;
-     let run =
-       List.length (List.filter (fun r -> not r.r_predicted) records)
-     in
+     Telemetry.locked tm (fun () ->
+         tm.Telemetry.wall_total <- tm.Telemetry.wall_total +. wall);
+     let count p = Array.fold_left (fun n r -> if p r then n + 1 else n) 0 results in
+     let run = count (fun r -> not r.Fleet.res_predicted) in
      let activated =
-       List.length
-         (List.filter
-            (fun r -> (not r.r_predicted) && Outcome.is_activated r.r_outcome)
-            records)
+       count (fun r ->
+           (not r.Fleet.res_predicted) && Outcome.is_activated r.Fleet.res_outcome)
      in
      Telemetry.event tm "campaign_end"
        [ ("campaign", Telemetry.Str letter);
@@ -187,16 +216,39 @@ let run_campaign ?(subsample = 1) ?(seed = 42) ?(hardening = false) ?oracle
           Telemetry.Float (if wall > 0. then float_of_int run /. wall else 0.));
        ]
    | None -> ());
-  records
+  Array.to_list
+    (Array.mapi
+       (fun i (it : Fleet.item) ->
+         {
+           r_campaign = campaign;
+           r_target = it.Fleet.it_target;
+           r_workload = it.Fleet.it_workload;
+           r_outcome = results.(i).Fleet.res_outcome;
+           r_predicted = results.(i).Fleet.res_predicted;
+         })
+       items)
 
 (* Full study: all three campaigns. *)
-let run_all ?(subsample = 1) ?seed ?hardening ?oracle ?telemetry ?on_progress
-    runner profile =
+let run_all ?config ?fleet runner profile =
   List.concat_map
-    (fun c ->
-      run_campaign ~subsample ?seed ?hardening ?oracle ?telemetry ?on_progress
-        runner profile c)
+    (fun c -> run_campaign ?config ?fleet runner profile c)
     [ Target.A; Target.B; Target.C ]
+
+(* ----- deprecated optional-argument spellings (one PR of grace) ----- *)
+
+let run_campaign_args ?subsample ?seed ?hardening ?oracle ?telemetry ?on_progress
+    runner profile campaign =
+  run_campaign
+    ~config:
+      (Config.make ?subsample ?seed ?hardening ?oracle ?telemetry ?on_progress ())
+    runner profile campaign
+
+let run_all_args ?subsample ?seed ?hardening ?oracle ?telemetry ?on_progress
+    runner profile =
+  run_all
+    ~config:
+      (Config.make ?subsample ?seed ?hardening ?oracle ?telemetry ?on_progress ())
+    runner profile
 
 (* RFC 4180 field quoting: fields holding a comma, quote or line break
    are double-quoted, with embedded quotes doubled. *)

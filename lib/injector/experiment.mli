@@ -25,6 +25,32 @@ val workload_for : Kfi_profiler.Sampler.profile -> Target.t -> int
     pseudo-random (approximating whole-suite activity). *)
 
 val run_campaign :
+  ?config:Config.t ->
+  ?fleet:Fleet.t ->
+  Runner.t ->
+  Kfi_profiler.Sampler.profile ->
+  Target.campaign ->
+  record list
+(** Run one campaign under [config] (default {!Config.default}; see
+    {!Config.t} for what each knob does).  With [config.jobs > 1] the
+    targets run on a {!Fleet} of worker domains — [fleet] supplies a
+    pre-booted pool to reuse across campaigns (its primary must be
+    [runner]; it is grown to [jobs] runners if smaller), otherwise a
+    temporary pool is booted.  Whatever [jobs] is, the returned records,
+    the telemetry event stream and the progress ticks are identical to a
+    serial run with the same seed (timing fields aside): planning is
+    serial, runners boot deterministically, and results are collected
+    back into serial target order. *)
+
+val run_all :
+  ?config:Config.t ->
+  ?fleet:Fleet.t ->
+  Runner.t ->
+  Kfi_profiler.Sampler.profile ->
+  record list
+(** Campaigns A, B and C in sequence. *)
+
+val run_campaign_args :
   ?subsample:int ->
   ?seed:int ->
   ?hardening:bool ->
@@ -35,17 +61,9 @@ val run_campaign :
   Kfi_profiler.Sampler.profile ->
   Target.campaign ->
   record list
-(** Run one campaign.  [subsample] keeps every k-th target (1 = the full
-    enumeration); [seed] fixes the per-byte bit choice; [hardening]
-    enables the Section-7.4 interface assertions; [oracle] is the static
-    mutation oracle's pruning hook ([Kfi_staticoracle.Oracle.pruner]):
-    targets it resolves are recorded with [r_predicted = true] and never
-    run on the machine; [telemetry] receives one JSONL event per target
-    plus campaign start/end markers and accumulates the aggregate
-    counters.  [on_progress] fires before every target and once more on
-    completion with [done_ = total]. *)
+[@@deprecated "use run_campaign ?config (Config.make bundles these arguments)"]
 
-val run_all :
+val run_all_args :
   ?subsample:int ->
   ?seed:int ->
   ?hardening:bool ->
@@ -55,7 +73,7 @@ val run_all :
   Runner.t ->
   Kfi_profiler.Sampler.profile ->
   record list
-(** Campaigns A, B and C in sequence. *)
+[@@deprecated "use run_all ?config (Config.make bundles these arguments)"]
 
 val csv_field : string -> string
 (** RFC 4180 quoting: fields holding a comma, quote or line break are

@@ -1,0 +1,187 @@
+(* Domain-parallel campaign execution.
+
+   A fleet is a pool of runners: the caller's primary runner plus extra
+   ones booted on demand, each owned exclusively by one worker domain
+   during a run (own machine, own snapshots, own golden runs — nothing
+   shared mutably).  Workers claim index ranges from a shared chunk
+   queue; the calling domain is the collector, surfacing each result
+   exactly once and in serial target order, so telemetry events and
+   progress ticks come out in the same order (and with the same sequence
+   numbers) as a single-runner run.
+
+   Everything here is plain OCaml 5 stdlib: Domain, Mutex, Condition,
+   Atomic — no external dependencies.  Determinism falls out of the
+   design: a runner's behavior depends only on its (deterministic) boot,
+   each injection restores a snapshot before running, and planning
+   (target enumeration, workload choice, oracle resolution) happened
+   serially before the fleet is involved. *)
+
+(* ----- the work queue ----- *)
+
+module Chunks = struct
+  type t = {
+    total : int;
+    chunk : int;
+    mutable next : int;
+    lock : Mutex.t;
+  }
+
+  let create ?(chunk = 1) total =
+    if chunk < 1 then invalid_arg "Fleet.Chunks.create: chunk must be >= 1";
+    if total < 0 then invalid_arg "Fleet.Chunks.create: negative total";
+    { total; chunk; next = 0; lock = Mutex.create () }
+
+  let claim t =
+    Mutex.protect t.lock (fun () ->
+        if t.next >= t.total then None
+        else begin
+          let lo = t.next in
+          let hi = min t.total (lo + t.chunk) in
+          t.next <- hi;
+          Some (lo, hi)
+        end)
+end
+
+(* ----- work items and results ----- *)
+
+type timing = { wall : float; restore : float; cycles : int }
+
+let timing_zero = { wall = 0.; restore = 0.; cycles = 0 }
+
+type item = {
+  it_target : Target.t;
+  it_workload : int;
+  it_predicted : Outcome.t option;
+      (* statically resolved by the oracle: never touches a machine *)
+}
+
+type result = {
+  res_outcome : Outcome.t;
+  res_timing : timing;
+  res_predicted : bool;
+}
+
+(* ----- the runner pool ----- *)
+
+type t = { mutable runners : Runner.t array }
+
+let primary t = t.runners.(0)
+
+let size t = Array.length t.runners
+
+let ensure t ~jobs =
+  let missing = jobs - size t in
+  if missing > 0 then begin
+    (* the kernel image cache is already warm (the primary runner built
+       it), so concurrent boots share the assembled build *)
+    let max_cycles = (primary t).Runner.max_cycles in
+    let spawned =
+      Array.init missing (fun _ ->
+          Domain.spawn (fun () -> Runner.create ~max_cycles ()))
+    in
+    t.runners <- Array.append t.runners (Array.map Domain.join spawned)
+  end
+
+let create ?(jobs = 1) primary =
+  let t = { runners = [| primary |] } in
+  ensure t ~jobs;
+  t
+
+(* ----- a run ----- *)
+
+let run_item (r : Runner.t) it =
+  match it.it_predicted with
+  | Some o -> { res_outcome = o; res_timing = timing_zero; res_predicted = true }
+  | None ->
+    let o = Runner.run_one r ~workload:it.it_workload it.it_target in
+    {
+      res_outcome = o;
+      res_timing =
+        {
+          wall = r.Runner.last_wall;
+          restore = r.Runner.last_restore;
+          cycles = r.Runner.last_cycles;
+        };
+      res_predicted = false;
+    }
+
+let run ?jobs ?(chunk = 1) ?on_result t items =
+  let n = Array.length items in
+  let jobs =
+    let cap = Option.value jobs ~default:(size t) in
+    max 1 (min cap (size t))
+  in
+  let lead = primary t in
+  (* every worker runs with the primary's current modes *)
+  Array.iter
+    (fun r ->
+      Runner.set_hardening r lead.Runner.hardening;
+      Runner.set_trace_level r lead.Runner.trace_level)
+    t.runners;
+  let results = Array.make n None in
+  let lock = Mutex.create () in
+  let cond = Condition.create () in
+  let queue = Chunks.create ~chunk n in
+  let stop = Atomic.make false in
+  let error = ref None in
+  let worker r () =
+    try
+      let rec loop () =
+        if not (Atomic.get stop) then
+          match Chunks.claim queue with
+          | None -> ()
+          | Some (lo, hi) ->
+            for i = lo to hi - 1 do
+              let res = run_item r items.(i) in
+              Mutex.protect lock (fun () ->
+                  results.(i) <- Some res;
+                  Condition.broadcast cond)
+            done;
+            loop ()
+      in
+      loop ()
+    with e ->
+      Mutex.protect lock (fun () ->
+          if !error = None then error := Some e;
+          Atomic.set stop true;
+          Condition.broadcast cond)
+  in
+  let domains =
+    Array.map (fun r -> Domain.spawn (worker r)) (Array.sub t.runners 0 jobs)
+  in
+  (* collect in serial order: [on_result] fires for index i only once
+     0..i-1 have fired, from this domain, outside the lock *)
+  let emitted = ref 0 in
+  let next () =
+    Mutex.protect lock (fun () ->
+        let rec wait () =
+          if !error <> None then None
+          else
+            match results.(!emitted) with
+            | Some r -> Some r
+            | None ->
+              Condition.wait cond lock;
+              wait ()
+        in
+        wait ())
+  in
+  (try
+     while !emitted < n && !error = None do
+       match next () with
+       | Some res ->
+         (match on_result with
+          | Some f -> f !emitted items.(!emitted) res
+          | None -> ());
+         incr emitted
+       | None -> ()
+     done
+   with e ->
+     (* the collector callback failed: stop the workers before re-raising *)
+     Atomic.set stop true;
+     Array.iter Domain.join domains;
+     raise e);
+  Array.iter Domain.join domains;
+  match !error with
+  | Some e -> raise e
+  | None ->
+    Array.map (function Some r -> r | None -> assert false) results

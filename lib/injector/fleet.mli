@@ -1,0 +1,86 @@
+(** Domain-parallel campaign execution on OCaml 5 domains.
+
+    A fleet is a pool of {!Runner.t}s — the caller's primary runner plus
+    extra ones booted on demand — each owned exclusively by one worker
+    domain during a run.  Workers claim index ranges from a shared chunk
+    queue (mutex + condition, no external dependencies); the calling
+    domain collects results and surfaces them in serial target order, so
+    a consumer that emits telemetry or progress from {!run}'s
+    [on_result] sees exactly the event sequence of a single-runner run. *)
+
+(** A concurrent claim-once index queue: [claim] hands out the ranges
+    [[0, chunk)], [[chunk, 2*chunk)], … of [[0, total)] exactly once
+    across any number of domains. *)
+module Chunks : sig
+  type t
+
+  val create : ?chunk:int -> int -> t
+  (** [create ~chunk total]; [chunk] defaults to 1.
+      @raise Invalid_argument if [chunk < 1] or [total < 0]. *)
+
+  val claim : t -> (int * int) option
+  (** The next unclaimed [(lo, hi)] range ([hi] exclusive), or [None]
+      when the queue is drained. *)
+end
+
+(** Per-injection wall-clock measurements, captured on the worker that
+    ran the injection (the runner's [last_*] fields are per-runner
+    mutable state, so they must be read on the owning domain). *)
+type timing = { wall : float; restore : float; cycles : int }
+
+val timing_zero : timing
+(** All-zero timing, used for oracle-pruned targets. *)
+
+(** One unit of planned work.  Planning (workload choice, oracle
+    resolution) is serial and machine-independent; items carry its
+    results so workers only ever touch their own runner. *)
+type item = {
+  it_target : Target.t;
+  it_workload : int;
+  it_predicted : Outcome.t option;
+      (** statically resolved by the oracle: never touches a machine *)
+}
+
+type result = {
+  res_outcome : Outcome.t;
+  res_timing : timing;
+  res_predicted : bool;
+}
+
+val run_item : Runner.t -> item -> result
+(** Execute one item on the given runner (or resolve it statically if it
+    was pruned), capturing the runner's timing.  The serial ([jobs = 1])
+    campaign path and the fleet's workers share this. *)
+
+type t
+(** A pool of runners.  Runner 0 is the primary (borrowed from the
+    caller); the rest were booted by {!create}/{!ensure}. *)
+
+val create : ?jobs:int -> Runner.t -> t
+(** [create ~jobs primary] pools [primary] with [jobs - 1] freshly
+    booted runners (created concurrently, one domain each). *)
+
+val ensure : t -> jobs:int -> unit
+(** Grow the pool to at least [jobs] runners (no-op if already there). *)
+
+val size : t -> int
+val primary : t -> Runner.t
+
+val run :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?on_result:(int -> item -> result -> unit) ->
+  t ->
+  item array ->
+  result array
+(** Execute every item, using up to [jobs] runners (default: the whole
+    pool), claiming [chunk]-sized ranges (default 1) from a shared
+    queue.  Every worker first inherits the primary runner's hardening
+    and trace level.  [on_result] is invoked on the calling domain, in
+    strict index order (0, 1, 2, …) — not completion order — and outside
+    the fleet's lock.  The returned array is indexed like [items].
+
+    Outcomes are independent of [jobs], [chunk] and scheduling: runners
+    boot deterministically and each injection restores a snapshot.  An
+    exception on a worker (or in [on_result]) stops the fleet and is
+    re-raised here after the worker domains are joined. *)

@@ -58,15 +58,22 @@ let build_once () =
 let build_fresh () = build_once ()
 
 let cache = ref None
+let cache_lock = Mutex.create ()
 
-(* The kernel image is deterministic; build it once per process. *)
+(* The kernel image is deterministic; build it once per process.  The
+   double-checked lock keeps concurrent first calls (e.g. a fleet of
+   runners booting on fresh domains) from assembling twice. *)
 let build () =
   match !cache with
   | Some b -> b
   | None ->
-    let b = build_once () in
-    cache := Some b;
-    b
+    Mutex.protect cache_lock (fun () ->
+        match !cache with
+        | Some b -> b
+        | None ->
+          let b = build_once () in
+          cache := Some b;
+          b)
 
 let symbol b name = Assembler.symbol b.asm name
 

@@ -253,6 +253,10 @@ let lint doc =
 
 type t = {
   sink : string -> unit;
+  lock : Mutex.t;
+      (* guards [seq] + the sink and the counters below: a sink may be
+         shared by concurrent studies, and the campaign runner batches
+         its counter updates under [locked] *)
   mutable seq : int;
   mutable n_targets : int;       (* targets considered (run + pruned) *)
   mutable n_run : int;           (* really executed on the machine *)
@@ -268,6 +272,7 @@ type t = {
 let create ?(sink = fun _ -> ()) () =
   {
     sink;
+    lock = Mutex.create ();
     seq = 0;
     n_targets = 0;
     n_run = 0;
@@ -280,10 +285,15 @@ let create ?(sink = fun _ -> ()) () =
     wall_total = 0.;
   }
 
+let locked t f = Mutex.protect t.lock f
+
 let event t ty fields =
-  let line = to_string (Obj (("type", Str ty) :: ("seq", Int t.seq) :: fields)) in
-  t.seq <- t.seq + 1;
-  t.sink line
+  locked t (fun () ->
+      let line =
+        to_string (Obj (("type", Str ty) :: ("seq", Int t.seq) :: fields))
+      in
+      t.seq <- t.seq + 1;
+      t.sink line)
 
 (* Aggregates for the report. *)
 type summary = {

@@ -30,9 +30,11 @@ val lint : string -> (int, int * string) result
     [Error (line_number, reason)] for the first offending line. *)
 
 (** Telemetry sink with aggregate counters.  The counters are mutable and
-    filled in by {!Kfi_injector.Experiment}. *)
+    filled in by {!Kfi_injector.Experiment}; mutate them under {!locked}
+    if the sink may be shared across domains. *)
 type t = {
   sink : string -> unit;
+  lock : Mutex.t;  (** guards [seq], the sink and the counters *)
   mutable seq : int;
   mutable n_targets : int;
   mutable n_run : int;
@@ -48,8 +50,14 @@ type t = {
 val create : ?sink:(string -> unit) -> unit -> t
 (** [sink] receives each rendered JSONL line (default: discard). *)
 
+val locked : t -> (unit -> 'a) -> 'a
+(** Run [f] holding the sink's lock — for batches of counter updates.
+    {!event} takes the lock itself; do not call it inside [f]. *)
+
 val event : t -> string -> (string * value) list -> unit
-(** Emit one event: [type] and an auto-incremented [seq] are prepended. *)
+(** Emit one event: [type] and an auto-incremented [seq] are prepended.
+    Atomic (sequence numbering and the sink call happen under the
+    lock), so concurrent emitters cannot interleave or skew [seq]. *)
 
 (** Immutable aggregate view for reports. *)
 type summary = {

@@ -8,6 +8,7 @@ let () =
       ("fsimage", Test_fsimage.suite);
       ("injector", Test_injector.suite);
       ("trace", Test_trace.suite);
+      ("parallel", Test_parallel.suite);
       ("staticoracle", Test_staticoracle.suite);
       ("analysis", Test_analysis.suite);
       ("casestudies", Test_casestudies.suite);

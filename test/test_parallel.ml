@@ -1,0 +1,229 @@
+(* Parallel-fleet tests: the claim-once chunk queue under concurrent
+   domains, the Config record (defaults and equivalence with the legacy
+   optional-argument spellings), ordered collection through Fleet.run,
+   and the headline determinism property: a jobs:4 campaign produces
+   records, CSV, telemetry JSONL (timing fields aside) and progress
+   ticks identical to the serial run. *)
+
+open Kfi_injector
+module Telemetry = Kfi_trace.Telemetry
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* share the booted runner and profile with the other test modules *)
+let runner = Test_injector.runner
+let profile = Test_trace.profile
+
+(* ----- the chunk queue ----- *)
+
+let test_chunks_shapes () =
+  let q = Fleet.Chunks.create ~chunk:4 10 in
+  check (Alcotest.option (Alcotest.pair int int)) "first" (Some (0, 4))
+    (Fleet.Chunks.claim q);
+  check (Alcotest.option (Alcotest.pair int int)) "second" (Some (4, 8))
+    (Fleet.Chunks.claim q);
+  check (Alcotest.option (Alcotest.pair int int)) "ragged tail" (Some (8, 10))
+    (Fleet.Chunks.claim q);
+  check (Alcotest.option (Alcotest.pair int int)) "drained" None
+    (Fleet.Chunks.claim q);
+  check (Alcotest.option (Alcotest.pair int int)) "stays drained" None
+    (Fleet.Chunks.claim q);
+  (* empty queue and bad arguments *)
+  check (Alcotest.option (Alcotest.pair int int)) "empty" None
+    (Fleet.Chunks.claim (Fleet.Chunks.create 0));
+  Alcotest.check_raises "chunk 0 rejected"
+    (Invalid_argument "Fleet.Chunks.create: chunk must be >= 1") (fun () ->
+      ignore (Fleet.Chunks.create ~chunk:0 5));
+  Alcotest.check_raises "negative total rejected"
+    (Invalid_argument "Fleet.Chunks.create: negative total") (fun () ->
+      ignore (Fleet.Chunks.create (-1)))
+
+(* four domains hammering one queue: every index claimed exactly once *)
+let test_chunks_claimed_exactly_once () =
+  let n = 4096 in
+  let q = Fleet.Chunks.create ~chunk:3 n in
+  let claimer () =
+    let rec loop acc =
+      match Fleet.Chunks.claim q with
+      | None -> acc
+      | Some r -> loop (r :: acc)
+    in
+    loop []
+  in
+  let domains = Array.init 4 (fun _ -> Domain.spawn claimer) in
+  let ranges = Array.to_list domains |> List.concat_map Domain.join in
+  let covered = Array.make n 0 in
+  List.iter
+    (fun (lo, hi) ->
+      check bool "range in bounds" true (0 <= lo && lo < hi && hi <= n);
+      for i = lo to hi - 1 do
+        covered.(i) <- covered.(i) + 1
+      done)
+    ranges;
+  Array.iteri
+    (fun i c ->
+      if c <> 1 then Alcotest.failf "index %d claimed %d times" i c)
+    covered
+
+(* ----- Config ----- *)
+
+(* Config.default must mean exactly what the legacy entry points did
+   with no optional arguments. *)
+let test_config_default_fields () =
+  let d = Config.default in
+  check int "subsample" 1 d.Config.subsample;
+  check int "seed" 42 d.Config.seed;
+  check bool "hardening" false d.Config.hardening;
+  check bool "no oracle" true (d.Config.oracle = None);
+  check bool "no telemetry" true (d.Config.telemetry = None);
+  check bool "no progress" true (d.Config.on_progress = None);
+  check int "jobs" 1 d.Config.jobs;
+  (* make () = default *)
+  let m = Config.make () in
+  check int "make subsample" d.Config.subsample m.Config.subsample;
+  check int "make seed" d.Config.seed m.Config.seed;
+  check int "make jobs" d.Config.jobs m.Config.jobs
+
+(* the facade's Config.make resolves an oracle value into the hook *)
+let test_facade_resolves_oracle () =
+  let oracle = Kfi_staticoracle.Oracle.create (Kfi_kernel.Build.build ()) in
+  let cfg = Kfi.Config.make ~oracle () in
+  match cfg.Kfi.Config.oracle with
+  | None -> Alcotest.fail "oracle not resolved"
+  | Some pruner ->
+    (* the resolved hook behaves like Oracle.pruner *)
+    let targets =
+      Target.enumerate (Kfi_kernel.Build.build ()) ~campaign:Target.A ~seed:1
+        [ "schedule" ]
+    in
+    List.iter
+      (fun t ->
+        check bool "hook = pruner" true
+          (pruner t = Kfi_staticoracle.Oracle.pruner oracle t))
+      targets
+
+(* legacy optional-argument wrapper = new config path, record for record *)
+let test_legacy_args_equivalence () =
+  let r = Lazy.force runner and p = Lazy.force profile in
+  let legacy =
+    (Experiment.run_campaign_args [@alert "-deprecated"]) ~subsample:120 ~seed:5 r
+      p Target.A
+  in
+  let cfg =
+    Experiment.run_campaign
+      ~config:(Config.make ~subsample:120 ~seed:5 ())
+      r p Target.A
+  in
+  check int "same length" (List.length legacy) (List.length cfg);
+  check bool "identical records" true (legacy = cfg)
+
+(* ----- Fleet.run collection order ----- *)
+
+(* An all-predicted plan needs no machine, so this exercises the queue +
+   collector machinery in isolation: results arrive via on_result in
+   strict index order, with zero timing and res_predicted set. *)
+let test_fleet_ordered_collection () =
+  let r = Lazy.force runner in
+  let fleet = Fleet.create ~jobs:1 r in
+  check int "pool size" 1 (Fleet.size fleet);
+  check bool "primary preserved" true (Fleet.primary fleet == r);
+  let targets =
+    Target.enumerate r.Runner.build ~campaign:Target.A ~seed:1 [ "schedule" ]
+  in
+  let items =
+    Array.of_list targets
+    |> Array.map (fun t ->
+           {
+             Fleet.it_target = t;
+             it_workload = 0;
+             it_predicted = Some Outcome.Not_manifested;
+           })
+  in
+  let seen = ref [] in
+  let results =
+    (* jobs above the pool size must clamp, not crash *)
+    Fleet.run ~jobs:5 ~chunk:7
+      ~on_result:(fun i _ res ->
+        seen := i :: !seen;
+        check bool "predicted" true res.Fleet.res_predicted;
+        check int "zero cycles" 0 res.Fleet.res_timing.Fleet.cycles)
+      fleet items
+  in
+  check int "all results" (Array.length items) (Array.length results);
+  let expected = List.init (Array.length items) (fun i -> i) in
+  check (Alcotest.list int) "on_result in serial order" expected (List.rev !seen);
+  (* a collector callback failure must not hang the fleet *)
+  Alcotest.check_raises "collector exception propagates" Exit (fun () ->
+      ignore (Fleet.run ~on_result:(fun _ _ _ -> raise Exit) fleet items))
+
+(* ----- the headline determinism property ----- *)
+
+let strip_wall_fields line =
+  match Telemetry.parse line with
+  | Telemetry.Obj fields ->
+    Telemetry.to_string
+      (Telemetry.Obj
+         (List.filter
+            (fun (k, _) -> not (List.mem k [ "wall_ms"; "wall_s"; "inj_per_s" ]))
+            fields))
+  | v -> Telemetry.to_string v
+
+let run_campaign_a ~jobs =
+  let r = Lazy.force runner and p = Lazy.force profile in
+  let buf = Buffer.create 4096 in
+  let tm =
+    Telemetry.create
+      ~sink:(fun line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n')
+      ()
+  in
+  let ticks = ref [] in
+  let config =
+    Config.make ~subsample:120 ~telemetry:tm
+      ~on_progress:(fun ~done_ ~total -> ticks := (done_, total) :: !ticks)
+      ~jobs ()
+  in
+  let records = Experiment.run_campaign ~config r p Target.A in
+  (records, Buffer.contents buf, List.rev !ticks)
+
+let test_jobs4_identical_to_serial () =
+  let serial, jsonl1, ticks1 = run_campaign_a ~jobs:1 in
+  let parallel, jsonl4, ticks4 = run_campaign_a ~jobs:4 in
+  check bool "ran something" true (List.length serial > 50);
+  check bool "identical record lists" true (serial = parallel);
+  check bool "identical CSV" true
+    (String.equal (Experiment.to_csv serial) (Experiment.to_csv parallel));
+  check (Alcotest.list (Alcotest.pair int int)) "identical progress ticks" ticks1
+    ticks4;
+  (* the parallel JSONL still passes the schema lint... *)
+  (match Telemetry.lint jsonl4 with
+   | Ok events -> check int "events = targets + 2" (List.length serial + 2) events
+   | Error (l, e) ->
+     Alcotest.failf "parallel telemetry lint: line %d: %s" l e);
+  (* ...and is line-for-line identical once wall-clock fields are gone *)
+  let strip doc =
+    String.split_on_char '\n' doc
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map strip_wall_fields
+  in
+  check (Alcotest.list Alcotest.string) "identical JSONL modulo wall clock"
+    (strip jsonl1) (strip jsonl4)
+
+let suite =
+  [
+    Alcotest.test_case "chunk queue shapes" `Quick test_chunks_shapes;
+    Alcotest.test_case "chunk queue: claimed exactly once (4 domains)" `Quick
+      test_chunks_claimed_exactly_once;
+    Alcotest.test_case "Config.default fields" `Quick test_config_default_fields;
+    Alcotest.test_case "facade resolves oracle once" `Quick
+      test_facade_resolves_oracle;
+    Alcotest.test_case "legacy args = config path" `Slow
+      test_legacy_args_equivalence;
+    Alcotest.test_case "fleet ordered collection" `Slow
+      test_fleet_ordered_collection;
+    Alcotest.test_case "jobs:4 = jobs:1 (records, CSV, JSONL, ticks)" `Slow
+      test_jobs4_identical_to_serial;
+  ]

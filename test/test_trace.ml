@@ -344,8 +344,11 @@ let test_campaign_progress_and_telemetry () =
       ()
   in
   let records =
-    Experiment.run_campaign ~subsample:60 ~telemetry:tm
-      ~on_progress:(fun ~done_ ~total -> ticks := (done_, total) :: !ticks)
+    Experiment.run_campaign
+      ~config:
+        (Config.make ~subsample:60 ~telemetry:tm
+           ~on_progress:(fun ~done_ ~total -> ticks := (done_, total) :: !ticks)
+           ())
       r profile Target.A
   in
   let n = List.length records in
