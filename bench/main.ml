@@ -9,7 +9,7 @@
      bench/main.exe perf            # simulator micro-benchmarks only
 
    Experiment ids: table1 fig1 table4 fig4 table5 fig6 fig7 fig8 ablation regcmp
-   oracle trace parallel perf *)
+   oracle trace parallel journal perf *)
 
 let header title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 78 '=') title (String.make 78 '=')
@@ -120,14 +120,14 @@ let () =
     |> function
     | [] ->
       [ "table1"; "fig1"; "table4"; "fig4"; "table5"; "fig6"; "fig7"; "fig8"; "ablation";
-        "regcmp"; "oracle"; "trace"; "parallel"; "perf" ]
+        "regcmp"; "oracle"; "trace"; "parallel"; "journal"; "perf" ]
     | l -> l
   in
   let want x = List.mem x wanted in
   let need_study =
     List.exists want
       [ "table1"; "fig4"; "table5"; "fig6"; "fig7"; "fig8"; "ablation"; "regcmp"; "oracle";
-        "trace"; "parallel" ]
+        "trace"; "parallel"; "journal" ]
   in
   if need_study then begin
     Printf.eprintf "bench: booting kernel, golden runs, profiling...\n%!";
@@ -373,6 +373,51 @@ let () =
         \ CSV are byte-identical at every j by construction: planning is serial,\n\
         \ runners boot deterministically, results merge in serial order)\n"
         (Domain.recommended_domain_count ())
+    end;
+    if want "journal" then begin
+      header
+        "Extension — crash-safe campaign journal (campaign A: off / on / resume)";
+      let module Journal = Kfi.Injector.Journal in
+      let now () = Unix.gettimeofday () in
+      let path = Filename.temp_file "kfi_bench_journal" ".kj" in
+      let sweep ?journal tag =
+        Printf.eprintf "bench: campaign A, journal %s...\n%!" tag;
+        let t0 = now () in
+        let records =
+          Kfi.Study.run_campaign
+            ~config:(Kfi.Config.make ~subsample ?journal ())
+            study Kfi.Campaign.A
+        in
+        (records, now () -. t0)
+      in
+      let base, t_off = sweep "off" in
+      let j = Journal.open_ path in
+      let on_, t_on = sweep ~journal:j "on" in
+      Journal.close j;
+      let j2 = Journal.open_ ~resume:true path in
+      let skipped = Journal.loaded j2 in
+      let replay, t_replay = sweep ~journal:j2 "resume (full replay)" in
+      let reran = Journal.appended j2 in
+      Journal.close j2;
+      Sys.remove path;
+      let n = List.length base in
+      Printf.printf "journal off     %6d experiments in %6.2f s\n" n t_off;
+      Printf.printf
+        "journal on      %6d experiments in %6.2f s  (%+5.1f%% — one fsync per \
+         injection)\n"
+        (List.length on_) t_on
+        (100. *. (t_on -. t_off) /. t_off);
+      Printf.printf
+        "resume replay   %6d experiments in %6.2f s  (%d skipped from the \
+         journal, %d re-run)\n"
+        (List.length replay) t_replay skipped reran;
+      let same = Kfi.Study.to_csv base in
+      Printf.printf
+        "CSV %s across off / on / resume\n"
+        (if String.equal same (Kfi.Study.to_csv on_)
+            && String.equal same (Kfi.Study.to_csv replay)
+         then "byte-identical"
+         else "DIFFERS (BUG)")
     end
   end;
   if want "fig1" && not need_study then begin

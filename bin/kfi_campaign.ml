@@ -3,14 +3,39 @@
    kfi-campaign                  # scaled-down sweep (fast)
    kfi-campaign --full           # full-scale target enumeration
    kfi-campaign -j 4             # four worker domains, same records
-   kfi-campaign -c A --subsample 20 --csv out.csv --jsonl out.jsonl *)
+   kfi-campaign -c A --subsample 20 --csv out.csv --jsonl out.jsonl
+   kfi-campaign --journal run.kj # crash-safe: every injection fsync'd
+   kfi-campaign --journal run.kj --resume   # continue after a SIGKILL *)
 
 open Cmdliner
 
-let run campaigns subsample full csv_path jsonl_path seed quiet hardening jobs =
+let run campaigns subsample full csv_path jsonl_path seed quiet hardening jobs
+    journal_path resume deadline_ms retries =
   let subsample = if full then 1 else subsample in
   Printf.eprintf "booting kernel + golden runs + profiling...\n%!";
   let study = Kfi.Study.prepare () in
+  let journal =
+    Option.map
+      (fun path ->
+        let j = Kfi.Injector.Journal.open_ ~resume path in
+        if resume then begin
+          Printf.eprintf "journal %s: %d completed injection(s) to skip%s\n%!"
+            path
+            (Kfi.Injector.Journal.loaded j)
+            (if Kfi.Injector.Journal.torn_tail_truncated j then
+               " (torn final entry truncated)"
+             else "")
+        end;
+        j)
+      journal_path
+  in
+  let policy =
+    {
+      Kfi.Injector.Fleet.default_policy with
+      Kfi.Injector.Fleet.deadline_ms;
+      retries;
+    }
+  in
   let jsonl_oc = Option.map open_out jsonl_path in
   let telemetry =
     Option.map
@@ -40,7 +65,8 @@ let run campaigns subsample full csv_path jsonl_path seed quiet hardening jobs =
       Printf.eprintf "\r  %d/%d experiments%!" done_ total
   in
   let config =
-    Kfi.Config.make ~subsample ~seed ~hardening ?telemetry ~on_progress ~jobs ()
+    Kfi.Config.make ~subsample ~seed ~hardening ?telemetry ~on_progress ~jobs
+      ?journal ~policy ()
   in
   if jobs > 1 then begin
     Printf.eprintf "booting %d worker runners...\n%!" (jobs - 1);
@@ -67,6 +93,13 @@ let run campaigns subsample full csv_path jsonl_path seed quiet hardening jobs =
    | Some oc, Some path ->
      close_out oc;
      Printf.eprintf "wrote %s\n%!" path
+   | _ -> ());
+  (match (journal, journal_path) with
+   | Some j, Some path ->
+     Printf.eprintf "journal %s: %d skipped, %d appended\n%!" path
+       (Kfi.Injector.Journal.loaded j)
+       (Kfi.Injector.Journal.appended j);
+     Kfi.Injector.Journal.close j
    | _ -> ());
   0
 
@@ -102,11 +135,49 @@ let jobs_arg =
           "Worker domains running injections in parallel (each owns its own \
            simulated machine); records and telemetry are identical to -j 1.")
 
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"PATH"
+        ~doc:
+          "Crash-safe campaign journal: every completed injection is \
+           CRC-framed and fsync'd to $(docv), so a run killed at any point \
+           can be resumed with $(b,--resume).")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume from an existing $(b,--journal): completed targets are \
+           skipped (a torn final entry is truncated and re-run) and the \
+           final CSV/JSONL are identical to an uninterrupted run.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock budget per injection attempt; a miss is retried and a \
+           persistent offender is quarantined as a harness abort.")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt int Kfi.Injector.Fleet.default_policy.Kfi.Injector.Fleet.retries
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retries (with exponential backoff, on a fresh runner from the \
+           second retry) before a failing injection is quarantined.")
+
 let cmd =
   Cmd.v
     (Cmd.info "kfi-campaign" ~doc:"Kernel fault-injection campaigns (DSN'03 reproduction)")
     Term.(
       const run $ campaigns_arg $ subsample_arg $ full_arg $ csv_arg $ jsonl_arg
-      $ seed_arg $ quiet_arg $ hardening_arg $ jobs_arg)
+      $ seed_arg $ quiet_arg $ hardening_arg $ jobs_arg $ journal_arg
+      $ resume_arg $ deadline_arg $ retries_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -5,6 +5,7 @@
      kfi-trace --fn clear_page --byte 2 --bit 4
      kfi-trace --fn do_page_fault --addr 0xc0100f30 --byte 1 --bit 7
      kfi-trace --lint campaign.jsonl     # schema-lint a telemetry log
+     kfi-trace --strip campaign.jsonl    # drop wall-clock fields (determinism diffs)
 
    Targets are addressed as in campaign CSVs: either a byte offset from
    the function start (--byte alone), or an instruction address plus the
@@ -97,6 +98,9 @@ let outcome_lines outcome =
   | Outcome.Hang sev ->
     Printf.sprintf "outcome: hang (watchdog), severity %s\n"
       (Outcome.severity_name sev)
+  | Outcome.Harness_abort a ->
+    Printf.sprintf "outcome: harness abort (%s) after %d retries\n"
+      a.Outcome.ha_reason a.Outcome.ha_retries
   | Outcome.Crash c ->
     Printf.sprintf
       "outcome: %s\n\
@@ -113,13 +117,32 @@ let outcome_lines outcome =
       (Outcome.severity_name c.Outcome.severity)
       (Forensics.path_to_string c.Outcome.propagation)
 
-let run lint fn byte bit addr workload level trace_n =
-  match lint with
-  | Some path -> lint_file path
-  | None -> (
+(* Print the log with the volatile (wall-clock) fields removed: two runs
+   of the same campaign — serial vs parallel, interrupted-and-resumed vs
+   uninterrupted — must then compare byte-for-byte. *)
+let strip_file path =
+  match
+    let ic = open_in_bin path in
+    let doc = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Telemetry.strip_volatile doc
+  with
+  | exception Sys_error msg ->
+    Printf.eprintf "kfi-trace: %s\n" msg;
+    1
+  | stripped ->
+    print_string stripped;
+    0
+
+let run lint strip fn byte bit addr workload level trace_n =
+  match (lint, strip) with
+  | Some path, _ -> lint_file path
+  | None, Some path -> strip_file path
+  | None, None -> (
     match fn with
     | None ->
-      Printf.eprintf "kfi-trace: either --lint or --fn is required (see --help)\n";
+      Printf.eprintf
+        "kfi-trace: one of --lint, --strip or --fn is required (see --help)\n";
       2
     | Some fn -> (
       Printf.eprintf "booting kernel + golden runs + profiling...\n%!";
@@ -173,6 +196,15 @@ let lint_arg =
     & info [ "lint" ] ~docv:"FILE"
         ~doc:"Schema-lint a telemetry JSONL file and exit (no kernel boot).")
 
+let strip_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "strip" ] ~docv:"FILE"
+        ~doc:
+          "Print a telemetry JSONL file with its volatile wall-clock fields \
+           removed and exit (no kernel boot); used by determinism gates.")
+
 let fn_arg =
   Arg.(
     value
@@ -217,7 +249,7 @@ let cmd =
     (Cmd.info "kfi-trace"
        ~doc:"Replay one injection with full tracing and print the oops dump")
     Term.(
-      const run $ lint_arg $ fn_arg $ byte_arg $ bit_arg $ addr_arg $ workload_arg
-      $ level_arg $ trace_n_arg)
+      const run $ lint_arg $ strip_arg $ fn_arg $ byte_arg $ bit_arg $ addr_arg
+      $ workload_arg $ level_arg $ trace_n_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -30,11 +30,57 @@ grep -q 'Campaign telemetry' _artifacts/report.txt || {
   exit 1
 }
 
-echo "== determinism gate: -j 2 CSV must match -j 1 byte for byte =="
+echo "== determinism gate: -j 2 CSV + JSONL must match -j 1 byte for byte =="
 dune exec bin/kfi_campaign.exe -- -c A --subsample 60 -q -j 1 \
-  --csv _artifacts/campaign_serial.csv > /dev/null
+  --csv _artifacts/campaign_serial.csv --jsonl _artifacts/campaign_serial.jsonl \
+  > /dev/null
 cmp _artifacts/campaign_serial.csv _artifacts/campaign.csv || {
   echo "determinism gate failed: parallel campaign diverged from serial" >&2
+  exit 1
+}
+# telemetry too, once the volatile wall-clock fields are stripped
+dune exec bin/kfi_trace.exe -- --strip _artifacts/campaign_serial.jsonl \
+  > _artifacts/campaign_serial.jsonl.stripped
+dune exec bin/kfi_trace.exe -- --strip _artifacts/campaign.jsonl \
+  > _artifacts/campaign.jsonl.stripped
+cmp _artifacts/campaign_serial.jsonl.stripped _artifacts/campaign.jsonl.stripped || {
+  echo "determinism gate failed: parallel telemetry diverged from serial" >&2
+  exit 1
+}
+
+echo "== chaos gate: SIGKILL mid-campaign, resume from the journal =="
+# Start a journaled run, shoot it once completed injections are on disk,
+# resume, and demand output byte-identical to the uninterrupted run.
+rm -f _artifacts/chaos.journal
+_build/default/bin/kfi_campaign.exe -c A --subsample 60 -q \
+  --journal _artifacts/chaos.journal > /dev/null 2>&1 &
+chaos_pid=$!
+i=0
+while [ "$i" -lt 600 ]; do
+  if [ -f _artifacts/chaos.journal ]; then
+    size=$(wc -c < _artifacts/chaos.journal)
+  else
+    size=0
+  fi
+  [ "$size" -gt 2048 ] && break
+  kill -0 "$chaos_pid" 2>/dev/null || break
+  sleep 0.1
+  i=$((i + 1))
+done
+kill -9 "$chaos_pid" 2>/dev/null || true
+wait "$chaos_pid" 2>/dev/null || true
+cp _artifacts/chaos.journal _artifacts/chaos.journal.killed
+_build/default/bin/kfi_campaign.exe -c A --subsample 60 -q \
+  --journal _artifacts/chaos.journal --resume \
+  --csv _artifacts/chaos.csv --jsonl _artifacts/chaos.jsonl > /dev/null
+cmp _artifacts/campaign_serial.csv _artifacts/chaos.csv || {
+  echo "chaos gate failed: resumed campaign CSV diverged from uninterrupted" >&2
+  exit 1
+}
+dune exec bin/kfi_trace.exe -- --strip _artifacts/chaos.jsonl \
+  > _artifacts/chaos.jsonl.stripped
+cmp _artifacts/campaign_serial.jsonl.stripped _artifacts/chaos.jsonl.stripped || {
+  echo "chaos gate failed: resumed telemetry diverged from uninterrupted" >&2
   exit 1
 }
 

@@ -105,7 +105,12 @@ let fig4_campaign records campaign =
            (pct p.Stats.p_not_manifested act)
            (pct p.Stats.p_fsv act)
            (pct p.Stats.p_dumped_crash act)
-           (pct p.Stats.p_hang_unknown act)))
+           (pct p.Stats.p_hang_unknown act));
+      if total.Stats.f4_aborted > 0 then
+        Buffer.add_string b
+          (Printf.sprintf
+             "Harness aborts: %d target(s) quarantined after retries (excluded from activation)\n"
+             total.Stats.f4_aborted))
 
 let fig4 records =
   with_buf (fun b ->
@@ -337,8 +342,10 @@ let observed_bucket = function
   | Outcome.Fail_silence_violation _ -> "fsv"
   | Outcome.Crash _ -> "crash"
   | Outcome.Hang _ -> "hang"
+  | Outcome.Harness_abort _ -> "aborted"
 
-let observed_buckets = [ "not activated"; "not manifested"; "fsv"; "crash"; "hang" ]
+let observed_buckets =
+  [ "not activated"; "not manifested"; "fsv"; "crash"; "hang"; "aborted" ]
 
 let oracle_matrix oracle records =
   with_buf (fun b ->

@@ -22,6 +22,9 @@ type fig4_row = {
   f4_not_manifested : int;
   f4_fsv : int;
   f4_crash_hang : int;
+  f4_aborted : int;
+      (* quarantined Harness_abort records: harness faults, not kernel
+         outcomes — excluded from the activation denominator *)
 }
 
 let count p l = List.length (List.filter p l)
@@ -47,6 +50,13 @@ let fig4_row subsys records =
           | _ -> false)
         activated;
     f4_crash_hang = count (fun r -> Outcome.is_crash_or_hang r.Experiment.r_outcome) activated;
+    f4_aborted =
+      count
+        (fun r ->
+          match r.Experiment.r_outcome with
+          | Outcome.Harness_abort _ -> true
+          | _ -> false)
+        records;
   }
 
 let fig4_rows records =
@@ -72,7 +82,7 @@ let outcome_pie records =
       | Outcome.Crash { dumped = true; _ } -> { p with p_dumped_crash = p.p_dumped_crash + 1 }
       | Outcome.Crash { dumped = false; _ } | Outcome.Hang _ ->
         { p with p_hang_unknown = p.p_hang_unknown + 1 }
-      | Outcome.Not_activated -> p)
+      | Outcome.Not_activated | Outcome.Harness_abort _ -> p)
     { p_not_manifested = 0; p_fsv = 0; p_dumped_crash = 0; p_hang_unknown = 0 }
     activated
 

@@ -19,6 +19,9 @@ type fig4_row = {
   f4_not_manifested : int;
   f4_fsv : int;
   f4_crash_hang : int;
+  f4_aborted : int;
+      (** quarantined {!Outcome.Harness_abort} records (harness faults,
+          excluded from the activation denominator) *)
 }
 
 val count : ('a -> bool) -> 'a list -> int

@@ -26,11 +26,11 @@ module Config = struct
 
   (* Shadow [make] to take the oracle value itself: the pruning hook is
      resolved here, once, instead of at every run entry point. *)
-  let make ?subsample ?seed ?hardening ?oracle ?telemetry ?on_progress ?jobs ()
-      =
+  let make ?subsample ?seed ?hardening ?oracle ?telemetry ?on_progress ?jobs
+      ?journal ?policy () =
     Kfi_injector.Config.make ?subsample ?seed ?hardening
       ?oracle:(Option.map Kfi_staticoracle.Oracle.pruner oracle)
-      ?telemetry ?on_progress ?jobs ()
+      ?telemetry ?on_progress ?jobs ?journal ?policy ()
 end
 
 module Study = struct
@@ -92,24 +92,6 @@ module Study = struct
       ~core:t.core records
 
   let to_csv = Kfi_injector.Experiment.to_csv
-
-  (* deprecated optional-argument spellings (one PR of grace) *)
-
-  let run_campaign_args ?subsample ?seed ?hardening ?oracle ?telemetry
-      ?on_progress t campaign =
-    run_campaign
-      ~config:
-        (Config.make ?subsample ?seed ?hardening ?oracle ?telemetry ?on_progress
-           ())
-      t campaign
-
-  let run_campaigns_args ?subsample ?seed ?hardening ?oracle ?telemetry
-      ?on_progress t () =
-    run_campaigns
-      ~config:
-        (Config.make ?subsample ?seed ?hardening ?oracle ?telemetry ?on_progress
-           ())
-      t ()
 end
 
 (* Convenience: boot and run one workload, returning (exit code, console). *)

@@ -60,12 +60,19 @@ module Config : sig
     jobs : int;
         (** worker domains; above 1 campaigns run on a runner fleet with
             records and telemetry byte-identical to a serial run *)
+    journal : Kfi_injector.Journal.t option;
+        (** crash-safe checkpointing: completed injections are appended
+            (fsync'd) as they finish; entries loaded by
+            [Journal.open_ ~resume:true] are replayed instead of re-run,
+            so a killed campaign resumes with byte-identical output *)
+    policy : Kfi_injector.Fleet.policy;
+        (** per-injection wall-clock deadline, retry/backoff/quarantine
+            and fleet degraded-mode knobs *)
   }
 
   val default : t
-  (** [subsample 1, seed 42, no hardening/oracle/telemetry/progress,
-      jobs 1] — the behavior of the legacy entry points with no optional
-      arguments. *)
+  (** [subsample 1, seed 42, no hardening/oracle/telemetry/progress/
+      journal, jobs 1, Fleet.default_policy]. *)
 
   val make :
     ?subsample:int ->
@@ -75,6 +82,8 @@ module Config : sig
     ?telemetry:Kfi_trace.Telemetry.t ->
     ?on_progress:(done_:int -> total:int -> unit) ->
     ?jobs:int ->
+    ?journal:Kfi_injector.Journal.t ->
+    ?policy:Kfi_injector.Fleet.policy ->
     unit ->
     t
   (** {!default} with the given fields replaced.  [oracle] takes the
@@ -128,31 +137,6 @@ module Study : sig
       telemetry summary. *)
 
   val to_csv : Kfi_injector.Experiment.record list -> string
-
-  val run_campaign_args :
-    ?subsample:int ->
-    ?seed:int ->
-    ?hardening:bool ->
-    ?oracle:Kfi_staticoracle.Oracle.t ->
-    ?telemetry:Kfi_trace.Telemetry.t ->
-    ?on_progress:(done_:int -> total:int -> unit) ->
-    t ->
-    Campaign.t ->
-    Kfi_injector.Experiment.record list
-  [@@deprecated "use run_campaign ?config (Config.make bundles these arguments)"]
-
-  val run_campaigns_args :
-    ?subsample:int ->
-    ?seed:int ->
-    ?hardening:bool ->
-    ?oracle:Kfi_staticoracle.Oracle.t ->
-    ?telemetry:Kfi_trace.Telemetry.t ->
-    ?on_progress:(done_:int -> total:int -> unit) ->
-    t ->
-    unit ->
-    Kfi_injector.Experiment.record list
-  [@@deprecated
-    "use run_campaigns ?config (Config.make bundles these arguments)"]
 end
 
 val boot_and_run : ?max_cycles:int -> string -> int * string

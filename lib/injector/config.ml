@@ -17,6 +17,13 @@ type t = {
   telemetry : Kfi_trace.Telemetry.t option;
   on_progress : (done_:int -> total:int -> unit) option;
   jobs : int;
+  journal : Journal.t option;
+      (* crash-safe checkpointing: completed injections are appended
+         (fsync'd) as they finish, and entries already present — loaded
+         by [Journal.open_ ~resume:true] — are skipped on re-run *)
+  policy : Fleet.policy;
+      (* per-injection deadline / retry / quarantine and fleet
+         degraded-mode knobs *)
 }
 
 let default =
@@ -28,9 +35,31 @@ let default =
     telemetry = None;
     on_progress = None;
     jobs = 1;
+    journal = None;
+    policy = Fleet.default_policy;
   }
 
 let make ?(subsample = default.subsample) ?(seed = default.seed)
     ?(hardening = default.hardening) ?oracle ?telemetry ?on_progress
-    ?(jobs = default.jobs) () =
-  { subsample; seed; hardening; oracle; telemetry; on_progress; jobs }
+    ?(jobs = default.jobs) ?journal ?(policy = default.policy) () =
+  {
+    subsample;
+    seed;
+    hardening;
+    oracle;
+    telemetry;
+    on_progress;
+    jobs;
+    journal;
+    policy;
+  }
+
+(* The fingerprint guarding a resumed journal: everything that changes
+   which targets are enumerated or how they behave.  The oracle's
+   *identity* cannot be fingerprinted (it is a closure), but its
+   presence can — resuming a pruned run without the oracle (or vice
+   versa) would change which entries exist. *)
+let fingerprint t =
+  Printf.sprintf "kfi-journal-v1 seed=%d subsample=%d hardening=%b oracle=%b"
+    t.seed t.subsample t.hardening
+    (t.oracle <> None)

@@ -21,12 +21,21 @@ type t = {
       (** worker domains; above 1 the campaign runs on a {!Fleet} and the
           records (and telemetry event stream) are byte-identical to a
           [jobs = 1] run with the same seed *)
+  journal : Journal.t option;
+      (** crash-safe checkpointing: every completed injection is appended
+          (fsync'd) to the journal as it finishes, and targets whose
+          entries were loaded at [Journal.open_ ~resume:true] time are
+          replayed instead of re-run — a SIGKILL'd campaign restarted
+          with the same config produces byte-identical output *)
+  policy : Fleet.policy;
+      (** per-injection wall-clock deadline, retry/backoff/quarantine,
+          and fleet heartbeat knobs (see {!Fleet.policy}) *)
 }
 
 val default : t
 (** [{ subsample = 1; seed = 42; hardening = false; oracle = None;
-      telemetry = None; on_progress = None; jobs = 1 }] — the same
-    behavior as the legacy entry points with no optional argument. *)
+      telemetry = None; on_progress = None; jobs = 1; journal = None;
+      policy = Fleet.default_policy }]. *)
 
 val make :
   ?subsample:int ->
@@ -36,6 +45,14 @@ val make :
   ?telemetry:Kfi_trace.Telemetry.t ->
   ?on_progress:(done_:int -> total:int -> unit) ->
   ?jobs:int ->
+  ?journal:Journal.t ->
+  ?policy:Fleet.policy ->
   unit ->
   t
 (** {!default} with the given fields replaced. *)
+
+val fingerprint : t -> string
+(** The string recorded in (and checked against) a journal's header
+    frame: seed, subsample, hardening and oracle {e presence} — the
+    knobs that change which targets exist or how they behave.  Resuming
+    a journal written under a different fingerprint raises. *)

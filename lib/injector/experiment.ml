@@ -18,6 +18,10 @@ type record = {
   r_outcome : Outcome.t;
   r_predicted : bool;
       (* the outcome came from the static oracle, not a real run *)
+  r_retries : int;
+      (* harness retries consumed before the outcome (0 normally; > 0
+         after deadline misses / runner faults, and = the retry budget
+         on a quarantined [Harness_abort]) *)
 }
 
 let injectable_subsystems = [ "arch"; "fs"; "kernel"; "mm" ]
@@ -83,7 +87,7 @@ let workload_for profile (t : Target.t) =
    Timing comes in explicitly (not from the runner's [last_*] fields):
    under a fleet the run happened on another domain's runner. *)
 let telemetry_target tm letter (t : Target.t) ~workload ~outcome ~predicted
-    ~(timing : Fleet.timing) =
+    ~retries ~(timing : Fleet.timing) =
   let open Telemetry in
   locked tm (fun () ->
       tm.n_targets <- tm.n_targets + 1;
@@ -95,7 +99,10 @@ let telemetry_target tm letter (t : Target.t) ~workload ~outcome ~predicted
         tm.sim_cycles <- tm.sim_cycles + timing.Fleet.cycles;
         if Outcome.is_activated outcome then tm.n_activated <- tm.n_activated + 1;
         if Outcome.is_crash_or_hang outcome then
-          tm.n_crash_hang <- tm.n_crash_hang + 1
+          tm.n_crash_hang <- tm.n_crash_hang + 1;
+        match outcome with
+        | Outcome.Harness_abort _ -> tm.n_aborted <- tm.n_aborted + 1
+        | _ -> ()
       end);
   let wall_ms, cycles =
     if predicted then (0., 0)
@@ -117,14 +124,24 @@ let telemetry_target tm letter (t : Target.t) ~workload ~outcome ~predicted
        ("workload", Str (List.nth Kfi_workload.Progs.names workload));
        ("outcome", Str (Outcome.category outcome));
        ("predicted", Bool predicted);
+       ("retries", Int retries);
        ("wall_ms", Float wall_ms);
        ("cycles", Int cycles);
      ]
     @ path)
 
 let run_campaign ?(config = Config.default) ?fleet runner profile campaign =
-  let { Config.subsample; seed; hardening; oracle; telemetry; on_progress; jobs }
-      =
+  let {
+    Config.subsample;
+    seed;
+    hardening;
+    oracle;
+    telemetry;
+    on_progress;
+    jobs;
+    journal;
+    policy;
+  } =
     config
   in
   (match fleet with
@@ -140,6 +157,12 @@ let run_campaign ?(config = Config.default) ?fleet runner profile campaign =
   let total = List.length targets in
   let letter = Target.campaign_letter campaign in
   let wall_start = Unix.gettimeofday () in
+  (* a resumed journal must have been written under the same config —
+     otherwise the enumeration itself differs and entries are garbage *)
+  (match journal with
+   | Some j ->
+     Journal.check_fingerprint j ~fingerprint:(Config.fingerprint config)
+   | None -> ());
   (match telemetry with
    | Some tm ->
      Telemetry.event tm "campaign_start"
@@ -155,28 +178,105 @@ let run_campaign ?(config = Config.default) ?fleet runner profile campaign =
   let items =
     Array.of_list targets
     |> Array.map (fun (t : Target.t) ->
+           let workload = workload_for profile t in
+           let predicted = match oracle with Some o -> o t | None -> None in
+           (* journal replay: oracle-pruned targets are recomputed above
+              (they were never journaled); everything else found in the
+              journal is surfaced from its entry instead of re-run.  The
+              deterministic cycle count rides along so the replayed
+              telemetry matches a live run's *)
+           let done_ =
+             match (journal, predicted) with
+             | Some j, None -> (
+               match Journal.find j (Journal.key_of_target campaign t) with
+               | Some e when e.Journal.e_workload = workload ->
+                 Some
+                   {
+                     Fleet.res_outcome = e.Journal.e_outcome;
+                     res_timing =
+                       {
+                         Fleet.wall = 0.;
+                         restore = 0.;
+                         cycles = e.Journal.e_cycles;
+                       };
+                     res_predicted = e.Journal.e_predicted;
+                     res_retries = e.Journal.e_retries;
+                   }
+               | _ -> None)
+             | _ -> None
+           in
            {
              Fleet.it_target = t;
-             it_workload = workload_for profile t;
-             it_predicted = (match oracle with Some o -> o t | None -> None);
+             it_workload = workload;
+             it_predicted = predicted;
+             it_done = done_;
            })
   in
   (* progress ticks and telemetry always fire in serial target order:
-     the serial loop emits as it runs, the fleet's collector re-orders *)
+     the serial loop emits as it runs, the fleet's collector re-orders.
+     Pruned and journal-replayed targets tick like any other, so tick
+     counts are identical across prune/skip/resume. *)
   let emit i (it : Fleet.item) (res : Fleet.result) =
     (match on_progress with Some f -> f ~done_:i ~total | None -> ());
     match telemetry with
     | Some tm ->
       telemetry_target tm letter it.Fleet.it_target ~workload:it.Fleet.it_workload
         ~outcome:res.Fleet.res_outcome ~predicted:res.Fleet.res_predicted
-        ~timing:res.Fleet.res_timing
+        ~retries:res.Fleet.res_retries ~timing:res.Fleet.res_timing
     | None -> ()
+  in
+  (* the journal hook fires in *completion* order, on the domain that ran
+     the injection, the moment it finishes — a kill at any point loses at
+     most the in-flight injections, never a completed one *)
+  let journal_append _i (it : Fleet.item) (res : Fleet.result) =
+    match journal with
+    | Some j when it.Fleet.it_done = None && not res.Fleet.res_predicted ->
+      let t = it.Fleet.it_target in
+      Journal.append j
+        {
+          Journal.e_campaign = campaign;
+          e_fn = t.Target.t_fn;
+          e_addr = t.Target.t_addr;
+          e_byte = t.Target.t_byte;
+          e_bit = t.Target.t_bit;
+          e_workload = it.Fleet.it_workload;
+          e_outcome = res.Fleet.res_outcome;
+          e_predicted = res.Fleet.res_predicted;
+          e_retries = res.Fleet.res_retries;
+          e_cycles = res.Fleet.res_timing.Fleet.cycles;
+        }
+    | _ -> ()
+  in
+  let on_degraded =
+    match telemetry with
+    | None -> None
+    | Some tm ->
+      Some
+        (fun ~reason ~jobs_left ->
+          Telemetry.event tm "fleet_degraded"
+            [ ("campaign", Telemetry.Str letter);
+              ("reason", Telemetry.Str reason);
+              ("jobs_left", Telemetry.Int jobs_left);
+            ])
   in
   let results =
     if jobs <= 1 then
       Array.mapi
         (fun i it ->
-          let res = Fleet.run_item runner it in
+          let res =
+            try Fleet.run_item_safe ~policy runner it
+            with Fleet.Worker_killed msg ->
+              (* no worker domain to lose on the serial path: quarantine *)
+              {
+                Fleet.res_outcome =
+                  Outcome.Harness_abort
+                    { ha_reason = "worker killed: " ^ msg; ha_retries = 0 };
+                res_timing = Fleet.timing_zero;
+                res_predicted = false;
+                res_retries = 0;
+              }
+          in
+          journal_append i it res;
           emit i it res;
           res)
         items
@@ -188,7 +288,8 @@ let run_campaign ?(config = Config.default) ?fleet runner profile campaign =
           f
         | None -> Fleet.create ~jobs runner
       in
-      Fleet.run ~jobs ~on_result:emit pool items
+      Fleet.run ~jobs ~policy ~on_result:emit ~on_complete:journal_append
+        ?on_degraded pool items
     end
   in
   (* completion tick: per-target ticks report the count *before* each
@@ -205,12 +306,19 @@ let run_campaign ?(config = Config.default) ?fleet runner profile campaign =
        count (fun r ->
            (not r.Fleet.res_predicted) && Outcome.is_activated r.Fleet.res_outcome)
      in
+     let aborted =
+       count (fun r ->
+           match r.Fleet.res_outcome with
+           | Outcome.Harness_abort _ -> true
+           | _ -> false)
+     in
      Telemetry.event tm "campaign_end"
        [ ("campaign", Telemetry.Str letter);
          ("targets", Telemetry.Int total);
          ("run", Telemetry.Int run);
          ("pruned", Telemetry.Int (total - run));
          ("activated", Telemetry.Int activated);
+         ("aborted", Telemetry.Int aborted);
          ("wall_s", Telemetry.Float wall);
          ("inj_per_s",
           Telemetry.Float (if wall > 0. then float_of_int run /. wall else 0.));
@@ -225,6 +333,7 @@ let run_campaign ?(config = Config.default) ?fleet runner profile campaign =
            r_workload = it.Fleet.it_workload;
            r_outcome = results.(i).Fleet.res_outcome;
            r_predicted = results.(i).Fleet.res_predicted;
+           r_retries = results.(i).Fleet.res_retries;
          })
        items)
 
@@ -233,22 +342,6 @@ let run_all ?config ?fleet runner profile =
   List.concat_map
     (fun c -> run_campaign ?config ?fleet runner profile c)
     [ Target.A; Target.B; Target.C ]
-
-(* ----- deprecated optional-argument spellings (one PR of grace) ----- *)
-
-let run_campaign_args ?subsample ?seed ?hardening ?oracle ?telemetry ?on_progress
-    runner profile campaign =
-  run_campaign
-    ~config:
-      (Config.make ?subsample ?seed ?hardening ?oracle ?telemetry ?on_progress ())
-    runner profile campaign
-
-let run_all_args ?subsample ?seed ?hardening ?oracle ?telemetry ?on_progress
-    runner profile =
-  run_all
-    ~config:
-      (Config.make ?subsample ?seed ?hardening ?oracle ?telemetry ?on_progress ())
-    runner profile
 
 (* RFC 4180 field quoting: fields holding a comma, quote or line break
    are double-quoted, with embedded quotes doubled. *)
@@ -261,7 +354,7 @@ let csv_field s =
 let to_csv records =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
-    "campaign,function,subsystem,addr,byte,bit,workload,outcome,cause,latency,crash_fn,crash_subsys,severity,dumped,predicted,propagation\n";
+    "campaign,function,subsystem,addr,byte,bit,workload,outcome,cause,latency,crash_fn,crash_subsys,severity,dumped,predicted,retries,propagation\n";
   List.iter
     (fun r ->
       let t = r.r_target in
@@ -282,9 +375,11 @@ let to_csv records =
             Forensics.path_to_string c.Outcome.propagation )
         | Outcome.Hang sev ->
           ("hang", "", "", "", "", Outcome.severity_name sev, "", "")
+        | Outcome.Harness_abort a ->
+          ("harness_abort", a.Outcome.ha_reason, "", "", "", "", "", "")
       in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%s,0x%lx,%d,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n"
+        (Printf.sprintf "%s,%s,%s,0x%lx,%d,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%d,%s\n"
            (Target.campaign_letter r.r_campaign)
            (csv_field t.Target.t_fn) (csv_field t.Target.t_subsys)
            t.Target.t_addr t.Target.t_byte t.Target.t_bit
@@ -292,6 +387,6 @@ let to_csv records =
            outcome (csv_field cause) latency (csv_field cfn) (csv_field csub)
            sev dumped
            (if r.r_predicted then "yes" else "no")
-           (csv_field path)))
+           r.r_retries (csv_field path)))
     records;
   Buffer.contents buf

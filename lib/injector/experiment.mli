@@ -10,6 +10,10 @@ type record = {
   r_predicted : bool;
       (** the outcome came from the static oracle (the target was pruned
           as provably equivalent), not from a real run *)
+  r_retries : int;
+      (** harness retries consumed before the outcome: 0 normally, > 0
+          after recovered deadline misses / runner faults, and the full
+          retry budget on a quarantined {!Outcome.Harness_abort} *)
 }
 
 val injectable_subsystems : string list
@@ -40,7 +44,19 @@ val run_campaign :
     the telemetry event stream and the progress ticks are identical to a
     serial run with the same seed (timing fields aside): planning is
     serial, runners boot deterministically, and results are collected
-    back into serial target order. *)
+    back into serial target order.
+
+    With [config.journal] set, every completed injection is appended to
+    the journal (fsync'd, in completion order, before the ordered
+    collector sees it), and targets already present in the journal are
+    replayed instead of re-run — so a campaign killed at any point and
+    restarted over a [Journal.open_ ~resume:true] handle produces
+    byte-identical records, CSV, progress ticks and (volatile-stripped)
+    telemetry.  [config.policy] adds per-injection wall-clock deadlines,
+    retry with backoff, quarantine as {!Outcome.Harness_abort}, and
+    fleet degraded mode (see {!Fleet.policy}); progress ticks fire once
+    per target plus a final 100% tick in every path, including when all
+    targets were pruned or journal-skipped. *)
 
 val run_all :
   ?config:Config.t ->
@@ -48,32 +64,8 @@ val run_all :
   Runner.t ->
   Kfi_profiler.Sampler.profile ->
   record list
-(** Campaigns A, B and C in sequence. *)
-
-val run_campaign_args :
-  ?subsample:int ->
-  ?seed:int ->
-  ?hardening:bool ->
-  ?oracle:(Target.t -> Outcome.t option) ->
-  ?telemetry:Kfi_trace.Telemetry.t ->
-  ?on_progress:(done_:int -> total:int -> unit) ->
-  Runner.t ->
-  Kfi_profiler.Sampler.profile ->
-  Target.campaign ->
-  record list
-[@@deprecated "use run_campaign ?config (Config.make bundles these arguments)"]
-
-val run_all_args :
-  ?subsample:int ->
-  ?seed:int ->
-  ?hardening:bool ->
-  ?oracle:(Target.t -> Outcome.t option) ->
-  ?telemetry:Kfi_trace.Telemetry.t ->
-  ?on_progress:(done_:int -> total:int -> unit) ->
-  Runner.t ->
-  Kfi_profiler.Sampler.profile ->
-  record list
-[@@deprecated "use run_all ?config (Config.make bundles these arguments)"]
+(** Campaigns A, B and C in sequence.  A shared [config.journal] keeps
+    all three campaigns' entries apart by campaign letter. *)
 
 val csv_field : string -> string
 (** RFC 4180 quoting: fields holding a comma, quote or line break are

@@ -6,7 +6,15 @@
     queue (mutex + condition, no external dependencies); the calling
     domain collects results and surfaces them in serial target order, so
     a consumer that emits telemetry or progress from {!run}'s
-    [on_result] sees exactly the event sequence of a single-runner run. *)
+    [on_result] sees exactly the event sequence of a single-runner run.
+
+    A {!policy} makes the run survive harness faults the way the paper's
+    hardware-watchdog loop survived losing its test machine (Figures
+    2/3): per-injection wall-clock deadlines, retry with exponential
+    backoff, quarantine of persistent offenders as
+    {!Outcome.Harness_abort}, and fleet degraded mode — dead or wedged
+    worker domains are detected, their unfinished work requeued exactly
+    once, and the run completes at reduced parallelism. *)
 
 (** A concurrent claim-once index queue: [claim] hands out the ranges
     [[0, chunk)], [[chunk, 2*chunk)], … of [[0, total)] exactly once
@@ -29,28 +37,72 @@ end
 type timing = { wall : float; restore : float; cycles : int }
 
 val timing_zero : timing
-(** All-zero timing, used for oracle-pruned targets. *)
+(** All-zero timing, used for oracle-pruned and journal-replayed
+    targets. *)
 
 (** One unit of planned work.  Planning (workload choice, oracle
-    resolution) is serial and machine-independent; items carry its
-    results so workers only ever touch their own runner. *)
+    resolution, journal replay) is serial and machine-independent; items
+    carry its results so workers only ever touch their own runner. *)
 type item = {
   it_target : Target.t;
   it_workload : int;
   it_predicted : Outcome.t option;
       (** statically resolved by the oracle: never touches a machine *)
+  it_done : result option;
+      (** completed in a previous run and replayed from the journal:
+          never touches a machine either *)
 }
 
-type result = {
+and result = {
   res_outcome : Outcome.t;
   res_timing : timing;
   res_predicted : bool;
+  res_retries : int;
+      (** harness retries consumed before this outcome (0 normally) *)
 }
 
+(** {2 Harness-fault policy} *)
+
+(** Injected harness faults, for tests and the CI chaos stage. *)
+type chaos =
+  | Chaos_raise of string  (** the runner raises mid-injection *)
+  | Chaos_wedge_ms of int  (** the worker stalls before the injection *)
+  | Chaos_kill of string  (** the whole worker domain dies *)
+
+type policy = {
+  deadline_ms : int option;
+      (** wall-clock budget per injection attempt, on top of the
+          simulated watchdog; [None] = unbounded *)
+  retries : int;  (** attempts after the first before quarantining *)
+  backoff_ms : float;  (** base of the exponential retry backoff *)
+  heartbeat_s : float;
+      (** a worker silent this long while holding a claimed range is
+          declared wedged and its work requeued *)
+  chaos : (attempt:int -> Target.t -> chaos option) option;
+      (** fault-injection hook consulted before every attempt *)
+}
+
+val default_policy : policy
+(** No deadline, 1 retry, 10 ms backoff base, 30 s heartbeat, no
+    chaos. *)
+
+exception Worker_killed of string
+(** Raised by {!Chaos_kill}: kills the worker domain (its work is
+    requeued) rather than being retried. *)
+
 val run_item : Runner.t -> item -> result
-(** Execute one item on the given runner (or resolve it statically if it
-    was pruned), capturing the runner's timing.  The serial ([jobs = 1])
-    campaign path and the fleet's workers share this. *)
+(** Execute one item on the given runner (or resolve it statically /
+    from the journal), capturing the runner's timing.  No retry policy:
+    runner exceptions propagate. *)
+
+val run_item_safe : ?policy:policy -> Runner.t -> item -> result
+(** {!run_item} under a {!policy}: each attempt gets a fresh wall-clock
+    deadline; a deadline miss or runner exception is retried with
+    exponential backoff (the second and later retries boot a fresh
+    runner); a target still failing after [policy.retries] retries is
+    quarantined as {!Outcome.Harness_abort} with the last failure
+    reason.  Only {!Worker_killed} escapes.  The serial campaign path
+    and the fleet's workers share this. *)
 
 type t
 (** A pool of runners.  Runner 0 is the primary (borrowed from the
@@ -61,7 +113,8 @@ val create : ?jobs:int -> Runner.t -> t
     booted runners (created concurrently, one domain each). *)
 
 val ensure : t -> jobs:int -> unit
-(** Grow the pool to at least [jobs] runners (no-op if already there). *)
+(** Grow the pool to at least [jobs] runners (no-op if already there).
+    Also how a pool shrunk by degraded mode is respawned. *)
 
 val size : t -> int
 val primary : t -> Runner.t
@@ -69,18 +122,35 @@ val primary : t -> Runner.t
 val run :
   ?jobs:int ->
   ?chunk:int ->
+  ?policy:policy ->
   ?on_result:(int -> item -> result -> unit) ->
+  ?on_complete:(int -> item -> result -> unit) ->
+  ?on_degraded:(reason:string -> jobs_left:int -> unit) ->
   t ->
   item array ->
   result array
 (** Execute every item, using up to [jobs] runners (default: the whole
     pool), claiming [chunk]-sized ranges (default 1) from a shared
     queue.  Every worker first inherits the primary runner's hardening
-    and trace level.  [on_result] is invoked on the calling domain, in
-    strict index order (0, 1, 2, …) — not completion order — and outside
-    the fleet's lock.  The returned array is indexed like [items].
+    and trace level.
+
+    [on_result] is invoked on the calling domain, in strict index order
+    (0, 1, 2, …) — not completion order — and outside the fleet's lock.
+    [on_complete] is invoked on the {e worker} domain the moment an item
+    finishes, in completion order — this is the journal's append hook,
+    so completed work is durable before the (ordered) collector gets to
+    it.  The returned array is indexed like [items].
 
     Outcomes are independent of [jobs], [chunk] and scheduling: runners
-    boot deterministically and each injection restores a snapshot.  An
-    exception on a worker (or in [on_result]) stops the fleet and is
-    re-raised here after the worker domains are joined. *)
+    boot deterministically and each injection restores a snapshot.
+
+    Degraded mode: a worker that dies ({!Worker_killed}, or any
+    exception escaping {!run_item_safe}) or stops heartbeating for
+    [policy.heartbeat_s] has its claimed-but-unfinished range requeued
+    exactly once (a second death on the same range quarantines the
+    remainder), the pool shrinks, and [on_degraded] fires on the calling
+    domain with a reason and the remaining worker count.  If every
+    worker is lost, the collector finishes the remaining items inline.
+    An exception in [on_result]/[on_degraded] (collector side) still
+    stops the fleet and is re-raised after the worker domains are
+    joined. *)

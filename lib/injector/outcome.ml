@@ -45,12 +45,19 @@ type crash_info = {
          last; reconstructed from the flight recorder *)
 }
 
+type harness_abort = {
+  ha_reason : string;
+      (* what kept failing: "deadline exceeded (250 ms)", the exception, ... *)
+  ha_retries : int; (* retry attempts consumed before quarantining *)
+}
+
 type t =
   | Not_activated
   | Not_manifested
   | Fail_silence_violation of string * severity
   | Crash of crash_info
   | Hang of severity
+  | Harness_abort of harness_abort
 
 let category = function
   | Not_activated -> "not activated"
@@ -59,8 +66,12 @@ let category = function
   | Crash { dumped = true; _ } -> "crash (dumped)"
   | Crash { dumped = false; _ } -> "crash (no dump)"
   | Hang _ -> "hang"
+  | Harness_abort _ -> "harness abort"
 
-let is_activated = function Not_activated -> false | _ -> true
+(* A harness abort says nothing about the kernel under test — the
+   *harness* failed, so the target stays out of the activation
+   denominator (like Not_activated) and out of crash/hang tallies. *)
+let is_activated = function Not_activated | Harness_abort _ -> false | _ -> true
 
 let is_crash_or_hang = function Crash _ | Hang _ -> true | _ -> false
 

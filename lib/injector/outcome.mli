@@ -34,6 +34,13 @@ type crash_info = {
           endpoints); [crash_fn]/[crash_subsys] remain the endpoint *)
 }
 
+type harness_abort = {
+  ha_reason : string;
+      (** what kept failing: a wall-clock deadline miss, a runner
+          exception, ... — a {e harness} defect, not a kernel outcome *)
+  ha_retries : int;  (** retry attempts consumed before quarantining *)
+}
+
 type t =
   | Not_activated
       (** the corrupted instruction was never executed *)
@@ -45,9 +52,19 @@ type t =
   | Crash of crash_info
   | Hang of severity
       (** the watchdog expired *)
+  | Harness_abort of harness_abort
+      (** the {e harness} failed on this target (deadline miss or runner
+          exception) even after retries; the target is quarantined and
+          the campaign continues.  Excluded from activation and
+          crash/hang statistics — it says nothing about the kernel. *)
 
 val category : t -> string
+
 val is_activated : t -> bool
+(** [Not_activated] and [Harness_abort] are the two non-activated cases:
+    a harness abort never observed the kernel, so it stays out of the
+    activation denominator. *)
+
 val is_crash_or_hang : t -> bool
 
 val cause_of_dump : vector:int -> cr2:int32 -> crash_cause

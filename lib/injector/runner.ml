@@ -23,7 +23,7 @@ type t = {
          (the injector never sees the program-load path) *)
   golden : golden array; (* per workload *)
   manifest : (string * Digest.t) list;
-  max_cycles : int;
+  mutable max_cycles : int;
   mutable hardening : bool;
       (* enable the kernel's interface assertions (Section 7.4 ablation) *)
   mutable trace_level : Trace.level;
@@ -122,6 +122,10 @@ let set_hardening t on = t.hardening <- on
 
 let set_trace_level t lvl = t.trace_level <- lvl
 
+let set_max_cycles t n = t.max_cycles <- n
+
+let max_cycles t = t.max_cycles
+
 (* The full corruption-site -> crash-site path from the flight recorder.
    A bounded ring can lose the earliest hops and the crash handler's own
    frames can follow the faulting function, so the known endpoints are
@@ -157,8 +161,40 @@ let poke_hardening t =
   let pa = (Int32.to_int addr land 0xFFFFFFFF) - L.page_offset in
   Phys.write32 (Machine.phys t.machine) pa (if t.hardening then 1l else 0l)
 
-(* Run one injection experiment. *)
-let run_one t ~workload (target : Target.t) =
+exception Deadline_exceeded of float
+(* the wall-clock budget (seconds) that was exceeded *)
+
+(* Slice size for deadline polling.  The simulated watchdog budget is
+   checked in simulated cycles by [Machine.run]; a *wall-clock* deadline
+   needs the host clock consulted periodically, so the run is cut into
+   slices — [Machine.run]'s budget is relative and resumable, making
+   this safe.  ~200k cycles is a few milliseconds of host time. *)
+let deadline_slice = 200_000
+
+(* Run the machine to completion of the *simulated* watchdog budget,
+   checking [deadline] (absolute [gettimeofday] seconds) between slices.
+   Raises [Deadline_exceeded] if the host clock passes it first. *)
+let run_with_deadline t ~deadline =
+  let cpu = Machine.cpu t.machine in
+  let limit = cpu.Cpu.cycles + t.max_cycles in
+  let rec go () =
+    (match deadline with
+     | Some d when Unix.gettimeofday () > d -> raise (Deadline_exceeded d)
+     | _ -> ());
+    let budget = min deadline_slice (limit - cpu.Cpu.cycles) in
+    match Machine.run t.machine ~max_cycles:budget with
+    | Machine.Watchdog when cpu.Cpu.cycles < limit ->
+      (* only the slice expired, not the real watchdog: keep going *)
+      go ()
+    | r -> r
+  in
+  go ()
+
+(* Run one injection experiment.  [deadline], if given, is an absolute
+   wall-clock time past which the run is abandoned with
+   [Deadline_exceeded]; the machine is left mid-flight but every
+   injection restores a snapshot first, so the runner stays usable. *)
+let run_one ?deadline t ~workload (target : Target.t) =
   let wall0 = Unix.gettimeofday () in
   Machine.restore t.machine t.baselines.(workload);
   t.last_restore <- Unix.gettimeofday () -. wall0;
@@ -192,12 +228,19 @@ let run_one t ~workload (target : Target.t) =
                (Int32.shift_left 1l (target.Target.t_bit land 31)));
         c.Cpu.dr7 <- 0;
         injected_at := Some c.Cpu.cycles);
-  let result = Machine.run t.machine ~max_cycles:t.max_cycles in
-  cpu.Cpu.on_debug_hit <- None;
-  cpu.Cpu.dr7 <- 0;
-  t.last_wall <- Unix.gettimeofday () -. wall0;
-  t.last_cycles <- cpu.Cpu.cycles - start_cycles;
-  t.last_injected_at <- !injected_at;
+  let result =
+    (* the finally block also runs when [Deadline_exceeded] (or any
+       other exception) aborts the run: injection hooks must never leak
+       into the next experiment on this runner *)
+    Fun.protect
+      ~finally:(fun () ->
+        cpu.Cpu.on_debug_hit <- None;
+        cpu.Cpu.dr7 <- 0;
+        t.last_wall <- Unix.gettimeofday () -. wall0;
+        t.last_cycles <- cpu.Cpu.cycles - start_cycles;
+        t.last_injected_at <- !injected_at)
+      (fun () -> run_with_deadline t ~deadline)
+  in
   let golden = t.golden.(workload) in
   match !injected_at with
   | None -> Outcome.Not_activated

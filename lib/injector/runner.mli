@@ -22,7 +22,7 @@ type t = {
   golden : golden array;
   manifest : (string * Digest.t) list;
       (** system files that must survive for the machine to boot again *)
-  max_cycles : int; (** the watchdog budget *)
+  mutable max_cycles : int; (** the watchdog budget *)
   mutable hardening : bool;
       (** enable the kernel's interface assertions (Section 7.4 ablation) *)
   mutable trace_level : Trace.level;
@@ -48,6 +48,12 @@ val set_trace_level : t -> Trace.level -> unit
 (** Flight-recorder level for subsequent runs ([Off] for raw speed,
     [Full] for event capture; see the bench's trace experiment). *)
 
+val set_max_cycles : t -> int -> unit
+(** Adjust the simulated-watchdog budget for subsequent runs (used by
+    tests to force the {!Outcome.Hang} path deterministically). *)
+
+val max_cycles : t -> int
+
 val poke_hardening : t -> unit
 (** Write the hardening flag into (restored) guest memory; [run_one] does
     this automatically. *)
@@ -55,5 +61,15 @@ val poke_hardening : t -> unit
 val fsck_severity : t -> Outcome.severity
 (** Classify the machine's current disk with the manifest. *)
 
-val run_one : t -> workload:int -> Target.t -> Outcome.t
-(** Run one injection experiment from the chosen workload's baseline. *)
+exception Deadline_exceeded of float
+(** A wall-clock deadline (absolute [Unix.gettimeofday] seconds) passed
+    before the simulated run reached a terminal state. *)
+
+val run_one : ?deadline:float -> t -> workload:int -> Target.t -> Outcome.t
+(** Run one injection experiment from the chosen workload's baseline.
+
+    [deadline] is an absolute wall-clock bound on top of the simulated
+    watchdog: the run is executed in short cycle slices and abandoned
+    with {!Deadline_exceeded} once the host clock passes it.  The
+    runner remains usable — injection hooks are cleared on every exit
+    path and the next experiment restores a snapshot anyway. *)

@@ -208,10 +208,14 @@ let schema =
     ( "target",
       [
         "campaign"; "fn"; "subsys"; "addr"; "byte"; "bit"; "workload"; "outcome";
-        "predicted"; "wall_ms"; "cycles";
+        "predicted"; "retries"; "wall_ms"; "cycles";
       ] );
     ( "campaign_end",
-      [ "campaign"; "targets"; "run"; "pruned"; "activated"; "wall_s"; "inj_per_s" ] );
+      [
+        "campaign"; "targets"; "run"; "pruned"; "activated"; "aborted"; "wall_s";
+        "inj_per_s";
+      ] );
+    ("fleet_degraded", [ "campaign"; "reason"; "jobs_left" ]);
   ]
 
 let field obj k = match obj with Obj fs -> List.assoc_opt k fs | _ -> None
@@ -233,6 +237,25 @@ let lint_line line =
           | None -> Ok ty))
     | _ -> Error "missing string \"type\"")
   | _ -> Error "not a JSON object"
+
+(* Wall-clock fields vary run to run even when everything else is
+   byte-identical; determinism gates strip them before comparing. *)
+let volatile_keys = [ "wall_ms"; "wall_s"; "inj_per_s" ]
+
+let strip_volatile doc =
+  let strip_line line =
+    if String.trim line = "" then line
+    else
+      match parse line with
+      | exception Parse_error _ -> line
+      | Obj fields ->
+        to_string
+          (Obj (List.filter (fun (k, _) -> not (List.mem k volatile_keys)) fields))
+      | _ -> line
+  in
+  String.split_on_char '\n' doc
+  |> List.map strip_line
+  |> String.concat "\n"
 
 (* Lint a whole document: [Ok n] lines, or the first offending line. *)
 let lint doc =
@@ -263,6 +286,7 @@ type t = {
   mutable n_pruned : int;        (* resolved statically by the oracle *)
   mutable n_activated : int;
   mutable n_crash_hang : int;
+  mutable n_aborted : int;       (* quarantined as Harness_abort *)
   mutable wall_run : float;      (* seconds spent inside run_one *)
   mutable wall_restore : float;  (* seconds of that spent restoring snapshots *)
   mutable sim_cycles : int;      (* simulated cycles executed across runs *)
@@ -279,6 +303,7 @@ let create ?(sink = fun _ -> ()) () =
     n_pruned = 0;
     n_activated = 0;
     n_crash_hang = 0;
+    n_aborted = 0;
     wall_run = 0.;
     wall_restore = 0.;
     sim_cycles = 0;
@@ -302,6 +327,7 @@ type summary = {
   s_pruned : int;
   s_activated : int;
   s_crash_hang : int;
+  s_aborted : int;
   s_wall_run : float;
   s_wall_restore : float;
   s_wall_total : float;
@@ -316,6 +342,7 @@ let summary t =
     s_pruned = t.n_pruned;
     s_activated = t.n_activated;
     s_crash_hang = t.n_crash_hang;
+    s_aborted = t.n_aborted;
     s_wall_run = t.wall_run;
     s_wall_restore = t.wall_restore;
     s_wall_total = t.wall_total;
@@ -336,6 +363,8 @@ let summary_to_string s =
     (pct s.s_activated s.s_run) s.s_activated s.s_run;
   add "crash/hang           %8d  (%.1f%% of activated)\n" s.s_crash_hang
     (pct s.s_crash_hang s.s_activated);
+  if s.s_aborted > 0 then
+    add "harness aborts       %8d  (quarantined after retries)\n" s.s_aborted;
   add "wall clock           %8.2f s total, %.2f s in injections\n" s.s_wall_total
     s.s_wall_run;
   add "snapshot restore     %8.2f s  (%.1f%% of injection time)\n" s.s_wall_restore

@@ -29,6 +29,16 @@ val lint : string -> (int, int * string) result
 (** Validate a whole document (blank lines ignored).  [Ok n] events, or
     [Error (line_number, reason)] for the first offending line. *)
 
+val volatile_keys : string list
+(** The wall-clock timing keys ([wall_ms], [wall_s], [inj_per_s]) that
+    vary between otherwise byte-identical runs. *)
+
+val strip_volatile : string -> string
+(** Drop the {!volatile_keys} from every JSONL object in the document,
+    re-rendering each line canonically.  Determinism gates (CI, tests)
+    compare the stripped streams of two runs byte-for-byte.  Blank and
+    unparseable lines pass through untouched. *)
+
 (** Telemetry sink with aggregate counters.  The counters are mutable and
     filled in by {!Kfi_injector.Experiment}; mutate them under {!locked}
     if the sink may be shared across domains. *)
@@ -41,6 +51,7 @@ type t = {
   mutable n_pruned : int;
   mutable n_activated : int;
   mutable n_crash_hang : int;
+  mutable n_aborted : int;  (** quarantined as [Harness_abort] *)
   mutable wall_run : float;
   mutable wall_restore : float;
   mutable sim_cycles : int;
@@ -66,6 +77,7 @@ type summary = {
   s_pruned : int;
   s_activated : int;
   s_crash_hang : int;
+  s_aborted : int;
   s_wall_run : float;
   s_wall_restore : float;
   s_wall_total : float;

@@ -26,6 +26,7 @@ let mk ?(campaign = Target.A) ?fn ?subsys outcome =
     r_workload = 0;
     r_outcome = outcome;
     r_predicted = false;
+    r_retries = 0;
   }
 
 let crash ?(cause = Outcome.Null_pointer) ?(latency = 5) ?(crash_subsys = Some "fs")

@@ -109,6 +109,74 @@ let test_dirent_to_free_inode () =
   | Fsck.Repairable _ -> ()
   | other -> Alcotest.failf "expected repairable, got %s" (severity other)
 
+(* ----- torn writes -----
+
+   A power cut (or SIGKILL of a simulated disk flush) mid-write leaves a
+   block half new, half stale.  fsck must classify each torn-write shape
+   at the paper's severity level, and [Outcome.severity_of_fsck] must
+   carry that into the outcome taxonomy. *)
+
+module Outcome = Kfi_injector.Outcome
+
+let test_severity_mapping () =
+  check Alcotest.bool "clean -> normal" true
+    (Outcome.severity_of_fsck Fsck.Clean = Outcome.Normal);
+  check Alcotest.bool "repairable -> severe" true
+    (Outcome.severity_of_fsck (Fsck.Repairable [ "orphan" ]) = Outcome.Severe);
+  check Alcotest.bool "unrecoverable -> most severe" true
+    (Outcome.severity_of_fsck (Fsck.Unrecoverable "bad magic")
+    = Outcome.Most_severe)
+
+(* torn write inside a system binary's content block: reformat territory *)
+let test_torn_write_system_file () =
+  let fs = files () in
+  let img = Mkfs.create fs in
+  let prog = List.assoc "/bin/prog" fs in
+  let found = ref false in
+  (try
+     for b = L.fs_data_start to L.fs_nblocks - 1 do
+       let off = b * L.block_size in
+       if (not !found)
+          && Bytes.get img off = Bytes.get prog 0
+          && Bytes.get img (off + 100) = Bytes.get prog 100
+       then begin
+         (* second half of the block never hit the disk *)
+         Bytes.fill img (off + (L.block_size / 2)) (L.block_size / 2) '\x00';
+         found := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  check Alcotest.bool "found content block" true !found;
+  check Alcotest.bool "torn binary -> most severe" true
+    (Outcome.severity_of_fsck (Fsck.check ~manifest:(manifest fs) img)
+    = Outcome.Most_severe)
+
+(* torn write across the block bitmap: allocated blocks read as free —
+   inconsistent, but an interactive fsck could rebuild the bitmap *)
+let test_torn_write_bitmap () =
+  let fs = files () in
+  let img = Mkfs.create fs in
+  let off = L.fs_block_bitmap * L.block_size in
+  Bytes.fill img off (L.block_size / 2) '\x00';
+  check Alcotest.bool "torn bitmap -> severe" true
+    (Outcome.severity_of_fsck (Fsck.check ~manifest:(manifest fs) img)
+    = Outcome.Severe)
+
+(* torn write into an unallocated block: no metadata points there, so
+   the image is still clean *)
+let test_torn_write_free_block () =
+  let fs = files () in
+  let img = Mkfs.create fs in
+  let blk = L.fs_nblocks - 2 in
+  let off = blk * L.block_size in
+  for i = 0 to (L.block_size / 2) - 1 do
+    Bytes.set img (off + i) (Char.chr ((i * 37) land 0xFF))
+  done;
+  check Alcotest.bool "torn free block -> normal" true
+    (Outcome.severity_of_fsck (Fsck.check ~manifest:(manifest fs) img)
+    = Outcome.Normal)
+
 (* fsck must classify without raising, whatever the damage *)
 let prop_fsck_total =
   QCheck.Test.make ~name:"fsck is total on random corruption" ~count:60
@@ -142,6 +210,12 @@ let suite =
     Alcotest.test_case "damaged system file -> most severe" `Quick test_damaged_system_file;
     Alcotest.test_case "bad block pointer -> most severe" `Quick test_out_of_range_pointer;
     Alcotest.test_case "dirent to free inode -> severe" `Quick test_dirent_to_free_inode;
+    Alcotest.test_case "fsck severity -> outcome severity" `Quick test_severity_mapping;
+    Alcotest.test_case "torn write in system file -> most severe" `Quick
+      test_torn_write_system_file;
+    Alcotest.test_case "torn write in bitmap -> severe" `Quick test_torn_write_bitmap;
+    Alcotest.test_case "torn write in free block -> normal" `Quick
+      test_torn_write_free_block;
     QCheck_alcotest.to_alcotest prop_fsck_total;
     QCheck_alcotest.to_alcotest prop_fsck_total_burst;
   ]

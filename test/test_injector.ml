@@ -236,3 +236,46 @@ let test_campaign_r () =
   check Alcotest.bool "some R errors activate" true (activated <> [])
 
 let suite = suite @ [ Alcotest.test_case "campaign R (register corruption)" `Slow test_campaign_r ]
+
+(* The watchdog path: a run whose simulated-cycle budget expires after
+   the injection but before the workload completes must classify as
+   [Outcome.Hang].  Calibrated against a real run: pick an activated,
+   otherwise-harmless target, measure where its injection lands, then
+   cut the budget to strand the run between injection and completion. *)
+let test_hang_watchdog () =
+  let r = Lazy.force runner in
+  let saved = Runner.max_cycles r in
+  Fun.protect
+    ~finally:(fun () -> Runner.set_max_cycles r saved)
+    (fun () ->
+      let targets =
+        Target.enumerate r.Runner.build ~campaign:Target.A ~seed:7 [ "schedule" ]
+      in
+      let w = Kfi_workload.Progs.index_of "context1" in
+      let cpu = Kfi_isa.Machine.cpu r.Runner.machine in
+      let found =
+        List.find_map
+          (fun t ->
+            match Runner.run_one r ~workload:w t with
+            | Outcome.Not_manifested -> (
+              match r.Runner.last_injected_at with
+              | Some at ->
+                (* cycle offset of the injection within its own run *)
+                let start = cpu.Kfi_isa.Cpu.cycles - r.Runner.last_cycles in
+                let off = at - start in
+                if r.Runner.last_cycles - off > 1_000 then Some (t, off)
+                else None
+              | None -> None)
+            | _ -> None)
+          targets
+      in
+      match found with
+      | None -> Alcotest.fail "no activated benign target to strand"
+      | Some (t, off) ->
+        Runner.set_max_cycles r (off + 500);
+        (match Runner.run_one r ~workload:w t with
+         | Outcome.Hang _ -> ()
+         | o -> Alcotest.failf "expected hang, got %s" (Outcome.category o)))
+
+let suite =
+  suite @ [ Alcotest.test_case "watchdog classifies a stranded run as hang" `Slow test_hang_watchdog ]

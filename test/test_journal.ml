@@ -1,0 +1,372 @@
+(* Crash-safe campaign tests: the CRC-framed journal (round trip, torn
+   tails, fingerprints), the retry/quarantine policy, degraded fleet
+   mode, and the headline robustness property: a campaign killed
+   mid-run and resumed from its journal produces records, CSV, JSONL
+   (timing fields aside) and progress ticks identical to an
+   uninterrupted run. *)
+
+open Kfi_injector
+module Telemetry = Kfi_trace.Telemetry
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let runner = Test_injector.runner
+let profile = Test_trace.profile
+
+let tmp_journal () = Filename.temp_file "kfi_journal" ".bin"
+
+let mk_entry ?(fn = "f") ?(addr = 0xC0100000l) ?(byte = 0) ?(bit = 0)
+    ?(outcome = Outcome.Not_manifested) () =
+  {
+    Journal.e_campaign = Target.A;
+    e_fn = fn;
+    e_addr = addr;
+    e_byte = byte;
+    e_bit = bit;
+    e_workload = 0;
+    e_outcome = outcome;
+    e_predicted = false;
+    e_retries = 0;
+    e_cycles = 12345;
+  }
+
+let read_bytes path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_bytes path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* ----- CRC and framing ----- *)
+
+let test_crc32_vectors () =
+  (* the IEEE 802.3 check value, as in every CRC-32 reference *)
+  check int "check vector" 0xCBF43926 (Journal.crc32 "123456789");
+  check int "empty" 0 (Journal.crc32 "");
+  check bool "order matters" true (Journal.crc32 "ab" <> Journal.crc32 "ba")
+
+let test_roundtrip_and_fingerprint () =
+  let path = tmp_journal () in
+  let j = Journal.open_ path in
+  Journal.check_fingerprint j ~fingerprint:"fp-1";
+  let e1 = mk_entry ~fn:"schedule" ~byte:1 () in
+  let e2 = mk_entry ~fn:"iget" ~bit:3 ~outcome:(Outcome.Hang Outcome.Normal) () in
+  Journal.append j e1;
+  Journal.append j e2;
+  check int "appended" 2 (Journal.appended j);
+  check int "nothing loaded" 0 (Journal.loaded j);
+  Journal.close j;
+  (* offline read sees both, in append order *)
+  check bool "read_file round trip" true (Journal.read_file path = [ e1; e2 ]);
+  (* resume: entries load, the fingerprint is enforced *)
+  let j2 = Journal.open_ ~resume:true path in
+  check int "loaded" 2 (Journal.loaded j2);
+  check bool "no torn tail" false (Journal.torn_tail_truncated j2);
+  check bool "find e1" true (Journal.find j2 (Journal.key_of_entry e1) = Some e1);
+  check bool "find miss" true
+    (Journal.find j2 ("A", "nosuch", 0l, 0, 0) = None);
+  Journal.check_fingerprint j2 ~fingerprint:"fp-1";
+  (try
+     Journal.check_fingerprint j2 ~fingerprint:"fp-2";
+     Alcotest.fail "fingerprint mismatch accepted"
+   with Invalid_argument _ -> ());
+  Journal.close j2;
+  (* a fresh (non-resume) open truncates: no history survives *)
+  let j3 = Journal.open_ path in
+  check int "fresh open loads nothing" 0 (Journal.loaded j3);
+  Journal.close j3;
+  check int "file truncated" 0 (String.length (read_bytes path));
+  Sys.remove path
+
+let test_torn_tail_truncated () =
+  let path = tmp_journal () in
+  let j = Journal.open_ path in
+  Journal.check_fingerprint j ~fingerprint:"fp";
+  let e1 = mk_entry ~fn:"a" () and e2 = mk_entry ~fn:"b" () in
+  Journal.append j e1;
+  Journal.append j e2;
+  Journal.close j;
+  let intact = read_bytes path in
+  (* a SIGKILL mid-write leaves a partial frame: a plausible header whose
+     payload never made it to disk *)
+  let torn_header = Bytes.create 8 in
+  Bytes.set_int32_le torn_header 0 100l;
+  Bytes.set_int32_le torn_header 4 0l;
+  write_bytes path (intact ^ Bytes.to_string torn_header ^ "partial");
+  let j2 = Journal.open_ ~resume:true path in
+  check bool "torn tail detected" true (Journal.torn_tail_truncated j2);
+  check int "intact entries kept" 2 (Journal.loaded j2);
+  (* the tail was truncated: appending continues from the intact frames *)
+  let e3 = mk_entry ~fn:"c" () in
+  Journal.append j2 e3;
+  Journal.close j2;
+  check bool "append after truncation" true
+    (Journal.read_file path = [ e1; e2; e3 ]);
+  (* a CRC flip in the (now) final frame also reads as torn *)
+  let bytes = read_bytes path in
+  let flipped = Bytes.of_string bytes in
+  let last = Bytes.length flipped - 1 in
+  Bytes.set flipped last (Char.chr (Char.code (Bytes.get flipped last) lxor 0xFF));
+  write_bytes path (Bytes.to_string flipped);
+  let j3 = Journal.open_ ~resume:true path in
+  check bool "corrupt frame detected" true (Journal.torn_tail_truncated j3);
+  check int "loses only the corrupt frame" 2 (Journal.loaded j3);
+  Journal.close j3;
+  Sys.remove path
+
+(* ----- harness-abort surfacing (synthetic records) ----- *)
+
+let test_abort_surfaces () =
+  let abort =
+    Outcome.Harness_abort { ha_reason = "deadline exceeded"; ha_retries = 2 }
+  in
+  check bool "not counted as activated" false (Outcome.is_activated abort);
+  check bool "not a crash" false (Outcome.is_crash_or_hang abort);
+  check string "category" "harness abort" (Outcome.category abort);
+  let records =
+    [
+      {
+        Experiment.r_campaign = Target.A;
+        r_target =
+          {
+            Target.t_fn = "schedule";
+            t_subsys = "kernel";
+            t_addr = 0xC0100000l;
+            t_len = 2;
+            t_insn = Kfi_isa.Insn.Nop;
+            t_kind = Target.Text;
+            t_byte = 0;
+            t_bit = 0;
+          };
+        r_workload = 0;
+        r_outcome = abort;
+        r_predicted = false;
+        r_retries = 2;
+      };
+    ]
+  in
+  let csv = Experiment.to_csv records in
+  check bool "csv row" true (Test_analysis.contains csv "harness_abort");
+  check bool "csv reason" true (Test_analysis.contains csv "deadline exceeded");
+  let fig4 = Kfi_analysis.Report.fig4 records in
+  check bool "report surfaces quarantine" true
+    (Test_analysis.contains fig4 "Harness abort")
+
+(* ----- retry / quarantine policy ----- *)
+
+let first_real_item () =
+  let r = Lazy.force runner in
+  let t =
+    List.hd
+      (Target.enumerate r.Runner.build ~campaign:Target.A ~seed:1 [ "schedule" ])
+  in
+  { Fleet.it_target = t; it_workload = 0; it_predicted = None; it_done = None }
+
+let test_retry_recovers_transient () =
+  let r = Lazy.force runner in
+  let it = first_real_item () in
+  let clean = Fleet.run_item_safe r it in
+  (* fail the first attempt only: the retry must land the real outcome *)
+  let policy =
+    {
+      Fleet.default_policy with
+      Fleet.backoff_ms = 1.;
+      chaos =
+        Some
+          (fun ~attempt _ ->
+            if attempt = 0 then Some (Fleet.Chaos_raise "transient fault")
+            else None);
+    }
+  in
+  let res = Fleet.run_item_safe ~policy r it in
+  check bool "outcome identical to clean run" true
+    (res.Fleet.res_outcome = clean.Fleet.res_outcome);
+  check int "one retry consumed" 1 res.Fleet.res_retries
+
+let test_quarantine_after_retries () =
+  let r = Lazy.force runner in
+  let it = first_real_item () in
+  let policy =
+    {
+      Fleet.default_policy with
+      Fleet.retries = 1;
+      backoff_ms = 1.;
+      chaos = Some (fun ~attempt:_ _ -> Some (Fleet.Chaos_raise "flaky runner"));
+    }
+  in
+  match (Fleet.run_item_safe ~policy r it).Fleet.res_outcome with
+  | Outcome.Harness_abort a ->
+    check string "last failure reason" "flaky runner" a.Outcome.ha_reason;
+    check int "retry budget consumed" 1 a.Outcome.ha_retries
+  | o -> Alcotest.failf "expected quarantine, got %s" (Outcome.category o)
+
+let test_deadline_quarantines_wedge () =
+  let r = Lazy.force runner in
+  let it = first_real_item () in
+  (* the worker wedges past the wall-clock budget on every attempt *)
+  let policy =
+    {
+      Fleet.default_policy with
+      Fleet.deadline_ms = Some 5;
+      retries = 0;
+      backoff_ms = 1.;
+      chaos = Some (fun ~attempt:_ _ -> Some (Fleet.Chaos_wedge_ms 40));
+    }
+  in
+  match (Fleet.run_item_safe ~policy r it).Fleet.res_outcome with
+  | Outcome.Harness_abort a ->
+    check string "reason" "deadline exceeded" a.Outcome.ha_reason
+  | o -> Alcotest.failf "expected quarantine, got %s" (Outcome.category o)
+
+(* ----- campaign-level kill/resume determinism ----- *)
+
+(* smaller than test_parallel's subsample so the three journal legs stay
+   affordable; still >40 targets *)
+let subsample = 240
+
+let run_a ?journal ?policy ?(jobs = 1) () =
+  let r = Lazy.force runner and p = Lazy.force profile in
+  let buf = Buffer.create 4096 in
+  let tm =
+    Telemetry.create
+      ~sink:(fun line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n')
+      ()
+  in
+  let ticks = ref [] in
+  let config =
+    Config.make ~subsample ~telemetry:tm
+      ~on_progress:(fun ~done_ ~total -> ticks := (done_, total) :: !ticks)
+      ~jobs ?journal ?policy ()
+  in
+  let records = Experiment.run_campaign ~config r p Target.A in
+  (records, Buffer.contents buf, List.rev !ticks)
+
+let strip doc =
+  Telemetry.strip_volatile doc
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> String.trim l <> "")
+
+(* Walk the journal's framing and return the byte offset just after the
+   meta frame plus [k] entry frames — the state a SIGKILL would leave if
+   it arrived once entry [k] was durable. *)
+let offset_after_frames path k =
+  let bytes = read_bytes path in
+  let rec go off frames =
+    if frames = k + 1 then off
+    else
+      let len =
+        Int32.to_int (String.get_int32_le bytes off) land 0xFFFFFFFF
+      in
+      go (off + 8 + len) (frames + 1)
+  in
+  go 0 0
+
+let test_kill_resume_determinism () =
+  let base_records, base_jsonl, base_ticks = run_a () in
+  check bool "ran something" true (List.length base_records > 40);
+  let total = List.length base_records in
+  let path = tmp_journal () in
+  (* leg 1: a fresh journaled run changes nothing observable *)
+  let j = Journal.open_ path in
+  let r1, jsonl1, ticks1 = run_a ~journal:j () in
+  check bool "journal off = journal on (records)" true (base_records = r1);
+  check bool "journal off = journal on (JSONL)" true
+    (strip base_jsonl = strip jsonl1);
+  check (Alcotest.list (Alcotest.pair int int)) "journal off = on (ticks)"
+    base_ticks ticks1;
+  check int "every run journaled" total (Journal.appended j);
+  Journal.close j;
+  (* leg 2: simulate a SIGKILL mid-campaign — keep the meta frame plus
+     half the entries, with a torn frame where the kill interrupted a
+     write — then resume *)
+  let k = total / 2 in
+  let cut = offset_after_frames path k in
+  write_bytes path (String.sub (read_bytes path) 0 cut ^ "\x40\x00\x00\x00torn");
+  let j2 = Journal.open_ ~resume:true path in
+  check bool "torn tail truncated on resume" true (Journal.torn_tail_truncated j2);
+  check int "completed entries survive the kill" k (Journal.loaded j2);
+  let r2, jsonl2, ticks2 = run_a ~journal:j2 () in
+  check bool "resumed records identical" true (base_records = r2);
+  check bool "resumed CSV identical" true
+    (String.equal (Experiment.to_csv base_records) (Experiment.to_csv r2));
+  check bool "resumed JSONL identical modulo wall clock" true
+    (strip base_jsonl = strip jsonl2);
+  check (Alcotest.list (Alcotest.pair int int)) "resumed ticks identical"
+    base_ticks ticks2;
+  check int "only the lost half re-ran" (total - k) (Journal.appended j2);
+  Journal.close j2;
+  (* leg 3: resuming a *complete* journal re-runs nothing, on a fleet —
+     and still emits every tick including the final 100% one *)
+  let j3 = Journal.open_ ~resume:true path in
+  check int "complete journal" total (Journal.loaded j3);
+  let r3, jsonl3, ticks3 = run_a ~journal:j3 ~jobs:2 () in
+  check bool "replayed records identical" true (base_records = r3);
+  check bool "replayed JSONL identical modulo wall clock" true
+    (strip base_jsonl = strip jsonl3);
+  check (Alcotest.list (Alcotest.pair int int)) "replayed ticks identical"
+    base_ticks ticks3;
+  check int "nothing re-ran" 0 (Journal.appended j3);
+  check bool "final 100% tick present" true
+    (List.mem (total, total) ticks3);
+  Journal.close j3;
+  Sys.remove path
+
+(* ----- degraded fleet mode ----- *)
+
+(* One worker domain is killed mid-campaign; the fleet must requeue its
+   work, finish at reduced parallelism, surface a degradation event and
+   lose zero records. *)
+let test_degraded_fleet_loses_nothing () =
+  let base_records, _, base_ticks = run_a () in
+  let killed = Atomic.make false in
+  let policy =
+    {
+      Fleet.default_policy with
+      Fleet.chaos =
+        Some
+          (fun ~attempt:_ _ ->
+            if Atomic.compare_and_set killed false true then
+              Some (Fleet.Chaos_kill "chaos: worker domain shot")
+            else None);
+    }
+  in
+  let records, jsonl, ticks = run_a ~policy ~jobs:2 () in
+  check bool "one worker was killed" true (Atomic.get killed);
+  check bool "records identical despite a dead worker" true
+    (base_records = records);
+  check bool "CSV identical despite a dead worker" true
+    (String.equal (Experiment.to_csv base_records) (Experiment.to_csv records));
+  check (Alcotest.list (Alcotest.pair int int)) "ticks identical" base_ticks
+    ticks;
+  check bool "degradation event emitted" true
+    (Test_analysis.contains jsonl "fleet_degraded");
+  check bool "event names the death" true
+    (Test_analysis.contains jsonl "worker domain shot")
+
+let suite =
+  [
+    Alcotest.test_case "crc32 vectors" `Quick test_crc32_vectors;
+    Alcotest.test_case "journal round trip + fingerprint" `Quick
+      test_roundtrip_and_fingerprint;
+    Alcotest.test_case "torn tail truncated" `Quick test_torn_tail_truncated;
+    Alcotest.test_case "harness abort surfaces" `Quick test_abort_surfaces;
+    Alcotest.test_case "retry recovers a transient fault" `Slow
+      test_retry_recovers_transient;
+    Alcotest.test_case "quarantine after retry budget" `Slow
+      test_quarantine_after_retries;
+    Alcotest.test_case "deadline quarantines a wedged worker" `Slow
+      test_deadline_quarantines_wedge;
+    Alcotest.test_case "kill/resume determinism (records, CSV, JSONL, ticks)"
+      `Slow test_kill_resume_determinism;
+    Alcotest.test_case "degraded fleet loses nothing" `Slow
+      test_degraded_fleet_loses_nothing;
+  ]

@@ -9,6 +9,7 @@ let () =
       ("injector", Test_injector.suite);
       ("trace", Test_trace.suite);
       ("parallel", Test_parallel.suite);
+      ("journal", Test_journal.suite);
       ("staticoracle", Test_staticoracle.suite);
       ("analysis", Test_analysis.suite);
       ("casestudies", Test_casestudies.suite);

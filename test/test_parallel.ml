@@ -1,9 +1,8 @@
 (* Parallel-fleet tests: the claim-once chunk queue under concurrent
-   domains, the Config record (defaults and equivalence with the legacy
-   optional-argument spellings), ordered collection through Fleet.run,
-   and the headline determinism property: a jobs:4 campaign produces
-   records, CSV, telemetry JSONL (timing fields aside) and progress
-   ticks identical to the serial run. *)
+   domains, the Config record defaults, ordered collection through
+   Fleet.run, and the headline determinism property: a jobs:4 campaign
+   produces records, CSV, telemetry JSONL (timing fields aside) and
+   progress ticks identical to the serial run. *)
 
 open Kfi_injector
 module Telemetry = Kfi_trace.Telemetry
@@ -80,6 +79,10 @@ let test_config_default_fields () =
   check bool "no telemetry" true (d.Config.telemetry = None);
   check bool "no progress" true (d.Config.on_progress = None);
   check int "jobs" 1 d.Config.jobs;
+  check bool "no journal" true (d.Config.journal = None);
+  check bool "default policy: no deadline" true
+    (d.Config.policy.Fleet.deadline_ms = None);
+  check int "default policy: retries" 1 d.Config.policy.Fleet.retries;
   (* make () = default *)
   let m = Config.make () in
   check int "make subsample" d.Config.subsample m.Config.subsample;
@@ -104,21 +107,6 @@ let test_facade_resolves_oracle () =
           (pruner t = Kfi_staticoracle.Oracle.pruner oracle t))
       targets
 
-(* legacy optional-argument wrapper = new config path, record for record *)
-let test_legacy_args_equivalence () =
-  let r = Lazy.force runner and p = Lazy.force profile in
-  let legacy =
-    (Experiment.run_campaign_args [@alert "-deprecated"]) ~subsample:120 ~seed:5 r
-      p Target.A
-  in
-  let cfg =
-    Experiment.run_campaign
-      ~config:(Config.make ~subsample:120 ~seed:5 ())
-      r p Target.A
-  in
-  check int "same length" (List.length legacy) (List.length cfg);
-  check bool "identical records" true (legacy = cfg)
-
 (* ----- Fleet.run collection order ----- *)
 
 (* An all-predicted plan needs no machine, so this exercises the queue +
@@ -139,6 +127,7 @@ let test_fleet_ordered_collection () =
              Fleet.it_target = t;
              it_workload = 0;
              it_predicted = Some Outcome.Not_manifested;
+             it_done = None;
            })
   in
   let seen = ref [] in
@@ -159,16 +148,6 @@ let test_fleet_ordered_collection () =
       ignore (Fleet.run ~on_result:(fun _ _ _ -> raise Exit) fleet items))
 
 (* ----- the headline determinism property ----- *)
-
-let strip_wall_fields line =
-  match Telemetry.parse line with
-  | Telemetry.Obj fields ->
-    Telemetry.to_string
-      (Telemetry.Obj
-         (List.filter
-            (fun (k, _) -> not (List.mem k [ "wall_ms"; "wall_s"; "inj_per_s" ]))
-            fields))
-  | v -> Telemetry.to_string v
 
 let run_campaign_a ~jobs =
   let r = Lazy.force runner and p = Lazy.force profile in
@@ -205,9 +184,9 @@ let test_jobs4_identical_to_serial () =
      Alcotest.failf "parallel telemetry lint: line %d: %s" l e);
   (* ...and is line-for-line identical once wall-clock fields are gone *)
   let strip doc =
-    String.split_on_char '\n' doc
+    Telemetry.strip_volatile doc
+    |> String.split_on_char '\n'
     |> List.filter (fun l -> String.trim l <> "")
-    |> List.map strip_wall_fields
   in
   check (Alcotest.list Alcotest.string) "identical JSONL modulo wall clock"
     (strip jsonl1) (strip jsonl4)
@@ -220,8 +199,6 @@ let suite =
     Alcotest.test_case "Config.default fields" `Quick test_config_default_fields;
     Alcotest.test_case "facade resolves oracle once" `Quick
       test_facade_resolves_oracle;
-    Alcotest.test_case "legacy args = config path" `Slow
-      test_legacy_args_equivalence;
     Alcotest.test_case "fleet ordered collection" `Slow
       test_fleet_ordered_collection;
     Alcotest.test_case "jobs:4 = jobs:1 (records, CSV, JSONL, ticks)" `Slow
