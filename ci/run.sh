@@ -18,6 +18,18 @@ else
   dune runtest
 fi
 
+echo "== fuzz: pinned-seed property pass (KFI_FUZZ_BUDGET_MS extends) =="
+# Deterministic by construction: a failure prints a --seed/--replay pair
+# that reproduces the shrunk counterexample on any machine.
+mkdir -p _artifacts
+dune exec bin/kfi_fuzz.exe -- --prop all --seed 42 \
+  --budget-ms "${KFI_FUZZ_BUDGET_MS:-2000}" > _artifacts/fuzz.txt 2>&1 || {
+  cat _artifacts/fuzz.txt
+  echo "fuzz stage failed: replay locally with the --seed/--replay pair above" >&2
+  exit 1
+}
+cat _artifacts/fuzz.txt
+
 echo "== traced campaign (-j 2): CSV + JSONL telemetry artifacts =="
 mkdir -p _artifacts
 dune exec bin/kfi_campaign.exe -- -c A --subsample 60 -q -j 2 \

@@ -1,0 +1,70 @@
+(* Composable generators over {!Rng}.  A generator is a function of the
+   case's RNG stream; all combinators draw in a fixed left-to-right order
+   (explicit lets — OCaml's argument evaluation order is unspecified), so
+   a generated value is a pure function of the stream. *)
+
+type 'a t = Rng.t -> 'a
+
+let run g rng = g rng
+let return x _ = x
+
+let map f g rng = f (g rng)
+
+let map2 f a b rng =
+  let x = a rng in
+  let y = b rng in
+  f x y
+
+let map3 f a b c rng =
+  let x = a rng in
+  let y = b rng in
+  let z = c rng in
+  f x y z
+
+let bind g f rng =
+  let x = g rng in
+  f x rng
+
+let pair a b = map2 (fun x y -> (x, y)) a b
+let triple a b c = map3 (fun x y z -> (x, y, z)) a b c
+
+let int_range lo hi rng = Rng.int_range rng lo hi
+let int_bound n = int_range 0 n
+let bool rng = Rng.bool rng
+let byte rng = Rng.byte rng
+let int32 rng = Rng.int32 rng
+
+let oneof gs =
+  let arr = Array.of_list gs in
+  if Array.length arr = 0 then invalid_arg "Gen.oneof: empty list";
+  fun rng -> arr.(Rng.int rng (Array.length arr)) rng
+
+let oneofl xs =
+  let arr = Array.of_list xs in
+  if Array.length arr = 0 then invalid_arg "Gen.oneofl: empty list";
+  fun rng -> arr.(Rng.int rng (Array.length arr))
+
+let frequency weighted =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 weighted in
+  if total <= 0 then invalid_arg "Gen.frequency: weights must sum > 0";
+  fun rng ->
+    let x = Rng.int rng total in
+    let rec pick x = function
+      | [] -> assert false
+      | (w, g) :: rest -> if x < w then g rng else pick (x - w) rest
+    in
+    pick x weighted
+
+let list_n g n rng = List.init n (fun _ -> g rng)
+
+let list ~min ~max g rng =
+  let n = Rng.int_range rng min max in
+  list_n g n rng
+
+let bytes ~min ~max rng =
+  let n = Rng.int_range rng min max in
+  Bytes.init n (fun _ -> Char.chr (Rng.byte rng))
+
+let string_of ~min ~max char_gen rng =
+  let n = Rng.int_range rng min max in
+  String.init n (fun _ -> char_gen rng)

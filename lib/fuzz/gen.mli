@@ -1,0 +1,33 @@
+(** Composable generators over {!Rng}.  All combinators draw from the
+    stream in a fixed left-to-right order, so a generated value is a pure
+    function of the stream — the foundation of seed-replayability. *)
+
+type 'a t = Rng.t -> 'a
+
+val run : 'a t -> Rng.t -> 'a
+val return : 'a -> 'a t
+val map : ('a -> 'b) -> 'a t -> 'b t
+val map2 : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+val map3 : ('a -> 'b -> 'c -> 'd) -> 'a t -> 'b t -> 'c t -> 'd t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+
+val int_range : int -> int -> int t
+(** Inclusive on both ends. *)
+
+val int_bound : int -> int t
+(** [0..n] inclusive. *)
+
+val bool : bool t
+val byte : int t
+val int32 : int32 t
+
+val oneof : 'a t list -> 'a t
+val oneofl : 'a list -> 'a t
+val frequency : (int * 'a t) list -> 'a t
+
+val list_n : 'a t -> int -> 'a list t
+val list : min:int -> max:int -> 'a t -> 'a list t
+val bytes : min:int -> max:int -> bytes t
+val string_of : min:int -> max:int -> char t -> string t

@@ -1,0 +1,849 @@
+(* The cross-layer property library for the kfi-fuzz harness.
+
+   Every property is a [Kfi_fuzz.Fuzz.t]: a generator over the simulator
+   stack (instruction streams, machines, page tables, disk images,
+   journals, CSV rows, telemetry JSON) plus an invariant that the paper's
+   experiments depend on.  Failures shrink and replay from
+   [--seed S --replay N] alone. *)
+
+open Kfi_isa
+module Gen = Kfi_fuzz.Gen
+module Shrink = Kfi_fuzz.Shrink
+module Fuzz = Kfi_fuzz.Fuzz
+
+let spf = Printf.sprintf
+
+(* ---------- instruction generator (full constructor coverage) ---------- *)
+
+let gen_reg = Gen.int_range 0 7
+let gen_reg_no_esp = Gen.oneofl [ 0; 1; 2; 3; 5; 6; 7 ]
+let gen_scale = Gen.oneofl [ 1; 2; 4; 8 ]
+
+let gen_disp =
+  Gen.oneof
+    [
+      Gen.oneofl [ 0l; 1l; -1l; 4l; -4l; 124l; -128l; 127l; 128l; 0x1000l; 0xC0100000l ];
+      Gen.int32;
+    ]
+
+(* Only canonically-encodable operands: scale in {1,2,4,8}, esp never an
+   index (both enforced by [Encode.emit_modrm] with [invalid_arg]). *)
+let gen_mem rng =
+  match Kfi_fuzz.Rng.int rng 4 with
+  | 0 ->
+      let d = gen_disp rng in
+      Insn.mem d
+  | 1 ->
+      let b = gen_reg rng in
+      let d = gen_disp rng in
+      Insn.mem ~base:b d
+  | 2 ->
+      let i = gen_reg_no_esp rng in
+      let s = gen_scale rng in
+      let d = gen_disp rng in
+      Insn.mem ~index:(i, s) d
+  | _ ->
+      let b = gen_reg rng in
+      let i = gen_reg_no_esp rng in
+      let s = gen_scale rng in
+      let d = gen_disp rng in
+      Insn.mem ~base:b ~index:(i, s) d
+
+let gen_rm =
+  Gen.oneof [ Gen.map (fun r -> Insn.Reg r) gen_reg; Gen.map (fun m -> Insn.Mem m) gen_mem ]
+
+let gen_imm =
+  Gen.oneof [ Gen.oneofl [ 0l; 1l; -1l; 0x7fl; 0x80l; 0xdeadbeefl ]; Gen.int32 ]
+
+let gen_imm8 = Gen.map Int32.of_int (Gen.int_range (-128) 127)
+let gen_cond = Gen.map Insn.cond_of_code (Gen.int_range 0 15)
+let gen_alu = Gen.oneofl Insn.[ Add; Or; And; Sub; Xor; Cmp ]
+let gen_shift = Gen.oneofl Insn.[ Shl; Shr; Sar ]
+let gen_count = Gen.int_range 0 255
+
+let gen_insn =
+  let open Insn in
+  Gen.oneof
+    [
+      Gen.oneofl
+        [ Nop; Hlt; Ret; Lret; Leave; Int3; Ud2; Pusha; Popa; Iret; Cli; Sti;
+          In_al; Out_al; Cdq; Rdtsc; Diskrd; Diskwr ];
+      Gen.map2 (fun r v -> Mov_ri (r, v)) gen_reg gen_imm;
+      Gen.map2 (fun rm r -> Mov_rm_r (rm, r)) gen_rm gen_reg;
+      Gen.map2 (fun r rm -> Mov_r_rm (r, rm)) gen_reg gen_rm;
+      Gen.map2 (fun rm v -> Mov_rm_i (rm, v)) gen_rm gen_imm;
+      Gen.map2 (fun rm r -> Movb_rm_r (rm, r)) gen_rm gen_reg;
+      Gen.map2 (fun r rm -> Movb_r_rm (r, rm)) gen_reg gen_rm;
+      Gen.map2 (fun r rm -> Movzbl (r, rm)) gen_reg gen_rm;
+      Gen.map (fun r -> Push_r r) gen_reg;
+      Gen.map (fun r -> Pop_r r) gen_reg;
+      Gen.map (fun v -> Push_i v) gen_imm;
+      Gen.map (fun v -> Push_i8 v) gen_imm8;
+      Gen.map (fun r -> Inc_r r) gen_reg;
+      Gen.map (fun r -> Dec_r r) gen_reg;
+      Gen.map3 (fun a rm r -> Alu_rm_r (a, rm, r)) gen_alu gen_rm gen_reg;
+      Gen.map3 (fun a r rm -> Alu_r_rm (a, r, rm)) gen_alu gen_reg gen_rm;
+      Gen.map2 (fun a v -> Alu_eax_i (a, v)) gen_alu gen_imm;
+      Gen.map3 (fun a rm v -> Alu_rm_i (a, rm, v)) gen_alu gen_rm gen_imm;
+      Gen.map3 (fun a rm v -> Alu_rm_i8 (a, rm, v)) gen_alu gen_rm gen_imm8;
+      Gen.map2 (fun rm r -> Test_rm_r (rm, r)) gen_rm gen_reg;
+      Gen.map (fun rm -> Not_rm rm) gen_rm;
+      Gen.map (fun rm -> Neg_rm rm) gen_rm;
+      Gen.map (fun rm -> Mul_rm rm) gen_rm;
+      Gen.map (fun rm -> Div_rm rm) gen_rm;
+      Gen.map2 (fun r rm -> Imul_r_rm (r, rm)) gen_reg gen_rm;
+      Gen.map3 (fun s rm n -> Shift_i (s, rm, n)) gen_shift gen_rm gen_count;
+      Gen.map2 (fun s rm -> Shift_cl (s, rm)) gen_shift gen_rm;
+      Gen.map3 (fun rm r n -> Shrd (rm, r, n)) gen_rm gen_reg gen_count;
+      Gen.map2 (fun r m -> Lea (r, m)) gen_reg gen_mem;
+      Gen.map (fun rel -> Jmp rel) gen_imm;
+      Gen.map (fun rel -> Jmp8 rel) gen_imm8;
+      Gen.map2 (fun c rel -> Jcc (c, rel)) gen_cond gen_imm;
+      Gen.map2 (fun c rel -> Jcc8 (c, rel)) gen_cond gen_imm8;
+      Gen.map (fun rel -> Call rel) gen_imm;
+      Gen.map (fun rm -> Call_rm rm) gen_rm;
+      Gen.map (fun rm -> Jmp_rm rm) gen_rm;
+      Gen.map (fun rm -> Push_rm rm) gen_rm;
+      Gen.map (fun rm -> Inc_rm rm) gen_rm;
+      Gen.map (fun rm -> Dec_rm rm) gen_rm;
+      Gen.map (fun n -> Int_ n) gen_count;
+      Gen.map2 (fun cr r -> Mov_cr_r (cr, r)) (Gen.int_range 0 7) gen_reg;
+      Gen.map2 (fun r cr -> Mov_r_cr (r, cr)) gen_reg (Gen.int_range 0 7);
+    ]
+
+(* Shrinking towards [Nop]: the smallest interesting counterexample for
+   any decoder/encoder defect is the single instruction that triggers it,
+   with every other element reduced to nop. *)
+let shrink_insn i = if i = Insn.Nop then Seq.empty else Seq.return Insn.Nop
+
+let print_insns l = "[" ^ String.concat "; " (List.map Disasm.to_string l) ^ "]"
+
+let arb_insns ~min ~max =
+  Fuzz.arb
+    ~shrink:(Shrink.list ~elem:shrink_insn)
+    ~print:print_insns
+    (Gen.list ~min ~max gen_insn)
+
+(* ---------- isa.roundtrip ---------- *)
+
+(* Parameterized over the decoder so the mutation smoke check in the test
+   suite can plant a decoder bug and watch the harness catch it. *)
+let roundtrip_with ?(name = "isa.roundtrip") decode_bytes =
+  Fuzz.make ~name
+    ~doc:"encode/decode/length round-trip on generated instruction streams"
+    (arb_insns ~min:1 ~max:8)
+    (fun insns ->
+      let buf = Buffer.create 64 in
+      List.iter (Encode.emit buf) insns;
+      let b = Buffer.to_bytes buf in
+      let rec go off = function
+        | [] ->
+            if off = Bytes.length b then Ok ()
+            else Error (spf "stream length mismatch: decoded %d of %d bytes" off (Bytes.length b))
+        | i :: rest -> (
+            match decode_bytes b off with
+            | Decode.Invalid -> Error (spf "invalid decode at offset %d" off)
+            | Decode.Ok (i', len) ->
+                if i' <> i then
+                  Error
+                    (spf "offset %d: decoded %s, encoded %s" off (Disasm.to_string i')
+                       (Disasm.to_string i))
+                else if len <> Encode.length i then
+                  Error (spf "offset %d: length %d <> encoded %d" off len (Encode.length i))
+                else go (off + len) rest)
+      in
+      go 0 insns)
+
+let isa_roundtrip = roundtrip_with Decode.decode_bytes
+
+(* ---------- isa.decode_total ---------- *)
+
+let isa_decode_total =
+  Fuzz.make ~name:"isa.decode_total"
+    ~doc:"the decoder never raises or over-reads on arbitrary bytes"
+    (Fuzz.arb
+       ~shrink:Shrink.bytes
+       ~print:(fun b ->
+         String.concat " "
+           (List.init (Bytes.length b) (fun i -> spf "%02x" (Char.code (Bytes.get b i)))))
+       (Gen.bytes ~min:1 ~max:16))
+    (fun raw ->
+      (* pad with nops so a truncated multi-byte decode has room, like the
+         decoder sees inside a mapped code page *)
+      let b = Bytes.cat raw (Bytes.make 16 '\x90') in
+      match Decode.decode_bytes b 0 with
+      | Decode.Ok (_, len) ->
+          if len >= 1 && len <= 16 then Ok ()
+          else Error (spf "decoded length %d out of 1..16" len)
+      | Decode.Invalid -> Ok ())
+
+(* ---------- asm.assemble_decode ---------- *)
+
+let asm_assemble_decode =
+  Fuzz.make ~name:"asm.assemble_decode"
+    ~doc:"assembled streams (with relaxed branches) decode back to their metadata"
+    (Fuzz.arb
+       ~shrink:(Shrink.pair (Shrink.list ~elem:shrink_insn) Shrink.nil)
+       ~print:(fun (insns, back) ->
+         spf "%s %s" (print_insns insns) (if back then "loop-back" else "fwd"))
+       (Gen.pair (Gen.list ~min:0 ~max:6 gen_insn) Gen.bool))
+    (fun (insns, back) ->
+      let open Kfi_asm.Assembler in
+      let items =
+        [ Label "top" ]
+        @ List.map (fun i -> Ins i) insns
+        @ [ Jcc_sym (Insn.NE, (if back then "top" else "out")); Label "out"; Ins Insn.Ret ]
+      in
+      match assemble ~base:0x10000l items with
+      | exception e -> Error (spf "assemble raised %s" (Printexc.to_string e))
+      | r ->
+          let rec go = function
+            | [] -> Ok ()
+            | info :: rest -> (
+                match Decode.decode_bytes r.code info.i_off with
+                | Decode.Invalid -> Error (spf "offset %d: invalid decode" info.i_off)
+                | Decode.Ok (i', len) ->
+                    if i' <> info.i_insn then
+                      Error
+                        (spf "offset %d: decoded %s, assembled %s" info.i_off
+                           (Disasm.to_string i') (Disasm.to_string info.i_insn))
+                    else if len <> info.i_len then
+                      Error (spf "offset %d: length %d <> %d" info.i_off len info.i_len)
+                    else go rest)
+          in
+          go r.insns)
+
+(* ---------- machine properties ---------- *)
+
+(* A bare-metal machine with the testbed layout: page dir at 0x1000, pt0
+   at 0x3000 identity-mapping 4 MB kernel-only (page 0 unmapped), pt1 at
+   0x4000 mapping 4..8 MB as user pages; IDT at 0x2000. *)
+let pgdir = 0x1000
+let idt_base = 0x2000
+let code_base = 0x10000
+let stack_top = 0x80000
+
+let make_machine () =
+  let disk = Devices.Disk.create ~blocks:16 in
+  let m = Machine.create ~phys_size:(8 * 1024 * 1024) ~idt_base ~disk () in
+  let phys = Machine.phys m in
+  let pt0 = 0x3000 and pt1 = 0x4000 in
+  Phys.write32 phys (pgdir + 0) (Int32.of_int (pt0 lor 0x3));
+  Phys.write32 phys (pgdir + 4) (Int32.of_int (pt1 lor 0x7));
+  for i = 0 to 1023 do
+    Phys.write32 phys (pt0 + (i * 4))
+      (if i = 0 then 0l else Int32.of_int ((i * Mmu.page_size) lor 0x3));
+    Phys.write32 phys
+      (pt1 + (i * 4))
+      (Int32.of_int ((0x400000 + (i * Mmu.page_size)) lor 0x7))
+  done;
+  let cpu = Machine.cpu m in
+  cpu.Cpu.cr3 <- Int32.of_int pgdir;
+  cpu.Cpu.regs.(Insn.esp) <- Int32.of_int stack_top;
+  cpu.Cpu.eip <- Int32.of_int code_base;
+  m
+
+let load_program m insns =
+  let buf = Buffer.create 64 in
+  List.iter (Encode.emit buf) insns;
+  Buffer.add_char buf '\xF4' (* hlt backstop *);
+  Phys.blit_in (Machine.phys m) ~dst:code_base (Buffer.to_bytes buf)
+
+(* Architectural fingerprint of a machine: everything an injection
+   campaign observes.  The trace ring is deliberately excluded — that is
+   the point of [cpu.trace_transparent]. *)
+let fingerprint m stop =
+  let cpu = Machine.cpu m in
+  let b = Buffer.create 256 in
+  Array.iteri (fun i r -> Buffer.add_string b (spf "r%d=%lx;" i r)) cpu.Cpu.regs;
+  Buffer.add_string b
+    (spf "eip=%lx;efl=%x;mode=%s;cr0=%lx;cr2=%lx;cr3=%lx;cyc=%d;halt=%b;exit=%s;"
+       cpu.Cpu.eip cpu.Cpu.eflags
+       (match cpu.Cpu.mode with Cpu.Kernel -> "k" | Cpu.User -> "u")
+       cpu.Cpu.cr0 cpu.Cpu.cr2 cpu.Cpu.cr3 cpu.Cpu.cycles cpu.Cpu.halted
+       (match cpu.Cpu.exit_code with None -> "-" | Some n -> string_of_int n));
+  Buffer.add_string b (spf "console=%S;tty=%S;stop=%s" (Machine.console_contents m)
+       (Machine.tty_contents m) stop);
+  Buffer.contents b
+
+let run_steps m n =
+  let cpu = Machine.cpu m in
+  let stop = ref "steps" in
+  (try
+     for _ = 1 to n do
+       if cpu.Cpu.halted || cpu.Cpu.exit_code <> None then raise Exit;
+       Cpu.step cpu
+     done
+   with
+  | Exit -> stop := "halt"
+  | Cpu.Triple_fault t -> stop := spf "triple:%s" (Trap.name t.Trap.vector)
+  | e -> stop := spf "exn:%s" (Printexc.to_string e));
+  fingerprint m !stop
+
+let arb_program =
+  Fuzz.arb
+    ~shrink:(Shrink.pair (Shrink.list ~elem:shrink_insn) Shrink.int)
+    ~print:(fun (insns, n) -> spf "%s for %d steps" (print_insns insns) n)
+    (Gen.pair (Gen.list ~min:1 ~max:12 gen_insn) (Gen.int_range 0 64))
+
+let cpu_snapshot_restore =
+  Fuzz.make ~name:"cpu.snapshot_restore"
+    ~doc:"restoring a snapshot replays any program to an identical architectural state"
+    arb_program
+    (fun (insns, steps) ->
+      let m = make_machine () in
+      load_program m insns;
+      let snap = Machine.snapshot m in
+      let first = run_steps m steps in
+      Machine.restore m snap;
+      let second = run_steps m steps in
+      if first = second then Ok ()
+      else Error (spf "diverged:\n  run1 %s\n  run2 %s" first second))
+
+let cpu_trace_transparent =
+  Fuzz.make ~name:"cpu.trace_transparent"
+    ~doc:"the flight recorder never perturbs architectural execution"
+    arb_program
+    (fun (insns, steps) ->
+      let exec level =
+        let m = make_machine () in
+        load_program m insns;
+        Trace.set_level (Machine.cpu m).Cpu.trace level;
+        run_steps m steps
+      in
+      let off = exec Trace.Off in
+      let ring = exec Trace.Ring in
+      let full = exec Trace.Full in
+      if off <> ring then Error (spf "Ring diverged:\n  off  %s\n  ring %s" off ring)
+      else if off <> full then Error (spf "Full diverged:\n  off  %s\n  full %s" off full)
+      else Ok ())
+
+(* ---------- mmu.translate_ref ---------- *)
+
+(* A pure reference of the two-level walk in [Mmu.walk] — no TLB.  The
+   property drives the real MMU (whose TLB caches and re-walks) through
+   random table edits and checks it never disagrees with the reference. *)
+let ref_translate phys ~cr3 ~user ~write vaddr =
+  let u32 v = Int32.to_int v land 0xFFFFFFFF in
+  let va = u32 vaddr in
+  let code ~present =
+    (if present then 1 else 0) lor (if write then 2 else 0) lor if user then 4 else 0
+  in
+  let pde_addr = (u32 cr3 land 0xFFFFF000) + (((va lsr 22) land 0x3FF) * 4) in
+  let pde = u32 (Phys.read32 phys pde_addr) in
+  if pde land Mmu.pte_present = 0 then Error (code ~present:false)
+  else
+    let pte_addr = (pde land 0xFFFFF000) + (((va lsr Mmu.page_shift) land 0x3FF) * 4) in
+    let pte = u32 (Phys.read32 phys pte_addr) in
+    if pte land Mmu.pte_present = 0 then Error (code ~present:false)
+    else
+      let perm = pde land pte land (Mmu.pte_writable lor Mmu.pte_user) in
+      if user && perm land Mmu.pte_user = 0 then Error (code ~present:true)
+      else if write && perm land Mmu.pte_writable = 0 then Error (code ~present:true)
+      else
+        Ok (((pte land 0xFFFFF000) lor (va land (Mmu.page_size - 1))))
+
+type mmu_op =
+  | M_edit of int * int32 (* page-table slot, new entry *)
+  | M_query of int32 * bool * bool (* vaddr, user, write *)
+
+let print_mmu_op = function
+  | M_edit (a, v) -> spf "edit [0x%x]=0x%lx" a v
+  | M_query (va, u, w) ->
+      spf "query 0x%lx%s%s" va (if u then " user" else "") (if w then " write" else "")
+
+(* Tables live in pages 1..5 of a 1 MB physical space: the PD at 0x1000,
+   candidate PTs at 0x2000..0x5000.  Entries always point inside the
+   space, so the walk itself cannot run off physical memory. *)
+let gen_table_entry rng =
+  let present = Kfi_fuzz.Rng.bool rng in
+  let frame = Kfi_fuzz.Rng.int rng 256 in
+  let perms = Kfi_fuzz.Rng.int rng 4 * 2 in
+  (* writable|user *)
+  if present then Int32.of_int ((frame lsl 12) lor perms lor 1)
+  else Int32.of_int (frame lsl 12)
+
+let gen_pt_entry rng =
+  let e = gen_table_entry rng in
+  e
+
+let gen_pde rng =
+  let present = Kfi_fuzz.Rng.bool rng in
+  let pt_page = 2 + Kfi_fuzz.Rng.int rng 4 in
+  let perms = Kfi_fuzz.Rng.int rng 4 * 2 in
+  if present then Int32.of_int ((pt_page lsl 12) lor perms lor 1)
+  else Int32.of_int (pt_page lsl 12)
+
+let gen_mmu_op rng =
+  if Kfi_fuzz.Rng.int rng 100 < 30 then
+    if Kfi_fuzz.Rng.bool rng then
+      (* PD edit: one of the first 4 directory slots *)
+      let slot = 0x1000 + (Kfi_fuzz.Rng.int rng 4 * 4) in
+      M_edit (slot, gen_pde rng)
+    else
+      (* PT edit: one of 16 slots in one of the candidate PT pages *)
+      let page = 2 + Kfi_fuzz.Rng.int rng 4 in
+      let slot = (page * 0x1000) + (Kfi_fuzz.Rng.int rng 16 * 4) in
+      M_edit (slot, gen_pt_entry rng)
+  else
+    let pd = Kfi_fuzz.Rng.int rng 4 in
+    let pt = Kfi_fuzz.Rng.int rng 16 in
+    let off = Kfi_fuzz.Rng.int rng Mmu.page_size in
+    let va = Int32.of_int ((pd lsl 22) lor (pt lsl 12) lor off) in
+    let user = Kfi_fuzz.Rng.bool rng in
+    let write = Kfi_fuzz.Rng.bool rng in
+    M_query (va, user, write)
+
+let mmu_translate_ref =
+  Fuzz.make ~name:"mmu.translate_ref"
+    ~doc:"the TLB'd MMU always agrees with a pure page-walk reference"
+    (Fuzz.arb
+       ~shrink:(Shrink.list ~elem:Shrink.nil)
+       ~print:(fun ops -> "[" ^ String.concat "; " (List.map print_mmu_op ops) ^ "]")
+       (Gen.list ~min:1 ~max:40 gen_mmu_op))
+    (fun ops ->
+      let phys = Phys.create 0x100000 in
+      let mmu = Mmu.create phys in
+      let cr3 = 0x1000l in
+      (* start with an empty directory: everything faults not-present *)
+      let rec go = function
+        | [] -> Ok ()
+        | M_edit (slot, v) :: rest ->
+            Phys.write32 phys slot v;
+            Mmu.flush mmu;
+            go rest
+        | M_query (va, user, write) :: rest ->
+            let expected = ref_translate phys ~cr3 ~user ~write va in
+            let got =
+              match Mmu.translate mmu ~cr3 ~user ~write va with
+              | pa -> Ok pa
+              | exception Mmu.Page_fault (va', code) ->
+                  if va' <> va then Error (-1)
+                  else Error (Int32.to_int code)
+            in
+            if got <> expected then
+              Error
+                (spf "%s: mmu %s, reference %s" (print_mmu_op (M_query (va, user, write)))
+                   (match got with Ok pa -> spf "0x%x" pa | Error c -> spf "fault(%d)" c)
+                   (match expected with
+                   | Ok pa -> spf "0x%x" pa
+                   | Error c -> spf "fault(%d)" c))
+            else go rest
+      in
+      go ops)
+
+(* ---------- oracle.equivalent_sound ---------- *)
+
+(* One booted runner + oracle per process, shared by every case.  The
+   boot is deterministic, so sharing does not break replay. *)
+let oracle_env =
+  lazy
+    (let runner = Kfi_injector.Runner.create () in
+     let oracle = Kfi_staticoracle.Oracle.create runner.Kfi_injector.Runner.build in
+     let fns =
+       List.map
+         (fun f -> f.Kfi_asm.Assembler.f_name)
+         runner.Kfi_injector.Runner.build.Kfi_kernel.Build.funcs
+     in
+     let targets =
+       Array.of_list
+         (Kfi_injector.Target.enumerate runner.Kfi_injector.Runner.build ~campaign:A
+            ~seed:7 fns)
+     in
+     (runner, oracle, targets))
+
+let oracle_equivalent_sound =
+  Fuzz.make ~name:"oracle.equivalent_sound"
+    ~doc:"targets the oracle proves Equivalent never change the architectural outcome"
+    (Fuzz.arb
+       ~shrink:Shrink.nil
+       ~print:(fun (i, bit) -> spf "target#%d bit %d" i bit)
+       (Gen.pair (Gen.int_bound 1_000_000) (Gen.int_range 0 7)))
+    (fun (i, bit) ->
+      let open Kfi_injector in
+      let runner, oracle, targets = Lazy.force oracle_env in
+      let t = targets.(i mod Array.length targets) in
+      let t = { t with Target.t_bit = bit } in
+      match Kfi_staticoracle.Oracle.classify oracle t with
+      | Kfi_staticoracle.Oracle.Equivalent why -> (
+          match Runner.run_one runner ~workload:0 t with
+          | Outcome.Not_activated | Outcome.Not_manifested -> Ok ()
+          | o ->
+              Error
+                (spf "%s %s b%d bit%d: Equivalent(%s) but outcome %s" t.Target.t_fn
+                   (Int32.to_string t.Target.t_addr) t.Target.t_byte bit why
+                   (Outcome.category o)))
+      | _ -> Ok ())
+
+(* ---------- fs.fsck_total ---------- *)
+
+let fs_paths = [| "/etc/rc"; "/bin/sh"; "/bin/ls"; "/usr/a"; "/usr/doc/b"; "/tmp/x" |]
+
+let gen_fs_files rng =
+  let n = Kfi_fuzz.Rng.int_range rng 1 (Array.length fs_paths) in
+  List.init n (fun i ->
+      let len = Kfi_fuzz.Rng.int rng 2000 in
+      let body = Bytes.init len (fun _ -> Char.chr (Kfi_fuzz.Rng.byte rng)) in
+      (fs_paths.(i), body))
+
+let gen_corruptions rng =
+  let n = Kfi_fuzz.Rng.int_range rng 0 40 in
+  List.init n (fun _ ->
+      let pos = Kfi_fuzz.Rng.int rng 0x100000 in
+      let v = Kfi_fuzz.Rng.byte rng in
+      (pos, v))
+
+let fs_fsck_total =
+  Fuzz.make ~name:"fs.fsck_total"
+    ~doc:"fsck never raises on corrupted images and classification is a fixpoint"
+    (Fuzz.arb
+       ~shrink:(Shrink.pair Shrink.nil (Shrink.list ~elem:Shrink.nil))
+       ~print:(fun (files, fl) ->
+         spf "%d files, %d corruptions" (List.length files) (List.length fl))
+       (Gen.pair gen_fs_files gen_corruptions))
+    (fun (files, corruptions) ->
+      let open Kfi_fsimage in
+      match Mkfs.create files with
+      | exception Failure _ -> Ok () (* image overflow is a documented refusal *)
+      | img ->
+          List.iter
+            (fun (pos, v) ->
+              if Bytes.length img > 0 then Bytes.set img (pos mod Bytes.length img) (Char.chr v))
+            corruptions;
+          let manifest = List.map (fun (p, b) -> (p, Digest.bytes b)) files in
+          let before = Bytes.copy img in
+          let s1 = Fsck.check ~manifest img in
+          if not (Bytes.equal before img) then Error "fsck mutated the image"
+          else
+            let s2 = Fsck.check ~manifest img in
+            if s1 <> s2 then
+              Error
+                (spf "not a fixpoint: %s then %s" (Fsck.severity_name s1)
+                   (Fsck.severity_name s2))
+            else Ok ())
+
+(* ---------- journal.torn_resume ---------- *)
+
+let gen_severity = Gen.oneofl Kfi_injector.Outcome.[ Normal; Severe; Most_severe ]
+
+let gen_cause =
+  Gen.oneofl
+    Kfi_injector.Outcome.
+      [ Null_pointer; Paging_request; Invalid_opcode; General_protection; Divide_error;
+        Kernel_panic; Other_trap 13 ]
+
+let gen_outcome rng =
+  let open Kfi_injector.Outcome in
+  match Kfi_fuzz.Rng.int rng 6 with
+  | 0 -> Not_activated
+  | 1 -> Not_manifested
+  | 2 ->
+      let s = gen_severity rng in
+      Hang s
+  | 3 ->
+      let s = gen_severity rng in
+      Fail_silence_violation ("exit code differs", s)
+  | 4 ->
+      let r = Kfi_fuzz.Rng.int rng 4 in
+      Harness_abort { ha_reason = "deadline"; ha_retries = r }
+  | _ ->
+      let cause = gen_cause rng in
+      let latency = Kfi_fuzz.Rng.int rng 100000 in
+      let sev = gen_severity rng in
+      let eip = Kfi_fuzz.Rng.int32 rng in
+      let cr2 = Kfi_fuzz.Rng.int32 rng in
+      let dumped = Kfi_fuzz.Rng.bool rng in
+      Crash
+        {
+          cause;
+          latency;
+          crash_fn = Some "sys_write";
+          crash_subsys = Some "fs";
+          dumped;
+          severity = sev;
+          crash_eip = eip;
+          crash_cr2 = cr2;
+          propagation = [ ("sys_write", "fs"); ("do_exit", "kernel") ];
+        }
+
+let gen_entry rng =
+  let open Kfi_injector in
+  let campaign = Gen.oneofl [ Target.A; Target.B; Target.C; Target.R ] rng in
+  let fn = Gen.oneofl [ "sys_write"; "do_fork"; "schedule"; "kmalloc" ] rng in
+  let addr = Int32.of_int (0x100000 + Kfi_fuzz.Rng.int rng 0x1000) in
+  let byte = Kfi_fuzz.Rng.int rng 4 in
+  let bit = Kfi_fuzz.Rng.int rng 8 in
+  let workload = Kfi_fuzz.Rng.int rng 3 in
+  let outcome = gen_outcome rng in
+  let predicted = Kfi_fuzz.Rng.bool rng in
+  let retries = Kfi_fuzz.Rng.int rng 3 in
+  let cycles = Kfi_fuzz.Rng.int rng 1_000_000 in
+  {
+    Journal.e_campaign = campaign;
+    e_fn = fn;
+    e_addr = addr;
+    e_byte = byte;
+    e_bit = bit;
+    e_workload = workload;
+    e_outcome = outcome;
+    e_predicted = predicted;
+    e_retries = retries;
+    e_cycles = cycles;
+  }
+
+type torn_mode = T_truncate of int | T_flip of int * int
+(* T_truncate percent-of-file; T_flip (percent, bit) in the final frame *)
+
+let journal_torn_resume =
+  Fuzz.make ~name:"journal.torn_resume"
+    ~doc:"a torn or corrupt journal tail is truncated to the longest intact prefix"
+    (Fuzz.arb
+       ~shrink:
+         (Shrink.pair (Shrink.list ~elem:Shrink.nil) Shrink.nil)
+       ~print:(fun (entries, mode) ->
+         spf "%d entries, %s" (List.length entries)
+           (match mode with
+           | T_truncate p -> spf "truncate@%d%%" p
+           | T_flip (p, b) -> spf "flip@%d%%bit%d" p b))
+       (Gen.pair
+          (Gen.list ~min:1 ~max:5 gen_entry)
+          (fun rng ->
+            if Kfi_fuzz.Rng.bool rng then T_truncate (Kfi_fuzz.Rng.int rng 100)
+            else T_flip (Kfi_fuzz.Rng.int rng 100, Kfi_fuzz.Rng.int rng 8))))
+    (fun (entries, mode) ->
+      let open Kfi_injector in
+      let path = Filename.temp_file "kfi_fuzz" ".journal" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let j = Journal.open_ path in
+          (* record the frame boundary after each append *)
+          let boundaries =
+            List.map
+              (fun e ->
+                Journal.append j e;
+                (Unix.stat path).Unix.st_size)
+              entries
+          in
+          Journal.close j;
+          let size = List.nth boundaries (List.length boundaries - 1) in
+          let kept_before cut =
+            List.length (List.filter (fun b -> b <= cut) boundaries)
+          in
+          let expect_n, expect_torn =
+            match mode with
+            | T_truncate pct ->
+                let cut = max 1 (size * pct / 100) in
+                Unix.truncate path cut;
+                (kept_before cut, not (List.mem cut boundaries))
+            | T_flip (pct, bit) ->
+                (* corrupt one byte inside the final frame *)
+                let last_start =
+                  match List.rev boundaries with
+                  | _ :: prev :: _ -> prev
+                  | _ -> 0
+                in
+                let frame_len = size - last_start in
+                let pos = last_start + (frame_len * pct / 100) in
+                let pos = min pos (size - 1) in
+                let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+                let b = Bytes.create 1 in
+                ignore (Unix.lseek fd pos Unix.SEEK_SET);
+                ignore (Unix.read fd b 0 1);
+                Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor (1 lsl bit)));
+                ignore (Unix.lseek fd pos Unix.SEEK_SET);
+                ignore (Unix.write fd b 0 1);
+                Unix.close fd;
+                (List.length entries - 1, true)
+          in
+          let expected = List.filteri (fun i _ -> i < expect_n) entries in
+          (* offline reader sees exactly the intact prefix *)
+          let off = Journal.read_file path in
+          if off <> expected then
+            Error (spf "read_file: %d entries, expected %d" (List.length off) expect_n)
+          else
+            (* resume truncates the tail and keeps appending *)
+            let j2 = Journal.open_ ~resume:true path in
+            let loaded = Journal.loaded j2 in
+            let torn = Journal.torn_tail_truncated j2 in
+            let extra = List.hd entries in
+            Journal.append j2 extra;
+            Journal.close j2;
+            if loaded <> expect_n then
+              Error (spf "resume loaded %d, expected %d" loaded expect_n)
+            else if torn <> expect_torn then
+              Error (spf "torn_tail_truncated=%b, expected %b" torn expect_torn)
+            else
+              let final = Journal.read_file path in
+              if final <> expected @ [ extra ] then
+                Error "append after resume did not extend the intact prefix"
+              else Ok ()))
+
+(* ---------- csv.rfc4180 ---------- *)
+
+(* Reference RFC 4180 row parser (quoted fields, doubled quotes). *)
+let parse_csv_row s =
+  let n = String.length s in
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let rec field i =
+    if i >= n then (fields := Buffer.contents buf :: !fields; None)
+    else if s.[i] = '"' then quoted (i + 1)
+    else unquoted i
+  and unquoted i =
+    if i >= n then (fields := Buffer.contents buf :: !fields; None)
+    else if s.[i] = ',' then begin
+      fields := Buffer.contents buf :: !fields;
+      Buffer.clear buf;
+      field (i + 1)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      unquoted (i + 1)
+    end
+  and quoted i =
+    if i >= n then Some "unterminated quote"
+    else if s.[i] = '"' then
+      if i + 1 < n && s.[i + 1] = '"' then begin
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      end
+      else if i + 1 >= n then (fields := Buffer.contents buf :: !fields; None)
+      else if s.[i + 1] = ',' then begin
+        fields := Buffer.contents buf :: !fields;
+        Buffer.clear buf;
+        field (i + 2)
+      end
+      else Some (spf "garbage after closing quote at %d" (i + 1))
+    else begin
+      Buffer.add_char buf s.[i];
+      quoted (i + 1)
+    end
+  in
+  match field 0 with Some e -> Error e | None -> Ok (List.rev !fields)
+
+let gen_csv_char =
+  Gen.frequency
+    [
+      (6, Gen.oneofl [ 'a'; 'b'; 'z'; '0'; ' ' ]);
+      (2, Gen.oneofl [ ','; '"' ]);
+      (2, Gen.oneofl [ '\n'; '\r' ]);
+      (1, Gen.oneofl [ '\xC3'; '\xA9'; '\x00'; '\x7F' ]);
+    ]
+
+let csv_rfc4180 =
+  Fuzz.make ~name:"csv.rfc4180"
+    ~doc:"csv_field quoting is parsed back losslessly by a reference RFC 4180 reader"
+    (Fuzz.arb
+       ~shrink:(Shrink.list ~elem:Shrink.string)
+       ~print:(fun fs -> String.concat "|" (List.map (spf "%S") fs))
+       (Gen.list ~min:1 ~max:5 (Gen.string_of ~min:0 ~max:10 gen_csv_char)))
+    (fun fields ->
+      let row = String.concat "," (List.map Kfi_injector.Experiment.csv_field fields) in
+      match parse_csv_row row with
+      | Error e -> Error (spf "reference parser rejected %S: %s" row e)
+      | Ok fields' ->
+          if fields' = fields then Ok ()
+          else
+            Error
+              (spf "row %S parsed back as %s" row
+                 (String.concat "|" (List.map (spf "%S") fields'))))
+
+(* ---------- telemetry.json_roundtrip ---------- *)
+
+let gen_json_string =
+  Gen.string_of ~min:0 ~max:8
+    (Gen.frequency
+       [
+         (6, Gen.oneofl [ 'a'; 'k'; '_'; '0'; ' ' ]);
+         (2, Gen.oneofl [ '"'; '\\'; '/'; '\n'; '\t' ]);
+         (1, Gen.oneofl [ '\x01'; '\x1F'; '\x7F'; '\xC3'; '\xA9' ]);
+       ])
+
+(* floats restricted to quarters: they render exactly under both the
+   integral (%.1f) and general (%.6g) formats, so value equality after a
+   parse round-trip is exact *)
+let gen_json_float = Gen.map (fun k -> float_of_int k /. 4.0) (Gen.int_range (-4000) 4000)
+
+let rec gen_json depth rng =
+  let open Kfi_trace.Telemetry in
+  let leaf () =
+    match Kfi_fuzz.Rng.int rng 5 with
+    | 0 -> Null
+    | 1 -> Bool (Kfi_fuzz.Rng.bool rng)
+    | 2 -> Int (Kfi_fuzz.Rng.int_range rng (-1_000_000) 1_000_000)
+    | 3 -> Float (gen_json_float rng)
+    | _ -> Str (gen_json_string rng)
+  in
+  if depth = 0 then leaf ()
+  else
+    match Kfi_fuzz.Rng.int rng 7 with
+    | 0 ->
+        let n = Kfi_fuzz.Rng.int rng 4 in
+        List (List.init n (fun _ -> gen_json (depth - 1) rng))
+    | 1 ->
+        let n = Kfi_fuzz.Rng.int rng 4 in
+        Obj
+          (List.init n (fun i ->
+               let k = spf "k%d%s" i (gen_json_string rng) in
+               (k, gen_json (depth - 1) rng)))
+    | _ -> leaf ()
+
+let telemetry_json_roundtrip =
+  Fuzz.make ~name:"telemetry.json_roundtrip"
+    ~doc:"telemetry JSON rendering parses back equal; strip_volatile is idempotent"
+    (Fuzz.arb
+       ~shrink:Shrink.nil
+       ~print:(fun v -> Kfi_trace.Telemetry.to_string v)
+       (gen_json 3))
+    (fun v ->
+      let open Kfi_trace.Telemetry in
+      let s = to_string v in
+      if String.contains s '\n' then Error (spf "rendering not JSONL-safe: %S" s)
+      else
+        match parse s with
+        | exception Parse_error e -> Error (spf "own rendering rejected: %s of %S" e s)
+        | v' ->
+            if v' <> v then Error (spf "parse(to_string v) <> v for %S" s)
+            else
+              (* strip_volatile idempotence over a JSONL doc built from v *)
+              let doc =
+                to_string (Obj [ ("type", Str "x"); ("seq", Int 1); ("wall_ms", Float 1.5);
+                                 ("payload", v) ])
+                ^ "\n"
+              in
+              let once = strip_volatile doc in
+              let twice = strip_volatile once in
+              if once <> twice then Error "strip_volatile is not idempotent"
+              else if
+                List.exists
+                  (fun k ->
+                    (* the volatile key must actually be gone *)
+                    let re = "\"" ^ k ^ "\"" in
+                    let rec find i =
+                      i + String.length re <= String.length once
+                      && (String.sub once i (String.length re) = re || find (i + 1))
+                    in
+                    find 0)
+                  volatile_keys
+              then Error "strip_volatile left a volatile key behind"
+              else Ok ())
+
+(* ---------- registry ---------- *)
+
+let all =
+  [
+    isa_roundtrip;
+    isa_decode_total;
+    asm_assemble_decode;
+    cpu_snapshot_restore;
+    cpu_trace_transparent;
+    mmu_translate_ref;
+    oracle_equivalent_sound;
+    fs_fsck_total;
+    journal_torn_resume;
+    csv_rfc4180;
+    telemetry_json_roundtrip;
+  ]
+
+let find name = List.find_opt (fun p -> Fuzz.name p = name) all

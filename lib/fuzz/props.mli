@@ -1,0 +1,33 @@
+(** The cross-layer property library for the kfi-fuzz harness. *)
+
+open Kfi_isa
+
+val gen_insn : Insn.t Kfi_fuzz.Gen.t
+(** Every constructor, canonically-encodable operands only. *)
+
+val shrink_insn : Insn.t Kfi_fuzz.Shrink.t
+(** Towards [Nop]. *)
+
+val arb_insns : min:int -> max:int -> Insn.t list Kfi_fuzz.Fuzz.arb
+
+val roundtrip_with : ?name:string -> (bytes -> int -> Decode.result) -> Kfi_fuzz.Fuzz.t
+(** The encode/decode round-trip property over an arbitrary decoder —
+    the test suite plants a decoder bug here to prove the harness
+    catches and shrinks it. *)
+
+val isa_roundtrip : Kfi_fuzz.Fuzz.t
+val isa_decode_total : Kfi_fuzz.Fuzz.t
+val asm_assemble_decode : Kfi_fuzz.Fuzz.t
+val cpu_snapshot_restore : Kfi_fuzz.Fuzz.t
+val cpu_trace_transparent : Kfi_fuzz.Fuzz.t
+val mmu_translate_ref : Kfi_fuzz.Fuzz.t
+val oracle_equivalent_sound : Kfi_fuzz.Fuzz.t
+val fs_fsck_total : Kfi_fuzz.Fuzz.t
+val journal_torn_resume : Kfi_fuzz.Fuzz.t
+val csv_rfc4180 : Kfi_fuzz.Fuzz.t
+val telemetry_json_roundtrip : Kfi_fuzz.Fuzz.t
+
+val all : Kfi_fuzz.Fuzz.t list
+(** Registry, in the order the CLI runs them. *)
+
+val find : string -> Kfi_fuzz.Fuzz.t option

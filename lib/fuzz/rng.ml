@@ -1,0 +1,53 @@
+(* Splittable deterministic PRNG (splitmix64).  The whole fuzz harness
+   derives every random choice from an integer seed through this module,
+   so any failing case is replayable from its (seed, case) coordinates
+   alone — no hidden global state, no [Random.self_init]. *)
+
+type t = { mutable s : int64 }
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let golden = 0x9E3779B97F4A7C15L
+
+let of_seed64 s = { s }
+let of_seed n = { s = mix64 (Int64.of_int n) }
+
+(* Fold a list of integers into one stream: the per-case streams are
+   [of_seeds [seed; case; name_hash]], pairwise independent for distinct
+   coordinates. *)
+let of_seeds ns =
+  let s =
+    List.fold_left
+      (fun acc n -> mix64 (Int64.add (Int64.mul acc 0x100000001B3L) (Int64.of_int n)))
+      0xcbf29ce484222325L ns
+  in
+  { s }
+
+let next64 t =
+  t.s <- Int64.add t.s golden;
+  mix64 t.s
+
+(* An independent generator whose future output is unaffected by (and does
+   not affect) further draws from [t]. *)
+let split t = of_seed64 (mix64 (next64 t))
+
+let bits30 t = Int64.to_int (next64 t) land 0x3FFFFFFF
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* 62 usable bits against bounds < 2^30: modulo bias is negligible for
+     fuzzing purposes and keeps the draw single-step *)
+  bits30 t mod bound
+
+let int_range t lo hi =
+  if hi < lo then invalid_arg "Rng.int_range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.to_int (next64 t) land 1 = 1
+let byte t = Int64.to_int (next64 t) land 0xFF
+let int32 t = Int64.to_int32 (next64 t)
+let int64 = next64

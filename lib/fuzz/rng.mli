@@ -1,0 +1,29 @@
+(** Splittable deterministic PRNG (splitmix64) — the only randomness
+    source of the fuzz harness.  Every stream is a pure function of its
+    integer seed(s); a failing case replays from [(seed, case)] alone. *)
+
+type t
+
+val of_seed : int -> t
+val of_seed64 : int64 -> t
+
+val of_seeds : int list -> t
+(** Fold several coordinates into one stream ([seed; case; name hash]). *)
+
+val split : t -> t
+(** An independent generator: its draws neither affect nor are affected
+    by further draws from the parent. *)
+
+val next64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  @raise Invalid_argument on
+    [bound <= 0]. *)
+
+val int_range : t -> int -> int -> int
+(** [int_range t lo hi] is uniform in [lo, hi] (inclusive). *)
+
+val bool : t -> bool
+val byte : t -> int
+val int32 : t -> int32
+val int64 : t -> int64

@@ -1,0 +1,92 @@
+(* Counterexample shrinkers: lazy sequences of strictly "smaller"
+   candidate values.  The runner greedily takes the first candidate that
+   still fails and iterates to a local minimum, so candidate order
+   matters: most aggressive first (empty list, zero) down to single-step
+   tweaks. *)
+
+type 'a t = 'a -> 'a Seq.t
+
+let nil _ = Seq.empty
+
+let int n =
+  if n = 0 then Seq.empty
+  else
+    List.to_seq
+      (List.sort_uniq compare [ 0; n / 2; n - (if n > 0 then 1 else -1) ]
+      |> List.filter (fun c -> c <> n && abs c < abs n))
+
+let int32 n =
+  if n = 0l then Seq.empty
+  else
+    List.to_seq
+      (List.sort_uniq compare
+         [ 0l; Int32.div n 2l; Int32.sub n (if Int32.compare n 0l > 0 then 1l else -1l) ]
+      |> List.filter (fun c ->
+             c <> n && Int32.abs c <= Int32.abs n && (c <> n || c = 0l)))
+
+let char c =
+  if c = 'a' then Seq.empty
+  else if (c >= 'b' && c <= 'z') || (c >= 'A' && c <= 'Z') then Seq.return 'a'
+  else List.to_seq [ 'a'; Char.chr (Char.code c / 2) ] |> Seq.filter (fun x -> x <> c)
+
+(* Candidate sublists: whole halves removed first, then each single
+   element removed, then elementwise shrinks. *)
+let list ?(elem = nil) l =
+  let n = List.length l in
+  if n = 0 then Seq.empty
+  else
+    let arr = Array.of_list l in
+    let drop_range lo len =
+      Array.to_list (Array.init (n - len) (fun i -> if i < lo then arr.(i) else arr.(i + len)))
+    in
+    let halves =
+      if n >= 2 then List.to_seq [ drop_range 0 (n / 2); drop_range (n - (n / 2)) (n / 2) ]
+      else Seq.empty
+    in
+    let singles = Seq.init n (fun i -> drop_range i 1) in
+    let elementwise =
+      Seq.concat
+        (Seq.init n (fun i ->
+             Seq.map
+               (fun e ->
+                 Array.to_list (Array.mapi (fun j x -> if j = i then e else x) arr))
+               (elem arr.(i))))
+    in
+    Seq.append halves (Seq.append singles elementwise)
+
+let bytes b =
+  let n = Bytes.length b in
+  if n = 0 then Seq.empty
+  else
+    let sub lo len = Bytes.sub b lo len in
+    let truncations =
+      if n >= 2 then List.to_seq [ sub 0 (n / 2); sub 0 (n - 1); sub 1 (n - 1) ]
+      else Seq.return (Bytes.create 0)
+    in
+    let zero_byte =
+      Seq.init n (fun i ->
+          if Bytes.get b i = '\x00' then None
+          else
+            let c = Bytes.copy b in
+            Bytes.set c i '\x00';
+            Some c)
+      |> Seq.filter_map Fun.id
+    in
+    Seq.append truncations zero_byte
+
+let string s =
+  Seq.map Bytes.unsafe_to_string (bytes (Bytes.of_string s))
+
+let pair sa sb (a, b) =
+  Seq.append (Seq.map (fun a' -> (a', b)) (sa a)) (Seq.map (fun b' -> (a, b')) (sb b))
+
+let triple sa sb sc (a, b, c) =
+  Seq.append
+    (Seq.map (fun a' -> (a', b, c)) (sa a))
+    (Seq.append
+       (Seq.map (fun b' -> (a, b', c)) (sb b))
+       (Seq.map (fun c' -> (a, b, c')) (sc c)))
+
+let option elem = function
+  | None -> Seq.empty
+  | Some x -> Seq.cons None (Seq.map (fun x' -> Some x') (elem x))

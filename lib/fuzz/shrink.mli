@@ -1,0 +1,24 @@
+(** Counterexample shrinkers: lazy sequences of smaller candidates, most
+    aggressive first.  The runner keeps the first candidate that still
+    fails and iterates to a local minimum. *)
+
+type 'a t = 'a -> 'a Seq.t
+
+val nil : 'a t
+(** No shrinking. *)
+
+val int : int t
+(** Towards 0. *)
+
+val int32 : int32 t
+val char : char t
+(** Towards ['a']. *)
+
+val list : ?elem:'a t -> 'a list t
+(** Halves removed, then single elements, then elementwise [elem]. *)
+
+val bytes : bytes t
+val string : string t
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+val option : 'a t -> 'a option t

@@ -97,9 +97,13 @@ let write_frame oc payload =
 (* Read one frame from [ic]; [None] on a clean EOF, [Error] on a torn or
    corrupt frame (short header, short payload, CRC mismatch). *)
 let read_frame ic : (frame option, string) result =
+  let start = pos_in ic in
   match really_input_string ic 8 with
   | exception End_of_file ->
-    if pos_in ic = in_channel_length ic then Ok None else Error "torn frame header"
+    (* [really_input_string] consumes any partial tail before raising, so
+       "position advanced" — not "position at EOF" — is what separates a
+       clean end from a torn sub-8-byte header *)
+    if pos_in ic = start then Ok None else Error "torn frame header"
   | header ->
     let len = Int32.to_int (String.get_int32_le header 0) land 0xFFFFFFFF in
     let crc = Int32.to_int (String.get_int32_le header 4) land 0xFFFFFFFF in

@@ -136,4 +136,16 @@ let test_listing () =
   check Alcotest.bool "summary columns" true (contains summary "branches");
   check Alcotest.bool "g row" true (contains summary "g")
 
-let suite = suite @ [ Alcotest.test_case "listings" `Quick test_listing ]
+(* Seeded fuzz over assemble→decode (engine default seed; KFI_FUZZ_SEED
+   overrides): random instruction streams with labels and relaxed
+   branches must disassemble back to what was written. *)
+let test_fuzz_assemble_decode () =
+  Kfi_fuzz.Fuzz.check_prop ~cases:300 Kfi_fuzz_props.Props.asm_assemble_decode
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "listings" `Quick test_listing;
+      Alcotest.test_case "fuzz: assemble/decode agreement" `Quick
+        test_fuzz_assemble_decode;
+    ]

@@ -177,27 +177,35 @@ let test_torn_write_free_block () =
     (Outcome.severity_of_fsck (Fsck.check ~manifest:(manifest fs) img)
     = Outcome.Normal)
 
-(* fsck must classify without raising, whatever the damage *)
+(* fsck must classify without raising, whatever the damage.  Seeded fuzz
+   (engine default seed; KFI_FUZZ_SEED overrides) instead of qcheck's
+   self-init, so `dune runtest` is deterministic. *)
+module Fz = Kfi_fuzz.Fuzz
+module Gn = Kfi_fuzz.Gen
+
 let prop_fsck_total =
-  QCheck.Test.make ~name:"fsck is total on random corruption" ~count:60
-    QCheck.(pair (int_bound (L.fs_nblocks * L.block_size - 1)) (int_bound 255))
+  Fz.make ~name:"fsimage.fsck_point"
+    ~doc:"fsck is total on single-byte corruption"
+    (Fz.arb
+       ~print:(fun (off, v) -> Printf.sprintf "img[%d] <- 0x%02x" off v)
+       (Gn.pair (Gn.int_bound ((L.fs_nblocks * L.block_size) - 1)) Gn.byte))
     (fun (off, v) ->
       let img = Mkfs.create (files ()) in
       Bytes.set img off (Char.chr v);
       match Fsck.check img with
-      | Fsck.Clean | Fsck.Repairable _ | Fsck.Unrecoverable _ -> true)
+      | Fsck.Clean | Fsck.Repairable _ | Fsck.Unrecoverable _ -> Ok ())
 
 let prop_fsck_total_burst =
-  QCheck.Test.make ~name:"fsck is total on burst corruption" ~count:30
-    QCheck.(pair (int_bound (L.fs_nblocks - 1)) small_nat)
-    (fun (blk, seed) ->
+  Fz.make ~name:"fsimage.fsck_burst"
+    ~doc:"fsck is total on whole-block burst corruption"
+    (Fz.arb
+       ~print:(fun (blk, _) -> Printf.sprintf "burst into block %d" blk)
+       (Gn.pair (Gn.int_bound (L.fs_nblocks - 1)) (Gn.bytes ~min:L.block_size ~max:L.block_size)))
+    (fun (blk, burst) ->
       let img = Mkfs.create (files ()) in
-      let st = Random.State.make [| seed |] in
-      for i = 0 to L.block_size - 1 do
-        Bytes.set img ((blk * L.block_size) + i) (Char.chr (Random.State.int st 256))
-      done;
+      Bytes.blit burst 0 img (blk * L.block_size) L.block_size;
       match Fsck.check img with
-      | Fsck.Clean | Fsck.Repairable _ | Fsck.Unrecoverable _ -> true)
+      | Fsck.Clean | Fsck.Repairable _ | Fsck.Unrecoverable _ -> Ok ())
 
 let suite =
   [
@@ -216,6 +224,8 @@ let suite =
     Alcotest.test_case "torn write in bitmap -> severe" `Quick test_torn_write_bitmap;
     Alcotest.test_case "torn write in free block -> normal" `Quick
       test_torn_write_free_block;
-    QCheck_alcotest.to_alcotest prop_fsck_total;
-    QCheck_alcotest.to_alcotest prop_fsck_total_burst;
+    Alcotest.test_case "fuzz: fsck total on point corruption" `Quick (fun () ->
+        Fz.check_prop ~cases:60 prop_fsck_total);
+    Alcotest.test_case "fuzz: fsck total on burst corruption" `Quick (fun () ->
+        Fz.check_prop ~cases:30 prop_fsck_total_burst);
   ]

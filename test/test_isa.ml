@@ -83,61 +83,16 @@ let test_paper_byte_patterns () =
    | Decode.Ok (Insn.Ud2, 2) -> ()
    | _ -> Alcotest.fail "0f 0b should be ud2")
 
-(* qcheck: random instructions round-trip through encode/decode. *)
-let gen_insn =
-  let open QCheck.Gen in
-  let reg = int_range 0 7 in
-  let reg_no_esp = oneofl [ 0; 1; 2; 3; 5; 6; 7 ] in
-  let disp = oneofl [ 0l; 4l; -4l; 124l; -128l; 0x1000l; 0xC0100000l ] in
-  let mem =
-    oneof
-      [
-        map2 (fun b d -> Insn.mem ~base:b d) reg disp;
-        map (fun d -> Insn.mem d) disp;
-        map3
-          (fun b i d -> Insn.mem ~base:b ~index:(i, 4) d)
-          reg reg_no_esp disp;
-      ]
-  in
-  let rm = oneof [ map (fun r -> Insn.Reg r) reg; map (fun m -> Insn.Mem m) mem ] in
-  let imm = oneofl [ 0l; 1l; -1l; 0x7fl; 0x80l; 0xdeadbeefl ] in
-  let cond = map Insn.cond_of_code (int_range 0 15) in
-  let alu = oneofl Insn.[ Add; Or; And; Sub; Xor; Cmp ] in
-  oneof
-    [
-      return Insn.Nop;
-      map2 (fun r v -> Insn.Mov_ri (r, v)) reg imm;
-      map2 (fun rm r -> Insn.Mov_rm_r (rm, r)) rm reg;
-      map2 (fun r rm -> Insn.Mov_r_rm (r, rm)) reg rm;
-      map2 (fun rm v -> Insn.Mov_rm_i (rm, v)) rm imm;
-      map3 (fun a rm r -> Insn.Alu_rm_r (a, rm, r)) alu rm reg;
-      map3 (fun a r rm -> Insn.Alu_r_rm (a, r, rm)) alu reg rm;
-      map2 (fun r rm -> Insn.Movzbl (r, rm)) reg rm;
-      map2 (fun c rel -> Insn.Jcc8 (c, rel)) cond (map Int32.of_int (int_range (-128) 127));
-      map2 (fun c rel -> Insn.Jcc (c, rel)) cond imm;
-      map (fun rm -> Insn.Call_rm rm) rm;
-      map (fun rm -> Insn.Div_rm rm) rm;
-    ]
+(* Fuzz: random instruction streams round-trip through encode/decode.
+   The generator (full constructor coverage) and the properties live in
+   Kfi_fuzz_props.Props; the pinned default seed (KFI_FUZZ_SEED
+   overrides) keeps `dune runtest` deterministic — a failure prints a
+   `kfi-fuzz --prop ... --seed S --replay N` line. *)
+let test_fuzz_roundtrip () =
+  Kfi_fuzz.Fuzz.check_prop ~cases:500 Kfi_fuzz_props.Props.isa_roundtrip
 
-let prop_roundtrip =
-  QCheck.Test.make ~name:"encode/decode roundtrip" ~count:2000
-    (QCheck.make gen_insn ~print:(fun i -> Disasm.to_string i))
-    (fun insn ->
-      let b = Encode.encode insn in
-      match Decode.decode_bytes b 0 with
-      | Decode.Ok (insn', len) -> insn = insn' && len = Bytes.length b
-      | Decode.Invalid -> false)
-
-(* Any byte string either decodes to something re-encodable to the same
-   bytes, or is invalid — the decoder must never crash or loop. *)
-let prop_decode_total =
-  QCheck.Test.make ~name:"decoder is total on random bytes" ~count:2000
-    QCheck.(string_of_size (QCheck.Gen.int_range 1 16))
-    (fun s ->
-      let b = Bytes.of_string (s ^ String.make 16 '\x90') in
-      match Decode.decode_bytes b 0 with
-      | Decode.Ok (_, len) -> len >= 1 && len <= 16
-      | Decode.Invalid -> true)
+let test_fuzz_decode_total () =
+  Kfi_fuzz.Fuzz.check_prop ~cases:500 Kfi_fuzz_props.Props.isa_decode_total
 
 (* ---------- execution semantics ---------- *)
 
@@ -471,8 +426,8 @@ let suite =
   [
     Alcotest.test_case "roundtrip simple" `Quick test_roundtrip_simple;
     Alcotest.test_case "paper byte patterns" `Quick test_paper_byte_patterns;
-    QCheck_alcotest.to_alcotest prop_roundtrip;
-    QCheck_alcotest.to_alcotest prop_decode_total;
+    Alcotest.test_case "fuzz: encode/decode roundtrip" `Quick test_fuzz_roundtrip;
+    Alcotest.test_case "fuzz: decoder total on random bytes" `Quick test_fuzz_decode_total;
     Alcotest.test_case "arith exec" `Quick test_arith_exec;
     Alcotest.test_case "stack exec" `Quick test_stack_exec;
     Alcotest.test_case "loop exec" `Quick test_loop_exec;

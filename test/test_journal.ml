@@ -121,6 +121,74 @@ let test_torn_tail_truncated () =
   Journal.close j3;
   Sys.remove path
 
+(* Walk the journal's framing and return the byte offset just after the
+   meta frame plus [k] entry frames — the state a SIGKILL would leave if
+   it arrived once entry [k] was durable. *)
+let offset_after_frames path k =
+  let bytes = read_bytes path in
+  let rec go off frames =
+    if frames = k + 1 then off
+    else
+      let len =
+        Int32.to_int (String.get_int32_le bytes off) land 0xFFFFFFFF
+      in
+      go (off + 8 + len) (frames + 1)
+  in
+  go 0 0
+
+(* A single-frame journal cut or corrupted at *every* byte must never
+   confuse resume: the intact prefix survives, the lost tail re-runs, and
+   the torn flag fires everywhere except at a frame boundary. *)
+let test_torn_every_byte_boundary () =
+  let path = tmp_journal () in
+  let j = Journal.open_ path in
+  Journal.check_fingerprint j ~fingerprint:"fp";
+  let e = mk_entry ~fn:"sweep" () in
+  Journal.append j e;
+  Journal.close j;
+  let whole = read_bytes path in
+  let meta_end = offset_after_frames path 0 in
+  let size = String.length whole in
+  for cut = 0 to size do
+    write_bytes path (String.sub whole 0 cut);
+    (* offline read: the intact prefix only, never an exception *)
+    let entries = Journal.read_file path in
+    check bool
+      (Printf.sprintf "cut %d/%d: entry survives iff its frame is whole" cut size)
+      true
+      (entries = if cut = size then [ e ] else []);
+    let j2 = Journal.open_ ~resume:true path in
+    let boundary = cut = 0 || cut = meta_end || cut = size in
+    check bool (Printf.sprintf "cut %d/%d: torn iff mid-frame" cut size)
+      (not boundary)
+      (Journal.torn_tail_truncated j2);
+    check int (Printf.sprintf "cut %d/%d: loaded" cut size)
+      (if cut = size then 1 else 0)
+      (Journal.loaded j2);
+    (* the journal stays appendable after truncation at any offset *)
+    Journal.append j2 e;
+    Journal.close j2;
+    check bool (Printf.sprintf "cut %d/%d: append lands" cut size) true
+      (List.mem e (Journal.read_file path))
+  done;
+  (* a flipped bit anywhere in the final frame reads as torn — the CRC
+     (or the length sanity check) catches it, and the meta frame before
+     it is untouched *)
+  for off = meta_end to size - 1 do
+    let b = Bytes.of_string whole in
+    Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x01));
+    write_bytes path (Bytes.to_string b);
+    check bool (Printf.sprintf "flip @%d: entry rejected" off) true
+      (Journal.read_file path = []);
+    let j2 = Journal.open_ ~resume:true path in
+    check bool (Printf.sprintf "flip @%d: torn detected" off) true
+      (Journal.torn_tail_truncated j2);
+    check int (Printf.sprintf "flip @%d: nothing loaded" off) 0
+      (Journal.loaded j2);
+    Journal.close j2
+  done;
+  Sys.remove path
+
 (* ----- harness-abort surfacing (synthetic records) ----- *)
 
 let test_abort_surfaces () =
@@ -255,21 +323,6 @@ let strip doc =
   |> String.split_on_char '\n'
   |> List.filter (fun l -> String.trim l <> "")
 
-(* Walk the journal's framing and return the byte offset just after the
-   meta frame plus [k] entry frames — the state a SIGKILL would leave if
-   it arrived once entry [k] was durable. *)
-let offset_after_frames path k =
-  let bytes = read_bytes path in
-  let rec go off frames =
-    if frames = k + 1 then off
-    else
-      let len =
-        Int32.to_int (String.get_int32_le bytes off) land 0xFFFFFFFF
-      in
-      go (off + 8 + len) (frames + 1)
-  in
-  go 0 0
-
 let test_kill_resume_determinism () =
   let base_records, base_jsonl, base_ticks = run_a () in
   check bool "ran something" true (List.length base_records > 40);
@@ -352,13 +405,80 @@ let test_degraded_fleet_loses_nothing () =
   check bool "event names the death" true
     (Test_analysis.contains jsonl "worker domain shot")
 
+(* ----- harness abort, end to end -----
+
+   Force one real target into quarantine and follow the abort through
+   every surface a consumer reads: the record list, the CSV row, the
+   per-target and aggregate JSONL telemetry, and the full paper report. *)
+let test_abort_end_to_end () =
+  let victim = Atomic.make None in
+  let policy =
+    {
+      Fleet.default_policy with
+      Fleet.retries = 1;
+      backoff_ms = 1.;
+      chaos =
+        Some
+          (fun ~attempt:_ t ->
+            (* latch the first target actually run, then fail its every
+               attempt; all other targets run clean *)
+            (match Atomic.get victim with
+             | None -> ignore (Atomic.compare_and_set victim None (Some t))
+             | Some _ -> ());
+            if Atomic.get victim = Some t then
+              Some (Fleet.Chaos_raise "forced quarantine")
+            else None);
+    }
+  in
+  let records, jsonl, _ = run_a ~policy () in
+  let aborted =
+    List.filter
+      (fun r ->
+        match r.Experiment.r_outcome with
+        | Outcome.Harness_abort _ -> true
+        | _ -> false)
+      records
+  in
+  check int "exactly one target quarantined" 1 (List.length aborted);
+  let r = List.hd aborted in
+  (match r.Experiment.r_outcome with
+   | Outcome.Harness_abort a ->
+     check string "reason carried" "forced quarantine" a.Outcome.ha_reason;
+     check int "retry budget recorded" 1 a.Outcome.ha_retries
+   | _ -> assert false);
+  (* CSV: one ordinary row, outcome column + reason column *)
+  let csv = Experiment.to_csv records in
+  check bool "csv outcome column" true (Test_analysis.contains csv "harness_abort");
+  check bool "csv reason column" true
+    (Test_analysis.contains csv "forced quarantine");
+  check bool "csv names the target" true
+    (Test_analysis.contains csv r.Experiment.r_target.Target.t_fn);
+  (* JSONL: the per-target event and the campaign_end aggregate *)
+  check bool "jsonl per-target outcome" true
+    (Test_analysis.contains jsonl "harness abort");
+  check bool "jsonl campaign aggregate" true
+    (Test_analysis.contains jsonl "\"aborted\":1");
+  (* the full paper report surfaces the quarantine count *)
+  let rn = Lazy.force runner and p = Lazy.force profile in
+  let core = Kfi_profiler.Sampler.top_functions p ~coverage:0.95 in
+  let report =
+    Kfi_analysis.Report.full ~build:rn.Runner.build ~profile:p ~core records
+  in
+  check bool "report counts the abort" true
+    (Test_analysis.contains report
+       "Harness aborts: 1 target(s) quarantined after retries")
+
 let suite =
   [
     Alcotest.test_case "crc32 vectors" `Quick test_crc32_vectors;
     Alcotest.test_case "journal round trip + fingerprint" `Quick
       test_roundtrip_and_fingerprint;
     Alcotest.test_case "torn tail truncated" `Quick test_torn_tail_truncated;
+    Alcotest.test_case "torn/corrupt at every byte of a frame" `Quick
+      test_torn_every_byte_boundary;
     Alcotest.test_case "harness abort surfaces" `Quick test_abort_surfaces;
+    Alcotest.test_case "harness abort end-to-end (CSV, JSONL, report)" `Slow
+      test_abort_end_to_end;
     Alcotest.test_case "retry recovers a transient fault" `Slow
       test_retry_recovers_transient;
     Alcotest.test_case "quarantine after retry budget" `Slow

@@ -172,19 +172,22 @@ let test_for_loop () =
   in
   check int "0+1+2+3+4" 10 (run ~entry:"main" [ main ])
 
-(* qcheck: compiled arithmetic agrees with OCaml's Int32 semantics. *)
+(* Seeded fuzz: compiled arithmetic agrees with OCaml's Int32 semantics
+   (engine default seed; KFI_FUZZ_SEED overrides). *)
+module Fz = Kfi_fuzz.Fuzz
+module Gn = Kfi_fuzz.Gen
+
 let prop_arith_agrees =
-  let open QCheck in
   let arb =
-    make
-      Gen.(
-        pair (oneofl [ `Add; `Sub; `Mul; `And; `Or; `Xor; `Shl; `Shr ])
-          (pair (map Int32.of_int (int_range (-1000) 1000)) (map Int32.of_int (int_range 1 31))))
+    Fz.arb
       ~print:(fun (op, (a, b)) ->
         let s = match op with `Add -> "+" | `Sub -> "-" | `Mul -> "*" | `And -> "&" | `Or -> "|" | `Xor -> "^" | `Shl -> "<<" | `Shr -> ">>" in
         Printf.sprintf "%ld %s %ld" a s b)
+      Gn.(
+        pair (oneofl [ `Add; `Sub; `Mul; `And; `Or; `Xor; `Shl; `Shr ])
+          (pair (map Int32.of_int (int_range (-1000) 1000)) (map Int32.of_int (int_range 1 31))))
   in
-  QCheck.Test.make ~name:"compiled arithmetic agrees with Int32" ~count:60 arb
+  Fz.make ~name:"kcc.arith_agrees" ~doc:"compiled arithmetic agrees with Int32" arb
     (fun (op, (a, b)) ->
       let build ea eb =
         match op with
@@ -213,7 +216,8 @@ let prop_arith_agrees =
         func "main" ~subsys:"user" ~params:[]
           [ ret (Ast.Binop (Ast.Eq, build (num32 a) (num32 b), num32 expected)) ]
       in
-      run ~entry:"main" [ main ] = 1)
+      if run ~entry:"main" [ main ] = 1 then Ok ()
+      else Error "compiled result differs from Int32 reference")
 
 let suite =
   [
@@ -229,7 +233,8 @@ let suite =
     Alcotest.test_case "indirect call" `Quick test_indirect_call;
     Alcotest.test_case "BUG() is ud2" `Quick test_bug_compiles_to_ud2;
     Alcotest.test_case "for loop" `Quick test_for_loop;
-    QCheck_alcotest.to_alcotest prop_arith_agrees;
+    Alcotest.test_case "fuzz: arithmetic agrees with Int32" `Quick (fun () ->
+        Fz.check_prop ~cases:60 prop_arith_agrees);
   ]
 
 (* Differential fuzzing: random expression trees must evaluate identically
@@ -246,19 +251,33 @@ module Fuzz = struct
       [ Add; Sub; Mul; Band; Bor; Bxor; Shl; Shru; Sar; Eq; Ne; Lt; Le; Gt; Ge;
         Ltu; Leu; Gtu; Geu ]
 
-  let gen_expr =
-    let open QCheck.Gen in
-    sized_size (int_range 1 12) @@ fix (fun self n ->
-        if Stdlib.( <= ) n 1 then
-          oneof
-            [ map (fun v -> FNum (Int32.of_int v)) (int_range (-1000) 1000);
-              map (fun i -> FVar i) (int_range 0 2) ]
-        else
-          frequency
-            [ (4, map3 (fun o a b -> FBin (o, a, b))
-                 (oneofl ops) (self (Stdlib.( / ) n 2)) (self (Stdlib.( / ) n 2)));
-              (1, map2 (fun o a -> FUn (o, a)) (oneofl Ast.[ Neg; Bnot; Lnot ])
-                 (self (Stdlib.( - ) n 1))) ])
+  let gen_expr rng =
+    let module R = Kfi_fuzz.Rng in
+    let op_arr = Array.of_list ops in
+    let un_arr = [| Ast.Neg; Ast.Bnot; Ast.Lnot |] in
+    let rec go n =
+      if Stdlib.( <= ) n 1 then
+        if R.bool rng then FNum (Int32.of_int (R.int_range rng (-1000) 1000))
+        else FVar (R.int rng 3)
+      else if Stdlib.( < ) (R.int rng 5) 4 then begin
+        let o = op_arr.(R.int rng (Array.length op_arr)) in
+        let a = go (Stdlib.( / ) n 2) in
+        let b = go (Stdlib.( / ) n 2) in
+        FBin (o, a, b)
+      end
+      else begin
+        let o = un_arr.(R.int rng 3) in
+        FUn (o, go (Stdlib.( - ) n 1))
+      end
+    in
+    go (R.int_range rng 1 12)
+
+  (* shrink towards a constant, then into subtrees *)
+  let shrink_expr = function
+    | FNum 0l -> Seq.empty
+    | FNum _ | FVar _ -> Seq.return (FNum 0l)
+    | FBin (_, a, b) -> List.to_seq [ FNum 0l; a; b ]
+    | FUn (_, a) -> List.to_seq [ FNum 0l; a ]
 
   let rec to_ast = function
     | FNum v -> Ast.Num v
@@ -307,8 +326,9 @@ module Fuzz = struct
 end
 
 let prop_compiler_fuzz =
-  QCheck.Test.make ~name:"compiled expressions match reference evaluator" ~count:120
-    (QCheck.make Fuzz.gen_expr ~print:Fuzz.print)
+  Fz.make ~name:"kcc.compiler_ref"
+    ~doc:"compiled expressions match a reference evaluator"
+    (Fz.arb ~shrink:Fuzz.shrink_expr ~print:Fuzz.print Fuzz.gen_expr)
     (fun fe ->
       let env = [| 17l; -3l; 1000003l |] in
       let expected = Fuzz.eval env fe in
@@ -323,6 +343,12 @@ let prop_compiler_fuzz =
             if_ (l "r" ==. num32 expected) [ ret (num 1) ] [ ret (num 0) ];
           ]
       in
-      run ~entry:"main" [ main ] = 1)
+      if run ~entry:"main" [ main ] = 1 then Ok ()
+      else Error "compiled expression differs from reference evaluator")
 
-let suite = suite @ [ QCheck_alcotest.to_alcotest prop_compiler_fuzz ]
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "fuzz: compiler matches reference evaluator" `Quick (fun () ->
+          Fz.check_prop ~cases:120 prop_compiler_fuzz);
+    ]

@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "kfi"
     [
+      ("fuzz", Test_fuzz.suite);
       ("isa", Test_isa.suite);
       ("asm", Test_asm.suite);
       ("kcc", Test_kcc.suite);

@@ -301,6 +301,20 @@ let test_csv_escaping () =
   check string "comma quoted" "\"a,b\"" (Experiment.csv_field "a,b");
   check string "quote doubled" "\"say \"\"hi\"\"\"" (Experiment.csv_field "say \"hi\"");
   check string "newline quoted" "\"a\nb\"" (Experiment.csv_field "a\nb");
+  (* RFC 4180 corners that once had no coverage: a bare CR must be
+     quoted like LF (Excel and csv readers split rows on either),
+     a lone quote doubles even with no other special byte, and
+     multi-byte UTF-8 passes through untouched *)
+  check string "carriage return quoted" "\"a\rb\"" (Experiment.csv_field "a\rb");
+  check string "crlf quoted" "\"a\r\nb\"" (Experiment.csv_field "a\r\nb");
+  check string "lone quote doubled and wrapped" "\"\"\"\""
+    (Experiment.csv_field "\"");
+  check string "leading quote" "\"\"\"x\"" (Experiment.csv_field "\"x");
+  check string "utf-8 passes through unquoted" "caf\xC3\xA9"
+    (Experiment.csv_field "caf\xC3\xA9");
+  check string "utf-8 with comma still one field" "\"caf\xC3\xA9, bar\""
+    (Experiment.csv_field "caf\xC3\xA9, bar");
+  check string "empty field unquoted" "" (Experiment.csv_field "");
   (* a record whose FSV reason holds a comma must stay one CSV row *)
   let t =
     {
