@@ -296,9 +296,96 @@ let () =
       in
       pie "without oracle" plain;
       pie "with oracle" pruned;
+      (* pruning must only replace rows, never change the others: the
+         CSVs agree byte-for-byte once oracle-predicted rows are dropped
+         from both sides *)
+      let drop_predicted a b =
+        List.combine a b
+        |> List.filter (fun (_, (p : Kfi.Injector.Experiment.record)) ->
+               not p.Kfi.Injector.Experiment.r_predicted)
+        |> List.split
+      in
+      let plain', pruned' = drop_predicted plain pruned in
+      let csv_same =
+        String.equal (Kfi.Study.to_csv plain') (Kfi.Study.to_csv pruned')
+      in
+      Printf.printf "CSV modulo oracle-predicted rows: %s\n"
+        (if csv_same then "byte-identical" else "DIFFERS (BUG)");
       print_newline ();
       (* predicted-vs-observed confusion matrix over the unpruned run *)
-      print_string (Kfi.Analysis.Report.oracle_matrix oracle plain)
+      print_string (Kfi.Analysis.Report.oracle_matrix oracle plain);
+      print_string (Kfi.Analysis.Report.slice_matrix oracle plain);
+      (* static-analysis throughput and the interprocedural prune-rate
+         gain over the per-function baseline *)
+      let module Target = Kfi.Injector.Target in
+      let module Oracle = Kfi.Staticoracle.Oracle in
+      let fns =
+        List.filter_map
+          (fun (f : Kfi.Asm.Assembler.fn_info) ->
+            if
+              List.mem f.Kfi.Asm.Assembler.f_subsys
+                Kfi.Injector.Experiment.injectable_subsystems
+            then Some f.Kfi.Asm.Assembler.f_name
+            else None)
+          build.Kfi.Kernel.Build.funcs
+      in
+      let targets = Target.enumerate build ~campaign:Target.A ~seed:42 fns in
+      let n_targets = List.length targets in
+      let count_equiv o =
+        List.length
+          (List.filter
+             (fun t ->
+               match Oracle.classify o t with
+               | Oracle.Equivalent _ -> true
+               | _ -> false)
+             targets)
+      in
+      let intra = Oracle.create ~interprocedural:false build in
+      let n_intra = count_equiv intra in
+      (* force the call graph + summaries outside the timed region *)
+      ignore (Oracle.summaries oracle);
+      let (), t_classify = timed (fun () -> ignore (count_equiv oracle)) in
+      let n_ip = count_equiv oracle in
+      let (), t_slice =
+        timed (fun () -> List.iter (fun t -> ignore (Oracle.slice oracle t)) targets)
+      in
+      let rate n t = if t > 0. then float_of_int n /. t else 0. in
+      Printf.printf
+        "\nprune rate: %d/%d targets (%.1f%%) interprocedural vs %d (%.1f%%) \
+         intraprocedural\n"
+        n_ip n_targets
+        (Kfi.Analysis.Stats.pct n_ip n_targets)
+        n_intra
+        (Kfi.Analysis.Stats.pct n_intra n_targets);
+      Printf.printf "classify: %.0f targets/s; classify+slice: %.0f targets/s\n"
+        (rate n_targets t_classify)
+        (rate n_targets t_slice);
+      let json =
+        Kfi.Trace.Telemetry.(
+          Obj
+            [
+              ("experiment", Str "oracle");
+              ("campaign", Str "A");
+              ("subsample", Int subsample);
+              ("targets_enumerated", Int n_targets);
+              ("pruned_interprocedural", Int n_ip);
+              ("pruned_intraprocedural", Int n_intra);
+              ("prune_rate", Float (Kfi.Analysis.Stats.pct n_ip n_targets));
+              ( "prune_rate_intraprocedural",
+                Float (Kfi.Analysis.Stats.pct n_intra n_targets) );
+              ("classify_targets_per_s", Float (rate n_targets t_classify));
+              ("slice_targets_per_s", Float (rate n_targets t_slice));
+              ("campaign_s_without_oracle", Float t_plain);
+              ("campaign_s_with_oracle", Float t_pruned);
+              ("experiments_without_oracle", Int (List.length plain));
+              ("experiments_pruned_in_run", Int n_pruned);
+              ("csv_identical_modulo_predicted", Bool csv_same);
+            ])
+      in
+      let oc = open_out "BENCH_oracle.json" in
+      output_string oc (Kfi.Trace.Telemetry.to_string json ^ "\n");
+      close_out oc;
+      Printf.printf "wrote BENCH_oracle.json\n"
     end;
     if want "trace" then begin
       header "Extension — flight recorder overhead (campaign A per trace level)";

@@ -3,12 +3,19 @@
    kfi-oracle                      # CFG stats + static prediction histogram (no boot)
    kfi-oracle --fn schedule        # one function: CFG + per-target classification
    kfi-oracle -c A -c C            # restrict campaigns
+   kfi-oracle --callgraph          # whole-kernel call graph statistics (no boot)
+   kfi-oracle --summaries          # per-function section summaries (no boot)
+   kfi-oracle --slice schedule:4:3 # predicted propagation slice of one bit flip
    kfi-oracle --validate           # boot + subsampled real campaign, confusion matrix
+   kfi-oracle --audit-slices       # boot + subsampled campaign, slice soundness audit
    kfi-oracle --validate --subsample 40 --seed 7 *)
 
 open Cmdliner
 module Oracle = Kfi.Staticoracle.Oracle
 module Cfg = Kfi.Staticoracle.Cfg
+module Callgraph = Kfi.Staticoracle.Callgraph
+module Summary = Kfi.Staticoracle.Summary
+module Slice = Kfi.Staticoracle.Slice
 module Target = Kfi.Injector.Target
 
 let line = String.make 78 '-'
@@ -112,6 +119,185 @@ let histograms oracle build fns campaigns seed =
       Printf.printf "\n\n")
     campaigns
 
+(* ----- call graph / summaries / slices ----- *)
+
+let callgraph_dump oracle =
+  let cg = Oracle.callgraph oracle in
+  let fns = Callgraph.fns cg in
+  Printf.printf "Whole-kernel call graph\n%s\n" line;
+  Printf.printf "%d functions, %d direct edges, %d roots (address-taken or entry)\n"
+    (Callgraph.n_fns cg) (Callgraph.n_edges cg)
+    (List.length (Callgraph.roots cg));
+  let ind = List.filter (Callgraph.has_indirect cg) fns in
+  let sw = List.filter (Callgraph.is_stack_switcher cg) fns in
+  let unres = List.filter (fun f -> Callgraph.unresolved cg f > 0) fns in
+  let rec_fns = List.filter (Callgraph.recursive cg) fns in
+  Printf.printf "indirect transfers in %d functions; %d stack switchers (%s)\n"
+    (List.length ind) (List.length sw) (String.concat ", " sw);
+  Printf.printf "%d functions with unresolved direct transfers\n" (List.length unres);
+  let sccs = List.filter (fun c -> List.length c > 1) (Callgraph.sccs cg) in
+  Printf.printf "recursive: %d functions, %d non-trivial SCCs%s\n"
+    (List.length rec_fns) (List.length sccs)
+    (match sccs with
+     | [] -> ""
+     | c :: _ -> Printf.sprintf " (largest holds %s)" (String.concat " " c));
+  Printf.printf "%-28s %8s %8s %6s %6s\n" "function" "callees" "callers" "root" "reach";
+  let rows =
+    List.map
+      (fun f ->
+        let reach =
+          match Callgraph.reach cg f with
+          | `Whole -> Callgraph.n_fns cg
+          | `Set s -> List.length s
+        in
+        (f, List.length (Callgraph.callees cg f), List.length (Callgraph.callers cg f),
+         Callgraph.is_root cg f, reach))
+      fns
+    |> List.sort (fun (_, a, _, _, _) (_, b, _, _, _) -> compare b a)
+  in
+  List.iteri
+    (fun i (f, ces, crs, root, reach) ->
+      if i < 20 then
+        Printf.printf "%-28s %8d %8d %6s %6d\n" f ces crs (if root then "yes" else "")
+          reach)
+    rows;
+  if List.length rows > 20 then
+    Printf.printf "  ... and %d more functions\n" (List.length rows - 20)
+
+let summaries_dump oracle =
+  let sums = Oracle.summaries oracle in
+  let cg = Oracle.callgraph oracle in
+  Printf.printf "Per-function section summaries (FastFlip-style, hash-keyed)\n%s\n" line;
+  Printf.printf "return-liveness fixpoint: %d rounds\n" (Summary.rounds sums);
+  Printf.printf "%-28s %-9s %-22s %-22s %-12s %s\n" "function" "hash" "may-use"
+    "must-def" "ret-live" "mem/trap";
+  List.iter
+    (fun f ->
+      match Summary.entry sums f with
+      | None -> ()
+      | Some e ->
+        let eff = e.Summary.s_effects in
+        Printf.printf "%-28s %-9s %-22s %-22s %-12s %s%s%s\n" f
+          (String.sub e.Summary.s_hash 0 8)
+          (Slice.regs_to_string eff.Summary.e_may_use)
+          (Slice.regs_to_string eff.Summary.e_must_def)
+          (Slice.regs_to_string (Summary.ret_live sums f))
+          (if eff.Summary.e_reads_mem then "R" else "-")
+          (if eff.Summary.e_writes_mem then "W" else "-")
+          (if eff.Summary.e_may_trap then "T" else "-"))
+    (Callgraph.fns cg)
+
+let parse_slice_spec spec =
+  match String.split_on_char ':' spec with
+  | [ fn; byte; bit ] -> (
+    match (int_of_string_opt byte, int_of_string_opt bit) with
+    | Some byte, Some bit when byte >= 0 && bit >= 0 && bit <= 7 -> (fn, byte, bit)
+    | _ -> raise (Usage (Printf.sprintf "bad --slice %S (want FN:BYTE:BIT)" spec)))
+  | _ -> raise (Usage (Printf.sprintf "bad --slice %S (want FN:BYTE:BIT)" spec))
+
+let slice_dump oracle build spec =
+  let fn, byte, bit = parse_slice_spec spec in
+  let fi =
+    match
+      List.find_opt
+        (fun (f : Kfi.Asm.Assembler.fn_info) -> f.Kfi.Asm.Assembler.f_name = fn)
+        build.Kfi.Kernel.Build.funcs
+    with
+    | Some f -> f
+    | None -> raise (Usage (Printf.sprintf "unknown kernel function %S" fn))
+  in
+  if byte >= fi.Kfi.Asm.Assembler.f_size then
+    raise
+      (Usage
+         (Printf.sprintf "%s is %d bytes, byte %d out of range" fn
+            fi.Kfi.Asm.Assembler.f_size byte));
+  let abs = fi.Kfi.Asm.Assembler.f_off + byte in
+  let insn =
+    List.find
+      (fun (i : Kfi.Asm.Assembler.insn_info) ->
+        abs >= i.Kfi.Asm.Assembler.i_off
+        && abs < i.Kfi.Asm.Assembler.i_off + i.Kfi.Asm.Assembler.i_len)
+      (Target.fn_insns build fn)
+  in
+  let t =
+    {
+      Target.t_fn = fn;
+      t_subsys = fi.Kfi.Asm.Assembler.f_subsys;
+      t_addr =
+        Int32.of_int (Kfi.Kernel.Layout.kernel_text_base + insn.Kfi.Asm.Assembler.i_off);
+      t_len = insn.Kfi.Asm.Assembler.i_len;
+      t_insn = insn.Kfi.Asm.Assembler.i_insn;
+      t_kind = Target.Text;
+      t_byte = abs - insn.Kfi.Asm.Assembler.i_off;
+      t_bit = bit;
+    }
+  in
+  let cls = Oracle.classify oracle t in
+  let sl = Oracle.slice oracle t in
+  Printf.printf "%s+0x%x bit %d: %s\n" fn byte bit
+    (Kfi.Isa.Disasm.to_string ~pc:t.Target.t_addr ~len:t.Target.t_len t.Target.t_insn);
+  Printf.printf "class:      %s\n" (Oracle.class_detail cls);
+  Printf.printf "prediction: %s\n" (Oracle.prediction_name (Oracle.predict cls));
+  Printf.printf "slice:      %s\n" (Slice.to_string sl);
+  let show label l =
+    if l <> [] then begin
+      let n = List.length l in
+      let shown = List.filteri (fun i _ -> i < 12) l in
+      Printf.printf "%s (%d): %s%s\n" label n (String.concat " " shown)
+        (if n > 12 then " ..." else "")
+    end
+  in
+  if not sl.Slice.sl_whole then begin
+    show "data layer" sl.Slice.sl_data_fns;
+    show "sound reach layer" sl.Slice.sl_reach
+  end
+
+(* ----- slice soundness audit (boots the machine) ----- *)
+
+let audit_slices campaigns subsample seed quiet jobs =
+  Printf.eprintf "booting kernel + golden runs + profiling...\n%!";
+  let study = Kfi.Study.prepare () in
+  let oracle = Kfi.Study.make_oracle study in
+  let on_progress ~done_ ~total =
+    if (not quiet) && done_ mod 50 = 0 then
+      Printf.eprintf "\r  %d/%d experiments%!" done_ total
+  in
+  let config = Kfi.Config.make ~subsample ~seed ~on_progress ~jobs () in
+  let records =
+    List.concat_map
+      (fun c ->
+        Printf.eprintf "campaign %s...\n%!" (Target.campaign_letter c);
+        let r = Kfi.Study.run_campaign ~config study c in
+        Printf.eprintf "\r  %d experiments done\n%!" (List.length r);
+        r)
+      campaigns
+  in
+  print_string (Kfi.Analysis.Report.slice_matrix oracle records);
+  let violations = ref 0 in
+  List.iter
+    (fun (r : Kfi.Injector.Experiment.record) ->
+      match r.Kfi.Injector.Experiment.r_outcome with
+      | Kfi.Injector.Outcome.Crash ci ->
+        let sl = Oracle.slice oracle r.Kfi.Injector.Experiment.r_target in
+        let bad = Slice.violations sl ci.Kfi.Injector.Outcome.propagation in
+        if bad <> [] then begin
+          incr violations;
+          let t = r.Kfi.Injector.Experiment.r_target in
+          Printf.printf "VIOLATION %s+0x%x bit %d: hops outside slice: %s\n"
+            t.Target.t_fn t.Target.t_byte t.Target.t_bit (String.concat ", " bad)
+        end
+      | _ -> ())
+    records;
+  if !violations = 0 then begin
+    Printf.printf "audit: no soundness violations\n";
+    0
+  end
+  else begin
+    Printf.printf "audit: %d targets with hops outside their predicted slice\n"
+      !violations;
+    1
+  end
+
 let validate campaigns subsample seed quiet jobs =
   Printf.eprintf "booting kernel + golden runs + profiling...\n%!";
   let study = Kfi.Study.prepare () in
@@ -132,30 +318,43 @@ let validate campaigns subsample seed quiet jobs =
   in
   print_string (Kfi.Analysis.Report.oracle_matrix oracle records)
 
-let rec run campaigns fn_filter subsample seed validate_flag quiet jobs =
-  try run_checked campaigns fn_filter subsample seed validate_flag quiet jobs
+let rec run campaigns fn_filter subsample seed validate_flag quiet jobs callgraph
+    summaries slice_spec audit intraproc =
+  try
+    run_checked campaigns fn_filter subsample seed validate_flag quiet jobs
+      callgraph summaries slice_spec audit intraproc
   with Usage msg ->
     Printf.eprintf "kfi-oracle: %s\n" msg;
     2
 
-and run_checked campaigns fn_filter subsample seed validate_flag quiet jobs =
+and run_checked campaigns fn_filter subsample seed validate_flag quiet jobs
+    callgraph summaries slice_spec audit intraproc =
   let campaigns =
     match campaigns with
     | [] -> [ Kfi.Campaign.A; Kfi.Campaign.B; Kfi.Campaign.C ]
     | l -> List.map parse_campaign l
   in
-  if validate_flag then validate campaigns subsample seed quiet jobs
+  if audit then audit_slices campaigns subsample seed quiet jobs
+  else if validate_flag then begin
+    validate campaigns subsample seed quiet jobs;
+    0
+  end
   else begin
     let build = Kfi.Kernel.Build.build () in
-    let oracle = Oracle.create build in
-    match fn_filter with
-    | Some fn -> fn_detail oracle fn campaigns seed
-    | None ->
+    let oracle = Oracle.create ~interprocedural:(not intraproc) build in
+    (match (callgraph, summaries, slice_spec, fn_filter) with
+    | true, _, _, _ ->
+      callgraph_dump oracle;
+      if summaries then summaries_dump oracle
+    | false, true, _, _ -> summaries_dump oracle
+    | false, false, Some spec, _ -> slice_dump oracle build spec
+    | false, false, None, Some fn -> fn_detail oracle fn campaigns seed
+    | false, false, None, None ->
       let fns = injectable build in
       cfg_stats oracle fns;
-      histograms oracle build fns campaigns seed
-  end;
-  0
+      histograms oracle build fns campaigns seed);
+    0
+  end
 
 let campaigns_arg =
   Arg.(value & opt_all string [] & info [ "c"; "campaign" ] ~doc:"Campaign (A, B or C); repeatable.")
@@ -177,6 +376,39 @@ let validate_arg =
 
 let quiet_arg = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress output.")
 
+let callgraph_arg =
+  Arg.(
+    value & flag
+    & info [ "callgraph" ] ~doc:"Print whole-kernel call-graph statistics (no boot).")
+
+let summaries_arg =
+  Arg.(
+    value & flag
+    & info [ "summaries" ]
+        ~doc:"Print per-function section summaries (hash, effects, return liveness).")
+
+let slice_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "slice" ] ~docv:"FN:BYTE:BIT"
+        ~doc:"Predicted propagation slice of flipping bit BIT of byte BYTE in \
+              function FN.")
+
+let audit_arg =
+  Arg.(
+    value & flag
+    & info [ "audit-slices" ]
+        ~doc:"Boot and run a subsampled campaign; audit every observed propagation \
+              path against its predicted slice and exit non-zero on any soundness \
+              violation.")
+
+let intraproc_arg =
+  Arg.(
+    value & flag
+    & info [ "intraprocedural" ]
+        ~doc:"Disable the whole-kernel call graph and section summaries (per-function \
+              baseline oracle).")
+
 let jobs_arg =
   Arg.(
     value & opt int 1
@@ -190,6 +422,7 @@ let cmd =
              prediction validation (FastFlip-style)")
     Term.(
       const run $ campaigns_arg $ fn_arg $ subsample_arg $ seed_arg $ validate_arg
-      $ quiet_arg $ jobs_arg)
+      $ quiet_arg $ jobs_arg $ callgraph_arg $ summaries_arg $ slice_arg $ audit_arg
+      $ intraproc_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -106,4 +106,20 @@ echo "$out" | grep -q 'cond reversed.*(100\.0%)' || {
   exit 1
 }
 
+echo "== oracle audit: observed propagation must stay inside predicted slices =="
+# Pinned-seed subsample; exits non-zero on any hop outside its slice.
+# The slice confusion matrix it prints is kept as a CI artifact.
+mkdir -p _artifacts
+dune exec bin/kfi_oracle.exe -- --audit-slices -c A -c C --subsample 40 \
+  --seed 42 -q -j 2 > _artifacts/oracle_audit.txt 2>/dev/null || {
+  cat _artifacts/oracle_audit.txt
+  echo "oracle audit failed: propagation hop outside its predicted slice" >&2
+  exit 1
+}
+cat _artifacts/oracle_audit.txt
+grep -q 'no soundness violations' _artifacts/oracle_audit.txt || {
+  echo "oracle audit did not report a clean pass" >&2
+  exit 1
+}
+
 echo "CI OK"

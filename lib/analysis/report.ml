@@ -378,7 +378,9 @@ let oracle_matrix oracle records =
                 (fun ((r : Experiment.record), cls) ->
                   Oracle.class_name cls = cname
                   && (not r.Experiment.r_predicted)
-                  && not (Oracle.agrees (Oracle.predict cls) r.Experiment.r_outcome))
+                  && not
+                       (Oracle.agrees ~target:r.Experiment.r_target
+                          (Oracle.predict cls) r.Experiment.r_outcome))
                 classified
             in
             Buffer.add_string b (Printf.sprintf "%-22s %7d" cname total);
@@ -396,13 +398,17 @@ let oracle_matrix oracle records =
       let ok =
         Stats.count
           (fun ((r : Experiment.record), cls) ->
-            Oracle.agrees (Oracle.predict cls) r.Experiment.r_outcome)
+            Oracle.agrees ~target:r.Experiment.r_target (Oracle.predict cls)
+              r.Experiment.r_outcome)
           claims
       in
       List.iter
         (fun ((r : Experiment.record), cls) ->
-          if not (Oracle.agrees (Oracle.predict cls) r.Experiment.r_outcome) then
-            disagreements := (r, cls) :: !disagreements)
+          if
+            not
+              (Oracle.agrees ~target:r.Experiment.r_target (Oracle.predict cls)
+                 r.Experiment.r_outcome)
+          then disagreements := (r, cls) :: !disagreements)
         claims;
       Buffer.add_string b
         (Printf.sprintf "pruned (oracle-predicted, never run): %d of %d targets\n" pruned
@@ -433,6 +439,91 @@ let oracle_matrix oracle records =
           Buffer.add_string b (Printf.sprintf "  ... and %d more\n" (List.length dis - 15))
       end)
 
+(* ----- propagation slices: predicted vs observed paths ----- *)
+
+module Slice = Kfi_staticoracle.Slice
+
+(* Per-class hop containment of observed error-propagation paths inside
+   the predicted slices.  Each hop of a reconstructed corruption->crash
+   path is scored against the slice's two layers: inside the data slice
+   (the corrupted value was predicted to flow there), inside the sound
+   reach layer only, or outside both — a soundness violation. *)
+let slice_matrix oracle records =
+  with_buf (fun b ->
+      Buffer.add_string b
+        "Propagation slices: predicted slice vs observed propagation path\n";
+      Buffer.add_string b (line ^ "\n");
+      let per_class = Hashtbl.create 16 in
+      let bump cname d r o v =
+        let pd, pr, po, pp, pv =
+          Option.value ~default:(0, 0, 0, 0, 0) (Hashtbl.find_opt per_class cname)
+        in
+        Hashtbl.replace per_class cname
+          (pd + d, pr + r, po + o, pp + 1, pv + if v then 1 else 0)
+      in
+      let shapes = Hashtbl.create 8 in
+      let n_whole = ref 0 and n_masked = ref 0 in
+      let reach_sum = ref 0 and data_sum = ref 0 and n_slices = ref 0 in
+      let audited = ref 0 and violating = ref 0 in
+      List.iter
+        (fun (r : Experiment.record) ->
+          if not r.Experiment.r_predicted then begin
+            let sl = Oracle.slice oracle r.Experiment.r_target in
+            incr n_slices;
+            if sl.Slice.sl_whole then incr n_whole;
+            if sl.Slice.sl_masked then incr n_masked;
+            reach_sum := !reach_sum + List.length sl.Slice.sl_reach;
+            data_sum := !data_sum + List.length sl.Slice.sl_data_fns;
+            let k = Slice.kind_name sl.Slice.sl_kind in
+            Hashtbl.replace shapes k
+              (1 + Option.value ~default:0 (Hashtbl.find_opt shapes k));
+            match r.Experiment.r_outcome with
+            | Outcome.Crash ci when ci.Outcome.propagation <> [] ->
+              incr audited;
+              let d, ro, o = Slice.hop_confusion sl ci.Outcome.propagation in
+              if o > 0 then incr violating;
+              bump
+                (Oracle.class_name (Oracle.classify oracle r.Experiment.r_target))
+                d ro o (o > 0)
+            | _ -> ()
+          end)
+        records;
+      Buffer.add_string b
+        (Printf.sprintf "%-22s %7s %9s %11s %9s %10s\n" "predicted class" "paths"
+           "hops" "in-data" "reach-only" "outside");
+      List.iter
+        (fun cname ->
+          match Hashtbl.find_opt per_class cname with
+          | None -> ()
+          | Some (d, ro, o, paths, _) ->
+            Buffer.add_string b
+              (Printf.sprintf "%-22s %7d %9d %11d %9d %10d\n" cname paths
+                 (d + ro + o) d ro o))
+        Oracle.all_class_names;
+      Buffer.add_string b
+        (Printf.sprintf
+           "slice shapes over %d targets: %s; %d whole-kernel, %d masked\n"
+           !n_slices
+           (String.concat ", "
+              (List.filter_map
+                 (fun k ->
+                   Option.map
+                     (fun n -> Printf.sprintf "%s %d" k n)
+                     (Hashtbl.find_opt shapes k))
+                 [ "masked"; "trap"; "control"; "data"; "whole" ]))
+           !n_whole !n_masked);
+      if !n_slices > 0 then
+        Buffer.add_string b
+          (Printf.sprintf
+             "mean slice size: %.1f functions (data layer), %.1f (sound reach layer)\n"
+             (float_of_int !data_sum /. float_of_int !n_slices)
+             (float_of_int !reach_sum /. float_of_int !n_slices));
+      Buffer.add_string b
+        (Printf.sprintf
+           "slice soundness: %d observed propagation paths audited, %d with hops outside the predicted slice%s\n"
+           !audited !violating
+           (if !violating = 0 then " (sound)" else " (VIOLATIONS)")))
+
 (* ----- Table 4 header ----- *)
 let table4 =
   String.concat "\n"
@@ -461,5 +552,7 @@ let full ?oracle ?telemetry ~build ~profile ~core records =
        propagation_paths records;
        table5 records;
      ]
-    @ (match oracle with Some o -> [ oracle_matrix o records ] | None -> [])
+    @ (match oracle with
+      | Some o -> [ oracle_matrix o records; slice_matrix o records ]
+      | None -> [])
     @ match telemetry with Some tm -> [ telemetry_summary tm ] | None -> [])

@@ -51,6 +51,14 @@ val oracle_matrix :
     checkable claims (equivalence / invalid-opcode / dead-write
     predictions) and a listing of disagreements. *)
 
+val slice_matrix :
+  Kfi_staticoracle.Oracle.t -> Experiment.record list -> string
+(** The propagation-slice validation section: per predicted class, how
+    the hops of observed corruption->crash paths score against the
+    predicted slice (inside the data layer, inside the sound reach layer
+    only, or outside — a soundness violation), slice shape statistics
+    and the soundness tally. *)
+
 val full :
   ?oracle:Kfi_staticoracle.Oracle.t ->
   ?telemetry:Kfi_trace.Telemetry.t ->
@@ -60,5 +68,6 @@ val full :
   Experiment.record list ->
   string
 (** The whole report in paper order, with the {!propagation_paths}
-    section after Figure 8; [oracle] appends the {!oracle_matrix}
-    validation and [telemetry] the {!telemetry_summary} block. *)
+    section after Figure 8; [oracle] appends the {!oracle_matrix} and
+    {!slice_matrix} validations and [telemetry] the
+    {!telemetry_summary} block. *)

@@ -60,7 +60,8 @@ module Study = struct
   (* The static mutation oracle over this study's kernel; pass
      [~oracle:(Kfi.Study.make_oracle study)] to [Config.make] to prune
      provably-equivalent targets without running them. *)
-  let make_oracle t = Kfi_staticoracle.Oracle.create (build t)
+  let make_oracle ?interprocedural t =
+    Kfi_staticoracle.Oracle.create ?interprocedural (build t)
 
   let fleet t ~jobs =
     match t.fleet with

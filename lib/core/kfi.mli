@@ -108,10 +108,12 @@ module Study : sig
 
   val build : t -> Kfi_kernel.Build.t
 
-  val make_oracle : t -> Kfi_staticoracle.Oracle.t
+  val make_oracle : ?interprocedural:bool -> t -> Kfi_staticoracle.Oracle.t
   (** The static mutation oracle over this study's kernel; pass it to
       {!Config.make} to prune provably-equivalent targets without
-      running them. *)
+      running them.  [interprocedural] (default true) enables the
+      whole-kernel call graph and section summaries — strictly more
+      provable equivalences; [false] is the per-function baseline. *)
 
   val fleet : t -> jobs:int -> Kfi_injector.Fleet.t
   (** The study's worker-runner pool, booted (or grown) to [jobs]

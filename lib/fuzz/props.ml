@@ -475,6 +475,47 @@ let oracle_equivalent_sound =
                    (Outcome.category o)))
       | _ -> Ok ())
 
+(* ---------- slice.sound ---------- *)
+
+let slice_sound =
+  Fuzz.make ~name:"slice.sound"
+    ~doc:
+      "every observed propagation hop lies inside the predicted slice's sound layer"
+    (Fuzz.arb
+       ~shrink:Shrink.nil
+       ~print:(fun (i, bit) -> spf "target#%d bit %d" i bit)
+       (Gen.pair (Gen.int_bound 1_000_000) (Gen.int_range 0 7)))
+    (fun (i, bit) ->
+      let open Kfi_injector in
+      let runner, oracle, targets = Lazy.force oracle_env in
+      let t = targets.(i mod Array.length targets) in
+      let t = { t with Target.t_bit = bit } in
+      let sl = Kfi_staticoracle.Oracle.slice oracle t in
+      match Runner.run_one runner ~workload:0 t with
+      | Outcome.Crash ci -> (
+          if sl.Kfi_staticoracle.Slice.sl_masked then
+            Error
+              (spf "%s b%d bit%d: slice says masked but the run crashed"
+                 t.Target.t_fn t.Target.t_byte bit)
+          else
+          match Kfi_staticoracle.Slice.violations sl ci.Outcome.propagation with
+          | [] -> Ok ()
+          | bad ->
+              Error
+                (spf "%s b%d bit%d: hops outside predicted slice [%s]: %s"
+                   t.Target.t_fn t.Target.t_byte bit
+                   (Kfi_staticoracle.Slice.to_string sl)
+                   (String.concat ", " bad)))
+      | (Outcome.Not_activated | Outcome.Not_manifested | Outcome.Harness_abort _)
+        -> Ok ()
+      | o ->
+          (* a masked slice claims nothing can propagate at all *)
+          if sl.Kfi_staticoracle.Slice.sl_masked then
+            Error
+              (spf "%s b%d bit%d: slice says masked but outcome %s" t.Target.t_fn
+                 t.Target.t_byte bit (Outcome.category o))
+          else Ok ())
+
 (* ---------- fs.fsck_total ---------- *)
 
 let fs_paths = [| "/etc/rc"; "/bin/sh"; "/bin/ls"; "/usr/a"; "/usr/doc/b"; "/tmp/x" |]
@@ -840,6 +881,7 @@ let all =
     cpu_trace_transparent;
     mmu_translate_ref;
     oracle_equivalent_sound;
+    slice_sound;
     fs_fsck_total;
     journal_torn_resume;
     csv_rfc4180;

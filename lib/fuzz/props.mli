@@ -22,6 +22,7 @@ val cpu_snapshot_restore : Kfi_fuzz.Fuzz.t
 val cpu_trace_transparent : Kfi_fuzz.Fuzz.t
 val mmu_translate_ref : Kfi_fuzz.Fuzz.t
 val oracle_equivalent_sound : Kfi_fuzz.Fuzz.t
+val slice_sound : Kfi_fuzz.Fuzz.t
 val fs_fsck_total : Kfi_fuzz.Fuzz.t
 val journal_torn_resume : Kfi_fuzz.Fuzz.t
 val csv_rfc4180 : Kfi_fuzz.Fuzz.t

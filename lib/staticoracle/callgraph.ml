@@ -1,0 +1,303 @@
+(* Whole-kernel call graph over the assembled text.
+
+   Nodes are the kernel's functions; edges are direct calls ([Call rel]
+   resolved through the function map) and tail transfers (a direct jump
+   or branch leaving its function and landing inside another).  Indirect
+   transfers ([Call_rm]/[Jmp_rm]) cannot be resolved statically; instead
+   the *address-taken* set over-approximates their possible targets: a
+   scan of every instruction immediate, every memory-operand
+   displacement and every 32-bit word of the data section for values
+   equal to some function's entry address.  That covers function-pointer
+   tables (the syscall table, fops), [addr]-style immediates (trap_init
+   filling the IDT, thread setup planting ret_from_fork) and anything
+   else the kernel could conceivably jump to — at worst a false positive
+   widens a reach set, which is the sound direction.
+
+   Three conservative classes are tracked besides ordinary nodes:
+   - roots: address-taken functions plus functions called from
+     non-function text (the boot stub).  Execution can enter these at
+     any time (interrupts, syscall dispatch), so they are part of every
+     reach set.
+   - stack switchers: functions that load esp from memory (__switch_to).
+     Their [Ret] can consume a return address planted by somebody else,
+     so nothing about their return continuation is trusted.
+   - unresolved: direct transfers to addresses outside every function.
+     A function containing one makes any reach query that touches it
+     degrade to the whole kernel. *)
+
+open Kfi_isa
+module Asm = Kfi_asm.Assembler
+module Build = Kfi_kernel.Build
+
+type edge_kind =
+  | Call_edge  (* direct call *)
+  | Tail_edge  (* direct jump/branch leaving the source function *)
+
+type t = {
+  g_fns : string array;                 (* link order *)
+  g_subsys : (string, string) Hashtbl.t;
+  g_entry_of : (int32, string) Hashtbl.t;  (* entry address -> function *)
+  g_callees : (string, (string * edge_kind) list) Hashtbl.t;
+  g_callers : (string, (string * edge_kind) list) Hashtbl.t;
+  g_callsites : (string, (string * int32) list) Hashtbl.t;
+      (* callee -> (caller, address of the call instruction) *)
+  g_indirect : (string, unit) Hashtbl.t;   (* contains Call_rm / Jmp_rm *)
+  g_roots : (string, unit) Hashtbl.t;
+  g_switchers : (string, unit) Hashtbl.t;  (* load esp from memory *)
+  g_unresolved : (string, int) Hashtbl.t;  (* direct target outside all fns *)
+  g_outside_called : (string, unit) Hashtbl.t;
+      (* callees of non-function text (the boot stub) *)
+}
+
+let ( +% ) = Int32.add
+
+(* Every 32-bit payload an instruction carries: immediates and
+   memory-operand displacements.  Used by the address-taken scan; a
+   relative branch displacement is not an address and is excluded. *)
+let imm32s (i : Insn.t) =
+  let open Insn in
+  let md (m : mem) = [ m.disp ] in
+  let rmd = function Reg _ -> [] | Mem m -> md m in
+  match i with
+  | Nop | Hlt | Cdq | Ret | Lret | Leave | Int3 | Ud2 | Pusha | Popa | Iret
+  | Cli | Sti | In_al | Out_al | Rdtsc | Diskrd | Diskwr | Inc_r _ | Dec_r _
+  | Push_r _ | Pop_r _ | Int_ _ | Mov_cr_r _ | Mov_r_cr _
+  | Jmp _ | Jmp8 _ | Jcc _ | Jcc8 _ | Call _ -> []
+  | Mov_ri (_, v) | Push_i v | Push_i8 v | Alu_eax_i (_, v) -> [ v ]
+  | Mov_rm_r (rm, _) | Mov_r_rm (_, rm) | Movb_rm_r (rm, _) | Movb_r_rm (_, rm)
+  | Movzbl (_, rm) | Test_rm_r (rm, _) | Not_rm rm | Neg_rm rm | Mul_rm rm
+  | Div_rm rm | Imul_r_rm (_, rm) | Shift_i (_, rm, _) | Shift_cl (_, rm)
+  | Shrd (rm, _, _) | Push_rm rm | Inc_rm rm | Dec_rm rm | Call_rm rm
+  | Jmp_rm rm | Alu_rm_r (_, rm, _) | Alu_r_rm (_, _, rm) -> rmd rm
+  | Mov_rm_i (rm, v) | Alu_rm_i (_, rm, v) | Alu_rm_i8 (_, rm, v) -> v :: rmd rm
+  | Lea (_, m) -> md m
+
+(* A function that loads esp from memory (or from another register) can
+   return through a stack it did not enter on; its Ret continuation is
+   not derivable from its call sites. *)
+let loads_esp (i : Insn.t) =
+  let open Insn in
+  match i with
+  | Mov_r_rm (r, Mem _) | Mov_rm_r (Reg r, _) | Movzbl (r, Mem _) | Lea (r, _)
+  | Mov_ri (r, _) | Mov_rm_i (Reg r, _) ->
+    r = esp
+  | _ -> false
+
+let build (b : Build.t) =
+  let base = Kfi_kernel.Layout.kernel_text_base in
+  let fns = b.Build.funcs in
+  let g =
+    {
+      g_fns = Array.of_list (List.map (fun f -> f.Asm.f_name) fns);
+      g_subsys = Hashtbl.create 64;
+      g_entry_of = Hashtbl.create 64;
+      g_callees = Hashtbl.create 64;
+      g_callers = Hashtbl.create 64;
+      g_callsites = Hashtbl.create 64;
+      g_indirect = Hashtbl.create 16;
+      g_roots = Hashtbl.create 16;
+      g_switchers = Hashtbl.create 4;
+      g_unresolved = Hashtbl.create 4;
+      g_outside_called = Hashtbl.create 4;
+    }
+  in
+  List.iter
+    (fun (f : Asm.fn_info) ->
+      Hashtbl.replace g.g_subsys f.Asm.f_name f.Asm.f_subsys;
+      Hashtbl.replace g.g_entry_of (Int32.of_int (base + f.Asm.f_off)) f.Asm.f_name)
+    fns;
+  let fn_of_addr a =
+    match Build.find_function b a with
+    | Some f -> Some f.Asm.f_name
+    | None -> None
+  in
+  let add_edge src dst kind =
+    let push tbl key v =
+      Hashtbl.replace tbl key (v :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+    in
+    push g.g_callees src (dst, kind);
+    push g.g_callers dst (src, kind)
+  in
+  let taken = ref [] in
+  List.iter
+    (fun (ii : Asm.insn_info) ->
+      let addr = Int32.of_int (base + ii.Asm.i_off) in
+      let iend = addr +% Int32.of_int ii.Asm.i_len in
+      let i = ii.Asm.i_insn in
+      taken := List.rev_append (imm32s i) !taken;
+      match ii.Asm.i_fn with
+      | None -> (
+        (* boot-stub text outside any function: a direct call from here
+           enters the callee with an unknowable continuation *)
+        match i with
+        | Insn.Call rel -> (
+          match fn_of_addr (iend +% rel) with
+          | Some g' -> Hashtbl.replace g.g_outside_called g' ()
+          | None -> ())
+        | _ -> ())
+      | Some src -> (
+        let unresolved () =
+          Hashtbl.replace g.g_unresolved src
+            (1 + Option.value ~default:0 (Hashtbl.find_opt g.g_unresolved src))
+        in
+        if loads_esp i then Hashtbl.replace g.g_switchers src ();
+        match i with
+        | Insn.Call rel -> (
+          let tgt = iend +% rel in
+          match fn_of_addr tgt with
+          | Some dst ->
+            add_edge src dst Call_edge;
+            Hashtbl.replace g.g_callsites dst
+              ((src, addr)
+              :: Option.value ~default:[] (Hashtbl.find_opt g.g_callsites dst))
+          | None -> unresolved ())
+        | Insn.Jmp rel | Insn.Jmp8 rel | Insn.Jcc (_, rel) | Insn.Jcc8 (_, rel)
+          -> (
+          let tgt = iend +% rel in
+          match fn_of_addr tgt with
+          | Some dst when dst <> src -> add_edge src dst Tail_edge
+          | Some _ -> ()
+          | None -> unresolved ())
+        | Insn.Call_rm _ | Insn.Jmp_rm _ -> Hashtbl.replace g.g_indirect src ()
+        | _ -> ()))
+    b.Build.asm.Asm.insns;
+  (* address-taken scan over instruction payloads ... *)
+  List.iter
+    (fun v ->
+      match Hashtbl.find_opt g.g_entry_of v with
+      | Some f -> Hashtbl.replace g.g_roots f ()
+      | None -> ())
+    !taken;
+  (* ... and over every byte offset of the data section *)
+  let code = b.Build.asm.Asm.code in
+  let len = Bytes.length code in
+  let rd32 o =
+    Int32.logor
+      (Int32.of_int
+         (Char.code (Bytes.get code o)
+         lor (Char.code (Bytes.get code (o + 1)) lsl 8)
+         lor (Char.code (Bytes.get code (o + 2)) lsl 16)))
+      (Int32.shift_left (Int32.of_int (Char.code (Bytes.get code (o + 3)))) 24)
+  in
+  for o = b.Build.text_size to len - 4 do
+    match Hashtbl.find_opt g.g_entry_of (rd32 o) with
+    | Some f -> Hashtbl.replace g.g_roots f ()
+    | None -> ()
+  done;
+  (* functions entered from outside the function world behave like roots *)
+  Hashtbl.iter (fun f () -> Hashtbl.replace g.g_roots f ()) g.g_outside_called;
+  g
+
+(* ----- queries ----- *)
+
+let fns t = Array.to_list t.g_fns
+let n_fns t = Array.length t.g_fns
+let subsys t fn = Hashtbl.find_opt t.g_subsys fn
+let callees t fn = Option.value ~default:[] (Hashtbl.find_opt t.g_callees fn)
+let callers t fn = Option.value ~default:[] (Hashtbl.find_opt t.g_callers fn)
+let callsites t fn = Option.value ~default:[] (Hashtbl.find_opt t.g_callsites fn)
+let has_indirect t fn = Hashtbl.mem t.g_indirect fn
+let is_root t fn = Hashtbl.mem t.g_roots fn
+let is_stack_switcher t fn = Hashtbl.mem t.g_switchers fn
+let unresolved t fn = Option.value ~default:0 (Hashtbl.find_opt t.g_unresolved fn)
+let roots t = Hashtbl.fold (fun f () acc -> f :: acc) t.g_roots [] |> List.sort compare
+
+let n_edges t =
+  Hashtbl.fold (fun _ l acc -> acc + List.length l) t.g_callees 0
+
+(* Forward closure over call and tail edges.  A member with an indirect
+   transfer can reach any address-taken function; a member with an
+   unresolved direct transfer can reach code we cannot attribute at all,
+   so the closure degrades to every function (the sound top). *)
+let callee_closure t seeds =
+  let seen = Hashtbl.create 64 in
+  let whole = ref false in
+  let rec visit fn =
+    if not (Hashtbl.mem seen fn) then begin
+      Hashtbl.replace seen fn ();
+      if unresolved t fn > 0 then whole := true;
+      List.iter (fun (g, _) -> visit g) (callees t fn);
+      if has_indirect t fn then
+        Hashtbl.iter (fun r () -> visit r) t.g_roots
+    end
+  in
+  List.iter visit seeds;
+  if !whole then `Whole
+  else `Set (Hashtbl.fold (fun f () acc -> f :: acc) seen [] |> List.sort compare)
+
+(* Transitive callers (over call and tail edges).  If any ancestor is a
+   root, execution could have entered it from an indirect transfer, so
+   every function containing one joins the ancestor set too. *)
+let ancestors t fn =
+  let seen = Hashtbl.create 64 in
+  let rec visit f =
+    if not (Hashtbl.mem seen f) then begin
+      Hashtbl.replace seen f ();
+      List.iter (fun (g, _) -> visit g) (callers t f)
+    end
+  in
+  visit fn;
+  if Hashtbl.fold (fun f () acc -> acc || is_root t f) seen false then
+    Hashtbl.iter
+      (fun f () -> if not (Hashtbl.mem seen f) then visit f)
+      t.g_indirect;
+  Hashtbl.fold (fun f () acc -> f :: acc) seen [] |> List.sort compare
+
+(* Everything execution can touch once it is inside [fn]: the function
+   itself, every (transitive) caller it can return into, every root
+   (interrupts and the dispatch tables can fire at any time) and the
+   forward closure of all of those. *)
+let reach t fn =
+  match callee_closure t (fn :: List.rev_append (ancestors t fn) (roots t)) with
+  | `Whole -> `Whole
+  | `Set s -> `Set s
+
+(* ----- strongly connected components (Tarjan), callee-first order ----- *)
+
+let sccs t =
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let next = ref 0 in
+  let out = ref [] in
+  let rec strong v =
+    Hashtbl.replace index v !next;
+    Hashtbl.replace lowlink v !next;
+    incr next;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun (w, _) ->
+        if not (Hashtbl.mem index w) then begin
+          strong w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (callees t v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      out := pop [] :: !out
+    end
+  in
+  Array.iter (fun v -> if not (Hashtbl.mem index v) then strong v) t.g_fns;
+  (* Tarjan emits callee components before their callers; prepending
+     reversed that, so reverse again to get callee-first order *)
+  List.rev !out
+
+let recursive t fn =
+  List.exists
+    (fun scc -> match scc with
+      | [ f ] -> f = fn && List.exists (fun (g, _) -> g = fn) (callees t fn)
+      | l -> List.mem fn l)
+    (sccs t)

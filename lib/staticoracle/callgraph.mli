@@ -1,0 +1,75 @@
+(** Whole-kernel call graph over the assembled text.
+
+    Direct calls and tail transfers become edges; indirect transfers are
+    over-approximated by the {e address-taken} set (every function whose
+    entry address appears in an instruction immediate, a memory-operand
+    displacement or a data word).  Address-taken functions, plus
+    functions called from non-function boot text, are {e roots}:
+    interrupt and dispatch entry points that execution can enter at any
+    moment.  All queries err on the side of bigger sets — the sound
+    direction for the propagation slicer built on top. *)
+
+open Kfi_isa
+
+type edge_kind =
+  | Call_edge  (** direct call *)
+  | Tail_edge  (** direct jump/branch leaving the source function *)
+
+type t
+
+val build : Kfi_kernel.Build.t -> t
+
+val fns : t -> string list
+(** All functions, link order. *)
+
+val n_fns : t -> int
+val n_edges : t -> int
+val subsys : t -> string -> string option
+val callees : t -> string -> (string * edge_kind) list
+val callers : t -> string -> (string * edge_kind) list
+
+val callsites : t -> string -> (string * int32) list
+(** Direct call sites of a callee: (caller, address of the call insn). *)
+
+val has_indirect : t -> string -> bool
+(** The function contains a [Call_rm] or [Jmp_rm]. *)
+
+val is_root : t -> string -> bool
+(** Address-taken or called from non-function text: execution can enter
+    this function from statically-invisible control flow. *)
+
+val is_stack_switcher : t -> string -> bool
+(** The function loads esp from memory or another register
+    (__switch_to): its [Ret] continuation is not derivable from its
+    call sites. *)
+
+val unresolved : t -> string -> int
+(** Direct transfers in this function whose target lies outside every
+    function (should be zero for the assembled kernel). *)
+
+val roots : t -> string list
+
+val callee_closure : t -> string list -> [ `Set of string list | `Whole ]
+(** Forward closure over call and tail edges; members with indirect
+    transfers pull in every root, members with unresolved transfers
+    degrade the answer to [`Whole] (every function, conservatively). *)
+
+val ancestors : t -> string -> string list
+(** Transitive callers, including the function itself; if any ancestor
+    is a root, every function containing an indirect transfer joins the
+    set (it could have been the invisible caller). *)
+
+val reach : t -> string -> [ `Set of string list | `Whole ]
+(** Every function execution can touch once inside [fn]: [fn], its
+    ancestors, all roots, and the forward closure of those.  The sound
+    containment set used by the slice audit. *)
+
+val sccs : t -> string list list
+(** Strongly connected components, callee-first. *)
+
+val recursive : t -> string -> bool
+(** The function sits on a call-graph cycle (including self-calls). *)
+
+val imm32s : Insn.t -> int32 list
+(** Every 32-bit payload the instruction carries (immediates and
+    memory displacements); exposed for tests. *)

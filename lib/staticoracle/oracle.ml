@@ -57,21 +57,27 @@ type prediction =
   | P_likely_benign
   | P_divergent
 
+type ip = { ip_cg : Callgraph.t; ip_sums : Summary.table }
+
 type t = {
   build : Build.t;
   code : bytes;  (* private copy of the image, mutated and restored in place *)
   base : int;
   cfgs : (string, Cfg.t) Hashtbl.t;
   live : (string, (int32, int) Hashtbl.t) Hashtbl.t;
+  interprocedural : bool;
+  mutable ip : ip option;  (* call graph + summaries, built on demand *)
 }
 
-let create build =
+let create ?(interprocedural = true) build =
   {
     build;
     code = Bytes.copy build.Build.asm.Asm.code;
     base = Kfi_kernel.Layout.kernel_text_base;
     cfgs = Hashtbl.create 64;
     live = Hashtbl.create 64;
+    interprocedural;
+    ip = None;
   }
 
 let fn_cfg t fn =
@@ -98,6 +104,30 @@ let fn_liveness t fn =
     let l = Cfg.liveness (fn_cfg t fn) in
     Hashtbl.replace t.live fn l;
     l
+
+(* Call graph and section summaries, built once on first use (an eager
+   whole-kernel pass, then cached; a kernel rebuild invalidates per
+   function through the summary hashes, see [Summary.stale]). *)
+let force_ip t =
+  match t.ip with
+  | Some s -> s
+  | None ->
+    let cg = Callgraph.build t.build in
+    let sums = Summary.compute t.build ~cfg_of:(fn_cfg t) cg in
+    let s = { ip_cg = cg; ip_sums = sums } in
+    t.ip <- Some s;
+    s
+
+let callgraph t = (force_ip t).ip_cg
+let summaries t = (force_ip t).ip_sums
+let interprocedural t = t.interprocedural
+
+(* Deadness at the classification point: interprocedurally refined when
+   enabled, plain CFG liveness otherwise.  The refined answer is always
+   a subset of the intraprocedural one, so "dead" only grows. *)
+let dead_after t fn addr r =
+  if t.interprocedural then Summary.is_dead (summaries t) fn addr r
+  else Cfg.is_dead (fn_liveness t fn) addr r
 
 (* ----- instruction predicates ----- *)
 
@@ -158,6 +188,27 @@ let same_reg_direction_flip (a : Insn.t) (b : Insn.t) =
   | Movb_rm_r (Reg d, r), Movb_r_rm (r', Reg d')
   | Movb_r_rm (r', Reg d'), Movb_rm_r (Reg d, r) ->
     d = d' && r = r' && d = r
+  | _ -> false
+
+(* Mutations that only swap the destination register: the flip landed in
+   the reg field of the ModRM (or the low bits of the opcode), leaving
+   the operation and every other operand intact.  The two instructions
+   have identical cost, identical memory reads (hence identical faulting
+   behaviour) and no memory writes; they differ only in which register
+   receives the result (and which keeps its stale value).  If every
+   register either instruction defines — flags included — is dead along
+   all interprocedural paths, the substitution is provably invisible. *)
+let same_shape_modulo_dest (a : Insn.t) (b : Insn.t) =
+  let open Insn in
+  match (a, b) with
+  | Mov_r_rm (_, rm), Mov_r_rm (_, rm')
+  | Movb_r_rm (_, rm), Movb_r_rm (_, rm')
+  | Movzbl (_, rm), Movzbl (_, rm')
+  | Imul_r_rm (_, rm), Imul_r_rm (_, rm') -> rm = rm'
+  | Mov_ri (_, i), Mov_ri (_, i') -> i = i'
+  | Lea (_, m), Lea (_, m') -> m = m'
+  | Pop_r _, Pop_r _ -> true
+  | Inc_r _, Inc_r _ | Dec_r _, Dec_r _ -> true
   | _ -> false
 
 let reversed_cond (a : Insn.t) (b : Insn.t) =
@@ -221,14 +272,17 @@ let classify t (tg : Target.t) =
         else if same_reg_direction_flip orig mi then
           Equivalent "same-register direction flip"
         else begin
-          let live = fn_liveness t tg.Target.t_fn in
-          let out = Cfg.live_out live tg.Target.t_addr in
           let dead_defs i =
             let defs, _ = Cfg.defs_uses i in
-            List.for_all (fun r -> out land (1 lsl r) = 0) defs
+            List.for_all (fun r -> dead_after t tg.Target.t_fn tg.Target.t_addr r) defs
           in
           if is_pure orig && is_pure mi && dead_defs orig && dead_defs mi then
             Equivalent "pure instruction, all destinations dead"
+          else if
+            t.interprocedural && same_shape_modulo_dest orig mi
+            && dead_defs orig && dead_defs mi
+          then
+            Equivalent "destination dead along all interprocedural paths"
           else
             Operand_change
               {
@@ -239,6 +293,64 @@ let classify t (tg : Target.t) =
     in
     Bytes.set t.code pos (Char.chr orig_byte);
     result
+
+(* ----- propagation slices ----- *)
+
+let slice_env t =
+  let s = force_ip t in
+  { Slice.sl_cg = s.ip_cg; Slice.sl_sums = s.ip_sums; Slice.sl_cfg_of = fn_cfg t }
+
+(* How a class can manifest, for the slicer.  [Priv_change],
+   [Control_change] and [Boundary_shift] can corrupt control flow itself
+   (wild iret / retarget / arbitrary shifted stream), so they get no
+   smaller containment than the whole kernel; register targets corrupt a
+   live register chosen at run time, same story. *)
+let slice_kind = function
+  | Equivalent _ -> Slice.K_masked
+  | Invalid_opcode -> Slice.K_trap
+  | Cond_reversed -> Slice.K_control
+  | Priv_change | Control_change | Boundary_shift _ | Register_target ->
+    Slice.K_whole
+  | Operand_change _ -> Slice.K_data
+
+let slice t (tg : Target.t) =
+  let env = slice_env t in
+  let fn = tg.Target.t_fn in
+  let compute = Slice.compute env ~fn ~addr:tg.Target.t_addr in
+  match tg.Target.t_kind with
+  | Target.Register -> compute ~seed_regs:0 ~seed_mem:0 ~kind:Slice.K_whole
+  | Target.Text -> (
+    match slice_kind (classify t tg) with
+    | Slice.K_data -> (
+      (* re-decode the mutant for the taint seed *)
+      let off = (Int32.to_int tg.Target.t_addr land 0xFFFFFFFF) - t.base in
+      let pos = off + tg.Target.t_byte in
+      let orig_byte = Char.code (Bytes.get t.code pos) in
+      Bytes.set t.code pos (Char.chr (orig_byte lxor (1 lsl tg.Target.t_bit)));
+      let mutated = Decode.decode_bytes t.code off in
+      Bytes.set t.code pos (Char.chr orig_byte);
+      match mutated with
+      | Decode.Invalid -> compute ~seed_regs:0 ~seed_mem:0 ~kind:Slice.K_trap
+      | Decode.Ok (mi, _) -> (
+        let orig = tg.Target.t_insn in
+        let mask_of = List.fold_left (fun m r -> m lor (1 lsl r)) 0 in
+        let defs_o, _ = Cfg.defs_uses orig and defs_m, _ = Cfg.defs_uses mi in
+        let seed_regs = mask_of defs_o lor mask_of defs_m in
+        match (Slice.store_operand orig, Slice.store_operand mi) with
+        | Some m, Some m' when m = m' ->
+          (* same address, wrong value: the write stays inside the
+             golden run's write set *)
+          compute ~seed_regs ~seed_mem:(Slice.mem_class m) ~kind:Slice.K_data
+        | Some m, None ->
+          (* the store is lost: its location keeps a stale value *)
+          compute ~seed_regs ~seed_mem:(Slice.mem_class m) ~kind:Slice.K_data
+        | None, None -> compute ~seed_regs ~seed_mem:0 ~kind:Slice.K_data
+        | _ ->
+          (* the mutant stores to a statically different address: the
+             write can land on anything, including control-feeding
+             slots — no golden-write-set argument applies *)
+          compute ~seed_regs:0 ~seed_mem:0 ~kind:Slice.K_whole))
+    | k -> compute ~seed_regs:0 ~seed_mem:0 ~kind:k)
 
 (* ----- prediction ----- *)
 
@@ -261,13 +373,23 @@ let pruner t tg =
 (* Does an observed outcome contradict the prediction?  [P_crash] only
    claims the crash cause *if the error activates and crashes* (a flip
    that is never reached, or whose invalid instruction is reached on a
-   never-taken path, stays benign); [P_divergent] claims nothing. *)
-let agrees p (o : Outcome.t) =
+   never-taken path, stays benign); [P_divergent] claims nothing, and a
+   [Harness_abort] observed nothing about the kernel so it can never
+   contradict any claim.  With [?target], a [P_crash] agreement is
+   tightened: the predicted trap fires at the mutated instruction, so a
+   dumped crash must place the crash eip in the targeted function — a
+   same-cause crash somewhere unrelated no longer counts as agreement. *)
+let agrees ?target p (o : Outcome.t) =
   match (p, o) with
+  | _, Outcome.Harness_abort _ -> true
   | P_not_manifested, (Outcome.Not_activated | Outcome.Not_manifested) -> true
   | P_not_manifested, _ -> false
   | P_crash _, (Outcome.Not_activated | Outcome.Not_manifested) -> true
-  | P_crash c, Outcome.Crash ci -> ci.Outcome.cause = c
+  | P_crash c, Outcome.Crash ci ->
+    ci.Outcome.cause = c
+    && (match (target, ci.Outcome.crash_fn) with
+       | Some tg, Some f when ci.Outcome.dumped -> f = tg.Target.t_fn
+       | _ -> true)
   | P_crash _, _ -> false
   | P_likely_benign, (Outcome.Not_activated | Outcome.Not_manifested) -> true
   | P_likely_benign, _ -> false

@@ -43,12 +43,23 @@ type prediction =
 
 type t
 
-val create : Kfi_kernel.Build.t -> t
+val create : ?interprocedural:bool -> Kfi_kernel.Build.t -> t
 (** An oracle over the assembled kernel.  CFGs and liveness are computed
-    per function on demand and cached. *)
+    per function on demand and cached.  With [interprocedural] (the
+    default), deadness queries use the whole-kernel call graph and
+    section summaries — strictly more targets classify as [Equivalent];
+    [~interprocedural:false] reproduces the per-function baseline. *)
 
 val fn_cfg : t -> string -> Cfg.t
 val fn_liveness : t -> string -> (int32, int) Hashtbl.t
+
+val callgraph : t -> Callgraph.t
+(** The whole-kernel call graph (built and cached on first use). *)
+
+val summaries : t -> Summary.table
+(** Per-function section summaries (built and cached on first use). *)
+
+val interprocedural : t -> bool
 
 val classify : t -> Target.t -> clazz
 (** Classify one target by decoding its mutated bytes.  Total: every
@@ -60,10 +71,24 @@ val pruner : t -> Target.t -> Outcome.t option
 (** The [Experiment.run_campaign ?oracle] hook: [Some Not_manifested]
     for provably-[Equivalent] targets, [None] (run for real) otherwise. *)
 
-val agrees : prediction -> Outcome.t -> bool
+val agrees : ?target:Target.t -> prediction -> Outcome.t -> bool
 (** Whether an observed outcome is consistent with a prediction
-    ([P_divergent] claims nothing; [P_crash] is conditional on the
-    error activating). *)
+    ([P_divergent] claims nothing; [P_crash] is conditional on the error
+    activating; a [Harness_abort] observed nothing and never
+    contradicts).  [?target] tightens [P_crash]: a dumped crash must
+    place its eip in the targeted function. *)
+
+val slice_kind : clazz -> Slice.kind
+(** How a class can manifest, for the slicer: classes that can corrupt
+    control flow itself map to [K_whole]. *)
+
+val slice_env : t -> Slice.env
+val slice : t -> Target.t -> Slice.t
+(** The predicted propagation slice of one target: classify, derive the
+    taint seed from the original and mutated instructions' defs (and
+    store operand, if any), and run {!Slice.compute}.  A mutant that
+    stores to a statically different address than the original
+    escalates to a whole-kernel slice. *)
 
 val is_pure : Insn.t -> bool
 (** No memory access, no control transfer, no privileged effect, cannot

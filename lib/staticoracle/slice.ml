@@ -1,0 +1,488 @@
+(* Predicted propagation slices: a forward def-use/taint walk seeded at
+   an injection target, composed across calls through the section
+   summaries, and bounded by the call graph's reach sets.
+
+   A slice has two layers with different strength:
+
+   - [sl_reach] is the *sound* layer — the set of functions execution
+     can possibly touch once the corrupted instruction runs, as long as
+     control flow itself stays uncorrupted (the function, its transitive
+     callers, every callgraph root, and the forward closure of those).
+     Mutation classes that can corrupt control flow (boundary shifts,
+     control changes, privileged mutants, register targets) and any
+     taint that reaches a control-feeding operand (an indirect transfer
+     target, esp/ebp, a store address) degrade the slice to the whole
+     kernel.  The audit checks observed propagation paths against this
+     layer; a hop outside it is a soundness violation.
+
+   - [sl_regs]/[sl_mem]/[sl_data_fns] is the *informative* layer — where
+     the corrupted value itself can flow before being masked.  Value
+     taint that lands in memory or survives a return extends the data
+     layer to the reach set; within the seed function it is tracked
+     per-register and per-memory-class.
+
+   The data layer leans on the code generator's frame discipline: a
+   store through a clean (untainted) address writes a location the
+   golden run also writes, and none of those locations feed control
+   (function-pointer tables are written only at boot, saved-esp slots
+   only from trusted stack pointers).  Stores through *tainted*
+   addresses, or to a statically different address than the original
+   instruction's, get no such argument and escalate.  The slice audit
+   and the slice.sound fuzz property validate this empirically, in the
+   spirit of the paper's measure-don't-assume methodology. *)
+
+open Kfi_isa
+
+type env = {
+  sl_cg : Callgraph.t;
+  sl_sums : Summary.table;
+  sl_cfg_of : string -> Cfg.t;
+}
+
+(* memory taint classes, as a 3-bit mask *)
+let m_stack = 1
+let m_global = 2
+let m_other = 4
+
+type kind =
+  | K_masked   (* provably equivalent: nothing propagates *)
+  | K_trap     (* faults at the site; propagation is the handler path *)
+  | K_control  (* a branch decides differently, both arms legal (cond flip) *)
+  | K_data     (* same shape, wrong value: run the taint walk *)
+  | K_whole    (* control flow itself corrupted: whole kernel *)
+
+type t = {
+  sl_fn : string;
+  sl_kind : kind;
+  sl_regs : int;            (* union of tainted register masks *)
+  sl_mem : int;             (* union of tainted memory classes *)
+  sl_data_fns : string list; (* functions the corrupted value may enter *)
+  sl_reach : string list;   (* sound containment set (all fns if whole) *)
+  sl_whole : bool;
+  sl_masked : bool;         (* taint provably dies inside the function *)
+  sl_control : bool;        (* a branch decision is affected *)
+  sl_escapes : bool;        (* reaches console/disk I/O *)
+  sl_traps : bool;          (* must trap at the site *)
+}
+
+let bit r = 1 lsl r
+let esp_ebp = bit Insn.esp lor bit Insn.ebp
+let mask_of = List.fold_left (fun m r -> m lor bit r) 0
+
+let mem_class (m : Insn.mem) =
+  match (m.Insn.base, m.Insn.index) with
+  | Some r, _ when r = Insn.esp || r = Insn.ebp -> m_stack
+  | None, None -> m_global
+  | _ -> m_other
+
+(* the Mem operand an instruction stores through, if any *)
+let store_operand (i : Insn.t) =
+  let open Insn in
+  match i with
+  | Mov_rm_r (Mem m, _) | Mov_rm_i (Mem m, _) | Movb_rm_r (Mem m, _)
+  | Alu_rm_r ((Add | Or | And | Sub | Xor), Mem m, _)
+  | Alu_rm_i ((Add | Or | And | Sub | Xor), Mem m, _)
+  | Alu_rm_i8 ((Add | Or | And | Sub | Xor), Mem m, _)
+  | Not_rm (Mem m) | Neg_rm (Mem m)
+  | Shift_i (_, Mem m, _) | Shift_cl (_, Mem m) | Shrd (Mem m, _, _)
+  | Inc_rm (Mem m) | Dec_rm (Mem m) -> Some m
+  | _ -> None
+
+(* the Mem operand an instruction loads through, if any *)
+let load_operand (i : Insn.t) =
+  let open Insn in
+  match i with
+  | Mov_r_rm (_, Mem m) | Movb_r_rm (_, Mem m) | Movzbl (_, Mem m)
+  | Alu_rm_r (_, Mem m, _) | Alu_r_rm (_, _, Mem m) | Alu_rm_i (_, Mem m, _)
+  | Alu_rm_i8 (_, Mem m, _) | Test_rm_r (Mem m, _) | Not_rm (Mem m)
+  | Neg_rm (Mem m) | Mul_rm (Mem m) | Div_rm (Mem m) | Imul_r_rm (_, Mem m)
+  | Shift_i (_, Mem m, _) | Shift_cl (_, Mem m) | Shrd (Mem m, _, _)
+  | Push_rm (Mem m) | Inc_rm (Mem m) | Dec_rm (Mem m) -> Some m
+  | _ -> None
+
+exception Escalate
+
+let all_fns env = Callgraph.fns env.sl_cg
+
+let reach_of env fn =
+  match Callgraph.reach env.sl_cg fn with
+  | `Whole -> (all_fns env, true)
+  | `Set s -> (s, false)
+
+let whole_slice env ~fn ~kind =
+  {
+    sl_fn = fn;
+    sl_kind = kind;
+    sl_regs = Cfg.all_live;
+    sl_mem = m_stack lor m_global lor m_other;
+    sl_data_fns = all_fns env;
+    sl_reach = all_fns env;
+    sl_whole = true;
+    sl_masked = false;
+    sl_control = (kind = K_control);
+    sl_escapes = false;
+    sl_traps = false;
+  }
+
+(* ----- the taint walk (K_data) ----- *)
+
+type acc = {
+  mutable a_regs : int;
+  mutable a_mem : int;
+  mutable a_callees : string list;   (* calls the taint enters *)
+  mutable a_extends : bool;          (* taint survives to a fn boundary *)
+  mutable a_control : bool;
+  mutable a_escapes : bool;
+}
+
+let taint_walk env ~fn ~addr ~seed_regs ~seed_mem =
+  let cfg = env.sl_cfg_of fn in
+  let cg = env.sl_cg in
+  let sums = env.sl_sums in
+  let acc =
+    {
+      a_regs = 0;
+      a_mem = 0;
+      a_callees = [];
+      a_extends = false;
+      a_control = false;
+      a_escapes = false;
+    }
+  in
+  (* direct call sites inside [fn], address -> callee *)
+  let site_callee = Hashtbl.create 64 in
+  List.iter
+    (fun callee ->
+      List.iter
+        (fun (caller, a) ->
+          if caller = fn then Hashtbl.replace site_callee a callee)
+        (Callgraph.callsites cg callee))
+    (Callgraph.fns cg);
+  (* one instruction's taint transfer; (regs, mem) -> (regs, mem) *)
+  let step (x : Cfg.insn) (regs, mem) =
+    if x.Cfg.a = addr then (regs lor seed_regs, mem lor seed_mem)
+    else begin
+      let i = x.Cfg.i in
+      let defs, uses = Cfg.defs_uses i in
+      let defs_m = mask_of defs and uses_m = mask_of uses in
+      let tainted r = regs land bit r <> 0 in
+      let load_tainted =
+        match load_operand i with
+        | Some m ->
+          let c = mem_class m in
+          mem land c <> 0 || mem land m_other <> 0
+        | None -> false
+      in
+      match i with
+      | Insn.Jcc _ | Insn.Jcc8 _ ->
+        if regs land bit Cfg.flags_reg <> 0 then begin
+          acc.a_control <- true;
+          acc.a_extends <- true
+        end;
+        (regs, mem)
+      | Insn.Jmp_rm rm | Insn.Call_rm rm ->
+        let ops = match rm with Insn.Reg r -> [ r ] | Insn.Mem m -> (
+          (match m.Insn.base with Some r -> [ r ] | None -> [])
+          @ match m.Insn.index with Some (r, _) -> [ r ] | None -> []) in
+        if List.exists tainted ops then raise Escalate;
+        (* memory-indirect transfer reading a tainted class: the loaded
+           target could be the corrupted value *)
+        (match rm with
+         | Insn.Mem m
+           when mem land mem_class m <> 0 || mem land m_other <> 0 ->
+           raise Escalate
+         | _ -> ());
+        if regs <> 0 || mem <> 0 then begin
+          (* an unknowable callee sees live taint *)
+          acc.a_extends <- true;
+          (regs lor Summary.abi_clobber, mem)
+        end
+        else (regs, mem)
+      | Insn.Call _ -> (
+        match Hashtbl.find_opt site_callee x.Cfg.a with
+        | Some c ->
+          if Callgraph.is_stack_switcher cg c && (regs <> 0 || mem <> 0) then
+            raise Escalate;
+          let e = Summary.effects sums c in
+          let entering =
+            regs land e.Summary.e_may_use <> 0
+            || (mem <> 0 && e.Summary.e_reads_mem)
+          in
+          let kill = e.Summary.e_must_def lor Summary.abi_clobber in
+          if entering then begin
+            acc.a_callees <- c :: acc.a_callees;
+            (* a callee that takes the taint and (transitively) performs
+               an indirect transfer may feed it into the target *)
+            (match Callgraph.callee_closure cg [ c ] with
+             | `Whole -> raise Escalate
+             | `Set cl ->
+               if List.exists (fun g -> Callgraph.has_indirect cg g) cl then
+                 raise Escalate);
+            let returned = Summary.abi_clobber land e.Summary.e_may_def in
+            let mem' = if e.Summary.e_writes_mem then
+                mem lor m_stack lor m_global lor m_other else mem in
+            ((regs land lnot kill) lor returned, mem')
+          end
+          else ((regs land lnot kill), mem)
+        | None ->
+          (* unresolved direct call *)
+          if regs <> 0 || mem <> 0 then raise Escalate;
+          (regs, mem))
+      | Insn.Ret | Insn.Lret | Insn.Iret | Insn.Hlt ->
+        if regs <> 0 || mem <> 0 then acc.a_extends <- true;
+        (regs, mem)
+      | Insn.Out_al ->
+        if tainted Insn.eax || tainted Insn.edx then acc.a_escapes <- true;
+        (regs, mem)
+      | Insn.Diskwr ->
+        if regs <> 0 || mem <> 0 then acc.a_escapes <- true;
+        (regs, mem)
+      | Insn.In_al | Insn.Diskrd ->
+        (* fresh external data: plain kill *)
+        (regs land lnot defs_m, mem)
+      (* Stack traffic: the esp update never depends on the pushed
+         value, so pushes/pops must not taint esp through the generic
+         defs rule (that would be a false whole-kernel escalation). *)
+      | Insn.Push_r r ->
+        ((if tainted r then mem lor m_stack else mem) |> fun m -> (regs, m))
+      | Insn.Push_rm (Insn.Reg r) ->
+        ((if tainted r then mem lor m_stack else mem) |> fun m -> (regs, m))
+      | Insn.Push_rm (Insn.Mem _) ->
+        ((if load_tainted then mem lor m_stack else mem)
+         |> fun m -> (regs, m))
+      | Insn.Push_i _ | Insn.Push_i8 _ -> (regs, mem)
+      | Insn.Pusha ->
+        ((if regs land lnot (bit Cfg.flags_reg) <> 0 then mem lor m_stack
+          else mem)
+         |> fun m -> (regs, m))
+      | Insn.Pop_r r ->
+        let stack_tainted = mem land (m_stack lor m_other) <> 0 in
+        let regs' =
+          if stack_tainted then regs lor bit r else regs land lnot (bit r)
+        in
+        if regs' land esp_ebp <> 0 then raise Escalate;
+        (regs', mem)
+      | Insn.Popa ->
+        let stack_tainted = mem land (m_stack lor m_other) <> 0 in
+        if stack_tainted then raise Escalate
+        else (regs land bit Cfg.flags_reg, mem)
+      | Insn.Leave ->
+        (* esp <- ebp; ebp <- pop: tainted ebp or tainted stack both
+           corrupt the frame pointers *)
+        if regs land bit Insn.ebp <> 0
+           || mem land (m_stack lor m_other) <> 0
+        then raise Escalate
+        else (regs land lnot (bit Insn.ebp), mem)
+      | i ->
+        (* store through a tainted address: wild write *)
+        (match store_operand i with
+         | Some m ->
+           let addr_regs =
+             (match m.Insn.base with Some r -> [ r ] | None -> [])
+             @ match m.Insn.index with Some (r, _) -> [ r ] | None -> []
+           in
+           if List.exists tainted addr_regs then raise Escalate
+         | None -> ());
+        let use_tainted = regs land uses_m <> 0 || load_tainted in
+        let mem' =
+          match store_operand i with
+          | Some m when use_tainted -> mem lor mem_class m
+          | _ -> mem
+        in
+        let regs' =
+          if use_tainted then regs lor defs_m else regs land lnot defs_m
+        in
+        if regs' land esp_ebp <> 0 then raise Escalate;
+        (regs', mem')
+    end
+  in
+  (* block-level fixpoint from the target's block *)
+  let nb = Array.length cfg.Cfg.c_blocks in
+  let in_state = Array.make nb None in
+  let join a b =
+    match a with
+    | None -> Some b
+    | Some (r, m) -> Some (r lor fst b, m lor snd b)
+  in
+  let target_block =
+    match Cfg.find_insn cfg addr with
+    | Some (bi, _) -> bi
+    | None -> invalid_arg "Slice.taint_walk: target not in function"
+  in
+  in_state.(target_block) <- Some (0, 0);
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        match in_state.(b.Cfg.b_index) with
+        | None -> ()
+        | Some st ->
+          let st' =
+            List.fold_left
+              (fun s x ->
+                let s' = step x s in
+                acc.a_regs <- acc.a_regs lor fst s';
+                acc.a_mem <- acc.a_mem lor snd s';
+                s')
+              st b.Cfg.b_insns
+          in
+          if fst st' <> 0 || snd st' <> 0 then
+            List.iter
+              (function
+                | Some j, _ ->
+                  let nj = join in_state.(j) st' in
+                  if nj <> in_state.(j) then begin
+                    in_state.(j) <- nj;
+                    changed := true
+                  end
+                | None, _ ->
+                  (* external/unknown edge with live taint *)
+                  acc.a_extends <- true)
+              b.Cfg.b_succ)
+      cfg.Cfg.c_blocks
+  done;
+  acc
+
+(* ----- slice construction ----- *)
+
+let compute env ~fn ~addr ~seed_regs ~seed_mem ~kind =
+  match kind with
+  | K_whole -> whole_slice env ~fn ~kind
+  | K_masked ->
+    {
+      sl_fn = fn;
+      sl_kind = kind;
+      sl_regs = 0;
+      sl_mem = 0;
+      sl_data_fns = [];
+      sl_reach = [ fn ];
+      sl_whole = false;
+      sl_masked = true;
+      sl_control = false;
+      sl_escapes = false;
+      sl_traps = false;
+    }
+  | K_trap ->
+    let reach, whole = reach_of env fn in
+    {
+      sl_fn = fn;
+      sl_kind = kind;
+      sl_regs = 0;
+      sl_mem = 0;
+      sl_data_fns = [];
+      sl_reach = reach;
+      sl_whole = whole;
+      sl_masked = false;
+      sl_control = false;
+      sl_escapes = false;
+      sl_traps = true;
+    }
+  | K_control ->
+    let reach, whole = reach_of env fn in
+    {
+      sl_fn = fn;
+      sl_kind = kind;
+      sl_regs = 0;
+      sl_mem = 0;
+      sl_data_fns = reach;
+      sl_reach = reach;
+      sl_whole = whole;
+      sl_masked = false;
+      sl_control = true;
+      sl_escapes = false;
+      sl_traps = false;
+    }
+  | K_data -> (
+    let reach, rwhole = reach_of env fn in
+    match taint_walk env ~fn ~addr ~seed_regs ~seed_mem with
+    | exception Escalate -> whole_slice env ~fn ~kind
+    | acc ->
+      let masked =
+        acc.a_mem = 0 && acc.a_callees = [] && (not acc.a_extends)
+        && (not acc.a_control) && not acc.a_escapes
+      in
+      let data_fns =
+        if acc.a_extends || acc.a_control then reach
+        else begin
+          let seeds = List.sort_uniq compare (fn :: acc.a_callees) in
+          match Callgraph.callee_closure env.sl_cg seeds with
+          | `Whole -> reach
+          | `Set s -> s
+        end
+      in
+      {
+        sl_fn = fn;
+        sl_kind = kind;
+        sl_regs = acc.a_regs;
+        sl_mem = acc.a_mem;
+        sl_data_fns = data_fns;
+        sl_reach = reach;
+        sl_whole = rwhole;
+        sl_masked = masked;
+        sl_control = acc.a_control;
+        sl_escapes = acc.a_escapes;
+        sl_traps = false;
+      })
+
+(* ----- audit ----- *)
+
+(* Is every hop of an observed propagation path inside the slice's
+   sound layer?  Returns the offending hops (empty = contained). *)
+let violations t path =
+  if t.sl_whole then []
+  else
+    List.filter_map
+      (fun (hop_fn, _) ->
+        if List.mem hop_fn t.sl_reach then None else Some hop_fn)
+      path
+
+(* Hop-level confusion counts against the two layers: (in data slice,
+   reach only, outside). *)
+let hop_confusion t path =
+  List.fold_left
+    (fun (d, r, o) (hop_fn, _) ->
+      if t.sl_whole then (d, r + 1, o)
+      else if hop_fn = t.sl_fn || List.mem hop_fn t.sl_data_fns then
+        (d + 1, r, o)
+      else if List.mem hop_fn t.sl_reach then (d, r + 1, o)
+      else (d, r, o + 1))
+    (0, 0, 0) path
+
+(* ----- rendering ----- *)
+
+let kind_name = function
+  | K_masked -> "masked"
+  | K_trap -> "trap"
+  | K_control -> "control"
+  | K_data -> "data"
+  | K_whole -> "whole"
+
+let regs_to_string mask =
+  let names = ref [] in
+  if mask land bit Cfg.flags_reg <> 0 then names := [ "flags" ];
+  for r = 7 downto 0 do
+    if mask land bit r <> 0 then names := Insn.reg_name.(r) :: !names
+  done;
+  if !names = [] then "-" else String.concat "," !names
+
+let mem_to_string mask =
+  let l =
+    (if mask land m_stack <> 0 then [ "stack" ] else [])
+    @ (if mask land m_global <> 0 then [ "global" ] else [])
+    @ if mask land m_other <> 0 then [ "other" ] else []
+  in
+  if l = [] then "-" else String.concat "," l
+
+let to_string t =
+  Printf.sprintf
+    "%s: kind=%s regs={%s} mem={%s} data_fns=%d reach=%d%s%s%s%s%s"
+    t.sl_fn (kind_name t.sl_kind) (regs_to_string t.sl_regs)
+    (mem_to_string t.sl_mem)
+    (List.length t.sl_data_fns)
+    (List.length t.sl_reach)
+    (if t.sl_whole then " whole-kernel" else "")
+    (if t.sl_masked then " masked" else "")
+    (if t.sl_control then " control-tainted" else "")
+    (if t.sl_escapes then " escapes-io" else "")
+    (if t.sl_traps then " traps" else "")

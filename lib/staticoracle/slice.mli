@@ -1,0 +1,88 @@
+(** Predicted propagation slices.
+
+    A slice answers: once the mutated instruction executes, where can
+    the corruption go?  It has two layers:
+
+    - the {e sound} layer [sl_reach] — every function execution can
+      possibly touch while control flow remains uncorrupted (from
+      {!Callgraph.reach}); classes that can corrupt control flow, and
+      value taint that hits a control-feeding operand, degrade it to the
+      whole kernel ([sl_whole]).  The audit checks observed propagation
+      paths against this layer.
+    - the {e informative} layer [sl_regs]/[sl_mem]/[sl_data_fns] — the
+      registers, memory classes and functions the corrupted value itself
+      may flow through before being masked. *)
+
+type env = {
+  sl_cg : Callgraph.t;
+  sl_sums : Summary.table;
+  sl_cfg_of : string -> Cfg.t;
+}
+
+(** Memory taint classes (bit mask). *)
+
+val m_stack : int
+val m_global : int
+val m_other : int
+
+val mem_class : Kfi_isa.Insn.mem -> int
+(** Class of a memory operand: esp/ebp-based is stack, absolute is
+    global, anything register-computed is other. *)
+
+val store_operand : Kfi_isa.Insn.t -> Kfi_isa.Insn.mem option
+(** The memory operand an instruction stores through, if any. *)
+
+val load_operand : Kfi_isa.Insn.t -> Kfi_isa.Insn.mem option
+(** The memory operand an instruction loads through, if any. *)
+
+(** How the mutation can manifest, derived from the oracle class. *)
+type kind =
+  | K_masked   (** provably equivalent: nothing propagates *)
+  | K_trap     (** faults at the site; propagation is the handler path *)
+  | K_control  (** a branch decides differently, both arms legal *)
+  | K_data     (** same shape, wrong value: forward taint walk *)
+  | K_whole    (** control flow itself corrupted: whole kernel *)
+
+type t = {
+  sl_fn : string;
+  sl_kind : kind;
+  sl_regs : int;             (** union of tainted register masks *)
+  sl_mem : int;              (** union of tainted memory classes *)
+  sl_data_fns : string list; (** functions the corrupted value may enter *)
+  sl_reach : string list;    (** sound containment set *)
+  sl_whole : bool;
+  sl_masked : bool;          (** taint provably dies inside the function *)
+  sl_control : bool;         (** a branch decision is affected *)
+  sl_escapes : bool;         (** reaches console/disk I/O *)
+  sl_traps : bool;           (** must trap at the site *)
+}
+
+val compute :
+  env ->
+  fn:string ->
+  addr:int32 ->
+  seed_regs:int ->
+  seed_mem:int ->
+  kind:kind ->
+  t
+(** Compute the slice for an injection at [addr] inside [fn].  The seed
+    is the set of registers/memory classes the mutated instruction may
+    corrupt (defs of the original plus defs of the mutant).  [K_data]
+    runs a monotone block-level taint fixpoint composed with the section
+    summaries at calls; tainted store addresses, tainted indirect
+    transfer operands, tainted frame pointers and taint entering a stack
+    switcher or an indirect-transferring callee all escalate to a
+    whole-kernel slice.
+    @raise Invalid_argument if [addr] is not inside [fn]. *)
+
+val violations : t -> (string * string) list -> string list
+(** Observed propagation hops [(fn, subsys)] outside the sound layer —
+    each is a soundness violation.  Always empty for whole slices. *)
+
+val hop_confusion : t -> (string * string) list -> int * int * int
+(** Per-hop confusion counts: (in data slice, reach only, outside). *)
+
+val kind_name : kind -> string
+val regs_to_string : int -> string
+val mem_to_string : int -> string
+val to_string : t -> string

@@ -1,0 +1,521 @@
+(* FastFlip-style per-function section summaries, and the
+   interprocedural liveness built by composing them.
+
+   Each function gets an [entry]: a content hash of its code bytes plus
+   composed register/memory effects.  Summaries are keyed by the body
+   hash, so a one-function kernel change invalidates exactly one entry
+   ([stale]) — the groundwork for a content-addressed campaign cache.
+
+   Effects and their sound directions:
+   - [e_may_use]  over-approximates: registers the function (or anything
+     it calls) may read before definitely overwriting them.
+   - [e_must_def] under-approximates: registers definitely overwritten
+     on every path that returns to the caller.  Pop-style restores count
+     as overwrites only because the restored value's dependence on the
+     pre-call value always flows through a read ([push]) that
+     [e_may_use] captures.
+   - [e_may_def], [e_writes_mem], [e_reads_mem], [e_may_trap]
+     over-approximate.
+
+   Fixpoint order matters: [must_def] first (ascending from empty —
+   every iterate is a sound under-approximation), then [may_use] with
+   [must_def] frozen (ascending to convergence — only the converged
+   value is sound), then the interprocedural return-liveness descending
+   from all-live (every iterate is a sound over-approximation, so the
+   round cap keeps soundness even without convergence).
+
+   The calling convention baked into [Cfg.defs_uses] — a call clobbers
+   the caller-save set {eax, ecx, edx, flags} — is kept here: generated
+   code never relies on a caller-save register surviving a call.
+   Functions that switch stacks (load esp from memory, like __switch_to)
+   and functions whose address escapes (callgraph roots) get top
+   effects / all-live returns: nothing about their callers or
+   continuations is statically trustworthy. *)
+
+open Kfi_isa
+module Asm = Kfi_asm.Assembler
+module Build = Kfi_kernel.Build
+
+type effects = {
+  e_may_use : int;
+  e_must_def : int;
+  e_may_def : int;
+  e_writes_mem : bool;
+  e_reads_mem : bool;
+  e_may_trap : bool;
+}
+
+type entry = { s_fn : string; s_hash : string; s_effects : effects }
+
+type table = {
+  t_cg : Callgraph.t;
+  t_base : int;
+  t_fninfo : (string, Asm.fn_info) Hashtbl.t;
+  t_entries : (string, entry) Hashtbl.t;
+  t_ret_live : (string, int) Hashtbl.t;
+  t_live : (string, (int32, int) Hashtbl.t) Hashtbl.t;
+  t_rounds : int;
+}
+
+let all_live = Cfg.all_live
+let bit r = 1 lsl r
+let abi_clobber = bit Insn.eax lor bit Insn.ecx lor bit Insn.edx lor bit Cfg.flags_reg
+
+let top_effects =
+  {
+    e_may_use = all_live;
+    e_must_def = 0;
+    e_may_def = all_live;
+    e_writes_mem = true;
+    e_reads_mem = true;
+    e_may_trap = true;
+  }
+
+(* ----- local instruction predicates ----- *)
+
+let mem_operand (i : Insn.t) =
+  let open Insn in
+  let rm_mem = function Mem _ -> true | Reg _ -> false in
+  match i with
+  | Mov_rm_r (rm, _) | Mov_r_rm (_, rm) | Mov_rm_i (rm, _) | Movb_rm_r (rm, _)
+  | Movb_r_rm (_, rm) | Movzbl (_, rm) | Alu_rm_r (_, rm, _)
+  | Alu_r_rm (_, _, rm) | Alu_rm_i (_, rm, _) | Alu_rm_i8 (_, rm, _)
+  | Test_rm_r (rm, _) | Not_rm rm | Neg_rm rm | Mul_rm rm | Div_rm rm
+  | Imul_r_rm (_, rm) | Shift_i (_, rm, _) | Shift_cl (_, rm) | Shrd (rm, _, _)
+  | Push_rm rm | Inc_rm rm | Dec_rm rm | Call_rm rm | Jmp_rm rm -> rm_mem rm
+  | _ -> false
+
+let reads_mem (i : Insn.t) =
+  let open Insn in
+  match i with
+  | Mov_rm_r (Mem _, _) | Mov_rm_i (Mem _, _) | Movb_rm_r (Mem _, _) -> false
+  (* pure stores: the memory operand is written, not read *)
+  | Pop_r _ | Popa | Ret | Lret | Iret | Leave | Diskrd -> true
+  | i -> mem_operand i
+
+let writes_mem (i : Insn.t) =
+  let open Insn in
+  match i with
+  | Mov_rm_r (Mem _, _) | Mov_rm_i (Mem _, _) | Movb_rm_r (Mem _, _)
+  | Alu_rm_r ((Add | Or | And | Sub | Xor), Mem _, _)
+  | Alu_rm_i ((Add | Or | And | Sub | Xor), Mem _, _)
+  | Alu_rm_i8 ((Add | Or | And | Sub | Xor), Mem _, _)
+  | Not_rm (Mem _) | Neg_rm (Mem _)
+  | Shift_i (_, Mem _, _) | Shift_cl (_, Mem _) | Shrd (Mem _, _, _)
+  | Inc_rm (Mem _) | Dec_rm (Mem _)
+  | Push_r _ | Push_i _ | Push_i8 _ | Push_rm _ | Pusha
+  | Call _ | Call_rm _ | Int_ _ | Int3 | Diskwr -> true
+  | _ -> false
+
+let may_trap (i : Insn.t) =
+  let open Insn in
+  match i with
+  | Div_rm _ | Int_ _ | Int3 | Ud2 -> true
+  | i -> mem_operand i || writes_mem i || reads_mem i
+
+(* ----- parameterized backward pass over one CFG -----
+
+   One implementation serves both the [may_use] computation (returns are
+   dead ends: live-out 0) and the refined whole-program liveness
+   (returns flow into the caller's live set, [ret_out]).  [site] maps a
+   direct-call instruction address to its resolved callee's current
+   effects, if any. *)
+
+let backward_pass (cfg : Cfg.t) ~site ~ret_out =
+  let esp_bit = bit Insn.esp in
+  let genkill (x : Cfg.insn) =
+    match x.Cfg.i with
+    | Insn.Ret -> (esp_bit, 0)
+    | Insn.Call _ -> (
+      match site x.Cfg.a with
+      | Some e ->
+        (e.e_may_use lor esp_bit, e.e_must_def lor abi_clobber)
+      | None -> (all_live, abi_clobber))
+    | i ->
+      let defs, uses = Cfg.defs_uses i in
+      ( List.fold_left (fun m r -> m lor bit r) 0 uses,
+        List.fold_left (fun m r -> m lor bit r) 0 defs )
+  in
+  let terminator b = (List.nth b.Cfg.b_insns (List.length b.Cfg.b_insns - 1)).Cfg.i in
+  let nb = Array.length cfg.Cfg.c_blocks in
+  let live_in = Array.make nb 0 in
+  let block_out b =
+    if b.Cfg.b_succ = [] then
+      match terminator b with Insn.Ret -> ret_out | _ -> all_live
+    else
+      List.fold_left
+        (fun acc -> function
+          | Some j, _ -> acc lor live_in.(j)
+          | None, _ -> all_live)
+        0 b.Cfg.b_succ
+  in
+  let transfer b out =
+    List.fold_right
+      (fun x acc ->
+        let gen, kill = genkill x in
+        acc land lnot kill lor gen)
+      b.Cfg.b_insns out
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = nb - 1 downto 0 do
+      let b = cfg.Cfg.c_blocks.(i) in
+      let ni = transfer b (block_out b) land all_live in
+      if ni <> live_in.(i) then begin
+        live_in.(i) <- ni;
+        changed := true
+      end
+    done
+  done;
+  let out_of = Hashtbl.create 64 in
+  Array.iter
+    (fun b ->
+      let rec walk = function
+        | [] -> block_out b land all_live
+        | x :: rest ->
+          let out = walk rest in
+          let gen, kill = genkill x in
+          Hashtbl.replace out_of x.Cfg.a out;
+          out land lnot kill lor gen
+      in
+      ignore (walk b.Cfg.b_insns))
+    cfg.Cfg.c_blocks;
+  (live_in.(0), out_of)
+
+(* ----- must-def: forward, meet over paths, ascending fixpoint ----- *)
+
+let must_def_pass (cfg : Cfg.t) ~site ~tail_def =
+  let gen (x : Cfg.insn) =
+    match x.Cfg.i with
+    | Insn.Call _ ->
+      abi_clobber
+      lor (match site x.Cfg.a with Some e -> e.e_must_def | None -> 0)
+    | Insn.Call_rm _ | Insn.Int_ _ | Insn.Int3 -> abi_clobber
+    | i ->
+      let defs, _ = Cfg.defs_uses i in
+      List.fold_left (fun m r -> m lor bit r) 0 defs
+  in
+  let nb = Array.length cfg.Cfg.c_blocks in
+  (* None = not yet reached (identity for the meet) *)
+  let d_in = Array.make nb None in
+  d_in.(0) <- Some 0;
+  let block_gen b = List.fold_left (fun acc x -> acc lor gen x) 0 b.Cfg.b_insns in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        match d_in.(b.Cfg.b_index) with
+        | None -> ()
+        | Some din ->
+          let dout = din lor block_gen b in
+          List.iter
+            (function
+              | Some j, _ ->
+                let nj =
+                  match d_in.(j) with None -> dout | Some v -> v land dout
+                in
+                if d_in.(j) <> Some nj then begin
+                  d_in.(j) <- Some nj;
+                  changed := true
+                end
+              | None, _ -> ())
+            b.Cfg.b_succ)
+      cfg.Cfg.c_blocks
+  done;
+  (* meet over the exits that return to the caller *)
+  let acc = ref None in
+  Array.iter
+    (fun b ->
+      match d_in.(b.Cfg.b_index) with
+      | None -> () (* unreachable block *)
+      | Some din ->
+        let dout = din lor block_gen b in
+        let last = List.nth b.Cfg.b_insns (List.length b.Cfg.b_insns - 1) in
+        let exit_def =
+          match last.Cfg.i with
+          | Insn.Ret -> Some dout
+          | Insn.Jmp _ | Insn.Jmp8 _ | Insn.Jcc _ | Insn.Jcc8 _ ->
+            (* a tail transfer out of the function returns on our
+               behalf: its must-def extends ours *)
+            if List.exists (fun (_, e) -> e = Cfg.External) b.Cfg.b_succ then
+              Some (dout lor tail_def last.Cfg.a)
+            else None
+          | Insn.Jmp_rm _ -> Some dout (* unknown tail target: no extension *)
+          | _ -> None (* Hlt/Iret/Lret/Ud2 etc: never returns to caller *)
+        in
+        match exit_def with
+        | None -> ()
+        | Some v ->
+          acc := Some (match !acc with None -> v | Some a -> a land v))
+    cfg.Cfg.c_blocks;
+  match !acc with None -> all_live (* never returns: vacuously all *) | Some v -> v
+
+(* ----- building the table ----- *)
+
+let body_hash code (f : Asm.fn_info) =
+  Digest.to_hex (Digest.subbytes code f.Asm.f_off f.Asm.f_size)
+
+let compute (b : Build.t) ~cfg_of (cg : Callgraph.t) =
+  let base = Kfi_kernel.Layout.kernel_text_base in
+  let fninfo = Hashtbl.create 64 in
+  List.iter (fun (f : Asm.fn_info) -> Hashtbl.replace fninfo f.Asm.f_name f) b.Build.funcs;
+  let names = Callgraph.fns cg in
+  let order = List.concat (Callgraph.sccs cg) in
+  (* callee-first, then anything sccs missed (defensive) *)
+  let order = order @ List.filter (fun f -> not (List.mem f order)) names in
+  let code = b.Build.asm.Asm.code in
+  (* address of a direct call -> callee name *)
+  let site_callee = Hashtbl.create 256 in
+  List.iter
+    (fun callee ->
+      List.iter
+        (fun (_, addr) -> Hashtbl.replace site_callee addr callee)
+        (Callgraph.callsites cg callee))
+    names;
+  (* address of a direct external jump -> target function *)
+  let tail_target = Hashtbl.create 16 in
+  List.iter
+    (fun fn ->
+      let cfg = cfg_of fn in
+      Array.iter
+        (fun blk ->
+          if List.exists (fun (_, e) -> e = Cfg.External) blk.Cfg.b_succ then
+            let last =
+              List.nth blk.Cfg.b_insns (List.length blk.Cfg.b_insns - 1)
+            in
+            match Cfg.direct_target last with
+            | Some tgt -> (
+              match Build.find_function b tgt with
+              | Some f when f.Asm.f_name <> fn ->
+                Hashtbl.replace tail_target last.Cfg.a f.Asm.f_name
+              | _ -> ())
+            | None -> ())
+        cfg.Cfg.c_blocks)
+    names;
+  let untrusted fn = Callgraph.is_stack_switcher cg fn in
+  (* current effects during the fixpoints *)
+  let cur : (string, effects) Hashtbl.t = Hashtbl.create 64 in
+  let eff fn = Option.value ~default:top_effects (Hashtbl.find_opt cur fn) in
+  List.iter
+    (fun fn ->
+      Hashtbl.replace cur fn
+        (if untrusted fn then top_effects
+         else
+           { top_effects with e_must_def = 0; e_may_use = 0; e_may_def = 0 }))
+    names;
+  (* cheap over-approximating bits first: may_def / mem / trap, one
+     ascending fixpoint over the closure *)
+  let locals = Hashtbl.create 64 in
+  List.iter
+    (fun fn ->
+      let cfg = cfg_of fn in
+      let md = ref 0 and wm = ref false and rm = ref false and tr = ref false in
+      Array.iter
+        (fun blk ->
+          List.iter
+            (fun (x : Cfg.insn) ->
+              let defs, _ = Cfg.defs_uses x.Cfg.i in
+              md := List.fold_left (fun m r -> m lor bit r) !md defs;
+              if writes_mem x.Cfg.i then wm := true;
+              if reads_mem x.Cfg.i then rm := true;
+              if may_trap x.Cfg.i then tr := true)
+            blk.Cfg.b_insns)
+        cfg.Cfg.c_blocks;
+      Hashtbl.replace locals fn (!md, !wm, !rm, !tr))
+    names;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun fn ->
+        if not (untrusted fn) then begin
+          let md, wm, rm, tr = Hashtbl.find locals fn in
+          let acc = ref (md, wm, rm, tr) in
+          let absorb e =
+            let amd, awm, arm, atr = !acc in
+            acc :=
+              ( amd lor e.e_may_def,
+                awm || e.e_writes_mem,
+                arm || e.e_reads_mem,
+                atr || e.e_may_trap )
+          in
+          List.iter (fun (g, _) -> absorb (eff g)) (Callgraph.callees cg fn);
+          if Callgraph.has_indirect cg fn || Callgraph.unresolved cg fn > 0 then
+            absorb top_effects;
+          let amd, awm, arm, atr = !acc in
+          let e = eff fn in
+          if
+            e.e_may_def <> amd || e.e_writes_mem <> awm || e.e_reads_mem <> arm
+            || e.e_may_trap <> atr
+          then begin
+            Hashtbl.replace cur fn
+              {
+                e with
+                e_may_def = amd;
+                e_writes_mem = awm;
+                e_reads_mem = arm;
+                e_may_trap = atr;
+              };
+            changed := true
+          end
+        end)
+      order
+  done;
+  let site fn_addr = Option.map eff (Hashtbl.find_opt site_callee fn_addr) in
+  let site_of addr = site addr in
+  (* must_def: ascending, every iterate sound *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun fn ->
+        if not (untrusted fn) then begin
+          let tail_def a =
+            match Hashtbl.find_opt tail_target a with
+            | Some g -> (eff g).e_must_def
+            | None -> 0
+          in
+          let v = must_def_pass (cfg_of fn) ~site:site_of ~tail_def in
+          let e = eff fn in
+          if e.e_must_def <> v then begin
+            Hashtbl.replace cur fn { e with e_must_def = v };
+            changed := true
+          end
+        end)
+      order
+  done;
+  (* may_use: ascending with must_def frozen; sound once converged *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun fn ->
+        if not (untrusted fn) then begin
+          let v, _ = backward_pass (cfg_of fn) ~site:site_of ~ret_out:0 in
+          let e = eff fn in
+          if e.e_may_use <> v then begin
+            Hashtbl.replace cur fn { e with e_may_use = v };
+            changed := true
+          end
+        end)
+      order
+  done;
+  let entries = Hashtbl.create 64 in
+  List.iter
+    (fun fn ->
+      let h =
+        match Hashtbl.find_opt fninfo fn with
+        | Some f -> body_hash code f
+        | None -> ""
+      in
+      Hashtbl.replace entries fn { s_fn = fn; s_hash = h; s_effects = eff fn })
+    names;
+  (* interprocedural return-liveness: descending from all-live *)
+  let ret_live = Hashtbl.create 64 in
+  List.iter (fun fn -> Hashtbl.replace ret_live fn all_live) names;
+  let live = Hashtbl.create 64 in
+  let rounds = ref 0 in
+  let max_rounds = 12 in
+  let stable = ref false in
+  while (not !stable) && !rounds < max_rounds do
+    incr rounds;
+    stable := true;
+    (* recompute every function's refined liveness with current ret_live *)
+    List.iter
+      (fun fn ->
+        let ro =
+          if untrusted fn then all_live
+          else Option.value ~default:all_live (Hashtbl.find_opt ret_live fn)
+        in
+        let _, out = backward_pass (cfg_of fn) ~site:site_of ~ret_out:ro in
+        Hashtbl.replace live fn out)
+      names;
+    (* fold call-site live-outs back into ret_live *)
+    List.iter
+      (fun fn ->
+        let nv =
+          if
+            Callgraph.is_root cg fn
+            || Callgraph.is_stack_switcher cg fn
+            || (Callgraph.callsites cg fn = []
+               && not
+                    (List.exists
+                       (fun (_, k) -> k = Callgraph.Tail_edge)
+                       (Callgraph.callers cg fn)))
+          then all_live
+          else
+            List.fold_left
+              (fun acc (caller, addr) ->
+                match Hashtbl.find_opt live caller with
+                | Some tbl -> acc lor Cfg.live_out tbl addr
+                | None -> all_live)
+              0 (Callgraph.callsites cg fn)
+            lor List.fold_left
+                  (fun acc (caller, kind) ->
+                    if kind = Callgraph.Tail_edge then
+                      acc
+                      lor Option.value ~default:all_live
+                            (Hashtbl.find_opt ret_live caller)
+                    else acc)
+                  0 (Callgraph.callers cg fn)
+        in
+        if Hashtbl.find ret_live fn <> nv then begin
+          Hashtbl.replace ret_live fn nv;
+          stable := false
+        end)
+      names
+  done;
+  (* one final liveness recomputation so the stored tables match the
+     final (sound, possibly non-converged) ret_live *)
+  List.iter
+    (fun fn ->
+      let ro =
+        if untrusted fn then all_live
+        else Option.value ~default:all_live (Hashtbl.find_opt ret_live fn)
+      in
+      let _, out = backward_pass (cfg_of fn) ~site:site_of ~ret_out:ro in
+      Hashtbl.replace live fn out)
+    names;
+  {
+    t_cg = cg;
+    t_base = base;
+    t_fninfo = fninfo;
+    t_entries = entries;
+    t_ret_live = ret_live;
+    t_live = live;
+    t_rounds = !rounds;
+  }
+
+(* ----- queries ----- *)
+
+let entry t fn = Hashtbl.find_opt t.t_entries fn
+
+let effects t fn =
+  match entry t fn with Some e -> e.s_effects | None -> top_effects
+
+let hash t fn = match entry t fn with Some e -> Some e.s_hash | None -> None
+
+let ret_live t fn =
+  Option.value ~default:all_live (Hashtbl.find_opt t.t_ret_live fn)
+
+let live_out t fn addr =
+  match Hashtbl.find_opt t.t_live fn with
+  | Some tbl -> Cfg.live_out tbl addr
+  | None -> all_live
+
+let is_dead t fn addr r = live_out t fn addr land bit r = 0
+
+let rounds t = t.t_rounds
+
+(* Functions whose body bytes no longer match their summary hash — the
+   FastFlip invalidation query.  [code] is a (possibly mutated) image. *)
+let stale t code =
+  Hashtbl.fold
+    (fun fn (f : Asm.fn_info) acc ->
+      match hash t fn with
+      | Some h when h <> body_hash code f -> fn :: acc
+      | _ -> acc)
+    t.t_fninfo []
+  |> List.sort compare

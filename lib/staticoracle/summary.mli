@@ -1,0 +1,73 @@
+(** FastFlip-style per-function section summaries and the
+    interprocedural liveness composed from them.
+
+    Each function's summary is keyed by a content hash of its code
+    bytes, so a one-function kernel change invalidates exactly one
+    entry ({!stale}).  Effects compose across the call graph:
+    [e_may_use]/[e_may_def]/memory/trap bits over-approximate,
+    [e_must_def] under-approximates — the sound directions for the
+    deadness and taint queries built on top. *)
+
+open Kfi_isa
+
+type effects = {
+  e_may_use : int;     (** regs possibly read before definite overwrite *)
+  e_must_def : int;    (** regs definitely overwritten on every
+                           caller-returning path *)
+  e_may_def : int;     (** regs possibly written, transitively *)
+  e_writes_mem : bool;
+  e_reads_mem : bool;
+  e_may_trap : bool;
+}
+
+type entry = { s_fn : string; s_hash : string; s_effects : effects }
+
+type table
+
+val top_effects : effects
+(** The conservative top: used for stack switchers, indirect-call
+    composition and anything unknown. *)
+
+val abi_clobber : int
+(** Caller-save mask {eax, ecx, edx, flags}: the calling convention
+    baked into [Cfg.defs_uses] and kept by every analysis here. *)
+
+val compute :
+  Kfi_kernel.Build.t -> cfg_of:(string -> Cfg.t) -> Callgraph.t -> table
+(** Build every function's summary and run the three fixpoints
+    (must-def ascending, may-use ascending, return-liveness descending
+    from all-live with a sound round cap). *)
+
+val entry : table -> string -> entry option
+val effects : table -> string -> effects
+(** {!top_effects} for unknown functions. *)
+
+val hash : table -> string -> string option
+(** Content hash of the function body the summary was computed from. *)
+
+val body_hash : bytes -> Kfi_asm.Assembler.fn_info -> string
+(** Hash a function's body bytes out of an image buffer. *)
+
+val stale : table -> bytes -> string list
+(** Functions whose body bytes in [code] no longer match their summary
+    hash — the FastFlip invalidation query. *)
+
+val ret_live : table -> string -> int
+(** Registers live at the function's return, unioned over every call
+    site (all-live for roots, stack switchers and unknown callers). *)
+
+val live_out : table -> string -> int32 -> int
+(** Interprocedurally-refined live-out mask at an instruction address
+    (all-live if unknown).  Always a subset-or-equal refinement of the
+    intraprocedural [Cfg.liveness] answer. *)
+
+val is_dead : table -> string -> int32 -> int -> bool
+(** [is_dead t fn addr r]: register [r] is provably dead immediately
+    after the instruction at [addr], using interprocedural liveness. *)
+
+val rounds : table -> int
+(** Return-liveness iteration rounds taken (diagnostics). *)
+
+val writes_mem : Insn.t -> bool
+val reads_mem : Insn.t -> bool
+val may_trap : Insn.t -> bool

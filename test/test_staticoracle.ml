@@ -8,6 +8,9 @@ open Kfi_injector
 module Asm = Kfi_asm.Assembler
 module Cfg = Kfi_staticoracle.Cfg
 module Oracle = Kfi_staticoracle.Oracle
+module Callgraph = Kfi_staticoracle.Callgraph
+module Summary = Kfi_staticoracle.Summary
+module Slice = Kfi_staticoracle.Slice
 
 let check = Alcotest.check
 let int = Alcotest.int
@@ -268,6 +271,280 @@ let test_register_targets () =
       | c -> Alcotest.failf "R target classified %s" (Oracle.class_name c))
     targets
 
+(* {2 Call graph} *)
+
+let test_callgraph_real_kernel () =
+  let o = Lazy.force oracle in
+  let cg = Oracle.callgraph o in
+  check bool "functions found" true (Callgraph.n_fns cg > 50);
+  check bool "edges found" true (Callgraph.n_edges cg > 100);
+  check bool "roots found" true (Callgraph.roots cg <> []);
+  (* every direct transfer in the assembled kernel resolves *)
+  List.iter
+    (fun fn -> check int (fn ^ " unresolved") 0 (Callgraph.unresolved cg fn))
+    (Callgraph.fns cg);
+  (* callee/caller duality *)
+  List.iter
+    (fun fn ->
+      List.iter
+        (fun (callee, k) ->
+          check bool
+            (Printf.sprintf "%s -> %s has reverse edge" fn callee)
+            true
+            (List.mem (fn, k) (Callgraph.callers cg callee)))
+        (Callgraph.callees cg fn))
+    (Callgraph.fns cg);
+  (* the context switcher is recognized *)
+  check bool "__switch_to switches stacks" true
+    (Callgraph.is_stack_switcher cg "__switch_to");
+  (* indirect calls exist (the scheduler dispatches through pointers) *)
+  check bool "some function has indirect transfers" true
+    (List.exists (Callgraph.has_indirect cg) (Callgraph.fns cg))
+
+let test_callgraph_recursion_and_sccs () =
+  let o = Lazy.force oracle in
+  let cg = Oracle.callgraph o in
+  (* the kernel has at least one call-graph cycle (e.g. do_exit <-> iput
+     via error paths); every member of a multi-function SCC is
+     recursive, and no singleton non-recursive function is *)
+  let sccs = Callgraph.sccs cg in
+  let total = List.fold_left (fun acc s -> acc + List.length s) 0 sccs in
+  check int "sccs partition the functions" (Callgraph.n_fns cg) total;
+  check bool "a non-trivial scc exists" true
+    (List.exists (fun s -> List.length s > 1) sccs);
+  List.iter
+    (fun scc ->
+      if List.length scc > 1 then
+        List.iter
+          (fun fn -> check bool (fn ^ " recursive") true (Callgraph.recursive cg fn))
+          scc)
+    sccs;
+  (* callee-first: an edge leaving its SCC points at an earlier SCC *)
+  let index = Hashtbl.create 64 in
+  List.iteri (fun i scc -> List.iter (fun fn -> Hashtbl.replace index fn i) scc) sccs;
+  List.iter
+    (fun fn ->
+      List.iter
+        (fun (callee, _) ->
+          let fi = Hashtbl.find index fn and ci = Hashtbl.find index callee in
+          if fi <> ci then
+            check bool (Printf.sprintf "%s's callee %s ordered first" fn callee)
+              true (ci < fi))
+        (Callgraph.callees cg fn))
+    (Callgraph.fns cg);
+  (* reach is a sound containment set: it contains the function itself
+     and is closed under direct call edges *)
+  (match Callgraph.reach cg "schedule" with
+  | `Whole -> ()
+  | `Set fns ->
+    check bool "schedule reaches itself" true (List.mem "schedule" fns);
+    List.iter
+      (fun fn ->
+        List.iter
+          (fun (callee, _) ->
+            check bool (Printf.sprintf "reach closed: %s -> %s" fn callee) true
+              (List.mem callee fns))
+          (Callgraph.callees cg fn))
+      fns)
+
+(* {2 Section summaries} *)
+
+let test_summary_hash_invalidation () =
+  let b = Lazy.force build in
+  let o = Lazy.force oracle in
+  let sums = Oracle.summaries o in
+  let code = Bytes.copy b.Kfi_kernel.Build.asm.Asm.code in
+  (* pristine code: nothing is stale *)
+  check (Alcotest.list Alcotest.string) "pristine code, no stale entries" []
+    (Summary.stale sums code);
+  (* flip one bit in the middle of one function body: exactly that
+     function's summary is invalidated (the FastFlip property) *)
+  let f =
+    List.find
+      (fun (f : Asm.fn_info) -> f.Asm.f_name = "schedule")
+      b.Kfi_kernel.Build.funcs
+  in
+  let off = f.Asm.f_off + (f.Asm.f_size / 2) in
+  let orig = Char.code (Bytes.get code off) in
+  Bytes.set code off (Char.chr (orig lxor 0x10));
+  check (Alcotest.list Alcotest.string) "one function stale" [ "schedule" ]
+    (Summary.stale sums code);
+  check bool "hash changed" true
+    (Summary.hash sums "schedule" <> Some (Summary.body_hash code f));
+  (* restoring the byte revalidates the summary *)
+  Bytes.set code off (Char.chr orig);
+  check (Alcotest.list Alcotest.string) "restored code, no stale entries" []
+    (Summary.stale sums code)
+
+let test_summary_liveness_refines_intraprocedural () =
+  (* interprocedural live-out is always a subset of the per-function
+     answer, so interprocedural deadness is at least as strong *)
+  let o = Lazy.force oracle in
+  let sums = Oracle.summaries o in
+  List.iter
+    (fun fn ->
+      let c = Oracle.fn_cfg o fn in
+      let live = Oracle.fn_liveness o fn in
+      Array.iter
+        (fun blk ->
+          List.iter
+            (fun (i : Cfg.insn) ->
+              let intra =
+                match Hashtbl.find_opt live i.Cfg.a with
+                | Some m -> m
+                | None -> Cfg.all_live
+              in
+              let inter = Summary.live_out sums fn i.Cfg.a in
+              check bool
+                (Printf.sprintf "%s 0x%lx live-out subset" fn i.Cfg.a)
+                true
+                (inter land lnot intra = 0))
+            blk.Cfg.b_insns)
+        c.Cfg.c_blocks)
+    (injectable_fns ())
+
+(* {2 Slices} *)
+
+let test_slice_terminates_on_cycles () =
+  (* the taint fixpoint must terminate on every function with CFG
+     cycles, and the data layer must stay inside the sound layer *)
+  let b = Lazy.force build in
+  let o = Lazy.force oracle in
+  let loopy =
+    List.filter (fun fn -> Cfg.n_back_edges (Oracle.fn_cfg o fn) > 0) (injectable_fns ())
+  in
+  check bool "kernel has loops" true (loopy <> []);
+  let targets = Target.enumerate b ~campaign:Target.A ~seed:42 loopy in
+  List.iter
+    (fun (t : Target.t) ->
+      let sl = Oracle.slice o t in
+      check bool "slice names its function" true (sl.Slice.sl_fn = t.Target.t_fn);
+      if not sl.Slice.sl_whole then begin
+        check bool "sound layer nonempty" true (sl.Slice.sl_reach <> []);
+        check bool "fn inside its own slice" true
+          (List.mem t.Target.t_fn sl.Slice.sl_reach);
+        List.iter
+          (fun fn ->
+            check bool (fn ^ " data layer inside sound layer") true
+              (List.mem fn sl.Slice.sl_reach))
+          sl.Slice.sl_data_fns
+      end;
+      if sl.Slice.sl_masked then begin
+        check bool "masked slice has no data fns" true (sl.Slice.sl_data_fns = []);
+        check bool "masked slice is not whole" false sl.Slice.sl_whole
+      end)
+    targets
+
+let test_slice_kinds_follow_classes () =
+  let b = Lazy.force build in
+  let o = Lazy.force oracle in
+  let targets = Target.enumerate b ~campaign:Target.A ~seed:42 (injectable_fns ()) in
+  List.iter
+    (fun t ->
+      let sl = Oracle.slice o t in
+      match (Oracle.classify o t, sl.Slice.sl_kind) with
+      | Oracle.Equivalent _, Slice.K_masked -> ()
+      | Oracle.Equivalent _, k ->
+        Alcotest.failf "equivalent target sliced as %s" (Slice.kind_name k)
+      | Oracle.Invalid_opcode, Slice.K_trap -> ()
+      | Oracle.Invalid_opcode, k ->
+        Alcotest.failf "invalid opcode sliced as %s" (Slice.kind_name k)
+      | ( (Oracle.Priv_change | Oracle.Control_change | Oracle.Boundary_shift _),
+          Slice.K_whole ) -> ()
+      | (Oracle.Priv_change | Oracle.Control_change | Oracle.Boundary_shift _), k ->
+        Alcotest.failf "control-corrupting class sliced as %s" (Slice.kind_name k)
+      | _ -> ())
+    targets
+
+(* {2 Prediction agreement} *)
+
+let test_agrees_matrix () =
+  let mk_ci ?(cause = Outcome.Null_pointer) ?(fn = Some "schedule")
+      ?(dumped = true) () =
+    {
+      Outcome.cause;
+      latency = 10;
+      crash_fn = fn;
+      crash_subsys = Some "kernel";
+      dumped;
+      severity = Outcome.Normal;
+      crash_eip = 0l;
+      crash_cr2 = 0l;
+      propagation = [];
+    }
+  in
+  let crash = Outcome.Crash (mk_ci ()) in
+  let outcomes =
+    [
+      ("not activated", Outcome.Not_activated);
+      ("not manifested", Outcome.Not_manifested);
+      ("fsv", Outcome.Fail_silence_violation ("exit", Outcome.Normal));
+      ("crash", crash);
+      ("hang", Outcome.Hang Outcome.Normal);
+      ("abort", Outcome.Harness_abort { ha_reason = "deadline"; ha_retries = 2 });
+    ]
+  in
+  (* expected agreement for each (prediction, outcome) pair; a harness
+     abort observed nothing, so it never contradicts any prediction *)
+  let expect =
+    [
+      (Oracle.P_not_manifested, [ true; true; false; false; false; true ]);
+      (Oracle.P_crash Outcome.Null_pointer, [ true; true; false; true; false; true ]);
+      (Oracle.P_crash Outcome.Divide_error, [ true; true; false; false; false; true ]);
+      (Oracle.P_likely_benign, [ true; true; false; false; false; true ]);
+      (Oracle.P_divergent, [ true; true; true; true; true; true ]);
+    ]
+  in
+  List.iter
+    (fun (p, row) ->
+      List.iter2
+        (fun (tag, o) e ->
+          check bool
+            (Printf.sprintf "%s vs %s" (Oracle.prediction_name p) tag)
+            e (Oracle.agrees p o))
+        outcomes row)
+    expect;
+  (* ?target tightens P_crash: a dumped crash must land in the targeted
+     function *)
+  let b = Lazy.force build in
+  let t = List.hd (Target.enumerate b ~campaign:Target.A ~seed:42 [ "schedule" ]) in
+  let p = Oracle.P_crash Outcome.Null_pointer in
+  check bool "dumped crash in targeted fn agrees" true
+    (Oracle.agrees ~target:t p crash);
+  check bool "dumped crash elsewhere disagrees" false
+    (Oracle.agrees ~target:t p (Outcome.Crash (mk_ci ~fn:(Some "sys_write") ())));
+  check bool "undumped crash elsewhere tolerated" true
+    (Oracle.agrees ~target:t p
+       (Outcome.Crash (mk_ci ~fn:(Some "sys_write") ~dumped:false ())));
+  check bool "crash with unknown fn tolerated" true
+    (Oracle.agrees ~target:t p (Outcome.Crash (mk_ci ~fn:None ())))
+
+(* {2 Interprocedural pruning} *)
+
+let test_interprocedural_prunes_strictly_more () =
+  let b = Lazy.force build in
+  let o = Lazy.force oracle in
+  let intra = Oracle.create ~interprocedural:false b in
+  let targets = Target.enumerate b ~campaign:Target.A ~seed:42 (injectable_fns ()) in
+  let equivalents o =
+    List.filter
+      (fun t -> match Oracle.classify o t with Oracle.Equivalent _ -> true | _ -> false)
+      targets
+  in
+  let ip = equivalents o and base = equivalents intra in
+  (* the interprocedural upgrade may only add equivalences, never drop
+     one the per-function analysis already proved *)
+  List.iter
+    (fun t ->
+      check bool "intraprocedural equivalence kept" true
+        (match Oracle.classify o t with Oracle.Equivalent _ -> true | _ -> false))
+    base;
+  check bool
+    (Printf.sprintf "interprocedural %d > intraprocedural %d" (List.length ip)
+       (List.length base))
+    true
+    (List.length ip > List.length base)
+
 (* {2 Soundness (slow): pruned targets really are benign} *)
 
 let test_equivalent_soundness () =
@@ -294,6 +571,43 @@ let test_equivalent_soundness () =
             t.Target.t_fn t.Target.t_byte t.Target.t_bit (Outcome.category out))
     audit
 
+let test_pruned_campaign_csv_identical () =
+  (* Pruning must only substitute predicted rows: dropping them from
+     both runs leaves byte-identical CSV. *)
+  let r = Lazy.force runner in
+  let p =
+    Kfi_profiler.Sampler.profile_all ~build:r.Runner.build
+      ~machine:r.Runner.machine ~baseline:r.Runner.baseline ()
+  in
+  let o = Oracle.create r.Runner.build in
+  let plain =
+    Experiment.run_campaign ~config:(Config.make ~subsample:45 ()) r p Target.A
+  in
+  let pruned =
+    Experiment.run_campaign
+      ~config:(Config.make ~subsample:45 ~oracle:(Oracle.pruner o) ())
+      r p Target.A
+  in
+  check int "same experiment count" (List.length plain) (List.length pruned);
+  check bool "no predicted rows without oracle" true
+    (List.for_all (fun r -> not r.Experiment.r_predicted) plain);
+  check bool "some rows pruned" true
+    (List.exists (fun r -> r.Experiment.r_predicted) pruned);
+  List.iter2
+    (fun (_ : Experiment.record) (b : Experiment.record) ->
+      if b.Experiment.r_predicted then
+        check bool "pruned row is Not_manifested" true
+          (b.Experiment.r_outcome = Outcome.Not_manifested))
+    plain pruned;
+  let keep =
+    List.combine plain pruned
+    |> List.filter (fun (_, b) -> not b.Experiment.r_predicted)
+    |> List.split
+  in
+  let plain', pruned' = keep in
+  check bool "CSV identical modulo predicted rows" true
+    (String.equal (Experiment.to_csv plain') (Experiment.to_csv pruned'))
+
 let suite =
   [
     Alcotest.test_case "cfg diamond" `Quick test_cfg_diamond;
@@ -309,5 +623,18 @@ let suite =
     Alcotest.test_case "pruner prunes exactly equivalents" `Quick
       test_pruner_only_prunes_equivalent;
     Alcotest.test_case "campaign R classified" `Quick test_register_targets;
+    Alcotest.test_case "callgraph over real kernel" `Quick test_callgraph_real_kernel;
+    Alcotest.test_case "callgraph recursion + sccs" `Quick
+      test_callgraph_recursion_and_sccs;
+    Alcotest.test_case "summary hash invalidation" `Quick test_summary_hash_invalidation;
+    Alcotest.test_case "summary liveness refines intraprocedural" `Quick
+      test_summary_liveness_refines_intraprocedural;
+    Alcotest.test_case "slice terminates on cycles" `Quick test_slice_terminates_on_cycles;
+    Alcotest.test_case "slice kinds follow classes" `Quick test_slice_kinds_follow_classes;
+    Alcotest.test_case "agrees prediction-outcome matrix" `Quick test_agrees_matrix;
+    Alcotest.test_case "interprocedural prunes strictly more" `Quick
+      test_interprocedural_prunes_strictly_more;
     Alcotest.test_case "equivalent class is sound" `Slow test_equivalent_soundness;
+    Alcotest.test_case "pruned campaign CSV identical modulo predicted rows" `Slow
+      test_pruned_campaign_csv_identical;
   ]
