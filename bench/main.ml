@@ -9,7 +9,7 @@
      bench/main.exe perf            # simulator micro-benchmarks only
 
    Experiment ids: table1 fig1 table4 fig4 table5 fig6 fig7 fig8 ablation regcmp
-   oracle trace parallel journal perf *)
+   oracle trace parallel journal obs perf *)
 
 let header title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 78 '=') title (String.make 78 '=')
@@ -120,14 +120,22 @@ let () =
     |> function
     | [] ->
       [ "table1"; "fig1"; "table4"; "fig4"; "table5"; "fig6"; "fig7"; "fig8"; "ablation";
-        "regcmp"; "oracle"; "trace"; "parallel"; "journal"; "perf" ]
+        "regcmp"; "oracle"; "trace"; "parallel"; "journal"; "obs"; "perf" ]
     | l -> l
   in
   let want x = List.mem x wanted in
+  let max_overhead_pct =
+    let rec find = function
+      | "--max-overhead-pct" :: v :: _ -> Some (float_of_string v)
+      | _ :: tl -> find tl
+      | [] -> None
+    in
+    find args
+  in
   let need_study =
     List.exists want
       [ "table1"; "fig4"; "table5"; "fig6"; "fig7"; "fig8"; "ablation"; "regcmp"; "oracle";
-        "trace"; "parallel"; "journal" ]
+        "trace"; "parallel"; "journal"; "obs" ]
   in
   if need_study then begin
     Printf.eprintf "bench: booting kernel, golden runs, profiling...\n%!";
@@ -505,6 +513,91 @@ let () =
             && String.equal same (Kfi.Study.to_csv replay)
          then "byte-identical"
          else "DIFFERS (BUG)")
+    end;
+    if want "obs" then begin
+      header
+        "Extension — observability plane (campaign A: metrics off / on, phase \
+         shares)";
+      let module Metrics = Kfi.Obs.Metrics in
+      let module Writer = Kfi.Obs.Writer in
+      let now () = Unix.gettimeofday () in
+      (* min of two runs each: the first pays cache warm-up *)
+      let sweep ?metrics tag =
+        let run i =
+          Printf.eprintf "bench: campaign A, metrics %s (run %d)...\n%!" tag i;
+          let t0 = now () in
+          let r =
+            Kfi.Study.run_campaign
+              ~config:(Kfi.Config.make ~subsample ?metrics ())
+              study Kfi.Campaign.A
+          in
+          (r, now () -. t0)
+        in
+        let r1, t1 = run 1 in
+        let _, t2 = run 2 in
+        (r1, Float.min t1 t2)
+      in
+      let base, t_off = sweep "off" in
+      let m = Metrics.create ~name:"bench" () in
+      let stream = Filename.temp_file "kfi_bench_obs" ".jsonl" in
+      let w =
+        Writer.create ~interval_ms:200 ~path:stream (fun () -> Metrics.snapshot m)
+      in
+      let on_, t_on = sweep ~metrics:m "on" in
+      Writer.close w;
+      let snap = Metrics.snapshot m in
+      let n = List.length base in
+      let overhead_pct = 100. *. (t_on -. t_off) /. t_off in
+      let csv_same =
+        String.equal (Kfi.Study.to_csv base) (Kfi.Study.to_csv on_)
+      in
+      Printf.printf "metrics off  %6d experiments in %6.2f s\n" n t_off;
+      Printf.printf "metrics on   %6d experiments in %6.2f s  (%+5.1f%%)\n"
+        (List.length on_) t_on overhead_pct;
+      Printf.printf "CSV %s across off / on\n"
+        (if csv_same then "byte-identical" else "DIFFERS (BUG)");
+      let shares = Option.value ~default:[] (Writer.phase_shares snap) in
+      List.iter
+        (fun (name, pct) -> Printf.printf "  %-10s %5.1f%% of injection wall\n" name pct)
+        shares;
+      let hist_ms key q =
+        match Metrics.hist snap key with
+        | Some h -> Metrics.quantile h q *. 1000.
+        | None -> 0.
+      in
+      let json =
+        Kfi.Trace.Telemetry.(
+          Obj
+            [
+              ("experiment", Str "obs");
+              ("campaign", Str "A");
+              ("subsample", Int subsample);
+              ("experiments", Int n);
+              ("campaign_s_metrics_off", Float t_off);
+              ("campaign_s_metrics_on", Float t_on);
+              ("overhead_pct", Float overhead_pct);
+              ("csv_identical", Bool csv_same);
+              ( "phase_shares_pct",
+                Obj (List.map (fun (k, v) -> (k, Float v)) shares) );
+              ("inj_wall_p50_ms", Float (hist_ms "inj.wall" 0.5));
+              ("inj_wall_p99_ms", Float (hist_ms "inj.wall" 0.99));
+              ("journal_fsync_p99_ms", Float (hist_ms "phase.journal_fsync" 0.99));
+            ])
+      in
+      let oc = open_out "BENCH_obs.json" in
+      output_string oc (Kfi.Trace.Telemetry.to_string json ^ "\n");
+      close_out oc;
+      Printf.printf "wrote BENCH_obs.json (stream: %s)\n" stream;
+      Sys.remove stream;
+      (try Sys.remove (Writer.rollup_path stream) with Sys_error _ -> ());
+      match max_overhead_pct with
+      | Some cap when overhead_pct > cap ->
+        Printf.eprintf "bench: metrics overhead %.1f%% exceeds the %.1f%% cap\n"
+          overhead_pct cap;
+        exit 1
+      | Some cap ->
+        Printf.printf "overhead %.1f%% within the %.1f%% cap\n" overhead_pct cap
+      | None -> ()
     end
   end;
   if want "fig1" && not need_study then begin

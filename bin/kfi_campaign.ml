@@ -5,12 +5,13 @@
    kfi-campaign -j 4             # four worker domains, same records
    kfi-campaign -c A --subsample 20 --csv out.csv --jsonl out.jsonl
    kfi-campaign --journal run.kj # crash-safe: every injection fsync'd
-   kfi-campaign --journal run.kj --resume   # continue after a SIGKILL *)
+   kfi-campaign --journal run.kj --resume   # continue after a SIGKILL
+   kfi-campaign --metrics m.jsonl           # stream metric frames (kfi-stats) *)
 
 open Cmdliner
 
 let run campaigns subsample full csv_path jsonl_path seed quiet hardening jobs
-    journal_path resume deadline_ms retries =
+    journal_path resume deadline_ms retries metrics_path metrics_interval_ms =
   let subsample = if full then 1 else subsample in
   Printf.eprintf "booting kernel + golden runs + profiling...\n%!";
   let study = Kfi.Study.prepare () in
@@ -35,6 +36,17 @@ let run campaigns subsample full csv_path jsonl_path seed quiet hardening jobs
       Kfi.Injector.Fleet.deadline_ms;
       retries;
     }
+  in
+  let metrics, metrics_writer =
+    match metrics_path with
+    | None -> (None, None)
+    | Some path ->
+      let m = Kfi.Obs.Metrics.create ~name:"campaign" () in
+      let w =
+        Kfi.Obs.Writer.create ~interval_ms:metrics_interval_ms ~path (fun () ->
+            Kfi.Obs.Metrics.snapshot m)
+      in
+      (Some m, Some w)
   in
   let jsonl_oc = Option.map open_out jsonl_path in
   let telemetry =
@@ -66,7 +78,7 @@ let run campaigns subsample full csv_path jsonl_path seed quiet hardening jobs
   in
   let config =
     Kfi.Config.make ~subsample ~seed ~hardening ?telemetry ~on_progress ~jobs
-      ?journal ~policy ()
+      ?journal ~policy ?metrics ()
   in
   if jobs > 1 then begin
     Printf.eprintf "booting %d worker runners...\n%!" (jobs - 1);
@@ -100,6 +112,13 @@ let run campaigns subsample full csv_path jsonl_path seed quiet hardening jobs
        (Kfi.Injector.Journal.loaded j)
        (Kfi.Injector.Journal.appended j);
      Kfi.Injector.Journal.close j
+   | _ -> ());
+  (match (metrics_writer, metrics_path) with
+   | Some w, Some path ->
+     Kfi.Obs.Writer.close w;
+     Printf.eprintf "wrote %s and %s (try: kfi-stats %s)\n%!" path
+       (Kfi.Obs.Writer.rollup_path path)
+       path
    | _ -> ());
   0
 
@@ -172,12 +191,30 @@ let retries_arg =
           "Retries (with exponential backoff, on a fresh runner from the \
            second retry) before a failing injection is quarantined.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"PATH"
+        ~doc:
+          "Stream cumulative metric frames (JSONL) to $(docv) while the \
+           campaign runs, plus a final rollup to $(docv).rollup — inspect \
+           with $(b,kfi-stats).  Pure observation: records, CSV, stripped \
+           JSONL and the journal are byte-identical with or without it.")
+
+let metrics_interval_arg =
+  Arg.(
+    value & opt int 500
+    & info [ "metrics-interval-ms" ] ~docv:"MS"
+        ~doc:"Frame interval for $(b,--metrics) (0 = only the final frame).")
+
 let cmd =
   Cmd.v
     (Cmd.info "kfi-campaign" ~doc:"Kernel fault-injection campaigns (DSN'03 reproduction)")
     Term.(
       const run $ campaigns_arg $ subsample_arg $ full_arg $ csv_arg $ jsonl_arg
       $ seed_arg $ quiet_arg $ hardening_arg $ jobs_arg $ journal_arg
-      $ resume_arg $ deadline_arg $ retries_arg)
+      $ resume_arg $ deadline_arg $ retries_arg $ metrics_arg
+      $ metrics_interval_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -6,6 +6,7 @@
      kfi-trace --fn do_page_fault --addr 0xc0100f30 --byte 1 --bit 7
      kfi-trace --lint campaign.jsonl     # schema-lint a telemetry log
      kfi-trace --strip campaign.jsonl    # drop wall-clock fields (determinism diffs)
+     kfi-trace --dump-journal run.kj     # canonical text dump of a campaign journal
 
    Targets are addressed as in campaign CSVs: either a byte offset from
    the function start (--byte alone), or an instruction address plus the
@@ -134,15 +135,41 @@ let strip_file path =
     print_string stripped;
     0
 
-let run lint strip fn byte bit addr workload level trace_n =
-  match (lint, strip) with
-  | Some path, _ -> lint_file path
-  | None, Some path -> strip_file path
-  | None, None -> (
+(* Canonical text dump of a campaign journal: entries sorted by target
+   key, one line each with a digest of the full entry.  Raw journal bytes
+   differ between runs that complete in different orders (-j 1 vs -j 4,
+   interrupted vs not); this dump is order-insensitive, so determinism
+   gates compare two journals with [cmp] over their dumps. *)
+let dump_journal_file path =
+  match Kfi.Injector.Journal.read_file path with
+  | exception Sys_error msg ->
+    Printf.eprintf "kfi-trace: %s\n" msg;
+    1
+  | es ->
+    let open Kfi.Injector.Journal in
+    List.sort (fun a b -> compare (key_of_entry a) (key_of_entry b)) es
+    |> List.iter (fun e ->
+           Printf.printf "%s %s 0x%08lx byte %d bit %d wl %d %s%s retries %d \
+                          cycles %d %s\n"
+             (Target.campaign_letter e.e_campaign)
+             e.e_fn e.e_addr e.e_byte e.e_bit e.e_workload
+             (Outcome.category e.e_outcome)
+             (if e.e_predicted then " (predicted)" else "")
+             e.e_retries e.e_cycles
+             (Digest.to_hex (Digest.string (Marshal.to_string e []))));
+    0
+
+let run lint strip dump_journal fn byte bit addr workload level trace_n =
+  match (lint, strip, dump_journal) with
+  | Some path, _, _ -> lint_file path
+  | None, Some path, _ -> strip_file path
+  | None, None, Some path -> dump_journal_file path
+  | None, None, None -> (
     match fn with
     | None ->
       Printf.eprintf
-        "kfi-trace: one of --lint, --strip or --fn is required (see --help)\n";
+        "kfi-trace: one of --lint, --strip, --dump-journal or --fn is \
+         required (see --help)\n";
       2
     | Some fn -> (
       Printf.eprintf "booting kernel + golden runs + profiling...\n%!";
@@ -205,6 +232,17 @@ let strip_arg =
           "Print a telemetry JSONL file with its volatile wall-clock fields \
            removed and exit (no kernel boot); used by determinism gates.")
 
+let dump_journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-journal" ] ~docv:"FILE"
+        ~doc:
+          "Print a campaign journal as canonical text — entries sorted by \
+           target key, one digest-stamped line each — and exit (no kernel \
+           boot).  Order-insensitive, so determinism gates compare journals \
+           written in different completion orders.")
+
 let fn_arg =
   Arg.(
     value
@@ -249,7 +287,7 @@ let cmd =
     (Cmd.info "kfi-trace"
        ~doc:"Replay one injection with full tracing and print the oops dump")
     Term.(
-      const run $ lint_arg $ strip_arg $ fn_arg $ byte_arg $ bit_arg $ addr_arg
-      $ workload_arg $ level_arg $ trace_n_arg)
+      const run $ lint_arg $ strip_arg $ dump_journal_arg $ fn_arg $ byte_arg
+      $ bit_arg $ addr_arg $ workload_arg $ level_arg $ trace_n_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -60,6 +60,70 @@ cmp _artifacts/campaign_serial.jsonl.stripped _artifacts/campaign.jsonl.stripped
   exit 1
 }
 
+echo "== observability gate: metrics on, frames lint, byte-identity at -j 4 vs -j 1 =="
+# Metrics are pure observation: with --metrics on, the CSV, the stripped
+# JSONL and the (canonically dumped) journal must be byte-identical
+# between -j 4 and -j 1, and identical to the metrics-off runs above.
+dune exec bin/kfi_campaign.exe -- -c A --subsample 60 -q -j 4 \
+  --csv _artifacts/obs4.csv --jsonl _artifacts/obs4.jsonl \
+  --journal _artifacts/obs4.journal \
+  --metrics _artifacts/obs4.metrics.jsonl --metrics-interval-ms 100 \
+  > /dev/null
+dune exec bin/kfi_campaign.exe -- -c A --subsample 60 -q -j 1 \
+  --csv _artifacts/obs1.csv --jsonl _artifacts/obs1.jsonl \
+  --journal _artifacts/obs1.journal \
+  --metrics _artifacts/obs1.metrics.jsonl --metrics-interval-ms 100 \
+  > /dev/null
+# the frame streams lint, and each run left a rollup artifact
+dune exec bin/kfi_stats.exe -- --lint _artifacts/obs4.metrics.jsonl \
+  _artifacts/obs1.metrics.jsonl
+dune exec bin/kfi_stats.exe -- _artifacts/obs4.metrics.jsonl \
+  > _artifacts/obs_summary.txt
+cat _artifacts/obs_summary.txt
+test -s _artifacts/obs4.metrics.jsonl.rollup || {
+  echo "observability gate failed: missing metrics rollup" >&2
+  exit 1
+}
+cmp _artifacts/campaign_serial.csv _artifacts/obs1.csv || {
+  echo "observability gate failed: metrics-on CSV diverged from metrics-off" >&2
+  exit 1
+}
+cmp _artifacts/obs1.csv _artifacts/obs4.csv || {
+  echo "observability gate failed: -j 4 CSV diverged from -j 1 with metrics on" >&2
+  exit 1
+}
+dune exec bin/kfi_trace.exe -- --strip _artifacts/obs1.jsonl \
+  > _artifacts/obs1.jsonl.stripped
+dune exec bin/kfi_trace.exe -- --strip _artifacts/obs4.jsonl \
+  > _artifacts/obs4.jsonl.stripped
+cmp _artifacts/campaign_serial.jsonl.stripped _artifacts/obs1.jsonl.stripped || {
+  echo "observability gate failed: metrics-on telemetry diverged from metrics-off" >&2
+  exit 1
+}
+cmp _artifacts/obs1.jsonl.stripped _artifacts/obs4.jsonl.stripped || {
+  echo "observability gate failed: -j 4 telemetry diverged from -j 1 with metrics on" >&2
+  exit 1
+}
+# journals are written in completion order, so compare canonical dumps
+dune exec bin/kfi_trace.exe -- --dump-journal _artifacts/obs1.journal \
+  > _artifacts/obs1.journal.dump
+dune exec bin/kfi_trace.exe -- --dump-journal _artifacts/obs4.journal \
+  > _artifacts/obs4.journal.dump
+cmp _artifacts/obs1.journal.dump _artifacts/obs4.journal.dump || {
+  echo "observability gate failed: -j 4 journal diverged from -j 1 with metrics on" >&2
+  exit 1
+}
+
+echo "== observability overhead cap: metrics must cost < 5% wall clock =="
+dune exec bench/main.exe -- obs --subsample 60 --max-overhead-pct 5 \
+  > _artifacts/bench_obs.txt 2>&1 || {
+  cat _artifacts/bench_obs.txt
+  echo "observability overhead cap exceeded (see _artifacts/bench_obs.txt)" >&2
+  exit 1
+}
+tail -n 12 _artifacts/bench_obs.txt
+cp BENCH_obs.json _artifacts/BENCH_obs.json
+
 echo "== chaos gate: SIGKILL mid-campaign, resume from the journal =="
 # Start a journaled run, shoot it once completed injections are on disk,
 # resume, and demand output byte-identical to the uninterrupted run.

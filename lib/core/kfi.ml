@@ -14,6 +14,7 @@ module Profiler = Kfi_profiler
 module Injector = Kfi_injector
 module Staticoracle = Kfi_staticoracle
 module Trace = Kfi_trace
+module Obs = Kfi_obs
 module Analysis = Kfi_analysis
 
 (* Re-exports of the most used types *)
@@ -25,12 +26,17 @@ module Config = struct
   include Kfi_injector.Config
 
   (* Shadow [make] to take the oracle value itself: the pruning hook is
-     resolved here, once, instead of at every run entry point. *)
+     resolved here, once, instead of at every run entry point.  When both
+     an oracle and a metrics registry are given, the oracle's
+     classify/slice spans land in the same registry. *)
   let make ?subsample ?seed ?hardening ?oracle ?telemetry ?on_progress ?jobs
-      ?journal ?policy () =
+      ?journal ?policy ?metrics () =
+    (match (oracle, metrics) with
+     | Some o, Some _ -> Kfi_staticoracle.Oracle.set_metrics o metrics
+     | _ -> ());
     Kfi_injector.Config.make ?subsample ?seed ?hardening
       ?oracle:(Option.map Kfi_staticoracle.Oracle.pruner oracle)
-      ?telemetry ?on_progress ?jobs ?journal ?policy ()
+      ?telemetry ?on_progress ?jobs ?journal ?policy ?metrics ()
 end
 
 module Study = struct

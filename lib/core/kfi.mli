@@ -20,6 +20,8 @@
     - {!Injector}: campaigns, targets, runner, fleet, outcomes,
     - {!Staticoracle}: FastFlip-style mutation pre-classification,
     - {!Trace}: flight-recorder forensics and campaign telemetry,
+    - {!Obs}: campaign observability (metrics registry, phase spans,
+      streaming snapshot writer — the [kfi-stats] data plane),
     - {!Analysis}: aggregation and table/figure rendering. *)
 
 module Isa = Kfi_isa
@@ -32,6 +34,7 @@ module Profiler = Kfi_profiler
 module Injector = Kfi_injector
 module Staticoracle = Kfi_staticoracle
 module Trace = Kfi_trace
+module Obs = Kfi_obs
 module Analysis = Kfi_analysis
 
 (** The paper's campaigns: A (non-branch text), B (branch text bytes),
@@ -68,6 +71,11 @@ module Config : sig
     policy : Kfi_injector.Fleet.policy;
         (** per-injection wall-clock deadline, retry/backoff/quarantine
             and fleet degraded-mode knobs *)
+    metrics : Kfi_obs.Metrics.t option;
+        (** observability registry threaded to the runner(s), fleet and
+            journal (phase spans, throughput counters, fsync stalls).
+            Pure observation: records, CSV, stripped JSONL and journal
+            bytes are identical with or without it, at any job count *)
   }
 
   val default : t
@@ -84,11 +92,15 @@ module Config : sig
     ?jobs:int ->
     ?journal:Kfi_injector.Journal.t ->
     ?policy:Kfi_injector.Fleet.policy ->
+    ?metrics:Kfi_obs.Metrics.t ->
     unit ->
     t
   (** {!default} with the given fields replaced.  [oracle] takes the
       oracle value itself (e.g. {!Study.make_oracle}) and resolves its
-      pruning hook here, once. *)
+      pruning hook here, once; given both [oracle] and [metrics], the
+      oracle is attached to the registry
+      ([Kfi_staticoracle.Oracle.set_metrics]) so its classify/slice
+      spans land alongside the campaign's. *)
 end
 
 (** Prepared injection study: booted kernel, golden runs, profile. *)

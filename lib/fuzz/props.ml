@@ -870,6 +870,104 @@ let telemetry_json_roundtrip =
               then Error "strip_volatile left a volatile key behind"
               else Ok ())
 
+(* ---------- obs: snapshot merge is associative/commutative ---------- *)
+
+(* Shards of a campaign merge their metric snapshots in whatever order
+   the collector sees them; the dashboard depends on the merge being
+   order-insensitive.  Bucket counts, counters, gauges, min/max are
+   exact under any association; float sums only up to addition
+   reordering, hence the relative tolerance.  The quantile of a merged
+   histogram must stay within one bucket of the exact sample quantile. *)
+
+module Metrics = Kfi_obs.Metrics
+
+(* log-uniform-ish durations, 10ns .. ~100s, the histogram's sweet spot *)
+let gen_sample rng =
+  let e = Kfi_fuzz.Rng.int_range rng (-8) 1 in
+  let m = Kfi_fuzz.Rng.int_range rng 100 999 in
+  float_of_int m /. 100. *. (10. ** float_of_int e)
+
+let gen_shards = Gen.triple
+    (Gen.list ~min:0 ~max:30 gen_sample)
+    (Gen.list ~min:0 ~max:30 gen_sample)
+    (Gen.list ~min:0 ~max:30 gen_sample)
+
+let snap_of samples =
+  let r = Metrics.create () in
+  List.iter
+    (fun v ->
+      Metrics.observe r "lat" v;
+      Metrics.incr r "n";
+      Metrics.set_gauge r "hw" v)
+    samples;
+  Metrics.snapshot r
+
+let feq a b =
+  a = b || Float.abs (a -. b) <= 1e-9 *. Float.max (Float.abs a) (Float.abs b)
+
+let eq_snap (a : Metrics.snap) (b : Metrics.snap) =
+  a.Metrics.sn_counters = b.Metrics.sn_counters
+  && List.length a.Metrics.sn_gauges = List.length b.Metrics.sn_gauges
+  && List.for_all2
+       (fun (k, v) (k', v') -> k = k' && feq v v')
+       a.Metrics.sn_gauges b.Metrics.sn_gauges
+  && List.length a.Metrics.sn_hists = List.length b.Metrics.sn_hists
+  && List.for_all2
+       (fun (k, h) (k', h') ->
+         k = k'
+         && h.Metrics.hs_count = h'.Metrics.hs_count
+         && h.Metrics.hs_buckets = h'.Metrics.hs_buckets
+         && h.Metrics.hs_min = h'.Metrics.hs_min
+         && h.Metrics.hs_max = h'.Metrics.hs_max
+         && feq h.Metrics.hs_sum h'.Metrics.hs_sum)
+       a.Metrics.sn_hists b.Metrics.sn_hists
+
+let obs_merge_assoc =
+  Fuzz.make ~name:"obs.merge_assoc"
+    ~doc:
+      "metric snapshot merge is associative and commutative (exact buckets, \
+       tolerant sums); merged quantiles stay within one bucket of exact"
+    (Fuzz.arb
+       ~shrink:Shrink.nil
+       ~print:(fun (a, b, c) ->
+         let pl l = "[" ^ String.concat ";" (List.map (spf "%.9g") l) ^ "]" in
+         spf "%s %s %s" (pl a) (pl b) (pl c))
+       gen_shards)
+    (fun (sa, sb, sc) ->
+      let a = snap_of sa and b = snap_of sb and c = snap_of sc in
+      let m = Metrics.merge in
+      if not (eq_snap (m (m a b) c) (m a (m b c))) then
+        Error "merge is not associative"
+      else if not (eq_snap (m a b) (m b a)) then Error "merge is not commutative"
+      else if not (eq_snap (m a Metrics.empty) a) then
+        Error "empty is not a right identity"
+      else
+        let merged = m (m a b) c in
+        let all_samples = List.sort compare (sa @ sb @ sc) in
+        let n = List.length all_samples in
+        if n = 0 then Ok ()
+        else
+          match Metrics.hist merged "lat" with
+          | None -> Error "merged snapshot lost the histogram"
+          | Some h ->
+            if h.Metrics.hs_count <> n then
+              Error (spf "merged count %d <> %d samples" h.Metrics.hs_count n)
+            else
+              let check q =
+                let rank = max 1 (min n (int_of_float (ceil (q *. float_of_int n)))) in
+                let exact = List.nth all_samples (rank - 1) in
+                let est = Metrics.quantile h q in
+                if abs (Metrics.bucket_of est - Metrics.bucket_of exact) <= 1 then
+                  Ok ()
+                else
+                  Error
+                    (spf "q%.2f: estimate %.9g (bucket %d) vs exact %.9g (bucket %d)"
+                       q est (Metrics.bucket_of est) exact (Metrics.bucket_of exact))
+              in
+              List.fold_left
+                (fun acc q -> match acc with Error _ -> acc | Ok () -> check q)
+                (Ok ()) [ 0.5; 0.9; 0.99 ])
+
 (* ---------- registry ---------- *)
 
 let all =
@@ -886,6 +984,7 @@ let all =
     journal_torn_resume;
     csv_rfc4180;
     telemetry_json_roundtrip;
+    obs_merge_assoc;
   ]
 
 let find name = List.find_opt (fun p -> Fuzz.name p = name) all

@@ -28,6 +28,11 @@ val journal_torn_resume : Kfi_fuzz.Fuzz.t
 val csv_rfc4180 : Kfi_fuzz.Fuzz.t
 val telemetry_json_roundtrip : Kfi_fuzz.Fuzz.t
 
+val obs_merge_assoc : Kfi_fuzz.Fuzz.t
+(** Metric snapshot merge is associative and commutative (bucket counts
+    exact, float sums up to reordering) and a merged histogram's
+    quantile stays within one bucket of the exact sample quantile. *)
+
 val all : Kfi_fuzz.Fuzz.t list
 (** Registry, in the order the CLI runs them. *)
 

@@ -24,6 +24,12 @@ type t = {
   policy : Fleet.policy;
       (* per-injection deadline / retry / quarantine and fleet
          degraded-mode knobs *)
+  metrics : Kfi_obs.Metrics.t option;
+      (* observability registry threaded to the runner(s), fleet and
+         journal: phase spans, throughput counters, stall histograms.
+         Pure observation — records, CSV, stripped JSONL and the
+         journal are byte-identical with or without it, which is why
+         it stays out of [fingerprint] *)
 }
 
 let default =
@@ -37,11 +43,12 @@ let default =
     jobs = 1;
     journal = None;
     policy = Fleet.default_policy;
+    metrics = None;
   }
 
 let make ?(subsample = default.subsample) ?(seed = default.seed)
     ?(hardening = default.hardening) ?oracle ?telemetry ?on_progress
-    ?(jobs = default.jobs) ?journal ?(policy = default.policy) () =
+    ?(jobs = default.jobs) ?journal ?(policy = default.policy) ?metrics () =
   {
     subsample;
     seed;
@@ -52,6 +59,7 @@ let make ?(subsample = default.subsample) ?(seed = default.seed)
     jobs;
     journal;
     policy;
+    metrics;
   }
 
 (* The fingerprint guarding a resumed journal: everything that changes

@@ -30,12 +30,18 @@ type t = {
   policy : Fleet.policy;
       (** per-injection wall-clock deadline, retry/backoff/quarantine,
           and fleet heartbeat knobs (see {!Fleet.policy}) *)
+  metrics : Kfi_obs.Metrics.t option;
+      (** observability registry threaded to the runner(s), fleet and
+          journal (phase-span histograms, throughput counters, fsync
+          stalls).  Pure observation: records, CSV, stripped JSONL and
+          journal bytes are identical with or without it, at any job
+          count — so it is deliberately absent from {!fingerprint} *)
 }
 
 val default : t
 (** [{ subsample = 1; seed = 42; hardening = false; oracle = None;
       telemetry = None; on_progress = None; jobs = 1; journal = None;
-      policy = Fleet.default_policy }]. *)
+      policy = Fleet.default_policy; metrics = None }]. *)
 
 val make :
   ?subsample:int ->
@@ -47,6 +53,7 @@ val make :
   ?jobs:int ->
   ?journal:Journal.t ->
   ?policy:Fleet.policy ->
+  ?metrics:Kfi_obs.Metrics.t ->
   unit ->
   t
 (** {!default} with the given fields replaced. *)

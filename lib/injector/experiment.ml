@@ -104,9 +104,14 @@ let telemetry_target tm letter (t : Target.t) ~workload ~outcome ~predicted
         | Outcome.Harness_abort _ -> tm.n_aborted <- tm.n_aborted + 1
         | _ -> ()
       end);
-  let wall_ms, cycles =
-    if predicted then (0., 0)
-    else (timing.Fleet.wall *. 1000., timing.Fleet.cycles)
+  let wall_ms, restore_ms, exec_ms, classify_ms, cycles =
+    if predicted then (0., 0., 0., 0., 0)
+    else
+      ( timing.Fleet.wall *. 1000.,
+        timing.Fleet.restore *. 1000.,
+        timing.Fleet.exec *. 1000.,
+        timing.Fleet.classify *. 1000.,
+        timing.Fleet.cycles )
   in
   let path =
     match outcome with
@@ -126,11 +131,19 @@ let telemetry_target tm letter (t : Target.t) ~workload ~outcome ~predicted
        ("predicted", Bool predicted);
        ("retries", Int retries);
        ("wall_ms", Float wall_ms);
+       ("restore_ms", Float restore_ms);
+       ("exec_ms", Float exec_ms);
+       ("classify_ms", Float classify_ms);
        ("cycles", Int cycles);
      ]
     @ path)
 
-let run_campaign ?(config = Config.default) ?fleet runner profile campaign =
+(* Run an already-enumerated target list.  [run_campaign] is the normal
+   entry (enumerate + subsample + run); this one exists for embedders
+   that shard or filter the enumeration themselves, and for tests that
+   need edge-case target lists (e.g. the empty campaign). *)
+let run_targets ?(config = Config.default) ?fleet runner profile campaign
+    targets =
   let {
     Config.subsample;
     seed;
@@ -141,6 +154,7 @@ let run_campaign ?(config = Config.default) ?fleet runner profile campaign =
     jobs;
     journal;
     policy;
+    metrics;
   } =
     config
   in
@@ -149,10 +163,12 @@ let run_campaign ?(config = Config.default) ?fleet runner profile campaign =
      invalid_arg "Experiment.run_campaign: the fleet's primary runner differs"
    | _ -> ());
   Runner.set_hardening runner hardening;
-  let fns = campaign_functions runner profile campaign in
-  let targets =
-    Target.enumerate runner.Runner.build ~campaign ~seed fns
-    |> subsample_targets ~subsample
+  Runner.set_metrics runner metrics;
+  (match journal with Some j -> Journal.set_metrics j metrics | None -> ());
+  let mtime name f =
+    match metrics with
+    | Some m -> Kfi_obs.Metrics.time m name f
+    | None -> f ()
   in
   let total = List.length targets in
   let letter = Target.campaign_letter campaign in
@@ -176,6 +192,7 @@ let run_campaign ?(config = Config.default) ?fleet runner profile campaign =
      machine-independent, so they happen here, serially, whatever [jobs]
      is — workers then only ever touch their own runner *)
   let items =
+    mtime "phase.plan" @@ fun () ->
     Array.of_list targets
     |> Array.map (fun (t : Target.t) ->
            let workload = workload_for profile t in
@@ -195,9 +212,8 @@ let run_campaign ?(config = Config.default) ?fleet runner profile campaign =
                      Fleet.res_outcome = e.Journal.e_outcome;
                      res_timing =
                        {
-                         Fleet.wall = 0.;
-                         restore = 0.;
-                         cycles = e.Journal.e_cycles;
+                         Fleet.timing_zero with
+                         Fleet.cycles = e.Journal.e_cycles;
                        };
                      res_predicted = e.Journal.e_predicted;
                      res_retries = e.Journal.e_retries;
@@ -212,11 +228,25 @@ let run_campaign ?(config = Config.default) ?fleet runner profile campaign =
              it_done = done_;
            })
   in
+  (match metrics with
+   | Some m ->
+     let count p = Array.fold_left (fun a it -> if p it then a + 1 else a) 0 in
+     Kfi_obs.Metrics.incr m ~by:total "campaign.targets";
+     Kfi_obs.Metrics.incr m
+       ~by:(count (fun it -> it.Fleet.it_predicted <> None) items)
+       "campaign.pruned";
+     Kfi_obs.Metrics.incr m
+       ~by:(count (fun it -> it.Fleet.it_done <> None) items)
+       "campaign.replayed"
+   | None -> ());
   (* progress ticks and telemetry always fire in serial target order:
      the serial loop emits as it runs, the fleet's collector re-orders.
      Pruned and journal-replayed targets tick like any other, so tick
      counts are identical across prune/skip/resume. *)
   let emit i (it : Fleet.item) (res : Fleet.result) =
+    (* the collector-merge span: progress + telemetry emission, on the
+       collecting domain, in serial target order *)
+    mtime "phase.collect" @@ fun () ->
     (match on_progress with Some f -> f ~done_:i ~total | None -> ());
     match telemetry with
     | Some tm ->
@@ -288,12 +318,14 @@ let run_campaign ?(config = Config.default) ?fleet runner profile campaign =
           f
         | None -> Fleet.create ~jobs runner
       in
-      Fleet.run ~jobs ~policy ~on_result:emit ~on_complete:journal_append
-        ?on_degraded pool items
+      Fleet.run ~jobs ~policy ?metrics ~on_result:emit
+        ~on_complete:journal_append ?on_degraded pool items
     end
   in
   (* completion tick: per-target ticks report the count *before* each
-     target, so consumers would otherwise never see done_ = total *)
+     target, so consumers would otherwise never see done_ = total.  On an
+     empty campaign (total = 0) the per-target loop emits nothing and this
+     is the run's one and only tick — never two. *)
   (match on_progress with Some f -> f ~done_:total ~total | None -> ());
   (match telemetry with
    | Some tm ->
@@ -336,6 +368,15 @@ let run_campaign ?(config = Config.default) ?fleet runner profile campaign =
            r_retries = results.(i).Fleet.res_retries;
          })
        items)
+
+(* The normal campaign entry: enumerate, subsample, run. *)
+let run_campaign ?(config = Config.default) ?fleet runner profile campaign =
+  let fns = campaign_functions runner profile campaign in
+  let targets =
+    Target.enumerate runner.Runner.build ~campaign ~seed:config.Config.seed fns
+    |> subsample_targets ~subsample:config.Config.subsample
+  in
+  run_targets ~config ?fleet runner profile campaign targets
 
 (* Full study: all three campaigns. *)
 let run_all ?config ?fleet runner profile =

@@ -28,6 +28,22 @@ val workload_for : Kfi_profiler.Sampler.profile -> Target.t -> int
 (** The driving workload for a target: half profile-matched, half
     pseudo-random (approximating whole-suite activity). *)
 
+val run_targets :
+  ?config:Config.t ->
+  ?fleet:Fleet.t ->
+  Runner.t ->
+  Kfi_profiler.Sampler.profile ->
+  Target.campaign ->
+  Target.t list ->
+  record list
+(** Run an already-enumerated target list under [config] —
+    {!run_campaign} minus enumeration and subsampling.  For embedders
+    that shard or filter the enumeration themselves, and for tests that
+    need edge-case lists: on an empty list the progress callback fires
+    exactly once ([~done_:0 ~total:0], the completion tick) and the
+    telemetry stream still carries its campaign_start/campaign_end
+    pair. *)
+
 val run_campaign :
   ?config:Config.t ->
   ?fleet:Fleet.t ->

@@ -55,9 +55,26 @@ end
 
 (* ----- work items and results ----- *)
 
-type timing = { wall : float; restore : float; cycles : int }
+type timing = {
+  wall : float; (* restore + exec + classify *)
+  restore : float;
+  exec : float;
+  classify : float;
+  cycles : int;
+}
 
-let timing_zero = { wall = 0.; restore = 0.; cycles = 0 }
+let timing_zero =
+  { wall = 0.; restore = 0.; exec = 0.; classify = 0.; cycles = 0 }
+
+(* the runner's [last_*] fields, read on the domain that owns it *)
+let timing_of_runner (r : Runner.t) =
+  {
+    wall = r.Runner.last_wall +. r.Runner.last_classify;
+    restore = r.Runner.last_restore;
+    exec = Float.max 0. (r.Runner.last_wall -. r.Runner.last_restore);
+    classify = r.Runner.last_classify;
+    cycles = r.Runner.last_cycles;
+  }
 
 type item = {
   it_target : Target.t;
@@ -167,12 +184,7 @@ let run_item (r : Runner.t) it =
       let o = Runner.run_one r ~workload:it.it_workload it.it_target in
       {
         res_outcome = o;
-        res_timing =
-          {
-            wall = r.Runner.last_wall;
-            restore = r.Runner.last_restore;
-            cycles = r.Runner.last_cycles;
-          };
+        res_timing = timing_of_runner r;
         res_predicted = false;
         res_retries = 0;
       })
@@ -201,12 +213,7 @@ let run_attempt ~policy ~attempt (r : Runner.t) it =
   let o = Runner.run_one ?deadline r ~workload:it.it_workload it.it_target in
   {
     res_outcome = o;
-    res_timing =
-      {
-        wall = r.Runner.last_wall;
-        restore = r.Runner.last_restore;
-        cycles = r.Runner.last_cycles;
-      };
+    res_timing = timing_of_runner r;
     res_predicted = false;
     res_retries = attempt;
   }
@@ -264,6 +271,10 @@ type range = { r_lo : int; r_hi : int; r_retried : bool }
 
 type slot = {
   s_runner : Runner.t;
+  s_obs : Kfi_obs.Metrics.t option;
+      (* this worker's forked child registry (contention-free updates;
+         merged back into the parent by [Metrics.snapshot]) *)
+  s_items_key : string; (* per-worker throughput counter name *)
   mutable s_beat : float; (* last heartbeat (claim / item completion) *)
   mutable s_range : range option; (* currently claimed range *)
   mutable s_next : int; (* first incomplete index of that range *)
@@ -271,8 +282,8 @@ type slot = {
   mutable s_exited : bool; (* the domain function actually returned *)
 }
 
-let run ?jobs ?(chunk = 1) ?(policy = default_policy) ?on_result ?on_complete
-    ?on_degraded t items =
+let run ?jobs ?(chunk = 1) ?(policy = default_policy) ?metrics ?on_result
+    ?on_complete ?on_degraded t items =
   let n = Array.length items in
   let jobs =
     let cap = Option.value jobs ~default:(size t) in
@@ -293,10 +304,26 @@ let run ?jobs ?(chunk = 1) ?(policy = default_policy) ?on_result ?on_complete
   let finished = Atomic.make false in (* run over: the ticker exits *)
   let requeue = ref [] in (* ranges orphaned by dead workers *)
   let degraded = ref [] in (* pending degradation notices, newest first *)
+  (match metrics with
+   | Some m ->
+     Kfi_obs.Metrics.set_gauge m "fleet.jobs" (float_of_int jobs);
+     Kfi_obs.Metrics.set_gauge m "fleet.queue_depth" (float_of_int n)
+   | None -> ());
   let slots =
     Array.init jobs (fun i ->
+        let s_obs =
+          Option.map
+            (fun m ->
+              Kfi_obs.Metrics.fork m ~name:(Printf.sprintf "worker%d" i))
+            metrics
+        in
+        (* workers record their runner's phase spans into their own leaf
+           registry; [None] also clears a registry left by a prior run *)
+        Runner.set_metrics t.runners.(i) s_obs;
         {
           s_runner = t.runners.(i);
+          s_obs;
+          s_items_key = Printf.sprintf "fleet.worker%d.items" i;
           s_beat = Unix.gettimeofday ();
           s_range = None;
           s_next = 0;
@@ -321,6 +348,14 @@ let run ?jobs ?(chunk = 1) ?(policy = default_policy) ?on_result ?on_complete
      worker deaths — and queue a degradation notice for the collector. *)
   let abandon slot ~reason =
     slot.s_dead <- true;
+    (match metrics with
+     | Some m ->
+       Kfi_obs.Metrics.incr m "fleet.degraded";
+       (match slot.s_range with
+        | Some rg when slot.s_next < rg.r_hi ->
+          Kfi_obs.Metrics.incr m ~by:(rg.r_hi - slot.s_next) "fleet.requeued"
+        | _ -> ())
+     | None -> ());
     (match slot.s_range with
      | Some rg when slot.s_next < rg.r_hi ->
        if rg.r_retried then
@@ -360,6 +395,13 @@ let run ?jobs ?(chunk = 1) ?(policy = default_policy) ?on_result ?on_complete
          slot.s_next <- rg.r_lo;
          slot.s_beat <- Unix.gettimeofday ()
        | None -> ());
+      (match metrics with
+       | Some m ->
+         (* unclaimed indexes still in the chunk queue (current depth:
+            only this, single-writer parent gauge) *)
+         Kfi_obs.Metrics.set_gauge m "fleet.queue_depth"
+           (float_of_int (queue.Chunks.total - queue.Chunks.next))
+       | None -> ());
       rg
     end
   in
@@ -375,6 +417,13 @@ let run ?jobs ?(chunk = 1) ?(policy = default_policy) ?on_result ?on_complete
            while (not !undead) && !i < rg.r_hi do
              let idx = !i in
              let res = run_item_safe ~policy r items.(idx) in
+             (match slot.s_obs with
+              | Some mm ->
+                Kfi_obs.Metrics.incr mm "fleet.items";
+                Kfi_obs.Metrics.incr mm slot.s_items_key;
+                if res.res_retries > 0 then
+                  Kfi_obs.Metrics.incr mm ~by:res.res_retries "fleet.retries"
+              | None -> ());
              (match on_complete with
               | Some f -> f idx items.(idx) res
               | None -> ());
@@ -420,6 +469,16 @@ let run ?jobs ?(chunk = 1) ?(policy = default_policy) ?on_result ?on_complete
      budget while holding a claimed range *)
   let check_heartbeats () =
     let now = Unix.gettimeofday () in
+    (match metrics with
+     | Some m ->
+       let age =
+         Array.fold_left
+           (fun a s ->
+             if s.s_dead || s.s_exited then a else Float.max a (now -. s.s_beat))
+           0. slots
+       in
+       Kfi_obs.Metrics.set_gauge m "fleet.heartbeat_age_max" age
+     | None -> ());
     Array.iter
       (fun slot ->
         if

@@ -33,8 +33,17 @@ end
 
 (** Per-injection wall-clock measurements, captured on the worker that
     ran the injection (the runner's [last_*] fields are per-runner
-    mutable state, so they must be read on the owning domain). *)
-type timing = { wall : float; restore : float; cycles : int }
+    mutable state, so they must be read on the owning domain).
+    [wall = restore + exec + classify]: snapshot restore, the
+    decode/step loop (trap delivery included — it happens inside the
+    simulated execution), and outcome classification. *)
+type timing = {
+  wall : float;
+  restore : float;
+  exec : float;
+  classify : float;
+  cycles : int;
+}
 
 val timing_zero : timing
 (** All-zero timing, used for oracle-pruned and journal-replayed
@@ -123,6 +132,7 @@ val run :
   ?jobs:int ->
   ?chunk:int ->
   ?policy:policy ->
+  ?metrics:Kfi_obs.Metrics.t ->
   ?on_result:(int -> item -> result -> unit) ->
   ?on_complete:(int -> item -> result -> unit) ->
   ?on_degraded:(reason:string -> jobs_left:int -> unit) ->
@@ -143,6 +153,14 @@ val run :
 
     Outcomes are independent of [jobs], [chunk] and scheduling: runners
     boot deterministically and each injection restores a snapshot.
+
+    [metrics] attaches an observability registry for the run: each
+    worker gets a forked child (fed its runner's phase spans plus
+    [fleet.items] / [fleet.workerN.items] / [fleet.retries] counters),
+    and the fleet itself maintains the [fleet.jobs] /
+    [fleet.queue_depth] / [fleet.heartbeat_age_max] gauges and the
+    [fleet.requeued] / [fleet.degraded] counters.  Pure observation:
+    results are byte-identical with or without it.
 
     Degraded mode: a worker that dies ({!Worker_killed}, or any
     exception escaping {!run_item_safe}) or stops heartbeating for

@@ -62,6 +62,9 @@ type t = {
   mutable meta : string option; (* fingerprint frame, if present *)
   mutable appended : int;
   mutable torn : bool; (* a torn final frame was truncated at open *)
+  mutable metrics : Kfi_obs.Metrics.t option;
+      (* observability: fsync stall histogram + append counters; never
+         touches the on-disk format *)
 }
 
 (* ----- CRC-32 (IEEE 802.3, the zlib polynomial) ----- *)
@@ -159,7 +162,9 @@ let open_ ?(resume = false) path =
   let oc = Unix.out_channel_of_descr fd in
   let tbl = Hashtbl.create (max 64 (2 * List.length entries)) in
   List.iter (fun e -> Hashtbl.replace tbl (key_of_entry e) e) entries;
-  { oc; lock = Mutex.create (); tbl; meta; appended = 0; torn }
+  { oc; lock = Mutex.create (); tbl; meta; appended = 0; torn; metrics = None }
+
+let set_metrics t m = Mutex.protect t.lock (fun () -> t.metrics <- m)
 
 let check_fingerprint t ~fingerprint =
   Mutex.protect t.lock (fun () ->
@@ -181,11 +186,19 @@ let find t key = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.tbl key)
 
 let append t entry =
   Mutex.protect t.lock (fun () ->
+      let t0 = Unix.gettimeofday () in
       write_frame t.oc (frame_payload (F_entry entry));
       (* flush + fsync per entry: an injection that completed is durable
          the moment [append] returns, whatever kills the process next *)
       flush t.oc;
       Unix.fsync (Unix.descr_of_out_channel t.oc);
+      (match t.metrics with
+       | Some m ->
+         (* the write+flush+fsync stall a worker eats per completion *)
+         Kfi_obs.Metrics.observe m "phase.journal_fsync"
+           (Unix.gettimeofday () -. t0);
+         Kfi_obs.Metrics.incr m "journal.appends"
+       | None -> ());
       Hashtbl.replace t.tbl (key_of_entry entry) entry;
       t.appended <- t.appended + 1)
 

@@ -72,6 +72,11 @@ val appended : t -> int
 val torn_tail_truncated : t -> bool
 (** [open_ ~resume:true] found and truncated a torn final frame. *)
 
+val set_metrics : t -> Kfi_obs.Metrics.t option -> unit
+(** Attach an observability registry: each {!append} observes its
+    write+flush+fsync stall into the [phase.journal_fsync] histogram
+    and bumps [journal.appends].  The on-disk format is untouched. *)
+
 val close : t -> unit
 
 val read_file : string -> entry list

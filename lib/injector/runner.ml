@@ -29,11 +29,18 @@ type t = {
   mutable trace_level : Trace.level;
       (* flight-recorder level during injections; Ring by default so
          crash records carry a propagation path *)
-  mutable last_wall : float;      (* seconds spent in the last run_one *)
+  mutable last_wall : float;
+      (* seconds spent restoring + executing in the last run_one *)
   mutable last_restore : float;   (* of which restoring the snapshot *)
+  mutable last_classify : float;
+      (* seconds classifying the last run's outcome (golden compare,
+         fsck, dump reading, propagation) — after [last_wall] stops *)
   mutable last_cycles : int;      (* simulated cycles of the last run *)
   mutable last_injected_at : int option;
       (* cycle at which the last run's fault was injected *)
+  mutable metrics : Kfi_obs.Metrics.t option;
+      (* observability registry: per-phase latency histograms and
+         outcome counters; never feeds back into any outcome *)
 }
 
 let default_max_cycles = 8_000_000
@@ -105,8 +112,10 @@ let create ?(max_cycles = default_max_cycles) () =
     trace_level = Trace.Ring;
     last_wall = 0.;
     last_restore = 0.;
+    last_classify = 0.;
     last_cycles = 0;
     last_injected_at = None;
+    metrics = None;
   }
 
 let fsck_severity t =
@@ -123,6 +132,8 @@ let set_hardening t on = t.hardening <- on
 let set_trace_level t lvl = t.trace_level <- lvl
 
 let set_max_cycles t n = t.max_cycles <- n
+
+let set_metrics t m = t.metrics <- m
 
 let max_cycles t = t.max_cycles
 
@@ -238,10 +249,15 @@ let run_one ?deadline t ~workload (target : Target.t) =
         cpu.Cpu.dr7 <- 0;
         t.last_wall <- Unix.gettimeofday () -. wall0;
         t.last_cycles <- cpu.Cpu.cycles - start_cycles;
+        (* stale on the deadline-abandoned path otherwise: the
+           classification below never runs then *)
+        t.last_classify <- 0.;
         t.last_injected_at <- !injected_at)
       (fun () -> run_with_deadline t ~deadline)
   in
   let golden = t.golden.(workload) in
+  let classify0 = Unix.gettimeofday () in
+  let outcome =
   match !injected_at with
   | None -> Outcome.Not_activated
   | Some t0 -> (
@@ -321,3 +337,20 @@ let run_one ?deadline t ~workload (target : Target.t) =
         }
     | Machine.Watchdog -> Outcome.Hang (fsck_severity t)
     | Machine.Snapshot_point -> failwith "unexpected snapshot point during experiment")
+  in
+  t.last_classify <- Unix.gettimeofday () -. classify0;
+  (* phase spans + outcome counters; pure observation — nothing here
+     feeds back into the outcome or any determinism-gated artifact *)
+  (match t.metrics with
+   | None -> ()
+   | Some m ->
+     let module M = Kfi_obs.Metrics in
+     M.observe m "phase.restore" t.last_restore;
+     M.observe m "phase.execute"
+       (Float.max 0. (t.last_wall -. t.last_restore));
+     M.observe m "phase.classify" t.last_classify;
+     M.observe m "inj.wall" (t.last_wall +. t.last_classify);
+     M.incr m "inj.count";
+     if !injected_at <> None then M.incr m "inj.activated";
+     M.incr m ("outcome." ^ Outcome.category outcome));
+  outcome

@@ -28,11 +28,19 @@ type t = {
   mutable trace_level : Trace.level;
       (** flight-recorder level during injections ({!Trace.Ring} by
           default, so crash records carry a propagation path) *)
-  mutable last_wall : float;  (** seconds spent in the last [run_one] *)
+  mutable last_wall : float;
+      (** seconds spent restoring + executing in the last [run_one] *)
   mutable last_restore : float;  (** of which restoring the snapshot *)
+  mutable last_classify : float;
+      (** seconds spent classifying the last run's outcome (golden
+          compare, fsck, dump reading, propagation); 0 when the run was
+          abandoned on a deadline *)
   mutable last_cycles : int;  (** simulated cycles of the last run *)
   mutable last_injected_at : int option;
       (** cycle at which the last run's fault was injected *)
+  mutable metrics : Kfi_obs.Metrics.t option;
+      (** observability registry fed by [run_one] (phase latency
+          histograms, outcome counters); set with {!set_metrics} *)
 }
 
 val default_max_cycles : int
@@ -53,6 +61,13 @@ val set_max_cycles : t -> int -> unit
     tests to force the {!Outcome.Hang} path deterministically). *)
 
 val max_cycles : t -> int
+
+val set_metrics : t -> Kfi_obs.Metrics.t option -> unit
+(** Attach (or detach) a metrics registry: each subsequent [run_one]
+    observes its phase spans ([phase.restore] / [phase.execute] /
+    [phase.classify], plus the [inj.wall] total) and bumps the
+    [inj.*] / [outcome.*] counters.  Observation only — outcomes and
+    every determinism-gated artifact are unaffected. *)
 
 val poke_hardening : t -> unit
 (** Write the hardening flag into (restored) guest memory; [run_one] does

@@ -1,0 +1,70 @@
+(** The periodic snapshot writer: streams cumulative JSONL metric frames
+    beside the journal while a campaign runs, plus a final JSON rollup.
+
+    Each frame is a complete rendering of the registry tree (not a
+    delta): a consumer only needs the last frame, and frames from
+    different shards merge with {!Metrics.merge}.  The stream file holds
+    one frame per line ([{"type":"metrics","seq":N,"elapsed_s":S,
+    "final":B,"counters":...,"gauges":...,"hists":...}]); {!close}
+    appends a [final:true] frame and writes the rollup (histograms
+    augmented with mean/p50/p90/p99, plus per-phase shares of the
+    injection wall clock) to [path ^ ".rollup"]. *)
+
+type t
+
+val create : ?interval_ms:int -> path:string -> (unit -> Metrics.snap) -> t
+(** Open (truncate) [path] and start a ticker domain emitting one frame
+    every [interval_ms] (default 500).  [interval_ms = 0] spawns no
+    domain: frames are emitted only by explicit {!tick} calls.  The
+    snapshot thunk is called on the ticker domain and must be
+    thread-safe ({!Metrics.snapshot} is). *)
+
+val path : t -> string
+
+val rollup_path : string -> string
+(** Where {!close} puts the rollup for a given stream path
+    ([path ^ ".rollup"]). *)
+
+val tick : t -> unit
+(** Emit one frame now (no-op after {!close}). *)
+
+val close : t -> unit
+(** Stop the ticker, append the final frame, write the rollup and close
+    the stream.  Idempotent. *)
+
+(** {2 Reading frames back} *)
+
+type frame = {
+  f_seq : int;
+  f_elapsed_s : float;
+  f_final : bool;
+  f_snap : Metrics.snap;
+}
+
+val parse_frame : string -> (frame, string) result
+
+val read_frames : string -> (frame list, int * string) result
+(** Every frame of a stream file, in order; [Error (line, reason)] on
+    the first malformed line.  Blank lines are ignored, so a file
+    mid-write (live tailing) parses up to the last complete frame. *)
+
+val lint : string -> (int, int * string) result
+(** Validate a whole frame stream document: every line parses, [seq]
+    strictly increases, nothing follows a [final] frame.  [Ok n]
+    frames or [Error (line_number, reason)]. *)
+
+(**/**)
+
+val frame_json :
+  seq:int ->
+  elapsed_s:float ->
+  final:bool ->
+  Metrics.snap ->
+  Kfi_trace.Telemetry.value
+
+val rollup_json :
+  frames:int -> elapsed_s:float -> Metrics.snap -> Kfi_trace.Telemetry.value
+
+val phase_shares : Metrics.snap -> (string * float) list option
+(* restore/execute/classify/other as percentages of the "inj.wall"
+   histogram's total; [None] until an injection has been timed *)

@@ -67,6 +67,9 @@ type t = {
   live : (string, (int32, int) Hashtbl.t) Hashtbl.t;
   interprocedural : bool;
   mutable ip : ip option;  (* call graph + summaries, built on demand *)
+  mutable metrics : Kfi_obs.Metrics.t option;
+      (* observability: classify/slice spans and pruning counters; the
+         classifications themselves are untouched *)
 }
 
 let create ?(interprocedural = true) build =
@@ -78,7 +81,15 @@ let create ?(interprocedural = true) build =
     live = Hashtbl.create 64;
     interprocedural;
     ip = None;
+    metrics = None;
   }
+
+let set_metrics t m = t.metrics <- m
+
+let mtime t name f =
+  match t.metrics with
+  | Some m -> Kfi_obs.Metrics.time m name f
+  | None -> f ()
 
 let fn_cfg t fn =
   match Hashtbl.find_opt t.cfgs fn with
@@ -246,6 +257,7 @@ let resync_walk t cfg ~target_addr ~mut_len =
 (* ----- classification ----- *)
 
 let classify t (tg : Target.t) =
+  mtime t "oracle.classify" @@ fun () ->
   match tg.Target.t_kind with
   | Target.Register -> Register_target
   | Target.Text ->
@@ -314,6 +326,7 @@ let slice_kind = function
   | Operand_change _ -> Slice.K_data
 
 let slice t (tg : Target.t) =
+  mtime t "oracle.slice" @@ fun () ->
   let env = slice_env t in
   let fn = tg.Target.t_fn in
   let compute = Slice.compute env ~fn ~addr:tg.Target.t_addr in
@@ -366,8 +379,16 @@ let predict = function
 (* Sound pruning hook for [Experiment.run_campaign ?oracle]: only the
    provably-equivalent class is skipped. *)
 let pruner t tg =
+  let bump key =
+    match t.metrics with
+    | Some m -> Kfi_obs.Metrics.incr m key
+    | None -> ()
+  in
+  bump "oracle.considered";
   match classify t tg with
-  | Equivalent _ -> Some Outcome.Not_manifested
+  | Equivalent _ ->
+    bump "oracle.pruned";
+    Some Outcome.Not_manifested
   | _ -> None
 
 (* Does an observed outcome contradict the prediction?  [P_crash] only

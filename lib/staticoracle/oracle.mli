@@ -61,6 +61,13 @@ val summaries : t -> Summary.table
 
 val interprocedural : t -> bool
 
+val set_metrics : t -> Kfi_obs.Metrics.t option -> unit
+(** Attach an observability registry: {!classify} and {!slice} record
+    [oracle.classify] / [oracle.slice] spans, and {!pruner} bumps
+    [oracle.considered] / [oracle.pruned].  Classifications are
+    untouched.  [Kfi.Config.make] wires this automatically when both an
+    oracle and a metrics registry are given. *)
+
 val classify : t -> Target.t -> clazz
 (** Classify one target by decoding its mutated bytes.  Total: every
     campaign A/B/C/R target gets a class. *)

@@ -208,7 +208,8 @@ let schema =
     ( "target",
       [
         "campaign"; "fn"; "subsys"; "addr"; "byte"; "bit"; "workload"; "outcome";
-        "predicted"; "retries"; "wall_ms"; "cycles";
+        "predicted"; "retries"; "wall_ms"; "restore_ms"; "exec_ms";
+        "classify_ms"; "cycles";
       ] );
     ( "campaign_end",
       [
@@ -240,7 +241,8 @@ let lint_line line =
 
 (* Wall-clock fields vary run to run even when everything else is
    byte-identical; determinism gates strip them before comparing. *)
-let volatile_keys = [ "wall_ms"; "wall_s"; "inj_per_s" ]
+let volatile_keys =
+  [ "wall_ms"; "restore_ms"; "exec_ms"; "classify_ms"; "wall_s"; "inj_per_s" ]
 
 let strip_volatile doc =
   let strip_line line =

@@ -30,8 +30,9 @@ val lint : string -> (int, int * string) result
     [Error (line_number, reason)] for the first offending line. *)
 
 val volatile_keys : string list
-(** The wall-clock timing keys ([wall_ms], [wall_s], [inj_per_s]) that
-    vary between otherwise byte-identical runs. *)
+(** The wall-clock timing keys ([wall_ms], [restore_ms], [exec_ms],
+    [classify_ms], [wall_s], [inj_per_s]) that vary between otherwise
+    byte-identical runs. *)
 
 val strip_volatile : string -> string
 (** Drop the {!volatile_keys} from every JSONL object in the document,

@@ -9,6 +9,7 @@ let () =
       ("fsimage", Test_fsimage.suite);
       ("injector", Test_injector.suite);
       ("trace", Test_trace.suite);
+      ("obs", Test_obs.suite);
       ("parallel", Test_parallel.suite);
       ("journal", Test_journal.suite);
       ("staticoracle", Test_staticoracle.suite);

@@ -1,0 +1,320 @@
+(* Observability-plane tests: histogram bucket math and quantiles on
+   known distributions, registry fork/snapshot/merge, JSON round-trips,
+   the snapshot writer (frames, lint, rollup), the empty-campaign
+   single-tick regression, and an end-to-end campaign with metrics on —
+   whose CSV must be byte-identical to the metrics-off run. *)
+
+open Kfi_injector
+module Metrics = Kfi_obs.Metrics
+module Writer = Kfi_obs.Writer
+module Telemetry = Kfi_trace.Telemetry
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let runner = Test_injector.runner
+let profile = Test_trace.profile
+
+let feq msg a b =
+  if not (a = b || Float.abs (a -. b) <= 1e-9 *. Float.max (Float.abs a) (Float.abs b))
+  then Alcotest.failf "%s: %.12g <> %.12g" msg a b
+
+(* ----- bucket geometry ----- *)
+
+let test_bucket_math () =
+  check int "zero lands in bucket 0" 0 (Metrics.bucket_of 0.);
+  check int "negative clamps to bucket 0" 0 (Metrics.bucket_of (-1.));
+  check int "huge overflows into the last bucket" (Metrics.nbuckets - 1)
+    (Metrics.bucket_of 1e12);
+  (* bucket_of agrees with bucket_bounds, and the edges are monotone *)
+  let vals = [ 1e-8; 1e-7; 3e-7; 1e-6; 1e-3; 0.5; 1.; 10.; 299. ] in
+  List.iter
+    (fun v ->
+      let i = Metrics.bucket_of v in
+      let lo, hi = Metrics.bucket_bounds i in
+      check bool (Printf.sprintf "%g within its bucket [%g,%g]" v lo hi) true
+        (v >= lo && (v <= hi || i = Metrics.nbuckets - 1)))
+    vals;
+  let rec mono i =
+    i >= Metrics.nbuckets
+    ||
+    let lo, hi = Metrics.bucket_bounds i in
+    lo < hi && mono (i + 1)
+  in
+  check bool "bucket edges monotone" true (mono 0)
+
+(* ----- quantiles on known distributions ----- *)
+
+let test_quantiles_known () =
+  (* constant distribution: every quantile is exactly the value *)
+  let r = Metrics.create () in
+  for _ = 1 to 100 do
+    Metrics.observe r "lat" 0.005
+  done;
+  let h = Option.get (Metrics.hist (Metrics.snapshot r) "lat") in
+  check int "count" 100 h.Metrics.hs_count;
+  feq "constant p50" 0.005 (Metrics.quantile h 0.5);
+  feq "constant p99" 0.005 (Metrics.quantile h 0.99);
+  feq "constant mean" 0.005 (Metrics.mean h);
+  feq "min" 0.005 h.Metrics.hs_min;
+  feq "max" 0.005 h.Metrics.hs_max;
+  (* bimodal 90/10: p50 sits in the 1ms bucket, p99 in the 100ms one *)
+  let r = Metrics.create () in
+  for _ = 1 to 90 do
+    Metrics.observe r "lat" 0.001
+  done;
+  for _ = 1 to 10 do
+    Metrics.observe r "lat" 0.1
+  done;
+  let h = Option.get (Metrics.hist (Metrics.snapshot r) "lat") in
+  check int "p50 bucket" (Metrics.bucket_of 0.001)
+    (Metrics.bucket_of (Metrics.quantile h 0.5));
+  check int "p90 bucket" (Metrics.bucket_of 0.001)
+    (Metrics.bucket_of (Metrics.quantile h 0.9));
+  check int "p99 bucket" (Metrics.bucket_of 0.1)
+    (Metrics.bucket_of (Metrics.quantile h 0.99));
+  feq "bimodal mean" ((90. *. 0.001 +. 10. *. 0.1) /. 100.) (Metrics.mean h);
+  (* quantiles clamp into the observed range *)
+  check bool "p99 <= max" true (Metrics.quantile h 0.99 <= h.Metrics.hs_max);
+  check bool "p50 >= min" true (Metrics.quantile h 0.5 >= h.Metrics.hs_min)
+
+(* ----- counters, gauges, time ----- *)
+
+let test_counters_gauges () =
+  let r = Metrics.create ~name:"t" () in
+  Metrics.incr r "a";
+  Metrics.incr r ~by:41 "a";
+  Metrics.set_gauge r "g" 2.5;
+  Metrics.set_gauge r "g" 1.5;
+  let x = Metrics.time r "span" (fun () -> 7) in
+  check int "time returns the thunk's value" 7 x;
+  let s = Metrics.snapshot r in
+  check int "counter adds" 42 (Metrics.counter s "a");
+  check int "absent counter reads 0" 0 (Metrics.counter s "nope");
+  feq "gauge last-write-wins locally" 1.5 (Option.get (Metrics.gauge s "g"));
+  check bool "absent gauge" true (Metrics.gauge s "nope" = None);
+  let h = Option.get (Metrics.hist s "span") in
+  check int "time observed once" 1 h.Metrics.hs_count;
+  check bool "span duration non-negative" true (h.Metrics.hs_min >= 0.);
+  (* time observes the duration even when the thunk raises *)
+  (try Metrics.time r "span" (fun () -> raise Exit) with Exit -> ());
+  let h = Option.get (Metrics.hist (Metrics.snapshot r) "span") in
+  check int "raising thunk still observed" 2 h.Metrics.hs_count
+
+(* ----- fork / snapshot / merge ----- *)
+
+let test_fork_snapshot_merge () =
+  let parent = Metrics.create ~name:"parent" () in
+  let w0 = Metrics.fork parent ~name:"w0" in
+  let w1 = Metrics.fork parent ~name:"w1" in
+  Metrics.incr parent ~by:5 "items";
+  Metrics.incr w0 ~by:7 "items";
+  Metrics.incr w1 ~by:8 "items";
+  Metrics.set_gauge w0 "hw" 3.;
+  Metrics.set_gauge w1 "hw" 9.;
+  Metrics.observe w0 "lat" 0.001;
+  Metrics.observe w1 "lat" 0.1;
+  let s = Metrics.snapshot parent in
+  check int "counters fold over the tree" 20 (Metrics.counter s "items");
+  feq "gauges keep the high-water mark" 9. (Option.get (Metrics.gauge s "hw"));
+  let h = Option.get (Metrics.hist s "lat") in
+  check int "hist folds over the tree" 2 h.Metrics.hs_count;
+  feq "hist min" 0.001 h.Metrics.hs_min;
+  feq "hist max" 0.1 h.Metrics.hs_max;
+  (* merge: associative with empty as identity (the fuzz property does
+     the heavy lifting; this pins the basics) *)
+  let s2 = Metrics.merge s Metrics.empty in
+  check bool "empty is a merge identity" true (s2 = s);
+  let doubled = Metrics.merge s s in
+  check int "self-merge doubles counters" 40 (Metrics.counter doubled "items")
+
+(* ----- JSON round-trip ----- *)
+
+let test_json_roundtrip () =
+  let r = Metrics.create () in
+  Metrics.incr r ~by:3 "c";
+  Metrics.set_gauge r "g" 0.25;
+  Metrics.observe r "lat" 0.002;
+  Metrics.observe r "lat" 3.7;
+  let s = Metrics.snapshot r in
+  (match Metrics.of_json (Metrics.to_json s) with
+   | Error e -> Alcotest.failf "own rendering rejected: %s" e
+   | Ok s' ->
+     check bool "counters survive" true (s.Metrics.sn_counters = s'.Metrics.sn_counters);
+     let h = Option.get (Metrics.hist s "lat") in
+     let h' = Option.get (Metrics.hist s' "lat") in
+     check int "hist count survives" h.Metrics.hs_count h'.Metrics.hs_count;
+     check bool "buckets survive" true (h.Metrics.hs_buckets = h'.Metrics.hs_buckets);
+     feq "sum survives (float formatting)" h.Metrics.hs_sum h'.Metrics.hs_sum);
+  (* garbage is rejected, not crashed on *)
+  check bool "non-object rejected" true
+    (Result.is_error (Metrics.of_json (Telemetry.Str "x")));
+  check bool "missing fields rejected" true
+    (Result.is_error
+       (Metrics.of_json (Telemetry.Obj [ ("counters", Telemetry.Int 3) ])))
+
+(* ----- the snapshot writer ----- *)
+
+let test_writer_frames_and_rollup () =
+  let path = Filename.temp_file "kfi_obs" ".jsonl" in
+  let r = Metrics.create () in
+  (* interval_ms 0: no ticker domain, frames only on explicit tick *)
+  let w = Writer.create ~interval_ms:0 ~path (fun () -> Metrics.snapshot r) in
+  Metrics.observe r "phase.restore" 0.004;
+  Metrics.observe r "phase.execute" 0.005;
+  Metrics.observe r "phase.classify" 0.001;
+  Metrics.observe r "inj.wall" 0.01;
+  Metrics.incr r "inj.count";
+  Writer.tick w;
+  Metrics.incr r "inj.count";
+  Writer.tick w;
+  Writer.close w;
+  Writer.close w (* idempotent *);
+  (match Writer.read_frames path with
+   | Error (l, e) -> Alcotest.failf "read_frames: line %d: %s" l e
+   | Ok frames ->
+     check int "two ticks + the final frame" 3 (List.length frames);
+     let last = List.nth frames 2 in
+     check bool "last frame is final" true last.Writer.f_final;
+     check bool "earlier frames are not" true
+       (List.for_all (fun f -> not f.Writer.f_final) [ List.hd frames ]);
+     check int "frames are cumulative" 2
+       (Metrics.counter last.Writer.f_snap "inj.count");
+     check bool "seq strictly increases" true
+       (let seqs = List.map (fun f -> f.Writer.f_seq) frames in
+        List.sort_uniq compare seqs = seqs));
+  let read_all p =
+    let ic = open_in_bin p in
+    let doc = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    doc
+  in
+  (match Writer.lint (read_all path) with
+   | Ok n -> check int "lint counts the frames" 3 n
+   | Error (l, e) -> Alcotest.failf "lint: line %d: %s" l e);
+  (* phase shares: the three phases cover the whole injection wall *)
+  (match Writer.phase_shares (Metrics.snapshot r) with
+   | None -> Alcotest.fail "no phase shares despite inj.wall"
+   | Some shares ->
+     feq "shares sum to 100%" 100. (List.fold_left (fun a (_, p) -> a +. p) 0. shares);
+     check bool "no negative share" true (List.for_all (fun (_, p) -> p >= 0.) shares));
+  (* the rollup is valid JSON carrying the quantile fields *)
+  let rollup = Writer.rollup_path path in
+  check bool "rollup written" true (Sys.file_exists rollup);
+  let ic = open_in_bin rollup in
+  let doc = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let field v k =
+    match v with Telemetry.Obj fs -> List.assoc_opt k fs | _ -> None
+  in
+  (match Telemetry.parse (String.trim doc) with
+   | exception Telemetry.Parse_error e -> Alcotest.failf "rollup not JSON: %s" e
+   | v ->
+     check bool "rollup typed" true
+       (field v "type" = Some (Telemetry.Str "metrics_rollup"));
+     check bool "rollup has phase shares" true
+       (field v "phase_shares_pct" <> None));
+  (* appending anything after the final frame must fail the lint *)
+  let oc = open_out_gen [ Open_append ] 0 path in
+  output_string oc "{\"type\":\"metrics\",\"seq\":99}\n";
+  close_out oc;
+  check bool "frame after final rejected" true
+    (Result.is_error (Writer.lint (read_all path)));
+  Sys.remove path;
+  Sys.remove rollup
+
+(* ----- the empty-campaign tick regression ----- *)
+
+(* total = 0: the per-target loop emits nothing, so the completion tick
+   is the run's one and only tick — a consumer must see exactly
+   [(0, 0)], never a double tick. *)
+let test_empty_campaign_single_tick () =
+  let r = Lazy.force runner and p = Lazy.force profile in
+  let buf = Buffer.create 256 in
+  let tm =
+    Telemetry.create
+      ~sink:(fun line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n')
+      ()
+  in
+  let ticks = ref [] in
+  let config =
+    Config.make ~telemetry:tm
+      ~on_progress:(fun ~done_ ~total -> ticks := (done_, total) :: !ticks)
+      ()
+  in
+  let records = Experiment.run_targets ~config r p Target.A [] in
+  check int "no records" 0 (List.length records);
+  check
+    (Alcotest.list (Alcotest.pair int int))
+    "exactly one completion tick"
+    [ (0, 0) ]
+    (List.rev !ticks);
+  match Telemetry.lint (Buffer.contents buf) with
+  | Ok n -> check int "campaign_start + campaign_end only" 2 n
+  | Error (l, e) -> Alcotest.failf "telemetry lint: line %d: %s" l e
+
+(* ----- end-to-end: a campaign with metrics on ----- *)
+
+let run_campaign_a ?metrics () =
+  let r = Lazy.force runner and p = Lazy.force profile in
+  let config = Config.make ~subsample:120 ?metrics () in
+  Experiment.run_campaign ~config r p Target.A
+
+let test_campaign_with_metrics () =
+  let m = Metrics.create ~name:"test" () in
+  let with_m = run_campaign_a ~metrics:m () in
+  let without = run_campaign_a () in
+  check bool "ran something" true (List.length with_m > 20);
+  (* observation must not perturb the experiment *)
+  check bool "identical records" true (with_m = without);
+  check bool "identical CSV" true
+    (String.equal (Experiment.to_csv with_m) (Experiment.to_csv without));
+  let s = Metrics.snapshot m in
+  let n = List.length with_m in
+  check int "campaign.targets counts every target" n
+    (Metrics.counter s "campaign.targets");
+  check int "inj.count counts every run target" n (Metrics.counter s "inj.count");
+  let h key =
+    match Metrics.hist s key with
+    | Some h -> h
+    | None -> Alcotest.failf "missing histogram %s" key
+  in
+  List.iter
+    (fun key -> check int (key ^ " count") n (h key).Metrics.hs_count)
+    [ "phase.restore"; "phase.execute"; "phase.classify"; "inj.wall" ];
+  check int "one plan span" 1 (h "phase.plan").Metrics.hs_count;
+  check int "one collect span per target" n (h "phase.collect").Metrics.hs_count;
+  (* outcome counters partition the run targets *)
+  let outcome_total =
+    List.fold_left
+      (fun acc (k, v) ->
+        if String.length k > 8 && String.sub k 0 8 = "outcome." then acc + v
+        else acc)
+      0 s.Metrics.sn_counters
+  in
+  check int "outcome counters partition the targets" n outcome_total;
+  (* phase shares cover the injection wall *)
+  match Writer.phase_shares s with
+  | None -> Alcotest.fail "no phase shares after a real campaign"
+  | Some shares ->
+    feq "shares sum to 100%" 100.
+      (List.fold_left (fun a (_, p) -> a +. p) 0. shares)
+
+let suite =
+  [
+    Alcotest.test_case "bucket math" `Quick test_bucket_math;
+    Alcotest.test_case "quantiles on known distributions" `Quick
+      test_quantiles_known;
+    Alcotest.test_case "counters, gauges, spans" `Quick test_counters_gauges;
+    Alcotest.test_case "fork / snapshot / merge" `Quick test_fork_snapshot_merge;
+    Alcotest.test_case "snapshot JSON round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "writer frames, lint, rollup" `Quick
+      test_writer_frames_and_rollup;
+    Alcotest.test_case "empty campaign ticks exactly once" `Slow
+      test_empty_campaign_single_tick;
+    Alcotest.test_case "campaign with metrics: counters + identical CSV" `Slow
+      test_campaign_with_metrics;
+  ]

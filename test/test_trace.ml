@@ -270,7 +270,7 @@ let test_jsonl_lint () =
     String.concat "\n"
       [
         {|{"type":"campaign_start","seq":0,"campaign":"A","targets":2,"subsample":1,"seed":42}|};
-        {|{"type":"target","seq":1,"campaign":"A","fn":"f","subsys":"mm","addr":"0xc0100000","byte":0,"bit":3,"workload":"spawn","outcome":"crash (dumped)","predicted":false,"retries":0,"wall_ms":1.5,"cycles":1000}|};
+        {|{"type":"target","seq":1,"campaign":"A","fn":"f","subsys":"mm","addr":"0xc0100000","byte":0,"bit":3,"workload":"spawn","outcome":"crash (dumped)","predicted":false,"retries":0,"wall_ms":1.5,"restore_ms":0.5,"exec_ms":0.9,"classify_ms":0.1,"cycles":1000}|};
         {|{"type":"campaign_end","seq":2,"campaign":"A","targets":2,"run":2,"pruned":0,"activated":1,"aborted":0,"wall_s":0.1,"inj_per_s":20.0}|};
         "";
       ]
