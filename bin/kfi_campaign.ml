@@ -3,6 +3,7 @@
    kfi-campaign                  # scaled-down sweep (fast)
    kfi-campaign --full           # full-scale target enumeration
    kfi-campaign -j 4             # four worker domains, same records
+   kfi-campaign --backend cached # dirty-page restore + block engine, same records
    kfi-campaign -c A --subsample 20 --csv out.csv --jsonl out.jsonl
    kfi-campaign --journal run.kj # crash-safe: every injection fsync'd
    kfi-campaign --journal run.kj --resume   # continue after a SIGKILL
@@ -11,7 +12,8 @@
 open Cmdliner
 
 let run campaigns subsample full csv_path jsonl_path seed quiet hardening jobs
-    journal_path resume deadline_ms retries metrics_path metrics_interval_ms =
+    backend journal_path resume deadline_ms retries metrics_path
+    metrics_interval_ms =
   let subsample = if full then 1 else subsample in
   Printf.eprintf "booting kernel + golden runs + profiling...\n%!";
   let study = Kfi.Study.prepare () in
@@ -73,12 +75,16 @@ let run campaigns subsample full csv_path jsonl_path seed quiet hardening jobs
         l
   in
   let on_progress ~done_ ~total =
+    (* the writer is tickless: frames ride the progress callback *)
+    (match metrics_writer with
+     | Some w -> Kfi.Obs.Writer.maybe_tick w
+     | None -> ());
     if (not quiet) && done_ mod 50 = 0 then
       Printf.eprintf "\r  %d/%d experiments%!" done_ total
   in
   let config =
     Kfi.Config.make ~subsample ~seed ~hardening ?telemetry ~on_progress ~jobs
-      ?journal ~policy ?metrics ()
+      ~backend ?journal ~policy ?metrics ()
   in
   if jobs > 1 then begin
     Printf.eprintf "booting %d worker runners...\n%!" (jobs - 1);
@@ -126,7 +132,7 @@ let campaigns_arg =
   Arg.(value & opt_all string [] & info [ "c"; "campaign" ] ~doc:"Campaign (A, B or C); repeatable.")
 
 let subsample_arg =
-  Arg.(value & opt int 12 & info [ "subsample" ] ~doc:"Run every k-th target (1 = full scale).")
+  Kfi_cli.subsample ~default:12 ~doc:"Run every k-th target (1 = full scale)." ()
 
 let full_arg = Arg.(value & flag & info [ "full" ] ~doc:"Full-scale sweep (subsample 1).")
 let csv_arg = Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write raw records to CSV.")
@@ -137,8 +143,8 @@ let jsonl_arg =
     & opt (some string) None
     & info [ "jsonl" ]
         ~doc:"Write the telemetry event log (JSONL, one event per target).")
-let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed for per-byte bit choice.")
-let quiet_arg = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress output.")
+let seed_arg = Kfi_cli.seed ()
+let quiet_arg = Kfi_cli.quiet ()
 
 let hardening_arg =
   Arg.(
@@ -146,13 +152,8 @@ let hardening_arg =
     & info [ "hardening" ]
         ~doc:"Enable the kernel's interface assertions (Section 7.4 ablation).")
 
-let jobs_arg =
-  Arg.(
-    value & opt int 1
-    & info [ "j"; "jobs" ]
-        ~doc:
-          "Worker domains running injections in parallel (each owns its own \
-           simulated machine); records and telemetry are identical to -j 1.")
+let jobs_arg = Kfi_cli.jobs ()
+let backend_arg = Kfi_cli.backend ()
 
 let journal_arg =
   Arg.(
@@ -213,8 +214,8 @@ let cmd =
     (Cmd.info "kfi-campaign" ~doc:"Kernel fault-injection campaigns (DSN'03 reproduction)")
     Term.(
       const run $ campaigns_arg $ subsample_arg $ full_arg $ csv_arg $ jsonl_arg
-      $ seed_arg $ quiet_arg $ hardening_arg $ jobs_arg $ journal_arg
-      $ resume_arg $ deadline_arg $ retries_arg $ metrics_arg
+      $ seed_arg $ quiet_arg $ hardening_arg $ jobs_arg $ backend_arg
+      $ journal_arg $ resume_arg $ deadline_arg $ retries_arg $ metrics_arg
       $ metrics_interval_arg)
 
 let () = exit (Cmd.eval' cmd)

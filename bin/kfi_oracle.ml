@@ -254,7 +254,7 @@ let slice_dump oracle build spec =
 
 (* ----- slice soundness audit (boots the machine) ----- *)
 
-let audit_slices campaigns subsample seed quiet jobs =
+let audit_slices campaigns subsample seed quiet jobs backend =
   Printf.eprintf "booting kernel + golden runs + profiling...\n%!";
   let study = Kfi.Study.prepare () in
   let oracle = Kfi.Study.make_oracle study in
@@ -262,7 +262,7 @@ let audit_slices campaigns subsample seed quiet jobs =
     if (not quiet) && done_ mod 50 = 0 then
       Printf.eprintf "\r  %d/%d experiments%!" done_ total
   in
-  let config = Kfi.Config.make ~subsample ~seed ~on_progress ~jobs () in
+  let config = Kfi.Config.make ~subsample ~seed ~on_progress ~jobs ~backend () in
   let records =
     List.concat_map
       (fun c ->
@@ -298,7 +298,7 @@ let audit_slices campaigns subsample seed quiet jobs =
     1
   end
 
-let validate campaigns subsample seed quiet jobs =
+let validate campaigns subsample seed quiet jobs backend =
   Printf.eprintf "booting kernel + golden runs + profiling...\n%!";
   let study = Kfi.Study.prepare () in
   let oracle = Kfi.Study.make_oracle study in
@@ -306,7 +306,7 @@ let validate campaigns subsample seed quiet jobs =
     if (not quiet) && done_ mod 50 = 0 then
       Printf.eprintf "\r  %d/%d experiments%!" done_ total
   in
-  let config = Kfi.Config.make ~subsample ~seed ~on_progress ~jobs () in
+  let config = Kfi.Config.make ~subsample ~seed ~on_progress ~jobs ~backend () in
   let records =
     List.concat_map
       (fun c ->
@@ -318,25 +318,25 @@ let validate campaigns subsample seed quiet jobs =
   in
   print_string (Kfi.Analysis.Report.oracle_matrix oracle records)
 
-let rec run campaigns fn_filter subsample seed validate_flag quiet jobs callgraph
-    summaries slice_spec audit intraproc =
+let rec run campaigns fn_filter subsample seed validate_flag quiet jobs backend
+    callgraph summaries slice_spec audit intraproc =
   try
     run_checked campaigns fn_filter subsample seed validate_flag quiet jobs
-      callgraph summaries slice_spec audit intraproc
+      backend callgraph summaries slice_spec audit intraproc
   with Usage msg ->
     Printf.eprintf "kfi-oracle: %s\n" msg;
     2
 
 and run_checked campaigns fn_filter subsample seed validate_flag quiet jobs
-    callgraph summaries slice_spec audit intraproc =
+    backend callgraph summaries slice_spec audit intraproc =
   let campaigns =
     match campaigns with
     | [] -> [ Kfi.Campaign.A; Kfi.Campaign.B; Kfi.Campaign.C ]
     | l -> List.map parse_campaign l
   in
-  if audit then audit_slices campaigns subsample seed quiet jobs
+  if audit then audit_slices campaigns subsample seed quiet jobs backend
   else if validate_flag then begin
-    validate campaigns subsample seed quiet jobs;
+    validate campaigns subsample seed quiet jobs backend;
     0
   end
   else begin
@@ -363,9 +363,9 @@ let fn_arg =
   Arg.(value & opt (some string) None & info [ "fn" ] ~doc:"Dump one function in detail.")
 
 let subsample_arg =
-  Arg.(value & opt int 25 & info [ "subsample" ] ~doc:"Every k-th target in --validate mode.")
+  Kfi_cli.subsample ~default:25 ~doc:"Every k-th target in --validate mode." ()
 
-let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed for per-byte bit choice.")
+let seed_arg = Kfi_cli.seed ()
 
 let validate_arg =
   Arg.(
@@ -374,7 +374,7 @@ let validate_arg =
         ~doc:"Boot and run a subsampled real campaign; print the predicted-vs-observed \
               confusion matrix and disagreements.")
 
-let quiet_arg = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress output.")
+let quiet_arg = Kfi_cli.quiet ()
 
 let callgraph_arg =
   Arg.(
@@ -409,11 +409,8 @@ let intraproc_arg =
         ~doc:"Disable the whole-kernel call graph and section summaries (per-function \
               baseline oracle).")
 
-let jobs_arg =
-  Arg.(
-    value & opt int 1
-    & info [ "j"; "jobs" ]
-        ~doc:"Worker domains for the --validate campaign runs.")
+let jobs_arg = Kfi_cli.jobs ~doc:"Worker domains for the --validate campaign runs." ()
+let backend_arg = Kfi_cli.backend ()
 
 let cmd =
   Cmd.v
@@ -422,7 +419,7 @@ let cmd =
              prediction validation (FastFlip-style)")
     Term.(
       const run $ campaigns_arg $ fn_arg $ subsample_arg $ seed_arg $ validate_arg
-      $ quiet_arg $ jobs_arg $ callgraph_arg $ summaries_arg $ slice_arg $ audit_arg
-      $ intraproc_arg)
+      $ quiet_arg $ jobs_arg $ backend_arg $ callgraph_arg $ summaries_arg
+      $ slice_arg $ audit_arg $ intraproc_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -159,7 +159,8 @@ let dump_journal_file path =
              (Digest.to_hex (Digest.string (Marshal.to_string e []))));
     0
 
-let run lint strip dump_journal fn byte bit addr workload level trace_n =
+let run lint strip dump_journal fn byte bit addr workload level trace_n backend
+    _seed _subsample _jobs =
   match (lint, strip, dump_journal) with
   | Some path, _, _ -> lint_file path
   | None, Some path, _ -> strip_file path
@@ -191,7 +192,22 @@ let run lint strip dump_journal fn byte bit addr workload level trace_n =
            | "ring" -> Kfi.Isa.Trace.Ring
            | "off" -> Kfi.Isa.Trace.Off
            | _ -> Kfi.Isa.Trace.Full);
-        let outcome = Runner.run_one runner ~workload target in
+        let run_under kind =
+          Runner.set_backend runner kind;
+          Runner.run_one runner ~workload target
+        in
+        (* with --backend both, replay under each backend and insist the
+           outcomes match in every detail before printing forensics
+           (taken from the second run; final machine state is identical
+           when the outcomes are) *)
+        let outcome, agreement =
+          match backend with
+          | Kfi_cli.One k -> (run_under k, None)
+          | Kfi_cli.Both ->
+            let oi = run_under Kfi.Backend.Interp in
+            let oc = run_under Kfi.Backend.Cached in
+            (oc, Some (oi, oc))
+        in
         let inject_desc =
           Printf.sprintf "bit %d of byte %d in %s at 0x%08lx (%s, workload %s)"
             target.Target.t_bit target.Target.t_byte target.Target.t_fn
@@ -200,20 +216,31 @@ let run lint strip dump_journal fn byte bit addr workload level trace_n =
             (List.nth Kfi.Workload.Progs.names workload)
         in
         Printf.printf "injection: %s\n" inject_desc;
+        match agreement with
+        | Some (oi, oc) when oi <> oc ->
+          print_string "backends DISAGREE:\n";
+          Printf.printf "--- interp ---\n%s--- cached ---\n%s" (outcome_lines oi)
+            (outcome_lines oc);
+          1
+        | _ ->
+        (match agreement with
+         | Some _ ->
+           print_string "backends agree: interp and cached outcomes identical\n"
+         | None -> ());
         print_string (outcome_lines outcome);
         print_newline ();
         (match outcome with
          | Outcome.Crash _ | Outcome.Hang _ ->
-           let machine = runner.Runner.machine in
+           let machine = (Runner.machine runner) in
            let dump = Build.read_dump machine in
            print_string
              (Forensics.oops ?dump
-                ?injected_at:runner.Runner.last_injected_at ~inject_desc
+                ?injected_at:(Runner.last_injected_at runner) ~inject_desc
                 ~trace_n build machine)
          | _ ->
            (* no crash: the trace listing alone is still useful *)
            print_string
-             (Forensics.trace_listing ~n:trace_n build runner.Runner.machine));
+             (Forensics.trace_listing ~n:trace_n build (Runner.machine runner)));
         0))
 
 let lint_arg =
@@ -282,12 +309,32 @@ let trace_n_arg =
     value & opt int 32
     & info [ "n" ] ~doc:"Instructions to show in the trace listing.")
 
+let backend_arg = Kfi_cli.replay_backend ()
+
+let sym_doc what =
+  Printf.sprintf
+    "Accepted for flag symmetry with the other kfi binaries; a \
+     single-injection replay has nothing to %s." what
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:(sym_doc "reseed"))
+
+let subsample_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "subsample" ] ~docv:"K" ~doc:(sym_doc "subsample"))
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:(sym_doc "parallelize"))
+
 let cmd =
   Cmd.v
     (Cmd.info "kfi-trace"
        ~doc:"Replay one injection with full tracing and print the oops dump")
     Term.(
       const run $ lint_arg $ strip_arg $ dump_journal_arg $ fn_arg $ byte_arg
-      $ bit_arg $ addr_arg $ workload_arg $ level_arg $ trace_n_arg)
+      $ bit_arg $ addr_arg $ workload_arg $ level_arg $ trace_n_arg
+      $ backend_arg $ seed_arg $ subsample_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -114,6 +114,53 @@ cmp _artifacts/obs1.journal.dump _artifacts/obs4.journal.dump || {
   exit 1
 }
 
+echo "== backend gate: cached backend byte-identical to the interpreter, -j 1 and -j 4 =="
+# The cached backend (dirty-page restore + pre-decoded basic blocks) is a
+# pure optimization: the CSV, the stripped JSONL and the canonically
+# dumped journal must match the interpreter runs above byte for byte,
+# serial and parallel.  (Its per-instruction semantics are additionally
+# fuzzed against the interpreter by the backend.equiv property in the
+# pinned-seed stage.)
+dune exec bin/kfi_campaign.exe -- -c A --subsample 60 -q -j 1 --backend cached \
+  --csv _artifacts/cached1.csv --jsonl _artifacts/cached1.jsonl \
+  --journal _artifacts/cached1.journal > /dev/null
+dune exec bin/kfi_campaign.exe -- -c A --subsample 60 -q -j 4 --backend cached \
+  --csv _artifacts/cached4.csv --jsonl _artifacts/cached4.jsonl \
+  --journal _artifacts/cached4.journal > /dev/null
+cmp _artifacts/campaign_serial.csv _artifacts/cached1.csv || {
+  echo "backend gate failed: cached -j 1 CSV diverged from the interpreter" >&2
+  exit 1
+}
+cmp _artifacts/cached1.csv _artifacts/cached4.csv || {
+  echo "backend gate failed: cached -j 4 CSV diverged from cached -j 1" >&2
+  exit 1
+}
+dune exec bin/kfi_trace.exe -- --strip _artifacts/cached1.jsonl \
+  > _artifacts/cached1.jsonl.stripped
+dune exec bin/kfi_trace.exe -- --strip _artifacts/cached4.jsonl \
+  > _artifacts/cached4.jsonl.stripped
+cmp _artifacts/campaign_serial.jsonl.stripped _artifacts/cached1.jsonl.stripped || {
+  echo "backend gate failed: cached -j 1 telemetry diverged from the interpreter" >&2
+  exit 1
+}
+cmp _artifacts/cached1.jsonl.stripped _artifacts/cached4.jsonl.stripped || {
+  echo "backend gate failed: cached -j 4 telemetry diverged from cached -j 1" >&2
+  exit 1
+}
+# journals are written in completion order, so compare canonical dumps
+dune exec bin/kfi_trace.exe -- --dump-journal _artifacts/cached1.journal \
+  > _artifacts/cached1.journal.dump
+dune exec bin/kfi_trace.exe -- --dump-journal _artifacts/cached4.journal \
+  > _artifacts/cached4.journal.dump
+cmp _artifacts/obs1.journal.dump _artifacts/cached1.journal.dump || {
+  echo "backend gate failed: cached -j 1 journal diverged from the interpreter" >&2
+  exit 1
+}
+cmp _artifacts/cached1.journal.dump _artifacts/cached4.journal.dump || {
+  echo "backend gate failed: cached -j 4 journal diverged from cached -j 1" >&2
+  exit 1
+}
+
 echo "== observability overhead cap: metrics must cost < 5% wall clock =="
 dune exec bench/main.exe -- obs --subsample 60 --max-overhead-pct 5 \
   > _artifacts/bench_obs.txt 2>&1 || {

@@ -22,7 +22,7 @@ let disasm_window build ~addr ~before ~after =
 let () =
   Printf.eprintf "booting...\n%!";
   let runner = Runner.create () in
-  let build = runner.Runner.build in
+  let build = (Runner.build runner) in
   let fstime = Kfi.Workload.Progs.index_of "fstime" in
   let targets = Target.enumerate build ~campaign:Target.A ~seed:9 [ "do_generic_file_read" ] in
   Printf.printf "%s\nCase study: error injection into do_generic_file_read (mm)\n%s\n" line line;
@@ -74,9 +74,9 @@ let () =
     Printf.printf "  dump      : %s\n" (if c.Outcome.dumped then "written (LKCD-style)" else "FAILED (hang/unknown)");
     Printf.printf "  severity  : %s\n" (Outcome.severity_name c.Outcome.severity);
     Printf.printf "\nKernel console of the failing run:\n%s\n"
-      (Kfi.Isa.Machine.console_contents runner.Runner.machine);
+      (Kfi.Isa.Machine.console_contents (Runner.machine runner));
     Printf.printf "%s\nKDB-style post-mortem (as in the paper's Figure 5 trace)\n%s\n" line line;
-    print_string (Kfi.Kernel.Kdb.report runner.Runner.machine build);
+    print_string (Kfi.Kernel.Kdb.report (Runner.machine runner) build);
 
     (* ---- Table 6/7-style opcode studies on campaign C ---- *)
     Printf.printf "%s\nTable 6/7-style case studies (campaign C on pipe_read)\n%s\n" line line;

@@ -21,7 +21,7 @@ let () =
      scheduler, driven by the context-switching workload. *)
   let runner = study.Kfi.Study.runner in
   let targets =
-    Kfi.Injector.Target.enumerate runner.Kfi.Injector.Runner.build
+    Kfi.Injector.Target.enumerate (Kfi.Injector.Runner.build runner)
       ~campaign:Kfi.Injector.Target.C ~seed:1 [ "schedule" ]
   in
   Printf.printf "\n--- campaign C on schedule(): %d conditional branches ---\n"

@@ -16,7 +16,7 @@ let () =
     [ "generic_commit_write"; "ext2_get_block"; "ext2_alloc_block"; "ext2_truncate";
       "mark_buffer_dirty"; "sync_buffers"; "ext2_write_inode" ]
   in
-  let targets = Target.enumerate runner.Runner.build ~campaign:Target.C ~seed:5 fns in
+  let targets = Target.enumerate (Runner.build runner) ~campaign:Target.C ~seed:5 fns in
   Printf.printf "sweeping %d reversed-branch injections over the fs write path...\n\n"
     (List.length targets);
   let tally = Hashtbl.create 4 in

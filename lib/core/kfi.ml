@@ -22,6 +22,10 @@ module Campaign = struct
   type t = Kfi_injector.Target.campaign = A | B | C | R
 end
 
+(* The execution backend, re-exported so CLIs and embedders never reach
+   into Kfi_isa directly for it. *)
+module Backend = Kfi_isa.Backend
+
 module Config = struct
   include Kfi_injector.Config
 
@@ -30,13 +34,13 @@ module Config = struct
      an oracle and a metrics registry are given, the oracle's
      classify/slice spans land in the same registry. *)
   let make ?subsample ?seed ?hardening ?oracle ?telemetry ?on_progress ?jobs
-      ?journal ?policy ?metrics () =
+      ?journal ?policy ?metrics ?backend () =
     (match (oracle, metrics) with
      | Some o, Some _ -> Kfi_staticoracle.Oracle.set_metrics o metrics
      | _ -> ());
     Kfi_injector.Config.make ?subsample ?seed ?hardening
       ?oracle:(Option.map Kfi_staticoracle.Oracle.pruner oracle)
-      ?telemetry ?on_progress ?jobs ?journal ?policy ?metrics ()
+      ?telemetry ?on_progress ?jobs ?journal ?policy ?metrics ?backend ()
 end
 
 module Study = struct
@@ -54,14 +58,14 @@ module Study = struct
     let runner = Kfi_injector.Runner.create ?max_cycles () in
     let profile =
       Kfi_profiler.Sampler.profile_all
-        ~build:runner.Kfi_injector.Runner.build
-        ~machine:runner.Kfi_injector.Runner.machine
-        ~baseline:runner.Kfi_injector.Runner.baseline ()
+        ~build:(Kfi_injector.Runner.build runner)
+        ~machine:(Kfi_injector.Runner.machine runner)
+        ~baseline:(Kfi_injector.Runner.baseline runner) ()
     in
     let core = Kfi_profiler.Sampler.top_functions profile ~coverage:0.95 in
     { runner; profile; core; fleet = None }
 
-  let build t = t.runner.Kfi_injector.Runner.build
+  let build t = Kfi_injector.Runner.build t.runner
 
   (* The static mutation oracle over this study's kernel; pass
      [~oracle:(Kfi.Study.make_oracle study)] to [Config.make] to prune

@@ -43,6 +43,14 @@ module Campaign : sig
   type t = Kfi_injector.Target.campaign = A | B | C | R
 end
 
+(** The pluggable execution backend (re-exported from {!Kfi_isa} so
+    CLIs and embedders never reach into it directly): [Interp] is the
+    reference step interpreter, [Cached] adds dirty-page tracked
+    restore and a pre-decoded basic-block engine with byte-identical
+    outcomes.  Select one per campaign with {!Config.make}'s
+    [~backend], or per runner with [Kfi_injector.Runner.set_backend]. *)
+module Backend = Kfi_isa.Backend
+
 (** Campaign run configuration — the single [?config] argument taken by
     every run entry point.  Build one with {!Config.make}, or update
     {!Config.default} with record syntax:
@@ -76,11 +84,15 @@ module Config : sig
             journal (phase spans, throughput counters, fsync stalls).
             Pure observation: records, CSV, stripped JSONL and journal
             bytes are identical with or without it, at any job count *)
+    backend : Kfi_isa.Backend.kind;
+        (** execution backend for the runner(s) ({!Backend.Interp} by
+            default); {!Backend.Cached} is byte-identical in every
+            outcome and artifact, only faster *)
   }
 
   val default : t
   (** [subsample 1, seed 42, no hardening/oracle/telemetry/progress/
-      journal, jobs 1, Fleet.default_policy]. *)
+      journal, jobs 1, Fleet.default_policy, backend Interp]. *)
 
   val make :
     ?subsample:int ->
@@ -93,6 +105,7 @@ module Config : sig
     ?journal:Kfi_injector.Journal.t ->
     ?policy:Kfi_injector.Fleet.policy ->
     ?metrics:Kfi_obs.Metrics.t ->
+    ?backend:Kfi_isa.Backend.kind ->
     unit ->
     t
   (** {!default} with the given fields replaced.  [oracle] takes the

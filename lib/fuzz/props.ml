@@ -318,6 +318,112 @@ let cpu_trace_transparent =
       else if off <> full then Error (spf "Full diverged:\n  off  %s\n  full %s" off full)
       else Ok ())
 
+(* ---------- backend.equiv ---------- *)
+
+(* The differential property behind the pluggable execution backend: for
+   a random program and a random mid-run text injection, the reference
+   interpreter and the cached backend (dirty-page restore + pre-decoded
+   basic blocks) must agree on everything a campaign observes — run
+   outcome, registers, memory digest, trace entries and events — on the
+   clean run, across an incremental snapshot restore, and on the
+   injected replay.  The injection uses the runner's own mechanism: a
+   debug-register hit that pokes kernel text through [Cpu.poke_phys]. *)
+
+let result_name = function
+  | Machine.Powered_off n -> spf "exit:%d" n
+  | Machine.Halted -> "halted"
+  | Machine.Watchdog -> "watchdog"
+  | Machine.Reset t -> spf "reset:%s" (Trap.name t.Trap.vector)
+  | Machine.Snapshot_point -> "snapshot-point"
+
+let trace_repr tr =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (spf "seen=%d;" (Trace.seen tr));
+  List.iter
+    (fun (e : Trace.entry) ->
+      Buffer.add_string b
+        (spf "i%d:%lx:%d:%b:%s;" e.Trace.en_cycle e.Trace.en_eip e.Trace.en_op
+           e.Trace.en_user
+           (match e.Trace.en_mem with None -> "-" | Some a -> string_of_int a)))
+    (Trace.entries tr);
+  List.iter
+    (fun (e : Trace.event) ->
+      Buffer.add_string b
+        (spf "e%d:%d:%d:%d;" e.Trace.ev_cycle e.Trace.ev_kind e.Trace.ev_a
+           e.Trace.ev_b))
+    (Trace.events tr);
+  Buffer.contents b
+
+let mem_digest m =
+  Digest.to_hex
+    (Digest.bytes
+       (Phys.blit_out (Machine.phys m) ~src:0 ~len:(Phys.size (Machine.phys m))))
+
+let arb_backend_case =
+  Fuzz.arb
+    ~shrink:
+      (Shrink.pair
+         (Shrink.pair (Shrink.list ~elem:shrink_insn) Shrink.int)
+         (Shrink.triple Shrink.int Shrink.int Shrink.int))
+    ~print:(fun ((insns, steps), (pick, byte, bit)) ->
+      spf "%s for %d cycles, dr0@+%d flips bit %d of code+%d" (print_insns insns)
+        steps pick bit byte)
+    (Gen.pair
+       (Gen.pair (Gen.list ~min:1 ~max:12 gen_insn) (Gen.int_range 0 96))
+       (Gen.triple (Gen.int_bound 255) (Gen.int_bound 255) (Gen.int_range 0 7)))
+
+let backend_equiv =
+  Fuzz.make ~name:"backend.equiv"
+    ~doc:
+      "interp and cached backends agree on registers, memory, trace and \
+       outcome for random programs and random injections"
+    arb_backend_case
+    (fun ((insns, steps), (pick, byte, bit)) ->
+      let proglen =
+        List.fold_left (fun n i -> n + Bytes.length (Encode.encode i)) 1 insns
+      in
+      let exec kind =
+        let m = make_machine () in
+        load_program m insns;
+        let b = Backend.create kind m in
+        Backend.set_trace_level b Trace.Ring;
+        let snap = Backend.snapshot b in
+        let r1 = Backend.run b ~max_cycles:steps in
+        let clean = fingerprint m (result_name r1) in
+        let clean_mem = mem_digest m in
+        let clean_trace = trace_repr (Machine.cpu m).Cpu.trace in
+        (* replay from the snapshot with a mid-run injection, armed the
+           way the campaign runner arms it *)
+        Backend.restore b snap;
+        let cpu = Machine.cpu m in
+        Trace.clear cpu.Cpu.trace;
+        cpu.Cpu.dr.(0) <- Int32.of_int (code_base + (pick mod proglen));
+        cpu.Cpu.dr7 <- 1;
+        cpu.Cpu.on_debug_hit <-
+          Some
+            (fun c _ ->
+              let pa = code_base + (byte mod proglen) in
+              Cpu.poke_phys c pa (Phys.read8 c.Cpu.phys pa lxor (1 lsl bit));
+              c.Cpu.dr7 <- 0);
+        let r2 = Backend.run b ~max_cycles:steps in
+        cpu.Cpu.on_debug_hit <- None;
+        cpu.Cpu.dr7 <- 0;
+        let injected = fingerprint m (result_name r2) in
+        let injected_mem = mem_digest m in
+        let injected_trace = trace_repr cpu.Cpu.trace in
+        Backend.detach b;
+        String.concat "\n"
+          [
+            "clean " ^ clean; "clean-mem " ^ clean_mem;
+            "clean-trace " ^ clean_trace; "injected " ^ injected;
+            "injected-mem " ^ injected_mem; "injected-trace " ^ injected_trace;
+          ]
+      in
+      let reference = exec Backend.Interp in
+      let cached = exec Backend.Cached in
+      if String.equal reference cached then Ok ()
+      else Error (spf "backends diverged:\n-- interp --\n%s\n-- cached --\n%s" reference cached))
+
 (* ---------- mmu.translate_ref ---------- *)
 
 (* A pure reference of the two-level walk in [Mmu.walk] — no TLB.  The
@@ -439,16 +545,16 @@ let mmu_translate_ref =
 let oracle_env =
   lazy
     (let runner = Kfi_injector.Runner.create () in
-     let oracle = Kfi_staticoracle.Oracle.create runner.Kfi_injector.Runner.build in
+     let build = Kfi_injector.Runner.build runner in
+     let oracle = Kfi_staticoracle.Oracle.create build in
      let fns =
        List.map
          (fun f -> f.Kfi_asm.Assembler.f_name)
-         runner.Kfi_injector.Runner.build.Kfi_kernel.Build.funcs
+         build.Kfi_kernel.Build.funcs
      in
      let targets =
        Array.of_list
-         (Kfi_injector.Target.enumerate runner.Kfi_injector.Runner.build ~campaign:A
-            ~seed:7 fns)
+         (Kfi_injector.Target.enumerate build ~campaign:A ~seed:7 fns)
      in
      (runner, oracle, targets))
 
@@ -977,6 +1083,7 @@ let all =
     asm_assemble_decode;
     cpu_snapshot_restore;
     cpu_trace_transparent;
+    backend_equiv;
     mmu_translate_ref;
     oracle_equivalent_sound;
     slice_sound;

@@ -20,6 +20,13 @@ val isa_decode_total : Kfi_fuzz.Fuzz.t
 val asm_assemble_decode : Kfi_fuzz.Fuzz.t
 val cpu_snapshot_restore : Kfi_fuzz.Fuzz.t
 val cpu_trace_transparent : Kfi_fuzz.Fuzz.t
+
+val backend_equiv : Kfi_fuzz.Fuzz.t
+(** The execution-backend differential: interp and cached agree on run
+    outcome, registers, memory digest and trace for random programs and
+    random debug-register-triggered text injections, across an
+    incremental snapshot restore. *)
+
 val mmu_translate_ref : Kfi_fuzz.Fuzz.t
 val oracle_equivalent_sound : Kfi_fuzz.Fuzz.t
 val slice_sound : Kfi_fuzz.Fuzz.t

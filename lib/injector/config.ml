@@ -1,8 +1,7 @@
 (* One record for every knob a campaign run accepts.  The run entry
-   points (Experiment.run_campaign/run_all and the Kfi.Study facade) used
-   to copy-paste six optional arguments each; they now take a single
-   [?config] and the optional-arg spellings survive only as deprecated
-   wrappers.
+   points (Experiment.run_campaign/run_all and the Kfi.Study facade)
+   take a single [?config]; the pre-Config optional-argument spellings
+   are gone.
 
    The [oracle] field holds the *resolved* pruning hook (a plain
    function), not the oracle value itself: the facade resolves
@@ -30,6 +29,12 @@ type t = {
          Pure observation — records, CSV, stripped JSONL and the
          journal are byte-identical with or without it, which is why
          it stays out of [fingerprint] *)
+  backend : Kfi_isa.Backend.kind;
+      (* execution backend for the runner(s).  [Cached] is byte-identical
+         to [Interp] in every outcome, trace and artifact (the
+         backend.equiv fuzz property and the CI gates hold it to that),
+         so it too stays out of [fingerprint]: a journal written under
+         one backend resumes cleanly under the other *)
 }
 
 let default =
@@ -44,11 +49,13 @@ let default =
     journal = None;
     policy = Fleet.default_policy;
     metrics = None;
+    backend = Kfi_isa.Backend.Interp;
   }
 
 let make ?(subsample = default.subsample) ?(seed = default.seed)
     ?(hardening = default.hardening) ?oracle ?telemetry ?on_progress
-    ?(jobs = default.jobs) ?journal ?(policy = default.policy) ?metrics () =
+    ?(jobs = default.jobs) ?journal ?(policy = default.policy) ?metrics
+    ?(backend = default.backend) () =
   {
     subsample;
     seed;
@@ -60,6 +67,7 @@ let make ?(subsample = default.subsample) ?(seed = default.seed)
     journal;
     policy;
     metrics;
+    backend;
   }
 
 (* The fingerprint guarding a resumed journal: everything that changes

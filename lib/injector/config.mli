@@ -36,12 +36,20 @@ type t = {
           stalls).  Pure observation: records, CSV, stripped JSONL and
           journal bytes are identical with or without it, at any job
           count — so it is deliberately absent from {!fingerprint} *)
+  backend : Kfi_isa.Backend.kind;
+      (** execution backend for the runner(s) ({!Kfi_isa.Backend.Interp}
+          by default).  {!Kfi_isa.Backend.Cached} produces byte-identical
+          outcomes, traces and artifacts — enforced by the backend.equiv
+          fuzz property and the CI byte-identity gates — so it too is
+          absent from {!fingerprint}: a journal written under one
+          backend resumes cleanly under the other *)
 }
 
 val default : t
 (** [{ subsample = 1; seed = 42; hardening = false; oracle = None;
       telemetry = None; on_progress = None; jobs = 1; journal = None;
-      policy = Fleet.default_policy; metrics = None }]. *)
+      policy = Fleet.default_policy; metrics = None;
+      backend = Kfi_isa.Backend.Interp }]. *)
 
 val make :
   ?subsample:int ->
@@ -54,6 +62,7 @@ val make :
   ?journal:Journal.t ->
   ?policy:Fleet.policy ->
   ?metrics:Kfi_obs.Metrics.t ->
+  ?backend:Kfi_isa.Backend.kind ->
   unit ->
   t
 (** {!default} with the given fields replaced. *)

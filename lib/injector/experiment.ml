@@ -35,7 +35,9 @@ let campaign_functions (runner : Runner.t) profile campaign =
   let core = Profiler.top_functions profile ~coverage:0.95 |> List.map fst in
   let wider = Profiler.top_functions profile ~coverage:0.999 |> List.map fst in
   let all_kernel_fns =
-    List.map (fun f -> f.Kfi_asm.Assembler.f_name) runner.Runner.build.Kfi_kernel.Build.funcs
+    List.map
+      (fun f -> f.Kfi_asm.Assembler.f_name)
+      (Runner.build runner).Kfi_kernel.Build.funcs
   in
   let dedup l =
     let seen = Hashtbl.create 64 in
@@ -155,6 +157,7 @@ let run_targets ?(config = Config.default) ?fleet runner profile campaign
     journal;
     policy;
     metrics;
+    backend;
   } =
     config
   in
@@ -163,6 +166,7 @@ let run_targets ?(config = Config.default) ?fleet runner profile campaign
      invalid_arg "Experiment.run_campaign: the fleet's primary runner differs"
    | _ -> ());
   Runner.set_hardening runner hardening;
+  Runner.set_backend runner backend;
   Runner.set_metrics runner metrics;
   (match journal with Some j -> Journal.set_metrics j metrics | None -> ());
   let mtime name f =
@@ -373,7 +377,7 @@ let run_targets ?(config = Config.default) ?fleet runner profile campaign
 let run_campaign ?(config = Config.default) ?fleet runner profile campaign =
   let fns = campaign_functions runner profile campaign in
   let targets =
-    Target.enumerate runner.Runner.build ~campaign ~seed:config.Config.seed fns
+    Target.enumerate (Runner.build runner) ~campaign ~seed:config.Config.seed fns
     |> subsample_targets ~subsample:config.Config.subsample
   in
   run_targets ~config ?fleet runner profile campaign targets

@@ -69,11 +69,11 @@ let timing_zero =
 (* the runner's [last_*] fields, read on the domain that owns it *)
 let timing_of_runner (r : Runner.t) =
   {
-    wall = r.Runner.last_wall +. r.Runner.last_classify;
-    restore = r.Runner.last_restore;
-    exec = Float.max 0. (r.Runner.last_wall -. r.Runner.last_restore);
-    classify = r.Runner.last_classify;
-    cycles = r.Runner.last_cycles;
+    wall = Runner.last_wall r +. Runner.last_classify r;
+    restore = Runner.last_restore r;
+    exec = Float.max 0. (Runner.last_wall r -. Runner.last_restore r);
+    classify = Runner.last_classify r;
+    cycles = Runner.last_cycles r;
   }
 
 type item = {
@@ -144,8 +144,9 @@ let size t = Array.length t.runners
 
 let boot_like (r : Runner.t) =
   let r' = Runner.create ~max_cycles:(Runner.max_cycles r) () in
-  Runner.set_hardening r' r.Runner.hardening;
-  Runner.set_trace_level r' r.Runner.trace_level;
+  Runner.set_hardening r' (Runner.hardening r);
+  Runner.set_trace_level r' (Runner.trace_level r);
+  Runner.set_backend r' (Runner.backend_kind r);
   r'
 
 let ensure t ~jobs =
@@ -153,7 +154,7 @@ let ensure t ~jobs =
   if missing > 0 then begin
     (* the kernel image cache is already warm (the primary runner built
        it), so concurrent boots share the assembled build *)
-    let max_cycles = (primary t).Runner.max_cycles in
+    let max_cycles = Runner.max_cycles (primary t) in
     let spawned =
       Array.init missing (fun _ ->
           Domain.spawn (fun () -> Runner.create ~max_cycles ()))
@@ -293,8 +294,9 @@ let run ?jobs ?(chunk = 1) ?(policy = default_policy) ?metrics ?on_result
   (* every worker runs with the primary's current modes *)
   Array.iter
     (fun r ->
-      Runner.set_hardening r lead.Runner.hardening;
-      Runner.set_trace_level r lead.Runner.trace_level)
+      Runner.set_hardening r (Runner.hardening lead);
+      Runner.set_trace_level r (Runner.trace_level lead);
+      Runner.set_backend r (Runner.backend_kind lead))
     t.runners;
   let results = Array.make n None in
   let lock = Mutex.create () in

@@ -41,6 +41,9 @@ type t = {
   mutable metrics : Kfi_obs.Metrics.t option;
       (* observability registry: per-phase latency histograms and
          outcome counters; never feeds back into any outcome *)
+  mutable backend : Backend.t;
+      (* how cycles execute and how snapshot state moves between
+         experiments; swapped whole by [set_backend] *)
 }
 
 let default_max_cycles = 8_000_000
@@ -116,6 +119,7 @@ let create ?(max_cycles = default_max_cycles) () =
     last_cycles = 0;
     last_injected_at = None;
     metrics = None;
+    backend = Backend.create Backend.Interp machine;
   }
 
 let fsck_severity t =
@@ -135,7 +139,34 @@ let set_max_cycles t n = t.max_cycles <- n
 
 let set_metrics t m = t.metrics <- m
 
+(* Swapping detaches the old backend first (hooks and dirty tracking
+   off) so the machine is only ever owned by one backend.  The first
+   restore after a swap to [Cached] is a full copy that resynchronizes
+   the dirty tracking; every later one is O(dirty pages). *)
+let set_backend t kind =
+  if Backend.kind t.backend <> kind then begin
+    Backend.detach t.backend;
+    t.backend <- Backend.create kind t.machine
+  end
+
+let backend_kind t = Backend.kind t.backend
+
 let max_cycles t = t.max_cycles
+
+(* Read-only views of the boot products and the last run's timings (the
+   record itself is private to this module). *)
+let build t = t.build
+let machine t = t.machine
+let baseline t = t.baseline
+let baselines t = t.baselines
+let golden t w = t.golden.(w)
+let hardening t = t.hardening
+let trace_level t = t.trace_level
+let last_wall t = t.last_wall
+let last_restore t = t.last_restore
+let last_classify t = t.last_classify
+let last_cycles t = t.last_cycles
+let last_injected_at t = t.last_injected_at
 
 (* The full corruption-site -> crash-site path from the flight recorder.
    A bounded ring can lose the earliest hops and the crash handler's own
@@ -193,7 +224,7 @@ let run_with_deadline t ~deadline =
      | Some d when Unix.gettimeofday () > d -> raise (Deadline_exceeded d)
      | _ -> ());
     let budget = min deadline_slice (limit - cpu.Cpu.cycles) in
-    match Machine.run t.machine ~max_cycles:budget with
+    match Backend.run t.backend ~max_cycles:budget with
     | Machine.Watchdog when cpu.Cpu.cycles < limit ->
       (* only the slice expired, not the real watchdog: keep going *)
       go ()
@@ -207,7 +238,7 @@ let run_with_deadline t ~deadline =
    injection restores a snapshot first, so the runner stays usable. *)
 let run_one ?deadline t ~workload (target : Target.t) =
   let wall0 = Unix.gettimeofday () in
-  Machine.restore t.machine t.baselines.(workload);
+  Backend.restore t.backend t.baselines.(workload);
   t.last_restore <- Unix.gettimeofday () -. wall0;
   poke_hardening t;
   let cpu = Machine.cpu t.machine in

@@ -4,51 +4,29 @@
     One {!t} boots the kernel once; each injection restores a snapshot
     ("reboots"), arms a debug register on the target instruction, flips
     the chosen bit when it is first reached, runs to a terminal state and
-    classifies the outcome. *)
+    classifies the outcome.
+
+    The record itself is private: the snapshot plumbing ([baselines],
+    golden-run bookkeeping, the attached {!Kfi_isa.Backend.t}) is
+    internal state, reachable read-only through the accessors below. *)
 
 open Kfi_isa
 
 type golden = { g_exit : int; g_console : string }
 (** Exit code and tty output of a fault-free run. *)
 
-type t = {
-  build : Kfi_kernel.Build.t;
-  machine : Machine.t;
-  baseline : Machine.snapshot;
-      (** pristine post-boot state (pre-init), used by the profiler *)
-  baselines : Machine.snapshot array;
-      (** per-workload snapshots at the first user-mode instruction, so
-          experiments inject into a running benchmark as in the paper *)
-  golden : golden array;
-  manifest : (string * Digest.t) list;
-      (** system files that must survive for the machine to boot again *)
-  mutable max_cycles : int; (** the watchdog budget *)
-  mutable hardening : bool;
-      (** enable the kernel's interface assertions (Section 7.4 ablation) *)
-  mutable trace_level : Trace.level;
-      (** flight-recorder level during injections ({!Trace.Ring} by
-          default, so crash records carry a propagation path) *)
-  mutable last_wall : float;
-      (** seconds spent restoring + executing in the last [run_one] *)
-  mutable last_restore : float;  (** of which restoring the snapshot *)
-  mutable last_classify : float;
-      (** seconds spent classifying the last run's outcome (golden
-          compare, fsck, dump reading, propagation); 0 when the run was
-          abandoned on a deadline *)
-  mutable last_cycles : int;  (** simulated cycles of the last run *)
-  mutable last_injected_at : int option;
-      (** cycle at which the last run's fault was injected *)
-  mutable metrics : Kfi_obs.Metrics.t option;
-      (** observability registry fed by [run_one] (phase latency
-          histograms, outcome counters); set with {!set_metrics} *)
-}
+type t
 
 val default_max_cycles : int
 
 val create : ?max_cycles:int -> unit -> t
 (** Build the file system, boot the kernel to its snapshot point, take
-    the per-workload baselines and record the golden runs.
+    the per-workload baselines and record the golden runs.  Runs on the
+    reference {!Kfi_isa.Backend.Interp} backend until {!set_backend}
+    says otherwise.
     @raise Failure if the pristine kernel cannot complete a workload. *)
+
+(** {2 Modes} *)
 
 val set_hardening : t -> bool -> unit
 
@@ -60,14 +38,58 @@ val set_max_cycles : t -> int -> unit
 (** Adjust the simulated-watchdog budget for subsequent runs (used by
     tests to force the {!Outcome.Hang} path deterministically). *)
 
-val max_cycles : t -> int
-
 val set_metrics : t -> Kfi_obs.Metrics.t option -> unit
 (** Attach (or detach) a metrics registry: each subsequent [run_one]
     observes its phase spans ([phase.restore] / [phase.execute] /
     [phase.classify], plus the [inj.wall] total) and bumps the
     [inj.*] / [outcome.*] counters.  Observation only — outcomes and
     every determinism-gated artifact are unaffected. *)
+
+val set_backend : t -> Backend.kind -> unit
+(** Swap the execution backend for subsequent runs.  A no-op when the
+    kind is unchanged; otherwise the old backend is detached (hooks and
+    dirty-page tracking removed) and a fresh one attached.  Outcomes are
+    byte-identical across backends — only the wall clock moves. *)
+
+val backend_kind : t -> Backend.kind
+
+(** {2 Read-only views} *)
+
+val build : t -> Kfi_kernel.Build.t
+val machine : t -> Machine.t
+
+val baseline : t -> Machine.snapshot
+(** Pristine post-boot state (pre-init), used by the profiler. *)
+
+val baselines : t -> Machine.snapshot array
+(** Per-workload snapshots at the first user-mode instruction, so
+    experiments inject into a running benchmark as in the paper. *)
+
+val golden : t -> int -> golden
+(** The fault-free run of one workload. *)
+
+val hardening : t -> bool
+val trace_level : t -> Trace.level
+val max_cycles : t -> int
+
+val last_wall : t -> float
+(** Seconds spent restoring + executing in the last [run_one]. *)
+
+val last_restore : t -> float
+(** Of which restoring the snapshot. *)
+
+val last_classify : t -> float
+(** Seconds spent classifying the last run's outcome (golden compare,
+    fsck, dump reading, propagation); 0 when the run was abandoned on a
+    deadline. *)
+
+val last_cycles : t -> int
+(** Simulated cycles of the last run. *)
+
+val last_injected_at : t -> int option
+(** Cycle at which the last run's fault was injected. *)
+
+(** {2 Running} *)
 
 val poke_hardening : t -> unit
 (** Write the hardening flag into (restored) guest memory; [run_one] does

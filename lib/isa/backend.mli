@@ -1,0 +1,53 @@
+(** The pluggable execution backend: step, run-until-event and
+    snapshot/restore behind one interface, with two implementations.
+
+    {!Interp} is the reference step interpreter (the pre-existing
+    {!Machine.run} path) — the semantic ground truth every other backend
+    is differentially checked against.  {!Cached} layers two caches on
+    the same machine: dirty-page tracked restore (O(dirty pages) instead
+    of a full-image copy) and a pre-decoded basic-block engine keyed by
+    physical page, invalidated on text writes — so both caches survive
+    across experiments, which touch only a few pages each.  Outcomes,
+    registers, traces and telemetry are byte-identical between the two;
+    the [backend.equiv] fuzz property and the CI byte-identity gates
+    enforce it. *)
+
+type kind = Interp | Cached
+
+val kind_name : kind -> string
+(** ["interp"] / ["cached"] — the CLI spelling. *)
+
+val kind_of_string : string -> kind option
+(** Inverse of {!kind_name} (also accepts ["interpreter"] and ["bb"]). *)
+
+val all_kinds : kind list
+
+type t
+
+val create : kind -> Machine.t -> t
+(** Attach a backend to a machine.  {!Cached} turns on dirty-page
+    tracking and installs the block cache's invalidation hook. *)
+
+val detach : t -> unit
+(** Undo {!create}: remove hooks and tracking so another backend (or
+    none) can take over the machine. *)
+
+val kind : t -> kind
+val machine : t -> Machine.t
+
+val run : t -> max_cycles:int -> Machine.run_result
+(** Run until an event, exactly as {!Machine.run}. *)
+
+val step : t -> unit
+(** Execute a single instruction (always the reference path). *)
+
+val snapshot : t -> Machine.snapshot
+val restore : t -> Machine.snapshot -> unit
+
+val trace : t -> Trace.t
+(** The machine's flight recorder (both backends feed it identically). *)
+
+val set_trace_level : t -> Trace.level -> unit
+
+val stats : t -> Bbexec.stats option
+(** Block-cache statistics; [None] for the interpreter. *)

@@ -1,0 +1,32 @@
+(** The cached backend's execution core: basic blocks of pre-decoded,
+    pre-compiled instructions keyed by physical address, invalidated per
+    page through {!Cpu.t.on_code_invalidate}.  Per-instruction semantics
+    are bit-for-bit the interpreter's; anything the fast path cannot
+    prove identical falls back to a literal {!Cpu.step}. *)
+
+type t
+
+val create : Cpu.t -> t
+(** Attach a block cache to the CPU: installs the page-invalidation hook
+    (replacing any previous one). *)
+
+val detach : t -> unit
+(** Remove the hook and drop every block. *)
+
+val flush : t -> unit
+(** Drop every block (the hook's [-1] path). *)
+
+val invalidate_page : t -> int -> unit
+(** Drop the blocks decoded from one physical page ([-1] = all). *)
+
+val run : t -> max_cycles:int -> Machine.run_result
+(** The {!Machine.run} contract, a block at a time. *)
+
+type stats = {
+  st_blocks : int;            (** blocks currently cached *)
+  st_built : int;             (** blocks decoded since creation *)
+  st_hits : int;              (** dispatches served from the cache *)
+  st_invalidated_pages : int; (** page invalidations that dropped blocks *)
+}
+
+val stats : t -> stats

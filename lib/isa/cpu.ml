@@ -50,7 +50,11 @@ type t = {
   mutable next_timer : int;
   idt_base : int;                 (* physical address of the IDT array *)
   icache : (int, Insn.t * int) Hashtbl.t;
-  code_frames : Bytes.t;          (* frame -> 1 if icache holds entries there *)
+  code_frames : Bytes.t;          (* frame -> 1 if decoded code is cached there *)
+  code_index : (int, int list) Hashtbl.t; (* frame -> icache keys in it *)
+  mutable on_code_invalidate : (int -> unit) option;
+      (* execution-backend hook: cached code for this frame is stale
+         (-1 = everything); fired whenever a marked frame is written *)
   scratch : int32 array;          (* register snapshot for faulting restarts *)
   mutable last_fault_cycle : int; (* cycle count at the most recent exception *)
   trace : Trace.t;                (* flight recorder, fed from [step] *)
@@ -84,6 +88,8 @@ let create ~phys ~disk ~idt_base =
     idt_base;
     icache = Hashtbl.create 4096;
     code_frames = Bytes.make frames '\000';
+    code_index = Hashtbl.create 256;
+    on_code_invalidate = None;
     scratch = Array.make 8 0l;
     last_fault_cycle = 0;
     trace = Trace.create ();
@@ -96,7 +102,29 @@ let ( -% ) = Int32.sub
 
 let flush_icache cpu =
   Hashtbl.reset cpu.icache;
-  Bytes.fill cpu.code_frames 0 (Bytes.length cpu.code_frames) '\000'
+  Hashtbl.reset cpu.code_index;
+  Bytes.fill cpu.code_frames 0 (Bytes.length cpu.code_frames) '\000';
+  match cpu.on_code_invalidate with Some f -> f (-1) | None -> ()
+
+(* Drop the cached decode state for one frame only: the write path after
+   an injection or an incremental restore, where a full flush would throw
+   away a cache that survives across experiments. *)
+let invalidate_code_page cpu page =
+  if page >= 0 && page < Bytes.length cpu.code_frames
+     && Bytes.unsafe_get cpu.code_frames page <> '\000'
+  then begin
+    (match Hashtbl.find_opt cpu.code_index page with
+     | Some pas ->
+       List.iter (Hashtbl.remove cpu.icache) pas;
+       Hashtbl.remove cpu.code_index page
+     | None -> ());
+    Bytes.unsafe_set cpu.code_frames page '\000';
+    match cpu.on_code_invalidate with Some f -> f page | None -> ()
+  end
+
+(* Execution backends caching their own decoded state for a frame mark it
+   here so guest writes reach them through [on_code_invalidate]. *)
+let mark_code_page cpu page = Bytes.set cpu.code_frames page '\001'
 
 let in_user cpu = cpu.mode = User
 
@@ -107,8 +135,9 @@ let translate cpu ~write vaddr =
   Mmu.translate cpu.mmu ~cr3:cpu.cr3 ~user:(in_user cpu) ~write vaddr
 
 let guard_code cpu pa =
-  if Bytes.unsafe_get cpu.code_frames (pa lsr Mmu.page_shift) <> '\000' then
-    flush_icache cpu
+  let page = pa lsr Mmu.page_shift in
+  if Bytes.unsafe_get cpu.code_frames page <> '\000' then
+    invalidate_code_page cpu page
 
 let rd8 cpu a = Phys.read8 cpu.phys (translate cpu ~write:false a)
 
@@ -258,7 +287,14 @@ let fetch_decode cpu =
      | Decode.Ok (insn, len) ->
        if len <= in_page then begin
          Hashtbl.replace cpu.icache pa0 (insn, len);
-         Bytes.set cpu.code_frames (pa0 lsr Mmu.page_shift) '\001'
+         let page = pa0 lsr Mmu.page_shift in
+         Hashtbl.replace cpu.code_index page
+           (pa0
+            ::
+            (match Hashtbl.find_opt cpu.code_index page with
+             | Some pas -> pas
+             | None -> []));
+         Bytes.set cpu.code_frames page '\001'
        end;
        (insn, len))
 
@@ -629,3 +665,279 @@ let step cpu =
 let set_timer cpu period =
   cpu.timer_period <- period;
   cpu.next_timer <- (if period = 0 then max_int else cpu.cycles + period)
+
+(* ----- instruction pre-compilation (the cached backend's decode step) -----
+
+   [compile_insn] resolves the execute dispatch and operand addressing
+   once, at decode time, returning a closure with the exact semantics of
+   [execute insn].  Only the hot straight-line instructions are
+   specialized; everything else falls back to a closure over [execute]
+   itself, so the reference interpreter remains the single source of
+   truth for the rare forms.  [mem_thunk] is the same pre-resolution for
+   the flight recorder's effective-address computation ([insn_mem]). *)
+
+let compile_ea (m : Insn.mem) : t -> int32 =
+  match (m.Insn.base, m.Insn.index) with
+  | None, None ->
+    let d = m.Insn.disp in
+    fun _ -> d
+  | Some b, None ->
+    let d = m.Insn.disp in
+    if d = 0l then (fun cpu -> cpu.regs.(b)) else fun cpu -> cpu.regs.(b) +% d
+  | Some b, Some (i, s) ->
+    let d = m.Insn.disp and s32 = i32 s in
+    fun cpu -> cpu.regs.(b) +% Int32.mul cpu.regs.(i) s32 +% d
+  | None, Some (i, s) ->
+    let d = m.Insn.disp and s32 = i32 s in
+    fun cpu -> Int32.mul cpu.regs.(i) s32 +% d
+
+let no_mem : t -> int = fun _ -> -1
+
+let mem_thunk (insn : Insn.t) : t -> int =
+  let open Insn in
+  let of_rm = function
+    | Mem m ->
+      let lea = compile_ea m in
+      fun cpu -> u32 (lea cpu)
+    | Reg _ -> no_mem
+  in
+  match insn with
+  | Mov_rm_r (rm, _) | Mov_r_rm (_, rm) | Mov_rm_i (rm, _)
+  | Movb_rm_r (rm, _) | Movb_r_rm (_, rm) | Movzbl (_, rm)
+  | Alu_rm_r (_, rm, _) | Alu_r_rm (_, _, rm)
+  | Alu_rm_i (_, rm, _) | Alu_rm_i8 (_, rm, _)
+  | Test_rm_r (rm, _) | Not_rm rm | Neg_rm rm | Mul_rm rm | Div_rm rm
+  | Imul_r_rm (_, rm) | Shift_i (_, rm, _) | Shift_cl (_, rm)
+  | Shrd (rm, _, _) | Call_rm rm | Jmp_rm rm | Push_rm rm
+  | Inc_rm rm | Dec_rm rm -> of_rm rm
+  | _ -> no_mem
+
+(* ALU forms with a register destination, shared across the rm/imm/eax
+   spellings.  [src] is pre-resolved, and the [Flags.of_add]/[of_sub]/
+   [of_logic] computations are flattened into the closure bodies (same
+   bit math, no out-of-line calls); the [backend.equiv] fuzz property
+   holds them to the interpreter's results bit for bit. *)
+
+(* ZF/SF/PF of a result, as in [Flags.of_result]. *)
+let zsp_bits ir =
+  let p = ir land 0xff in
+  let p = p lxor (p lsr 4) in
+  let p = p lxor (p lsr 2) in
+  let p = p lxor (p lsr 1) in
+  (if ir = 0 then Flags.zf else 0)
+  lor (if ir < 0 then Flags.sf else 0)
+  lor (if p land 1 = 0 then Flags.pf else 0)
+
+let arith_mask = lnot (Flags.zf lor Flags.sf lor Flags.pf lor Flags.cf lor Flags.of_)
+
+let compile_alu_reg op d (src : t -> int32) : t -> unit =
+  let open Insn in
+  match op with
+  | Add ->
+    fun cpu ->
+      let a = cpu.regs.(d) in
+      let b = src cpu in
+      let r = a +% b in
+      let ia = Int32.to_int a and ib = Int32.to_int b and ir = Int32.to_int r in
+      let fl = cpu.eflags land arith_mask lor zsp_bits ir in
+      let fl =
+        if ir land 0xFFFFFFFF < ia land 0xFFFFFFFF then fl lor Flags.cf else fl
+      in
+      let fl = if ia lxor ib >= 0 && ia lxor ir < 0 then fl lor Flags.of_ else fl in
+      cpu.eflags <- fl;
+      cpu.regs.(d) <- r
+  | Sub ->
+    fun cpu ->
+      let a = cpu.regs.(d) in
+      let b = src cpu in
+      let r = a -% b in
+      let ia = Int32.to_int a and ib = Int32.to_int b and ir = Int32.to_int r in
+      let fl = cpu.eflags land arith_mask lor zsp_bits ir in
+      let fl =
+        if ia land 0xFFFFFFFF < ib land 0xFFFFFFFF then fl lor Flags.cf else fl
+      in
+      let fl = if ia lxor ib < 0 && ia lxor ir < 0 then fl lor Flags.of_ else fl in
+      cpu.eflags <- fl;
+      cpu.regs.(d) <- r
+  | Cmp ->
+    fun cpu ->
+      let a = cpu.regs.(d) in
+      let b = src cpu in
+      let r = a -% b in
+      let ia = Int32.to_int a and ib = Int32.to_int b and ir = Int32.to_int r in
+      let fl = cpu.eflags land arith_mask lor zsp_bits ir in
+      let fl =
+        if ia land 0xFFFFFFFF < ib land 0xFFFFFFFF then fl lor Flags.cf else fl
+      in
+      let fl = if ia lxor ib < 0 && ia lxor ir < 0 then fl lor Flags.of_ else fl in
+      cpu.eflags <- fl
+  | And ->
+    fun cpu ->
+      let r = Int32.logand cpu.regs.(d) (src cpu) in
+      cpu.eflags <- cpu.eflags land arith_mask lor zsp_bits (Int32.to_int r);
+      cpu.regs.(d) <- r
+  | Or ->
+    fun cpu ->
+      let r = Int32.logor cpu.regs.(d) (src cpu) in
+      cpu.eflags <- cpu.eflags land arith_mask lor zsp_bits (Int32.to_int r);
+      cpu.regs.(d) <- r
+  | Xor ->
+    fun cpu ->
+      let r = Int32.logxor cpu.regs.(d) (src cpu) in
+      cpu.eflags <- cpu.eflags land arith_mask lor zsp_bits (Int32.to_int r);
+      cpu.regs.(d) <- r
+
+(* Conditional branches with the condition resolved at compile time: each
+   cond becomes a direct mask test on eflags, the same bits
+   [Flags.eval_cond] reads.  SF <> OF (conds L/GE/LE/G) folds to one test:
+   OF sits exactly four bits above SF, so xoring eflags with itself
+   shifted right by four aligns them. *)
+let compile_jcc (c : Insn.cond) rel : t -> unit =
+  let open Insn in
+  match c with
+  | O -> fun cpu -> if cpu.eflags land Flags.of_ <> 0 then cpu.eip <- cpu.eip +% rel
+  | NO -> fun cpu -> if cpu.eflags land Flags.of_ = 0 then cpu.eip <- cpu.eip +% rel
+  | B -> fun cpu -> if cpu.eflags land Flags.cf <> 0 then cpu.eip <- cpu.eip +% rel
+  | AE -> fun cpu -> if cpu.eflags land Flags.cf = 0 then cpu.eip <- cpu.eip +% rel
+  | E -> fun cpu -> if cpu.eflags land Flags.zf <> 0 then cpu.eip <- cpu.eip +% rel
+  | NE -> fun cpu -> if cpu.eflags land Flags.zf = 0 then cpu.eip <- cpu.eip +% rel
+  | BE ->
+    fun cpu ->
+      if cpu.eflags land (Flags.cf lor Flags.zf) <> 0 then cpu.eip <- cpu.eip +% rel
+  | A ->
+    fun cpu ->
+      if cpu.eflags land (Flags.cf lor Flags.zf) = 0 then cpu.eip <- cpu.eip +% rel
+  | S -> fun cpu -> if cpu.eflags land Flags.sf <> 0 then cpu.eip <- cpu.eip +% rel
+  | NS -> fun cpu -> if cpu.eflags land Flags.sf = 0 then cpu.eip <- cpu.eip +% rel
+  | P -> fun cpu -> if cpu.eflags land Flags.pf <> 0 then cpu.eip <- cpu.eip +% rel
+  | NP -> fun cpu -> if cpu.eflags land Flags.pf = 0 then cpu.eip <- cpu.eip +% rel
+  | L ->
+    fun cpu ->
+      let fl = cpu.eflags in
+      if (fl lxor (fl lsr 4)) land Flags.sf <> 0 then cpu.eip <- cpu.eip +% rel
+  | GE ->
+    fun cpu ->
+      let fl = cpu.eflags in
+      if (fl lxor (fl lsr 4)) land Flags.sf = 0 then cpu.eip <- cpu.eip +% rel
+  | LE ->
+    fun cpu ->
+      let fl = cpu.eflags in
+      if fl land Flags.zf <> 0 || (fl lxor (fl lsr 4)) land Flags.sf <> 0 then
+        cpu.eip <- cpu.eip +% rel
+  | G ->
+    fun cpu ->
+      let fl = cpu.eflags in
+      if fl land Flags.zf = 0 && (fl lxor (fl lsr 4)) land Flags.sf = 0 then
+        cpu.eip <- cpu.eip +% rel
+
+let compile_insn (insn : Insn.t) : t -> unit =
+  let open Insn in
+  match insn with
+  | Nop -> fun _ -> ()
+  | Mov_ri (r, v) -> fun cpu -> cpu.regs.(r) <- v
+  | Mov_r_rm (r, Reg s) -> fun cpu -> cpu.regs.(r) <- cpu.regs.(s)
+  | Mov_r_rm (r, Mem m) ->
+    let lea = compile_ea m in
+    fun cpu -> cpu.regs.(r) <- rd32 cpu (lea cpu)
+  | Mov_rm_r (Reg d, r) -> fun cpu -> cpu.regs.(d) <- cpu.regs.(r)
+  | Mov_rm_r (Mem m, r) ->
+    let lea = compile_ea m in
+    fun cpu -> wr32 cpu (lea cpu) cpu.regs.(r)
+  | Mov_rm_i (Reg d, v) -> fun cpu -> cpu.regs.(d) <- v
+  | Mov_rm_i (Mem m, v) ->
+    let lea = compile_ea m in
+    fun cpu -> wr32 cpu (lea cpu) v
+  | Movzbl (r, rm) -> fun cpu -> cpu.regs.(r) <- i32 (rdb_rm cpu rm)
+  | Push_r r -> fun cpu -> push cpu cpu.regs.(r)
+  | Pop_r r -> fun cpu -> cpu.regs.(r) <- pop cpu
+  | Push_i v | Push_i8 v -> fun cpu -> push cpu v
+  | Push_rm rm -> fun cpu -> push cpu (rd_rm cpu rm)
+  | Inc_r r ->
+    (* inc/dec preserve CF; OF for [a + 1] / [a - 1] is the wrap at the
+       signed extreme (same result as the generic of_add/of_sub bits). *)
+    fun cpu ->
+      let a = cpu.regs.(r) in
+      let r' = a +% 1l in
+      let ia = Int32.to_int a and ir = Int32.to_int r' in
+      let fl = cpu.eflags land (arith_mask lor Flags.cf) lor zsp_bits ir in
+      cpu.eflags <- (if ia >= 0 && ir < 0 then fl lor Flags.of_ else fl);
+      cpu.regs.(r) <- r'
+  | Dec_r r ->
+    fun cpu ->
+      let a = cpu.regs.(r) in
+      let r' = a -% 1l in
+      let ia = Int32.to_int a and ir = Int32.to_int r' in
+      let fl = cpu.eflags land (arith_mask lor Flags.cf) lor zsp_bits ir in
+      cpu.eflags <- (if ia < 0 && ir >= 0 then fl lor Flags.of_ else fl);
+      cpu.regs.(r) <- r'
+  | Alu_rm_r (op, Reg d, s) -> compile_alu_reg op d (fun cpu -> cpu.regs.(s))
+  | Alu_r_rm (op, r, Reg s) -> compile_alu_reg op r (fun cpu -> cpu.regs.(s))
+  | Alu_r_rm (op, r, Mem m) ->
+    let lea = compile_ea m in
+    compile_alu_reg op r (fun cpu -> rd32 cpu (lea cpu))
+  | Alu_rm_i (op, Reg d, v) | Alu_rm_i8 (op, Reg d, v) ->
+    compile_alu_reg op d (fun _ -> v)
+  | Alu_eax_i (op, v) -> compile_alu_reg op eax (fun _ -> v)
+  | Test_rm_r (Reg d, r) ->
+    fun cpu ->
+      let v = Int32.logand cpu.regs.(d) cpu.regs.(r) in
+      cpu.eflags <- Flags.of_logic cpu.eflags v
+  | Lea (r, m) ->
+    let lea = compile_ea m in
+    fun cpu -> cpu.regs.(r) <- lea cpu
+  | Jmp rel | Jmp8 rel -> fun cpu -> cpu.eip <- cpu.eip +% rel
+  | Jcc (c, rel) | Jcc8 (c, rel) -> compile_jcc c rel
+  | Call rel ->
+    fun cpu ->
+      push cpu cpu.eip;
+      cpu.eip <- cpu.eip +% rel
+  | Ret -> fun cpu -> cpu.eip <- pop cpu
+  | Leave ->
+    fun cpu ->
+      cpu.regs.(esp) <- cpu.regs.(ebp);
+      cpu.regs.(ebp) <- pop cpu
+  | _ -> fun cpu -> execute cpu insn
+
+(* How much pre-instruction state the block engine must save to be able
+   to roll the instruction back on a fault, classified against the
+   closures [compile_insn] actually builds:
+
+   - [Rb_none]: provably cannot raise (no memory access, no privilege
+     check, no trap) — pure register/eip/eflags arithmetic.
+   - [Rb_free]: can fault, but the closure performs no register or
+     eflags write before its first (and only) faulting operation, so the
+     pre-instruction state is simply the current state.  [pop]-style
+     sequences qualify: the memory read precedes the esp update.
+   - [Rb_push]: the single [push]-style esp decrement precedes the only
+     faulting write, so rolling back is adding the 4 back — no save.
+   - [Rb_full]: anything else (read-modify-write forms, the [execute]
+     fallback): save the register file and eflags up front.
+
+   eip needs no saving in any class — the block engine knows every
+   instruction's eip from the decoded block. *)
+type rollback = Rb_none | Rb_free | Rb_push | Rb_full
+
+let insn_rollback (insn : Insn.t) =
+  let open Insn in
+  match insn with
+  | Nop | Mov_ri _ | Inc_r _ | Dec_r _ | Lea _ | Jmp _ | Jmp8 _ | Jcc _
+  | Jcc8 _ | Alu_eax_i _ | Rdtsc
+  | Mov_r_rm (_, Reg _)
+  | Mov_rm_r (Reg _, _)
+  | Mov_rm_i (Reg _, _)
+  | Movzbl (_, Reg _)
+  | Test_rm_r (Reg _, _)
+  | Alu_rm_r (_, Reg _, _)
+  | Alu_r_rm (_, _, Reg _)
+  | Alu_rm_i (_, Reg _, _)
+  | Alu_rm_i8 (_, Reg _, _) ->
+    Rb_none
+  | Mov_r_rm (_, Mem _)
+  | Mov_rm_r (Mem _, _)
+  | Mov_rm_i (Mem _, _)
+  | Movzbl (_, Mem _)
+  | Alu_r_rm (_, _, Mem _)
+  | Pop_r _ | Ret ->
+    Rb_free
+  | Push_r _ | Push_i _ | Push_i8 _ | Call _ -> Rb_push
+  | _ -> Rb_full

@@ -49,6 +49,11 @@ type t = {
   idt_base : int;                  (** physical address of the IDT array *)
   icache : (int, Insn.t * int) Hashtbl.t;
   code_frames : Bytes.t;
+  code_index : (int, int list) Hashtbl.t;
+  mutable on_code_invalidate : (int -> unit) option;
+      (** execution-backend hook: decoded code cached for this frame is
+          stale ([-1] = everything); fired whenever a marked frame is
+          written or invalidated *)
   scratch : int32 array;
   mutable last_fault_cycle : int;
       (** cycle count at the most recent exception — the crash-latency
@@ -61,7 +66,18 @@ type t = {
 val create : phys:Phys.t -> disk:Devices.Disk.t -> idt_base:int -> t
 
 val flush_icache : t -> unit
-(** Invalidate the decoded-instruction cache (after external writes). *)
+(** Invalidate the decoded-instruction cache (after external writes).
+    Fires {!field-on_code_invalidate} with [-1]. *)
+
+val invalidate_code_page : t -> int -> unit
+(** Drop the cached decode state for one physical frame only, firing
+    {!field-on_code_invalidate} for it.  A no-op on unmarked frames.
+    Used by the write path and by incremental (dirty-page) restore so a
+    surviving cache is only trimmed, never thrown away. *)
+
+val mark_code_page : t -> int -> unit
+(** Declare that an execution backend holds decoded state for this
+    frame, so guest writes to it reach {!field-on_code_invalidate}. *)
 
 val poke_phys : t -> int -> int -> unit
 (** Write one byte of physical memory from outside the guest (the
@@ -75,3 +91,48 @@ val step : t -> unit
 
 val set_timer : t -> int -> unit
 (** Program the timer IRQ period in cycles (0 disables it). *)
+
+(** {2 Execution-backend plumbing}
+
+    The pieces of the step path that the cached (basic-block) backend
+    reuses so its per-instruction semantics are the interpreter's own.
+    Not for general use. *)
+
+val translate : t -> write:bool -> int32 -> int
+(** MMU translation in the current mode.  @raise Mmu.Page_fault *)
+
+val execute : t -> Insn.t -> unit
+(** Execute one decoded instruction; [eip] must already point past it. *)
+
+val deliver : t -> Trap.t -> unit
+(** Deliver an exception/interrupt to the guest kernel.
+    @raise Triple_fault when delivery itself fails. *)
+
+val debug_match : t -> int
+(** Index of the armed debug register matching [eip], or [-1]. *)
+
+val insn_mem : t -> Insn.t -> int
+(** Effective address of the instruction's explicit memory operand for
+    the flight recorder ([-1] when it has none). *)
+
+val compile_insn : Insn.t -> t -> unit
+(** Pre-resolve the execute dispatch and operand addressing for one
+    decoded instruction.  The returned closure has exactly the semantics
+    of [execute insn]; rare forms fall back to [execute] itself. *)
+
+val mem_thunk : Insn.t -> t -> int
+(** Pre-resolved {!insn_mem} for the same instruction. *)
+
+val no_mem : t -> int
+(** The shared thunk {!mem_thunk} returns for instructions without a
+    memory operand (constant [-1]); compare with [==] to skip the call. *)
+
+type rollback =
+  | Rb_none  (** provably cannot raise: no rollback state at all *)
+  | Rb_free  (** faults only before any register/eflags write *)
+  | Rb_push  (** faults only after the single esp decrement: undo is +4 *)
+  | Rb_full  (** save the register file and eflags up front *)
+
+val insn_rollback : Insn.t -> rollback
+(** What the block engine must save before running this instruction's
+    {!compile_insn} closure to roll it back exactly on a fault. *)

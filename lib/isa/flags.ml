@@ -12,36 +12,49 @@ let get fl bit = fl land bit <> 0
 
 let parity_even v =
   let b = Int32.to_int v land 0xff in
-  let rec pop b acc = if b = 0 then acc else pop (b lsr 1) (acc + (b land 1)) in
-  pop b 0 land 1 = 0
+  let b = b lxor (b lsr 4) in
+  let b = b lxor (b lsr 2) in
+  let b = b lxor (b lsr 1) in
+  b land 1 = 0
+
+(* These run once per ALU instruction on both execution backends, so they
+   stay in the native-int domain: xor-folded parity, sign tests on
+   [Int32.to_int] values (which preserve the 32-bit sign) and masked
+   unsigned compares, with no allocation and no out-of-line compare. *)
 
 (* Set ZF/SF/PF from a 32-bit result; caller handles CF/OF. *)
 let of_result fl v =
-  let fl = set fl zf (v = 0l) in
-  let fl = set fl sf (Int32.compare v 0l < 0) in
-  set fl pf (parity_even v)
+  let x = Int32.to_int v in
+  let fl = if x = 0 then fl lor zf else fl land lnot zf in
+  let fl = if x < 0 then fl lor sf else fl land lnot sf in
+  let p = x land 0xff in
+  let p = p lxor (p lsr 4) in
+  let p = p lxor (p lsr 2) in
+  let p = p lxor (p lsr 1) in
+  if p land 1 = 0 then fl lor pf else fl land lnot pf
 
 (* Flags for [a + b = r]. *)
 let of_add fl a b r =
+  let ia = Int32.to_int a and ib = Int32.to_int b and ir = Int32.to_int r in
   let fl = of_result fl r in
   (* r = a + b mod 2^32, so carry out iff r wrapped below a. *)
-  let fl = set fl cf (Int32.unsigned_compare r a < 0) in
-  let sa = Int32.compare a 0l < 0 and sb = Int32.compare b 0l < 0
-  and sr = Int32.compare r 0l < 0 in
-  set fl of_ (sa = sb && sr <> sa)
+  let fl =
+    if ir land 0xFFFFFFFF < ia land 0xFFFFFFFF then fl lor cf else fl land lnot cf
+  in
+  (* Signed overflow iff the operands agree in sign and the result does not. *)
+  if ia lxor ib >= 0 && ia lxor ir < 0 then fl lor of_ else fl land lnot of_
 
 (* Flags for [a - b = r]. *)
 let of_sub fl a b r =
+  let ia = Int32.to_int a and ib = Int32.to_int b and ir = Int32.to_int r in
   let fl = of_result fl r in
-  let fl = set fl cf (Int32.unsigned_compare a b < 0) in
-  let sa = Int32.compare a 0l < 0 and sb = Int32.compare b 0l < 0
-  and sr = Int32.compare r 0l < 0 in
-  set fl of_ (sa <> sb && sr <> sa)
+  let fl =
+    if ia land 0xFFFFFFFF < ib land 0xFFFFFFFF then fl lor cf else fl land lnot cf
+  in
+  if ia lxor ib < 0 && ia lxor ir < 0 then fl lor of_ else fl land lnot of_
 
 (* Flags for logic ops: CF = OF = 0. *)
-let of_logic fl r =
-  let fl = of_result fl r in
-  set (set fl cf false) of_ false
+let of_logic fl r = of_result fl r land lnot (cf lor of_)
 
 let eval_cond fl (c : Insn.cond) =
   let b bit = get fl bit in

@@ -96,7 +96,7 @@ let snapshot t =
 
 let restore t s =
   let c = t.cpu in
-  Phys.restore c.Cpu.phys ~from:s.s_phys;
+  let restored = Phys.restore c.Cpu.phys ~from:s.s_phys in
   Devices.Disk.restore c.Cpu.disk ~from:s.s_disk;
   Array.blit s.s_regs 0 c.Cpu.regs 0 8;
   c.Cpu.eip <- s.s_eip;
@@ -119,4 +119,8 @@ let restore t s =
   Buffer.add_string c.Cpu.tty s.s_tty;
   Trace.restore c.Cpu.trace s.s_trace;
   Mmu.flush c.Cpu.mmu;
-  Cpu.flush_icache c
+  (* An incremental restore names the pages it rewrote: trim the decoded
+     caches with the same granularity so they survive across experiments. *)
+  match restored with
+  | None -> Cpu.flush_icache c
+  | Some pages -> List.iter (Cpu.invalidate_code_page c) pages

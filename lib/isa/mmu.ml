@@ -20,6 +20,7 @@ type t = {
   tlb_tag : int array;    (* vpn, or -1 for empty *)
   tlb_frame : int array;  (* physical frame number *)
   tlb_perm : int array;   (* pte_writable lor pte_user subset *)
+  mutable gen : int;      (* bumped on every fill, invalidation or flush *)
 }
 
 let create phys =
@@ -28,9 +29,18 @@ let create phys =
     tlb_tag = Array.make tlb_size (-1);
     tlb_frame = Array.make tlb_size 0;
     tlb_perm = Array.make tlb_size 0;
+    gen = 0;
   }
 
-let flush t = Array.fill t.tlb_tag 0 tlb_size (-1)
+let flush t =
+  Array.fill t.tlb_tag 0 tlb_size (-1);
+  t.gen <- t.gen + 1
+
+(* While [generation] is unchanged no TLB entry has been filled, evicted
+   or flushed, so any translation that hit the TLB would hit the same
+   entry again.  The block engine uses this to collapse its per-fetch
+   re-translation into one integer compare. *)
+let generation t = t.gen
 
 let u32 v = Int32.to_int v land 0xFFFFFFFF
 
@@ -57,6 +67,7 @@ let walk t ~cr3 ~user ~write vaddr =
   t.tlb_tag.(idx) <- vpn;
   t.tlb_frame.(idx) <- pte lsr page_shift;
   t.tlb_perm.(idx) <- perm;
+  t.gen <- t.gen + 1;
   (t.tlb_frame.(idx) lsl page_shift) lor (va land (page_size - 1))
 
 (* Translate a virtual address to a physical one, raising {!Page_fault} on a
@@ -70,11 +81,24 @@ let translate t ~cr3 ~user ~write vaddr =
     if (user && perm land pte_user = 0) || (write && perm land pte_writable = 0) then begin
       (* Permission miss: invalidate and re-walk for a precise error code. *)
       t.tlb_tag.(idx) <- -1;
+      t.gen <- t.gen + 1;
       walk t ~cr3 ~user ~write vaddr
     end
     else (t.tlb_frame.(idx) lsl page_shift) lor (va land (page_size - 1))
   end
   else walk t ~cr3 ~user ~write vaddr
+
+(* Side-effect-free TLB probe for read/fetch access: the physical address
+   on a permitted hit, -1 otherwise (caller falls back to [translate]).
+   Mirrors the hit path of [translate] exactly, so using it first changes
+   nothing observable. *)
+let probe t ~user vaddr =
+  let va = u32 vaddr in
+  let vpn = va lsr page_shift in
+  let idx = vpn land (tlb_size - 1) in
+  if t.tlb_tag.(idx) = vpn && ((not user) || t.tlb_perm.(idx) land pte_user <> 0)
+  then (t.tlb_frame.(idx) lsl page_shift) lor (va land (page_size - 1))
+  else -1
 
 let read8 t ~cr3 ~user vaddr =
   Phys.read8 t.phys (translate t ~cr3 ~user ~write:false vaddr)

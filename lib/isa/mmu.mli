@@ -28,6 +28,16 @@ val translate : t -> cr3:int32 -> user:bool -> write:bool -> int32 -> int
 (** Translate a virtual address to a physical one, filling the TLB.
     @raise Page_fault on a missing mapping or permission violation. *)
 
+val generation : t -> int
+(** A counter bumped on every TLB fill, entry invalidation or flush.
+    While it is unchanged, any translation that previously hit the TLB
+    would resolve identically again. *)
+
+val probe : t -> user:bool -> int32 -> int
+(** Side-effect-free TLB probe for read/fetch access: the physical
+    address on a permitted hit, [-1] otherwise (fall back to
+    {!translate}).  Mirrors the hit path of {!translate} exactly. *)
+
 val read8 : t -> cr3:int32 -> user:bool -> int32 -> int
 val write8 : t -> cr3:int32 -> user:bool -> int32 -> int -> unit
 val read32 : t -> cr3:int32 -> user:bool -> int32 -> int32

@@ -1,10 +1,16 @@
-(** Physical memory: a flat little-endian byte array. *)
+(** Physical memory: a flat little-endian byte array, with optional
+    dirty-page tracking so a restore touches O(dirty pages) instead of
+    the whole image (the cached execution backend's snapshot protocol). *)
 
 type t
 
 exception Bad_physical_address of int
 (** Raised on access outside the installed memory (a machine-check-like
     condition that escalates to a reset). *)
+
+val page_size : int
+val page_shift : int
+(** Tracking granularity; equal to the MMU page size. *)
 
 val create : int -> t
 (** [create size] allocates zeroed physical memory. *)
@@ -23,7 +29,29 @@ val blit_out : t -> src:int -> len:int -> bytes
 (** Copy a region out of memory. *)
 
 val copy : t -> t
-(** Snapshot of the full contents. *)
+(** Snapshot of the full contents.  Under tracking, the live memory is
+    resynchronized to the new snapshot (it equals it at this instant), so
+    a later {!restore} to it is O(dirty pages). *)
 
-val restore : t -> from:t -> unit
-(** Restore contents from a snapshot taken with {!copy}. *)
+val restore : t -> from:t -> int list option
+(** Restore contents from a snapshot taken with {!copy}.  Returns the
+    pages that were actually rewritten — [Some pages] when the restore
+    was incremental (tracking on, snapshot known), [None] for a full
+    copy.  Callers use the page list to invalidate derived caches
+    (decoded instructions, basic blocks) with the same granularity. *)
+
+val set_tracking : t -> bool -> unit
+(** Turn dirty-page tracking on or off.  Turning it off drops all
+    tracking state (the next restore is a full copy). *)
+
+val tracking : t -> bool
+
+val dirty_pages : t -> int list
+(** Pages written since the last sync point (sorted, deduplicated). *)
+
+val pin_page : t -> int -> unit
+(** Mark a page as device-owned: it is rewritten on {e every} restore,
+    whether or not the guest dirtied it.  MMIO-like frames whose content
+    the snapshot protocol cannot reason about belong here. *)
+
+val pinned_pages : t -> int list

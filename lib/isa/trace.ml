@@ -46,13 +46,15 @@ type event = { ev_cycle : int; ev_kind : int; ev_a : int; ev_b : int }
 type t = {
   capacity : int;
   cycles : int array;
-  eips : int32 array;
-  ops : int array;           (* bits 0..8 = opcode byte + 1 (0 = unknown);
-                                bit 9 = user mode *)
+  tws : int array;           (* bits 0..31 = eip (unsigned);
+                                bits 32..40 = opcode byte + 1 (0 = unknown);
+                                bit 41 = user mode.  One unboxed store per
+                                entry; the block engine precomputes these
+                                words per decoded instruction. *)
   mems : int array;          (* -1 = no memory operand *)
   mutable pos : int;         (* next write slot *)
-  mutable len : int;         (* valid entries, <= capacity *)
-  mutable seen : int;        (* total instructions recorded since last clear *)
+  mutable seen : int;        (* total instructions recorded since last clear;
+                                the retained length is [min seen capacity] *)
   ev_capacity : int;
   ev_cycles : int array;
   ev_kinds : int array;
@@ -71,11 +73,9 @@ let create ?(capacity = default_capacity) ?(ev_capacity = default_ev_capacity) (
   {
     capacity;
     cycles = Array.make capacity 0;
-    eips = Array.make capacity 0l;
-    ops = Array.make capacity 0;
+    tws = Array.make capacity 0;
     mems = Array.make capacity (-1);
     pos = 0;
-    len = 0;
     seen = 0;
     ev_capacity;
     ev_cycles = Array.make ev_capacity 0;
@@ -94,25 +94,32 @@ let enabled t = t.level <> Off
 
 let clear t =
   t.pos <- 0;
-  t.len <- 0;
   t.seen <- 0;
   t.ev_pos <- 0;
   t.ev_len <- 0;
   t.ev_seen <- 0
 
-let length t = t.len
+let length t = if t.seen < t.capacity then t.seen else t.capacity
 let seen t = t.seen
+
+(* Record one retired instruction from its precomputed trace word (see
+   the [tws] layout above).  Callers guard on [enabled].  This is the
+   block engine's per-instruction path: three unboxed stores. *)
+let[@inline] record_tw t ~cycle ~tw ~mem =
+  let i = t.pos in
+  Array.unsafe_set t.cycles i cycle;
+  Array.unsafe_set t.tws i tw;
+  Array.unsafe_set t.mems i mem;
+  t.pos <- (if i + 1 = t.capacity then 0 else i + 1);
+  t.seen <- t.seen + 1
+
+let pack_tw ~ieip ~op ~user =
+  (ieip land 0xFFFFFFFF)
+  lor ((((op + 1) land 0x1FF) lor (if user then 0x200 else 0)) lsl 32)
 
 (* Record one retired instruction.  Callers guard on [enabled]. *)
 let record t ~cycle ~eip ~op ~user ~mem =
-  let i = t.pos in
-  Array.unsafe_set t.cycles i cycle;
-  Array.unsafe_set t.eips i eip;
-  Array.unsafe_set t.ops i (((op + 1) land 0x1FF) lor (if user then 0x200 else 0));
-  Array.unsafe_set t.mems i mem;
-  t.pos <- (if i + 1 = t.capacity then 0 else i + 1);
-  if t.len < t.capacity then t.len <- t.len + 1;
-  t.seen <- t.seen + 1
+  record_tw t ~cycle ~tw:(pack_tw ~ieip:(Int32.to_int eip) ~op ~user) ~mem
 
 (* Record a machine event; only when the level is [Full]. *)
 let record_event t ~cycle ~kind ~a ~b =
@@ -129,16 +136,18 @@ let record_event t ~cycle ~kind ~a ~b =
 
 (* Oldest-first fold over the retained entries. *)
 let fold t ~init ~f =
-  let start = (t.pos - t.len + t.capacity) mod t.capacity in
+  let len = length t in
+  let start = (t.pos - len + t.capacity) mod t.capacity in
   let acc = ref init in
-  for k = 0 to t.len - 1 do
+  for k = 0 to len - 1 do
     let i = (start + k) mod t.capacity in
-    let op = t.ops.(i) in
+    let tw = t.tws.(i) in
+    let op = tw lsr 32 in
     acc :=
       f !acc
         {
           en_cycle = t.cycles.(i);
-          en_eip = t.eips.(i);
+          en_eip = Int32.of_int (tw land 0xFFFFFFFF);
           en_op = (op land 0x1FF) - 1;
           en_user = op land 0x200 <> 0;
           en_mem = (if t.mems.(i) < 0 then None else Some t.mems.(i));
@@ -162,11 +171,9 @@ let events t =
 (* Snapshot/restore: deep copies, sized to the owning recorder. *)
 type snapshot = {
   s_cycles : int array;
-  s_eips : int32 array;
-  s_ops : int array;
+  s_tws : int array;
   s_mems : int array;
   s_pos : int;
-  s_len : int;
   s_seen : int;
   s_ev_cycles : int array;
   s_ev_kinds : int array;
@@ -181,11 +188,9 @@ type snapshot = {
 let snapshot t =
   {
     s_cycles = Array.copy t.cycles;
-    s_eips = Array.copy t.eips;
-    s_ops = Array.copy t.ops;
+    s_tws = Array.copy t.tws;
     s_mems = Array.copy t.mems;
     s_pos = t.pos;
-    s_len = t.len;
     s_seen = t.seen;
     s_ev_cycles = Array.copy t.ev_cycles;
     s_ev_kinds = Array.copy t.ev_kinds;
@@ -199,11 +204,9 @@ let snapshot t =
 
 let restore t s =
   Array.blit s.s_cycles 0 t.cycles 0 t.capacity;
-  Array.blit s.s_eips 0 t.eips 0 t.capacity;
-  Array.blit s.s_ops 0 t.ops 0 t.capacity;
+  Array.blit s.s_tws 0 t.tws 0 t.capacity;
   Array.blit s.s_mems 0 t.mems 0 t.capacity;
   t.pos <- s.s_pos;
-  t.len <- s.s_len;
   t.seen <- s.s_seen;
   Array.blit s.s_ev_cycles 0 t.ev_cycles 0 t.ev_capacity;
   Array.blit s.s_ev_kinds 0 t.ev_kinds 0 t.ev_capacity;

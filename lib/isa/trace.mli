@@ -63,6 +63,15 @@ val record : t -> cycle:int -> eip:int32 -> op:int -> user:bool -> mem:int -> un
 (** Record one retired instruction ([mem] < 0 = no memory operand).
     Callers guard on {!enabled}. *)
 
+val pack_tw : ieip:int -> op:int -> user:bool -> int
+(** Pack eip (as an unsigned int), opcode byte and mode into the trace
+    word {!record_tw} stores; precomputable once per decoded
+    instruction. *)
+
+val record_tw : t -> cycle:int -> tw:int -> mem:int -> unit
+(** {!record} from a precomputed trace word — the block engine's
+    per-instruction path (three unboxed array stores). *)
+
 val record_event : t -> cycle:int -> kind:int -> a:int -> b:int -> unit
 (** Record a machine event; a no-op unless the level is {!Full}. *)
 

@@ -5,23 +5,31 @@
    Frames are cumulative, not deltas: each one is a complete rendering
    of the registry tree at that instant, so a consumer (kfi-stats --live,
    a future campaign-service aggregator) only ever needs the last frame,
-   and frames from different shards merge with [Metrics.merge].  A
-   ticker domain emits one frame per interval; [interval_ms = 0] spawns
-   no domain and leaves emission to explicit [tick] calls (tests, and
-   callers with their own cadence). *)
+   and frames from different shards merge with [Metrics.merge].
+
+   The writer is deliberately tickless: there is no background domain or
+   thread.  Callers weave [maybe_tick] into work they are already doing
+   (the campaign progress callback fires once per completed injection)
+   and a frame is emitted whenever [interval_ms] has elapsed since the
+   previous one.  An earlier version spawned a ticker domain instead;
+   on a single-core host the mere existence of a second domain taxed
+   the mutator ~10% (every minor GC becomes a stop-the-world handshake),
+   which violated the "observation must be nearly free" contract.
+   [interval_ms = 0] leaves emission entirely to explicit [tick] calls
+   (tests, and callers with their own cadence). *)
 
 module J = Kfi_trace.Telemetry
 
 type t = {
   path : string;
   oc : out_channel;
-  lock : Mutex.t; (* guards [oc], [seq], [closed] *)
+  lock : Mutex.t; (* guards [oc], [seq], [closed], [next_due] *)
   snap_fn : unit -> Metrics.snap;
   t0 : float;
+  interval : float; (* seconds between [maybe_tick] frames; 0 = never *)
   mutable seq : int;
   mutable closed : bool;
-  stop : bool Atomic.t;
-  mutable ticker : unit Domain.t option;
+  mutable next_due : float; (* wall clock of the next [maybe_tick] frame *)
 }
 
 let frame_json ~seq ~elapsed_s ~final snap =
@@ -98,51 +106,47 @@ let rollup_json ~frames ~elapsed_s snap =
 let write_frame t ~final =
   Mutex.protect t.lock (fun () ->
       if not t.closed then begin
+        let now = Unix.gettimeofday () in
         let snap = t.snap_fn () in
-        let elapsed_s = Unix.gettimeofday () -. t.t0 in
-        let line = J.to_string (frame_json ~seq:t.seq ~elapsed_s ~final snap) in
+        let line =
+          J.to_string (frame_json ~seq:t.seq ~elapsed_s:(now -. t.t0) ~final snap)
+        in
         output_string t.oc line;
         output_char t.oc '\n';
         flush t.oc;
-        t.seq <- t.seq + 1
+        t.seq <- t.seq + 1;
+        t.next_due <- now +. t.interval
       end)
 
 let tick t = write_frame t ~final:false
 
+(* The cheap path, safe to call once per injection: one clock read and a
+   compare unless a frame is actually due.  The unlocked [next_due] read
+   can race with a concurrent frame, at worst emitting one extra frame —
+   frames are cumulative, so an extra one is harmless. *)
+let maybe_tick t =
+  if t.interval > 0. && Unix.gettimeofday () >= t.next_due then tick t
+
 let rollup_path path = path ^ ".rollup"
 
 let create ?(interval_ms = 500) ~path snap_fn =
-  let t =
-    {
-      path;
-      oc = open_out path;
-      lock = Mutex.create ();
-      snap_fn;
-      t0 = Unix.gettimeofday ();
-      seq = 0;
-      closed = false;
-      stop = Atomic.make false;
-      ticker = None;
-    }
-  in
-  if interval_ms > 0 then begin
-    let interval = float_of_int interval_ms /. 1000. in
-    t.ticker <-
-      Some
-        (Domain.spawn (fun () ->
-             while not (Atomic.get t.stop) do
-               Unix.sleepf interval;
-               if not (Atomic.get t.stop) then tick t
-             done))
-  end;
-  t
+  let now = Unix.gettimeofday () in
+  let interval = float_of_int (max 0 interval_ms) /. 1000. in
+  {
+    path;
+    oc = open_out path;
+    lock = Mutex.create ();
+    snap_fn;
+    t0 = now;
+    interval;
+    seq = 0;
+    closed = false;
+    next_due = now +. interval;
+  }
 
 let path t = t.path
 
 let close t =
-  Atomic.set t.stop true;
-  (match t.ticker with Some d -> Domain.join d | None -> ());
-  t.ticker <- None;
   Mutex.protect t.lock (fun () ->
       if not t.closed then begin
         let snap = t.snap_fn () in

@@ -13,11 +13,14 @@
 type t
 
 val create : ?interval_ms:int -> path:string -> (unit -> Metrics.snap) -> t
-(** Open (truncate) [path] and start a ticker domain emitting one frame
-    every [interval_ms] (default 500).  [interval_ms = 0] spawns no
-    domain: frames are emitted only by explicit {!tick} calls.  The
-    snapshot thunk is called on the ticker domain and must be
-    thread-safe ({!Metrics.snapshot} is). *)
+(** Open (truncate) [path].  The writer is tickless — no background
+    domain or thread (a second domain taxes a single-core mutator ~10%
+    through stop-the-world GC handshakes): callers weave {!maybe_tick}
+    into work they already do, and a frame is emitted whenever
+    [interval_ms] (default 500) has elapsed since the previous one.
+    [interval_ms = 0] disables {!maybe_tick}: frames are emitted only by
+    explicit {!tick} calls.  The snapshot thunk is called on whichever
+    domain ticks and must be thread-safe ({!Metrics.snapshot} is). *)
 
 val path : t -> string
 
@@ -28,9 +31,14 @@ val rollup_path : string -> string
 val tick : t -> unit
 (** Emit one frame now (no-op after {!close}). *)
 
+val maybe_tick : t -> unit
+(** Emit a frame iff [interval_ms] has elapsed since the last one.
+    Cheap when no frame is due (one clock read and a compare) — safe to
+    call once per injection, e.g. from a campaign progress callback. *)
+
 val close : t -> unit
-(** Stop the ticker, append the final frame, write the rollup and close
-    the stream.  Idempotent. *)
+(** Append the final frame, write the rollup and close the stream.
+    Idempotent. *)
 
 (** {2 Reading frames back} *)
 

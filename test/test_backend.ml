@@ -1,0 +1,211 @@
+(* Execution-backend tests: the Phys dirty-page snapshot protocol
+   (write marks its page, restore rewrites exactly the dirty set, pinned
+   pages are always rewritten, cross-snapshot hops land exactly) and the
+   cached backend's block cache (invalidation on self-modifying text,
+   interp/cached agreement, restore undoing text patches). *)
+
+open Kfi_isa
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let int_list = Alcotest.(list int)
+let psz = Phys.page_size
+
+let fill_page p page v =
+  for i = 0 to psz - 1 do
+    Phys.write8 p ((page * psz) + i) v
+  done
+
+let contents p = Phys.blit_out p ~src:0 ~len:(Phys.size p)
+let digest p = Digest.to_hex (Digest.bytes (contents p))
+
+let mem_eq name a b =
+  check Alcotest.string name (Digest.to_hex (Digest.bytes a)) (Digest.to_hex (Digest.bytes b))
+
+(* ---------- dirty-page tracking ---------- *)
+
+let test_dirty_marking () =
+  let p = Phys.create (16 * psz) in
+  Phys.set_tracking p true;
+  check bool "tracking on" true (Phys.tracking p);
+  let _snap = Phys.copy p in
+  check int_list "clean after copy (sync point)" [] (Phys.dirty_pages p);
+  Phys.write8 p ((3 * psz) + 5) 0xAA;
+  check int_list "a write marks its page" [ 3 ] (Phys.dirty_pages p);
+  Phys.write8 p ((3 * psz) + 100) 0xBB;
+  check int_list "same page is not duplicated" [ 3 ] (Phys.dirty_pages p);
+  Phys.write32 p (7 * psz) 0xdeadbeefl;
+  check int_list "a second page joins the set" [ 3; 7 ] (Phys.dirty_pages p);
+  Phys.blit_in p ~dst:(9 * psz) (Bytes.make 4 'x');
+  check int_list "blit_in is tracked too" [ 3; 7; 9 ] (Phys.dirty_pages p)
+
+let test_restore_exact_dirty_set () =
+  let p = Phys.create (16 * psz) in
+  fill_page p 2 0x11;
+  fill_page p 5 0x22;
+  Phys.set_tracking p true;
+  let snap = Phys.copy p in
+  let before = contents p in
+  Phys.write8 p ((2 * psz) + 1) 0xEE;
+  Phys.write8 p ((5 * psz) + 7) 0xFF;
+  (match Phys.restore p ~from:snap with
+   | None -> Alcotest.fail "expected an incremental restore"
+   | Some pages ->
+     check int_list "restore rewrote exactly the dirty set" [ 2; 5 ]
+       (List.sort_uniq compare pages));
+  mem_eq "contents back to the snapshot" before (contents p);
+  check int_list "restore clears the dirty set" [] (Phys.dirty_pages p);
+  (* nothing written since: the next restore touches no pages at all *)
+  match Phys.restore p ~from:snap with
+  | None -> Alcotest.fail "expected an incremental restore"
+  | Some pages -> check int_list "clean restore rewrites nothing" [] pages
+
+let test_pinned_always_restored () =
+  let p = Phys.create (8 * psz) in
+  Phys.set_tracking p true;
+  Phys.pin_page p 6;
+  check int_list "pinned set" [ 6 ] (Phys.pinned_pages p);
+  let snap = Phys.copy p in
+  (match Phys.restore p ~from:snap with
+   | None -> Alcotest.fail "expected an incremental restore"
+   | Some pages ->
+     check bool "pinned page rewritten with no guest write" true (List.mem 6 pages));
+  Phys.write8 p (2 * psz) 1;
+  match Phys.restore p ~from:snap with
+  | None -> Alcotest.fail "expected an incremental restore"
+  | Some pages ->
+    check bool "dirty page in the set" true (List.mem 2 pages);
+    check bool "pinned page still in the set" true (List.mem 6 pages)
+
+let test_cross_snapshot_restore () =
+  let p = Phys.create (8 * psz) in
+  Phys.set_tracking p true;
+  fill_page p 1 0x11;
+  let snap_a = Phys.copy p in
+  let bytes_a = contents p in
+  fill_page p 1 0x22;
+  fill_page p 3 0x33;
+  let snap_b = Phys.copy p in
+  let bytes_b = contents p in
+  fill_page p 4 0x44;
+  ignore (Phys.restore p ~from:snap_a);
+  mem_eq "restore to A" bytes_a (contents p);
+  ignore (Phys.restore p ~from:snap_b);
+  mem_eq "cross-snapshot hop lands exactly on B" bytes_b (contents p);
+  ignore (Phys.restore p ~from:snap_a);
+  mem_eq "and back to A" bytes_a (contents p)
+
+let test_tracking_off_full_restore () =
+  let p = Phys.create (4 * psz) in
+  let snap = Phys.copy p in
+  Phys.write8 p 17 9;
+  (match Phys.restore p ~from:snap with
+   | None -> ()
+   | Some _ -> Alcotest.fail "without tracking, restore must be a full copy");
+  check int "content restored" 0 (Phys.read8 p 17)
+
+(* ---------- the cached backend on a live machine ---------- *)
+
+open Kfi_asm.Assembler
+open Insn
+
+let exit_with_al =
+  [ Ins (Mov_ri (edx, Int32.of_int Devices.poweroff_port)); Ins Out_al; Ins Hlt ]
+
+(* Runs the patchme mov twice, rewriting its immediate to 99 between the
+   passes: a backend serving stale decoded blocks exits 1, not 99. *)
+let selfmod_items =
+  [
+    Ins (Mov_ri (esi, 0l));
+    Label "top";
+    Label "patchme";
+    Ins (Mov_ri (eax, 1l));
+    Ins (Inc_r esi);
+    Ins (Alu_rm_i8 (Cmp, Reg esi, 2l));
+    Jcc_sym (AE, "done");
+    Ins_sym ((fun a -> Mov_ri (ebx, a)), "patchme");
+    Ins (Mov_rm_i (Mem (mb ebx 1), 99l));
+    Jmp_sym "top";
+    Label "done";
+  ]
+  @ exit_with_al
+
+let run_backend kind items =
+  let r = Testbed.assemble_items items in
+  let m = Testbed.make_machine () in
+  Phys.blit_in (Machine.phys m) ~dst:Testbed.code_base r.code;
+  let b = Backend.create kind m in
+  let result = Backend.run b ~max_cycles:100_000 in
+  (m, b, result)
+
+let test_bb_invalidation_on_selfmod () =
+  let _, b, result = run_backend Backend.Cached selfmod_items in
+  check int "cached backend executes the patched text" 99 (Testbed.exit_code result);
+  match Backend.stats b with
+  | None -> Alcotest.fail "cached backend must expose block stats"
+  | Some st ->
+    check bool "blocks were decoded" true (st.Bbexec.st_built > 0);
+    check bool "the text write dropped its page's blocks" true
+      (st.Bbexec.st_invalidated_pages > 0)
+
+let test_interp_cached_agree () =
+  let m1, b1, r1 = run_backend Backend.Interp selfmod_items in
+  let m2, _, r2 = run_backend Backend.Cached selfmod_items in
+  check bool "interp exposes no block stats" true (Backend.stats b1 = None);
+  check int "same exit code" (Testbed.exit_code r1) (Testbed.exit_code r2);
+  let regs m = Array.to_list (Array.map Int32.to_int (Machine.cpu m).Cpu.regs) in
+  check int_list "same register file" (regs m1) (regs m2);
+  check Alcotest.string "same final memory" (digest (Machine.phys m1))
+    (digest (Machine.phys m2))
+
+let test_backend_restore_roundtrip () =
+  (* the run patches its own text; the incremental restore must undo the
+     patch AND drop the stale blocks, or the replay diverges *)
+  let r = Testbed.assemble_items selfmod_items in
+  let m = Testbed.make_machine () in
+  Phys.blit_in (Machine.phys m) ~dst:Testbed.code_base r.code;
+  let b = Backend.create Backend.Cached m in
+  let snap = Backend.snapshot b in
+  let run1 = Backend.run b ~max_cycles:100_000 in
+  let final1 = digest (Machine.phys m) in
+  Backend.restore b snap;
+  let run2 = Backend.run b ~max_cycles:100_000 in
+  check int "same exit after incremental restore"
+    (Testbed.exit_code run1) (Testbed.exit_code run2);
+  check Alcotest.string "same final memory after replay" final1
+    (digest (Machine.phys m));
+  (* a second replay exercises the now-warm dirty-set path *)
+  Backend.restore b snap;
+  let run3 = Backend.run b ~max_cycles:100_000 in
+  check int "third run identical" (Testbed.exit_code run1) (Testbed.exit_code run3)
+
+let test_detach_hands_machine_back () =
+  let r = Testbed.assemble_items selfmod_items in
+  let m = Testbed.make_machine () in
+  Phys.blit_in (Machine.phys m) ~dst:Testbed.code_base r.code;
+  let b = Backend.create Backend.Cached m in
+  Backend.detach b;
+  check bool "tracking off after detach" false (Phys.tracking (Machine.phys m));
+  (* the plain interpreter path still runs the program correctly *)
+  check int "machine usable after detach" 99
+    (Testbed.exit_code (Machine.run m ~max_cycles:100_000))
+
+let suite =
+  [
+    Alcotest.test_case "dirty marking" `Quick test_dirty_marking;
+    Alcotest.test_case "restore rewrites exactly the dirty set" `Quick
+      test_restore_exact_dirty_set;
+    Alcotest.test_case "pinned pages always restored" `Quick
+      test_pinned_always_restored;
+    Alcotest.test_case "cross-snapshot restore" `Quick test_cross_snapshot_restore;
+    Alcotest.test_case "tracking off means full restore" `Quick
+      test_tracking_off_full_restore;
+    Alcotest.test_case "bb-cache invalidated on self-modifying text" `Quick
+      test_bb_invalidation_on_selfmod;
+    Alcotest.test_case "interp and cached agree" `Quick test_interp_cached_agree;
+    Alcotest.test_case "snapshot/restore roundtrip" `Quick
+      test_backend_restore_roundtrip;
+    Alcotest.test_case "detach hands the machine back" `Quick
+      test_detach_hands_machine_back;
+  ]

@@ -85,7 +85,7 @@ let test_not_activated () =
   let r = Lazy.force runner in
   (* sys_pipe never runs under the hanoi workload *)
   let targets =
-    Target.enumerate r.Runner.build ~campaign:Target.C ~seed:1 [ "sys_pipe" ]
+    Target.enumerate (Runner.build r) ~campaign:Target.C ~seed:1 [ "sys_pipe" ]
   in
   check Alcotest.bool "has targets" true (targets <> []);
   let outcome =
@@ -98,13 +98,13 @@ let test_golden_reproducible () =
   (* a run without injection must match golden exactly: use a target in a
      never-executed spot but classify manually via a fake no-op bit?  Easier:
      re-run the golden workload and compare *)
-  Kfi_isa.Machine.restore r.Runner.machine r.Runner.baseline;
-  Kfi_kernel.Build.set_workload r.Runner.machine 0;
-  (match Kfi_isa.Machine.run r.Runner.machine ~max_cycles:r.Runner.max_cycles with
+  Kfi_isa.Machine.restore (Runner.machine r) (Runner.baseline r);
+  Kfi_kernel.Build.set_workload (Runner.machine r) 0;
+  (match Kfi_isa.Machine.run (Runner.machine r) ~max_cycles:(Runner.max_cycles r) with
    | Kfi_isa.Machine.Powered_off 0 -> ()
    | _ -> Alcotest.fail "golden re-run failed");
-  check Alcotest.string "console identical" r.Runner.golden.(0).Runner.g_console
-    (Kfi_isa.Machine.tty_contents r.Runner.machine)
+  check Alcotest.string "console identical" (Runner.golden r 0).Runner.g_console
+    (Kfi_isa.Machine.tty_contents (Runner.machine r))
 
 let count_categories outcomes =
   let tbl = Hashtbl.create 8 in
@@ -120,7 +120,7 @@ let count_categories outcomes =
 let test_campaign_a_schedule_outcomes () =
   let r = Lazy.force runner in
   let targets =
-    Target.enumerate r.Runner.build ~campaign:Target.A ~seed:7 [ "schedule" ]
+    Target.enumerate (Runner.build r) ~campaign:Target.A ~seed:7 [ "schedule" ]
     |> List.filteri (fun i _ -> i mod 6 = 0)
   in
   let outcomes =
@@ -138,7 +138,7 @@ let test_campaign_a_schedule_outcomes () =
 let test_campaign_c_fs_outcomes () =
   let r = Lazy.force runner in
   let fns = [ "bread"; "mark_buffer_dirty"; "generic_commit_write"; "iget"; "ext2_bmap" ] in
-  let targets = Target.enumerate r.Runner.build ~campaign:Target.C ~seed:3 fns in
+  let targets = Target.enumerate (Runner.build r) ~campaign:Target.C ~seed:3 fns in
   let outcomes =
     List.map (fun t -> Runner.run_one r ~workload:(Kfi_workload.Progs.index_of "fstime") t) targets
   in
@@ -152,7 +152,7 @@ let test_campaign_c_fs_outcomes () =
 (* crash latency must be positive and plausible *)
 let test_latency_positive () =
   let r = Lazy.force runner in
-  let targets = Target.enumerate r.Runner.build ~campaign:Target.A ~seed:5 [ "do_generic_file_read" ] in
+  let targets = Target.enumerate (Runner.build r) ~campaign:Target.A ~seed:5 [ "do_generic_file_read" ] in
   let outcomes =
     List.map (fun t -> Runner.run_one r ~workload:(Kfi_workload.Progs.index_of "fstime") t)
       (List.filteri (fun i _ -> i mod 8 = 0) targets)
@@ -161,7 +161,7 @@ let test_latency_positive () =
     (function
       | Outcome.Crash c ->
         check Alcotest.bool "latency >= 1" true (c.Outcome.latency >= 1);
-        check Alcotest.bool "latency bounded" true (c.Outcome.latency < r.Runner.max_cycles)
+        check Alcotest.bool "latency bounded" true (c.Outcome.latency < (Runner.max_cycles r))
       | _ -> ())
     outcomes
 
@@ -184,7 +184,7 @@ let test_hardening_ablation () =
   let r = Lazy.force runner in
   let fns = [ "bread"; "iget"; "sys_read"; "sys_write"; "do_generic_file_read" ] in
   let targets =
-    Target.enumerate r.Runner.build ~campaign:Target.A ~seed:11 fns
+    Target.enumerate (Runner.build r) ~campaign:Target.A ~seed:11 fns
     |> List.filteri (fun i _ -> i mod 7 = 0)
   in
   let fstime = Kfi_workload.Progs.index_of "fstime" in
@@ -204,10 +204,10 @@ let test_hardening_ablation () =
     (crashes snd <= crashes fst + 3);
   (* sanity: the golden run still passes with hardening on *)
   Runner.set_hardening r true;
-  Kfi_isa.Machine.restore r.Runner.machine r.Runner.baseline;
-  Kfi_kernel.Build.set_workload r.Runner.machine fstime;
+  Kfi_isa.Machine.restore (Runner.machine r) (Runner.baseline r);
+  Kfi_kernel.Build.set_workload (Runner.machine r) fstime;
   Runner.poke_hardening r;
-  (match Kfi_isa.Machine.run r.Runner.machine ~max_cycles:r.Runner.max_cycles with
+  (match Kfi_isa.Machine.run (Runner.machine r) ~max_cycles:(Runner.max_cycles r) with
    | Kfi_isa.Machine.Powered_off 0 -> ()
    | _ -> Alcotest.fail "hardened kernel broke the golden run");
   Runner.set_hardening r false
@@ -218,7 +218,7 @@ let suite = suite @ [ Alcotest.test_case "hardening ablation" `Slow test_hardeni
 let test_campaign_r () =
   let r = Lazy.force runner in
   let targets =
-    Target.enumerate r.Runner.build ~campaign:Target.R ~seed:13 [ "schedule"; "pipe_write" ]
+    Target.enumerate (Runner.build r) ~campaign:Target.R ~seed:13 [ "schedule"; "pipe_write" ]
   in
   check Alcotest.bool "R has targets" true (List.length targets > 5);
   List.iter
@@ -249,21 +249,21 @@ let test_hang_watchdog () =
     ~finally:(fun () -> Runner.set_max_cycles r saved)
     (fun () ->
       let targets =
-        Target.enumerate r.Runner.build ~campaign:Target.A ~seed:7 [ "schedule" ]
+        Target.enumerate (Runner.build r) ~campaign:Target.A ~seed:7 [ "schedule" ]
       in
       let w = Kfi_workload.Progs.index_of "context1" in
-      let cpu = Kfi_isa.Machine.cpu r.Runner.machine in
+      let cpu = Kfi_isa.Machine.cpu (Runner.machine r) in
       let found =
         List.find_map
           (fun t ->
             match Runner.run_one r ~workload:w t with
             | Outcome.Not_manifested -> (
-              match r.Runner.last_injected_at with
+              match (Runner.last_injected_at r) with
               | Some at ->
                 (* cycle offset of the injection within its own run *)
-                let start = cpu.Kfi_isa.Cpu.cycles - r.Runner.last_cycles in
+                let start = cpu.Kfi_isa.Cpu.cycles - (Runner.last_cycles r) in
                 let off = at - start in
-                if r.Runner.last_cycles - off > 1_000 then Some (t, off)
+                if (Runner.last_cycles r) - off > 1_000 then Some (t, off)
                 else None
               | None -> None)
             | _ -> None)

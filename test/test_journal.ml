@@ -233,7 +233,7 @@ let first_real_item () =
   let r = Lazy.force runner in
   let t =
     List.hd
-      (Target.enumerate r.Runner.build ~campaign:Target.A ~seed:1 [ "schedule" ])
+      (Target.enumerate (Runner.build r) ~campaign:Target.A ~seed:1 [ "schedule" ])
   in
   { Fleet.it_target = t; it_workload = 0; it_predicted = None; it_done = None }
 
@@ -462,7 +462,7 @@ let test_abort_end_to_end () =
   let rn = Lazy.force runner and p = Lazy.force profile in
   let core = Kfi_profiler.Sampler.top_functions p ~coverage:0.95 in
   let report =
-    Kfi_analysis.Report.full ~build:rn.Runner.build ~profile:p ~core records
+    Kfi_analysis.Report.full ~build:(Runner.build rn) ~profile:p ~core records
   in
   check bool "report counts the abort" true
     (Test_analysis.contains report

@@ -3,6 +3,7 @@ let () =
     [
       ("fuzz", Test_fuzz.suite);
       ("isa", Test_isa.suite);
+      ("backend", Test_backend.suite);
       ("asm", Test_asm.suite);
       ("kcc", Test_kcc.suite);
       ("kernel", Test_kernel.suite);

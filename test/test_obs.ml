@@ -156,6 +156,38 @@ let test_json_roundtrip () =
 
 (* ----- the snapshot writer ----- *)
 
+(* [maybe_tick] is the tickless cadence: nothing until the interval has
+   elapsed, one frame once it has, and never two frames per interval. *)
+let test_writer_maybe_tick () =
+  let path = Filename.temp_file "kfi_obs" ".jsonl" in
+  let r = Metrics.create () in
+  let w = Writer.create ~interval_ms:40 ~path (fun () -> Metrics.snapshot r) in
+  Writer.maybe_tick w;
+  (* inside the first interval: no frame yet *)
+  Writer.maybe_tick w;
+  Unix.sleepf 0.05;
+  Writer.maybe_tick w;
+  (* due: exactly one frame, and the next call is inside the new interval *)
+  Writer.maybe_tick w;
+  Writer.close w;
+  (match Writer.read_frames path with
+   | Error (l, e) -> Alcotest.failf "read_frames: line %d: %s" l e
+   | Ok frames ->
+     check int "one due frame + the final frame" 2 (List.length frames));
+  (* interval_ms 0 disables maybe_tick entirely *)
+  let path0 = Filename.temp_file "kfi_obs" ".jsonl" in
+  let w0 = Writer.create ~interval_ms:0 ~path:path0 (fun () -> Metrics.snapshot r) in
+  Unix.sleepf 0.01;
+  Writer.maybe_tick w0;
+  Writer.close w0;
+  (match Writer.read_frames path0 with
+   | Error (l, e) -> Alcotest.failf "read_frames: line %d: %s" l e
+   | Ok frames -> check int "only the final frame" 1 (List.length frames));
+  Sys.remove path;
+  Sys.remove path0;
+  (try Sys.remove (Writer.rollup_path path) with Sys_error _ -> ());
+  (try Sys.remove (Writer.rollup_path path0) with Sys_error _ -> ())
+
 let test_writer_frames_and_rollup () =
   let path = Filename.temp_file "kfi_obs" ".jsonl" in
   let r = Metrics.create () in
@@ -313,6 +345,8 @@ let suite =
     Alcotest.test_case "snapshot JSON round-trip" `Quick test_json_roundtrip;
     Alcotest.test_case "writer frames, lint, rollup" `Quick
       test_writer_frames_and_rollup;
+    Alcotest.test_case "writer maybe_tick cadence" `Quick
+      test_writer_maybe_tick;
     Alcotest.test_case "empty campaign ticks exactly once" `Slow
       test_empty_campaign_single_tick;
     Alcotest.test_case "campaign with metrics: counters + identical CSV" `Slow

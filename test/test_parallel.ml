@@ -118,7 +118,7 @@ let test_fleet_ordered_collection () =
   check int "pool size" 1 (Fleet.size fleet);
   check bool "primary preserved" true (Fleet.primary fleet == r);
   let targets =
-    Target.enumerate r.Runner.build ~campaign:Target.A ~seed:1 [ "schedule" ]
+    Target.enumerate (Runner.build r) ~campaign:Target.A ~seed:1 [ "schedule" ]
   in
   let items =
     Array.of_list targets

@@ -576,10 +576,10 @@ let test_pruned_campaign_csv_identical () =
      both runs leaves byte-identical CSV. *)
   let r = Lazy.force runner in
   let p =
-    Kfi_profiler.Sampler.profile_all ~build:r.Runner.build
-      ~machine:r.Runner.machine ~baseline:r.Runner.baseline ()
+    Kfi_profiler.Sampler.profile_all ~build:(Runner.build r)
+      ~machine:(Runner.machine r) ~baseline:(Runner.baseline r) ()
   in
-  let o = Oracle.create r.Runner.build in
+  let o = Oracle.create (Runner.build r) in
   let plain =
     Experiment.run_campaign ~config:(Config.make ~subsample:45 ()) r p Target.A
   in

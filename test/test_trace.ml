@@ -26,8 +26,8 @@ let runner = Test_injector.runner
 let profile =
   lazy
     (let r = Lazy.force runner in
-     Profiler.profile_all ~build:r.Runner.build ~machine:r.Runner.machine
-       ~baseline:r.Runner.baseline ())
+     Profiler.profile_all ~build:(Runner.build r) ~machine:(Runner.machine r)
+       ~baseline:(Runner.baseline r) ())
 
 (* ----- the ring buffer ----- *)
 
@@ -103,8 +103,8 @@ let test_ring_snapshot_restore () =
 
 let test_machine_snapshot_roundtrip () =
   let r = Lazy.force runner in
-  let m = r.Runner.machine in
-  Machine.restore m r.Runner.baselines.(0);
+  let m = (Runner.machine r) in
+  Machine.restore m (Runner.baselines r).(0);
   let cpu = Machine.cpu m in
   Trace.set_level cpu.Cpu.trace Trace.Ring;
   Trace.clear cpu.Cpu.trace;
@@ -140,7 +140,7 @@ let test_machine_snapshot_roundtrip () =
 
 let crashing_clear_page_run r =
   let targets =
-    Target.enumerate r.Runner.build ~campaign:Target.A ~seed:42 [ "clear_page" ]
+    Target.enumerate (Runner.build r) ~campaign:Target.A ~seed:42 [ "clear_page" ]
   in
   let spawn = Kfi_workload.Progs.index_of "spawn" in
   let rec first = function
@@ -155,7 +155,7 @@ let crashing_clear_page_run r =
 let test_trace_isolation () =
   let r = Lazy.force runner in
   let target, c1 = crashing_clear_page_run r in
-  let cpu = Machine.cpu r.Runner.machine in
+  let cpu = Machine.cpu (Runner.machine r) in
   let seen1 = Trace.seen cpu.Cpu.trace in
   let entries1 = Trace.entries cpu.Cpu.trace in
   check bool "trace non-empty after crash" true (seen1 > 0);
@@ -171,7 +171,7 @@ let test_trace_isolation () =
   check bool "same entries" true (Trace.entries cpu.Cpu.trace = entries1);
   (* a not-activated run must leave only its own (shorter golden) trace *)
   let quiet =
-    Target.enumerate r.Runner.build ~campaign:Target.C ~seed:1 [ "sys_pipe" ]
+    Target.enumerate (Runner.build r) ~campaign:Target.C ~seed:1 [ "sys_pipe" ]
     |> List.hd
   in
   let hanoi = Kfi_workload.Progs.index_of "hanoi" in
@@ -185,7 +185,7 @@ let test_trace_isolation () =
 
 let test_symbolize () =
   let r = Lazy.force runner in
-  let build = r.Runner.build in
+  let build = (Runner.build r) in
   let f = List.hd build.Kfi_kernel.Build.funcs in
   let base =
     Int32.of_int
@@ -215,11 +215,11 @@ let test_crash_propagation_and_oops () =
      check string "path ends at crash site" cfn
        (fst (List.nth c.Outcome.propagation (List.length c.Outcome.propagation - 1)))
    | None -> ());
-  let build = r.Runner.build in
-  let machine = r.Runner.machine in
+  let build = (Runner.build r) in
+  let machine = (Runner.machine r) in
   let dump = Kfi_kernel.Build.read_dump machine in
   let oops =
-    Forensics.oops ?dump ?injected_at:r.Runner.last_injected_at
+    Forensics.oops ?dump ?injected_at:(Runner.last_injected_at r)
       ~inject_desc:"test injection" build machine
   in
   List.iter
