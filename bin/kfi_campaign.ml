@@ -7,13 +7,15 @@
    kfi-campaign -c A --subsample 20 --csv out.csv --jsonl out.jsonl
    kfi-campaign --journal run.kj # crash-safe: every injection fsync'd
    kfi-campaign --journal run.kj --resume   # continue after a SIGKILL
-   kfi-campaign --metrics m.jsonl           # stream metric frames (kfi-stats) *)
+   kfi-campaign --metrics m.jsonl           # stream metric frames (kfi-stats)
+   kfi-campaign --workers 4                 # process-isolated worker shards:
+                                            # SIGKILL a worker, same records *)
 
 open Cmdliner
 
 let run campaigns subsample full csv_path jsonl_path seed quiet hardening jobs
     backend journal_path resume deadline_ms retries metrics_path
-    metrics_interval_ms =
+    metrics_interval_ms workers shards shard_dir supervisor_log =
   let subsample = if full then 1 else subsample in
   Printf.eprintf "booting kernel + golden runs + profiling...\n%!";
   let study = Kfi.Study.prepare () in
@@ -82,11 +84,29 @@ let run campaigns subsample full csv_path jsonl_path seed quiet hardening jobs
     if (not quiet) && done_ mod 50 = 0 then
       Printf.eprintf "\r  %d/%d experiments%!" done_ total
   in
+  let supervisor =
+    if workers <= 0 then None
+    else
+      Some
+        {
+          Kfi.Config.default_supervisor with
+          Kfi.Config.sup_workers = workers;
+          sup_shard_dir = shard_dir;
+          sup_event_log = supervisor_log;
+          sup_on_pulse =
+            (* the tickless metrics writer has no progress callback to
+               ride during the worker phase: pulse it from the
+               supervision loop *)
+            Option.map
+              (fun w () -> Kfi.Obs.Writer.maybe_tick w)
+              metrics_writer;
+        }
+  in
   let config =
     Kfi.Config.make ~subsample ~seed ~hardening ?telemetry ~on_progress ~jobs
-      ~backend ?journal ~policy ?metrics ()
+      ~backend ?journal ~policy ?metrics ~shards ?supervisor ()
   in
-  if jobs > 1 then begin
+  if jobs > 1 && Option.is_none supervisor then begin
     Printf.eprintf "booting %d worker runners...\n%!" (jobs - 1);
     ignore (Kfi.Study.fleet study ~jobs)
   end;
@@ -209,6 +229,46 @@ let metrics_interval_arg =
     & info [ "metrics-interval-ms" ] ~docv:"MS"
         ~doc:"Frame interval for $(b,--metrics) (0 = only the final frame).")
 
+let workers_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Run each campaign as process-isolated shards executed by $(docv) \
+           supervised $(b,kfi-worker) processes.  A worker killed or wedged \
+           at any instant is restarted with exponential backoff and its \
+           shard requeued; the merged CSV/JSONL/journal are byte-identical \
+           to a serial run.  0 disables (in-process execution).")
+
+let shards_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Shard count for $(b,--workers) (0 = 4x the worker count).  More \
+           shards = finer-grained requeue on worker death, more assignment \
+           chatter.")
+
+let shard_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "shard-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory for per-shard journals under $(b,--workers) (default: a \
+           fresh temp dir).  Shard ids are content-addressed, so a reused \
+           $(docv) lets a restarted coordinator pick up completed work.")
+
+let supervisor_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "supervisor-log" ] ~docv:"PATH"
+        ~doc:
+          "JSONL supervisor event log for $(b,--workers) (spawns, deaths, \
+           requeues, quarantines, merge) — observability only, never part \
+           of the determinism gate.")
+
 let cmd =
   Cmd.v
     (Cmd.info "kfi-campaign" ~doc:"Kernel fault-injection campaigns (DSN'03 reproduction)")
@@ -216,6 +276,7 @@ let cmd =
       const run $ campaigns_arg $ subsample_arg $ full_arg $ csv_arg $ jsonl_arg
       $ seed_arg $ quiet_arg $ hardening_arg $ jobs_arg $ backend_arg
       $ journal_arg $ resume_arg $ deadline_arg $ retries_arg $ metrics_arg
-      $ metrics_interval_arg)
+      $ metrics_interval_arg $ workers_arg $ shards_arg $ shard_dir_arg
+      $ supervisor_log_arg)
 
 let () = exit (Cmd.eval' cmd)

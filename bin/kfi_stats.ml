@@ -101,6 +101,49 @@ let render ~header (s : Metrics.snap) =
            | Some g -> fmt_dur g
            | None -> "0"))
    | None -> ());
+  (* supervised worker processes (kfi-campaign --workers) *)
+  (match Metrics.gauge s "sup.workers" with
+   | Some nworkers ->
+     Buffer.add_string buf
+       (Printf.sprintf
+          "  supervisor   %.0f workers, %s/%s shards done, %s entries, \
+           %s spawns, %s restarts, %s requeued, %s quarantined\n"
+          nworkers
+          (match Metrics.gauge s "sup.shards_done" with
+           | Some g -> fmt_count (int_of_float g)
+           | None -> "0")
+          (match Metrics.gauge s "sup.shards" with
+           | Some g -> fmt_count (int_of_float g)
+           | None -> "?")
+          (fmt_count (c "sup.entries"))
+          (fmt_count (c "sup.spawns"))
+          (fmt_count (c "sup.restarts"))
+          (fmt_count (c "sup.requeued"))
+          (fmt_count (c "sup.quarantined")));
+     let g n k = Metrics.gauge s (Printf.sprintf "sup.proc%d.%s" n k) in
+     for n = 0 to int_of_float nworkers - 1 do
+       match g n "pid" with
+       | None -> ()
+       | Some pid ->
+         let live = match g n "live" with Some 1. -> true | _ -> false in
+         Buffer.add_string buf
+           (Printf.sprintf
+              "    worker %-2d  %s pid %-7.0f shard %-5s restarts %-3s \
+               last heartbeat %s ago\n"
+              n
+              (if live then "up  " else "down")
+              pid
+              (match g n "shard" with
+               | Some sh when sh >= 0. -> Printf.sprintf "#%.0f" sh
+               | _ -> "-")
+              (match g n "restarts" with
+               | Some r -> Printf.sprintf "%.0f" r
+               | None -> "0")
+              (match g n "beat_age_s" with
+               | Some a -> fmt_dur a
+               | None -> "?"))
+     done
+   | None -> ());
   if c "journal.appends" > 0 then
     Buffer.add_string buf
       (Printf.sprintf "  journal      %s appends\n" (fmt_count (c "journal.appends")));

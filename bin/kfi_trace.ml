@@ -139,7 +139,11 @@ let strip_file path =
    key, one line each with a digest of the full entry.  Raw journal bytes
    differ between runs that complete in different orders (-j 1 vs -j 4,
    interrupted vs not); this dump is order-insensitive, so determinism
-   gates compare two journals with [cmp] over their dumps. *)
+   gates compare two journals with [cmp] over their dumps.  The digest
+   marshals with [No_sharing]: an entry that round-trips through a shard
+   journal and the supervisor's merge re-marshal can encode equal values
+   with a different intra-value sharing graph, and the dump must hash
+   the value, not the encoding. *)
 let dump_journal_file path =
   match Kfi.Injector.Journal.read_file path with
   | exception Sys_error msg ->
@@ -156,7 +160,8 @@ let dump_journal_file path =
              (Outcome.category e.e_outcome)
              (if e.e_predicted then " (predicted)" else "")
              e.e_retries e.e_cycles
-             (Digest.to_hex (Digest.string (Marshal.to_string e []))));
+             (Digest.to_hex
+                (Digest.string (Marshal.to_string e [ Marshal.No_sharing ]))));
     0
 
 let run lint strip dump_journal fn byte bit addr workload level trace_n backend

@@ -1,0 +1,8 @@
+(* kfi-worker — shard-execution worker process.
+
+   Not meant to be run by hand: spawned by the supervising coordinator
+   (Kfi_shard.Supervisor, i.e. `kfi-campaign --workers N`), speaks the
+   length-prefixed frame protocol on stdin/stdout and journals every
+   completed injection to its shard's journal before acknowledging it. *)
+
+let () = Kfi_shard.Worker.main ()

@@ -207,6 +207,81 @@ cmp _artifacts/campaign_serial.jsonl.stripped _artifacts/chaos.jsonl.stripped ||
   exit 1
 }
 
+echo "== shard chaos gate: SIGKILL worker processes mid-campaign, byte-identical merge =="
+# Run the campaign as process-isolated shards under the supervising
+# coordinator, shoot two worker processes while it runs (waiting for the
+# restarted replacement between shots), and demand CSV, stripped JSONL
+# and the canonically dumped journal byte-identical to the serial
+# uninterrupted artifacts above.  The supervisor event log (spawns,
+# deaths, requeues) is kept as an artifact.
+rm -rf _artifacts/shards _artifacts/shard_chaos.journal
+worker_pids() {
+  if command -v pgrep > /dev/null 2>&1; then
+    pgrep -f kfi_worker.exe 2>/dev/null || true
+  else
+    ps ax -o pid=,command= 2>/dev/null | grep kfi_worker.exe | grep -v grep \
+      | awk '{print $1}' || true
+  fi
+}
+_build/default/bin/kfi_campaign.exe -c A --subsample 60 -q \
+  --workers 2 --shard-dir _artifacts/shards \
+  --journal _artifacts/shard_chaos.journal \
+  --supervisor-log _artifacts/shard_chaos.events.jsonl \
+  --csv _artifacts/shard_chaos.csv --jsonl _artifacts/shard_chaos.jsonl \
+  > /dev/null 2>&1 &
+shard_pid=$!
+kills=0
+killed_pid=""
+i=0
+while [ "$i" -lt 3000 ]; do
+  kill -0 "$shard_pid" 2>/dev/null || break
+  if [ "$kills" -lt 2 ]; then
+    for w in $(worker_pids); do
+      # wait for the restarted replacement before the second shot
+      if [ "$w" != "$killed_pid" ]; then
+        if kill -9 "$w" 2>/dev/null; then
+          kills=$((kills + 1))
+          killed_pid=$w
+          echo "  killed worker pid $w (kill #$kills)"
+        fi
+        break
+      fi
+    done
+  fi
+  sleep 0.1
+  i=$((i + 1))
+done
+wait "$shard_pid" || {
+  echo "shard chaos gate failed: supervised campaign did not survive worker kills" >&2
+  exit 1
+}
+[ "$kills" -ge 2 ] || {
+  echo "shard chaos gate failed: only landed $kills worker kill(s)" >&2
+  exit 1
+}
+deaths=$(grep -c '"ev":"death"' _artifacts/shard_chaos.events.jsonl) || deaths=0
+[ "$deaths" -ge 2 ] || {
+  echo "shard chaos gate failed: supervisor log recorded $deaths death(s)" >&2
+  exit 1
+}
+cmp _artifacts/campaign_serial.csv _artifacts/shard_chaos.csv || {
+  echo "shard chaos gate failed: merged CSV diverged from serial after worker kills" >&2
+  exit 1
+}
+dune exec bin/kfi_trace.exe -- --strip _artifacts/shard_chaos.jsonl \
+  > _artifacts/shard_chaos.jsonl.stripped
+cmp _artifacts/campaign_serial.jsonl.stripped _artifacts/shard_chaos.jsonl.stripped || {
+  echo "shard chaos gate failed: merged telemetry diverged from serial" >&2
+  exit 1
+}
+dune exec bin/kfi_trace.exe -- --dump-journal _artifacts/shard_chaos.journal \
+  > _artifacts/shard_chaos.journal.dump
+cmp _artifacts/obs1.journal.dump _artifacts/shard_chaos.journal.dump || {
+  echo "shard chaos gate failed: merged journal diverged from serial" >&2
+  exit 1
+}
+echo "  $kills workers SIGKILLed, $deaths deaths supervised, merge byte-identical"
+
 echo "== static oracle self-check =="
 # Classification must be total and campaign C must be 100% reversed
 # conditions; both are printed by the histogram dump.

@@ -16,6 +16,7 @@ module Staticoracle = Kfi_staticoracle
 module Trace = Kfi_trace
 module Obs = Kfi_obs
 module Analysis = Kfi_analysis
+module Shard = Kfi_shard
 
 (* Re-exports of the most used types *)
 module Campaign = struct
@@ -34,13 +35,14 @@ module Config = struct
      an oracle and a metrics registry are given, the oracle's
      classify/slice spans land in the same registry. *)
   let make ?subsample ?seed ?hardening ?oracle ?telemetry ?on_progress ?jobs
-      ?journal ?policy ?metrics ?backend () =
+      ?journal ?policy ?metrics ?backend ?shards ?supervisor () =
     (match (oracle, metrics) with
      | Some o, Some _ -> Kfi_staticoracle.Oracle.set_metrics o metrics
      | _ -> ());
     Kfi_injector.Config.make ?subsample ?seed ?hardening
       ?oracle:(Option.map Kfi_staticoracle.Oracle.pruner oracle)
-      ?telemetry ?on_progress ?jobs ?journal ?policy ?metrics ?backend ()
+      ?telemetry ?on_progress ?jobs ?journal ?policy ?metrics ?backend
+      ?shards ?supervisor ()
 end
 
 module Study = struct
@@ -84,19 +86,29 @@ module Study = struct
       f
 
   let run_campaign ?(config = Config.default) t campaign =
-    let fleet =
-      if config.Config.jobs > 1 then Some (fleet t ~jobs:config.Config.jobs)
-      else None
-    in
-    Kfi_injector.Experiment.run_campaign ~config ?fleet t.runner t.profile
-      campaign
+    match config.Config.supervisor with
+    | Some _ ->
+      (* process-isolated shards under the supervising coordinator *)
+      Kfi_shard.Supervisor.run_campaign ~config t.runner t.profile campaign
+    | None ->
+      let fleet =
+        if config.Config.jobs > 1 then Some (fleet t ~jobs:config.Config.jobs)
+        else None
+      in
+      Kfi_injector.Experiment.run_campaign ~config ?fleet t.runner t.profile
+        campaign
 
   let run_campaigns ?(config = Config.default) t () =
-    let fleet =
-      if config.Config.jobs > 1 then Some (fleet t ~jobs:config.Config.jobs)
-      else None
-    in
-    Kfi_injector.Experiment.run_all ~config ?fleet t.runner t.profile
+    match config.Config.supervisor with
+    | Some _ ->
+      List.concat_map (run_campaign ~config t)
+        [ Campaign.A; Campaign.B; Campaign.C ]
+    | None ->
+      let fleet =
+        if config.Config.jobs > 1 then Some (fleet t ~jobs:config.Config.jobs)
+        else None
+      in
+      Kfi_injector.Experiment.run_all ~config ?fleet t.runner t.profile
 
   let report ?oracle ?telemetry t records =
     Kfi_analysis.Report.full ?oracle ?telemetry ~build:(build t) ~profile:t.profile

@@ -36,6 +36,7 @@ module Staticoracle = Kfi_staticoracle
 module Trace = Kfi_trace
 module Obs = Kfi_obs
 module Analysis = Kfi_analysis
+module Shard = Kfi_shard
 
 (** The paper's campaigns: A (non-branch text), B (branch text bytes),
     C (reversed conditions), plus the register-corruption extension R. *)
@@ -56,6 +57,36 @@ module Backend = Kfi_isa.Backend
     {!Config.default} with record syntax:
     [{ Kfi.Config.default with subsample = 10; jobs = 4 }]. *)
 module Config : sig
+  type supervisor = Kfi_injector.Config.supervisor = {
+    sup_workers : int;  (** kfi-worker processes to keep alive *)
+    sup_shard_dir : string option;
+        (** directory for per-shard journals; [None] = a fresh temp dir *)
+    sup_worker_exe : string option;
+        (** path to the kfi-worker binary; [None] = [$KFI_WORKER_EXE],
+            then next to the running executable *)
+    sup_worker_env : (string * string) list;
+        (** extra environment for workers (chaos knobs in tests/CI) *)
+    sup_max_restarts : int;
+        (** per-slot restart budget before the slot is retired *)
+    sup_poison_deaths : int;
+        (** consecutive zero-progress worker deaths before a shard is
+            quarantined as [Harness_abort] *)
+    sup_heartbeat_s : float;
+        (** a worker owning a shard and silent this long is SIGKILLed *)
+    sup_event_log : string option;
+        (** JSONL supervisor event log (spawns, deaths, requeues,
+            quarantines) — volatile, never determinism-gated *)
+    sup_on_pulse : (unit -> unit) option;
+        (** fires every supervision-loop turn; the CLI's streaming
+            metrics {!Kfi_obs.Writer.maybe_tick} rides during the worker
+            phase *)
+  }
+
+  val default_supervisor : supervisor
+  (** [2 workers, temp shard dir, auto-discovered worker exe, no extra
+      env, 10 restarts/slot, 3 poison deaths, 120 s heartbeat, no event
+      log, no pulse]. *)
+
   type t = Kfi_injector.Config.t = {
     subsample : int;
         (** keep every k-th target (1 = the full enumeration) *)
@@ -88,11 +119,21 @@ module Config : sig
         (** execution backend for the runner(s) ({!Backend.Interp} by
             default); {!Backend.Cached} is byte-identical in every
             outcome and artifact, only faster *)
+    shards : int;
+        (** shard count for supervised runs (0 = [4 * sup_workers]);
+            ignored without [supervisor] *)
+    supervisor : supervisor option;
+        (** run campaigns as process-isolated shards executed by
+            kfi-worker processes under a supervising coordinator
+            ({!Shard.Supervisor}): worker death is survived by
+            restart-with-backoff and exactly-once shard requeue, and the
+            merged output is byte-identical to a serial run *)
   }
 
   val default : t
   (** [subsample 1, seed 42, no hardening/oracle/telemetry/progress/
-      journal, jobs 1, Fleet.default_policy, backend Interp]. *)
+      journal, jobs 1, Fleet.default_policy, backend Interp, shards 0,
+      no supervisor]. *)
 
   val make :
     ?subsample:int ->
@@ -106,6 +147,8 @@ module Config : sig
     ?policy:Kfi_injector.Fleet.policy ->
     ?metrics:Kfi_obs.Metrics.t ->
     ?backend:Kfi_isa.Backend.kind ->
+    ?shards:int ->
+    ?supervisor:supervisor ->
     unit ->
     t
   (** {!default} with the given fields replaced.  [oracle] takes the

@@ -826,6 +826,143 @@ let journal_torn_resume =
                 Error "append after resume did not extend the intact prefix"
               else Ok ()))
 
+(* ---------- shard.merge_deterministic ---------- *)
+
+(* A worker-death schedule for one shard: each element is one doomed
+   incarnation — journal [k] fresh entries, die, optionally leaving a
+   torn partial frame (SIGKILL mid-append); a final incarnation then
+   completes the shard.  The merged campaign journal must be
+   byte-identical to a serial run whatever the split and whatever the
+   schedule, because resume skips journaled entries and the merge walks
+   shards in planned order. *)
+type death = { d_after : int; d_torn : bool }
+
+let shard_merge_deterministic =
+  let open Kfi_injector in
+  let key = Journal.key_of_entry in
+  let dedup entries =
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun e ->
+        if Hashtbl.mem seen (key e) then false
+        else begin
+          Hashtbl.add seen (key e) ();
+          true
+        end)
+      entries
+  in
+  let gen_schedule rng =
+    Gen.list ~min:0 ~max:3
+      (fun rng ->
+        { d_after = Kfi_fuzz.Rng.int rng 3; d_torn = Kfi_fuzz.Rng.bool rng })
+      rng
+  in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  (* one shard's journal, written across [schedule] doomed incarnations
+     plus a final completing one — exactly the worker's resume loop *)
+  let write_shard path entries schedule =
+    let incarnation deaths =
+      let j = Journal.open_ ~resume:true path in
+      let todo =
+        List.filter (fun e -> Journal.find j (key e) = None) entries
+      in
+      let quota = match deaths with Some d -> take d.d_after todo | None -> todo in
+      List.iter (Journal.append j) quota;
+      Journal.close j;
+      match deaths with
+      | Some d when d.d_torn ->
+        (* SIGKILL mid-append: a plausible header, payload missing *)
+        let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+        let b = Bytes.create 8 in
+        Bytes.set_int32_le b 0 64l;
+        Bytes.set_int32_le b 4 0l;
+        output_bytes oc b;
+        output_string oc "par";
+        close_out oc
+      | _ -> ()
+    in
+    List.iter (fun d -> incarnation (Some d)) schedule;
+    incarnation None
+  in
+  let digest_of_run dir entries count schedules =
+    (* contiguous balanced split, as Plan.split *)
+    let arr = Array.of_list entries in
+    let n = Array.length arr in
+    let shards =
+      List.init count (fun i ->
+          Array.to_list (Array.sub arr (i * n / count) (((i + 1) * n / count) - (i * n / count))))
+    in
+    let paths = List.mapi (fun i _ -> Filename.concat dir (spf "s%d.kj" i)) shards in
+    List.iteri
+      (fun i (sh, path) ->
+        if sh <> [] then
+          write_shard path sh (List.nth schedules (i mod List.length schedules)))
+      (List.combine shards paths);
+    (* merge in planned order from the on-disk shard journals *)
+    let merged_path = Filename.concat dir "merged.kj" in
+    let merged = Journal.open_ merged_path in
+    List.iter
+      (fun (sh, path) ->
+        let tbl = Hashtbl.create 16 in
+        if Sys.file_exists path then
+          List.iter (fun e -> Hashtbl.replace tbl (key e) e) (Journal.read_file path);
+        List.iter
+          (fun e ->
+            match Hashtbl.find_opt tbl (key e) with
+            | Some e' -> Journal.append merged e'
+            | None -> failwith "merge: shard journal missing an entry")
+          sh)
+      (List.combine shards paths);
+    Journal.close merged;
+    let d = Digest.file merged_path in
+    List.iter (fun p -> if Sys.file_exists p then Sys.remove p) (merged_path :: paths);
+    d
+  in
+  Fuzz.make ~name:"shard.merge_deterministic"
+    ~doc:
+      "random shard splits + random worker-death schedules merge to the \
+       serial journal bytes"
+    (Fuzz.arb
+       ~shrink:
+         (Shrink.pair
+            (Shrink.pair (Shrink.list ~elem:Shrink.nil) Shrink.int)
+            (Shrink.pair (Shrink.list ~elem:Shrink.nil) (Shrink.list ~elem:Shrink.nil)))
+       ~print:(fun ((entries, count), (sched_a, sched_b)) ->
+         spf "%d entries, %d shards, %d+%d deaths" (List.length entries) count
+           (List.length sched_a) (List.length sched_b))
+       (Gen.pair
+          (Gen.pair
+             (Gen.map dedup (Gen.list ~min:1 ~max:8 gen_entry))
+             (fun rng -> 1 + Kfi_fuzz.Rng.int rng 4))
+          (Gen.pair (Gen.list ~min:1 ~max:3 gen_schedule)
+             (Gen.list ~min:1 ~max:3 gen_schedule))))
+    (fun ((entries, count), (scheds_a, scheds_b)) ->
+      let open Kfi_injector in
+      let dir = Filename.temp_file "kfi_fuzz_shard" "" in
+      Sys.remove dir;
+      Unix.mkdir dir 0o755;
+      Fun.protect
+        ~finally:(fun () ->
+          Array.iter
+            (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+            (Sys.readdir dir);
+          try Unix.rmdir dir with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* the serial reference: every entry appended once, in order *)
+          let serial_path = Filename.concat dir "serial.kj" in
+          let j = Journal.open_ serial_path in
+          List.iter (Journal.append j) entries;
+          Journal.close j;
+          let serial = Digest.file serial_path in
+          Sys.remove serial_path;
+          let da = digest_of_run dir entries count scheds_a in
+          let db = digest_of_run dir entries count scheds_b in
+          if da <> serial then
+            Error "schedule A merged journal differs from serial bytes"
+          else if db <> serial then
+            Error "schedule B merged journal differs from serial bytes"
+          else Ok ()))
+
 (* ---------- csv.rfc4180 ---------- *)
 
 (* Reference RFC 4180 row parser (quoted fields, doubled quotes). *)
@@ -1089,6 +1226,7 @@ let all =
     slice_sound;
     fs_fsck_total;
     journal_torn_resume;
+    shard_merge_deterministic;
     csv_rfc4180;
     telemetry_json_roundtrip;
     obs_merge_assoc;

@@ -32,6 +32,14 @@ val oracle_equivalent_sound : Kfi_fuzz.Fuzz.t
 val slice_sound : Kfi_fuzz.Fuzz.t
 val fs_fsck_total : Kfi_fuzz.Fuzz.t
 val journal_torn_resume : Kfi_fuzz.Fuzz.t
+
+val shard_merge_deterministic : Kfi_fuzz.Fuzz.t
+(** Random contiguous shard splits of a random entry list, written under
+    two random worker-death schedules (die after k entries, optionally
+    leaving a torn partial frame, resume, repeat), then merged in
+    planned order — both merged journals are byte-identical to the
+    serially-written one. *)
+
 val csv_rfc4180 : Kfi_fuzz.Fuzz.t
 val telemetry_json_roundtrip : Kfi_fuzz.Fuzz.t
 

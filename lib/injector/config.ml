@@ -8,6 +8,45 @@
    [Kfi_staticoracle.Oracle.pruner] exactly once when the config is
    built, instead of at every entry point. *)
 
+(* Process-isolated execution (lib/shard): how the supervising
+   coordinator spawns, monitors and restarts kfi-worker processes.
+   Lives here (not in lib/shard) so it can ride [t] without a
+   dependency cycle; like [jobs]/[metrics]/[backend] it never affects
+   which targets exist or what they observe, so it stays out of
+   [fingerprint]. *)
+type supervisor = {
+  sup_workers : int; (* worker processes to keep alive *)
+  sup_shard_dir : string option; (* per-shard journals; None = temp dir *)
+  sup_worker_exe : string option;
+      (* kfi-worker binary; None = $KFI_WORKER_EXE, then next to the
+         running executable *)
+  sup_worker_env : (string * string) list;
+      (* extra environment for workers (chaos knobs in tests/CI) *)
+  sup_max_restarts : int; (* per worker slot, before it is retired *)
+  sup_poison_deaths : int;
+      (* consecutive zero-progress worker deaths on one shard before it
+         is quarantined as Harness_abort *)
+  sup_heartbeat_s : float;
+      (* a worker silent this long while holding a shard is SIGKILLed
+         (generous: the first shard includes the worker's kernel boot) *)
+  sup_event_log : string option; (* supervisor event JSONL *)
+  sup_on_pulse : (unit -> unit) option;
+      (* called once per supervision loop turn (metrics writer ticks) *)
+}
+
+let default_supervisor =
+  {
+    sup_workers = 2;
+    sup_shard_dir = None;
+    sup_worker_exe = None;
+    sup_worker_env = [];
+    sup_max_restarts = 10;
+    sup_poison_deaths = 3;
+    sup_heartbeat_s = 120.;
+    sup_event_log = None;
+    sup_on_pulse = None;
+  }
+
 type t = {
   subsample : int;
   seed : int;
@@ -35,6 +74,13 @@ type t = {
          backend.equiv fuzz property and the CI gates hold it to that),
          so it too stays out of [fingerprint]: a journal written under
          one backend resumes cleanly under the other *)
+  shards : int;
+      (* content-addressed shards to split the campaign into under a
+         supervisor; 0 = auto (4 * workers).  Purely an execution-layout
+         knob: merged output is byte-identical at any shard count *)
+  supervisor : supervisor option;
+      (* Some -> the campaign runs on isolated worker processes under
+         the lib/shard coordinator instead of in-process *)
 }
 
 let default =
@@ -50,12 +96,14 @@ let default =
     policy = Fleet.default_policy;
     metrics = None;
     backend = Kfi_isa.Backend.Interp;
+    shards = 0;
+    supervisor = None;
   }
 
 let make ?(subsample = default.subsample) ?(seed = default.seed)
     ?(hardening = default.hardening) ?oracle ?telemetry ?on_progress
     ?(jobs = default.jobs) ?journal ?(policy = default.policy) ?metrics
-    ?(backend = default.backend) () =
+    ?(backend = default.backend) ?(shards = default.shards) ?supervisor () =
   {
     subsample;
     seed;
@@ -68,6 +116,8 @@ let make ?(subsample = default.subsample) ?(seed = default.seed)
     policy;
     metrics;
     backend;
+    shards;
+    supervisor;
   }
 
 (* The fingerprint guarding a resumed journal: everything that changes

@@ -3,6 +3,41 @@
     facade, replacing the optional-argument lists that used to be
     copy-pasted across all four entry points. *)
 
+(** How the [lib/shard] coordinator spawns, monitors and restarts
+    [kfi-worker] processes.  Declared here (not in [lib/shard]) so it
+    can ride {!t} without a dependency cycle. *)
+type supervisor = {
+  sup_workers : int;  (** worker processes to keep alive *)
+  sup_shard_dir : string option;
+      (** directory for per-shard journals; [None] = a fresh temp dir *)
+  sup_worker_exe : string option;
+      (** the [kfi-worker] binary; [None] = [$KFI_WORKER_EXE], then
+          [kfi_worker.exe] next to the running executable *)
+  sup_worker_env : (string * string) list;
+      (** extra environment entries for workers (chaos knobs in CI) *)
+  sup_max_restarts : int;
+      (** restarts per worker slot before the slot is retired *)
+  sup_poison_deaths : int;
+      (** consecutive zero-progress worker deaths on one shard before
+          it is quarantined as {!Outcome.Harness_abort} *)
+  sup_heartbeat_s : float;
+      (** a worker silent this long while holding a shard is SIGKILLed
+          (generous by default: a worker's first shard includes its
+          kernel boot) *)
+  sup_event_log : string option;
+      (** supervisor event log (JSONL: spawn/assign/death/restart/
+          requeue/quarantine/merge), for the CI artifact *)
+  sup_on_pulse : (unit -> unit) option;
+      (** called once per supervision-loop turn — where the tickless
+          metrics {!Kfi_obs.Writer.maybe_tick} rides during the worker
+          phase *)
+}
+
+val default_supervisor : supervisor
+(** 2 workers, temp shard dir, auto-discovered worker binary, 10
+    restarts per slot, 3 poison deaths, 120 s heartbeat, no event log,
+    no pulse hook. *)
+
 type t = {
   subsample : int;  (** keep every k-th target (1 = the full enumeration) *)
   seed : int;  (** fixes the per-byte bit choice *)
@@ -43,13 +78,25 @@ type t = {
           fuzz property and the CI byte-identity gates — so it too is
           absent from {!fingerprint}: a journal written under one
           backend resumes cleanly under the other *)
+  shards : int;
+      (** content-addressed shards to split the campaign into when a
+          {!supervisor} is set; 0 = auto ([4 * sup_workers], capped by
+          the target count).  Purely an execution-layout knob — merged
+          output is byte-identical at any shard count — so it is absent
+          from {!fingerprint} *)
+  supervisor : supervisor option;
+      (** [Some] runs the campaign on process-isolated workers under
+          the [lib/shard] coordinator: a SIGKILLed worker is restarted
+          with exponential backoff, its shard requeued, and the merged
+          output stays byte-identical to a serial in-process run *)
 }
 
 val default : t
 (** [{ subsample = 1; seed = 42; hardening = false; oracle = None;
       telemetry = None; on_progress = None; jobs = 1; journal = None;
       policy = Fleet.default_policy; metrics = None;
-      backend = Kfi_isa.Backend.Interp }]. *)
+      backend = Kfi_isa.Backend.Interp; shards = 0;
+      supervisor = None }]. *)
 
 val make :
   ?subsample:int ->
@@ -63,6 +110,8 @@ val make :
   ?policy:Fleet.policy ->
   ?metrics:Kfi_obs.Metrics.t ->
   ?backend:Kfi_isa.Backend.kind ->
+  ?shards:int ->
+  ?supervisor:supervisor ->
   unit ->
   t
 (** {!default} with the given fields replaced. *)

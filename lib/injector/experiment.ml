@@ -158,6 +158,8 @@ let run_targets ?(config = Config.default) ?fleet runner profile campaign
     policy;
     metrics;
     backend;
+    shards = _;
+    supervisor = _;
   } =
     config
   in
@@ -373,14 +375,17 @@ let run_targets ?(config = Config.default) ?fleet runner profile campaign
          })
        items)
 
+(* The planning half of a campaign, exposed so the shard supervisor can
+   split the very same target list the serial path would run. *)
+let plan ?(config = Config.default) runner profile campaign =
+  let fns = campaign_functions runner profile campaign in
+  Target.enumerate (Runner.build runner) ~campaign ~seed:config.Config.seed fns
+  |> subsample_targets ~subsample:config.Config.subsample
+
 (* The normal campaign entry: enumerate, subsample, run. *)
 let run_campaign ?(config = Config.default) ?fleet runner profile campaign =
-  let fns = campaign_functions runner profile campaign in
-  let targets =
-    Target.enumerate (Runner.build runner) ~campaign ~seed:config.Config.seed fns
-    |> subsample_targets ~subsample:config.Config.subsample
-  in
-  run_targets ~config ?fleet runner profile campaign targets
+  run_targets ~config ?fleet runner profile campaign
+    (plan ~config runner profile campaign)
 
 (* Full study: all three campaigns. *)
 let run_all ?config ?fleet runner profile =

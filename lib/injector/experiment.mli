@@ -28,6 +28,18 @@ val workload_for : Kfi_profiler.Sampler.profile -> Target.t -> int
 (** The driving workload for a target: half profile-matched, half
     pseudo-random (approximating whole-suite activity). *)
 
+val plan :
+  ?config:Config.t ->
+  Runner.t ->
+  Kfi_profiler.Sampler.profile ->
+  Target.campaign ->
+  Target.t list
+(** The deterministic planning half of {!run_campaign}: enumerate the
+    campaign's targets and subsample them under [config] — exactly the
+    list {!run_campaign} would execute.  The shard supervisor splits
+    this list; [run_targets ~config ... (plan ~config ...)] is
+    {!run_campaign}. *)
+
 val run_targets :
   ?config:Config.t ->
   ?fleet:Fleet.t ->

@@ -104,6 +104,8 @@ type policy = {
   deadline_ms : int option;
   retries : int;
   backoff_ms : float;
+  backoff_cap_ms : float;
+  backoff_jitter : float;
   heartbeat_s : float;
   chaos : (attempt:int -> Target.t -> chaos option) option;
 }
@@ -113,11 +115,38 @@ let default_policy =
     deadline_ms = None;
     retries = 1;
     backoff_ms = 10.;
+    backoff_cap_ms = 10_000.;
+    backoff_jitter = 0.1;
     (* far above any single injection's wall time, so heartbeat monitoring
        never false-positives on a normal run *)
     heartbeat_s = 30.;
     chaos = None;
   }
+
+(* Deterministic backoff: base * 2^(attempt-1), spread by a jitter
+   factor in [1 - j, 1 + j] derived from a hash of (salt, attempt) so
+   retries of different targets (and restarts of different worker
+   slots) desynchronize without any global randomness, then clamped to
+   the cap.  Pure — unit-testable without sleeping. *)
+let backoff_delay_ms ~policy ~attempt ~salt =
+  if attempt < 1 then 0.
+  else begin
+    let base = policy.backoff_ms *. (2. ** float_of_int (attempt - 1)) in
+    let j = Float.max 0. (Float.min 0.999 policy.backoff_jitter) in
+    let spread =
+      if j = 0. then 1.
+      else begin
+        (* murmur-style integer finalizer over the pair *)
+        let h = ref ((salt * 0x9E3779B9) lxor (attempt * 0x85EBCA6B)) in
+        h := (!h lxor (!h lsr 16)) * 0x45D9F3B;
+        h := (!h lxor (!h lsr 16)) * 0x45D9F3B;
+        h := !h lxor (!h lsr 16);
+        let u = float_of_int (!h land 0xFFFFF) /. float_of_int 0xFFFFF in
+        1. -. j +. (2. *. j *. u)
+      end
+    in
+    Float.min policy.backoff_cap_ms (base *. spread)
+  end
 
 exception Worker_killed of string
 
@@ -252,7 +281,11 @@ let run_item_safe ?(policy = default_policy) (r : Runner.t) it =
         else begin
           if attempt > 0 then
             Unix.sleepf
-              (policy.backoff_ms *. (2. ** float_of_int (attempt - 1)) /. 1000.);
+              (backoff_delay_ms ~policy ~attempt
+                 ~salt:(Hashtbl.hash (it.it_target.Target.t_fn,
+                                      it.it_target.Target.t_byte,
+                                      it.it_target.Target.t_bit))
+               /. 1000.);
           match run_attempt ~policy ~attempt (runner_for attempt) it with
           | res -> res
           | exception (Worker_killed _ as e) ->

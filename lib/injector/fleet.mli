@@ -84,6 +84,11 @@ type policy = {
           simulated watchdog; [None] = unbounded *)
   retries : int;  (** attempts after the first before quarantining *)
   backoff_ms : float;  (** base of the exponential retry backoff *)
+  backoff_cap_ms : float;  (** ceiling on any single backoff delay *)
+  backoff_jitter : float;
+      (** fractional spread of each delay, in [0, 1): a delay lands
+          deterministically in [base * (1 ± jitter)] (see
+          {!backoff_delay_ms}) so concurrent retries desynchronize *)
   heartbeat_s : float;
       (** a worker silent this long while holding a claimed range is
           declared wedged and its work requeued *)
@@ -92,8 +97,17 @@ type policy = {
 }
 
 val default_policy : policy
-(** No deadline, 1 retry, 10 ms backoff base, 30 s heartbeat, no
-    chaos. *)
+(** No deadline, 1 retry, 10 ms backoff base (10 s cap, 0.1 jitter),
+    30 s heartbeat, no chaos. *)
+
+val backoff_delay_ms : policy:policy -> attempt:int -> salt:int -> float
+(** The delay before retry [attempt] (1-based; [attempt < 1] is 0):
+    [backoff_ms * 2^(attempt-1)], spread by a deterministic jitter
+    factor in [[1 - backoff_jitter, 1 + backoff_jitter]] hashed from
+    [(salt, attempt)], then clamped to [backoff_cap_ms].  Pure — the
+    same inputs always give the same delay.  Used by {!run_item_safe}
+    between attempts (salted by the target) and by the shard
+    supervisor between worker restarts (salted by the worker slot). *)
 
 exception Worker_killed of string
 (** Raised by {!Chaos_kill}: kills the worker domain (its work is

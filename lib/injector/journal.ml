@@ -123,6 +123,27 @@ let read_frame ic : (frame option, string) result =
 
 (* ----- opening, loading, appending ----- *)
 
+exception Corrupt of string
+
+(* A failed frame is a *torn tail* only when no intact frame follows it.
+   Scan forward from the failure point for any position where a
+   CRC-valid frame parses: one found means the damage sits in the
+   MIDDLE of the file — e.g. a corrupted shard journal merged into a
+   campaign journal — and silently truncating would drop intact entries
+   after it.  A random 8-byte window passes the length-plausibility and
+   CRC-32 checks with probability ~2^-40, so false positives are not a
+   practical concern, and the scan is bounded by the bad frame's extent
+   (the next intact frame stops it). *)
+let intact_frame_follows ic ~from ~until =
+  let found = ref false in
+  let q = ref from in
+  while (not !found) && !q <= until - 8 do
+    seek_in ic !q;
+    (match read_frame ic with Ok (Some _) -> found := true | _ -> ());
+    incr q
+  done;
+  !found
+
 let load_existing path =
   let ic = open_in_bin path in
   Fun.protect
@@ -140,11 +161,20 @@ let load_existing path =
         | Ok (Some (F_entry e)) ->
           entries := e :: !entries;
           go (pos_in ic)
-        | Error _ ->
-          (* torn or corrupt from [start] on: everything before it is
-             intact; the rest is discarded and will be re-run *)
-          ignore start;
-          (good_end, true)
+        | Error reason ->
+          (* unreadable from [start] on.  A torn *tail* (nothing intact
+             after it) is truncated and re-run; damage followed by
+             intact frames is a hard error — truncating there would
+             silently drop completed entries. *)
+          let file_len = in_channel_length ic in
+          if intact_frame_follows ic ~from:(start + 1) ~until:file_len then
+            raise
+              (Corrupt
+                 (Printf.sprintf
+                    "%s: %s at offset %d with intact frames after it — \
+                     mid-file corruption, refusing to truncate"
+                    path reason start))
+          else (good_end, true)
       in
       let good_end, torn = go 0 in
       (List.rev !entries, !meta, good_end, torn))

@@ -36,13 +36,22 @@ val key_of_entry : entry -> key
 
 type t
 
+exception Corrupt of string
+(** An unreadable frame with intact frames {e after} it — mid-file
+    corruption (e.g. a damaged shard journal merged into a campaign
+    journal).  Raised by {!open_} [~resume:true] and {!read_file}
+    instead of silently truncating, which would drop the intact entries
+    that follow.  An unreadable {e final} frame (nothing intact after
+    it) remains a torn tail: truncated and re-run. *)
+
 val open_ : ?resume:bool -> string -> t
 (** [open_ ?resume path] opens (creating if needed) the journal at
     [path].  With [resume:false] (default) any existing file is
     truncated — a fresh run.  With [resume:true] existing intact frames
-    are loaded for [find]; a torn or corrupt tail is truncated so
-    subsequent appends start at the last intact frame.  Thread-safe:
-    fleet workers may [append] concurrently. *)
+    are loaded for [find]; a torn tail is truncated so subsequent
+    appends start at the last intact frame, and mid-file corruption
+    raises {!Corrupt}.  Thread-safe: fleet workers may [append]
+    concurrently. *)
 
 val check_fingerprint : t -> fingerprint:string -> unit
 (** On a fresh journal, record [fingerprint] (a digest of the run
@@ -81,7 +90,8 @@ val close : t -> unit
 
 val read_file : string -> entry list
 (** Offline inspection: decode all intact frames of a journal file
-    without opening it for writing. *)
+    without opening it for writing.  Raises {!Corrupt} on mid-file
+    corruption (a torn tail is tolerated, as at {!open_}). *)
 
 (**/**)
 

@@ -189,6 +189,52 @@ let test_torn_every_byte_boundary () =
   done;
   Sys.remove path
 
+(* A torn *tail* is a legitimate SIGKILL artifact; a bad frame in the
+   *middle* of a journal — with intact frames after it — is media or
+   logic corruption, and silently truncating would drop good entries.
+   Both the offline reader and resume must refuse with Journal.Corrupt,
+   whichever byte of the middle frame is hit (payload, CRC, or the
+   length field that desynchronizes the walk). *)
+let test_corrupt_middle_refused () =
+  let path = tmp_journal () in
+  let j = Journal.open_ path in
+  Journal.check_fingerprint j ~fingerprint:"fp";
+  let e1 = mk_entry ~fn:"first" () in
+  let e2 = mk_entry ~fn:"second" () in
+  let e3 = mk_entry ~fn:"third" () in
+  List.iter (Journal.append j) [ e1; e2; e3 ];
+  Journal.close j;
+  let whole = read_bytes path in
+  let f1_start = offset_after_frames path 0 in
+  let f1_end = offset_after_frames path 1 in
+  for off = f1_start to f1_end - 1 do
+    let b = Bytes.of_string whole in
+    Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x01));
+    write_bytes path (Bytes.to_string b);
+    (try
+       ignore (Journal.read_file path);
+       Alcotest.fail (Printf.sprintf "flip @%d: read_file truncated silently" off)
+     with Journal.Corrupt _ -> ());
+    try
+      let j2 = Journal.open_ ~resume:true path in
+      Journal.close j2;
+      Alcotest.fail (Printf.sprintf "flip @%d: resume truncated silently" off)
+    with Journal.Corrupt _ -> ()
+  done;
+  (* the same flips in the *final* frame stay plain torn tails *)
+  let f3_start = offset_after_frames path 2 in
+  let b = Bytes.of_string whole in
+  Bytes.set b f3_start (Char.chr (Char.code (Bytes.get b f3_start) lxor 0x01));
+  write_bytes path (Bytes.to_string b);
+  check bool "final-frame flip still reads" true
+    (Journal.read_file path = [ e1; e2 ]);
+  let j3 = Journal.open_ ~resume:true path in
+  check bool "final-frame flip is a torn tail" true
+    (Journal.torn_tail_truncated j3);
+  check int "intact prefix survives" 2 (Journal.loaded j3);
+  Journal.close j3;
+  Sys.remove path
+
 (* ----- harness-abort surfacing (synthetic records) ----- *)
 
 let test_abort_surfaces () =
@@ -474,6 +520,8 @@ let suite =
     Alcotest.test_case "journal round trip + fingerprint" `Quick
       test_roundtrip_and_fingerprint;
     Alcotest.test_case "torn tail truncated" `Quick test_torn_tail_truncated;
+    Alcotest.test_case "mid-file corruption refused (Corrupt)" `Quick
+      test_corrupt_middle_refused;
     Alcotest.test_case "torn/corrupt at every byte of a frame" `Quick
       test_torn_every_byte_boundary;
     Alcotest.test_case "harness abort surfaces" `Quick test_abort_surfaces;

@@ -13,6 +13,7 @@ let () =
       ("obs", Test_obs.suite);
       ("parallel", Test_parallel.suite);
       ("journal", Test_journal.suite);
+      ("shard", Test_shard.suite);
       ("staticoracle", Test_staticoracle.suite);
       ("analysis", Test_analysis.suite);
       ("casestudies", Test_casestudies.suite);
